@@ -1,0 +1,42 @@
+//! E1 bench: TPC-H-like queries at laptop scale.
+
+use backbone_query::{execute, ExecOptions};
+use backbone_workloads::{queries, tpch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_tpch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_tpch");
+    group.sample_size(10);
+    for sf in [0.001, 0.005, 0.01] {
+        let catalog = tpch::generate(sf, 42);
+        for (label, plan) in queries::all_queries(&catalog).unwrap() {
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("sf{sf}")),
+                &plan,
+                |b, plan| {
+                    let opts = ExecOptions::default();
+                    b.iter(|| execute(plan.clone(), &catalog, &opts).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_parallel_scan(c: &mut Criterion) {
+    // The "automatic scalability" axis: same Q6, more scan workers.
+    let catalog = tpch::generate(0.01, 42);
+    let plan = queries::q6(&catalog, 730, 1095).unwrap();
+    let mut group = c.benchmark_group("e1_parallelism");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let opts = ExecOptions::with_parallelism(t);
+            b.iter(|| execute(plan.clone(), &catalog, &opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpch, bench_parallel_scan);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E2 bench: N+1 vs set-oriented join.
+
+use backbone_workloads::{orm, tpch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_orm(c: &mut Criterion) {
+    let catalog = tpch::generate(0.005, 42);
+    let mut group = c.benchmark_group("e2_orm");
+    group.sample_size(10);
+    for orders in [10usize, 100, 500] {
+        group.bench_with_input(BenchmarkId::new("n_plus_one", orders), &orders, |b, &n| {
+            b.iter(|| orm::n_plus_one(&catalog, n).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("join", orders), &orders, |b, &n| {
+            b.iter(|| orm::set_oriented(&catalog, n).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_orm);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E3 bench: unified hybrid search vs bolt-on composition.
+
+use backbone_bench::e3_hybrid::build_db;
+use backbone_core::{bolton_search, unified_search, FusionWeights, HybridSpec, VectorIndexKind};
+use backbone_query::{col, lit};
+use backbone_workloads::hybrid::generate_queries;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_hybrid(c: &mut Criterion) {
+    let db = build_db(10_000, 8, 42, VectorIndexKind::Exact);
+    let queries = generate_queries(16, 8, 0.0, 10, 43);
+    let mut group = c.benchmark_group("e3_hybrid");
+    group.sample_size(10);
+    for cutoff in [250.0f64, 25.0] {
+        let specs: Vec<HybridSpec> = queries
+            .iter()
+            .map(|q| HybridSpec {
+                table: "products".into(),
+                filter: Some(col("price").lt(lit(cutoff))),
+                keyword: Some(q.keyword.clone()),
+                vector: Some(q.embedding.clone()),
+                k: 10,
+                weights: FusionWeights::default(),
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("unified", cutoff), &specs, |b, specs| {
+            b.iter(|| {
+                for s in specs {
+                    unified_search(&db, s).unwrap();
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("bolton", cutoff), &specs, |b, specs| {
+            b.iter(|| {
+                for s in specs {
+                    bolton_search(&db, s).unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

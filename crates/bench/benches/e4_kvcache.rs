@@ -1,0 +1,31 @@
+//! E4 bench: eviction policies over LLM and database traces.
+
+use backbone_kvcache::{generate_db_scan_trace, generate_llm_trace, LlmTraceConfig};
+use backbone_storage::cache::CacheSim;
+use backbone_storage::eviction::PolicyKind;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_policies(c: &mut Criterion) {
+    let llm = generate_llm_trace(&LlmTraceConfig::default());
+    let db = generate_db_scan_trace(400, 20, 8, 100, 7);
+    let mut group = c.benchmark_group("e4_kvcache");
+    group.sample_size(10);
+    for (name, trace) in [("llm", &llm), ("db", &db)] {
+        for kind in PolicyKind::online() {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), name),
+                trace,
+                |b, trace| {
+                    b.iter(|| {
+                        let mut sim = CacheSim::new(128, kind.build(128, None));
+                        sim.run(&trace.accesses)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 bench: the transaction-engine ladder under contention.
+
+use backbone_txn::harness::{load_initial, run_workload, WorkloadConfig};
+use backbone_txn::{MvccEngine, SerialEngine, TwoPlEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_txn");
+    group.sample_size(10);
+    let config = WorkloadConfig {
+        threads: 4,
+        txns_per_thread: 500,
+        keys: 1024,
+        skew: 0.6,
+        read_ratio: 0.5,
+        ops_per_txn: 4,
+        seed: 42,
+    };
+    for name in ["serial", "2pl", "mvcc"] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| match name {
+                "serial" => {
+                    let e = Arc::new(SerialEngine::new(None));
+                    load_initial(e.as_ref(), config.keys);
+                    run_workload(e, config)
+                }
+                "2pl" => {
+                    let e = Arc::new(TwoPlEngine::new(None));
+                    load_initial(e.as_ref(), config.keys);
+                    run_workload(e, config)
+                }
+                _ => {
+                    let e = Arc::new(MvccEngine::new(None));
+                    load_initial(e.as_ref(), config.keys);
+                    run_workload(e, config)
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

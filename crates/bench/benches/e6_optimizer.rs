@@ -1,0 +1,52 @@
+//! E6 bench: optimizer-rule ablation.
+
+use backbone_query::optimizer::Rule;
+use backbone_query::{execute, ExecOptions};
+use backbone_workloads::{queries, tpch};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_ablation(c: &mut Criterion) {
+    let catalog = tpch::generate(0.005, 42);
+    let plan = queries::q3(&catalog, "BUILDING", 1200).unwrap();
+    let mut group = c.benchmark_group("e6_optimizer");
+    group.sample_size(10);
+
+    let sets: Vec<(&str, Vec<Rule>)> = vec![
+        ("all", Rule::all()),
+        ("none", vec![]),
+        (
+            "no_pushdown",
+            Rule::all()
+                .into_iter()
+                .filter(|r| *r != Rule::PredicatePushdown)
+                .collect(),
+        ),
+        (
+            "no_reorder",
+            Rule::all()
+                .into_iter()
+                .filter(|r| *r != Rule::JoinReorder)
+                .collect(),
+        ),
+        (
+            "no_pruning",
+            Rule::all()
+                .into_iter()
+                .filter(|r| *r != Rule::ProjectionPruning)
+                .collect(),
+        ),
+    ];
+    for (name, rules) in sets {
+        let opts = ExecOptions {
+            parallelism: 1,
+            rules: Some(rules),
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
+            b.iter(|| execute(plan.clone(), &catalog, opts).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

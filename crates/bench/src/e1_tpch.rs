@@ -1,0 +1,133 @@
+//! E1 — "a MacBook can comfortably run TPC-H scale factor 1000: 'small
+//! data' is enough for most applications."
+//!
+//! We run the TPC-H-like queries at laptop-scale factors, fit the observed
+//! linear scaling, and extrapolate to SF 1000. The claim's shape holds if
+//! per-query latencies scale linearly and the SF-1000 extrapolation stays
+//! in interactive-to-minutes territory on one machine.
+
+use crate::time;
+use backbone_query::{execute, Catalog, ExecOptions, MemCatalog};
+use backbone_workloads::{queries, tpch};
+
+/// One measured cell: query at a scale factor.
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Scale factor.
+    pub sf: f64,
+    /// Query label.
+    pub query: &'static str,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Result rows.
+    pub rows: usize,
+    /// `lineitem` rows at this SF.
+    pub lineitem_rows: usize,
+}
+
+/// Run every query at every scale factor.
+pub fn run(sfs: &[f64], parallelism: usize, seed: u64) -> Vec<E1Row> {
+    let mut out = Vec::new();
+    for &sf in sfs {
+        let catalog: MemCatalog = tpch::generate(sf, seed);
+        let lineitem_rows = catalog.table("lineitem").map(|t| t.num_rows()).unwrap_or(0);
+        let opts = ExecOptions::with_parallelism(parallelism);
+        for (label, plan) in queries::all_queries(&catalog).expect("query build") {
+            // One warmup, then the measured run.
+            let _ = execute(plan.clone(), &catalog, &opts);
+            let (result, seconds) = time(|| execute(plan, &catalog, &opts).expect("query run"));
+            out.push(E1Row {
+                sf,
+                query: label,
+                seconds,
+                rows: result.num_rows(),
+                lineitem_rows,
+            });
+        }
+    }
+    out
+}
+
+/// Least-squares linear fit `seconds ≈ a * sf + b` per query, extrapolated
+/// to the target scale factor. Returns `(query, projected_seconds)`.
+pub fn extrapolate(rows: &[E1Row], target_sf: f64) -> Vec<(&'static str, f64)> {
+    let mut queries: Vec<&'static str> = Vec::new();
+    for r in rows {
+        if !queries.contains(&r.query) {
+            queries.push(r.query);
+        }
+    }
+    queries
+        .into_iter()
+        .map(|q| {
+            let pts: Vec<(f64, f64)> = rows
+                .iter()
+                .filter(|r| r.query == q)
+                .map(|r| (r.sf, r.seconds))
+                .collect();
+            let n = pts.len() as f64;
+            let sx: f64 = pts.iter().map(|p| p.0).sum();
+            let sy: f64 = pts.iter().map(|p| p.1).sum();
+            let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+            let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+            let denom = n * sxx - sx * sx;
+            let (a, b) = if denom.abs() < 1e-12 {
+                (0.0, sy / n)
+            } else {
+                let a = (n * sxy - sx * sy) / denom;
+                ((n * sxy - sx * sy) / denom, (sy - a * sx) / n)
+            };
+            (q, (a * target_sf + b).max(0.0))
+        })
+        .collect()
+}
+
+/// Print the experiment's table.
+pub fn report(sfs: &[f64], parallelism: usize, seed: u64) -> String {
+    let rows = run(sfs, parallelism, seed);
+    let mut out = String::new();
+    out.push_str("E1: TPC-H-like analytics at laptop scale\n");
+    out.push_str("claim: \"a MacBook can comfortably run TPC-H scale factor 1000\"\n\n");
+    out.push_str(&format!(
+        "{:>8} {:>6} {:>12} {:>12} {:>10}\n",
+        "SF", "query", "lineitem", "latency(ms)", "rows"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>8} {:>6} {:>12} {:>12.2} {:>10}\n",
+            r.sf,
+            r.query,
+            r.lineitem_rows,
+            r.seconds * 1000.0,
+            r.rows
+        ));
+    }
+    out.push_str("\nlinear extrapolation to SF 1000 (single machine):\n");
+    for (q, secs) in extrapolate(&rows, 1000.0) {
+        out.push_str(&format!("  {q}: ~{secs:.1} s\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_scales() {
+        let rows = run(&[0.001, 0.002], 1, 3);
+        assert_eq!(rows.len(), 8); // 4 queries x 2 SFs
+        assert!(rows.iter().all(|r| r.seconds >= 0.0));
+    }
+
+    #[test]
+    fn extrapolation_monotone_for_growing_latency() {
+        let rows = vec![
+            E1Row { sf: 1.0, query: "Q1", seconds: 1.0, rows: 1, lineitem_rows: 0 },
+            E1Row { sf: 2.0, query: "Q1", seconds: 2.0, rows: 1, lineitem_rows: 0 },
+        ];
+        let x = extrapolate(&rows, 10.0);
+        assert_eq!(x.len(), 1);
+        assert!((x[0].1 - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,94 @@
+//! E2 — "many performance problems are due to the ORM and never arise at
+//! the DBMS."
+//!
+//! The N+1 anti-pattern (one point query per fetched entity) against the
+//! single set-oriented join over identical data. Expectation: the join wins
+//! by orders of magnitude, and the gap grows with result size.
+
+use crate::time;
+use backbone_query::MemCatalog;
+use backbone_workloads::{orm, tpch};
+
+/// One measured row of the E2 table.
+#[derive(Debug, Clone)]
+pub struct E2Row {
+    /// Orders fetched.
+    pub orders: usize,
+    /// N+1 seconds.
+    pub n_plus_one_s: f64,
+    /// N+1 query count.
+    pub n_plus_one_queries: usize,
+    /// Join seconds.
+    pub join_s: f64,
+    /// Speedup of the join.
+    pub speedup: f64,
+}
+
+/// Run the comparison for each result size.
+pub fn run(catalog: &MemCatalog, sizes: &[usize]) -> Vec<E2Row> {
+    // Warm both paths once so the first measured size is not paying
+    // one-time costs (allocator growth, lazily built state).
+    let _ = orm::n_plus_one(catalog, 5);
+    let _ = orm::set_oriented(catalog, 5);
+    sizes
+        .iter()
+        .map(|&orders| {
+            let ((rows_a, queries), n_plus_one_s) =
+                time(|| orm::n_plus_one(catalog, orders).expect("n+1"));
+            let ((rows_b, _), join_s) = time(|| orm::set_oriented(catalog, orders).expect("join"));
+            assert_eq!(rows_a.len(), rows_b.len(), "paths disagree");
+            E2Row {
+                orders,
+                n_plus_one_s,
+                n_plus_one_queries: queries,
+                join_s,
+                speedup: if join_s > 0.0 { n_plus_one_s / join_s } else { f64::INFINITY },
+            }
+        })
+        .collect()
+}
+
+/// Print the experiment's table.
+pub fn report(sf: f64, sizes: &[usize], seed: u64) -> String {
+    let catalog = tpch::generate(sf, seed);
+    let rows = run(&catalog, sizes);
+    let mut out = String::new();
+    out.push_str("E2: the ORM N+1 anti-pattern vs one join\n");
+    out.push_str("claim: \"many performance problems are due to the ORM and never arise at the DBMS\"\n\n");
+    out.push_str(&format!(
+        "{:>8} {:>12} {:>10} {:>12} {:>10}\n",
+        "orders", "N+1 (ms)", "queries", "join (ms)", "speedup"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>8} {:>12.2} {:>10} {:>12.2} {:>9.1}x\n",
+            r.orders,
+            r.n_plus_one_s * 1000.0,
+            r.n_plus_one_queries,
+            r.join_s * 1000.0,
+            r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_beats_n_plus_one() {
+        let catalog = tpch::generate(0.002, 4);
+        let rows = run(&catalog, &[50, 200]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert_eq!(r.n_plus_one_queries, r.orders + 1);
+            assert!(
+                r.speedup > 1.0,
+                "join should win at {} orders: {:?}",
+                r.orders,
+                r
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! E3 — "solutions are crappy when you combine diverse workloads like
+//! vectors, keywords, and relational queries in commercial systems."
+//!
+//! The unified engine vs the bolt-on three-service composition across
+//! filter selectivities. Expectation: unified ships fewer candidates in
+//! fewer round trips, and the gap widens as the relational filter gets more
+//! selective (bolt-on over-fetches blindly and retries).
+
+use crate::time;
+use backbone_core::{bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexKind};
+use backbone_query::{col, lit};
+use backbone_storage::{DataType, Field, Schema, Value};
+use backbone_vector::{Dataset, Metric};
+use backbone_workloads::hybrid::{generate, generate_queries};
+
+/// One measured row of the E3 table.
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Fraction of rows passing the relational filter.
+    pub selectivity: f64,
+    /// Mean unified latency (seconds).
+    pub unified_s: f64,
+    /// Mean bolt-on latency (seconds).
+    pub bolton_s: f64,
+    /// Mean candidates shipped by unified.
+    pub unified_candidates: f64,
+    /// Mean candidates shipped by bolt-on.
+    pub bolton_candidates: f64,
+    /// Mean bolt-on round trips.
+    pub bolton_round_trips: f64,
+    /// Mean top-k overlap between the two answers, in [0, 1].
+    pub overlap: f64,
+}
+
+/// Build the product database.
+pub fn build_db(products: usize, dim: usize, seed: u64, kind: VectorIndexKind) -> Database {
+    let catalog = generate(products, dim, seed);
+    let db = Database::new();
+    db.create_table(
+        "products",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("category", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+            Field::new("rating", DataType::Float64),
+            Field::new("in_stock", DataType::Bool),
+        ]),
+    )
+    .unwrap();
+    let rows: Vec<Vec<Value>> = catalog
+        .products
+        .iter()
+        .map(|p| {
+            vec![
+                Value::Int(p.id as i64),
+                Value::str(p.category),
+                Value::Float(p.price),
+                Value::Float(p.rating),
+                Value::Bool(p.in_stock),
+            ]
+        })
+        .collect();
+    db.insert("products", rows).unwrap();
+    // Text index over descriptions: build a synthetic desc column table?
+    // Descriptions live outside the relational schema; index them directly.
+    db.create_table(
+        "product_desc",
+        Schema::new(vec![Field::new("desc", DataType::Utf8)]),
+    )
+    .unwrap();
+    db.insert(
+        "product_desc",
+        catalog
+            .products
+            .iter()
+            .map(|p| vec![Value::str(&p.description)])
+            .collect(),
+    )
+    .unwrap();
+    // Index text under the products table name so hybrid search finds it.
+    db.create_text_index_from("products", catalog.products.iter().map(|p| p.description.as_str()));
+    let mut ds = Dataset::new(dim);
+    for p in &catalog.products {
+        ds.push(p.id, &p.embedding);
+    }
+    db.create_vector_index("products", ds, Metric::L2, kind).unwrap();
+    db
+}
+
+/// Run the sweep. `price_cutoffs` control selectivity (prices are uniform
+/// in [5, 500], so cutoff / 495 approximates selectivity).
+pub fn run(db: &Database, price_cutoffs: &[f64], queries: usize, k: usize, seed: u64) -> Vec<E3Row> {
+    let dim = 8;
+    let qs = generate_queries(queries, dim, 0.0, k, seed);
+    let total = db.row_count("products").unwrap() as f64;
+    price_cutoffs
+        .iter()
+        .map(|&cutoff| {
+            let mut unified_s = 0.0;
+            let mut bolton_s = 0.0;
+            let mut uc = 0.0;
+            let mut bc = 0.0;
+            let mut brt = 0.0;
+            let mut overlap = 0.0;
+            for q in &qs {
+                let spec = HybridSpec {
+                    table: "products".into(),
+                    filter: Some(col("price").lt(lit(cutoff))),
+                    keyword: Some(q.keyword.clone()),
+                    vector: Some(q.embedding.clone()),
+                    k,
+                    weights: FusionWeights::default(),
+                };
+                let ((hits_u, cost_u), su) = time(|| unified_search(db, &spec).expect("unified"));
+                let ((hits_b, cost_b), sb) = time(|| bolton_search(db, &spec).expect("bolton"));
+                unified_s += su;
+                bolton_s += sb;
+                uc += cost_u.candidates_fetched as f64;
+                bc += cost_b.candidates_fetched as f64;
+                brt += cost_b.round_trips as f64;
+                let set_u: std::collections::BTreeSet<u64> = hits_u.iter().map(|h| h.row).collect();
+                let set_b: std::collections::BTreeSet<u64> = hits_b.iter().map(|h| h.row).collect();
+                let denom = set_u.len().max(set_b.len()).max(1) as f64;
+                overlap += set_u.intersection(&set_b).count() as f64 / denom;
+            }
+            let n = qs.len() as f64;
+            E3Row {
+                selectivity: (cutoff - 5.0).max(0.0) / 495.0 * total / total,
+                unified_s: unified_s / n,
+                bolton_s: bolton_s / n,
+                unified_candidates: uc / n,
+                bolton_candidates: bc / n,
+                bolton_round_trips: brt / n,
+                overlap: overlap / n,
+            }
+        })
+        .collect()
+}
+
+/// Network model for the deployed comparison: the unified engine is one
+/// service; the bolt-on talks to three over a network.
+pub const RTT_MS: f64 = 1.0;
+/// Per-candidate serialization/transfer cost in microseconds.
+pub const PER_CANDIDATE_US: f64 = 2.0;
+
+/// End-to-end latency under the network model.
+pub fn modeled_ms(cpu_s: f64, candidates: f64, round_trips: f64) -> f64 {
+    cpu_s * 1000.0 + round_trips * RTT_MS + candidates * PER_CANDIDATE_US / 1000.0
+}
+
+/// Print the experiment's table.
+pub fn report(products: usize, queries: usize, k: usize, seed: u64) -> String {
+    let db = build_db(products, 8, seed, VectorIndexKind::Exact);
+    let cutoffs = [250.0, 50.0, 25.0, 10.0];
+    let rows = run(&db, &cutoffs, queries, k, seed + 1);
+    let mut out = String::new();
+    out.push_str("E3: unified hybrid engine vs bolt-on composition\n");
+    out.push_str("claim: \"solutions are crappy when you combine diverse workloads\"\n");
+    out.push_str(&format!(
+        "(modeled deployment: {RTT_MS} ms RTT per service round trip, {PER_CANDIDATE_US} us per shipped candidate)\n\n"
+    ));
+    out.push_str(&format!(
+        "{:>12} {:>11} {:>11} {:>7} {:>8} {:>14} {:>14}\n",
+        "selectivity", "uni-cands", "bolt-cands", "trips", "overlap", "unified(ms)*", "bolton(ms)*"
+    ));
+    for (r, &cutoff) in rows.iter().zip(&cutoffs) {
+        out.push_str(&format!(
+            "{:>11.1}% {:>11.1} {:>11.1} {:>7.1} {:>8.2} {:>14.2} {:>14.2}\n",
+            (cutoff - 5.0).max(0.0) / 495.0 * 100.0,
+            r.unified_candidates,
+            r.bolton_candidates,
+            r.bolton_round_trips,
+            r.overlap,
+            modeled_ms(r.unified_s, r.unified_candidates, 1.0),
+            modeled_ms(r.bolton_s, r.bolton_candidates, r.bolton_round_trips),
+        ));
+    }
+    out.push_str("* modeled end-to-end latency = measured CPU + network model\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bolton_ships_more_as_selectivity_drops() {
+        let db = build_db(2000, 8, 5, VectorIndexKind::Exact);
+        let rows = run(&db, &[250.0, 10.0], 10, 5, 6);
+        assert_eq!(rows.len(), 2);
+        // At every selectivity the bolt-on ships more candidates.
+        for r in &rows {
+            assert!(r.bolton_candidates > r.unified_candidates, "{r:?}");
+        }
+        // And more at the tighter filter than the looser one.
+        assert!(rows[1].bolton_candidates >= rows[0].bolton_candidates * 0.8);
+    }
+}

@@ -1,0 +1,156 @@
+//! E9 (ablation) — the recall/latency trade of the approximate vector
+//! indexes, ann-benchmarks style.
+//!
+//! Not a paper claim but a design-choice ablation from DESIGN.md: the
+//! hybrid engine lets the planner swap exact, IVF, and HNSW indexes
+//! (physical independence), so this sweep records what each choice costs in
+//! recall and buys in latency.
+
+use crate::time;
+use backbone_vector::hnsw::HnswParams;
+use backbone_vector::ivf::IvfParams;
+use backbone_vector::recall::recall_at_k;
+use backbone_vector::{Dataset, ExactIndex, HnswIndex, IvfIndex, Metric, VectorIndex};
+use rand::prelude::*;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct E9Row {
+    /// Index + parameter label.
+    pub config: String,
+    /// Mean recall@10 against brute force.
+    pub recall: f64,
+    /// Mean query latency in microseconds.
+    pub query_us: f64,
+    /// Speedup over the exact scan.
+    pub speedup: f64,
+}
+
+fn random_dataset(n: usize, dim: usize, seed: u64) -> (Dataset, Vec<Vec<f32>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Dataset::new(dim);
+    // Mixture of 32 Gaussian-ish clusters, like real embedding spaces.
+    let centers: Vec<Vec<f32>> = (0..32)
+        .map(|_| (0..dim).map(|_| rng.gen::<f32>() * 10.0).collect())
+        .collect();
+    for i in 0..n {
+        let c = &centers[i % centers.len()];
+        let v: Vec<f32> = c.iter().map(|x| x + rng.gen::<f32>()).collect();
+        d.push(i as u64, &v);
+    }
+    let queries: Vec<Vec<f32>> = (0..50)
+        .map(|i| {
+            let c = &centers[(i * 7) % centers.len()];
+            c.iter().map(|x| x + rng.gen::<f32>()).collect()
+        })
+        .collect();
+    (d, queries)
+}
+
+fn measure(index: &dyn VectorIndex, exact: &ExactIndex, queries: &[Vec<f32>], k: usize) -> (f64, f64) {
+    let recall = recall_at_k(index, exact, queries, k);
+    let (_, secs) = time(|| {
+        for q in queries {
+            std::hint::black_box(index.search(q, k));
+        }
+    });
+    (recall, secs / queries.len() as f64 * 1e6)
+}
+
+/// Run the sweep over `n` vectors of dimension `dim`.
+pub fn run(n: usize, dim: usize, seed: u64) -> Vec<E9Row> {
+    let (data, queries) = random_dataset(n, dim, seed);
+    let exact = ExactIndex::from_dataset(data.clone(), Metric::L2);
+    let k = 10;
+    let mut rows = Vec::new();
+
+    let (_, exact_us) = {
+        let (r, us) = measure(&exact, &exact, &queries, k);
+        rows.push(E9Row {
+            config: "exact".into(),
+            recall: r,
+            query_us: us,
+            speedup: 1.0,
+        });
+        (r, us)
+    };
+
+    for nprobe in [1usize, 4, 16] {
+        let ix = IvfIndex::build(
+            data.clone(),
+            Metric::L2,
+            IvfParams {
+                nlist: 64,
+                nprobe,
+                train_iters: 8,
+                seed,
+            },
+        );
+        let (r, us) = measure(&ix, &exact, &queries, k);
+        rows.push(E9Row {
+            config: format!("ivf(nprobe={nprobe})"),
+            recall: r,
+            query_us: us,
+            speedup: exact_us / us.max(1e-9),
+        });
+    }
+
+    for ef in [16usize, 64, 200] {
+        let ix = HnswIndex::build(
+            data.clone(),
+            Metric::L2,
+            HnswParams {
+                ef_search: ef,
+                ..Default::default()
+            },
+        );
+        let (r, us) = measure(&ix, &exact, &queries, k);
+        rows.push(E9Row {
+            config: format!("hnsw(ef={ef})"),
+            recall: r,
+            query_us: us,
+            speedup: exact_us / us.max(1e-9),
+        });
+    }
+    rows
+}
+
+/// Print the sweep table.
+pub fn report(n: usize, seed: u64) -> String {
+    let rows = run(n, 32, seed);
+    let mut out = String::new();
+    out.push_str("E9 (ablation): approximate vector index recall/latency trade\n\n");
+    out.push_str(&format!(
+        "{:>18} {:>10} {:>12} {:>9}\n",
+        "index", "recall@10", "query(us)", "speedup"
+    ));
+    for r in &rows {
+        out.push_str(&format!(
+            "{:>18} {:>9.1}% {:>12.1} {:>8.1}x\n",
+            r.config,
+            r.recall * 100.0,
+            r.query_us,
+            r.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_shapes_hold() {
+        let rows = run(3000, 16, 5);
+        assert_eq!(rows.len(), 7);
+        let exact = &rows[0];
+        assert!((exact.recall - 1.0).abs() < 1e-9);
+        // Wider probes => recall rises monotonically for IVF.
+        let ivf: Vec<&E9Row> = rows.iter().filter(|r| r.config.starts_with("ivf")).collect();
+        assert!(ivf[0].recall <= ivf[2].recall + 1e-9);
+        // Highest-effort HNSW should be near-exact.
+        let hnsw_best = rows.iter().find(|r| r.config == "hnsw(ef=200)").unwrap();
+        assert!(hnsw_best.recall > 0.9, "hnsw ef=200 recall {}", hnsw_best.recall);
+    }
+}

@@ -1,0 +1,332 @@
+//! The `Database` handle: tables, indexes, and query execution.
+
+use crate::hybrid::VectorIndexKind;
+use backbone_query::{ExecOptions, LogicalPlan, MemCatalog, QueryError};
+use backbone_storage::{RecordBatch, Schema, Table, Value};
+use backbone_text::InvertedIndex;
+use backbone_vector::{Dataset, ExactIndex, HnswIndex, IvfIndex, Metric, VectorIndex};
+use backbone_vector::hnsw::HnswParams;
+use backbone_vector::ivf::IvfParams;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An embedded multi-workload database.
+///
+/// Rows are addressed by ordinal (0-based insertion order); text and vector
+/// indexes use the same ordinals as document/vector ids, which is what lets
+/// the hybrid engine intersect the three worlds without any id mapping.
+pub struct Database {
+    tables: RwLock<HashMap<String, Table>>,
+    catalog: MemCatalog,
+    text_indexes: RwLock<HashMap<String, Arc<InvertedIndex>>>,
+    vector_indexes: RwLock<HashMap<String, Arc<dyn VectorIndex>>>,
+    exec: ExecOptions,
+}
+
+impl Database {
+    /// An empty database with default execution options.
+    pub fn new() -> Database {
+        Database::with_options(ExecOptions::default())
+    }
+
+    /// An empty database with custom execution options (parallelism,
+    /// optimizer rules).
+    pub fn with_options(exec: ExecOptions) -> Database {
+        Database {
+            tables: RwLock::new(HashMap::new()),
+            catalog: MemCatalog::new(),
+            text_indexes: RwLock::new(HashMap::new()),
+            vector_indexes: RwLock::new(HashMap::new()),
+            exec,
+        }
+    }
+
+    /// Create an empty table.
+    pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<(), QueryError> {
+        let name = name.into();
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(QueryError::InvalidPlan(format!("table '{name}' already exists")));
+        }
+        let table = Table::new(schema);
+        self.catalog.register(&name, table.clone());
+        tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Register a pre-built table (e.g. from a workload generator).
+    pub fn register_table(&self, name: impl Into<String>, mut table: Table) -> Result<(), QueryError> {
+        let name = name.into();
+        table.flush()?;
+        self.catalog.register(&name, table.clone());
+        self.tables.write().insert(name, table);
+        Ok(())
+    }
+
+    /// Append rows to a table. The catalog snapshot is refreshed so
+    /// subsequent queries see the rows (row groups are shared, not copied).
+    pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<(), QueryError> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::TableNotFound(name.to_string()))?;
+        for row in rows {
+            table.append_row(row)?;
+        }
+        self.catalog.register(name, table.clone());
+        Ok(())
+    }
+
+    /// Start a declarative query against a table.
+    pub fn query(&self, table: &str) -> Result<LogicalPlan, QueryError> {
+        LogicalPlan::scan(table, &self.catalog)
+    }
+
+    /// Execute a plan to a single result batch.
+    pub fn execute(&self, plan: LogicalPlan) -> Result<RecordBatch, QueryError> {
+        backbone_query::execute(plan, &self.catalog, &self.exec)
+    }
+
+    /// Parse and execute a SQL `SELECT` statement.
+    ///
+    /// SQL and the builder API lower into the same logical algebra, so they
+    /// optimize and execute identically.
+    pub fn sql(&self, query: &str) -> Result<RecordBatch, QueryError> {
+        let plan = backbone_query::parse_select(query, &self.catalog)?;
+        self.execute(plan)
+    }
+
+    /// Execute with explicit options (e.g. parallel scans, optimizer off).
+    pub fn execute_with(&self, plan: LogicalPlan, opts: &ExecOptions) -> Result<RecordBatch, QueryError> {
+        backbone_query::execute(plan, &self.catalog, opts)
+    }
+
+    /// EXPLAIN a plan: logical and optimized forms with estimates.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, QueryError> {
+        backbone_query::executor::explain(plan, &self.catalog, &self.exec)
+    }
+
+    /// The underlying catalog (for the query layer's free functions).
+    pub fn catalog(&self) -> &MemCatalog {
+        &self.catalog
+    }
+
+    /// Number of rows currently in a table.
+    pub fn row_count(&self, table: &str) -> Option<usize> {
+        self.tables.read().get(table).map(|t| t.num_rows())
+    }
+
+    /// Build a full-text index over a UTF-8 column. Document ids are row
+    /// ordinals.
+    pub fn create_text_index(&self, table: &str, column: &str) -> Result<(), QueryError> {
+        let snapshot = {
+            let mut tables = self.tables.write();
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+            t.flush()?;
+            t.clone()
+        };
+        let batch = snapshot.to_batch()?;
+        let col = batch.column_by_name(column)?;
+        let texts = col.utf8_data()?;
+        let mut index = InvertedIndex::new();
+        for (i, text) in texts.iter().enumerate() {
+            index.add_document(i as u64, text);
+        }
+        self.text_indexes
+            .write()
+            .insert(table.to_string(), Arc::new(index));
+        Ok(())
+    }
+
+    /// Build a full-text index for `table` from external documents (one per
+    /// row ordinal) — for text that lives outside the relational schema,
+    /// e.g. long descriptions kept in an object store.
+    pub fn create_text_index_from<'a>(&self, table: &str, texts: impl Iterator<Item = &'a str>) {
+        let mut index = InvertedIndex::new();
+        for (i, text) in texts.enumerate() {
+            index.add_document(i as u64, text);
+        }
+        self.text_indexes
+            .write()
+            .insert(table.to_string(), Arc::new(index));
+    }
+
+    /// Attach embedding vectors to a table's rows (slot i = row ordinal i)
+    /// and build a vector index of the requested kind.
+    pub fn create_vector_index(
+        &self,
+        table: &str,
+        vectors: Dataset,
+        metric: Metric,
+        kind: VectorIndexKind,
+    ) -> Result<(), QueryError> {
+        let rows = self
+            .row_count(table)
+            .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+        if vectors.len() != rows {
+            return Err(QueryError::InvalidPlan(format!(
+                "vector count {} does not match table rows {rows}",
+                vectors.len()
+            )));
+        }
+        let index: Arc<dyn VectorIndex> = match kind {
+            VectorIndexKind::Exact => Arc::new(ExactIndex::from_dataset(vectors, metric)),
+            VectorIndexKind::Ivf => Arc::new(IvfIndex::build(vectors, metric, IvfParams::default())),
+            VectorIndexKind::Hnsw => {
+                Arc::new(HnswIndex::build(vectors, metric, HnswParams::default()))
+            }
+        };
+        self.vector_indexes.write().insert(table.to_string(), index);
+        Ok(())
+    }
+
+    /// The text index of a table, if built.
+    pub fn text_index(&self, table: &str) -> Option<Arc<InvertedIndex>> {
+        self.text_indexes.read().get(table).cloned()
+    }
+
+    /// The vector index of a table, if built.
+    pub fn vector_index(&self, table: &str) -> Option<Arc<dyn VectorIndex>> {
+        self.vector_indexes.read().get(table).cloned()
+    }
+
+    /// Evaluate a predicate over a table into a row mask, one row group at
+    /// a time — no whole-table materialization.
+    pub fn eval_mask(&self, table: &str, predicate: &backbone_query::Expr) -> Result<Vec<bool>, QueryError> {
+        let snapshot = {
+            let mut tables = self.tables.write();
+            let t = tables
+                .get_mut(table)
+                .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+            t.flush()?;
+            t.clone()
+        };
+        let mut mask = Vec::with_capacity(snapshot.num_rows());
+        for group in snapshot.groups() {
+            mask.extend(backbone_query::eval::eval_predicate(predicate, group.batch())?);
+        }
+        Ok(mask)
+    }
+
+    /// Materialize a whole table (row ordinals = batch positions).
+    pub fn table_batch(&self, table: &str) -> Result<RecordBatch, QueryError> {
+        let tables = self.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+        Ok(t.to_batch()?)
+    }
+
+    /// Names of registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.catalog.table_names()
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_query::{col, lit};
+    use backbone_storage::{DataType, Field};
+
+    fn db_with_table() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("txt", DataType::Utf8),
+            ]),
+        )
+        .unwrap();
+        db.insert(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::str("red fox")],
+                vec![Value::Int(2), Value::str("blue whale")],
+                vec![Value::Int(3), Value::str("red panda")],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let db = db_with_table();
+        let out = db
+            .execute(db.query("t").unwrap().filter(col("id").gt(lit(1i64))))
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = db_with_table();
+        assert!(db
+            .create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .is_err());
+    }
+
+    #[test]
+    fn insert_into_missing_table() {
+        let db = Database::new();
+        assert!(matches!(
+            db.insert("ghost", vec![]),
+            Err(QueryError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn inserts_visible_incrementally() {
+        let db = db_with_table();
+        db.insert("t", vec![vec![Value::Int(4), Value::str("green newt")]]).unwrap();
+        let out = db.execute(db.query("t").unwrap()).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(db.row_count("t"), Some(4));
+    }
+
+    #[test]
+    fn text_index_over_rows() {
+        let db = db_with_table();
+        db.create_text_index("t", "txt").unwrap();
+        let ix = db.text_index("t").unwrap();
+        assert_eq!(ix.num_docs(), 3);
+        assert_eq!(ix.doc_freq("red"), 2);
+    }
+
+    #[test]
+    fn vector_index_requires_matching_rows() {
+        let db = db_with_table();
+        let mut ds = Dataset::new(2);
+        ds.push(0, &[0.0, 0.0]);
+        assert!(db
+            .create_vector_index("t", ds, Metric::L2, VectorIndexKind::Exact)
+            .is_err());
+        let mut ds = Dataset::new(2);
+        for i in 0..3 {
+            ds.push(i, &[i as f32, 0.0]);
+        }
+        db.create_vector_index("t", ds, Metric::L2, VectorIndexKind::Exact)
+            .unwrap();
+        let ix = db.vector_index("t").unwrap();
+        assert_eq!(ix.search(&[2.1, 0.0], 1)[0].id, 2);
+    }
+
+    #[test]
+    fn explain_works_through_db() {
+        let db = db_with_table();
+        let plan = db.query("t").unwrap().filter(col("id").eq(lit(2i64)));
+        let text = db.explain(&plan).unwrap();
+        assert!(text.contains("Optimized plan"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Hybrid search: the unified engine vs the bolt-on composition (E3).
+//!
+//! The panel's claim: *"solutions are crappy when you combine diverse
+//! workloads like vectors, keywords, and relational queries in commercial
+//! systems."* The two functions here make the comparison concrete:
+//!
+//! - [`unified_search`] is `backbone`'s way: one engine evaluates the
+//!   relational predicate once into a row mask, pushes it into the vector
+//!   index, restricts BM25 to it, and fuses — one logical round trip.
+//! - [`bolton_search`] is the architecture the quote complains about: three
+//!   independent services (vector store, text search, RDBMS) queried
+//!   separately and glued at the client. The relational service must ship
+//!   its whole qualifying id set, the other two over-fetch blindly, and the
+//!   client retries with bigger fetches until enough survivors intersect.
+//!
+//! Both compute the same fusion score, so differences in cost and recall are
+//! purely architectural.
+
+use crate::database::Database;
+
+use backbone_query::{Expr, QueryError};
+use backbone_text::bm25::{rank_terms, rank_terms_filtered, Bm25Params};
+use backbone_text::tokenize::tokenize;
+use std::collections::HashMap;
+
+/// Which vector index implementation a table uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VectorIndexKind {
+    /// Brute-force exact scan.
+    Exact,
+    /// IVF-Flat.
+    Ivf,
+    /// HNSW graph.
+    Hnsw,
+}
+
+/// Relative weight of the two relevance components.
+#[derive(Debug, Clone, Copy)]
+pub struct FusionWeights {
+    /// Weight of vector similarity.
+    pub vector: f64,
+    /// Weight of BM25 text relevance.
+    pub text: f64,
+}
+
+impl Default for FusionWeights {
+    fn default() -> Self {
+        FusionWeights {
+            vector: 1.0,
+            text: 1.0,
+        }
+    }
+}
+
+/// A hybrid query specification.
+#[derive(Debug, Clone)]
+pub struct HybridSpec {
+    /// Table to search.
+    pub table: String,
+    /// Optional relational predicate.
+    pub filter: Option<Expr>,
+    /// Optional keyword query (BM25).
+    pub keyword: Option<String>,
+    /// Optional query embedding.
+    pub vector: Option<Vec<f32>>,
+    /// Result size.
+    pub k: usize,
+    /// Fusion weights.
+    pub weights: FusionWeights,
+}
+
+/// One hybrid result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridHit {
+    /// Row ordinal in the table.
+    pub row: u64,
+    /// Fused score (higher is better).
+    pub score: f64,
+    /// Vector distance, when the row was seen by the vector component.
+    pub vector_distance: Option<f32>,
+    /// BM25 score, when the row matched the keyword query.
+    pub text_score: Option<f64>,
+}
+
+/// Accounting of what a search cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchCost {
+    /// Candidate rows shipped between components (the bolt-on tax).
+    pub candidates_fetched: usize,
+    /// Logical round trips between client and services.
+    pub round_trips: usize,
+}
+
+/// Convert a distance to a similarity in (0, 1].
+fn similarity(distance: f32) -> f64 {
+    1.0 / (1.0 + distance.max(0.0) as f64)
+}
+
+fn fuse(
+    weights: &FusionWeights,
+    vector_distance: Option<f32>,
+    text_score: Option<f64>,
+) -> f64 {
+    let v = vector_distance.map(similarity).unwrap_or(0.0);
+    let t = text_score.unwrap_or(0.0);
+    weights.vector * v + weights.text * t
+}
+
+fn evaluate_filter(db: &Database, spec: &HybridSpec) -> Result<Option<Vec<bool>>, QueryError> {
+    match &spec.filter {
+        None => Ok(None),
+        Some(f) => Ok(Some(db.eval_mask(&spec.table, f)?)),
+    }
+}
+
+fn rank_and_truncate(
+    mut merged: HashMap<u64, (Option<f32>, Option<f64>)>,
+    weights: &FusionWeights,
+    k: usize,
+) -> Vec<HybridHit> {
+    let mut hits: Vec<HybridHit> = merged
+        .drain()
+        .map(|(row, (vd, ts))| HybridHit {
+            row,
+            score: fuse(weights, vd, ts),
+            vector_distance: vd,
+            text_score: ts,
+        })
+        .collect();
+    hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.row.cmp(&b.row)));
+    hits.truncate(k);
+    hits
+}
+
+/// The unified engine: filter once, push the mask into both relevance
+/// components, fuse in place.
+pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost), QueryError> {
+    let mask = evaluate_filter(db, spec)?;
+    let passes = |row: u64| mask.as_ref().map(|m| m.get(row as usize).copied().unwrap_or(false)).unwrap_or(true);
+
+    let mut merged: HashMap<u64, (Option<f32>, Option<f64>)> = HashMap::new();
+
+    if let Some(qv) = &spec.vector {
+        let index = db
+            .vector_index(&spec.table)
+            .ok_or_else(|| QueryError::InvalidPlan(format!("no vector index on '{}'", spec.table)))?;
+        // The mask is pushed into the index: no candidates leave the engine.
+        let fetch = (spec.k * 4).max(64);
+        let hits = index.search_filtered(qv, fetch, &passes);
+        for h in hits {
+            merged.entry(h.id).or_insert((None, None)).0 = Some(h.distance);
+        }
+    }
+
+    if let Some(kw) = &spec.keyword {
+        let index = db
+            .text_index(&spec.table)
+            .ok_or_else(|| QueryError::InvalidPlan(format!("no text index on '{}'", spec.table)))?;
+        let terms = tokenize(kw);
+        // Push the mask into relevance scoring and keep a bounded candidate
+        // set — the index is co-located, so no over-fetch leaves the engine.
+        let fetch = (spec.k * 4).max(64);
+        let scored = rank_terms_filtered(&index, &terms, fetch, Bm25Params::default(), &passes);
+        for s in scored {
+            merged.entry(s.doc).or_insert((None, None)).1 = Some(s.score);
+        }
+    }
+
+    // Co-location pays: complete missing vector distances for candidates
+    // surfaced only by the keyword side. A remote vector service cannot do
+    // this without another round trip per candidate.
+    if let Some(qv) = &spec.vector {
+        if let Some(index) = db.vector_index(&spec.table) {
+            for (row, (vd, _)) in merged.iter_mut() {
+                if vd.is_none() {
+                    *vd = index.distance_of(qv, *row);
+                }
+            }
+        }
+    }
+
+    // Pure relational query: return the first k masked rows.
+    if spec.vector.is_none() && spec.keyword.is_none() {
+        let rows = db.row_count(&spec.table).unwrap_or(0);
+        for row in 0..rows as u64 {
+            if passes(row) {
+                merged.insert(row, (None, None));
+                if merged.len() >= spec.k {
+                    break;
+                }
+            }
+        }
+    }
+
+    let hits = rank_and_truncate(merged, &spec.weights, spec.k);
+    let cost = SearchCost {
+        candidates_fetched: hits.len(),
+        round_trips: 1,
+    };
+    Ok((hits, cost))
+}
+
+/// The bolt-on composition: three services, client-side glue, over-fetch
+/// and retry.
+pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost), QueryError> {
+    let mask = evaluate_filter(db, spec)?;
+    let total_rows = db.row_count(&spec.table).unwrap_or(0);
+
+    // Service 1 (RDBMS): ships the entire qualifying id list to the client.
+    let filter_ids: Option<Vec<u64>> = mask.as_ref().map(|m| {
+        m.iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i as u64))
+            .collect()
+    });
+    let mut cost = SearchCost {
+        candidates_fetched: filter_ids.as_ref().map(|v| v.len()).unwrap_or(0),
+        round_trips: if filter_ids.is_some() { 1 } else { 0 },
+    };
+    let in_filter = |row: u64| {
+        filter_ids
+            .as_ref()
+            .map(|ids| ids.binary_search(&row).is_ok())
+            .unwrap_or(true)
+    };
+
+    let mut fetch = (spec.k * 4).max(64);
+    loop {
+        let mut merged: HashMap<u64, (Option<f32>, Option<f64>)> = HashMap::new();
+
+        // Service 2 (vector store): blind top-`fetch`, no filter awareness.
+        if let Some(qv) = &spec.vector {
+            let index = db
+                .vector_index(&spec.table)
+                .ok_or_else(|| QueryError::InvalidPlan(format!("no vector index on '{}'", spec.table)))?;
+            let hits = index.search(qv, fetch);
+            cost.candidates_fetched += hits.len();
+            cost.round_trips += 1;
+            for h in hits {
+                merged.entry(h.id).or_insert((None, None)).0 = Some(h.distance);
+            }
+        }
+
+        // Service 3 (text search): blind top-`fetch`.
+        if let Some(kw) = &spec.keyword {
+            let index = db
+                .text_index(&spec.table)
+                .ok_or_else(|| QueryError::InvalidPlan(format!("no text index on '{}'", spec.table)))?;
+            let terms = tokenize(kw);
+            let scored = rank_terms(&index, &terms, fetch, Bm25Params::default());
+            cost.candidates_fetched += scored.len();
+            cost.round_trips += 1;
+            for s in scored {
+                merged.entry(s.doc).or_insert((None, None)).1 = Some(s.score);
+            }
+        }
+
+        // Client-side intersection with the filter list.
+        merged.retain(|row, _| in_filter(*row));
+
+        if spec.vector.is_none() && spec.keyword.is_none() {
+            // Pure relational: the RDBMS result is the answer.
+            for row in filter_ids.clone().unwrap_or_else(|| (0..total_rows as u64).collect()) {
+                merged.insert(row, (None, None));
+                if merged.len() >= spec.k {
+                    break;
+                }
+            }
+        }
+
+        let enough = merged.len() >= spec.k || fetch >= total_rows;
+        if enough {
+            return Ok((rank_and_truncate(merged, &spec.weights, spec.k), cost));
+        }
+        fetch *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_query::{col, lit};
+    use backbone_storage::{DataType, Field, Schema, Value};
+    use backbone_vector::{Dataset, Metric};
+
+    /// 40 rows: even rows tagged "even" with embeddings near [1,0],
+    /// odd rows tagged "odd" near [0,1]; text mentions parity words.
+    fn db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "items",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("parity", DataType::Utf8),
+                Field::new("desc", DataType::Utf8),
+                Field::new("price", DataType::Float64),
+            ]),
+        )
+        .unwrap();
+        let mut rows = Vec::new();
+        for i in 0..40i64 {
+            let parity = if i % 2 == 0 { "even" } else { "odd" };
+            rows.push(vec![
+                Value::Int(i),
+                Value::str(parity),
+                Value::str(format!("item number {i} is {parity} widget")),
+                Value::Float(i as f64),
+            ]);
+        }
+        db.insert("items", rows).unwrap();
+        db.create_text_index("items", "desc").unwrap();
+        let mut ds = Dataset::new(2);
+        for i in 0..40u64 {
+            let v = if i % 2 == 0 {
+                [1.0 + (i as f32) * 0.001, 0.0]
+            } else {
+                [0.0, 1.0 + (i as f32) * 0.001]
+            };
+            ds.push(i, &v);
+        }
+        db.create_vector_index("items", ds, Metric::L2, VectorIndexKind::Exact)
+            .unwrap();
+        db
+    }
+
+    fn spec() -> HybridSpec {
+        HybridSpec {
+            table: "items".into(),
+            filter: Some(col("price").lt(lit(20.0))),
+            keyword: Some("even widget".into()),
+            vector: Some(vec![1.0, 0.0]),
+            k: 5,
+            weights: FusionWeights::default(),
+        }
+    }
+
+    #[test]
+    fn unified_respects_filter() {
+        let db = db();
+        let (hits, cost) = unified_search(&db, &spec()).unwrap();
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!(h.row < 20, "row {} violates price filter", h.row);
+        }
+        assert_eq!(cost.round_trips, 1);
+    }
+
+    #[test]
+    fn unified_prefers_even_near_vector() {
+        let db = db();
+        let (hits, _) = unified_search(&db, &spec()).unwrap();
+        // Query vector [1,0] and keyword "even": even rows win.
+        assert!(hits.iter().all(|h| h.row % 2 == 0), "hits: {hits:?}");
+        assert!(hits[0].score >= hits[4].score);
+    }
+
+    #[test]
+    fn bolton_returns_filtered_results_too() {
+        let db = db();
+        let (hits, cost) = bolton_search(&db, &spec()).unwrap();
+        assert_eq!(hits.len(), 5);
+        for h in &hits {
+            assert!(h.row < 20);
+        }
+        // The bolt-on tax: more rows shipped, more round trips.
+        let (_, unified_cost) = unified_search(&db, &spec()).unwrap();
+        assert!(cost.candidates_fetched > unified_cost.candidates_fetched);
+        assert!(cost.round_trips > unified_cost.round_trips);
+    }
+
+    #[test]
+    fn unified_at_least_as_good_without_filter() {
+        let db = db();
+        let mut s = spec();
+        s.filter = None;
+        let (a, _) = unified_search(&db, &s).unwrap();
+        let (b, _) = bolton_search(&db, &s).unwrap();
+        // Unified completes missing vector distances for keyword-only
+        // candidates, so its fused top-k score dominates the bolt-on's.
+        let score = |v: &[HybridHit]| v.iter().map(|h| h.score).sum::<f64>();
+        assert!(score(&a) >= score(&b) - 1e-9, "{} < {}", score(&a), score(&b));
+        // And every unified hit now carries a vector distance.
+        assert!(a.iter().all(|h| h.vector_distance.is_some()));
+    }
+
+    #[test]
+    fn selective_filter_forces_bolton_refetch() {
+        let db = db();
+        let mut s = spec();
+        // Only rows 0..4 qualify: blind top-20 vector fetches waste most
+        // results and the text list needs growth.
+        s.filter = Some(col("price").lt(lit(4.0)));
+        s.k = 2;
+        let (hits_u, cost_u) = unified_search(&db, &s).unwrap();
+        let (hits_b, cost_b) = bolton_search(&db, &s).unwrap();
+        assert!(!hits_u.is_empty());
+        assert!(!hits_b.is_empty());
+        assert!(hits_u.iter().all(|h| h.row < 4));
+        assert!(hits_b.iter().all(|h| h.row < 4));
+        assert!(
+            cost_b.candidates_fetched >= cost_u.candidates_fetched * 2,
+            "bolt-on should ship much more: {cost_b:?} vs {cost_u:?}"
+        );
+    }
+
+    #[test]
+    fn pure_relational_path() {
+        let db = db();
+        let s = HybridSpec {
+            table: "items".into(),
+            filter: Some(col("parity").eq(lit("odd"))),
+            keyword: None,
+            vector: None,
+            k: 3,
+            weights: FusionWeights::default(),
+        };
+        let (hits, _) = unified_search(&db, &s).unwrap();
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|h| h.row % 2 == 1));
+    }
+
+    #[test]
+    fn vector_only_and_text_only() {
+        let db = db();
+        let mut s = spec();
+        s.filter = None;
+        s.keyword = None;
+        let (hits, _) = unified_search(&db, &s).unwrap();
+        assert!(hits.iter().all(|h| h.vector_distance.is_some()));
+        let mut s2 = spec();
+        s2.filter = None;
+        s2.vector = None;
+        let (hits2, _) = unified_search(&db, &s2).unwrap();
+        assert!(hits2.iter().all(|h| h.text_score.is_some()));
+    }
+
+    #[test]
+    fn missing_index_is_an_error() {
+        let db = Database::new();
+        db.create_table("bare", Schema::new(vec![Field::new("id", DataType::Int64)])).unwrap();
+        db.insert("bare", vec![vec![Value::Int(1)]]).unwrap();
+        let s = HybridSpec {
+            table: "bare".into(),
+            filter: None,
+            keyword: Some("x".into()),
+            vector: None,
+            k: 1,
+            weights: FusionWeights::default(),
+        };
+        assert!(unified_search(&db, &s).is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! # backbone
+//!
+//! A unified embedded data engine executing **relational**, **vector**, and
+//! **keyword** workloads under one declarative API.
+//!
+//! The SIGMOD 2025 panel this library reproduces (*"Where Does Academic
+//! Database Research Go From Here?"*, Wu & Castro Fernandez) is a position
+//! paper: it ships arguments, not code. `backbone` is the executable reading
+//! of those arguments — every quantified claim in the panel text is built
+//! and measured (see DESIGN.md and EXPERIMENTS.md):
+//!
+//! - the community's lasting principles — *declarativeness*,
+//!   *logical/physical independence*, *automatic scalability* — live in
+//!   [`backbone_query`];
+//! - the "data backbone" for mixed workloads ("solutions are crappy when you
+//!   combine diverse workloads like vectors, keywords, and relational
+//!   queries") is [`hybrid`], with the bolt-on composition it replaces as
+//!   the measured baseline;
+//! - substrates: [`backbone_storage`] (columns, compression, buffering),
+//!   [`backbone_vector`], [`backbone_text`], [`backbone_txn`],
+//!   [`backbone_kvcache`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use backbone_core::Database;
+//! use backbone_query::{col, lit, count_star};
+//! use backbone_storage::{DataType, Field, Schema, Value};
+//!
+//! let db = Database::new();
+//! db.create_table(
+//!     "fruit",
+//!     Schema::new(vec![
+//!         Field::new("name", DataType::Utf8),
+//!         Field::new("kg", DataType::Float64),
+//!     ]),
+//! ).unwrap();
+//! db.insert("fruit", vec![
+//!     vec![Value::str("apple"), Value::Float(2.0)],
+//!     vec![Value::str("pear"), Value::Float(0.5)],
+//! ]).unwrap();
+//!
+//! let plan = db.query("fruit").unwrap()
+//!     .filter(col("kg").gt(lit(1.0)))
+//!     .aggregate(vec![], vec![count_star().alias("n")]);
+//! let out = db.execute(plan).unwrap();
+//! assert_eq!(out.row(0)[0], Value::Int(1));
+//! ```
+
+pub mod csv;
+pub mod database;
+pub mod hybrid;
+pub mod topk;
+
+pub use database::Database;
+pub use topk::{ta_search, TaResult};
+pub use hybrid::{
+    bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
+    VectorIndexKind,
+};

@@ -1,0 +1,29 @@
+//! # backbone-kvcache
+//!
+//! An LLM-inference KV-cache simulator driven by database buffer-management
+//! policies — experiment E4.
+//!
+//! The paper (§4.7, Papotti) points at *"the role of the key-value cache of
+//! LLMs and its connection to buffering to reduce inference time and cost"*
+//! as exactly the kind of problem database thinking solves. This crate makes
+//! the connection executable:
+//!
+//! - [`trace`] generates synthetic transformer-serving block-access traces
+//!   (multi-turn sessions, shared system-prompt prefixes, skewed template
+//!   popularity) and classic database traces (loops, scans, skewed point
+//!   reads) in the same format;
+//! - [`sim`] replays any trace through the [`backbone_storage::eviction`]
+//!   policies with an inference cost model (miss = recompute).
+//!
+//! The substitution is documented in DESIGN.md: no production serving
+//! system is available offline, so the trace generator preserves the three
+//! structural properties policies react to — prefix sharing, session
+//! locality, and popularity skew.
+
+pub mod pinning;
+pub mod sim;
+pub mod trace;
+
+pub use pinning::{hottest_keys, PinnedPolicy};
+pub use sim::{evaluate_policies, CostModel, PolicyResult};
+pub use trace::{generate_db_scan_trace, generate_llm_trace, LlmTraceConfig, Trace};

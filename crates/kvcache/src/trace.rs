@@ -1,0 +1,216 @@
+//! Synthetic access traces: LLM serving and database patterns.
+
+use rand::prelude::*;
+
+/// A block-access trace plus provenance.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Block ids in access order.
+    pub accesses: Vec<u64>,
+    /// Number of distinct blocks.
+    pub unique_blocks: usize,
+    /// Human-readable description.
+    pub label: String,
+}
+
+impl Trace {
+    fn from_accesses(accesses: Vec<u64>, label: impl Into<String>) -> Trace {
+        let unique: std::collections::HashSet<u64> = accesses.iter().copied().collect();
+        Trace {
+            unique_blocks: unique.len(),
+            accesses,
+            label: label.into(),
+        }
+    }
+
+    /// Length of the trace.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+}
+
+/// Shape of the synthetic LLM serving workload.
+#[derive(Debug, Clone)]
+pub struct LlmTraceConfig {
+    /// Concurrent chat sessions.
+    pub sessions: usize,
+    /// Conversation turns per session.
+    pub turns_per_session: usize,
+    /// KV blocks of the shared system prompt (same ids for every session
+    /// using the same template — this is what prefix caching exploits).
+    pub shared_prefix_blocks: usize,
+    /// Prompt templates; sessions pick one with Zipf-like skew.
+    pub templates: usize,
+    /// New KV blocks appended per turn (prompt + generated tokens).
+    pub blocks_per_turn: usize,
+    /// Popularity skew of templates in [0, 1).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LlmTraceConfig {
+    fn default() -> Self {
+        LlmTraceConfig {
+            sessions: 64,
+            turns_per_session: 8,
+            shared_prefix_blocks: 16,
+            templates: 8,
+            blocks_per_turn: 4,
+            skew: 0.7,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a transformer-serving KV-block access trace.
+///
+/// Each turn of a session attends over its full context: the template's
+/// shared prefix blocks, all history blocks of the session, and the new
+/// turn's blocks. Sessions are interleaved round-robin with random jitter,
+/// as a batching scheduler would.
+pub fn generate_llm_trace(config: &LlmTraceConfig) -> Trace {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Assign each session a template by skewed popularity.
+    let template_of: Vec<usize> = (0..config.sessions)
+        .map(|_| {
+            let u: f64 = rng.gen();
+            let exp = 1.0 + config.skew * 8.0;
+            ((u.powf(exp)) * config.templates as f64) as usize % config.templates.max(1)
+        })
+        .collect();
+
+    // Block id layout: template prefixes first, then per-session blocks.
+    let prefix_base = |template: usize| (template * config.shared_prefix_blocks) as u64;
+    let session_base = (config.templates * config.shared_prefix_blocks) as u64;
+    let per_session = (config.turns_per_session * config.blocks_per_turn) as u64;
+
+    // Interleave sessions turn by turn with shuffled order per round.
+    let mut accesses = Vec::new();
+    let mut order: Vec<usize> = (0..config.sessions).collect();
+    for turn in 0..config.turns_per_session {
+        order.shuffle(&mut rng);
+        for &s in &order {
+            let template = template_of[s];
+            // Attend over the shared prefix...
+            for b in 0..config.shared_prefix_blocks {
+                accesses.push(prefix_base(template) + b as u64);
+            }
+            // ...the session history...
+            let s_base = session_base + s as u64 * per_session;
+            for b in 0..(turn * config.blocks_per_turn) {
+                accesses.push(s_base + b as u64);
+            }
+            // ...and the new turn's blocks (written then re-read).
+            for b in 0..config.blocks_per_turn {
+                accesses.push(s_base + (turn * config.blocks_per_turn + b) as u64);
+            }
+        }
+    }
+    Trace::from_accesses(
+        accesses,
+        format!(
+            "llm: {} sessions x {} turns, {} templates, prefix {} blocks",
+            config.sessions, config.turns_per_session, config.templates, config.shared_prefix_blocks
+        ),
+    )
+}
+
+/// Generate a database-style trace: `loops` sequential scans over
+/// `scan_blocks` pages interleaved with skewed point reads over a hot set —
+/// the scan-pollution pattern LRU famously fails on and LRU-K/2Q were
+/// designed for.
+pub fn generate_db_scan_trace(
+    scan_blocks: usize,
+    hot_blocks: usize,
+    loops: usize,
+    point_reads_per_loop: usize,
+    seed: u64,
+) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot_base = scan_blocks as u64;
+    let mut accesses = Vec::new();
+    for _ in 0..loops {
+        // Point reads against the hot set (index root/inner pages).
+        for _ in 0..point_reads_per_loop {
+            let u: f64 = rng.gen();
+            let k = ((u * u) * hot_blocks as f64) as u64 % hot_blocks.max(1) as u64;
+            accesses.push(hot_base + k);
+        }
+        // One full sequential scan.
+        for b in 0..scan_blocks {
+            accesses.push(b as u64);
+        }
+    }
+    Trace::from_accesses(
+        accesses,
+        format!("db: {loops} scans of {scan_blocks} blocks + {point_reads_per_loop} point reads/loop over {hot_blocks} hot"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_trace_is_deterministic() {
+        let c = LlmTraceConfig::default();
+        let a = generate_llm_trace(&c);
+        let b = generate_llm_trace(&c);
+        assert_eq!(a.accesses, b.accesses);
+    }
+
+    #[test]
+    fn llm_trace_shares_prefix_blocks() {
+        let c = LlmTraceConfig {
+            sessions: 10,
+            templates: 1,
+            ..Default::default()
+        };
+        let t = generate_llm_trace(&c);
+        // With one template, prefix blocks 0..16 are hit by every session
+        // every turn: they must dominate the frequency distribution.
+        let prefix_hits = t.accesses.iter().filter(|&&b| b < 16).count();
+        let expected_min = 10 * c.turns_per_session * c.shared_prefix_blocks;
+        assert_eq!(prefix_hits, expected_min);
+    }
+
+    #[test]
+    fn llm_context_grows_per_turn() {
+        let c = LlmTraceConfig {
+            sessions: 1,
+            turns_per_session: 3,
+            shared_prefix_blocks: 2,
+            templates: 1,
+            blocks_per_turn: 2,
+            skew: 0.0,
+            seed: 1,
+        };
+        let t = generate_llm_trace(&c);
+        // Turn t accesses prefix(2) + history(2t) + new(2) blocks.
+        let expected: usize = (0..3).map(|t| 2 + 2 * t + 2).sum();
+        assert_eq!(t.len(), expected);
+    }
+
+    #[test]
+    fn db_trace_contains_full_scans() {
+        let t = generate_db_scan_trace(50, 5, 3, 10, 7);
+        assert_eq!(t.len(), 3 * (50 + 10));
+        // Unique blocks: 50 scanned + up to 5 hot.
+        assert!(t.unique_blocks >= 50 && t.unique_blocks <= 55);
+    }
+
+    #[test]
+    fn trace_metadata() {
+        let t = Trace::from_accesses(vec![1, 1, 2], "x");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.unique_blocks, 2);
+        assert!(!t.is_empty());
+    }
+}

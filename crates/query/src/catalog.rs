@@ -1,0 +1,134 @@
+//! Table catalogs: how plans resolve names to physical tables.
+
+use crate::stats::{analyze_table, ColumnStats};
+use backbone_storage::Table;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Resolves table names for planning and execution.
+pub trait Catalog: Send + Sync {
+    /// Look up a table by name.
+    fn table(&self, name: &str) -> Option<Arc<Table>>;
+
+    /// Estimated row count for a table (used by the cost model). The default
+    /// consults the table itself.
+    fn row_count(&self, name: &str) -> Option<usize> {
+        self.table(name).map(|t| t.num_rows())
+    }
+
+    /// `ANALYZE`-style statistics for a column, if the catalog maintains
+    /// them. The default maintains none; [`MemCatalog`] computes lazily.
+    fn column_stats(&self, _table: &str, _column: &str) -> Option<ColumnStats> {
+        None
+    }
+}
+
+/// A simple in-memory catalog.
+#[derive(Default)]
+pub struct MemCatalog {
+    tables: RwLock<HashMap<String, Arc<Table>>>,
+    /// Lazily computed per-table column statistics, invalidated on register.
+    stats: RwLock<HashMap<String, Arc<Vec<ColumnStats>>>>,
+}
+
+impl MemCatalog {
+    /// An empty catalog.
+    pub fn new() -> MemCatalog {
+        MemCatalog::default()
+    }
+
+    /// Register (or replace) a table. The table is flushed first so scans see
+    /// every appended row.
+    pub fn register(&self, name: impl Into<String>, mut table: Table) {
+        table.flush().expect("flush of consistent table cannot fail");
+        let name = name.into();
+        self.stats.write().remove(&name);
+        self.tables.write().insert(name, Arc::new(table));
+    }
+
+    /// Register a pre-shared table handle.
+    pub fn register_arc(&self, name: impl Into<String>, table: Arc<Table>) {
+        let name = name.into();
+        self.stats.write().remove(&name);
+        self.tables.write().insert(name, table);
+    }
+
+    /// All column statistics of a table, computing and caching on first use.
+    pub fn table_stats(&self, name: &str) -> Option<Arc<Vec<ColumnStats>>> {
+        if let Some(cached) = self.stats.read().get(name) {
+            return Some(cached.clone());
+        }
+        let table = self.table(name)?;
+        let computed = Arc::new(analyze_table(&table));
+        self.stats.write().insert(name.to_string(), computed.clone());
+        Some(computed)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Remove a table, returning whether it existed.
+    pub fn deregister(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+}
+
+impl Catalog for MemCatalog {
+    fn table(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(name).cloned()
+    }
+
+    fn column_stats(&self, table: &str, column: &str) -> Option<ColumnStats> {
+        let idx = self.table(table)?.schema().index_of(column).ok()?;
+        self.table_stats(table)?.get(idx).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_storage::{DataType, Field, Schema, Value};
+
+    fn make_table(rows: usize) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            t.append_row(vec![Value::Int(i as i64)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn register_and_resolve() {
+        let cat = MemCatalog::new();
+        cat.register("t", make_table(5));
+        assert!(cat.table("t").is_some());
+        assert!(cat.table("missing").is_none());
+        assert_eq!(cat.row_count("t"), Some(5));
+    }
+
+    #[test]
+    fn register_flushes_pending_rows() {
+        let cat = MemCatalog::new();
+        cat.register("t", make_table(3));
+        let t = cat.table("t").unwrap();
+        // All rows must be visible through sealed groups.
+        let total: usize = t.groups().map(|g| g.num_rows()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn names_and_deregister() {
+        let cat = MemCatalog::new();
+        cat.register("b", make_table(1));
+        cat.register("a", make_table(1));
+        assert_eq!(cat.table_names(), vec!["a", "b"]);
+        assert!(cat.deregister("a"));
+        assert!(!cat.deregister("a"));
+    }
+}

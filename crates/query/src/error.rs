@@ -1,0 +1,49 @@
+//! Error types for the query layer.
+
+use backbone_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while planning or executing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An error bubbling up from the storage layer.
+    Storage(StorageError),
+    /// A table name that the catalog cannot resolve.
+    TableNotFound(String),
+    /// An expression that cannot be typed or evaluated.
+    InvalidExpression(String),
+    /// A plan shape the planner cannot lower.
+    InvalidPlan(String),
+    /// Division by zero or a similar runtime arithmetic fault.
+    Arithmetic(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::TableNotFound(t) => write!(f, "table not found: {t}"),
+            QueryError::InvalidExpression(msg) => write!(f, "invalid expression: {msg}"),
+            QueryError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            QueryError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Convenience alias used across the query crate.
+pub type Result<T> = std::result::Result<T, QueryError>;

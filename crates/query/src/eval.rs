@@ -1,0 +1,573 @@
+//! Vectorized expression evaluation over record batches.
+
+use crate::error::{QueryError, Result};
+use crate::expr::{BinOp, Expr, UnOp};
+use backbone_storage::{Bitmap, Column, RecordBatch, Value};
+
+/// Evaluate an expression against a batch, producing one column of the
+/// batch's row count.
+pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
+    match expr {
+        Expr::Column(name) => {
+            let col = batch
+                .column_by_name(name)
+                .map_err(|_| QueryError::InvalidExpression(format!("unknown column '{name}'")))?;
+            Ok(col.as_ref().clone())
+        }
+        Expr::Literal(v) => broadcast(v, batch.num_rows()),
+        Expr::Alias(inner, _) => eval(inner, batch),
+        Expr::Unary { op, expr } => {
+            let input = eval(expr, batch)?;
+            eval_unary(*op, &input)
+        }
+        Expr::Binary { left, op, right } => {
+            let l = eval(left, batch)?;
+            let r = eval(right, batch)?;
+            eval_binary(&l, *op, &r)
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let input = eval(expr, batch)?;
+            eval_like(&input, pattern, *negated)
+        }
+    }
+}
+
+/// SQL LIKE: `%` matches any run (including empty), `_` exactly one char.
+/// NULL inputs yield NULL (excluded by predicate semantics).
+fn eval_like(input: &Column, pattern: &str, negated: bool) -> Result<Column> {
+    let (vals, validity) = match input {
+        Column::Utf8(v, b) => (v, b),
+        other => {
+            return Err(QueryError::InvalidExpression(format!(
+                "LIKE over {}",
+                other.data_type()
+            )))
+        }
+    };
+    let pat: Vec<char> = pattern.chars().collect();
+    let n = vals.len();
+    let mut out = vec![false; n];
+    let mut out_validity = Bitmap::all_null(n);
+    for i in 0..n {
+        if validity.get(i) {
+            let m = like_match(&vals[i].chars().collect::<Vec<_>>(), &pat);
+            out[i] = m != negated;
+            out_validity.set(i, true);
+        }
+    }
+    Ok(Column::Bool(out, out_validity))
+}
+
+/// Greedy-with-backtracking wildcard matcher (the classic two-pointer
+/// algorithm; linear in practice).
+fn like_match(text: &[char], pat: &[char]) -> bool {
+    let (mut t, mut p) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pat idx after %, text idx)
+    while t < text.len() {
+        if p < pat.len() && (pat[p] == '_' || pat[p] == text[t]) {
+            t += 1;
+            p += 1;
+        } else if p < pat.len() && pat[p] == '%' {
+            star = Some((p + 1, t));
+            p += 1;
+        } else if let Some((sp, st)) = star {
+            // Backtrack: let the last % absorb one more character.
+            p = sp;
+            t = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while p < pat.len() && pat[p] == '%' {
+        p += 1;
+    }
+    p == pat.len()
+}
+
+/// Evaluate a predicate to a row mask: `true` where the result is TRUE (not
+/// NULL, not FALSE) — SQL `WHERE` semantics.
+pub fn eval_predicate(expr: &Expr, batch: &RecordBatch) -> Result<Vec<bool>> {
+    let col = eval(expr, batch)?;
+    match col {
+        Column::Bool(vals, validity) => Ok(vals
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b && validity.get(i))
+            .collect()),
+        other => Err(QueryError::InvalidExpression(format!(
+            "predicate must be boolean, got {}",
+            other.data_type()
+        ))),
+    }
+}
+
+fn broadcast(v: &Value, n: usize) -> Result<Column> {
+    Ok(match v {
+        Value::Int(x) => Column::Int64(vec![*x; n], Bitmap::all_valid(n)),
+        Value::Float(x) => Column::Float64(vec![*x; n], Bitmap::all_valid(n)),
+        Value::Str(s) => Column::Utf8(vec![s.to_string(); n], Bitmap::all_valid(n)),
+        Value::Bool(b) => Column::Bool(vec![*b; n], Bitmap::all_valid(n)),
+        Value::Null => Column::Int64(vec![0; n], Bitmap::all_null(n)),
+    })
+}
+
+fn eval_unary(op: UnOp, input: &Column) -> Result<Column> {
+    let n = input.len();
+    match op {
+        UnOp::IsNull => {
+            let vals: Vec<bool> = (0..n).map(|i| input.is_null(i)).collect();
+            Ok(Column::Bool(vals, Bitmap::all_valid(n)))
+        }
+        UnOp::IsNotNull => {
+            let vals: Vec<bool> = (0..n).map(|i| !input.is_null(i)).collect();
+            Ok(Column::Bool(vals, Bitmap::all_valid(n)))
+        }
+        UnOp::Not => match input {
+            Column::Bool(vals, validity) => Ok(Column::Bool(
+                vals.iter().map(|b| !b).collect(),
+                validity.clone(),
+            )),
+            other => Err(QueryError::InvalidExpression(format!(
+                "NOT over {}",
+                other.data_type()
+            ))),
+        },
+        UnOp::Neg => match input {
+            Column::Int64(vals, validity) => Ok(Column::Int64(
+                vals.iter().map(|v| v.wrapping_neg()).collect(),
+                validity.clone(),
+            )),
+            Column::Float64(vals, validity) => Ok(Column::Float64(
+                vals.iter().map(|v| -v).collect(),
+                validity.clone(),
+            )),
+            other => Err(QueryError::InvalidExpression(format!(
+                "negation over {}",
+                other.data_type()
+            ))),
+        },
+    }
+}
+
+fn eval_binary(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    if l.len() != r.len() {
+        return Err(QueryError::InvalidExpression(format!(
+            "operand length mismatch: {} vs {}",
+            l.len(),
+            r.len()
+        )));
+    }
+    if op.is_logical() {
+        return eval_logical(l, op, r);
+    }
+    if op.is_comparison() {
+        return eval_comparison(l, op, r);
+    }
+    eval_arithmetic(l, op, r)
+}
+
+/// Three-valued AND/OR per the SQL standard.
+fn eval_logical(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    let (lv, lb) = match l {
+        Column::Bool(v, b) => (v, b),
+        other => {
+            return Err(QueryError::InvalidExpression(format!(
+                "{op} over {}",
+                other.data_type()
+            )))
+        }
+    };
+    let (rv, rb) = match r {
+        Column::Bool(v, b) => (v, b),
+        other => {
+            return Err(QueryError::InvalidExpression(format!(
+                "{op} over {}",
+                other.data_type()
+            )))
+        }
+    };
+    let n = lv.len();
+    let mut vals = vec![false; n];
+    let mut validity = Bitmap::all_null(n);
+    for i in 0..n {
+        let a = lb.get(i).then_some(lv[i]);
+        let b = rb.get(i).then_some(rv[i]);
+        let out = match op {
+            BinOp::And => match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            BinOp::Or => match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+            _ => unreachable!(),
+        };
+        if let Some(v) = out {
+            vals[i] = v;
+            validity.set(i, true);
+        }
+    }
+    Ok(Column::Bool(vals, validity))
+}
+
+fn eval_comparison(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    use std::cmp::Ordering;
+    let n = l.len();
+    let keep = |ord: Ordering| -> bool {
+        match op {
+            BinOp::Eq => ord == Ordering::Equal,
+            BinOp::NotEq => ord != Ordering::Equal,
+            BinOp::Lt => ord == Ordering::Less,
+            BinOp::LtEq => ord != Ordering::Greater,
+            BinOp::Gt => ord == Ordering::Greater,
+            BinOp::GtEq => ord != Ordering::Less,
+            _ => unreachable!(),
+        }
+    };
+
+    let mut vals = vec![false; n];
+    let mut validity = Bitmap::all_null(n);
+
+    // Fast paths for the hot numeric/string cases; generic fallback via Value.
+    match (l, r) {
+        (Column::Int64(lv, lb), Column::Int64(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(lv[i].cmp(&rv[i]));
+                    validity.set(i, true);
+                }
+            }
+        }
+        (Column::Float64(lv, lb), Column::Float64(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    if let Some(ord) = lv[i].partial_cmp(&rv[i]) {
+                        vals[i] = keep(ord);
+                        validity.set(i, true);
+                    }
+                }
+            }
+        }
+        (Column::Int64(lv, lb), Column::Float64(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    if let Some(ord) = (lv[i] as f64).partial_cmp(&rv[i]) {
+                        vals[i] = keep(ord);
+                        validity.set(i, true);
+                    }
+                }
+            }
+        }
+        (Column::Float64(lv, lb), Column::Int64(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    if let Some(ord) = lv[i].partial_cmp(&(rv[i] as f64)) {
+                        vals[i] = keep(ord);
+                        validity.set(i, true);
+                    }
+                }
+            }
+        }
+        (Column::Utf8(lv, lb), Column::Utf8(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(lv[i].cmp(&rv[i]));
+                    validity.set(i, true);
+                }
+            }
+        }
+        (Column::Bool(lv, lb), Column::Bool(rv, rb)) => {
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(lv[i].cmp(&rv[i]));
+                    validity.set(i, true);
+                }
+            }
+        }
+        _ => {
+            return Err(QueryError::InvalidExpression(format!(
+                "cannot compare {} with {}",
+                l.data_type(),
+                r.data_type()
+            )))
+        }
+    }
+    Ok(Column::Bool(vals, validity))
+}
+
+fn eval_arithmetic(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+    let n = l.len();
+    match (l, r) {
+        // Int op Int: stays integer, except Div which widens to float.
+        (Column::Int64(lv, lb), Column::Int64(rv, rb)) if op != BinOp::Div => {
+            let mut vals = vec![0i64; n];
+            let mut validity = Bitmap::all_null(n);
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    let out = match op {
+                        BinOp::Add => lv[i].checked_add(rv[i]),
+                        BinOp::Sub => lv[i].checked_sub(rv[i]),
+                        BinOp::Mul => lv[i].checked_mul(rv[i]),
+                        BinOp::Mod => lv[i].checked_rem(rv[i]),
+                        _ => unreachable!(),
+                    };
+                    match out {
+                        Some(v) => {
+                            vals[i] = v;
+                            validity.set(i, true);
+                        }
+                        None => {
+                            return Err(QueryError::Arithmetic(format!(
+                                "integer overflow or zero modulus in {} {op} {}",
+                                lv[i], rv[i]
+                            )))
+                        }
+                    }
+                }
+            }
+            Ok(Column::Int64(vals, validity))
+        }
+        // Everything else numeric: compute in f64.
+        _ => {
+            let lf = to_f64(l)?;
+            let rf = to_f64(r)?;
+            let (lv, lb) = lf;
+            let (rv, rb) = rf;
+            let mut vals = vec![0f64; n];
+            let mut validity = Bitmap::all_null(n);
+            for i in 0..n {
+                if lb.get(i) && rb.get(i) {
+                    let v = match op {
+                        BinOp::Add => lv[i] + rv[i],
+                        BinOp::Sub => lv[i] - rv[i],
+                        BinOp::Mul => lv[i] * rv[i],
+                        BinOp::Div => {
+                            if rv[i] == 0.0 {
+                                return Err(QueryError::Arithmetic("division by zero".into()));
+                            }
+                            lv[i] / rv[i]
+                        }
+                        BinOp::Mod => {
+                            if rv[i] == 0.0 {
+                                return Err(QueryError::Arithmetic("modulo by zero".into()));
+                            }
+                            lv[i] % rv[i]
+                        }
+                        _ => unreachable!(),
+                    };
+                    vals[i] = v;
+                    validity.set(i, true);
+                }
+            }
+            Ok(Column::Float64(vals, validity))
+        }
+    }
+}
+
+fn to_f64(c: &Column) -> Result<(Vec<f64>, Bitmap)> {
+    match c {
+        Column::Float64(v, b) => Ok((v.clone(), b.clone())),
+        Column::Int64(v, b) => Ok((v.iter().map(|&x| x as f64).collect(), b.clone())),
+        other => Err(QueryError::InvalidExpression(format!(
+            "arithmetic over {}",
+            other.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use backbone_storage::{DataType, Field, Schema};
+    use std::sync::Arc;
+
+    fn batch() -> RecordBatch {
+        let schema = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::nullable("b", DataType::Int64),
+            Field::new("f", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ]);
+        let cols = vec![
+            Arc::new(Column::from_i64(vec![1, 2, 3, 4])),
+            Arc::new(Column::from_opt_i64(vec![Some(10), None, Some(30), None])),
+            Arc::new(Column::from_f64(vec![0.5, 1.5, 2.5, 3.5])),
+            Arc::new(Column::from_strings(vec![
+                "x".into(),
+                "y".into(),
+                "x".into(),
+                "z".into(),
+            ])),
+        ];
+        RecordBatch::try_new(schema, cols).unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let b = batch();
+        let c = eval(&col("a"), &b).unwrap();
+        assert_eq!(c.i64_data().unwrap(), &[1, 2, 3, 4]);
+        let l = eval(&lit(7i64), &b).unwrap();
+        assert_eq!(l.i64_data().unwrap(), &[7, 7, 7, 7]);
+    }
+
+    #[test]
+    fn arithmetic_int() {
+        let b = batch();
+        let c = eval(&col("a").add(lit(10i64)).mul(lit(2i64)), &b).unwrap();
+        assert_eq!(c.i64_data().unwrap(), &[22, 24, 26, 28]);
+    }
+
+    #[test]
+    fn arithmetic_null_propagates() {
+        let b = batch();
+        let c = eval(&col("b").add(lit(1i64)), &b).unwrap();
+        assert_eq!(c.value(0), Value::Int(11));
+        assert!(c.is_null(1));
+        assert!(c.is_null(3));
+    }
+
+    #[test]
+    fn int_division_gives_float() {
+        let b = batch();
+        let c = eval(&col("a").div(lit(2i64)), &b).unwrap();
+        assert_eq!(c.data_type(), DataType::Float64);
+        assert_eq!(c.value(1), Value::Float(1.0));
+        assert_eq!(c.value(2), Value::Float(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let b = batch();
+        assert!(matches!(
+            eval(&col("a").div(lit(0i64)), &b),
+            Err(QueryError::Arithmetic(_))
+        ));
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        let b = batch();
+        let mask = eval_predicate(&col("a").gt(col("f")), &b).unwrap();
+        assert_eq!(mask, vec![true, true, true, true]);
+        let mask = eval_predicate(&col("f").gt(lit(2i64)), &b).unwrap();
+        assert_eq!(mask, vec![false, false, true, true]);
+    }
+
+    #[test]
+    fn string_comparison() {
+        let b = batch();
+        let mask = eval_predicate(&col("s").eq(lit("x")), &b).unwrap();
+        assert_eq!(mask, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn null_comparison_is_not_true() {
+        let b = batch();
+        // b is NULL on rows 1 and 3: comparisons with NULL are never TRUE.
+        let mask = eval_predicate(&col("b").gt_eq(lit(0i64)), &b).unwrap();
+        assert_eq!(mask, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn three_valued_and_or() {
+        let b = batch();
+        // (b > 0) is NULL on rows 1,3. FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+        let and_mask = eval_predicate(&col("a").gt(lit(100i64)).and(col("b").gt(lit(0i64))), &b).unwrap();
+        assert_eq!(and_mask, vec![false; 4]);
+        let or_mask = eval_predicate(&col("a").gt(lit(0i64)).or(col("b").gt(lit(0i64))), &b).unwrap();
+        assert_eq!(or_mask, vec![true; 4]);
+        // NULL AND TRUE = NULL -> not kept by predicate semantics.
+        let m = eval_predicate(&col("b").gt(lit(0i64)).and(col("a").gt(lit(0i64))), &b).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn not_inverts_with_null_passthrough() {
+        let b = batch();
+        let m = eval_predicate(&col("b").gt(lit(0i64)).not(), &b).unwrap();
+        // NOT NULL is still NULL -> excluded.
+        assert_eq!(m, vec![false, false, false, false]);
+    }
+
+    #[test]
+    fn is_null_predicates() {
+        let b = batch();
+        let m = eval_predicate(&col("b").is_null(), &b).unwrap();
+        assert_eq!(m, vec![false, true, false, true]);
+        let m = eval_predicate(&col("b").is_not_null(), &b).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn negation() {
+        let b = batch();
+        let c = eval(&col("a").neg(), &b).unwrap();
+        assert_eq!(c.i64_data().unwrap(), &[-1, -2, -3, -4]);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let b = batch();
+        assert!(eval(&col("nope"), &b).is_err());
+    }
+
+    #[test]
+    fn predicate_must_be_boolean() {
+        let b = batch();
+        assert!(eval_predicate(&col("a"), &b).is_err());
+    }
+
+    #[test]
+    fn like_matching_semantics() {
+        let b = batch();
+        // s = ["x","y","x","z"]
+        let m = eval_predicate(&col("s").like("x"), &b).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+        let m = eval_predicate(&col("s").like("%"), &b).unwrap();
+        assert_eq!(m, vec![true; 4]);
+        let m = eval_predicate(&col("s").not_like("x"), &b).unwrap();
+        assert_eq!(m, vec![false, true, false, true]);
+        assert!(eval(&col("a").like("%"), &b).is_err());
+    }
+
+    #[test]
+    fn like_match_wildcards() {
+        let cases = [
+            ("hello", "h%o", true),
+            ("hello", "h_llo", true),
+            ("hello", "h_lo", false),
+            ("hello", "%ell%", true),
+            ("hello", "", false),
+            ("", "", true),
+            ("", "%", true),
+            ("abc", "a%b%c", true),
+            ("abc", "%a", false),
+            ("aaa", "a%a", true),
+            ("mississippi", "m%iss%pi", true),
+        ];
+        for (text, pat, want) in cases {
+            let t: Vec<char> = text.chars().collect();
+            let p: Vec<char> = pat.chars().collect();
+            assert_eq!(like_match(&t, &p), want, "{text} LIKE {pat}");
+        }
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        let b = batch();
+        assert!(matches!(
+            eval(&col("a").mul(lit(i64::MAX)), &b),
+            Err(QueryError::Arithmetic(_))
+        ));
+    }
+}

@@ -1,0 +1,571 @@
+//! The expression algebra: how callers say *what* they want.
+
+use crate::error::{QueryError, Result};
+use backbone_storage::{DataType, Schema, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// Logical AND (three-valued).
+    And,
+    /// Logical OR (three-valued).
+    Or,
+}
+
+impl BinOp {
+    /// Whether this is a comparison producing a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// Whether this is `AND`/`OR`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+
+    /// Whether this is arithmetic.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical NOT (three-valued).
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// `IS NULL`.
+    IsNull,
+    /// `IS NOT NULL`.
+    IsNotNull,
+}
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference by name.
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Rename the result of an expression.
+    Alias(Box<Expr>, String),
+    /// SQL `LIKE` pattern match (`%` = any run, `_` = any one char).
+    Like {
+        /// The string expression to match.
+        expr: Box<Expr>,
+        /// The pattern.
+        pattern: String,
+        /// `NOT LIKE` when true.
+        negated: bool,
+    },
+}
+
+/// Reference a column by name.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// A literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+macro_rules! binop_method {
+    ($method:ident, $op:expr) => {
+        /// Combine with another expression using this operator.
+        pub fn $method(self, other: Expr) -> Expr {
+            Expr::Binary {
+                left: Box::new(self),
+                op: $op,
+                right: Box::new(other),
+            }
+        }
+    };
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods mirror SQL, not std ops
+impl Expr {
+    binop_method!(add, BinOp::Add);
+    binop_method!(sub, BinOp::Sub);
+    binop_method!(mul, BinOp::Mul);
+    binop_method!(div, BinOp::Div);
+    binop_method!(modulo, BinOp::Mod);
+    binop_method!(eq, BinOp::Eq);
+    binop_method!(not_eq, BinOp::NotEq);
+    binop_method!(lt, BinOp::Lt);
+    binop_method!(lt_eq, BinOp::LtEq);
+    binop_method!(gt, BinOp::Gt);
+    binop_method!(gt_eq, BinOp::GtEq);
+    binop_method!(and, BinOp::And);
+    binop_method!(or, BinOp::Or);
+
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(self),
+        }
+    }
+
+    /// Numeric negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `IS NULL` predicate.
+    pub fn is_null(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::IsNull,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `IS NOT NULL` predicate.
+    pub fn is_not_null(self) -> Expr {
+        Expr::Unary {
+            op: UnOp::IsNotNull,
+            expr: Box::new(self),
+        }
+    }
+
+    /// `low <= self AND self <= high`.
+    pub fn between(self, low: Expr, high: Expr) -> Expr {
+        self.clone().gt_eq(low).and(self.lt_eq(high))
+    }
+
+    /// SQL `LIKE` (`%` matches any run, `_` any single character).
+    pub fn like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: false,
+        }
+    }
+
+    /// SQL `NOT LIKE`.
+    pub fn not_like(self, pattern: impl Into<String>) -> Expr {
+        Expr::Like {
+            expr: Box::new(self),
+            pattern: pattern.into(),
+            negated: true,
+        }
+    }
+
+    /// Rename this expression's output column.
+    pub fn alias(self, name: impl Into<String>) -> Expr {
+        Expr::Alias(Box::new(self), name.into())
+    }
+
+    /// The output column name this expression produces.
+    pub fn output_name(&self) -> String {
+        match self {
+            Expr::Column(n) => n.clone(),
+            Expr::Alias(_, n) => n.clone(),
+            Expr::Literal(v) => v.to_string(),
+            Expr::Binary { left, op, right } => {
+                format!("({} {op} {})", left.output_name(), right.output_name())
+            }
+            Expr::Unary { op, expr } => format!("{op:?}({})", expr.output_name()),
+            Expr::Like { expr, pattern, negated } => format!(
+                "({} {}LIKE '{pattern}')",
+                expr.output_name(),
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+
+    /// All column names this expression references.
+    pub fn referenced_columns(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Column(n) => {
+                out.insert(n.clone());
+            }
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_columns(out),
+            Expr::Alias(expr, _) => expr.collect_columns(out),
+            Expr::Like { expr, .. } => expr.collect_columns(out),
+        }
+    }
+
+    /// Infer the output type against an input schema.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self {
+            Expr::Column(n) => Ok(schema
+                .field_by_name(n)
+                .map_err(|_| QueryError::InvalidExpression(format!("unknown column '{n}'")))?
+                .data_type),
+            Expr::Literal(v) => v.data_type().ok_or_else(|| {
+                QueryError::InvalidExpression("untyped NULL literal; alias it via a typed column".into())
+            }),
+            Expr::Binary { left, op, right } => {
+                if op.is_comparison() || op.is_logical() {
+                    return Ok(DataType::Bool);
+                }
+                let lt = left.data_type(schema)?;
+                let rt = right.data_type(schema)?;
+                match (lt, rt) {
+                    (DataType::Int64, DataType::Int64) => {
+                        // Division always yields float to avoid surprising
+                        // truncation in analytics.
+                        if *op == BinOp::Div {
+                            Ok(DataType::Float64)
+                        } else {
+                            Ok(DataType::Int64)
+                        }
+                    }
+                    (DataType::Int64, DataType::Float64)
+                    | (DataType::Float64, DataType::Int64)
+                    | (DataType::Float64, DataType::Float64) => Ok(DataType::Float64),
+                    (l, r) => Err(QueryError::InvalidExpression(format!(
+                        "cannot apply {op} to {l} and {r}"
+                    ))),
+                }
+            }
+            Expr::Unary { op, expr } => match op {
+                UnOp::Not => Ok(DataType::Bool),
+                UnOp::IsNull | UnOp::IsNotNull => Ok(DataType::Bool),
+                UnOp::Neg => expr.data_type(schema),
+            },
+            Expr::Alias(expr, _) => expr.data_type(schema),
+            Expr::Like { expr, .. } => match expr.data_type(schema)? {
+                DataType::Utf8 => Ok(DataType::Bool),
+                other => Err(QueryError::InvalidExpression(format!("LIKE over {other}"))),
+            },
+        }
+    }
+
+    /// Split a conjunction into its AND-ed parts (`a AND b AND c` → `[a,b,c]`).
+    pub fn split_conjunction(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        self.split_into(&mut out);
+        out
+    }
+
+    fn split_into<'a>(&'a self, out: &mut Vec<&'a Expr>) {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
+                left.split_into(out);
+                right.split_into(out);
+            }
+            other => out.push(other),
+        }
+    }
+
+    /// Re-join predicates with AND. Returns `None` for an empty slice.
+    pub fn conjunction(parts: Vec<Expr>) -> Option<Expr> {
+        parts.into_iter().reduce(|acc, e| acc.and(e))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(n) => write!(f, "{n}"),
+            Expr::Literal(v) => match v {
+                Value::Str(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnOp::Not => write!(f, "NOT {expr}"),
+                UnOp::Neg => write!(f, "-{expr}"),
+                UnOp::IsNull => write!(f, "{expr} IS NULL"),
+                UnOp::IsNotNull => write!(f, "{expr} IS NOT NULL"),
+            },
+            Expr::Alias(expr, name) => write!(f, "{expr} AS {name}"),
+            Expr::Like { expr, pattern, negated } => write!(
+                f,
+                "({expr} {}LIKE '{pattern}')",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-null rows.
+    Count,
+    /// `COUNT(*)` — all rows.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::CountStar => "COUNT(*)",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// An aggregate expression: a function over an input expression, plus an
+/// output name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggExpr {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Input expression (ignored for `COUNT(*)`).
+    pub input: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggExpr {
+    /// Rename the aggregate's output column.
+    pub fn alias(mut self, name: impl Into<String>) -> AggExpr {
+        self.name = name.into();
+        self
+    }
+
+    /// The aggregate's output type against an input schema.
+    pub fn data_type(&self, schema: &Schema) -> Result<DataType> {
+        match self.func {
+            AggFunc::Count | AggFunc::CountStar => Ok(DataType::Int64),
+            AggFunc::Avg => Ok(DataType::Float64),
+            AggFunc::Sum => match self.input.data_type(schema)? {
+                DataType::Int64 => Ok(DataType::Int64),
+                DataType::Float64 => Ok(DataType::Float64),
+                other => Err(QueryError::InvalidExpression(format!("SUM over {other}"))),
+            },
+            AggFunc::Min | AggFunc::Max => self.input.data_type(schema),
+        }
+    }
+}
+
+impl fmt::Display for AggExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            AggFunc::CountStar => write!(f, "COUNT(*) AS {}", self.name),
+            func => write!(f, "{func}({}) AS {}", self.input, self.name),
+        }
+    }
+}
+
+/// `SUM(expr)`.
+pub fn sum(input: Expr) -> AggExpr {
+    let name = format!("sum({})", input.output_name());
+    AggExpr {
+        func: AggFunc::Sum,
+        input,
+        name,
+    }
+}
+
+/// `COUNT(expr)` over non-null rows.
+pub fn count(input: Expr) -> AggExpr {
+    let name = format!("count({})", input.output_name());
+    AggExpr {
+        func: AggFunc::Count,
+        input,
+        name,
+    }
+}
+
+/// `COUNT(*)`.
+pub fn count_star() -> AggExpr {
+    AggExpr {
+        func: AggFunc::CountStar,
+        input: lit(1i64),
+        name: "count(*)".to_string(),
+    }
+}
+
+/// `MIN(expr)`.
+pub fn min(input: Expr) -> AggExpr {
+    let name = format!("min({})", input.output_name());
+    AggExpr {
+        func: AggFunc::Min,
+        input,
+        name,
+    }
+}
+
+/// `MAX(expr)`.
+pub fn max(input: Expr) -> AggExpr {
+    let name = format!("max({})", input.output_name());
+    AggExpr {
+        func: AggFunc::Max,
+        input,
+        name,
+    }
+}
+
+/// `AVG(expr)`.
+pub fn avg(input: Expr) -> AggExpr {
+    let name = format!("avg({})", input.output_name());
+    AggExpr {
+        func: AggFunc::Avg,
+        input,
+        name,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_storage::Field;
+
+    fn schema() -> std::sync::Arc<Schema> {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Float64),
+            Field::new("s", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn builder_shapes() {
+        let e = col("a").add(lit(1i64)).gt(lit(10i64)).and(col("s").eq(lit("x")));
+        assert_eq!(e.to_string(), "(((a + 1) > 10) AND (s = 'x'))");
+    }
+
+    #[test]
+    fn referenced_columns() {
+        let e = col("a").add(col("b")).lt(col("a"));
+        let cols = e.referenced_columns();
+        assert_eq!(cols.into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn type_inference() {
+        let s = schema();
+        assert_eq!(col("a").add(lit(1i64)).data_type(&s).unwrap(), DataType::Int64);
+        assert_eq!(col("a").add(col("b")).data_type(&s).unwrap(), DataType::Float64);
+        assert_eq!(col("a").div(lit(2i64)).data_type(&s).unwrap(), DataType::Float64);
+        assert_eq!(col("a").lt(lit(3i64)).data_type(&s).unwrap(), DataType::Bool);
+        assert!(col("s").add(lit(1i64)).data_type(&s).is_err());
+        assert!(col("zzz").data_type(&s).is_err());
+    }
+
+    #[test]
+    fn split_and_rejoin_conjunction() {
+        let e = col("a").gt(lit(1i64)).and(col("b").lt(lit(2i64))).and(col("s").eq(lit("k")));
+        let parts = e.split_conjunction();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjunction(parts.into_iter().cloned().collect()).unwrap();
+        assert_eq!(rejoined, e);
+    }
+
+    #[test]
+    fn between_desugars() {
+        let e = col("a").between(lit(1i64), lit(5i64));
+        assert_eq!(e.to_string(), "((a >= 1) AND (a <= 5))");
+    }
+
+    #[test]
+    fn agg_output_types() {
+        let s = schema();
+        assert_eq!(sum(col("a")).data_type(&s).unwrap(), DataType::Int64);
+        assert_eq!(sum(col("b")).data_type(&s).unwrap(), DataType::Float64);
+        assert_eq!(avg(col("a")).data_type(&s).unwrap(), DataType::Float64);
+        assert_eq!(count_star().data_type(&s).unwrap(), DataType::Int64);
+        assert_eq!(min(col("s")).data_type(&s).unwrap(), DataType::Utf8);
+        assert!(sum(col("s")).data_type(&s).is_err());
+    }
+
+    #[test]
+    fn alias_changes_output_name() {
+        let e = sum(col("a")).alias("total");
+        assert_eq!(e.name, "total");
+        let e2 = col("a").alias("x");
+        assert_eq!(e2.output_name(), "x");
+    }
+}

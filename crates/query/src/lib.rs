@@ -1,0 +1,34 @@
+//! # backbone-query
+//!
+//! The declarative query layer of `backbone` — the crate that turns the three
+//! principles the paper credits to the database community into code:
+//!
+//! - **Declarativeness**: callers build a [`logical::LogicalPlan`] describing
+//!   *what* they want ([`expr`] provides the expression algebra).
+//! - **Logical/physical independence**: the [`optimizer`] rewrites logical
+//!   plans (predicate pushdown, projection pruning, constant folding, join
+//!   reordering) and the [`planner`] lowers them to interchangeable
+//!   [`physical`] operators; the same logical query admits many physical
+//!   executions.
+//! - **Automatic scalability**: scans are morsel-parallel — the executor
+//!   splits row groups across threads without any change to the query.
+
+pub mod catalog;
+pub mod error;
+pub mod eval;
+pub mod executor;
+pub mod expr;
+pub mod logical;
+pub mod optimizer;
+pub mod physical;
+pub mod planner;
+pub mod sql;
+pub mod stats;
+
+pub use catalog::{Catalog, MemCatalog};
+pub use error::QueryError;
+pub use executor::{execute, execute_plan, ExecOptions};
+pub use expr::{avg, col, count, count_star, lit, max, min, sum, AggExpr, BinOp, Expr, UnOp};
+pub use logical::{JoinType, LogicalPlan, SortKey};
+pub use optimizer::Optimizer;
+pub use sql::parse_select;

@@ -1,0 +1,458 @@
+//! Logical query plans: the declarative algebra.
+//!
+//! A [`LogicalPlan`] says *what* rows to produce. The optimizer rewrites it
+//! and the planner lowers it to physical operators — callers never choose
+//! join algorithms, scan orders, or parallelism. This is the paper's
+//! "independence between physical and logical" made concrete.
+
+use crate::catalog::Catalog;
+use crate::error::{QueryError, Result};
+use crate::expr::{AggExpr, Expr};
+use backbone_storage::{Field, Schema};
+use std::fmt;
+use std::sync::Arc;
+
+/// Join variants supported by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Inner equi-join.
+    Inner,
+    /// Left outer equi-join (unmatched left rows padded with NULLs).
+    Left,
+}
+
+impl fmt::Display for JoinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinType::Inner => write!(f, "INNER"),
+            JoinType::Left => write!(f, "LEFT"),
+        }
+    }
+}
+
+/// A sort key: an expression plus direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    /// The expression to sort by.
+    pub expr: Expr,
+    /// Descending order when true.
+    pub descending: bool,
+}
+
+/// Ascending sort key.
+pub fn asc(expr: Expr) -> SortKey {
+    SortKey {
+        expr,
+        descending: false,
+    }
+}
+
+/// Descending sort key.
+pub fn desc(expr: Expr) -> SortKey {
+    SortKey {
+        expr,
+        descending: true,
+    }
+}
+
+/// A node in the logical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Scan a named table, optionally projecting columns and applying pushed-
+    /// down filters (filled in by the optimizer, not by callers).
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// The table's full schema at plan-build time.
+        table_schema: Arc<Schema>,
+        /// Columns to read, `None` = all.
+        projection: Option<Vec<String>>,
+        /// Conjunctive predicates evaluated during the scan.
+        filters: Vec<Expr>,
+    },
+    /// Keep rows satisfying the predicate.
+    Filter {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Boolean predicate.
+        predicate: Expr,
+    },
+    /// Compute output columns.
+    Project {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// One expression per output column.
+        exprs: Vec<Expr>,
+    },
+    /// Equi-join two inputs.
+    Join {
+        /// Left input (build side candidate).
+        left: Box<LogicalPlan>,
+        /// Right input.
+        right: Box<LogicalPlan>,
+        /// Pairs of (left column, right column) equated by the join.
+        on: Vec<(String, String)>,
+        /// Inner or left outer.
+        join_type: JoinType,
+    },
+    /// Group and aggregate.
+    Aggregate {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Grouping expressions (column references in practice).
+        group_by: Vec<Expr>,
+        /// Aggregates to compute.
+        aggs: Vec<AggExpr>,
+    },
+    /// Sort rows.
+    Sort {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Sort keys, major first.
+        keys: Vec<SortKey>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<LogicalPlan>,
+        /// Row budget.
+        n: usize,
+    },
+}
+
+impl LogicalPlan {
+    /// Start a plan by scanning a table registered in `catalog`.
+    pub fn scan(table: impl Into<String>, catalog: &dyn Catalog) -> Result<LogicalPlan> {
+        let table = table.into();
+        let t = catalog
+            .table(&table)
+            .ok_or_else(|| QueryError::TableNotFound(table.clone()))?;
+        Ok(LogicalPlan::Scan {
+            table,
+            table_schema: t.schema().clone(),
+            projection: None,
+            filters: Vec::new(),
+        })
+    }
+
+    /// Keep rows satisfying `predicate`.
+    pub fn filter(self, predicate: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Compute the given output expressions.
+    pub fn project(self, exprs: Vec<Expr>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
+    }
+
+    /// Inner equi-join with `right` on `(left_col, right_col)` pairs.
+    pub fn join_on(self, right: LogicalPlan, on: Vec<(&str, &str)>) -> LogicalPlan {
+        self.join(right, on, JoinType::Inner)
+    }
+
+    /// Equi-join with an explicit join type.
+    pub fn join(self, right: LogicalPlan, on: Vec<(&str, &str)>, join_type: JoinType) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            on: on
+                .into_iter()
+                .map(|(l, r)| (l.to_string(), r.to_string()))
+                .collect(),
+            join_type,
+        }
+    }
+
+    /// Group by `group_by` and compute `aggs`.
+    pub fn aggregate(self, group_by: Vec<Expr>, aggs: Vec<AggExpr>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
+    }
+
+    /// Sort by `keys`.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    /// Keep the first `n` rows.
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// The plan's output schema.
+    pub fn schema(&self) -> Result<Arc<Schema>> {
+        match self {
+            LogicalPlan::Scan {
+                table_schema,
+                projection,
+                ..
+            } => match projection {
+                None => Ok(table_schema.clone()),
+                Some(cols) => {
+                    let mut fields = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        fields.push(table_schema.field_by_name(c)?.clone());
+                    }
+                    Ok(Schema::new(fields))
+                }
+            },
+            LogicalPlan::Filter { input, .. } => input.schema(),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    fields.push(Field::nullable(e.output_name(), e.data_type(&in_schema)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let l = left.schema()?;
+                let r = right.schema()?;
+                let mut fields = l.fields().to_vec();
+                for f in r.fields() {
+                    let mut f = f.clone();
+                    if *join_type == JoinType::Left {
+                        f.nullable = true;
+                    }
+                    fields.push(f);
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+                for g in group_by {
+                    fields.push(Field::nullable(g.output_name(), g.data_type(&in_schema)?));
+                }
+                for a in aggs {
+                    fields.push(Field::nullable(a.name.clone(), a.data_type(&in_schema)?));
+                }
+                Ok(Schema::new(fields))
+            }
+            LogicalPlan::Sort { input, .. } | LogicalPlan::Limit { input, .. } => input.schema(),
+        }
+    }
+
+    /// Child plans (0 for scans, 2 for joins, 1 otherwise).
+    pub fn children(&self) -> Vec<&LogicalPlan> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Render the plan as an indented tree (EXPLAIN output).
+    pub fn display_indent(&self) -> String {
+        let mut out = String::new();
+        self.fmt_node(&mut out, 0);
+        out
+    }
+
+    fn fmt_node(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            LogicalPlan::Scan {
+                table,
+                projection,
+                filters,
+                ..
+            } => {
+                out.push_str(&format!("{pad}Scan: {table}"));
+                if let Some(p) = projection {
+                    out.push_str(&format!(" project=[{}]", p.join(", ")));
+                }
+                if !filters.is_empty() {
+                    let fs: Vec<String> = filters.iter().map(|f| f.to_string()).collect();
+                    out.push_str(&format!(" filters=[{}]", fs.join(" AND ")));
+                }
+                out.push('\n');
+            }
+            LogicalPlan::Filter { input, predicate } => {
+                out.push_str(&format!("{pad}Filter: {predicate}\n"));
+                input.fmt_node(out, depth + 1);
+            }
+            LogicalPlan::Project { input, exprs } => {
+                let es: Vec<String> = exprs.iter().map(|e| e.to_string()).collect();
+                out.push_str(&format!("{pad}Project: {}\n", es.join(", ")));
+                input.fmt_node(out, depth + 1);
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l} = {r}")).collect();
+                out.push_str(&format!("{pad}{join_type} Join: {}\n", keys.join(", ")));
+                left.fmt_node(out, depth + 1);
+                right.fmt_node(out, depth + 1);
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let gs: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
+                let as_: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                out.push_str(&format!(
+                    "{pad}Aggregate: group=[{}] aggs=[{}]\n",
+                    gs.join(", "),
+                    as_.join(", ")
+                ));
+                input.fmt_node(out, depth + 1);
+            }
+            LogicalPlan::Sort { input, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|k| {
+                        format!(
+                            "{}{}",
+                            k.expr,
+                            if k.descending { " DESC" } else { " ASC" }
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
+                input.fmt_node(out, depth + 1);
+            }
+            LogicalPlan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit: {n}\n"));
+                input.fmt_node(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.display_indent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::MemCatalog;
+    use crate::expr::{col, lit, sum};
+    use backbone_storage::{DataType, Table, Value};
+
+    fn catalog() -> MemCatalog {
+        let cat = MemCatalog::new();
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("amount", DataType::Float64),
+            Field::new("tag", DataType::Utf8),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..10 {
+            t.append_row(vec![
+                Value::Int(i),
+                Value::Float(i as f64 * 1.5),
+                Value::str(if i % 2 == 0 { "even" } else { "odd" }),
+            ])
+            .unwrap();
+        }
+        cat.register("t", t);
+        cat
+    }
+
+    #[test]
+    fn scan_schema() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t", &cat).unwrap();
+        assert_eq!(plan.schema().unwrap().len(), 3);
+        assert!(LogicalPlan::scan("missing", &cat).is_err());
+    }
+
+    #[test]
+    fn project_schema_inference() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t", &cat)
+            .unwrap()
+            .project(vec![col("id"), col("amount").mul(lit(2.0)).alias("double")]);
+        let s = plan.schema().unwrap();
+        assert_eq!(s.field(0).name, "id");
+        assert_eq!(s.field(1).name, "double");
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t", &cat)
+            .unwrap()
+            .aggregate(vec![col("tag")], vec![sum(col("amount")).alias("total")]);
+        let s = plan.schema().unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(1).name, "total");
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn join_schema_nullability() {
+        let cat = catalog();
+        let l = LogicalPlan::scan("t", &cat).unwrap();
+        let r = LogicalPlan::scan("t", &cat).unwrap();
+        let inner = l.clone().join(r.clone(), vec![("id", "id")], JoinType::Inner);
+        assert_eq!(inner.schema().unwrap().len(), 6);
+        let left = l.join(r, vec![("id", "id")], JoinType::Left);
+        assert!(left.schema().unwrap().field(3).nullable);
+    }
+
+    #[test]
+    fn display_tree() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t", &cat)
+            .unwrap()
+            .filter(col("id").gt(lit(3i64)))
+            .project(vec![col("id")])
+            .limit(5);
+        let text = plan.display_indent();
+        assert!(text.contains("Limit: 5"));
+        assert!(text.contains("Filter: (id > 3)"));
+        assert!(text.contains("Scan: t"));
+        // Tree ordering: limit above project above filter above scan.
+        let li = text.find("Limit").unwrap();
+        let si = text.find("Scan").unwrap();
+        assert!(li < si);
+    }
+
+    #[test]
+    fn children_counts() {
+        let cat = catalog();
+        let scan = LogicalPlan::scan("t", &cat).unwrap();
+        assert_eq!(scan.children().len(), 0);
+        let join = scan.clone().join_on(scan.clone(), vec![("id", "id")]);
+        assert_eq!(join.children().len(), 2);
+        assert_eq!(scan.filter(lit(true)).children().len(), 1);
+    }
+}

@@ -1,0 +1,342 @@
+//! Greedy join reordering over inner-join chains.
+//!
+//! Flattens nested inner joins into a relation set + equi-conditions, then
+//! greedily builds a left-deep tree starting from the smallest estimated
+//! relation, always choosing the next relation minimizing the estimated
+//! intermediate size. Hash joins build on the left input, so the running
+//! (usually smaller) side stays on the build side.
+
+use super::cardinality::estimate_rows;
+use crate::catalog::Catalog;
+use crate::error::Result;
+use crate::expr::col;
+use crate::logical::{JoinType, LogicalPlan};
+use std::collections::BTreeSet;
+
+/// Reorder inner-join chains in `plan` by estimated cardinality.
+pub fn reorder(plan: LogicalPlan, catalog: &dyn Catalog) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type: JoinType::Inner,
+        } => {
+            let joined = LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type: JoinType::Inner,
+            };
+            // Name-based reordering is ambiguous when the combined schema
+            // has duplicate column names (self-joins): leave such subtrees
+            // untouched rather than risk misplacing conditions.
+            if let Ok(schema) = joined.schema() {
+                let mut seen = BTreeSet::new();
+                if schema.fields().iter().any(|f| !seen.insert(f.name.clone())) {
+                    return Ok(joined);
+                }
+            }
+            // Flatten this maximal inner-join subtree.
+            let mut relations = Vec::new();
+            let mut conditions = Vec::new();
+            flatten(joined, catalog, &mut relations, &mut conditions)?;
+            build_greedy(relations, conditions, catalog)
+        }
+        // Recurse into non-join nodes.
+        LogicalPlan::Filter { input, predicate } => Ok(LogicalPlan::Filter {
+            input: Box::new(reorder(*input, catalog)?),
+            predicate,
+        }),
+        LogicalPlan::Project { input, exprs } => Ok(LogicalPlan::Project {
+            input: Box::new(reorder(*input, catalog)?),
+            exprs,
+        }),
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => Ok(LogicalPlan::Join {
+            left: Box::new(reorder(*left, catalog)?),
+            right: Box::new(reorder(*right, catalog)?),
+            on,
+            join_type,
+        }),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => Ok(LogicalPlan::Aggregate {
+            input: Box::new(reorder(*input, catalog)?),
+            group_by,
+            aggs,
+        }),
+        LogicalPlan::Sort { input, keys } => Ok(LogicalPlan::Sort {
+            input: Box::new(reorder(*input, catalog)?),
+            keys,
+        }),
+        LogicalPlan::Limit { input, n } => Ok(LogicalPlan::Limit {
+            input: Box::new(reorder(*input, catalog)?),
+            n,
+        }),
+        leaf => Ok(leaf),
+    }
+}
+
+/// Collect the leaves and equi-conditions of a nested inner-join tree.
+fn flatten(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    relations: &mut Vec<LogicalPlan>,
+    conditions: &mut Vec<(String, String)>,
+) -> Result<()> {
+    match plan {
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type: JoinType::Inner,
+        } => {
+            conditions.extend(on);
+            flatten(*left, catalog, relations, conditions)?;
+            flatten(*right, catalog, relations, conditions)?;
+            Ok(())
+        }
+        other => {
+            // Leaves get optimized independently (they may contain joins
+            // below e.g. an aggregate boundary).
+            relations.push(reorder(other, catalog)?);
+            Ok(())
+        }
+    }
+}
+
+fn build_greedy(
+    relations: Vec<LogicalPlan>,
+    conditions: Vec<(String, String)>,
+    catalog: &dyn Catalog,
+) -> Result<LogicalPlan> {
+    // The caller rejects duplicate column names before flattening, so
+    // name-based placement below is unambiguous.
+
+    // Desired final column order (for the restoring projection).
+    let original_order: Vec<String> = relations
+        .iter()
+        .map(|r| r.schema())
+        .collect::<Result<Vec<_>>>()?
+        .iter()
+        .flat_map(|s| s.fields().iter().map(|f| f.name.clone()))
+        .collect();
+
+    let col_sets: Vec<BTreeSet<String>> = relations
+        .iter()
+        .map(|r| {
+            Ok(r.schema()?
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect())
+        })
+        .collect::<Result<_>>()?;
+    let sizes: Vec<f64> = relations.iter().map(|r| estimate_rows(r, catalog)).collect();
+
+    let n = relations.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    // Seed with the smallest relation.
+    let seed_pos = remaining
+        .iter()
+        .enumerate()
+        .min_by(|a, b| sizes[*a.1].total_cmp(&sizes[*b.1]))
+        .map(|(pos, _)| pos)
+        .expect("at least two relations");
+    let seed = remaining.remove(seed_pos);
+
+    let mut relations: Vec<Option<LogicalPlan>> = relations.into_iter().map(Some).collect();
+    let mut current = relations[seed].take().expect("seed present");
+    let mut current_cols = col_sets[seed].clone();
+    let mut current_size = sizes[seed];
+    let mut unused_conditions = conditions;
+
+    while !remaining.is_empty() {
+        // Pick the joinable relation minimizing the estimated output.
+        let mut best: Option<(usize, f64, bool)> = None; // (pos, est, connected)
+        for (pos, &idx) in remaining.iter().enumerate() {
+            let connected = unused_conditions.iter().any(|(a, b)| {
+                (current_cols.contains(a) && col_sets[idx].contains(b))
+                    || (current_cols.contains(b) && col_sets[idx].contains(a))
+            });
+            let est = if connected {
+                current_size.min(sizes[idx]).max(current_size.max(sizes[idx]) * 0.5)
+            } else {
+                current_size * sizes[idx] // cross product
+            };
+            let better = match &best {
+                None => true,
+                Some((_, best_est, best_conn)) => {
+                    // Connected relations always beat cross products.
+                    (connected && !best_conn) || (connected == *best_conn && est < *best_est)
+                }
+            };
+            if better {
+                best = Some((pos, est, connected));
+            }
+        }
+        let (pos, est, _) = best.expect("non-empty remaining");
+        let idx = remaining.remove(pos);
+        let next = relations[idx].take().expect("unused relation");
+
+        // Gather every condition linking the current set with `next`.
+        let mut on: Vec<(String, String)> = Vec::new();
+        unused_conditions.retain(|(a, b)| {
+            if current_cols.contains(a) && col_sets[idx].contains(b) {
+                on.push((a.clone(), b.clone()));
+                false
+            } else if current_cols.contains(b) && col_sets[idx].contains(a) {
+                on.push((b.clone(), a.clone()));
+                false
+            } else {
+                true
+            }
+        });
+        current = LogicalPlan::Join {
+            left: Box::new(current),
+            right: Box::new(next),
+            on,
+            join_type: JoinType::Inner,
+        };
+        current_cols.extend(col_sets[idx].iter().cloned());
+        current_size = est;
+    }
+
+    // Conditions whose endpoints ended up in the same side (cycles in the
+    // join graph) become residual filters.
+    for (a, b) in unused_conditions {
+        current = LogicalPlan::Filter {
+            input: Box::new(current),
+            predicate: col(a).eq(col(b)),
+        };
+    }
+
+    // Restore the caller-visible column order.
+    let new_order: Vec<String> = current
+        .schema()?
+        .fields()
+        .iter()
+        .map(|f| f.name.clone())
+        .collect();
+    if new_order != original_order {
+        current = LogicalPlan::Project {
+            input: Box::new(current),
+            exprs: original_order.into_iter().map(col).collect(),
+        };
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::lit;
+    use crate::optimizer::test_fixtures::catalog;
+
+    /// Leftmost leaf table name of a join tree.
+    fn leftmost(plan: &LogicalPlan) -> Option<&str> {
+        match plan {
+            LogicalPlan::Scan { table, .. } => Some(table),
+            other => other.children().first().and_then(|c| leftmost(c)),
+        }
+    }
+
+    #[test]
+    fn smaller_relation_becomes_build_side() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")]);
+        let out = reorder(plan, &cat).unwrap();
+        assert_eq!(leftmost(&out), Some("small"), "got:\n{out}");
+    }
+
+    #[test]
+    fn schema_order_is_preserved() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")]);
+        let before = plan.schema().unwrap();
+        let after = reorder(plan, &cat).unwrap().schema().unwrap();
+        let names = |s: &backbone_storage::Schema| -> Vec<String> {
+            s.fields().iter().map(|f| f.name.clone()).collect()
+        };
+        assert_eq!(names(&before), names(&after));
+    }
+
+    #[test]
+    fn three_way_chain_starts_smallest() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("mid", &cat).unwrap(), vec![("big_k", "mid_k")])
+            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("mid_k", "small_k")]);
+        let out = reorder(plan, &cat).unwrap();
+        assert_eq!(leftmost(&out), Some("small"), "got:\n{out}");
+    }
+
+    #[test]
+    fn already_optimal_left_unchanged_semantically() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("small", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("big", &cat).unwrap(), vec![("small_k", "big_k")]);
+        let out = reorder(plan.clone(), &cat).unwrap();
+        assert_eq!(leftmost(&out), Some("small"));
+    }
+
+    #[test]
+    fn filtered_big_table_can_win_seed() {
+        let cat = catalog();
+        // big with an extremely selective pushed filter (estimated 1000 *
+        // 0.05^3 ≈ 0.1 -> clamped to >= 1) beats small (10 rows).
+        let filtered_big = LogicalPlan::Scan {
+            table: "big".into(),
+            table_schema: cat.table("big").unwrap().schema().clone(),
+            projection: None,
+            filters: vec![
+                col("big_v").eq(lit(1i64)),
+                col("big_k").eq(lit(1i64)),
+                col("big_tag").eq(lit("a")),
+            ],
+        };
+        let plan = LogicalPlan::scan("small", &cat)
+            .unwrap()
+            .join_on(filtered_big, vec![("small_k", "big_k")]);
+        let out = reorder(plan, &cat).unwrap();
+        assert_eq!(leftmost(&out), Some("big"), "got:\n{out}");
+    }
+
+    #[test]
+    fn self_join_with_duplicate_names_left_untouched() {
+        // Reordering by column name is ambiguous for self-joins; the plan
+        // must come back unchanged (and three-way self-joins must not lose
+        // conditions — the regression this guards).
+        let cat = catalog();
+        let scan = || LogicalPlan::scan("small", &cat).unwrap();
+        let two = scan().join_on(scan(), vec![("small_k", "small_k")]);
+        assert_eq!(reorder(two.clone(), &cat).unwrap(), two);
+        let three = two.clone().join_on(scan(), vec![("small_v", "small_v")]);
+        assert_eq!(reorder(three.clone(), &cat).unwrap(), three);
+    }
+
+    #[test]
+    fn non_inner_join_untouched() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat).unwrap().join(
+            LogicalPlan::scan("small", &cat).unwrap(),
+            vec![("big_k", "small_k")],
+            JoinType::Left,
+        );
+        let out = reorder(plan.clone(), &cat).unwrap();
+        assert_eq!(plan, out);
+    }
+}

@@ -1,0 +1,280 @@
+//! Predicate pushdown: move filters as close to the data as possible.
+
+use crate::error::Result;
+use crate::expr::Expr;
+use crate::logical::{JoinType, LogicalPlan};
+use std::collections::BTreeSet;
+
+/// Push filter predicates down the plan tree: into scans (where they enable
+/// zone-map pruning), through joins to the side that owns their columns, and
+/// below sorts.
+pub fn push_down(plan: LogicalPlan) -> Result<LogicalPlan> {
+    rewrite(plan, Vec::new())
+}
+
+/// Rewrite `plan` with `pending` conjuncts waiting to be placed.
+fn rewrite(plan: LogicalPlan, mut pending: Vec<Expr>) -> Result<LogicalPlan> {
+    match plan {
+        LogicalPlan::Filter { input, predicate } => {
+            // Absorb this filter's conjuncts and recurse into the input.
+            pending.extend(predicate.split_conjunction().into_iter().cloned());
+            rewrite(*input, pending)
+        }
+        LogicalPlan::Scan {
+            table,
+            table_schema,
+            projection,
+            mut filters,
+        } => {
+            filters.extend(pending);
+            Ok(LogicalPlan::Scan {
+                table,
+                table_schema,
+                projection,
+                filters,
+            })
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            let left_cols = plan_columns(&left);
+            let right_cols = plan_columns(&right);
+            let mut to_left = Vec::new();
+            let mut to_right = Vec::new();
+            let mut keep = Vec::new();
+            for p in pending {
+                let refs = p.referenced_columns();
+                if refs.iter().all(|c| left_cols.contains(c)) {
+                    to_left.push(p);
+                } else if refs.iter().all(|c| right_cols.contains(c)) {
+                    // Pushing below the null-padded side of an outer join
+                    // changes semantics; keep those above the join.
+                    if join_type == JoinType::Left {
+                        keep.push(p);
+                    } else {
+                        to_right.push(p);
+                    }
+                } else {
+                    keep.push(p);
+                }
+            }
+            let new_left = rewrite(*left, to_left)?;
+            let new_right = rewrite(*right, to_right)?;
+            let joined = LogicalPlan::Join {
+                left: Box::new(new_left),
+                right: Box::new(new_right),
+                on,
+                join_type,
+            };
+            Ok(wrap_filter(joined, keep))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            // Push through only predicates whose columns are passed through
+            // unchanged by this projection.
+            let passthrough: BTreeSet<String> = exprs
+                .iter()
+                .filter_map(|e| match e {
+                    Expr::Column(n) => Some(n.clone()),
+                    Expr::Alias(inner, name) => match inner.as_ref() {
+                        // `x AS x` — only identity aliases are transparent.
+                        Expr::Column(n) if n == name => Some(n.clone()),
+                        _ => None,
+                    },
+                    _ => None,
+                })
+                .collect();
+            let mut pushable = Vec::new();
+            let mut keep = Vec::new();
+            for p in pending {
+                if p.referenced_columns().iter().all(|c| passthrough.contains(c)) {
+                    pushable.push(p);
+                } else {
+                    keep.push(p);
+                }
+            }
+            let new_input = rewrite(*input, pushable)?;
+            let projected = LogicalPlan::Project {
+                input: Box::new(new_input),
+                exprs,
+            };
+            Ok(wrap_filter(projected, keep))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            // Filtering before sorting is always safe and cheaper.
+            let new_input = rewrite(*input, pending)?;
+            Ok(LogicalPlan::Sort {
+                input: Box::new(new_input),
+                keys,
+            })
+        }
+        LogicalPlan::Limit { input, n } => {
+            // Never push a filter below a limit: it changes which rows the
+            // limit keeps. Optimize below the limit independently.
+            let new_input = rewrite(*input, Vec::new())?;
+            Ok(wrap_filter(
+                LogicalPlan::Limit {
+                    input: Box::new(new_input),
+                    n,
+                },
+                pending,
+            ))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            // Predicates over group keys (plain columns) can move below the
+            // aggregate; predicates over aggregate outputs cannot.
+            let group_cols: BTreeSet<String> = group_by
+                .iter()
+                .filter_map(|g| match g {
+                    Expr::Column(n) => Some(n.clone()),
+                    _ => None,
+                })
+                .collect();
+            let mut pushable = Vec::new();
+            let mut keep = Vec::new();
+            for p in pending {
+                if p.referenced_columns().iter().all(|c| group_cols.contains(c)) {
+                    pushable.push(p);
+                } else {
+                    keep.push(p);
+                }
+            }
+            let new_input = rewrite(*input, pushable)?;
+            Ok(wrap_filter(
+                LogicalPlan::Aggregate {
+                    input: Box::new(new_input),
+                    group_by,
+                    aggs,
+                },
+                keep,
+            ))
+        }
+    }
+}
+
+fn wrap_filter(plan: LogicalPlan, preds: Vec<Expr>) -> LogicalPlan {
+    match Expr::conjunction(preds) {
+        None => plan,
+        Some(p) => LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: p,
+        },
+    }
+}
+
+/// Output column names of a plan (best-effort; unknown schemas yield empty).
+fn plan_columns(plan: &LogicalPlan) -> BTreeSet<String> {
+    plan.schema()
+        .map(|s| s.fields().iter().map(|f| f.name.clone()).collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, count_star, lit};
+    use crate::optimizer::test_fixtures::catalog;
+
+    #[test]
+    fn filter_merges_into_scan() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .filter(col("big_v").lt(lit(10i64)))
+            .filter(col("big_k").eq(lit(1i64)));
+        let out = push_down(plan).unwrap();
+        match out {
+            LogicalPlan::Scan { filters, .. } => assert_eq!(filters.len(), 2),
+            other => panic!("expected bare scan, got:\n{other}"),
+        }
+    }
+
+    #[test]
+    fn join_splits_conjuncts_by_side() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")])
+            .filter(
+                col("big_v")
+                    .lt(lit(10i64))
+                    .and(col("small_v").gt(lit(2i64)))
+                    .and(col("big_v").lt(col("small_v"))),
+            );
+        let out = push_down(plan).unwrap();
+        let text = out.display_indent();
+        // The mixed predicate stays above the join; single-side ones sank.
+        assert!(text.contains("Filter: (big_v < small_v)"), "got:\n{text}");
+        assert!(text.contains("Scan: big filters=[(big_v < 10)]"), "got:\n{text}");
+        assert!(text.contains("Scan: small filters=[(small_v > 2)]"), "got:\n{text}");
+    }
+
+    #[test]
+    fn left_join_blocks_right_side_pushdown() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .join(
+                LogicalPlan::scan("small", &cat).unwrap(),
+                vec![("big_k", "small_k")],
+                JoinType::Left,
+            )
+            .filter(col("small_v").gt(lit(2i64)));
+        let out = push_down(plan).unwrap();
+        let text = out.display_indent();
+        assert!(
+            text.contains("Filter: (small_v > 2)"),
+            "right-side predicate must stay above a LEFT join:\n{text}"
+        );
+        assert!(!text.contains("Scan: small filters"), "got:\n{text}");
+    }
+
+    #[test]
+    fn filter_not_pushed_below_limit() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .limit(5)
+            .filter(col("big_v").gt(lit(2i64)));
+        let out = push_down(plan).unwrap();
+        match &out {
+            LogicalPlan::Filter { input, .. } => {
+                assert!(matches!(input.as_ref(), LogicalPlan::Limit { .. }))
+            }
+            other => panic!("filter must remain above limit:\n{other}"),
+        }
+    }
+
+    #[test]
+    fn group_key_filter_pushes_below_aggregate() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .aggregate(vec![col("big_k")], vec![count_star().alias("n")])
+            .filter(col("big_k").eq(lit(3i64)).and(col("n").gt(lit(1i64))));
+        let out = push_down(plan).unwrap();
+        let text = out.display_indent();
+        assert!(text.contains("Scan: big filters=[(big_k = 3)]"), "got:\n{text}");
+        assert!(text.contains("Filter: (n > 1)"), "got:\n{text}");
+    }
+
+    #[test]
+    fn pushes_through_identity_projection_only() {
+        let cat = catalog();
+        // Projection renames big_v: predicate on the rename must stay above.
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .project(vec![col("big_k"), col("big_v").add(lit(1i64)).alias("w")])
+            .filter(col("big_k").lt(lit(5i64)).and(col("w").gt(lit(0i64))));
+        let out = push_down(plan).unwrap();
+        let text = out.display_indent();
+        assert!(text.contains("Scan: big filters=[(big_k < 5)]"), "got:\n{text}");
+        assert!(text.contains("Filter: (w > 0)"), "got:\n{text}");
+    }
+}

@@ -1,0 +1,372 @@
+//! Hash aggregation.
+
+use super::Operator;
+use crate::error::{QueryError, Result};
+use crate::eval::eval;
+use crate::expr::{AggExpr, AggFunc, Expr};
+use backbone_storage::{Column, Field, RecordBatch, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One running accumulator per (group, aggregate).
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    SumI(i64),
+    SumF(f64),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: i64 },
+    /// Sum that has seen no non-null input yet (SQL: SUM of empties is NULL);
+    /// becomes SumI/SumF on first value.
+    SumEmpty,
+}
+
+impl Acc {
+    fn new(func: AggFunc) -> Acc {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
+            AggFunc::Sum => Acc::SumEmpty,
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, v: &Value) -> Result<()> {
+        match func {
+            AggFunc::CountStar => {
+                if let Acc::Count(c) = self {
+                    *c += 1;
+                }
+            }
+            AggFunc::Count => {
+                if !v.is_null() {
+                    if let Acc::Count(c) = self {
+                        *c += 1;
+                    }
+                }
+            }
+            AggFunc::Sum => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                match (&mut *self, v) {
+                    (Acc::SumEmpty, Value::Int(x)) => *self = Acc::SumI(*x),
+                    (Acc::SumEmpty, Value::Float(x)) => *self = Acc::SumF(*x),
+                    (Acc::SumI(s), Value::Int(x)) => {
+                        *s = s.checked_add(*x).ok_or_else(|| {
+                            QueryError::Arithmetic("SUM integer overflow".into())
+                        })?;
+                    }
+                    (Acc::SumF(s), Value::Float(x)) => *s += x,
+                    (Acc::SumF(s), Value::Int(x)) => *s += *x as f64,
+                    (Acc::SumI(s), Value::Float(x)) => {
+                        *self = Acc::SumF(*s as f64 + x);
+                    }
+                    _ => {
+                        return Err(QueryError::InvalidExpression(format!(
+                            "SUM over non-numeric value {v}"
+                        )))
+                    }
+                }
+            }
+            AggFunc::Min => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                if let Acc::Min(cur) = self {
+                    match cur {
+                        None => *cur = Some(v.clone()),
+                        Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Less => {
+                            *cur = Some(v.clone())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            AggFunc::Max => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                if let Acc::Max(cur) = self {
+                    match cur {
+                        None => *cur = Some(v.clone()),
+                        Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Greater => {
+                            *cur = Some(v.clone())
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            AggFunc::Avg => {
+                if v.is_null() {
+                    return Ok(());
+                }
+                if let Acc::Avg { sum, count } = self {
+                    *sum += v.as_float().ok_or_else(|| {
+                        QueryError::InvalidExpression(format!("AVG over non-numeric value {v}"))
+                    })?;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(*c),
+            Acc::SumI(s) => Value::Int(*s),
+            Acc::SumF(s) => Value::Float(*s),
+            Acc::SumEmpty => Value::Null,
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
+            Acc::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Hash aggregate: consumes all input, groups by key expressions, and emits
+/// one row per group.
+pub struct HashAggregateExec {
+    input: Box<dyn Operator>,
+    group_by: Vec<Expr>,
+    aggs: Vec<AggExpr>,
+    schema: Arc<Schema>,
+    done: bool,
+}
+
+impl HashAggregateExec {
+    /// Build an aggregation over `input`.
+    pub fn new(
+        input: Box<dyn Operator>,
+        group_by: Vec<Expr>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<HashAggregateExec> {
+        let in_schema = input.schema();
+        let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+        for g in &group_by {
+            fields.push(Field::nullable(g.output_name(), g.data_type(&in_schema)?));
+        }
+        for a in &aggs {
+            fields.push(Field::nullable(a.name.clone(), a.data_type(&in_schema)?));
+        }
+        Ok(HashAggregateExec {
+            input,
+            group_by,
+            aggs,
+            schema: Schema::new(fields),
+            done: false,
+        })
+    }
+}
+
+impl Operator for HashAggregateExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<RecordBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+
+        // Keyed accumulators; key order of first appearance for stable output.
+        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut saw_rows = false;
+
+        while let Some(batch) = self.input.next()? {
+            saw_rows = saw_rows || batch.num_rows() > 0;
+            let key_cols: Vec<Column> = self
+                .group_by
+                .iter()
+                .map(|g| eval(g, &batch))
+                .collect::<Result<_>>()?;
+            let agg_cols: Vec<Column> = self
+                .aggs
+                .iter()
+                .map(|a| eval(&a.input, &batch))
+                .collect::<Result<_>>()?;
+            for row in 0..batch.num_rows() {
+                let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+                let accs = groups.entry(key.clone()).or_insert_with(|| {
+                    order.push(key);
+                    self.aggs.iter().map(|a| Acc::new(a.func)).collect()
+                });
+                for (acc, (a, col)) in accs.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
+                    acc.update(a.func, &col.value(row))?;
+                }
+            }
+        }
+
+        // Global aggregation over an empty input still yields one row
+        // (COUNT(*) = 0, SUM = NULL, ...), matching SQL.
+        if order.is_empty() && self.group_by.is_empty() && !saw_rows {
+            order.push(Vec::new());
+            groups.insert(Vec::new(), self.aggs.iter().map(|a| Acc::new(a.func)).collect());
+        }
+
+        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
+        for key in &order {
+            let accs = &groups[key];
+            let mut row = key.clone();
+            row.extend(accs.iter().map(|a| a.finish()));
+            rows.push(row);
+        }
+        Ok(Some(RecordBatch::from_rows(self.schema.clone(), &rows)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "HashAggregate"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{avg, col, count, count_star, lit, max, min, sum};
+    use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
+
+    #[test]
+    fn grouped_sums() {
+        let batch = int_batch(&[("g", vec![1, 2, 1, 2, 1]), ("v", vec![10, 20, 30, 40, 50])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("g")],
+            vec![sum(col("v")).alias("total"), count_star().alias("n")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let rows = out.to_rows();
+        let g1 = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert_eq!(g1[1], Value::Int(90));
+        assert_eq!(g1[2], Value::Int(3));
+        let g2 = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(g2[1], Value::Int(60));
+    }
+
+    #[test]
+    fn global_aggregate_no_groups() {
+        let batch = int_batch(&[("v", vec![1, 2, 3, 4])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![
+                sum(col("v")),
+                min(col("v")),
+                max(col("v")),
+                avg(col("v")),
+                count(col("v")),
+            ],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        let r = out.row(0);
+        assert_eq!(r[0], Value::Int(10));
+        assert_eq!(r[1], Value::Int(1));
+        assert_eq!(r[2], Value::Int(4));
+        assert_eq!(r[3], Value::Float(2.5));
+        assert_eq!(r[4], Value::Int(4));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate() {
+        let batch = int_batch(&[("v", vec![])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![count_star().alias("n"), sum(col("v")).alias("s")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int(0));
+        assert!(out.row(0)[1].is_null());
+    }
+
+    #[test]
+    fn empty_input_grouped_aggregate_yields_no_rows() {
+        let batch = int_batch(&[("g", vec![]), ("v", vec![])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("g")],
+            vec![count_star()],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        use backbone_storage::{Column, DataType, Field};
+        let schema = Schema::new(vec![Field::nullable("v", DataType::Int64)]);
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![Arc::new(Column::from_opt_i64(vec![Some(1), None, Some(3)]))],
+        )
+        .unwrap();
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![count(col("v")).alias("c"), count_star().alias("cs")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.row(0)[0], Value::Int(2));
+        assert_eq!(out.row(0)[1], Value::Int(3));
+    }
+
+    #[test]
+    fn expression_group_keys() {
+        let batch = int_batch(&[("v", vec![1, 2, 3, 4, 5, 6])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("v").modulo(lit(2i64)).alias("parity")],
+            vec![count_star().alias("n")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert!(out.to_rows().iter().all(|r| r[1] == Value::Int(3)));
+    }
+
+    #[test]
+    fn aggregate_across_batches() {
+        let b1 = int_batch(&[("g", vec![1, 2]), ("v", vec![1, 1])]);
+        let b2 = int_batch(&[("g", vec![1, 2]), ("v", vec![10, 10])]);
+        let src = BatchSource::new(b1.schema().clone(), vec![b1, b2]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(src),
+            vec![col("g")],
+            vec![sum(col("v")).alias("s")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        let rows = out.to_rows();
+        assert!(rows.iter().any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(11)));
+    }
+
+    #[test]
+    fn sum_int_overflow_detected() {
+        let batch = int_batch(&[("v", vec![i64::MAX, 1])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![sum(col("v"))],
+        )
+        .unwrap();
+        assert!(matches!(agg.next(), Err(QueryError::Arithmetic(_))));
+    }
+}

@@ -1,0 +1,335 @@
+//! Hash equi-join operator.
+
+use super::{drain, Operator};
+use crate::error::{QueryError, Result};
+use crate::logical::JoinType;
+use backbone_storage::{Column, RecordBatch, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Classic two-phase hash join: materialize and hash the left (build) side,
+/// then stream the right (probe) side. Supports inner and left-outer joins.
+pub struct HashJoinExec {
+    left: Option<Box<dyn Operator>>,
+    right: Box<dyn Operator>,
+    on: Vec<(String, String)>,
+    join_type: JoinType,
+    schema: Arc<Schema>,
+    build: Option<BuildSide>,
+    /// Unmatched-left output pending after the probe side is exhausted.
+    done_probe: bool,
+}
+
+struct BuildSide {
+    batch: RecordBatch,
+    index: HashMap<Vec<Value>, Vec<usize>>,
+    matched: Vec<bool>,
+    key_cols: Vec<usize>,
+}
+
+impl HashJoinExec {
+    /// Build a hash join of `left` and `right` on `(left_col, right_col)`
+    /// pairs.
+    pub fn new(
+        left: Box<dyn Operator>,
+        right: Box<dyn Operator>,
+        on: Vec<(String, String)>,
+        join_type: JoinType,
+    ) -> Result<HashJoinExec> {
+        if on.is_empty() {
+            return Err(QueryError::InvalidPlan("hash join requires at least one key".into()));
+        }
+        let lschema = left.schema();
+        let rschema = right.schema();
+        for (l, r) in &on {
+            lschema.index_of(l)?;
+            rschema.index_of(r)?;
+        }
+        let mut schema = lschema.join(&rschema);
+        if join_type == JoinType::Left {
+            // Right-side fields become nullable in the output.
+            let fields = schema
+                .fields()
+                .iter()
+                .enumerate()
+                .map(|(i, f)| {
+                    let mut f = f.clone();
+                    if i >= lschema.len() {
+                        f.nullable = true;
+                    }
+                    f
+                })
+                .collect();
+            schema = Schema::new(fields);
+        }
+        Ok(HashJoinExec {
+            left: Some(left),
+            right,
+            on,
+            join_type,
+            schema,
+            build: None,
+            done_probe: false,
+        })
+    }
+
+    fn ensure_built(&mut self) -> Result<()> {
+        if self.build.is_some() {
+            return Ok(());
+        }
+        let mut left = self.left.take().expect("build side consumed once");
+        let lschema = left.schema();
+        let batches = drain(left.as_mut())?;
+        let batch = RecordBatch::concat(lschema.clone(), &batches)?;
+        let key_cols: Vec<usize> = self
+            .on
+            .iter()
+            .map(|(l, _)| lschema.index_of(l).expect("validated in new"))
+            .collect();
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| batch.column(c).value(row)).collect();
+            // SQL join semantics: NULL keys never match.
+            if key.iter().any(|v| v.is_null()) {
+                continue;
+            }
+            index.entry(key).or_default().push(row);
+        }
+        let matched = vec![false; batch.num_rows()];
+        self.build = Some(BuildSide {
+            batch,
+            index,
+            matched,
+            key_cols: self
+                .on
+                .iter()
+                .map(|(_, r)| self.right.schema().index_of(r).expect("validated in new"))
+                .collect(),
+        });
+        Ok(())
+    }
+
+    fn emit_unmatched_left(&mut self) -> Result<Option<RecordBatch>> {
+        let build = self.build.as_ref().expect("built before probe finished");
+        let unmatched: Vec<usize> = build
+            .matched
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| (!m).then_some(i))
+            .collect();
+        if unmatched.is_empty() {
+            return Ok(None);
+        }
+        let left_part = build.batch.take(&unmatched)?;
+        // Right side: all-NULL columns of the right schema.
+        let rschema = self.right.schema();
+        let n = unmatched.len();
+        let mut cols: Vec<Arc<Column>> = left_part.columns().to_vec();
+        for f in rschema.fields() {
+            let mut c = Column::empty(f.data_type);
+            for _ in 0..n {
+                c.push_value(&Value::Null)?;
+            }
+            cols.push(Arc::new(c));
+        }
+        Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?))
+    }
+}
+
+impl Operator for HashJoinExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<RecordBatch>> {
+        self.ensure_built()?;
+        loop {
+            if self.done_probe {
+                return Ok(None);
+            }
+            let Some(probe) = self.right.next()? else {
+                self.done_probe = true;
+                if self.join_type == JoinType::Left {
+                    return self.emit_unmatched_left();
+                }
+                return Ok(None);
+            };
+            let build = self.build.as_mut().expect("built above");
+            let mut left_rows = Vec::new();
+            let mut right_rows = Vec::new();
+            for row in 0..probe.num_rows() {
+                let key: Vec<Value> = build
+                    .key_cols
+                    .iter()
+                    .map(|&c| probe.column(c).value(row))
+                    .collect();
+                if key.iter().any(|v| v.is_null()) {
+                    continue;
+                }
+                if let Some(matches) = build.index.get(&key) {
+                    for &l in matches {
+                        build.matched[l] = true;
+                        left_rows.push(l);
+                        right_rows.push(row);
+                    }
+                }
+            }
+            if left_rows.is_empty() {
+                continue;
+            }
+            let left_part = build.batch.take(&left_rows)?;
+            let right_part = probe.take(&right_rows)?;
+            let mut cols: Vec<Arc<Column>> = left_part.columns().to_vec();
+            cols.extend(right_part.columns().iter().cloned());
+            return Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?));
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "HashJoin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
+
+    fn join(
+        left: Vec<(&'static str, Vec<i64>)>,
+        right: Vec<(&'static str, Vec<i64>)>,
+        on: (&str, &str),
+        jt: JoinType,
+    ) -> RecordBatch {
+        let lb = int_batch(&left);
+        let rb = int_batch(&right);
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::single(rb)),
+            vec![(on.0.to_string(), on.1.to_string())],
+            jt,
+        )
+        .unwrap();
+        drain_one(&mut j).unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let out = join(
+            vec![("id", vec![1, 2, 3]), ("lv", vec![10, 20, 30])],
+            vec![("rid", vec![2, 3, 4]), ("rv", vec![200, 300, 400])],
+            ("id", "rid"),
+            JoinType::Inner,
+        );
+        assert_eq!(out.num_rows(), 2);
+        let ids: Vec<i64> = out.column(0).i64_data().unwrap().to_vec();
+        assert!(ids.contains(&2) && ids.contains(&3));
+        assert_eq!(out.num_columns(), 4);
+    }
+
+    #[test]
+    fn duplicate_keys_fan_out() {
+        let out = join(
+            vec![("id", vec![1, 1]), ("lv", vec![10, 11])],
+            vec![("rid", vec![1, 1, 1]), ("rv", vec![100, 101, 102])],
+            ("id", "rid"),
+            JoinType::Inner,
+        );
+        assert_eq!(out.num_rows(), 6); // 2 x 3 cross product on the key
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let out = join(
+            vec![("id", vec![1, 2, 3])],
+            vec![("rid", vec![2])],
+            ("id", "rid"),
+            JoinType::Left,
+        );
+        assert_eq!(out.num_rows(), 3);
+        // Find the row with id=1: its rid must be NULL.
+        let rows = out.to_rows();
+        let row1 = rows.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        assert!(row1[1].is_null());
+        let row2 = rows.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert_eq!(row2[1], Value::Int(2));
+    }
+
+    #[test]
+    fn empty_probe_side() {
+        let out = join(
+            vec![("id", vec![1, 2])],
+            vec![("rid", vec![])],
+            ("id", "rid"),
+            JoinType::Inner,
+        );
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn left_join_empty_probe_keeps_all_left() {
+        let out = join(
+            vec![("id", vec![1, 2])],
+            vec![("rid", vec![])],
+            ("id", "rid"),
+            JoinType::Left,
+        );
+        assert_eq!(out.num_rows(), 2);
+        assert!(out.to_rows().iter().all(|r| r[1].is_null()));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        use backbone_storage::{Column, DataType, Field};
+        let schema = Schema::new(vec![Field::nullable("id", DataType::Int64)]);
+        let lb = RecordBatch::try_new(
+            schema.clone(),
+            vec![Arc::new(Column::from_opt_i64(vec![Some(1), None]))],
+        )
+        .unwrap();
+        let rschema = Schema::new(vec![Field::nullable("rid", DataType::Int64)]);
+        let rb = RecordBatch::try_new(
+            rschema,
+            vec![Arc::new(Column::from_opt_i64(vec![Some(1), None]))],
+        )
+        .unwrap();
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::single(rb)),
+            vec![("id".to_string(), "rid".to_string())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let out = drain_one(&mut j).unwrap();
+        assert_eq!(out.num_rows(), 1, "NULL = NULL must not join");
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let lb = int_batch(&[("a", vec![1, 1, 2]), ("b", vec![1, 2, 1])]);
+        let rb = int_batch(&[("c", vec![1, 1]), ("d", vec![2, 9])]);
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::single(rb)),
+            vec![("a".to_string(), "c".to_string()), ("b".to_string(), "d".to_string())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let out = drain_one(&mut j).unwrap();
+        assert_eq!(out.num_rows(), 1); // only (1,2) matches
+    }
+
+    #[test]
+    fn missing_key_column_rejected() {
+        let lb = int_batch(&[("a", vec![1])]);
+        let rb = int_batch(&[("b", vec![1])]);
+        assert!(HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::single(rb)),
+            vec![("zzz".to_string(), "b".to_string())],
+            JoinType::Inner,
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Limit operator.
+
+use super::Operator;
+use crate::error::Result;
+use backbone_storage::{RecordBatch, Schema};
+use std::sync::Arc;
+
+/// Emits at most `n` rows from its input, then stops pulling.
+pub struct LimitExec {
+    input: Box<dyn Operator>,
+    remaining: usize,
+}
+
+impl LimitExec {
+    /// Wrap `input` with a row budget of `n`.
+    pub fn new(input: Box<dyn Operator>, n: usize) -> LimitExec {
+        LimitExec {
+            input,
+            remaining: n,
+        }
+    }
+}
+
+impl Operator for LimitExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn next(&mut self) -> Result<Option<RecordBatch>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let Some(batch) = self.input.next()? else {
+            return Ok(None);
+        };
+        if batch.num_rows() <= self.remaining {
+            self.remaining -= batch.num_rows();
+            Ok(Some(batch))
+        } else {
+            let out = batch.slice(0, self.remaining)?;
+            self.remaining = 0;
+            Ok(Some(out))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Limit"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
+
+    #[test]
+    fn truncates_mid_batch() {
+        let batch = int_batch(&[("x", vec![1, 2, 3, 4, 5])]);
+        let mut l = LimitExec::new(Box::new(BatchSource::single(batch)), 3);
+        let out = drain_one(&mut l).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn spans_batches_and_stops_pulling() {
+        let b1 = int_batch(&[("x", vec![1, 2])]);
+        let b2 = int_batch(&[("x", vec![3, 4])]);
+        let b3 = int_batch(&[("x", vec![5, 6])]);
+        let src = BatchSource::new(b1.schema().clone(), vec![b1, b2, b3]);
+        let mut l = LimitExec::new(Box::new(src), 3);
+        let out = drain_one(&mut l).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn zero_limit() {
+        let batch = int_batch(&[("x", vec![1])]);
+        let mut l = LimitExec::new(Box::new(BatchSource::single(batch)), 0);
+        assert!(l.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! Physical operators: interchangeable implementations of the logical algebra.
+//!
+//! Every operator is a Volcano-style batch iterator. The planner — not the
+//! caller — picks which operators realize a logical plan, which is exactly
+//! the physical independence the paper's panelists name as a lasting
+//! database principle.
+
+mod aggregate;
+mod filter;
+mod hash_join;
+mod limit;
+mod nl_join;
+mod project;
+mod scan;
+mod sort;
+mod topk;
+
+pub use aggregate::HashAggregateExec;
+pub use filter::FilterExec;
+pub use hash_join::HashJoinExec;
+pub use limit::LimitExec;
+pub use nl_join::NestedLoopJoinExec;
+pub use project::ProjectExec;
+pub use scan::TableScanExec;
+pub use sort::SortExec;
+pub use topk::TopKExec;
+
+use crate::error::Result;
+use backbone_storage::{RecordBatch, Schema};
+use std::sync::Arc;
+
+/// A pull-based physical operator producing record batches.
+pub trait Operator: Send {
+    /// The operator's output schema.
+    fn schema(&self) -> Arc<Schema>;
+
+    /// Produce the next batch, or `None` when exhausted.
+    fn next(&mut self) -> Result<Option<RecordBatch>>;
+
+    /// Operator name for EXPLAIN output.
+    fn name(&self) -> &'static str;
+}
+
+/// Drain an operator into a vector of batches.
+pub fn drain(op: &mut dyn Operator) -> Result<Vec<RecordBatch>> {
+    let mut out = Vec::new();
+    while let Some(batch) = op.next()? {
+        out.push(batch);
+    }
+    Ok(out)
+}
+
+/// Drain an operator and concatenate into a single batch.
+pub fn drain_one(op: &mut dyn Operator) -> Result<RecordBatch> {
+    let schema = op.schema();
+    let batches = drain(op)?;
+    Ok(RecordBatch::concat(schema, &batches)?)
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+    use backbone_storage::StorageError;
+
+    /// An operator that yields a fixed list of batches (test source).
+    pub struct BatchSource {
+        schema: Arc<Schema>,
+        batches: std::vec::IntoIter<RecordBatch>,
+    }
+
+    impl BatchSource {
+        pub fn new(schema: Arc<Schema>, batches: Vec<RecordBatch>) -> BatchSource {
+            BatchSource {
+                schema,
+                batches: batches.into_iter(),
+            }
+        }
+
+        /// Single-batch convenience constructor.
+        pub fn single(batch: RecordBatch) -> BatchSource {
+            BatchSource::new(batch.schema().clone(), vec![batch])
+        }
+    }
+
+    impl Operator for BatchSource {
+        fn schema(&self) -> Arc<Schema> {
+            self.schema.clone()
+        }
+
+        fn next(&mut self) -> Result<Option<RecordBatch>> {
+            Ok(self.batches.next())
+        }
+
+        fn name(&self) -> &'static str {
+            "BatchSource"
+        }
+    }
+
+    /// Build an int batch from (name, values) column specs.
+    pub fn int_batch(cols: &[(&str, Vec<i64>)]) -> RecordBatch {
+        use backbone_storage::{Column, DataType, Field};
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, _)| Field::new(*n, DataType::Int64))
+                .collect(),
+        );
+        let columns = cols
+            .iter()
+            .map(|(_, v)| Arc::new(Column::from_i64(v.clone())))
+            .collect();
+        RecordBatch::try_new(schema, columns)
+            .map_err(|e: StorageError| e)
+            .unwrap()
+    }
+}

@@ -1,0 +1,93 @@
+//! Projection operator.
+
+use super::Operator;
+use crate::error::Result;
+use crate::eval::eval;
+use crate::expr::Expr;
+use backbone_storage::{Field, RecordBatch, Schema};
+use std::sync::Arc;
+
+/// Computes one output column per expression.
+pub struct ProjectExec {
+    input: Box<dyn Operator>,
+    exprs: Vec<Expr>,
+    schema: Arc<Schema>,
+}
+
+impl ProjectExec {
+    /// Wrap `input`, computing `exprs` per batch.
+    pub fn new(input: Box<dyn Operator>, exprs: Vec<Expr>) -> Result<ProjectExec> {
+        let in_schema = input.schema();
+        let mut fields = Vec::with_capacity(exprs.len());
+        for e in &exprs {
+            fields.push(Field::nullable(e.output_name(), e.data_type(&in_schema)?));
+        }
+        Ok(ProjectExec {
+            input,
+            exprs,
+            schema: Schema::new(fields),
+        })
+    }
+}
+
+impl Operator for ProjectExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<RecordBatch>> {
+        let Some(batch) = self.input.next()? else {
+            return Ok(None);
+        };
+        let mut cols = Vec::with_capacity(self.exprs.len());
+        for e in &self.exprs {
+            cols.push(Arc::new(eval(e, &batch)?));
+        }
+        Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "Project"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
+    use backbone_storage::DataType;
+
+    #[test]
+    fn computes_expressions() {
+        let batch = int_batch(&[("a", vec![1, 2, 3]), ("b", vec![10, 20, 30])]);
+        let src = BatchSource::single(batch);
+        let mut p = ProjectExec::new(
+            Box::new(src),
+            vec![col("b").add(col("a")).alias("sum"), col("a")],
+        )
+        .unwrap();
+        let out = drain_one(&mut p).unwrap();
+        assert_eq!(out.schema().field(0).name, "sum");
+        assert_eq!(out.column(0).i64_data().unwrap(), &[11, 22, 33]);
+        assert_eq!(out.column(1).i64_data().unwrap(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn schema_typed_from_exprs() {
+        let batch = int_batch(&[("a", vec![1])]);
+        let p = ProjectExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("a").div(lit(2i64)).alias("half")],
+        )
+        .unwrap();
+        assert_eq!(p.schema().field(0).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn invalid_expr_rejected_at_build() {
+        let batch = int_batch(&[("a", vec![1])]);
+        assert!(ProjectExec::new(Box::new(BatchSource::single(batch)), vec![col("zzz")]).is_err());
+    }
+}

@@ -1,0 +1,161 @@
+//! Top-K operator: `ORDER BY ... LIMIT k` without a full sort.
+
+use super::Operator;
+use crate::error::Result;
+use crate::eval::eval;
+use crate::logical::SortKey;
+use crate::physical::sort::cmp_rows;
+use backbone_storage::{Column, RecordBatch, Schema, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Keeps only the best `k` rows under the sort keys, using a bounded
+/// selection buffer instead of sorting the whole input. The planner fuses
+/// `Limit(Sort(x))` into this operator.
+pub struct TopKExec {
+    input: Option<Box<dyn Operator>>,
+    keys: Vec<SortKey>,
+    k: usize,
+    schema: Arc<Schema>,
+    done: bool,
+}
+
+impl TopKExec {
+    /// Keep the best `k` rows of `input` under `keys`.
+    pub fn new(input: Box<dyn Operator>, keys: Vec<SortKey>, k: usize) -> TopKExec {
+        let schema = input.schema();
+        TopKExec {
+            input: Some(input),
+            keys,
+            k,
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl Operator for TopKExec {
+    fn schema(&self) -> Arc<Schema> {
+        self.schema.clone()
+    }
+
+    fn next(&mut self) -> Result<Option<RecordBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        self.done = true;
+        if self.k == 0 {
+            return Ok(Some(RecordBatch::empty(self.schema.clone())));
+        }
+        let mut input = self.input.take().expect("run once");
+
+        // Buffer of candidate rows as (key values, full row). Kept sorted and
+        // truncated to k after each batch: selection cost is
+        // O(n log(buffer)) and memory O(k + batch).
+        let mut buffer: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        let descending: Vec<bool> = self.keys.iter().map(|k| k.descending).collect();
+        let cmp_keys = |a: &[Value], b: &[Value]| -> Ordering {
+            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+                let ord = va.sql_cmp(vb);
+                let ord = if descending[i] { ord.reverse() } else { ord };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+
+        while let Some(batch) = input.next()? {
+            let key_cols: Vec<(Column, bool)> = self
+                .keys
+                .iter()
+                .map(|k| Ok((eval(&k.expr, &batch)?, k.descending)))
+                .collect::<Result<_>>()?;
+            // Pre-rank this batch's rows, take its local top-k, merge.
+            let mut local: Vec<usize> = (0..batch.num_rows()).collect();
+            local.sort_by(|&a, &b| cmp_rows(&key_cols, a, b));
+            local.truncate(self.k);
+            for row in local {
+                let key: Vec<Value> = key_cols.iter().map(|(c, _)| c.value(row)).collect();
+                buffer.push((key, batch.row(row)));
+            }
+            buffer.sort_by(|a, b| cmp_keys(&a.0, &b.0));
+            buffer.truncate(self.k);
+        }
+
+        let rows: Vec<Vec<Value>> = buffer.into_iter().map(|(_, row)| row).collect();
+        Ok(Some(RecordBatch::from_rows(self.schema.clone(), &rows)?))
+    }
+
+    fn name(&self) -> &'static str {
+        "TopK"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::col;
+    use crate::logical::{asc, desc};
+    use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
+    use crate::physical::SortExec;
+
+    #[test]
+    fn keeps_best_k() {
+        let batch = int_batch(&[("x", vec![5, 3, 9, 1, 7])]);
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 2);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn descending_top_k() {
+        let batch = int_batch(&[("x", vec![5, 3, 9, 1, 7])]);
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![desc(col("x"))], 3);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[9, 7, 5]);
+    }
+
+    #[test]
+    fn k_larger_than_input() {
+        let batch = int_batch(&[("x", vec![2, 1])]);
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 10);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[1, 2]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let batch = int_batch(&[("x", vec![1])]);
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 0);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn matches_sort_plus_limit_across_batches() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let batches: Vec<_> = (0..5)
+            .map(|_| {
+                let vals: Vec<i64> = (0..50).map(|_| rng.gen_range(0..1000)).collect();
+                int_batch(&[("x", vals)])
+            })
+            .collect();
+        let schema = batches[0].schema().clone();
+        let mut topk = TopKExec::new(
+            Box::new(BatchSource::new(schema.clone(), batches.clone())),
+            vec![asc(col("x"))],
+            7,
+        );
+        let a = drain_one(&mut topk).unwrap();
+        let mut sort = SortExec::new(
+            Box::new(BatchSource::new(schema, batches)),
+            vec![asc(col("x"))],
+        );
+        let full = drain_one(&mut sort).unwrap();
+        let b = full.slice(0, 7).unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+}

@@ -1,0 +1,162 @@
+//! Lowers logical plans to physical operator trees.
+
+use crate::catalog::Catalog;
+use crate::error::{QueryError, Result};
+use crate::executor::ExecOptions;
+use crate::logical::LogicalPlan;
+use crate::physical::{
+    FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec, Operator,
+    ProjectExec, SortExec, TableScanExec, TopKExec,
+};
+
+/// Lower `plan` to a physical operator tree.
+///
+/// Physical choices made here — hash vs nested-loop join, top-k fusion,
+/// parallel scans — are invisible to the logical plan: this function is the
+/// boundary where "logical/physical independence" lives.
+pub fn create_physical_plan(
+    plan: &LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<Box<dyn Operator>> {
+    match plan {
+        LogicalPlan::Scan {
+            table,
+            projection,
+            filters,
+            ..
+        } => {
+            let t = catalog
+                .table(table)
+                .ok_or_else(|| QueryError::TableNotFound(table.clone()))?;
+            Ok(Box::new(TableScanExec::new(
+                t,
+                projection.clone(),
+                filters.clone(),
+                opts.parallelism,
+            )?))
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let child = create_physical_plan(input, catalog, opts)?;
+            Ok(Box::new(FilterExec::new(child, predicate.clone())))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let child = create_physical_plan(input, catalog, opts)?;
+            Ok(Box::new(ProjectExec::new(child, exprs.clone())?))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            on,
+            join_type,
+        } => {
+            let l = create_physical_plan(left, catalog, opts)?;
+            let r = create_physical_plan(right, catalog, opts)?;
+            if on.is_empty() {
+                // No equi-keys: fall back to a (cross) nested-loop join.
+                if *join_type != crate::logical::JoinType::Inner {
+                    return Err(QueryError::InvalidPlan(
+                        "outer join requires equi-join keys".into(),
+                    ));
+                }
+                Ok(Box::new(NestedLoopJoinExec::new(l, r, None)))
+            } else {
+                Ok(Box::new(HashJoinExec::new(l, r, on.clone(), *join_type)?))
+            }
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let child = create_physical_plan(input, catalog, opts)?;
+            Ok(Box::new(HashAggregateExec::new(
+                child,
+                group_by.clone(),
+                aggs.clone(),
+            )?))
+        }
+        // Limit directly over Sort fuses into TopK: no full sort needed.
+        LogicalPlan::Limit { input, n } => {
+            if let LogicalPlan::Sort {
+                input: sort_input,
+                keys,
+            } = input.as_ref()
+            {
+                let child = create_physical_plan(sort_input, catalog, opts)?;
+                return Ok(Box::new(TopKExec::new(child, keys.clone(), *n)));
+            }
+            let child = create_physical_plan(input, catalog, opts)?;
+            Ok(Box::new(LimitExec::new(child, *n)))
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let child = create_physical_plan(input, catalog, opts)?;
+            Ok(Box::new(SortExec::new(child, keys.clone())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::logical::asc;
+    use crate::optimizer::test_fixtures::catalog;
+
+    #[test]
+    fn limit_sort_fuses_to_topk() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .sort(vec![asc(col("big_v"))])
+            .limit(5);
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        assert_eq!(op.name(), "TopK");
+    }
+
+    #[test]
+    fn sort_without_limit_stays_sort() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat).unwrap().sort(vec![asc(col("big_v"))]);
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        assert_eq!(op.name(), "Sort");
+    }
+
+    #[test]
+    fn join_without_keys_becomes_nested_loop() {
+        let cat = catalog();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::scan("small", &cat).unwrap()),
+            right: Box::new(LogicalPlan::scan("small", &cat).unwrap()),
+            on: vec![],
+            join_type: crate::logical::JoinType::Inner,
+        };
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        assert_eq!(op.name(), "NestedLoopJoin");
+    }
+
+    #[test]
+    fn missing_table_at_execution() {
+        let cat = catalog();
+        let plan = LogicalPlan::Scan {
+            table: "ghost".into(),
+            table_schema: backbone_storage::Schema::empty(),
+            projection: None,
+            filters: vec![],
+        };
+        assert!(matches!(
+            create_physical_plan(&plan, &cat, &ExecOptions::default()),
+            Err(QueryError::TableNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn filter_lowered() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .filter(col("big_v").lt(lit(3i64)));
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        assert_eq!(op.name(), "Filter");
+    }
+}

@@ -1,0 +1,257 @@
+//! SQL tokenizer.
+
+use crate::error::{QueryError, Result};
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser via [`Token::keyword_eq`]).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `.` (qualified names)
+    Dot,
+}
+
+impl Token {
+    /// Case-insensitive keyword comparison for identifiers.
+    pub fn keyword_eq(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize a SQL string.
+pub fn lex(sql: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Line comments: `-- ...`
+                if chars.get(i + 1) == Some(&'-') {
+                    while i < chars.len() && chars[i] != '\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Percent);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    return Err(QueryError::InvalidExpression("stray '!' in SQL".into()));
+                }
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::LtEq);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(QueryError::InvalidExpression(
+                                "unterminated string literal".into(),
+                            ))
+                        }
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') {
+                    out.push(Token::Float(text.parse().map_err(|_| {
+                        QueryError::InvalidExpression(format!("bad float literal '{text}'"))
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| {
+                        QueryError::InvalidExpression(format!("bad int literal '{text}'"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(QueryError::InvalidExpression(format!(
+                    "unexpected character '{other}' in SQL"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_query() {
+        let toks = lex("SELECT a, b FROM t WHERE a >= 1.5 AND s = 'x''y'").unwrap();
+        assert!(toks.contains(&Token::Ident("SELECT".into())));
+        assert!(toks.contains(&Token::GtEq));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("x'y".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT a -- the column\nFROM t").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("< <= > >= = <> != + - * / %").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(lex("SELECT ~").is_err());
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn keyword_matching_is_case_insensitive() {
+        let toks = lex("select").unwrap();
+        assert!(toks[0].keyword_eq("SELECT"));
+        assert!(toks[0].keyword_eq("select"));
+        assert!(!toks[0].keyword_eq("FROM"));
+    }
+}

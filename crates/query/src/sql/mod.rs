@@ -1,0 +1,24 @@
+//! A SQL front-end for the declarative layer.
+//!
+//! Supports single-statement `SELECT` queries:
+//!
+//! ```text
+//! SELECT <exprs | aggregates | *>
+//! FROM <table>
+//! [ [LEFT|INNER] JOIN <table> ON a = b [AND c = d]... ]...
+//! [ WHERE <predicate> ]
+//! [ GROUP BY <exprs> ] [ HAVING <predicate> ]
+//! [ ORDER BY <expr> [ASC|DESC], ... ]
+//! [ LIMIT <n> ]
+//! ```
+//!
+//! The parser lowers straight into [`crate::logical::LogicalPlan`], so SQL
+//! text and the builder API optimize and execute identically — two skins
+//! over one declarative algebra, which is the paper's "usability" point in
+//! practice.
+
+mod lexer;
+mod parser;
+
+pub use lexer::{lex, Token};
+pub use parser::parse_select;

@@ -1,0 +1,595 @@
+//! Typed, nullable column vectors — the unit of storage and execution.
+
+use crate::error::{Result, StorageError};
+use crate::types::{DataType, Value};
+
+/// A validity bitmap: one bit per row, set = valid (non-null).
+///
+/// Backed by `u64` words; all-valid bitmaps are represented without
+/// allocating (the common case for generated workloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+    /// Number of set (valid) bits, maintained incrementally.
+    ones: usize,
+}
+
+impl Bitmap {
+    /// An all-valid bitmap of the given length.
+    pub fn all_valid(len: usize) -> Self {
+        let nwords = len.div_ceil(64);
+        let mut words = vec![u64::MAX; nwords];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len, ones: len }
+    }
+
+    /// An all-null bitmap of the given length.
+    pub fn all_null(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Build from a slice of booleans (`true` = valid).
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bm = Bitmap::all_null(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bm.set(i, true);
+            }
+        }
+        bm
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether bit `i` is set (row is valid).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, valid: bool) {
+        debug_assert!(i < self.len);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let was = *word & mask != 0;
+        if valid && !was {
+            *word |= mask;
+            self.ones += 1;
+        } else if !valid && was {
+            *word &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, valid: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        self.len += 1;
+        if valid {
+            let i = self.len - 1;
+            self.words[i / 64] |= 1u64 << (i % 64);
+            self.ones += 1;
+        }
+    }
+
+    /// Number of valid (set) bits.
+    pub fn count_valid(&self) -> usize {
+        self.ones
+    }
+
+    /// Number of null (unset) bits.
+    pub fn count_null(&self) -> usize {
+        self.len - self.ones
+    }
+
+    /// Whether every row is valid.
+    pub fn all_set(&self) -> bool {
+        self.ones == self.len
+    }
+}
+
+/// A typed column of values with a validity bitmap.
+///
+/// Null slots hold an arbitrary placeholder in the values vector; consumers
+/// must consult the bitmap. This keeps the data arrays dense and branch-free
+/// for vectorized kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>, Bitmap),
+    /// 64-bit floats.
+    Float64(Vec<f64>, Bitmap),
+    /// UTF-8 strings.
+    Utf8(Vec<String>, Bitmap),
+    /// Booleans.
+    Bool(Vec<bool>, Bitmap),
+}
+
+impl Column {
+    /// Build a non-null Int64 column.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        let bm = Bitmap::all_valid(values.len());
+        Column::Int64(values, bm)
+    }
+
+    /// Build a non-null Float64 column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        let bm = Bitmap::all_valid(values.len());
+        Column::Float64(values, bm)
+    }
+
+    /// Build a non-null Utf8 column.
+    pub fn from_strings(values: Vec<String>) -> Self {
+        let bm = Bitmap::all_valid(values.len());
+        Column::Utf8(values, bm)
+    }
+
+    /// Build a non-null Bool column.
+    pub fn from_bools(values: Vec<bool>) -> Self {
+        let bm = Bitmap::all_valid(values.len());
+        Column::Bool(values, bm)
+    }
+
+    /// Build an Int64 column from options (None = NULL).
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut bm = Bitmap::all_null(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    bm.set(i, true);
+                }
+                None => data.push(0),
+            }
+        }
+        Column::Int64(data, bm)
+    }
+
+    /// Build a Float64 column from options (None = NULL).
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        let mut data = Vec::with_capacity(values.len());
+        let mut bm = Bitmap::all_null(values.len());
+        for (i, v) in values.into_iter().enumerate() {
+            match v {
+                Some(x) => {
+                    data.push(x);
+                    bm.set(i, true);
+                }
+                None => data.push(0.0),
+            }
+        }
+        Column::Float64(data, bm)
+    }
+
+    /// Build an empty column of the given type.
+    pub fn empty(dt: DataType) -> Self {
+        match dt {
+            DataType::Int64 => Column::Int64(Vec::new(), Bitmap::all_valid(0)),
+            DataType::Float64 => Column::Float64(Vec::new(), Bitmap::all_valid(0)),
+            DataType::Utf8 => Column::Utf8(Vec::new(), Bitmap::all_valid(0)),
+            DataType::Bool => Column::Bool(Vec::new(), Bitmap::all_valid(0)),
+        }
+    }
+
+    /// Build a column of the given type from dynamic values.
+    ///
+    /// Integers widen to floats when the target type is `Float64`.
+    pub fn from_values(dt: DataType, values: &[Value]) -> Result<Self> {
+        let mut col = Column::empty(dt);
+        for v in values {
+            col.push_value(v)?;
+        }
+        Ok(col)
+    }
+
+    /// The column's data type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(..) => DataType::Int64,
+            Column::Float64(..) => DataType::Float64,
+            Column::Utf8(..) => DataType::Utf8,
+            Column::Bool(..) => DataType::Bool,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v, _) => v.len(),
+            Column::Float64(v, _) => v.len(),
+            Column::Utf8(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+        }
+    }
+
+    /// Whether the column has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap.
+    pub fn validity(&self) -> &Bitmap {
+        match self {
+            Column::Int64(_, b) | Column::Float64(_, b) | Column::Utf8(_, b) | Column::Bool(_, b) => b,
+        }
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        !self.validity().get(i)
+    }
+
+    /// Read row `i` as a dynamic value.
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match self {
+            Column::Int64(v, _) => Value::Int(v[i]),
+            Column::Float64(v, _) => Value::Float(v[i]),
+            Column::Utf8(v, _) => Value::str(&v[i]),
+            Column::Bool(v, _) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Append a dynamic value, checking types (ints widen to float columns).
+    pub fn push_value(&mut self, v: &Value) -> Result<()> {
+        match (self, v) {
+            (Column::Int64(data, bm), Value::Int(x)) => {
+                data.push(*x);
+                bm.push(true);
+            }
+            (Column::Float64(data, bm), Value::Float(x)) => {
+                data.push(*x);
+                bm.push(true);
+            }
+            (Column::Float64(data, bm), Value::Int(x)) => {
+                data.push(*x as f64);
+                bm.push(true);
+            }
+            (Column::Utf8(data, bm), Value::Str(s)) => {
+                data.push(s.to_string());
+                bm.push(true);
+            }
+            (Column::Bool(data, bm), Value::Bool(x)) => {
+                data.push(*x);
+                bm.push(true);
+            }
+            (col, Value::Null) => match col {
+                Column::Int64(data, bm) => {
+                    data.push(0);
+                    bm.push(false);
+                }
+                Column::Float64(data, bm) => {
+                    data.push(0.0);
+                    bm.push(false);
+                }
+                Column::Utf8(data, bm) => {
+                    data.push(String::new());
+                    bm.push(false);
+                }
+                Column::Bool(data, bm) => {
+                    data.push(false);
+                    bm.push(false);
+                }
+            },
+            (col, v) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: col.data_type().to_string(),
+                    found: v
+                        .data_type()
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "NULL".into()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Borrow the raw i64 data, failing on other types.
+    pub fn i64_data(&self) -> Result<&[i64]> {
+        match self {
+            Column::Int64(v, _) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "INT64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow the raw f64 data, failing on other types.
+    pub fn f64_data(&self) -> Result<&[f64]> {
+        match self {
+            Column::Float64(v, _) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "FLOAT64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow the raw string data, failing on other types.
+    pub fn utf8_data(&self) -> Result<&[String]> {
+        match self {
+            Column::Utf8(v, _) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "UTF8".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Borrow the raw bool data, failing on other types.
+    pub fn bool_data(&self) -> Result<&[bool]> {
+        match self {
+            Column::Bool(v, _) => Ok(v),
+            other => Err(StorageError::TypeMismatch {
+                expected: "BOOL".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Gather rows at `indices` into a new column (hash-join/sort output path).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int64(v, bm) => {
+                let mut data = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    data.push(v[i]);
+                    if bm.get(i) {
+                        out_bm.set(out, true);
+                    }
+                }
+                Column::Int64(data, out_bm)
+            }
+            Column::Float64(v, bm) => {
+                let mut data = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    data.push(v[i]);
+                    if bm.get(i) {
+                        out_bm.set(out, true);
+                    }
+                }
+                Column::Float64(data, out_bm)
+            }
+            Column::Utf8(v, bm) => {
+                let mut data = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    data.push(v[i].clone());
+                    if bm.get(i) {
+                        out_bm.set(out, true);
+                    }
+                }
+                Column::Utf8(data, out_bm)
+            }
+            Column::Bool(v, bm) => {
+                let mut data = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    data.push(v[i]);
+                    if bm.get(i) {
+                        out_bm.set(out, true);
+                    }
+                }
+                Column::Bool(data, out_bm)
+            }
+        }
+    }
+
+    /// Keep only rows where `mask[i]` is true (filter path).
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        debug_assert_eq!(mask.len(), self.len());
+        let indices: Vec<usize> = mask
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &keep)| keep.then_some(i))
+            .collect();
+        self.take(&indices)
+    }
+
+    /// A contiguous slice `[offset, offset+len)` of this column.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        let indices: Vec<usize> = (offset..offset + len).collect();
+        self.take(&indices)
+    }
+
+    /// Concatenate columns of the same type.
+    pub fn concat(parts: &[&Column]) -> Result<Column> {
+        let Some(first) = parts.first() else {
+            return Err(StorageError::SchemaMismatch("concat of zero columns".into()));
+        };
+        let dt = first.data_type();
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let mut out = Column::empty(dt);
+        out.reserve(total);
+        for part in parts {
+            if part.data_type() != dt {
+                return Err(StorageError::TypeMismatch {
+                    expected: dt.to_string(),
+                    found: part.data_type().to_string(),
+                });
+            }
+            for i in 0..part.len() {
+                // Fast paths per type avoid Value round-trips.
+                match (&mut out, *part) {
+                    (Column::Int64(d, b), Column::Int64(s, sb)) => {
+                        d.push(s[i]);
+                        b.push(sb.get(i));
+                    }
+                    (Column::Float64(d, b), Column::Float64(s, sb)) => {
+                        d.push(s[i]);
+                        b.push(sb.get(i));
+                    }
+                    (Column::Utf8(d, b), Column::Utf8(s, sb)) => {
+                        d.push(s[i].clone());
+                        b.push(sb.get(i));
+                    }
+                    (Column::Bool(d, b), Column::Bool(s, sb)) => {
+                        d.push(s[i]);
+                        b.push(sb.get(i));
+                    }
+                    _ => unreachable!("type checked above"),
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::Int64(v, _) => v.reserve(additional),
+            Column::Float64(v, _) => v.reserve(additional),
+            Column::Utf8(v, _) => v.reserve(additional),
+            Column::Bool(v, _) => v.reserve(additional),
+        }
+    }
+
+    /// Approximate in-memory size in bytes (for scale accounting in benches).
+    pub fn byte_size(&self) -> usize {
+        let bm = self.validity().words.len() * 8;
+        bm + match self {
+            Column::Int64(v, _) => v.len() * 8,
+            Column::Float64(v, _) => v.len() * 8,
+            Column::Utf8(v, _) => v.iter().map(|s| s.len() + 24).sum(),
+            Column::Bool(v, _) => v.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let mut bm = Bitmap::all_null(130);
+        assert_eq!(bm.count_valid(), 0);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        assert_eq!(bm.count_valid(), 3);
+        bm.set(64, false);
+        assert_eq!(bm.count_valid(), 2);
+    }
+
+    #[test]
+    fn bitmap_all_valid_tail_word() {
+        let bm = Bitmap::all_valid(70);
+        assert_eq!(bm.count_valid(), 70);
+        assert!(bm.get(69));
+        assert!(bm.all_set());
+    }
+
+    #[test]
+    fn bitmap_push() {
+        let mut bm = Bitmap::all_valid(0);
+        for i in 0..100 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 100);
+        assert_eq!(bm.count_valid(), 34);
+        assert!(bm.get(0) && bm.get(99));
+        assert!(!bm.get(1));
+    }
+
+    #[test]
+    fn column_push_and_read() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push_value(&Value::Int(5)).unwrap();
+        c.push_value(&Value::Null).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(0), Value::Int(5));
+        assert_eq!(c.value(1), Value::Null);
+        assert!(c.is_null(1));
+    }
+
+    #[test]
+    fn column_type_mismatch() {
+        let mut c = Column::empty(DataType::Int64);
+        let err = c.push_value(&Value::str("x")).unwrap_err();
+        assert!(matches!(err, StorageError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn int_widens_to_float_column() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push_value(&Value::Int(3)).unwrap();
+        assert_eq!(c.value(0), Value::Float(3.0));
+    }
+
+    #[test]
+    fn take_preserves_nulls() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3), None]);
+        let t = c.take(&[3, 0, 1]);
+        assert_eq!(t.value(0), Value::Null);
+        assert_eq!(t.value(1), Value::Int(1));
+        assert_eq!(t.value(2), Value::Null);
+    }
+
+    #[test]
+    fn filter_by_mask() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        let f = c.filter(&[true, false, false, true]);
+        assert_eq!(f.i64_data().unwrap(), &[10, 40]);
+    }
+
+    #[test]
+    fn slice_column() {
+        let c = Column::from_strings(vec!["a".into(), "b".into(), "c".into(), "d".into()]);
+        let s = c.slice(1, 2);
+        assert_eq!(s.utf8_data().unwrap(), &["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn concat_columns() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_opt_i64(vec![None, Some(4)]);
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.value(2), Value::Null);
+        assert_eq!(c.value(3), Value::Int(4));
+    }
+
+    #[test]
+    fn concat_type_mismatch_errors() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_bools(vec![true]);
+        assert!(Column::concat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn byte_size_positive() {
+        let c = Column::from_strings(vec!["hello".into()]);
+        assert!(c.byte_size() > 5);
+    }
+}

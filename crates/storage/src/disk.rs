@@ -1,0 +1,142 @@
+//! A page store: the "disk" under the buffer pool.
+//!
+//! The store is in-memory (this is a laptop-scale reproduction — see
+//! DESIGN.md), but it counts physical reads/writes and can inject a
+//! configurable per-access latency so the buffer-pool experiments expose
+//! realistic hit/miss cost asymmetry.
+
+use crate::error::{Result, StorageError};
+use crate::page::{Page, PageId};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// I/O statistics for a page store.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Pages read from the store.
+    pub reads: u64,
+    /// Pages written to the store.
+    pub writes: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+/// An in-memory page store with I/O accounting.
+#[derive(Debug)]
+pub struct DiskManager {
+    pages: Mutex<Vec<Page>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    /// Simulated per-access latency; zero by default.
+    latency: std::time::Duration,
+}
+
+impl DiskManager {
+    /// An empty store with no simulated latency.
+    pub fn new() -> DiskManager {
+        DiskManager::with_latency(std::time::Duration::ZERO)
+    }
+
+    /// An empty store that sleeps `latency` on every read/write, emulating a
+    /// slow device for buffer-pool benchmarks.
+    pub fn with_latency(latency: std::time::Duration) -> DiskManager {
+        DiskManager {
+            pages: Mutex::new(Vec::new()),
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            latency,
+        }
+    }
+
+    /// Allocate a fresh zeroed page, returning its id.
+    pub fn allocate(&self) -> PageId {
+        let mut pages = self.pages.lock();
+        pages.push(Page::zeroed());
+        (pages.len() - 1) as PageId
+    }
+
+    /// Number of allocated pages.
+    pub fn num_pages(&self) -> usize {
+        self.pages.lock().len()
+    }
+
+    /// Read a page by id.
+    pub fn read(&self, id: PageId) -> Result<Page> {
+        self.simulate_latency();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let pages = self.pages.lock();
+        pages
+            .get(id as usize)
+            .cloned()
+            .ok_or(StorageError::PageNotFound(id))
+    }
+
+    /// Write a page by id.
+    pub fn write(&self, id: PageId, page: &Page) -> Result<()> {
+        self.simulate_latency();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let mut pages = self.pages.lock();
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::PageNotFound(id))?;
+        *slot = page.clone();
+        Ok(())
+    }
+
+    /// Current I/O statistics.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            allocations: self.num_pages() as u64,
+        }
+    }
+
+    fn simulate_latency(&self) {
+        if !self.latency.is_zero() {
+            std::thread::sleep(self.latency);
+        }
+    }
+}
+
+impl Default for DiskManager {
+    fn default() -> Self {
+        DiskManager::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_write() {
+        let disk = DiskManager::new();
+        let id = disk.allocate();
+        let mut p = Page::zeroed();
+        p.write_at(0, b"data");
+        disk.write(id, &p).unwrap();
+        let back = disk.read(id).unwrap();
+        assert_eq!(back.read_at(0, 4), b"data");
+    }
+
+    #[test]
+    fn missing_page_errors() {
+        let disk = DiskManager::new();
+        assert!(matches!(disk.read(9), Err(StorageError::PageNotFound(9))));
+        assert!(disk.write(9, &Page::zeroed()).is_err());
+    }
+
+    #[test]
+    fn stats_count_io() {
+        let disk = DiskManager::new();
+        let id = disk.allocate();
+        disk.write(id, &Page::zeroed()).unwrap();
+        disk.read(id).unwrap();
+        disk.read(id).unwrap();
+        let s = disk.stats();
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.allocations, 1);
+    }
+}

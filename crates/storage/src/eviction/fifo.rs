@@ -1,0 +1,69 @@
+//! First-in first-out replacement.
+
+use super::Policy;
+use std::collections::VecDeque;
+
+/// FIFO: evicts the key resident longest, regardless of accesses.
+#[derive(Debug, Default)]
+pub struct Fifo {
+    queue: VecDeque<u64>,
+}
+
+impl Fifo {
+    /// An empty FIFO policy.
+    pub fn new() -> Fifo {
+        Fifo::default()
+    }
+}
+
+impl Policy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn on_access(&mut self, _key: u64) {
+        // FIFO ignores accesses by definition.
+    }
+
+    fn on_insert(&mut self, key: u64) {
+        self.queue.push_back(key);
+    }
+
+    fn evict(&mut self, pinned: &dyn Fn(u64) -> bool) -> Option<u64> {
+        let pos = self.queue.iter().position(|&k| !pinned(k))?;
+        self.queue.remove(pos)
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        if let Some(pos) = self.queue.iter().position(|&k| k == key) {
+            self.queue.remove(pos);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_insertion_order() {
+        let mut p = Fifo::new();
+        p.on_insert(10);
+        p.on_insert(20);
+        p.on_insert(30);
+        // Access does not change FIFO order.
+        p.on_access(10);
+        assert_eq!(p.evict(&|_| false), Some(10));
+        assert_eq!(p.evict(&|_| false), Some(20));
+        assert_eq!(p.evict(&|_| false), Some(30));
+    }
+
+    #[test]
+    fn pinned_head_skipped() {
+        let mut p = Fifo::new();
+        p.on_insert(1);
+        p.on_insert(2);
+        assert_eq!(p.evict(&|k| k == 1), Some(2));
+        assert_eq!(p.evict(&|_| false), Some(1));
+    }
+}

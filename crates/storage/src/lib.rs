@@ -1,0 +1,39 @@
+//! # backbone-storage
+//!
+//! Columnar storage substrate for the `backbone` data engine.
+//!
+//! The crate provides the physical layer that the paper's "logical/physical
+//! independence" principle separates from the declarative query layer:
+//!
+//! - [`types`]: scalar values and data types,
+//! - [`column`]: typed, nullable column vectors,
+//! - [`schema`]: field and schema descriptors,
+//! - [`batch`]: record batches (the unit of vectorized execution),
+//! - [`table`]: row-grouped tables with zone-map pruning statistics,
+//! - [`compress`]: lightweight column encodings (RLE, dictionary, bit-packing),
+//! - [`page`] / [`disk`]: fixed-size pages and a page store,
+//! - [`eviction`]: pluggable cache replacement policies (LRU, LRU-K, CLOCK,
+//!   LFU, 2Q, FIFO, and a Belady oracle),
+//! - [`cache`]: a policy-driven cache simulator shared with the LLM KV-cache
+//!   study (experiment E4),
+//! - [`bufferpool`]: a pin/unpin page buffer pool over the page store.
+
+pub mod batch;
+pub mod bufferpool;
+pub mod cache;
+pub mod column;
+pub mod compress;
+pub mod disk;
+pub mod error;
+pub mod eviction;
+pub mod page;
+pub mod schema;
+pub mod table;
+pub mod types;
+
+pub use batch::RecordBatch;
+pub use column::{Bitmap, Column};
+pub use error::StorageError;
+pub use schema::{Field, Schema};
+pub use table::{RowGroup, Table};
+pub use types::{DataType, Value};

@@ -1,0 +1,91 @@
+//! Fixed-size pages, the unit of buffering and I/O.
+
+/// Size of a page in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifier of a page within a page store.
+pub type PageId = u64;
+
+/// A fixed-size page of bytes.
+#[derive(Clone)]
+pub struct Page {
+    data: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Page {
+    /// A zeroed page.
+    pub fn zeroed() -> Page {
+        Page {
+            data: Box::new([0u8; PAGE_SIZE]),
+        }
+    }
+
+    /// Borrow the page bytes.
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutably borrow the page bytes.
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Write `src` at `offset`, truncating at the page boundary. Returns the
+    /// number of bytes written.
+    pub fn write_at(&mut self, offset: usize, src: &[u8]) -> usize {
+        if offset >= PAGE_SIZE {
+            return 0;
+        }
+        let n = src.len().min(PAGE_SIZE - offset);
+        self.data[offset..offset + n].copy_from_slice(&src[..n]);
+        n
+    }
+
+    /// Read `len` bytes at `offset`, truncated at the page boundary.
+    pub fn read_at(&self, offset: usize, len: usize) -> &[u8] {
+        if offset >= PAGE_SIZE {
+            return &[];
+        }
+        let n = len.min(PAGE_SIZE - offset);
+        &self.data[offset..offset + n]
+    }
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Page::zeroed()
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Page({} bytes)", PAGE_SIZE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut p = Page::zeroed();
+        assert_eq!(p.write_at(10, b"hello"), 5);
+        assert_eq!(p.read_at(10, 5), b"hello");
+    }
+
+    #[test]
+    fn write_truncates_at_boundary() {
+        let mut p = Page::zeroed();
+        let n = p.write_at(PAGE_SIZE - 3, b"abcdef");
+        assert_eq!(n, 3);
+        assert_eq!(p.read_at(PAGE_SIZE - 3, 10), b"abc");
+    }
+
+    #[test]
+    fn write_past_end_is_noop() {
+        let mut p = Page::zeroed();
+        assert_eq!(p.write_at(PAGE_SIZE, b"x"), 0);
+        assert_eq!(p.read_at(PAGE_SIZE, 1), b"");
+    }
+}

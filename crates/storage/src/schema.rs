@@ -1,0 +1,145 @@
+//! Field and schema descriptors.
+
+use crate::error::{Result, StorageError};
+use crate::types::DataType;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A named, typed field in a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+    /// Whether NULLs are permitted.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// A non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// A nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Arc<Self> {
+        Arc::new(Schema { fields })
+    }
+
+    /// An empty schema.
+    pub fn empty() -> Arc<Self> {
+        Arc::new(Schema { fields: Vec::new() })
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Field at ordinal `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Ordinal of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| StorageError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Field named `name`.
+    pub fn field_by_name(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// A new schema with a subset of this one's fields, by ordinal.
+    pub fn project(&self, indices: &[usize]) -> Arc<Schema> {
+        Schema::new(indices.iter().map(|&i| self.fields[i].clone()).collect())
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Arc<Schema> {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema::new(fields)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        assert_eq!(s.index_of("price").unwrap(), 2);
+        assert!(s.index_of("nope").is_err());
+        assert_eq!(s.field_by_name("name").unwrap().data_type, DataType::Utf8);
+    }
+
+    #[test]
+    fn project_subset() {
+        let s = sample();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.field(0).name, "price");
+        assert_eq!(p.field(1).name, "id");
+    }
+
+    #[test]
+    fn join_schemas() {
+        let s = sample();
+        let j = s.join(&s);
+        assert_eq!(j.len(), 6);
+        assert_eq!(j.field(3).name, "id");
+    }
+
+    #[test]
+    fn nullable_flag() {
+        let s = sample();
+        assert!(!s.field(0).nullable);
+        assert!(s.field(1).nullable);
+    }
+}

@@ -1,0 +1,329 @@
+//! Row-grouped tables with zone-map pruning statistics.
+//!
+//! A [`Table`] is an append-only collection of [`RowGroup`]s. Each row group
+//! carries a [`ZoneMap`] per column (min/max/null-count) so scans can skip
+//! groups that cannot satisfy a predicate — the physical-side half of the
+//! "logical/physical independence" principle: the query layer expresses
+//! *what* rows it wants and the table decides *which groups* to touch.
+
+use crate::batch::RecordBatch;
+use crate::column::Column;
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::types::Value;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Default number of rows per row group.
+pub const DEFAULT_ROW_GROUP_SIZE: usize = 65_536;
+
+/// Min/max/null statistics for one column of one row group.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    /// Minimum non-null value, if any non-null value exists.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any non-null value exists.
+    pub max: Option<Value>,
+    /// Number of NULL rows.
+    pub null_count: usize,
+    /// Total rows covered.
+    pub row_count: usize,
+}
+
+impl ZoneMap {
+    /// Compute the zone map for a column.
+    pub fn from_column(col: &Column) -> ZoneMap {
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let mut null_count = 0;
+        for i in 0..col.len() {
+            let v = col.value(i);
+            if v.is_null() {
+                null_count += 1;
+                continue;
+            }
+            match &min {
+                None => min = Some(v.clone()),
+                Some(m) if v.sql_cmp(m) == Ordering::Less => min = Some(v.clone()),
+                _ => {}
+            }
+            match &max {
+                None => max = Some(v),
+                Some(m) if v.sql_cmp(m) == Ordering::Greater => max = Some(v),
+                _ => {}
+            }
+        }
+        ZoneMap {
+            min,
+            max,
+            null_count,
+            row_count: col.len(),
+        }
+    }
+
+    /// Could any row in this zone equal `v`?
+    pub fn may_contain_eq(&self, v: &Value) -> bool {
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                v.sql_cmp(min) != Ordering::Less && v.sql_cmp(max) != Ordering::Greater
+            }
+            // All-null group: equality with a non-null constant is impossible.
+            _ => false,
+        }
+    }
+
+    /// Could any row satisfy `row < v` (strict) / `row <= v`?
+    pub fn may_contain_lt(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.min {
+            Some(min) => {
+                let c = min.sql_cmp(v);
+                c == Ordering::Less || (inclusive && c == Ordering::Equal)
+            }
+            None => false,
+        }
+    }
+
+    /// Could any row satisfy `row > v` (strict) / `row >= v`?
+    pub fn may_contain_gt(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.max {
+            Some(max) => {
+                let c = max.sql_cmp(v);
+                c == Ordering::Greater || (inclusive && c == Ordering::Equal)
+            }
+            None => false,
+        }
+    }
+}
+
+/// A horizontal partition of a table: one immutable batch plus per-column
+/// zone maps.
+#[derive(Debug, Clone)]
+pub struct RowGroup {
+    batch: RecordBatch,
+    zones: Vec<ZoneMap>,
+}
+
+impl RowGroup {
+    /// Seal a batch into a row group, computing zone maps.
+    pub fn new(batch: RecordBatch) -> RowGroup {
+        let zones = batch
+            .columns()
+            .iter()
+            .map(|c| ZoneMap::from_column(c))
+            .collect();
+        RowGroup { batch, zones }
+    }
+
+    /// The underlying batch.
+    pub fn batch(&self) -> &RecordBatch {
+        &self.batch
+    }
+
+    /// Zone map for column ordinal `i`.
+    pub fn zone(&self, i: usize) -> &ZoneMap {
+        &self.zones[i]
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.batch.num_rows()
+    }
+}
+
+/// An append-only, row-grouped columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Arc<Schema>,
+    groups: Vec<RowGroup>,
+    /// Rows buffered but not yet sealed into a group.
+    pending: Vec<Vec<Value>>,
+    group_size: usize,
+    rows: usize,
+}
+
+impl Table {
+    /// An empty table with the default row-group size.
+    pub fn new(schema: Arc<Schema>) -> Table {
+        Table::with_group_size(schema, DEFAULT_ROW_GROUP_SIZE)
+    }
+
+    /// An empty table with a custom row-group size (useful for testing
+    /// pruning with small groups).
+    pub fn with_group_size(schema: Arc<Schema>, group_size: usize) -> Table {
+        assert!(group_size > 0, "row group size must be positive");
+        Table {
+            schema,
+            groups: Vec::new(),
+            pending: Vec::new(),
+            group_size,
+            rows: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Total rows (sealed + pending).
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of sealed row groups (pending rows excluded until flushed).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Append one row.
+    pub fn append_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "row has {} values, schema has {} fields",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        self.pending.push(row);
+        self.rows += 1;
+        if self.pending.len() >= self.group_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Append a whole batch (split into groups as needed).
+    pub fn append_batch(&mut self, batch: &RecordBatch) -> Result<()> {
+        for i in 0..batch.num_rows() {
+            self.append_row(batch.row(i))?;
+        }
+        Ok(())
+    }
+
+    /// Seal pending rows into a row group.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let rows = std::mem::take(&mut self.pending);
+        let batch = RecordBatch::from_rows(self.schema.clone(), &rows)?;
+        self.groups.push(RowGroup::new(batch));
+        Ok(())
+    }
+
+    /// Iterate sealed row groups. Call [`Table::flush`] first to include
+    /// recent appends.
+    pub fn groups(&self) -> impl Iterator<Item = &RowGroup> {
+        self.groups.iter()
+    }
+
+    /// Materialize the whole table as one batch (testing / small tables).
+    pub fn to_batch(&self) -> Result<RecordBatch> {
+        let mut batches: Vec<RecordBatch> = self.groups.iter().map(|g| g.batch().clone()).collect();
+        if !self.pending.is_empty() {
+            batches.push(RecordBatch::from_rows(self.schema.clone(), &self.pending)?);
+        }
+        RecordBatch::concat(self.schema.clone(), &batches)
+    }
+
+    /// Approximate in-memory size in bytes of sealed groups.
+    pub fn byte_size(&self) -> usize {
+        self.groups.iter().map(|g| g.batch().byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Field;
+    use crate::types::DataType;
+
+    fn schema() -> Arc<Schema> {
+        Schema::new(vec![
+            Field::new("k", DataType::Int64),
+            Field::nullable("v", DataType::Utf8),
+        ])
+    }
+
+    #[test]
+    fn append_and_group_sealing() {
+        let mut t = Table::with_group_size(schema(), 4);
+        for i in 0..10 {
+            t.append_row(vec![Value::Int(i), Value::str(format!("r{i}"))]).unwrap();
+        }
+        assert_eq!(t.num_rows(), 10);
+        assert_eq!(t.num_groups(), 2); // two sealed groups of 4, 2 pending
+        t.flush().unwrap();
+        assert_eq!(t.num_groups(), 3);
+    }
+
+    #[test]
+    fn zone_map_min_max() {
+        let col = Column::from_i64(vec![5, 1, 9, 3]);
+        let z = ZoneMap::from_column(&col);
+        assert_eq!(z.min, Some(Value::Int(1)));
+        assert_eq!(z.max, Some(Value::Int(9)));
+        assert_eq!(z.null_count, 0);
+    }
+
+    #[test]
+    fn zone_map_nulls() {
+        let col = Column::from_opt_i64(vec![None, Some(2), None]);
+        let z = ZoneMap::from_column(&col);
+        assert_eq!(z.min, Some(Value::Int(2)));
+        assert_eq!(z.null_count, 2);
+    }
+
+    #[test]
+    fn zone_map_all_null() {
+        let col = Column::from_opt_i64(vec![None, None]);
+        let z = ZoneMap::from_column(&col);
+        assert_eq!(z.min, None);
+        assert!(!z.may_contain_eq(&Value::Int(0)));
+        assert!(!z.may_contain_lt(&Value::Int(100), true));
+        assert!(!z.may_contain_gt(&Value::Int(-100), true));
+    }
+
+    #[test]
+    fn zone_pruning_predicates() {
+        let col = Column::from_i64(vec![10, 20, 30]);
+        let z = ZoneMap::from_column(&col);
+        assert!(z.may_contain_eq(&Value::Int(20)));
+        assert!(z.may_contain_eq(&Value::Int(15))); // within range: may contain
+        assert!(!z.may_contain_eq(&Value::Int(5)));
+        assert!(!z.may_contain_eq(&Value::Int(35)));
+        // row < 10? min is 10, strict: no. inclusive (<=10): yes.
+        assert!(!z.may_contain_lt(&Value::Int(10), false));
+        assert!(z.may_contain_lt(&Value::Int(10), true));
+        // row > 30? strict no, inclusive yes.
+        assert!(!z.may_contain_gt(&Value::Int(30), false));
+        assert!(z.may_contain_gt(&Value::Int(30), true));
+    }
+
+    #[test]
+    fn to_batch_includes_pending() {
+        let mut t = Table::with_group_size(schema(), 100);
+        t.append_row(vec![Value::Int(1), Value::Null]).unwrap();
+        t.append_row(vec![Value::Int(2), Value::str("x")]).unwrap();
+        let b = t.to_batch().unwrap();
+        assert_eq!(b.num_rows(), 2);
+        assert_eq!(b.row(0)[1], Value::Null);
+    }
+
+    #[test]
+    fn arity_check() {
+        let mut t = Table::new(schema());
+        assert!(t.append_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn row_group_zones_accessible() {
+        let mut t = Table::with_group_size(schema(), 2);
+        t.append_row(vec![Value::Int(7), Value::str("a")]).unwrap();
+        t.append_row(vec![Value::Int(3), Value::str("b")]).unwrap();
+        let g = t.groups().next().unwrap();
+        assert_eq!(g.zone(0).min, Some(Value::Int(3)));
+        assert_eq!(g.zone(0).max, Some(Value::Int(7)));
+        assert_eq!(g.num_rows(), 2);
+    }
+}

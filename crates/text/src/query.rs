@@ -1,0 +1,126 @@
+//! Boolean and phrase queries over the inverted index.
+
+use crate::index::InvertedIndex;
+use crate::tokenize::tokenize_with;
+use std::collections::BTreeSet;
+
+/// A boolean text query tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextQuery {
+    /// Documents containing the term.
+    Term(String),
+    /// Documents containing the exact phrase.
+    Phrase(Vec<String>),
+    /// Intersection.
+    And(Box<TextQuery>, Box<TextQuery>),
+    /// Union.
+    Or(Box<TextQuery>, Box<TextQuery>),
+    /// Complement (within the indexed corpus).
+    Not(Box<TextQuery>),
+}
+
+impl TextQuery {
+    /// A term query (lowercased).
+    pub fn term(t: impl AsRef<str>) -> TextQuery {
+        TextQuery::Term(t.as_ref().to_lowercase())
+    }
+
+    /// A phrase query tokenized from text (stopwords kept for position
+    /// fidelity).
+    pub fn phrase(text: &str) -> TextQuery {
+        TextQuery::Phrase(tokenize_with(text, false))
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: TextQuery) -> TextQuery {
+        TextQuery::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: TextQuery) -> TextQuery {
+        TextQuery::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    pub fn negate(self) -> TextQuery {
+        TextQuery::Not(Box::new(self))
+    }
+
+    /// Evaluate to the matching document set.
+    pub fn eval(&self, index: &InvertedIndex) -> BTreeSet<u64> {
+        match self {
+            TextQuery::Term(t) => index.postings(t).iter().map(|p| p.doc).collect(),
+            TextQuery::Phrase(terms) => index.phrase_docs(terms).into_iter().collect(),
+            TextQuery::And(a, b) => {
+                let sa = a.eval(index);
+                let sb = b.eval(index);
+                sa.intersection(&sb).copied().collect()
+            }
+            TextQuery::Or(a, b) => {
+                let mut sa = a.eval(index);
+                sa.extend(b.eval(index));
+                sa
+            }
+            TextQuery::Not(q) => {
+                let matched = q.eval(index);
+                index.doc_ids().filter(|d| !matched.contains(d)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add_document(1, "red apple pie");
+        ix.add_document(2, "green apple tart");
+        ix.add_document(3, "red velvet cake");
+        ix
+    }
+
+    fn ids(s: BTreeSet<u64>) -> Vec<u64> {
+        s.into_iter().collect()
+    }
+
+    #[test]
+    fn term_query() {
+        assert_eq!(ids(TextQuery::term("apple").eval(&index())), vec![1, 2]);
+        assert_eq!(ids(TextQuery::term("APPLE").eval(&index())), vec![1, 2]);
+    }
+
+    #[test]
+    fn and_or_not() {
+        let ix = index();
+        let q = TextQuery::term("red").and(TextQuery::term("apple"));
+        assert_eq!(ids(q.eval(&ix)), vec![1]);
+        let q = TextQuery::term("red").or(TextQuery::term("apple"));
+        assert_eq!(ids(q.eval(&ix)), vec![1, 2, 3]);
+        let q = TextQuery::term("apple").negate();
+        assert_eq!(ids(q.eval(&ix)), vec![3]);
+    }
+
+    #[test]
+    fn phrase_query() {
+        let ix = index();
+        assert_eq!(ids(TextQuery::phrase("red apple").eval(&ix)), vec![1]);
+        assert!(ids(TextQuery::phrase("apple red").eval(&ix)).is_empty());
+    }
+
+    #[test]
+    fn nested_composition() {
+        let ix = index();
+        // (red OR green) AND NOT cake
+        let q = TextQuery::term("red")
+            .or(TextQuery::term("green"))
+            .and(TextQuery::term("cake").negate());
+        assert_eq!(ids(q.eval(&ix)), vec![1, 2]);
+    }
+
+    #[test]
+    fn unknown_term_empty() {
+        assert!(TextQuery::term("zzz").eval(&index()).is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Transaction errors.
+
+use std::fmt;
+
+/// Errors surfaced by transaction engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnError {
+    /// A write-write conflict under snapshot isolation; the caller should
+    /// retry the transaction.
+    Conflict,
+    /// An `Add` underflowed below zero (domain constraint used by the bank
+    /// workload).
+    ConstraintViolation,
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Conflict => write!(f, "write-write conflict; retry"),
+            TxnError::ConstraintViolation => write!(f, "constraint violation"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}

@@ -1,0 +1,243 @@
+//! Multi-threaded workload driver for the E5 throughput ladder.
+
+use crate::ops::{execute_with_retry, KvEngine, TxnOp};
+use rand::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Workload shape for [`run_workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Worker threads.
+    pub threads: usize,
+    /// Transactions per thread.
+    pub txns_per_thread: usize,
+    /// Number of keys.
+    pub keys: u64,
+    /// Zipf-like skew in [0, 1): 0 = uniform, higher = more contended.
+    pub skew: f64,
+    /// Fraction of read-only transactions in [0, 1].
+    pub read_ratio: f64,
+    /// Ops per transaction.
+    pub ops_per_txn: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 4,
+            txns_per_thread: 1000,
+            keys: 1024,
+            skew: 0.5,
+            read_ratio: 0.5,
+            ops_per_txn: 4,
+            seed: 42,
+        }
+    }
+}
+
+/// Results of one workload run.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadReport {
+    /// Committed transactions.
+    pub committed: u64,
+    /// Optimistic aborts (retries).
+    pub aborts: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl WorkloadReport {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        if self.seconds == 0.0 {
+            0.0
+        } else {
+            self.committed as f64 / self.seconds
+        }
+    }
+}
+
+/// Skewed key selection: `skew = 0` is uniform; higher values concentrate
+/// accesses on low keys (a cheap Zipf stand-in with the right shape).
+fn pick_key(rng: &mut StdRng, keys: u64, skew: f64) -> u64 {
+    let u: f64 = rng.gen();
+    // Power transform: exponent grows with skew.
+    let exp = 1.0 + skew * 8.0;
+    ((u.powf(exp)) * keys as f64) as u64 % keys
+}
+
+/// Drive `engine` with the configured workload and report throughput.
+///
+/// Transfers use balanced `Add` pairs so the key-space total is invariant —
+/// the integration tests assert it after every run, making the harness
+/// itself an isolation checker.
+pub fn run_workload(engine: Arc<dyn KvEngine>, config: &WorkloadConfig) -> WorkloadReport {
+    let committed = Arc::new(AtomicU64::new(0));
+    let aborts = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..config.threads)
+        .map(|t| {
+            let engine = engine.clone();
+            let committed = committed.clone();
+            let aborts = aborts.clone();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E3779B9));
+                for _ in 0..config.txns_per_thread {
+                    let read_only = rng.gen::<f64>() < config.read_ratio;
+                    let mut ops = Vec::with_capacity(config.ops_per_txn);
+                    if read_only {
+                        for _ in 0..config.ops_per_txn {
+                            ops.push(TxnOp::Read(pick_key(&mut rng, config.keys, config.skew)));
+                        }
+                    } else {
+                        // Balanced transfer pairs keep the total invariant.
+                        for _ in 0..(config.ops_per_txn / 2).max(1) {
+                            let from = pick_key(&mut rng, config.keys, config.skew);
+                            let to = pick_key(&mut rng, config.keys, config.skew);
+                            ops.push(TxnOp::Add(from, -1));
+                            ops.push(TxnOp::Add(to, 1));
+                        }
+                    }
+                    let (res, a) = execute_with_retry(engine.as_ref(), &ops);
+                    aborts.fetch_add(a, Ordering::Relaxed);
+                    if res.is_ok() {
+                        committed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    WorkloadReport {
+        committed: committed.load(Ordering::Relaxed),
+        aborts: aborts.load(Ordering::Relaxed),
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Initial balance used by [`load_initial`].
+pub const INITIAL_BALANCE: u64 = 1_000_000;
+
+/// Load every key with [`INITIAL_BALANCE`] (large enough that constraint
+/// violations are effectively impossible during a run).
+pub fn load_initial(engine: &dyn LoadableEngine, keys: u64) {
+    engine.load_pairs(Box::new((0..keys).map(|k| (k, INITIAL_BALANCE))));
+}
+
+/// Engines that support bulk loading.
+pub trait LoadableEngine {
+    /// Install initial key-value pairs without logging.
+    fn load_pairs(&self, pairs: Box<dyn Iterator<Item = (u64, u64)> + '_>);
+}
+
+impl LoadableEngine for crate::serial::SerialEngine {
+    fn load_pairs(&self, pairs: Box<dyn Iterator<Item = (u64, u64)> + '_>) {
+        self.load(pairs);
+    }
+}
+
+impl LoadableEngine for crate::twopl::TwoPlEngine {
+    fn load_pairs(&self, pairs: Box<dyn Iterator<Item = (u64, u64)> + '_>) {
+        self.load(pairs);
+    }
+}
+
+impl LoadableEngine for crate::mvcc::MvccEngine {
+    fn load_pairs(&self, pairs: Box<dyn Iterator<Item = (u64, u64)> + '_>) {
+        self.load(pairs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mvcc::MvccEngine;
+    use crate::serial::SerialEngine;
+    use crate::twopl::TwoPlEngine;
+
+    fn small_config() -> WorkloadConfig {
+        WorkloadConfig {
+            threads: 4,
+            txns_per_thread: 200,
+            keys: 64,
+            skew: 0.7,
+            read_ratio: 0.3,
+            ops_per_txn: 4,
+            seed: 9,
+        }
+    }
+
+    fn total(engine: &dyn KvEngine, keys: u64) -> u64 {
+        (0..keys).map(|k| engine.read(k).unwrap_or(0)).sum()
+    }
+
+    #[test]
+    fn all_engines_conserve_money() {
+        let config = small_config();
+        let engines: Vec<Arc<dyn KvEngine>> = vec![
+            {
+                let e = Arc::new(SerialEngine::new(None));
+                load_initial(e.as_ref(), config.keys);
+                e
+            },
+            {
+                let e = Arc::new(TwoPlEngine::new(None));
+                load_initial(e.as_ref(), config.keys);
+                e
+            },
+            {
+                let e = Arc::new(MvccEngine::new(None));
+                load_initial(e.as_ref(), config.keys);
+                e
+            },
+        ];
+        let expected = config.keys * INITIAL_BALANCE;
+        for engine in engines {
+            let report = run_workload(engine.clone(), &config);
+            assert_eq!(
+                report.committed,
+                (config.threads * config.txns_per_thread) as u64,
+                "{}: all txns should commit eventually",
+                engine.name()
+            );
+            assert_eq!(
+                total(engine.as_ref(), config.keys),
+                expected,
+                "{} lost money under concurrency",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pick_key_respects_bounds_and_skew() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut low = 0;
+        for _ in 0..10_000 {
+            let k = pick_key(&mut rng, 100, 0.9);
+            assert!(k < 100);
+            if k < 10 {
+                low += 1;
+            }
+        }
+        // With strong skew most picks land on the low decile.
+        assert!(low > 5000, "skewed picks in low decile: {low}");
+    }
+
+    #[test]
+    fn throughput_math() {
+        let r = WorkloadReport {
+            committed: 100,
+            aborts: 5,
+            seconds: 2.0,
+        };
+        assert_eq!(r.throughput(), 50.0);
+    }
+}

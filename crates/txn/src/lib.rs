@@ -1,0 +1,33 @@
+//! # backbone-txn
+//!
+//! OLTP substrate for experiment E5 — Dittrich's quip that *"the best
+//! (database) minds of my generation are thinking about how to increase
+//! transaction throughput from one gazillion TAs/sec to 2 gazillion"*.
+//!
+//! The crate implements a ladder of transaction engines over the same
+//! key-value store so the throughput gain of each classic optimization can
+//! be measured in isolation:
+//!
+//! 1. [`serial::SerialEngine`] — one global lock, the 1970s baseline;
+//! 2. [`twopl::TwoPlEngine`] — strict two-phase locking on striped locks;
+//! 3. [`mvcc::MvccEngine`] — multi-version snapshot isolation
+//!    (first-committer-wins write-conflict detection);
+//! 4. any engine + [`wal::Wal`] group commit — amortized fsync.
+//!
+//! [`harness`] drives them with a contended multi-threaded workload.
+
+pub mod error;
+pub mod harness;
+pub mod mvcc;
+pub mod ops;
+pub mod serial;
+pub mod twopl;
+pub mod wal;
+
+pub use error::TxnError;
+pub use harness::{run_workload, WorkloadConfig, WorkloadReport};
+pub use mvcc::MvccEngine;
+pub use ops::{KvEngine, TxnOp};
+pub use serial::SerialEngine;
+pub use twopl::TwoPlEngine;
+pub use wal::{Wal, WalConfig};

@@ -1,0 +1,85 @@
+//! The transaction interface shared by every engine.
+
+use crate::error::TxnError;
+
+/// One operation inside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Read a key; contributes one slot to the result vector.
+    Read(u64),
+    /// Overwrite a key.
+    Write(u64, u64),
+    /// Read-modify-write: add `delta` (may be negative) to a key, treating a
+    /// missing key as 0. Fails the transaction with
+    /// [`TxnError::ConstraintViolation`] if the result would go negative —
+    /// this is what makes the bank workload detect isolation bugs.
+    Add(u64, i64),
+}
+
+impl TxnOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match self {
+            TxnOp::Read(k) | TxnOp::Write(k, _) | TxnOp::Add(k, _) => *k,
+        }
+    }
+
+    /// Whether the operation mutates its key.
+    pub fn is_write(&self) -> bool {
+        !matches!(self, TxnOp::Read(_))
+    }
+}
+
+/// A transactional key-value engine.
+///
+/// `execute` runs the ops as one atomic, isolated transaction and returns the
+/// value observed by each `Read` (in op order). Engines using optimistic
+/// concurrency return [`TxnError::Conflict`], which callers retry via
+/// [`execute_with_retry`].
+pub trait KvEngine: Send + Sync {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Atomically execute a transaction.
+    fn execute(&self, ops: &[TxnOp]) -> Result<Vec<Option<u64>>, TxnError>;
+
+    /// Non-transactional point read (for test assertions).
+    fn read(&self, key: u64) -> Option<u64> {
+        self.execute(&[TxnOp::Read(key)])
+            .ok()
+            .and_then(|r| r.into_iter().next().flatten())
+    }
+}
+
+/// Execute with retry on optimistic conflicts. Returns the result plus the
+/// number of aborts. Constraint violations are not retried.
+pub fn execute_with_retry(
+    engine: &dyn KvEngine,
+    ops: &[TxnOp],
+) -> (Result<Vec<Option<u64>>, TxnError>, u64) {
+    let mut aborts = 0;
+    loop {
+        match engine.execute(ops) {
+            Err(TxnError::Conflict) => {
+                aborts += 1;
+                std::hint::spin_loop();
+            }
+            other => return (other, aborts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(TxnOp::Read(3).key(), 3);
+        assert_eq!(TxnOp::Write(4, 9).key(), 4);
+        assert_eq!(TxnOp::Add(5, -1).key(), 5);
+        assert!(!TxnOp::Read(0).is_write());
+        assert!(TxnOp::Write(0, 0).is_write());
+        assert!(TxnOp::Add(0, 0).is_write());
+    }
+}

@@ -1,0 +1,105 @@
+//! Flat vector dataset storage.
+
+/// A set of equal-dimension vectors stored contiguously, with caller-supplied
+/// ids. The contiguous layout keeps distance kernels cache-friendly.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    dim: usize,
+    data: Vec<f32>,
+    ids: Vec<u64>,
+    slot_of: std::collections::HashMap<u64, usize>,
+}
+
+impl Dataset {
+    /// An empty dataset of dimension `dim`.
+    pub fn new(dim: usize) -> Dataset {
+        assert!(dim > 0, "dimension must be positive");
+        Dataset {
+            dim,
+            data: Vec::new(),
+            ids: Vec::new(),
+            slot_of: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Append a vector with an id. Panics on dimension mismatch.
+    pub fn push(&mut self, id: u64, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.data.extend_from_slice(vector);
+        self.slot_of.insert(id, self.ids.len());
+        self.ids.push(id);
+    }
+
+    /// Slot of the vector with the given id, if present.
+    pub fn slot(&self, id: u64) -> Option<usize> {
+        self.slot_of.get(&id).copied()
+    }
+
+    /// Vector by id, if present.
+    pub fn vector_by_id(&self, id: u64) -> Option<&[f32]> {
+        self.slot(id).map(|s| self.vector(s))
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of vectors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Vector at slot `i`.
+    #[inline]
+    pub fn vector(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Id at slot `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> u64 {
+        self.ids[i]
+    }
+
+    /// Iterate `(id, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[f32])> {
+        (0..self.len()).map(move |i| (self.id(i), self.vector(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read() {
+        let mut d = Dataset::new(3);
+        d.push(10, &[1.0, 2.0, 3.0]);
+        d.push(20, &[4.0, 5.0, 6.0]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.vector(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(d.id(0), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn dimension_mismatch_panics() {
+        let mut d = Dataset::new(2);
+        d.push(1, &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let mut d = Dataset::new(1);
+        d.push(7, &[0.5]);
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].0, 7);
+    }
+}

@@ -1,0 +1,121 @@
+//! Distance kernels.
+
+/// Distance/similarity metric. All metrics are exposed as *distances*
+/// (smaller = closer); similarities are negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    /// Squared Euclidean distance (monotone in L2; cheaper — no sqrt).
+    L2,
+    /// Cosine distance: `1 - cos(a, b)`.
+    Cosine,
+    /// Negative inner product (for maximum-inner-product search).
+    Dot,
+}
+
+impl Metric {
+    /// Distance between two equal-length vectors.
+    #[inline]
+    pub fn distance(&self, a: &[f32], b: &[f32]) -> f32 {
+        debug_assert_eq!(a.len(), b.len());
+        match self {
+            Metric::L2 => l2_sq(a, b),
+            Metric::Cosine => cosine_distance(a, b),
+            Metric::Dot => -dot(a, b),
+        }
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Inner product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine distance `1 - cos`; zero vectors are maximally distant.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+/// Normalize a vector in place to unit length (no-op for zero vectors).
+pub fn normalize(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_range() {
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn cosine_scale_invariant() {
+        let a = [0.3, -0.7, 0.2];
+        let b = [1.1, 0.4, -0.9];
+        let scaled: Vec<f32> = a.iter().map(|x| x * 42.0).collect();
+        assert!((cosine_distance(&a, &b) - cosine_distance(&scaled, &b)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn dot_metric_is_negated() {
+        // Larger inner product => smaller "distance".
+        let q = [1.0, 1.0];
+        let close = [2.0, 2.0];
+        let far = [0.1, 0.1];
+        assert!(Metric::Dot.distance(&q, &close) < Metric::Dot.distance(&q, &far));
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+}

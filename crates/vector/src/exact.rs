@@ -1,0 +1,182 @@
+//! Brute-force exact nearest-neighbour search.
+
+use crate::dataset::Dataset;
+use crate::distance::Metric;
+use crate::{Hit, VectorIndex};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A max-heap entry so the heap root is the *worst* of the current top-k.
+#[derive(Debug, PartialEq)]
+struct HeapHit(Hit);
+
+impl Eq for HeapHit {}
+
+impl Ord for HeapHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0
+            .distance
+            .total_cmp(&other.0.distance)
+            .then(self.0.id.cmp(&other.0.id))
+    }
+}
+
+impl PartialOrd for HeapHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Select the `k` best hits from an iterator of candidates, best first.
+pub(crate) fn top_k(candidates: impl Iterator<Item = Hit>, k: usize) -> Vec<Hit> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut heap: BinaryHeap<HeapHit> = BinaryHeap::with_capacity(k + 1);
+    for hit in candidates {
+        if heap.len() < k {
+            heap.push(HeapHit(hit));
+        } else if let Some(worst) = heap.peek() {
+            if hit.distance < worst.0.distance {
+                heap.pop();
+                heap.push(HeapHit(hit));
+            }
+        }
+    }
+    let mut out: Vec<Hit> = heap.into_iter().map(|h| h.0).collect();
+    out.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+    out
+}
+
+/// Exact (brute-force) index: scans every vector. The recall ground truth
+/// for IVF/HNSW, and the honest baseline for small collections.
+pub struct ExactIndex {
+    data: Dataset,
+    metric: Metric,
+}
+
+impl ExactIndex {
+    /// An empty exact index.
+    pub fn new(dim: usize, metric: Metric) -> ExactIndex {
+        ExactIndex {
+            data: Dataset::new(dim),
+            metric,
+        }
+    }
+
+    /// Build from a dataset.
+    pub fn from_dataset(data: Dataset, metric: Metric) -> ExactIndex {
+        ExactIndex { data, metric }
+    }
+
+    /// Insert a vector.
+    pub fn insert(&mut self, id: u64, vector: &[f32]) {
+        self.data.push(id, vector);
+    }
+
+    /// Filtered scan that evaluates the predicate *before* computing
+    /// distances — the "unified" behaviour a real engine wants, as opposed
+    /// to the over-fetching default of [`VectorIndex::search_filtered`].
+    pub fn search_prefiltered(&self, query: &[f32], k: usize, filter: &dyn Fn(u64) -> bool) -> Vec<Hit> {
+        top_k(
+            self.data
+                .iter()
+                .filter(|(id, _)| filter(*id))
+                .map(|(id, v)| Hit {
+                    id,
+                    distance: self.metric.distance(query, v),
+                }),
+            k,
+        )
+    }
+}
+
+impl VectorIndex for ExactIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn distance_of(&self, query: &[f32], id: u64) -> Option<f32> {
+        self.data
+            .vector_by_id(id)
+            .map(|v| self.metric.distance(query, v))
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        top_k(
+            self.data.iter().map(|(id, v)| Hit {
+                id,
+                distance: self.metric.distance(query, v),
+            }),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> ExactIndex {
+        let mut ix = ExactIndex::new(2, Metric::L2);
+        ix.insert(1, &[0.0, 0.0]);
+        ix.insert(2, &[1.0, 0.0]);
+        ix.insert(3, &[10.0, 10.0]);
+        ix.insert(4, &[0.5, 0.5]);
+        ix
+    }
+
+    #[test]
+    fn nearest_first() {
+        let hits = index().search(&[0.1, 0.0], 3);
+        assert_eq!(hits.len(), 3);
+        // d(1)=0.01, d(4)=0.41, d(2)=0.81
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[1].id, 4);
+        assert_eq!(hits[2].id, 2);
+        assert!(hits[0].distance <= hits[1].distance);
+    }
+
+    #[test]
+    fn k_exceeds_len() {
+        let hits = index().search(&[0.0, 0.0], 100);
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn zero_k() {
+        assert!(index().search(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn prefiltered_matches_postfiltered_when_enough_results() {
+        let ix = index();
+        let filter = |id: u64| id % 2 == 0;
+        let pre = ix.search_prefiltered(&[0.0, 0.0], 2, &filter);
+        let post = ix.search_filtered(&[0.0, 0.0], 2, &filter);
+        assert_eq!(pre.len(), 2);
+        assert_eq!(
+            pre.iter().map(|h| h.id).collect::<Vec<_>>(),
+            post.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ties_break_by_id_deterministically() {
+        let mut ix = ExactIndex::new(1, Metric::L2);
+        ix.insert(5, &[1.0]);
+        ix.insert(3, &[1.0]);
+        ix.insert(9, &[1.0]);
+        let hits = ix.search(&[1.0], 2);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[1].id, 5);
+    }
+}

@@ -1,0 +1,397 @@
+//! HNSW: hierarchical navigable small-world graph (Malkov & Yashunin).
+//!
+//! A simplified but faithful implementation: geometric level assignment,
+//! greedy descent through upper layers, beam search (`ef`) at the base
+//! layer, and neighbour-list pruning to `M` (2·M at layer 0).
+
+use crate::dataset::Dataset;
+use crate::distance::Metric;
+use crate::exact::top_k;
+use crate::{Hit, VectorIndex};
+use rand::prelude::*;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Build/search parameters for [`HnswIndex`].
+#[derive(Debug, Clone)]
+pub struct HnswParams {
+    /// Max neighbours per node per layer (layer 0 allows 2·M).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Beam width during search (raised to `k` automatically).
+    pub ef_search: usize,
+    /// RNG seed for level assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswParams {
+    fn default() -> Self {
+        HnswParams {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 50,
+            seed: 42,
+        }
+    }
+}
+
+/// Min-heap entry ordered by distance (closest first).
+#[derive(PartialEq)]
+struct Closest(f32, usize);
+impl Eq for Closest {}
+impl Ord for Closest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.total_cmp(&self.0) // reversed: BinaryHeap is a max-heap
+    }
+}
+impl PartialOrd for Closest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Max-heap entry ordered by distance (farthest first).
+#[derive(PartialEq)]
+struct Farthest(f32, usize);
+impl Eq for Farthest {}
+impl Ord for Farthest {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+impl PartialOrd for Farthest {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An HNSW approximate nearest-neighbour index.
+pub struct HnswIndex {
+    dim: usize,
+    metric: Metric,
+    data: Dataset,
+    /// links[node][layer] = neighbour slots.
+    links: Vec<Vec<Vec<usize>>>,
+    entry: Option<usize>,
+    max_layer: usize,
+    params: HnswParams,
+    level_mult: f64,
+    rng: StdRng,
+}
+
+impl HnswIndex {
+    /// An empty index.
+    pub fn new(dim: usize, metric: Metric, params: HnswParams) -> HnswIndex {
+        assert!(params.m >= 2, "HNSW needs M >= 2");
+        HnswIndex {
+            dim,
+            metric,
+            data: Dataset::new(dim),
+            links: Vec::new(),
+            entry: None,
+            max_layer: 0,
+            level_mult: 1.0 / (params.m as f64).ln(),
+            rng: StdRng::seed_from_u64(params.seed),
+            params,
+        }
+    }
+
+    /// Build an index from a dataset.
+    pub fn build(data: Dataset, metric: Metric, params: HnswParams) -> HnswIndex {
+        let mut ix = HnswIndex::new(data.dim(), metric, params);
+        for (id, v) in data.iter() {
+            ix.insert(id, v);
+        }
+        ix
+    }
+
+    /// Adjust the search beam width (recall/latency knob).
+    pub fn set_ef_search(&mut self, ef: usize) {
+        self.params.ef_search = ef.max(1);
+    }
+
+    fn dist_to(&self, query: &[f32], slot: usize) -> f32 {
+        self.metric.distance(query, self.data.vector(slot))
+    }
+
+    /// Beam search within one layer, returning up to `ef` closest slots.
+    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, layer: usize) -> Vec<(f32, usize)> {
+        let mut visited: HashSet<usize> = entries.iter().copied().collect();
+        let mut candidates: BinaryHeap<Closest> = BinaryHeap::new();
+        let mut results: BinaryHeap<Farthest> = BinaryHeap::new();
+        for &e in entries {
+            let d = self.dist_to(query, e);
+            candidates.push(Closest(d, e));
+            results.push(Farthest(d, e));
+        }
+        while results.len() > ef {
+            results.pop();
+        }
+        while let Some(Closest(d, node)) = candidates.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.links[node][layer] {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let dn = self.dist_to(query, nb);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || dn < worst {
+                    candidates.push(Closest(dn, nb));
+                    results.push(Farthest(dn, nb));
+                    while results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(f32, usize)> = results.into_iter().map(|f| (f.0, f.1)).collect();
+        out.sort_by(|a, b| a.0.total_cmp(&b.0));
+        out
+    }
+
+    fn max_links(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.params.m * 2
+        } else {
+            self.params.m
+        }
+    }
+
+    /// Neighbour selection heuristic (Malkov & Yashunin, Alg. 4): keep a
+    /// candidate only if it is closer to the base than to every neighbour
+    /// already kept. This preserves edges *between* clusters — naive
+    /// closest-only pruning disconnects tightly clustered data and recall
+    /// collapses. Skipped candidates backfill remaining slots
+    /// (keepPrunedConnections).
+    fn select_heuristic(&self, candidates: &[(f32, usize)], m: usize) -> Vec<usize> {
+        let mut kept: Vec<(f32, usize)> = Vec::with_capacity(m);
+        let mut skipped: Vec<usize> = Vec::new();
+        for &(d_base, cand) in candidates {
+            if kept.len() >= m {
+                break;
+            }
+            let diverse = kept.iter().all(|&(_, k)| {
+                self.metric
+                    .distance(self.data.vector(cand), self.data.vector(k))
+                    > d_base
+            });
+            if diverse {
+                kept.push((d_base, cand));
+            } else {
+                skipped.push(cand);
+            }
+        }
+        let mut out: Vec<usize> = kept.into_iter().map(|(_, s)| s).collect();
+        for s in skipped {
+            if out.len() >= m {
+                break;
+            }
+            out.push(s);
+        }
+        out
+    }
+
+    /// Insert a vector.
+    pub fn insert(&mut self, id: u64, vector: &[f32]) {
+        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        let slot = self.data.len();
+        self.data.push(id, vector);
+        let level = (-self.rng.gen::<f64>().ln() * self.level_mult).floor() as usize;
+        self.links.push(vec![Vec::new(); level + 1]);
+
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(slot);
+            self.max_layer = level;
+            return;
+        };
+
+        // Greedy descent through layers above the insertion level.
+        let query = self.data.vector(slot).to_vec();
+        for layer in ((level + 1)..=self.max_layer).rev() {
+            ep = self.search_layer(&query, &[ep], 1, layer)[0].1;
+        }
+
+        // Connect at each layer from min(level, max_layer) down to 0.
+        let mut entries = vec![ep];
+        for layer in (0..=level.min(self.max_layer)).rev() {
+            let found = self.search_layer(&query, &entries, self.params.ef_construction, layer);
+            let m = self.max_links(layer);
+            let neighbours = self.select_heuristic(&found, m);
+            for &nb in &neighbours {
+                self.links[slot][layer].push(nb);
+                self.links[nb][layer].push(slot);
+                // Prune over-full neighbour lists with the same diversity
+                // heuristic.
+                if self.links[nb][layer].len() > self.max_links(layer) {
+                    let centre = self.data.vector(nb).to_vec();
+                    let mut scored: Vec<(f32, usize)> = self.links[nb][layer]
+                        .iter()
+                        .map(|&s| (self.dist_to(&centre, s), s))
+                        .collect();
+                    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    self.links[nb][layer] = self.select_heuristic(&scored, self.max_links(layer));
+                }
+            }
+            entries = found.into_iter().map(|(_, s)| s).collect();
+            if entries.is_empty() {
+                entries = vec![ep];
+            }
+        }
+
+        if level > self.max_layer {
+            self.max_layer = level;
+            self.entry = Some(slot);
+        }
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn distance_of(&self, query: &[f32], id: u64) -> Option<f32> {
+        self.data
+            .vector_by_id(id)
+            .map(|v| self.metric.distance(query, v))
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        let Some(mut ep) = self.entry else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        for layer in (1..=self.max_layer).rev() {
+            ep = self.search_layer(query, &[ep], 1, layer)[0].1;
+        }
+        let ef = self.params.ef_search.max(k);
+        let found = self.search_layer(query, &[ep], ef, 0);
+        top_k(
+            found.into_iter().map(|(d, s)| Hit {
+                id: self.data.id(s),
+                distance: d,
+            }),
+            k,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactIndex;
+
+    fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(dim);
+        for i in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>()).collect();
+            d.push(i as u64, &v);
+        }
+        d
+    }
+
+    #[test]
+    fn empty_index() {
+        let ix = HnswIndex::new(4, Metric::L2, HnswParams::default());
+        assert!(ix.search(&[0.0; 4], 5).is_empty());
+    }
+
+    #[test]
+    fn single_vector() {
+        let mut ix = HnswIndex::new(2, Metric::L2, HnswParams::default());
+        ix.insert(99, &[1.0, 1.0]);
+        let hits = ix.search(&[1.0, 1.0], 3);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 99);
+        assert_eq!(hits[0].distance, 0.0);
+    }
+
+    #[test]
+    fn exact_match_found() {
+        let d = random_dataset(500, 8, 1);
+        let q = d.vector(123).to_vec();
+        let ix = HnswIndex::build(d, Metric::L2, HnswParams::default());
+        let hits = ix.search(&q, 1);
+        assert_eq!(hits[0].id, 123);
+        assert!(hits[0].distance < 1e-9);
+    }
+
+    #[test]
+    fn recall_at_10_reasonable() {
+        let d = random_dataset(2000, 16, 2);
+        let exact = ExactIndex::from_dataset(d.clone(), Metric::L2);
+        let ix = HnswIndex::build(d, Metric::L2, HnswParams::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut found = 0usize;
+        let mut total = 0usize;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen::<f32>()).collect();
+            let truth: HashSet<u64> = exact.search(&q, 10).iter().map(|h| h.id).collect();
+            let got: HashSet<u64> = ix.search(&q, 10).iter().map(|h| h.id).collect();
+            found += truth.intersection(&got).count();
+            total += truth.len();
+        }
+        let recall = found as f64 / total as f64;
+        assert!(recall >= 0.9, "HNSW recall@10 too low: {recall}");
+    }
+
+    #[test]
+    fn higher_ef_does_not_reduce_recall_much() {
+        let d = random_dataset(1000, 8, 4);
+        let exact = ExactIndex::from_dataset(d.clone(), Metric::L2);
+        let mut ix = HnswIndex::build(
+            d,
+            Metric::L2,
+            HnswParams {
+                ef_search: 4,
+                ..Default::default()
+            },
+        );
+        let q = vec![0.5f32; 8];
+        let truth: HashSet<u64> = exact.search(&q, 10).iter().map(|h| h.id).collect();
+        let recall = |ix: &HnswIndex| {
+            let got: HashSet<u64> = ix.search(&q, 10).iter().map(|h| h.id).collect();
+            got.intersection(&truth).count()
+        };
+        let low = recall(&ix);
+        ix.set_ef_search(200);
+        let high = recall(&ix);
+        assert!(high >= low, "ef=200 recall {high} < ef=4 recall {low}");
+        assert!(high >= 9);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let d = random_dataset(300, 4, 5);
+        let ix = HnswIndex::build(d, Metric::L2, HnswParams::default());
+        let hits = ix.search(&[0.5; 4], 10);
+        for w in hits.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+    }
+
+    #[test]
+    fn cosine_metric_supported() {
+        let mut ix = HnswIndex::new(2, Metric::Cosine, HnswParams::default());
+        ix.insert(1, &[1.0, 0.0]);
+        ix.insert(2, &[0.0, 1.0]);
+        ix.insert(3, &[0.7, 0.7]);
+        let hits = ix.search(&[1.0, 0.1], 1);
+        assert_eq!(hits[0].id, 1);
+    }
+}

@@ -1,0 +1,292 @@
+//! IVF-Flat: inverted file index over k-means partitions.
+
+use crate::dataset::Dataset;
+use crate::distance::Metric;
+use crate::exact::top_k;
+use crate::{Hit, VectorIndex};
+use rand::prelude::*;
+
+/// IVF-Flat index: vectors are partitioned by k-means into `nlist` cells; a
+/// query probes only the `nprobe` nearest cells. Trades recall for speed —
+/// [`crate::recall`] quantifies the trade.
+pub struct IvfIndex {
+    dim: usize,
+    metric: Metric,
+    centroids: Vec<Vec<f32>>,
+    /// Per-cell vector slots (indices into `data`).
+    cells: Vec<Vec<usize>>,
+    data: Dataset,
+    nprobe: usize,
+}
+
+/// Build parameters for [`IvfIndex`].
+#[derive(Debug, Clone)]
+pub struct IvfParams {
+    /// Number of k-means cells.
+    pub nlist: usize,
+    /// Cells probed per query.
+    pub nprobe: usize,
+    /// Lloyd iterations during training.
+    pub train_iters: usize,
+    /// RNG seed (deterministic builds).
+    pub seed: u64,
+}
+
+impl Default for IvfParams {
+    fn default() -> Self {
+        IvfParams {
+            nlist: 64,
+            nprobe: 8,
+            train_iters: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl IvfIndex {
+    /// Train and build the index over `data`.
+    ///
+    /// `nlist` is clamped to the dataset size; an empty dataset yields an
+    /// empty index that returns no hits.
+    pub fn build(data: Dataset, metric: Metric, params: IvfParams) -> IvfIndex {
+        let dim = data.dim();
+        let n = data.len();
+        if n == 0 {
+            return IvfIndex {
+                dim,
+                metric,
+                centroids: Vec::new(),
+                cells: Vec::new(),
+                data,
+                nprobe: params.nprobe.max(1),
+            };
+        }
+        let nlist = params.nlist.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        // Init: sample distinct vectors as seeds.
+        let mut slots: Vec<usize> = (0..n).collect();
+        slots.shuffle(&mut rng);
+        let mut centroids: Vec<Vec<f32>> = slots[..nlist]
+            .iter()
+            .map(|&i| data.vector(i).to_vec())
+            .collect();
+
+        // Lloyd iterations. Assignment always uses L2 (standard for IVF
+        // training even under cosine; vectors should be pre-normalized for
+        // cosine workloads).
+        let mut assignment = vec![0usize; n];
+        for _ in 0..params.train_iters.max(1) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = nearest_centroid(&centroids, data.vector(i));
+            }
+            let mut sums = vec![vec![0f32; dim]; nlist];
+            let mut counts = vec![0usize; nlist];
+            for (i, &c) in assignment.iter().enumerate() {
+                counts[c] += 1;
+                for (s, v) in sums[c].iter_mut().zip(data.vector(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for s in sums[c].iter_mut() {
+                        *s /= counts[c] as f32;
+                    }
+                    centroids[c] = sums[c].clone();
+                } else {
+                    // Re-seed empty cells with a random vector.
+                    let i = rng.gen_range(0..n);
+                    centroids[c] = data.vector(i).to_vec();
+                }
+            }
+        }
+
+        let mut cells = vec![Vec::new(); nlist];
+        for i in 0..n {
+            cells[nearest_centroid(&centroids, data.vector(i))].push(i);
+        }
+
+        IvfIndex {
+            dim,
+            metric,
+            centroids,
+            cells,
+            data,
+            nprobe: params.nprobe.max(1),
+        }
+    }
+
+    /// Change the probe width at query time (recall/latency knob).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.max(1);
+    }
+
+    /// Number of cells.
+    pub fn nlist(&self) -> usize {
+        self.centroids.len()
+    }
+
+    fn probe_order(&self, query: &[f32]) -> Vec<usize> {
+        let mut order: Vec<(f32, usize)> = self
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (crate::distance::l2_sq(query, c), i))
+            .collect();
+        order.sort_by(|a, b| a.0.total_cmp(&b.0));
+        order.into_iter().map(|(_, i)| i).collect()
+    }
+}
+
+fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
+    centroids
+        .iter()
+        .enumerate()
+        .min_by(|a, b| {
+            crate::distance::l2_sq(a.1, v).total_cmp(&crate::distance::l2_sq(b.1, v))
+        })
+        .map(|(i, _)| i)
+        .expect("nlist >= 1")
+}
+
+impl VectorIndex for IvfIndex {
+    fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn distance_of(&self, query: &[f32], id: u64) -> Option<f32> {
+        self.data
+            .vector_by_id(id)
+            .map(|v| self.metric.distance(query, v))
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        if self.centroids.is_empty() {
+            return Vec::new();
+        }
+        let probes = self.probe_order(query);
+        let candidates = probes
+            .iter()
+            .take(self.nprobe)
+            .flat_map(|&cell| self.cells[cell].iter())
+            .map(|&slot| Hit {
+                id: self.data.id(slot),
+                distance: self.metric.distance(query, self.data.vector(slot)),
+            });
+        top_k(candidates, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clustered_dataset(n_per_cluster: usize) -> Dataset {
+        // Four well-separated clusters in 2D.
+        let mut rng = StdRng::seed_from_u64(7);
+        let centers = [[0.0f32, 0.0], [100.0, 0.0], [0.0, 100.0], [100.0, 100.0]];
+        let mut d = Dataset::new(2);
+        let mut id = 0;
+        for c in centers {
+            for _ in 0..n_per_cluster {
+                let v = [c[0] + rng.gen::<f32>(), c[1] + rng.gen::<f32>()];
+                d.push(id, &v);
+                id += 1;
+            }
+        }
+        d
+    }
+
+    #[test]
+    fn finds_cluster_members() {
+        let d = clustered_dataset(50);
+        let ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 4,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        // Query near cluster 1 (ids 50..100).
+        let hits = ix.search(&[100.0, 0.5], 10);
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|h| (50..100).contains(&h.id)));
+    }
+
+    #[test]
+    fn full_probe_equals_exact() {
+        use crate::exact::ExactIndex;
+        let d = clustered_dataset(25);
+        let exact = ExactIndex::from_dataset(d.clone(), Metric::L2);
+        let ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 8,
+                nprobe: 8,
+                ..Default::default()
+            },
+        );
+        let q = [50.0, 50.0];
+        let a: Vec<u64> = ix.search(&q, 5).iter().map(|h| h.id).collect();
+        let b: Vec<u64> = exact.search(&q, 5).iter().map(|h| h.id).collect();
+        assert_eq!(a, b, "probing every cell must match brute force");
+    }
+
+    #[test]
+    fn nlist_clamped_to_dataset() {
+        let mut d = Dataset::new(1);
+        d.push(1, &[1.0]);
+        d.push(2, &[2.0]);
+        let ix = IvfIndex::build(d, Metric::L2, IvfParams { nlist: 100, ..Default::default() });
+        assert!(ix.nlist() <= 2);
+        assert_eq!(ix.search(&[1.1], 1)[0].id, 1);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ix = IvfIndex::build(Dataset::new(4), Metric::L2, IvfParams::default());
+        assert!(ix.search(&[0.0; 4], 5).is_empty());
+        assert!(ix.is_empty());
+    }
+
+    #[test]
+    fn nprobe_monotone_recall() {
+        use crate::exact::ExactIndex;
+        let d = clustered_dataset(100);
+        let exact = ExactIndex::from_dataset(d.clone(), Metric::L2);
+        let q = [55.0, 45.0];
+        let truth: std::collections::HashSet<u64> =
+            exact.search(&q, 10).iter().map(|h| h.id).collect();
+        let mut ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 16,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        let recall = |ix: &IvfIndex| {
+            let got: std::collections::HashSet<u64> =
+                ix.search(&q, 10).iter().map(|h| h.id).collect();
+            got.intersection(&truth).count()
+        };
+        let r1 = recall(&ix);
+        ix.set_nprobe(16);
+        let r16 = recall(&ix);
+        assert!(r16 >= r1);
+        assert_eq!(r16, 10, "probing all cells must reach full recall");
+    }
+}

@@ -1,0 +1,76 @@
+//! # backbone-vector
+//!
+//! Vector similarity search substrate for the hybrid-workload experiments —
+//! the "vectors" in the paper's observation that *"solutions are crappy when
+//! you combine diverse workloads like vectors, keywords, and relational
+//! queries in commercial systems"*.
+//!
+//! Three interchangeable indexes implement [`VectorIndex`]:
+//!
+//! - [`exact::ExactIndex`]: brute-force scan (the ground truth),
+//! - [`ivf::IvfIndex`]: inverted-file index over k-means partitions,
+//! - [`hnsw::HnswIndex`]: hierarchical navigable small world graph.
+
+pub mod dataset;
+pub mod distance;
+pub mod exact;
+pub mod hnsw;
+pub mod ivf;
+pub mod recall;
+
+pub use dataset::Dataset;
+pub use distance::Metric;
+pub use exact::ExactIndex;
+pub use hnsw::HnswIndex;
+pub use ivf::IvfIndex;
+
+/// A search hit: the vector's id and its distance to the query (smaller is
+/// better for every metric; similarities are negated internally).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Identifier supplied at insert time.
+    pub id: u64,
+    /// Distance to the query under the index's metric.
+    pub distance: f32,
+}
+
+/// A k-nearest-neighbour index over fixed-dimension vectors.
+pub trait VectorIndex: Send + Sync {
+    /// The index's distance metric.
+    fn metric(&self) -> Metric;
+
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+
+    /// Number of indexed vectors.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest vectors to `query`, best first.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Hit>;
+
+    /// Exact distance between `query` and the stored vector with `id`, if
+    /// indexed. A co-located engine uses this to complete fusion scores for
+    /// candidates surfaced by other modalities — something a remote vector
+    /// service cannot offer cheaply.
+    fn distance_of(&self, query: &[f32], id: u64) -> Option<f32>;
+
+    /// Like [`VectorIndex::search`] but only ids passing `filter` are
+    /// returned (post-filtering; used by the bolt-on baseline in E3).
+    fn search_filtered(&self, query: &[f32], k: usize, filter: &dyn Fn(u64) -> bool) -> Vec<Hit> {
+        // Default: over-fetch then filter — the classic bolt-on behaviour.
+        let mut fetch = k.max(16);
+        loop {
+            let hits = self.search(query, fetch);
+            let kept: Vec<Hit> = hits.iter().copied().filter(|h| filter(h.id)).collect();
+            if kept.len() >= k || hits.len() < fetch {
+                return kept.into_iter().take(k).collect();
+            }
+            fetch *= 2;
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Recall evaluation: how much accuracy an approximate index trades away.
+
+use crate::{ExactIndex, VectorIndex};
+use std::collections::HashSet;
+
+/// Mean recall@k of `index` against brute-force ground truth over the given
+/// queries.
+pub fn recall_at_k(index: &dyn VectorIndex, exact: &ExactIndex, queries: &[Vec<f32>], k: usize) -> f64 {
+    if queries.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let mut found = 0usize;
+    let mut total = 0usize;
+    for q in queries {
+        let truth: HashSet<u64> = exact.search(q, k).iter().map(|h| h.id).collect();
+        let got: HashSet<u64> = index.search(q, k).iter().map(|h| h.id).collect();
+        found += truth.intersection(&got).count();
+        total += truth.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        found as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::distance::Metric;
+
+    #[test]
+    fn exact_vs_itself_is_perfect() {
+        let mut d = Dataset::new(2);
+        for i in 0..50 {
+            d.push(i, &[i as f32, (i * 7 % 13) as f32]);
+        }
+        let exact = ExactIndex::from_dataset(d, Metric::L2);
+        let queries = vec![vec![3.0, 4.0], vec![40.0, 1.0]];
+        let r = recall_at_k(&exact, &exact, &queries, 5);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let exact = ExactIndex::new(2, Metric::L2);
+        assert_eq!(recall_at_k(&exact, &exact, &[], 5), 0.0);
+        assert_eq!(recall_at_k(&exact, &exact, &[vec![0.0, 0.0]], 0), 0.0);
+    }
+}

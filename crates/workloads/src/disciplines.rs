@@ -1,0 +1,305 @@
+//! The paper's Figure 1: multi-, inter-, cross-, and trans-disciplinary
+//! research, as an executable taxonomy (E7).
+//!
+//! The figure is definitional, so the reproduction is: (a) a generator that
+//! instantiates collaboration projects according to each definition, and
+//! (b) a structural classifier that recovers the mode from the
+//! collaboration graph alone. EXPERIMENTS.md reports the resulting
+//! confusion matrix.
+
+use rand::prelude::*;
+
+/// The four collaboration modes of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Disciplines work in parallel on a common goal without crossing
+    /// boundaries.
+    Multi,
+    /// Boundaries are crossed; approaches are pooled and modified.
+    Inter,
+    /// One discipline is viewed through another's perspective (methods
+    /// borrowed, people mostly from one side).
+    Cross,
+    /// Researchers, practitioners, and policy makers collaborate on a
+    /// real-world problem.
+    Trans,
+}
+
+impl Mode {
+    /// All modes.
+    pub fn all() -> [Mode; 4] {
+        [Mode::Multi, Mode::Inter, Mode::Cross, Mode::Trans]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Multi => "multi",
+            Mode::Inter => "inter",
+            Mode::Cross => "cross",
+            Mode::Trans => "trans",
+        }
+    }
+}
+
+/// A project member: an academic in a discipline, or a practitioner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Member {
+    /// Academic with a discipline id.
+    Academic(usize),
+    /// Practitioner / policy maker / community stakeholder.
+    Practitioner,
+}
+
+/// A collaboration project.
+#[derive(Debug, Clone)]
+pub struct Project {
+    /// Members.
+    pub members: Vec<Member>,
+    /// Active collaboration edges (indices into `members`) — pairs that
+    /// integrate their approaches, not mere co-presence.
+    pub collaborations: Vec<(usize, usize)>,
+    /// Methods borrowed across disciplines: `(from_discipline, to_discipline)`.
+    pub borrowed_methods: Vec<(usize, usize)>,
+    /// Ground-truth mode (generator label).
+    pub label: Mode,
+}
+
+/// Generate one project of the given mode.
+pub fn generate_project(mode: Mode, disciplines: usize, rng: &mut StdRng) -> Project {
+    assert!(disciplines >= 2);
+    let d1 = rng.gen_range(0..disciplines);
+    let mut d2 = rng.gen_range(0..disciplines);
+    while d2 == d1 {
+        d2 = rng.gen_range(0..disciplines);
+    }
+    let team = |d: usize, n: usize| -> Vec<Member> { vec![Member::Academic(d); n] };
+
+    match mode {
+        Mode::Multi => {
+            // Two disciplinary subteams working in parallel: collaborations
+            // only within a discipline.
+            let n1 = rng.gen_range(2..=4);
+            let n2 = rng.gen_range(2..=4);
+            let mut members = team(d1, n1);
+            members.extend(team(d2, n2));
+            let mut collaborations = Vec::new();
+            for i in 0..n1 {
+                for j in (i + 1)..n1 {
+                    collaborations.push((i, j));
+                }
+            }
+            for i in 0..n2 {
+                for j in (i + 1)..n2 {
+                    collaborations.push((n1 + i, n1 + j));
+                }
+            }
+            Project {
+                members,
+                collaborations,
+                borrowed_methods: Vec::new(),
+                label: mode,
+            }
+        }
+        Mode::Inter => {
+            // Mixed team with cross-discipline collaboration and mutual
+            // method exchange.
+            let n1 = rng.gen_range(2..=3);
+            let n2 = rng.gen_range(2..=3);
+            let mut members = team(d1, n1);
+            members.extend(team(d2, n2));
+            let mut collaborations = Vec::new();
+            for i in 0..n1 {
+                for j in 0..n2 {
+                    if rng.gen::<f64>() < 0.8 {
+                        collaborations.push((i, n1 + j));
+                    }
+                }
+            }
+            collaborations.push((0, n1)); // at least one crossing edge
+            Project {
+                members,
+                collaborations,
+                borrowed_methods: vec![(d1, d2), (d2, d1)],
+                label: mode,
+            }
+        }
+        Mode::Cross => {
+            // A single-discipline team borrowing another field's
+            // perspective: methods flow one way, no outside members.
+            let n1 = rng.gen_range(3..=5);
+            let members = team(d1, n1);
+            let mut collaborations = Vec::new();
+            for i in 0..n1 {
+                for j in (i + 1)..n1 {
+                    collaborations.push((i, j));
+                }
+            }
+            Project {
+                members,
+                collaborations,
+                borrowed_methods: vec![(d2, d1)],
+                label: mode,
+            }
+        }
+        Mode::Trans => {
+            // Academics plus practitioners, all blended.
+            let n1 = rng.gen_range(2..=3);
+            let np = rng.gen_range(1..=2);
+            let mut members = team(d1, n1);
+            members.extend(team(d2, 1));
+            members.extend(vec![Member::Practitioner; np]);
+            let total = members.len();
+            let mut collaborations = Vec::new();
+            for i in 0..total {
+                for j in (i + 1)..total {
+                    if rng.gen::<f64>() < 0.7 {
+                        collaborations.push((i, j));
+                    }
+                }
+            }
+            collaborations.push((0, total - 1)); // academic-practitioner edge
+            Project {
+                members,
+                collaborations,
+                borrowed_methods: vec![(d1, d2), (d2, d1)],
+                label: mode,
+            }
+        }
+    }
+}
+
+/// Generate a corpus with `per_mode` projects of each mode.
+pub fn generate_corpus(per_mode: usize, disciplines: usize, seed: u64) -> Vec<Project> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(per_mode * 4);
+    for mode in Mode::all() {
+        for _ in 0..per_mode {
+            out.push(generate_project(mode, disciplines, &mut rng));
+        }
+    }
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Classify a project from structure alone, mirroring the figure's
+/// definitions:
+///
+/// 1. practitioners involved → **trans** ("transcends academic and work
+///    realms"),
+/// 2. cross-discipline collaboration edges → **inter** ("boundaries ...
+///    are crossed"),
+/// 3. borrowed methods without mixed teams → **cross** ("perspectives and
+///    methods borrowed from other disciplines"),
+/// 4. otherwise → **multi** ("working in parallel ... following their
+///    individual disciplinary precepts").
+pub fn classify(p: &Project) -> Mode {
+    let has_practitioner = p.members.iter().any(|m| matches!(m, Member::Practitioner));
+    if has_practitioner {
+        return Mode::Trans;
+    }
+    let crossing = p.collaborations.iter().any(|&(a, b)| {
+        match (p.members.get(a), p.members.get(b)) {
+            (Some(Member::Academic(x)), Some(Member::Academic(y))) => x != y,
+            _ => false,
+        }
+    });
+    if crossing {
+        return Mode::Inter;
+    }
+    if !p.borrowed_methods.is_empty() {
+        return Mode::Cross;
+    }
+    Mode::Multi
+}
+
+/// A 4×4 confusion matrix: `matrix[truth][predicted]`.
+#[derive(Debug, Clone, Default)]
+pub struct Confusion {
+    /// Counts indexed by `[truth][predicted]` in `Mode::all()` order.
+    pub matrix: [[usize; 4]; 4],
+}
+
+impl Confusion {
+    /// Classify a corpus and tally.
+    pub fn evaluate(projects: &[Project]) -> Confusion {
+        let idx = |m: Mode| Mode::all().iter().position(|&x| x == m).unwrap();
+        let mut c = Confusion::default();
+        for p in projects {
+            c.matrix[idx(p.label)][idx(classify(p))] += 1;
+        }
+        c
+    }
+
+    /// Fraction classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..4).map(|i| self.matrix[i][i]).sum();
+        let total: usize = self.matrix.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_structures_match_definitions() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let multi = generate_project(Mode::Multi, 5, &mut rng);
+        assert!(multi.borrowed_methods.is_empty());
+        let trans = generate_project(Mode::Trans, 5, &mut rng);
+        assert!(trans.members.iter().any(|m| matches!(m, Member::Practitioner)));
+        let cross = generate_project(Mode::Cross, 5, &mut rng);
+        assert_eq!(cross.borrowed_methods.len(), 1);
+    }
+
+    #[test]
+    fn classifier_recovers_labels_perfectly_on_clean_data() {
+        let corpus = generate_corpus(50, 6, 42);
+        let c = Confusion::evaluate(&corpus);
+        assert_eq!(c.accuracy(), 1.0, "confusion: {:?}", c.matrix);
+    }
+
+    #[test]
+    fn confusion_diagonal_counts() {
+        let corpus = generate_corpus(10, 4, 7);
+        let c = Confusion::evaluate(&corpus);
+        for i in 0..4 {
+            assert_eq!(c.matrix[i][i], 10);
+        }
+    }
+
+    #[test]
+    fn classify_edge_cases() {
+        // Single-discipline, no borrowing: multi (degenerate).
+        let p = Project {
+            members: vec![Member::Academic(0), Member::Academic(0)],
+            collaborations: vec![(0, 1)],
+            borrowed_methods: vec![],
+            label: Mode::Multi,
+        };
+        assert_eq!(classify(&p), Mode::Multi);
+        // One practitioner trumps everything.
+        let p = Project {
+            members: vec![Member::Academic(0), Member::Practitioner],
+            collaborations: vec![],
+            borrowed_methods: vec![(0, 1)],
+            label: Mode::Trans,
+        };
+        assert_eq!(classify(&p), Mode::Trans);
+    }
+
+    #[test]
+    fn corpus_is_shuffled_and_complete() {
+        let corpus = generate_corpus(5, 3, 9);
+        assert_eq!(corpus.len(), 20);
+        for mode in Mode::all() {
+            assert_eq!(corpus.iter().filter(|p| p.label == mode).count(), 5);
+        }
+    }
+}

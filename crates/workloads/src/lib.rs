@@ -1,0 +1,21 @@
+//! # backbone-workloads
+//!
+//! Synthetic workload generators for every experiment in EXPERIMENTS.md:
+//!
+//! - [`tpch`]: a TPC-H-*like* schema and data generator (E1, E6). The
+//!   substitution from real dbgen data is documented in DESIGN.md: value
+//!   distributions are synthetic but selectivities and join fan-outs match
+//!   the spec's shape.
+//! - [`queries`]: TPC-H-like analytical queries Q1/Q3/Q5/Q6 as logical
+//!   plans.
+//! - [`orm`]: the ORM N+1 anti-pattern vs a set-oriented join (E2).
+//! - [`hybrid`]: a product catalog with relational attributes, description
+//!   text, and embedding vectors (E3).
+//! - [`disciplines`]: a generator + classifier for the paper's Figure 1
+//!   taxonomy of multi/inter/cross/trans-disciplinary research (E7).
+
+pub mod disciplines;
+pub mod hybrid;
+pub mod orm;
+pub mod queries;
+pub mod tpch;

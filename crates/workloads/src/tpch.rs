@@ -1,0 +1,302 @@
+//! TPC-H-like data generation.
+//!
+//! Same schema shape and cardinality ratios as TPC-H, deterministic
+//! synthetic value distributions (dbgen's text pools are not available
+//! offline). Dates are integer day offsets from 1992-01-01; the classic
+//! 7-year window spans days `0..=2405`.
+
+use backbone_query::MemCatalog;
+use backbone_storage::{DataType, Field, Schema, Table, Value};
+use rand::prelude::*;
+
+/// Day offset of 1998-12-01 minus 90 days — Q1's classic cutoff.
+pub const Q1_CUTOFF_DAY: i64 = 2406 - 120;
+/// Total days in the order-date window.
+pub const DATE_DAYS: i64 = 2406;
+
+/// Market segments (TPC-H has 5).
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+/// Region names.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
+/// Return flags.
+pub const RETURN_FLAGS: &[&str] = &["A", "N", "R"];
+/// Line statuses.
+pub const LINE_STATUSES: &[&str] = &["F", "O"];
+
+/// Row counts at a given scale factor (TPC-H ratios, fractional SF allowed).
+#[derive(Debug, Clone, Copy)]
+pub struct TpchSizes {
+    /// `supplier` rows.
+    pub supplier: usize,
+    /// `customer` rows.
+    pub customer: usize,
+    /// `part` rows.
+    pub part: usize,
+    /// `orders` rows.
+    pub orders: usize,
+    /// Expected `lineitem` rows (actual count varies ±, avg 4 lines/order).
+    pub lineitem_approx: usize,
+}
+
+impl TpchSizes {
+    /// Sizes at scale factor `sf`.
+    pub fn at(sf: f64) -> TpchSizes {
+        let n = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchSizes {
+            supplier: n(10_000.0),
+            customer: n(150_000.0),
+            part: n(200_000.0),
+            orders: n(1_500_000.0),
+            lineitem_approx: n(6_000_000.0),
+        }
+    }
+}
+
+/// Generate all eight tables at scale factor `sf` into a fresh catalog.
+///
+/// Deterministic for a given `(sf, seed)`.
+pub fn generate(sf: f64, seed: u64) -> MemCatalog {
+    let sizes = TpchSizes::at(sf);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let catalog = MemCatalog::new();
+
+    // region
+    let region_schema = Schema::new(vec![
+        Field::new("r_regionkey", DataType::Int64),
+        Field::new("r_name", DataType::Utf8),
+    ]);
+    let mut region = Table::new(region_schema);
+    for (i, name) in REGIONS.iter().enumerate() {
+        region
+            .append_row(vec![Value::Int(i as i64), Value::str(*name)])
+            .unwrap();
+    }
+    catalog.register("region", region);
+
+    // nation: 25 nations, 5 per region.
+    let nation_schema = Schema::new(vec![
+        Field::new("n_nationkey", DataType::Int64),
+        Field::new("n_name", DataType::Utf8),
+        Field::new("n_regionkey", DataType::Int64),
+    ]);
+    let mut nation = Table::new(nation_schema);
+    for i in 0..25i64 {
+        nation
+            .append_row(vec![
+                Value::Int(i),
+                Value::str(format!("NATION_{i:02}")),
+                Value::Int(i % 5),
+            ])
+            .unwrap();
+    }
+    catalog.register("nation", nation);
+
+    // supplier
+    let supplier_schema = Schema::new(vec![
+        Field::new("s_suppkey", DataType::Int64),
+        Field::new("s_name", DataType::Utf8),
+        Field::new("s_nationkey", DataType::Int64),
+        Field::new("s_acctbal", DataType::Float64),
+    ]);
+    let mut supplier = Table::new(supplier_schema);
+    for i in 0..sizes.supplier as i64 {
+        supplier
+            .append_row(vec![
+                Value::Int(i),
+                Value::str(format!("Supplier#{i:09}")),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Float((rng.gen_range(-99_999..1_000_000) as f64) / 100.0),
+            ])
+            .unwrap();
+    }
+    catalog.register("supplier", supplier);
+
+    // part
+    let part_schema = Schema::new(vec![
+        Field::new("p_partkey", DataType::Int64),
+        Field::new("p_name", DataType::Utf8),
+        Field::new("p_retailprice", DataType::Float64),
+        Field::new("p_size", DataType::Int64),
+    ]);
+    let mut part = Table::new(part_schema);
+    for i in 0..sizes.part as i64 {
+        part.append_row(vec![
+            Value::Int(i),
+            Value::str(format!("part {} {}", COLORS[i as usize % COLORS.len()], i)),
+            Value::Float(900.0 + (i % 1000) as f64 / 10.0),
+            Value::Int(rng.gen_range(1..=50)),
+        ])
+        .unwrap();
+    }
+    catalog.register("part", part);
+
+    // customer
+    let customer_schema = Schema::new(vec![
+        Field::new("c_custkey", DataType::Int64),
+        Field::new("c_name", DataType::Utf8),
+        Field::new("c_nationkey", DataType::Int64),
+        Field::new("c_acctbal", DataType::Float64),
+        Field::new("c_mktsegment", DataType::Utf8),
+    ]);
+    let mut customer = Table::new(customer_schema);
+    for i in 0..sizes.customer as i64 {
+        customer
+            .append_row(vec![
+                Value::Int(i),
+                Value::str(format!("Customer#{i:09}")),
+                Value::Int(rng.gen_range(0..25)),
+                Value::Float((rng.gen_range(-99_999..1_000_000) as f64) / 100.0),
+                Value::str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())]),
+            ])
+            .unwrap();
+    }
+    catalog.register("customer", customer);
+
+    // orders + lineitem
+    let orders_schema = Schema::new(vec![
+        Field::new("o_orderkey", DataType::Int64),
+        Field::new("o_custkey", DataType::Int64),
+        Field::new("o_orderdate", DataType::Int64),
+        Field::new("o_totalprice", DataType::Float64),
+        Field::new("o_orderstatus", DataType::Utf8),
+        Field::new("o_shippriority", DataType::Int64),
+    ]);
+    let lineitem_schema = Schema::new(vec![
+        Field::new("l_orderkey", DataType::Int64),
+        Field::new("l_partkey", DataType::Int64),
+        Field::new("l_suppkey", DataType::Int64),
+        Field::new("l_linenumber", DataType::Int64),
+        Field::new("l_quantity", DataType::Float64),
+        Field::new("l_extendedprice", DataType::Float64),
+        Field::new("l_discount", DataType::Float64),
+        Field::new("l_tax", DataType::Float64),
+        Field::new("l_returnflag", DataType::Utf8),
+        Field::new("l_linestatus", DataType::Utf8),
+        Field::new("l_shipdate", DataType::Int64),
+    ]);
+    let mut orders = Table::new(orders_schema);
+    let mut lineitem = Table::new(lineitem_schema);
+    for o in 0..sizes.orders as i64 {
+        let orderdate = rng.gen_range(0..DATE_DAYS - 151);
+        let custkey = rng.gen_range(0..sizes.customer as i64);
+        let lines = rng.gen_range(1..=7);
+        let mut total = 0.0;
+        for l in 0..lines {
+            let quantity = rng.gen_range(1..=50) as f64;
+            let partkey = rng.gen_range(0..sizes.part as i64);
+            let price = quantity * (900.0 + (partkey % 1000) as f64 / 10.0) / 10.0;
+            let discount = rng.gen_range(0..=10) as f64 / 100.0;
+            let tax = rng.gen_range(0..=8) as f64 / 100.0;
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            // Past shipments skew to returned/filled like the spec's
+            // date-correlated flags.
+            let returnflag = if shipdate < DATE_DAYS / 2 {
+                RETURN_FLAGS[rng.gen_range(0..2)]
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate < DATE_DAYS - 200 { "F" } else { "O" };
+            total += price * (1.0 - discount) * (1.0 + tax);
+            lineitem
+                .append_row(vec![
+                    Value::Int(o),
+                    Value::Int(partkey),
+                    Value::Int(rng.gen_range(0..sizes.supplier as i64)),
+                    Value::Int(l + 1),
+                    Value::Float(quantity),
+                    Value::Float(price),
+                    Value::Float(discount),
+                    Value::Float(tax),
+                    Value::str(returnflag),
+                    Value::str(linestatus),
+                    Value::Int(shipdate),
+                ])
+                .unwrap();
+        }
+        orders
+            .append_row(vec![
+                Value::Int(o),
+                Value::Int(custkey),
+                Value::Int(orderdate),
+                Value::Float(total),
+                Value::str(if orderdate < DATE_DAYS / 2 { "F" } else { "O" }),
+                Value::Int(rng.gen_range(0..5)),
+            ])
+            .unwrap();
+    }
+    catalog.register("orders", orders);
+    catalog.register("lineitem", lineitem);
+    catalog
+}
+
+const COLORS: &[&str] = &[
+    "almond", "azure", "beige", "blush", "chiffon", "coral", "cream", "drab", "firebrick",
+    "forest", "ghost", "honeydew", "ivory", "khaki", "lace", "lavender",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_query::Catalog;
+
+    #[test]
+    fn sizes_scale_linearly() {
+        let s1 = TpchSizes::at(0.01);
+        let s10 = TpchSizes::at(0.1);
+        assert_eq!(s1.customer, 1500);
+        assert_eq!(s10.customer, 15_000);
+        assert_eq!(s10.orders, 150_000);
+    }
+
+    #[test]
+    fn generates_all_tables() {
+        let cat = generate(0.001, 1);
+        for t in ["region", "nation", "supplier", "part", "customer", "orders", "lineitem"] {
+            assert!(cat.table(t).is_some(), "missing table {t}");
+        }
+        assert_eq!(cat.table("region").unwrap().num_rows(), 5);
+        assert_eq!(cat.table("nation").unwrap().num_rows(), 25);
+        assert_eq!(cat.table("orders").unwrap().num_rows(), 1500);
+        // Avg 4 lines per order.
+        let li = cat.table("lineitem").unwrap().num_rows();
+        assert!((4500..=7500).contains(&li), "lineitem rows {li}");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        let batch_a = a.table("orders").unwrap().to_batch().unwrap();
+        let batch_b = b.table("orders").unwrap().to_batch().unwrap();
+        assert_eq!(batch_a.to_rows(), batch_b.to_rows());
+    }
+
+    #[test]
+    fn foreign_keys_in_range() {
+        let cat = generate(0.001, 2);
+        let cust = cat.table("customer").unwrap().num_rows() as i64;
+        let orders = cat.table("orders").unwrap().to_batch().unwrap();
+        let custkeys = orders.column_by_name("o_custkey").unwrap();
+        for i in 0..orders.num_rows() {
+            let k = custkeys.value(i).as_int().unwrap();
+            assert!((0..cust).contains(&k));
+        }
+        let nations = cat.table("nation").unwrap().to_batch().unwrap();
+        let regkeys = nations.column_by_name("n_regionkey").unwrap();
+        for i in 0..nations.num_rows() {
+            assert!((0..5).contains(&regkeys.value(i).as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn shipdate_follows_orderdate() {
+        let cat = generate(0.001, 3);
+        // Every lineitem ships after day 0 and within the window + 121.
+        let li = cat.table("lineitem").unwrap().to_batch().unwrap();
+        let ship = li.column_by_name("l_shipdate").unwrap();
+        for i in 0..li.num_rows() {
+            let d = ship.value(i).as_int().unwrap();
+            assert!(d > 0 && d < DATE_DAYS + 121);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Laptop-scale analytics: TPC-H-like queries with EXPLAIN and automatic
+//! scan parallelism.
+//!
+//! ```sh
+//! cargo run --release --example analytics
+//! ```
+
+use backbone_query::{execute, executor::explain, Catalog, ExecOptions};
+use backbone_workloads::{queries, tpch};
+use std::time::Instant;
+
+fn main() {
+    let sf = 0.01;
+    println!("generating TPC-H-like data at SF {sf}...");
+    let catalog = tpch::generate(sf, 42);
+    println!(
+        "lineitem: {} rows, orders: {} rows\n",
+        catalog.table("lineitem").unwrap().num_rows(),
+        catalog.table("orders").unwrap().num_rows()
+    );
+
+    // Show the optimizer at work on the join-heavy Q3.
+    let q3 = queries::q3(&catalog, "BUILDING", 1200).expect("q3");
+    println!("{}", explain(&q3, &catalog, &ExecOptions::default()).expect("explain"));
+
+    // Run everything, serial vs 4-way parallel scans — same queries,
+    // no code change: "automatic scalability".
+    for (label, plan) in queries::all_queries(&catalog).expect("queries") {
+        for parallelism in [1usize, 4] {
+            let opts = ExecOptions::with_parallelism(parallelism);
+            let t = Instant::now();
+            let out = execute(plan.clone(), &catalog, &opts).expect("run");
+            println!(
+                "{label} (threads={parallelism}): {:>8.2?} -> {} rows",
+                t.elapsed(),
+                out.num_rows()
+            );
+        }
+    }
+}
