@@ -12,16 +12,12 @@ fn bench_policies(c: &mut Criterion) {
     group.sample_size(10);
     for (name, trace) in [("llm", &llm), ("db", &db)] {
         for kind in PolicyKind::online() {
-            group.bench_with_input(
-                BenchmarkId::new(kind.name(), name),
-                trace,
-                |b, trace| {
-                    b.iter(|| {
-                        let mut sim = CacheSim::new(128, kind.build(128, None));
-                        sim.run(&trace.accesses)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.name(), name), trace, |b, trace| {
+                b.iter(|| {
+                    let mut sim = CacheSim::new(128, kind.build(128, None));
+                    sim.run(&trace.accesses)
+                });
+            });
         }
     }
     group.finish();

@@ -40,6 +40,7 @@ fn bench_ablation(c: &mut Criterion) {
         let opts = ExecOptions {
             parallelism: 1,
             rules: Some(rules),
+            ..ExecOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
             b.iter(|| execute(plan.clone(), &catalog, opts).unwrap());

@@ -24,7 +24,11 @@ fn main() {
 
     if run("e1") {
         ran = true;
-        let sfs: &[f64] = if quick { &[0.001, 0.002] } else { &[0.01, 0.02, 0.05] };
+        let sfs: &[f64] = if quick {
+            &[0.001, 0.002]
+        } else {
+            &[0.01, 0.02, 0.05]
+        };
         println!("{}", bench::e1_tpch::report(sfs, 4, 42));
     }
     if run("e2") {
@@ -43,14 +47,21 @@ fn main() {
     }
     if run("e4") {
         ran = true;
-        let caps: &[usize] = if quick { &[64, 128] } else { &[32, 64, 128, 256] };
+        let caps: &[usize] = if quick {
+            &[64, 128]
+        } else {
+            &[32, 64, 128, 256]
+        };
         println!("{}", bench::e4_kvcache::report(caps, 42));
         println!("{}", bench::e4_kvcache::pinning_report(&caps[1..], 42));
     }
     if run("e5") {
         ran = true;
-        let (threads, txns): (&[usize], usize) =
-            if quick { (&[2, 4], 200) } else { (&[1, 2, 4, 8], 2000) };
+        let (threads, txns): (&[usize], usize) = if quick {
+            (&[2, 4], 200)
+        } else {
+            (&[1, 2, 4, 8], 2000)
+        };
         println!("{}", bench::e5_txn::report(threads, txns, 42));
     }
     if run("e6") {
@@ -60,7 +71,10 @@ fn main() {
     }
     if run("e7") {
         ran = true;
-        println!("{}", bench::e7_disciplines::report(if quick { 25 } else { 250 }, 42));
+        println!(
+            "{}",
+            bench::e7_disciplines::report(if quick { 25 } else { 250 }, 42)
+        );
     }
     if run("e8") {
         ran = true;

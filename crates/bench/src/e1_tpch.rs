@@ -123,8 +123,20 @@ mod tests {
     #[test]
     fn extrapolation_monotone_for_growing_latency() {
         let rows = vec![
-            E1Row { sf: 1.0, query: "Q1", seconds: 1.0, rows: 1, lineitem_rows: 0 },
-            E1Row { sf: 2.0, query: "Q1", seconds: 2.0, rows: 1, lineitem_rows: 0 },
+            E1Row {
+                sf: 1.0,
+                query: "Q1",
+                seconds: 1.0,
+                rows: 1,
+                lineitem_rows: 0,
+            },
+            E1Row {
+                sf: 2.0,
+                query: "Q1",
+                seconds: 2.0,
+                rows: 1,
+                lineitem_rows: 0,
+            },
         ];
         let x = extrapolate(&rows, 10.0);
         assert_eq!(x.len(), 1);

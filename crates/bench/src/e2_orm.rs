@@ -42,7 +42,11 @@ pub fn run(catalog: &MemCatalog, sizes: &[usize]) -> Vec<E2Row> {
                 n_plus_one_s,
                 n_plus_one_queries: queries,
                 join_s,
-                speedup: if join_s > 0.0 { n_plus_one_s / join_s } else { f64::INFINITY },
+                speedup: if join_s > 0.0 {
+                    n_plus_one_s / join_s
+                } else {
+                    f64::INFINITY
+                },
             }
         })
         .collect()
@@ -54,7 +58,9 @@ pub fn report(sf: f64, sizes: &[usize], seed: u64) -> String {
     let rows = run(&catalog, sizes);
     let mut out = String::new();
     out.push_str("E2: the ORM N+1 anti-pattern vs one join\n");
-    out.push_str("claim: \"many performance problems are due to the ORM and never arise at the DBMS\"\n\n");
+    out.push_str(
+        "claim: \"many performance problems are due to the ORM and never arise at the DBMS\"\n\n",
+    );
     out.push_str(&format!(
         "{:>8} {:>12} {:>10} {:>12} {:>10}\n",
         "orders", "N+1 (ms)", "queries", "join (ms)", "speedup"

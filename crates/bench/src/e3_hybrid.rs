@@ -7,7 +7,10 @@
 //! selective (bolt-on over-fetches blindly and retries).
 
 use crate::time;
-use backbone_core::{bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexKind};
+use backbone_core::{
+    bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexKind,
+    VectorIndexSpec,
+};
 use backbone_query::{col, lit};
 use backbone_storage::{DataType, Field, Schema, Value};
 use backbone_vector::{Dataset, Metric};
@@ -78,18 +81,29 @@ pub fn build_db(products: usize, dim: usize, seed: u64, kind: VectorIndexKind) -
     )
     .unwrap();
     // Index text under the products table name so hybrid search finds it.
-    db.create_text_index_from("products", catalog.products.iter().map(|p| p.description.as_str()));
+    db.create_text_index_from(
+        "products",
+        catalog.products.iter().map(|p| p.description.as_str()),
+    )
+    .unwrap();
     let mut ds = Dataset::new(dim);
     for p in &catalog.products {
         ds.push(p.id, &p.embedding);
     }
-    db.create_vector_index("products", ds, Metric::L2, kind).unwrap();
+    db.create_vector_index("products", ds, VectorIndexSpec::of_kind(Metric::L2, kind))
+        .unwrap();
     db
 }
 
 /// Run the sweep. `price_cutoffs` control selectivity (prices are uniform
 /// in [5, 500], so cutoff / 495 approximates selectivity).
-pub fn run(db: &Database, price_cutoffs: &[f64], queries: usize, k: usize, seed: u64) -> Vec<E3Row> {
+pub fn run(
+    db: &Database,
+    price_cutoffs: &[f64],
+    queries: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<E3Row> {
     let dim = 8;
     let qs = generate_queries(queries, dim, 0.0, k, seed);
     let total = db.row_count("products").unwrap() as f64;

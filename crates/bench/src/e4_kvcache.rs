@@ -7,10 +7,29 @@
 //! transfers; (b) scan-resistant policies (LRU-2, 2Q) beat LRU on the
 //! scan-polluted database mix; (c) Belady bounds everything.
 
-use backbone_kvcache::{evaluate_policies, generate_db_scan_trace, generate_llm_trace, CostModel, LlmTraceConfig, Trace};
+use backbone_kvcache::{
+    evaluate_policies_observed, generate_db_scan_trace, generate_llm_trace, CostModel,
+    LlmTraceConfig, Trace,
+};
+use backbone_storage::Metrics;
 
 /// Evaluate both traces at the given capacities.
-pub fn run(capacities: &[usize], seed: u64) -> Vec<(String, usize, Vec<backbone_kvcache::PolicyResult>)> {
+pub fn run(
+    capacities: &[usize],
+    seed: u64,
+) -> Vec<(String, usize, Vec<backbone_kvcache::PolicyResult>)> {
+    run_observed(capacities, seed, &Metrics::new())
+}
+
+/// Evaluate both traces at the given capacities, with every cache run
+/// mirroring its counters into `metrics` under
+/// `e4.{llm|db}.c{capacity}.{policy}.*` — the reported hit/miss rates are
+/// read back from that shared registry, not recomputed by the harness.
+pub fn run_observed(
+    capacities: &[usize],
+    seed: u64,
+    metrics: &Metrics,
+) -> Vec<(String, usize, Vec<backbone_kvcache::PolicyResult>)> {
     let llm = generate_llm_trace(&LlmTraceConfig {
         sessions: 48,
         turns_per_session: 8,
@@ -22,12 +41,13 @@ pub fn run(capacities: &[usize], seed: u64) -> Vec<(String, usize, Vec<backbone_
     });
     let db = generate_db_scan_trace(400, 20, 12, 200, seed + 1);
     let mut out = Vec::new();
-    for trace in [&llm, &db] {
+    for (tag, trace) in [("llm", &llm), ("db", &db)] {
         for &cap in capacities {
+            let scope = format!("e4.{tag}.c{cap}");
             out.push((
                 trace.label.clone(),
                 cap,
-                evaluate_policies(trace, cap, CostModel::default()),
+                evaluate_policies_observed(trace, cap, CostModel::default(), metrics, &scope),
             ));
         }
     }
@@ -42,12 +62,18 @@ pub fn default_llm_trace(seed: u64) -> Trace {
     })
 }
 
-/// Print the experiment's tables.
+/// Print the experiment's tables. Hit/miss numbers come from the shared
+/// [`Metrics`] registry the cache runs mirror into — engine truth, not
+/// harness arithmetic.
 pub fn report(capacities: &[usize], seed: u64) -> String {
-    let results = run(capacities, seed);
+    let metrics = Metrics::new();
+    let results = run_observed(capacities, seed, &metrics);
     let mut out = String::new();
     out.push_str("E4: DB buffer-replacement policies on LLM KV-cache traces\n");
-    out.push_str("claim: LLM KV caching is a database buffering problem\n\n");
+    out.push_str("claim: LLM KV caching is a database buffering problem\n");
+    out.push_str(
+        "(hit/miss rates read from the shared metrics registry: e4.<trace>.c<cap>.<policy>.*)\n\n",
+    );
     let mut last_label = String::new();
     for (label, cap, policies) in &results {
         if *label != last_label {
@@ -104,7 +130,11 @@ pub fn pinning_report(capacities: &[usize], seed: u64) -> String {
             s.hit_rate() * 100.0
         };
         let lru = run(PolicyKind::Lru.build(cap, None));
-        let lru_pin = run(Box::new(PinnedPolicy::of_kind(PolicyKind::Lru, pin.clone(), cap)));
+        let lru_pin = run(Box::new(PinnedPolicy::of_kind(
+            PolicyKind::Lru,
+            pin.clone(),
+            cap,
+        )));
         let twoq = run(PolicyKind::TwoQ.build(cap, None));
         let twoq_pin = run(Box::new(PinnedPolicy::of_kind(PolicyKind::TwoQ, pin, cap)));
         out.push_str(&format!(
@@ -129,6 +159,28 @@ mod tests {
             let belady = policies.iter().find(|p| p.policy == "BELADY").unwrap();
             for p in policies.iter() {
                 assert!(p.cost >= belady.cost - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn report_numbers_come_from_registry() {
+        let metrics = Metrics::new();
+        let results = run_observed(&[64], 7, &metrics);
+        // Every reported hit rate must reproduce exactly from the registry.
+        for (label, cap, policies) in &results {
+            let tag = if label.starts_with("llm") {
+                "llm"
+            } else {
+                "db"
+            };
+            for p in policies {
+                let prefix = format!("e4.{tag}.c{cap}.{}", p.policy.to_lowercase());
+                let lookups = metrics.value(&format!("{prefix}.lookups"));
+                let hits = metrics.value(&format!("{prefix}.hits"));
+                let misses = metrics.value(&format!("{prefix}.misses"));
+                assert_eq!(hits + misses, lookups, "{prefix}");
+                assert!((p.hit_rate - hits as f64 / lookups as f64).abs() < 1e-12);
             }
         }
     }

@@ -173,7 +173,9 @@ pub fn report(thread_counts: &[usize], txns_per_thread: usize, seed: u64) -> Str
             r.threads,
             crate::fmt_count(r.throughput),
             r.aborts,
-            r.fsyncs.map(|f| f.to_string()).unwrap_or_else(|| "-".into())
+            r.fsyncs
+                .map(|f| f.to_string())
+                .unwrap_or_else(|| "-".into())
         ));
     }
     out

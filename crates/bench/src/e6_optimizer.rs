@@ -50,6 +50,7 @@ pub fn run(catalog: &MemCatalog) -> Vec<E6Row> {
             &ExecOptions {
                 parallelism: 1,
                 rules: None,
+                ..ExecOptions::default()
             },
         );
         let mut baseline_rows = None;
@@ -57,6 +58,7 @@ pub fn run(catalog: &MemCatalog) -> Vec<E6Row> {
             let opts = ExecOptions {
                 parallelism: 1,
                 rules: Some(rules),
+                ..ExecOptions::default()
             };
             let (result, seconds) =
                 time(|| execute(plan.clone(), catalog, &opts).expect("ablation run"));
@@ -66,7 +68,11 @@ pub fn run(catalog: &MemCatalog) -> Vec<E6Row> {
             match &baseline_rows {
                 None => baseline_rows = Some(rows),
                 Some(base) => {
-                    assert_eq!(base.len(), rows.len(), "{label} row count changed under {rules_label}");
+                    assert_eq!(
+                        base.len(),
+                        rows.len(),
+                        "{label} row count changed under {rules_label}"
+                    );
                     for (x, y) in base.iter().zip(&rows) {
                         for (vx, vy) in x.iter().zip(y) {
                             match (vx.as_float(), vy.as_float()) {
@@ -96,8 +102,13 @@ pub fn report(sf: f64, seed: u64) -> String {
     let rows = run(&catalog);
     let mut out = String::new();
     out.push_str("E6: optimizer-rule ablation (query optimization pays)\n");
-    out.push_str("claim: \"applying query optimization principles ... significantly reducing costs\"\n\n");
-    out.push_str(&format!("{:>6} {:>22} {:>12} {:>9}\n", "query", "rules", "latency(ms)", "vs-all"));
+    out.push_str(
+        "claim: \"applying query optimization principles ... significantly reducing costs\"\n\n",
+    );
+    out.push_str(&format!(
+        "{:>6} {:>22} {:>12} {:>9}\n",
+        "query", "rules", "latency(ms)", "vs-all"
+    ));
     let mut all_time = std::collections::HashMap::new();
     for r in &rows {
         if r.rules == "all" {

@@ -18,8 +18,14 @@ pub fn declarative(catalog: &MemCatalog, date: i64) -> Vec<(String, f64)> {
     let plan = LogicalPlan::scan("orders", catalog)
         .unwrap()
         .filter(col("o_orderdate").lt(lit(date)))
-        .join_on(LogicalPlan::scan("customer", catalog).unwrap(), vec![("o_custkey", "c_custkey")])
-        .aggregate(vec![col("c_mktsegment")], vec![sum(col("o_totalprice")).alias("revenue")])
+        .join_on(
+            LogicalPlan::scan("customer", catalog).unwrap(),
+            vec![("o_custkey", "c_custkey")],
+        )
+        .aggregate(
+            vec![col("c_mktsegment")],
+            vec![sum(col("o_totalprice")).alias("revenue")],
+        )
         .sort(vec![desc(col("revenue"))])
         .limit(3);
     let out = execute(plan, catalog, &ExecOptions::default()).unwrap();
@@ -55,10 +61,7 @@ pub fn manual(catalog: &MemCatalog, date: i64) -> Vec<(String, f64)> {
     let c_seg = customers.column_by_name("c_mktsegment").unwrap();
     let mut seg_of: HashMap<i64, String> = HashMap::new();
     for i in 0..customers.num_rows() {
-        seg_of.insert(
-            c_key.value(i).as_int().unwrap(),
-            c_seg.value(i).to_string(),
-        );
+        seg_of.insert(c_key.value(i).as_int().unwrap(), c_seg.value(i).to_string());
     }
     let mut revenue: HashMap<String, f64> = HashMap::new();
     for i in 0..orders.num_rows() {
@@ -116,7 +119,9 @@ pub fn report(sf: f64, seed: u64) -> String {
     let agree = a == b;
     let mut out = String::new();
     out.push_str("E8: programmability — declarative API vs hand-rolled client code\n");
-    out.push_str("claim: \"challenges lie in programmability, interoperability, and usability\"\n\n");
+    out.push_str(
+        "claim: \"challenges lie in programmability, interoperability, and usability\"\n\n",
+    );
     out.push_str(&format!(
         "{:>14} {:>10} {:>12} {:>8}\n",
         "style", "client-LoC", "latency(ms)", "answer"

@@ -47,7 +47,12 @@ fn random_dataset(n: usize, dim: usize, seed: u64) -> (Dataset, Vec<Vec<f32>>) {
     (d, queries)
 }
 
-fn measure(index: &dyn VectorIndex, exact: &ExactIndex, queries: &[Vec<f32>], k: usize) -> (f64, f64) {
+fn measure(
+    index: &dyn VectorIndex,
+    exact: &ExactIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> (f64, f64) {
     let recall = recall_at_k(index, exact, queries, k);
     let (_, secs) = time(|| {
         for q in queries {
@@ -147,10 +152,17 @@ mod tests {
         let exact = &rows[0];
         assert!((exact.recall - 1.0).abs() < 1e-9);
         // Wider probes => recall rises monotonically for IVF.
-        let ivf: Vec<&E9Row> = rows.iter().filter(|r| r.config.starts_with("ivf")).collect();
+        let ivf: Vec<&E9Row> = rows
+            .iter()
+            .filter(|r| r.config.starts_with("ivf"))
+            .collect();
         assert!(ivf[0].recall <= ivf[2].recall + 1e-9);
         // Highest-effort HNSW should be near-exact.
         let hnsw_best = rows.iter().find(|r| r.config == "hnsw(ef=200)").unwrap();
-        assert!(hnsw_best.recall > 0.9, "hnsw ef=200 recall {}", hnsw_best.recall);
+        assert!(
+            hnsw_best.recall > 0.9,
+            "hnsw ef=200 recall {}",
+            hnsw_best.recall
+        );
     }
 }

@@ -8,11 +8,11 @@
 //! fields, and NULLs for empty cells.
 
 use crate::database::Database;
-use backbone_query::QueryError;
+use crate::error::{Error, Result};
 use backbone_storage::{DataType, Field, Schema, Value};
 
 /// Parse one CSV line into fields, honouring double quotes and `""` escapes.
-fn split_line(line: &str) -> Result<Vec<String>, QueryError> {
+fn split_line(line: &str) -> Result<Vec<String>> {
     let mut fields = Vec::new();
     let mut cur = String::new();
     let mut chars = line.chars().peekable();
@@ -29,7 +29,7 @@ fn split_line(line: &str) -> Result<Vec<String>, QueryError> {
             }
             '"' if cur.is_empty() => in_quotes = true,
             '"' => {
-                return Err(QueryError::InvalidPlan(
+                return Err(Error::InvalidInput(
                     "CSV: quote in the middle of an unquoted field".into(),
                 ))
             }
@@ -40,7 +40,7 @@ fn split_line(line: &str) -> Result<Vec<String>, QueryError> {
         }
     }
     if in_quotes {
-        return Err(QueryError::InvalidPlan("CSV: unterminated quoted field".into()));
+        return Err(Error::InvalidInput("CSV: unterminated quoted field".into()));
     }
     fields.push(cur);
     Ok(fields)
@@ -82,20 +82,24 @@ fn infer_type(cells: &[&str]) -> DataType {
 }
 
 fn saw_numeric(cells: &[&str]) -> bool {
-    cells.iter().any(|c| !c.is_empty() && c.parse::<f64>().is_ok())
+    cells
+        .iter()
+        .any(|c| !c.is_empty() && c.parse::<f64>().is_ok())
 }
 
-fn parse_cell(cell: &str, ty: DataType) -> Result<Value, QueryError> {
+fn parse_cell(cell: &str, ty: DataType) -> Result<Value> {
     if cell.is_empty() {
         return Ok(Value::Null);
     }
     Ok(match ty {
-        DataType::Int64 => Value::Int(cell.parse::<i64>().map_err(|_| {
-            QueryError::InvalidPlan(format!("CSV: '{cell}' is not an integer"))
-        })?),
-        DataType::Float64 => Value::Float(cell.parse::<f64>().map_err(|_| {
-            QueryError::InvalidPlan(format!("CSV: '{cell}' is not a number"))
-        })?),
+        DataType::Int64 => Value::Int(
+            cell.parse::<i64>()
+                .map_err(|_| Error::InvalidInput(format!("CSV: '{cell}' is not an integer")))?,
+        ),
+        DataType::Float64 => Value::Float(
+            cell.parse::<f64>()
+                .map_err(|_| Error::InvalidInput(format!("CSV: '{cell}' is not a number")))?,
+        ),
         DataType::Bool => Value::Bool(cell.eq_ignore_ascii_case("true")),
         DataType::Utf8 => Value::str(cell),
     })
@@ -105,19 +109,21 @@ impl Database {
     /// Create table `name` from CSV text with a header row, inferring the
     /// schema from the data. Empty cells load as NULL. Returns the number
     /// of rows loaded.
-    pub fn load_csv(&self, name: &str, csv: &str) -> Result<usize, QueryError> {
+    pub fn load_csv(&self, name: &str, csv: &str) -> Result<usize> {
         let mut lines = csv.lines().filter(|l| !l.trim().is_empty());
         let header = lines
             .next()
-            .ok_or_else(|| QueryError::InvalidPlan("CSV: empty input".into()))?;
+            .ok_or_else(|| Error::InvalidInput("CSV: empty input".into()))?;
         let columns = split_line(header)?;
         if columns.iter().any(|c| c.trim().is_empty()) {
-            return Err(QueryError::InvalidPlan("CSV: blank column name in header".into()));
+            return Err(Error::InvalidInput(
+                "CSV: blank column name in header".into(),
+            ));
         }
-        let rows: Vec<Vec<String>> = lines.map(split_line).collect::<Result<_, _>>()?;
+        let rows: Vec<Vec<String>> = lines.map(split_line).collect::<Result<_>>()?;
         for (i, r) in rows.iter().enumerate() {
             if r.len() != columns.len() {
-                return Err(QueryError::InvalidPlan(format!(
+                return Err(Error::InvalidInput(format!(
                     "CSV: row {} has {} fields, header has {}",
                     i + 2,
                     r.len(),
@@ -139,9 +145,9 @@ impl Database {
                 r.iter()
                     .enumerate()
                     .map(|(c, cell)| parse_cell(cell, schema.field(c).data_type))
-                    .collect::<Result<Vec<_>, _>>()
+                    .collect::<Result<Vec<_>>>()
             })
-            .collect::<Result<_, _>>()?;
+            .collect::<Result<_>>()?;
         let n = values.len();
         self.insert(name, values)?;
         Ok(n)
@@ -149,7 +155,7 @@ impl Database {
 
     /// Export a table as CSV text with a header row. NULLs export as empty
     /// cells; strings containing commas/quotes/newlines are quoted.
-    pub fn to_csv(&self, name: &str) -> Result<String, QueryError> {
+    pub fn to_csv(&self, name: &str) -> Result<String> {
         let batch = self.table_batch(name)?;
         let mut out = String::new();
         let names: Vec<String> = batch
@@ -202,11 +208,18 @@ mod tests {
         let s = batch.schema();
         assert_eq!(s.field_by_name("name").unwrap().data_type, DataType::Utf8);
         assert_eq!(s.field_by_name("age").unwrap().data_type, DataType::Int64);
-        assert_eq!(s.field_by_name("score").unwrap().data_type, DataType::Float64);
+        assert_eq!(
+            s.field_by_name("score").unwrap().data_type,
+            DataType::Float64
+        );
         assert_eq!(s.field_by_name("active").unwrap().data_type, DataType::Bool);
         // And it is queryable straight away.
         let out = db
-            .execute(db.query("people").unwrap().filter(col("age").gt(lit(30i64))))
+            .execute(
+                db.query("people")
+                    .unwrap()
+                    .filter(col("age").gt(lit(30i64))),
+            )
             .unwrap();
         assert_eq!(out.num_rows(), 1);
     }
@@ -232,7 +245,8 @@ mod tests {
     #[test]
     fn quoted_fields_and_escapes() {
         let db = Database::new();
-        db.load_csv("t", "msg\n\"hello, world\"\n\"say \"\"hi\"\"\"\n").unwrap();
+        db.load_csv("t", "msg\n\"hello, world\"\n\"say \"\"hi\"\"\"\n")
+            .unwrap();
         let batch = db.table_batch("t").unwrap();
         assert_eq!(batch.row(0)[0], Value::str("hello, world"));
         assert_eq!(batch.row(1)[0], Value::str("say \"hi\""));

@@ -1,12 +1,11 @@
 //! The `Database` handle: tables, indexes, and query execution.
 
-use crate::hybrid::VectorIndexKind;
-use backbone_query::{ExecOptions, LogicalPlan, MemCatalog, QueryError};
-use backbone_storage::{RecordBatch, Schema, Table, Value};
+use crate::error::{Error, Result};
+use crate::index::VectorIndexSpec;
+use backbone_query::{ExecOptions, LogicalPlan, MemCatalog, Metrics, Statement};
+use backbone_storage::{DataType, Field, RecordBatch, Schema, Table, Value};
 use backbone_text::InvertedIndex;
-use backbone_vector::{Dataset, ExactIndex, HnswIndex, IvfIndex, Metric, VectorIndex};
-use backbone_vector::hnsw::HnswParams;
-use backbone_vector::ivf::IvfParams;
+use backbone_vector::{Dataset, VectorIndex};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -16,12 +15,16 @@ use std::sync::Arc;
 /// Rows are addressed by ordinal (0-based insertion order); text and vector
 /// indexes use the same ordinals as document/vector ids, which is what lets
 /// the hybrid engine intersect the three worlds without any id mapping.
+///
+/// Every method returns the unified [`Error`]; lower-layer causes stay
+/// reachable through [`std::error::Error::source`].
 pub struct Database {
     tables: RwLock<HashMap<String, Table>>,
     catalog: MemCatalog,
     text_indexes: RwLock<HashMap<String, Arc<InvertedIndex>>>,
     vector_indexes: RwLock<HashMap<String, Arc<dyn VectorIndex>>>,
     exec: ExecOptions,
+    metrics: Metrics,
 }
 
 impl Database {
@@ -31,23 +34,33 @@ impl Database {
     }
 
     /// An empty database with custom execution options (parallelism,
-    /// optimizer rules).
-    pub fn with_options(exec: ExecOptions) -> Database {
+    /// optimizer rules). If the options carry no metrics registry, the
+    /// database creates one, so [`Database::metrics`] is always live.
+    pub fn with_options(mut exec: ExecOptions) -> Database {
+        let metrics = exec.metrics.get_or_insert_with(Metrics::new).clone();
         Database {
             tables: RwLock::new(HashMap::new()),
             catalog: MemCatalog::new(),
             text_indexes: RwLock::new(HashMap::new()),
             vector_indexes: RwLock::new(HashMap::new()),
             exec,
+            metrics,
         }
     }
 
+    /// The shared metrics registry: operator counters (`op.*`), buffer-pool
+    /// traffic (`bufferpool.*` when storage is wired to the same registry),
+    /// and hybrid-search stage timings (`hybrid.*`) all land here.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
     /// Create an empty table.
-    pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<(), QueryError> {
+    pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<()> {
         let name = name.into();
         let mut tables = self.tables.write();
         if tables.contains_key(&name) {
-            return Err(QueryError::InvalidPlan(format!("table '{name}' already exists")));
+            return Err(Error::TableExists(name));
         }
         let table = Table::new(schema);
         self.catalog.register(&name, table.clone());
@@ -56,7 +69,7 @@ impl Database {
     }
 
     /// Register a pre-built table (e.g. from a workload generator).
-    pub fn register_table(&self, name: impl Into<String>, mut table: Table) -> Result<(), QueryError> {
+    pub fn register_table(&self, name: impl Into<String>, mut table: Table) -> Result<()> {
         let name = name.into();
         table.flush()?;
         self.catalog.register(&name, table.clone());
@@ -64,47 +77,83 @@ impl Database {
         Ok(())
     }
 
-    /// Append rows to a table. The catalog snapshot is refreshed so
-    /// subsequent queries see the rows (row groups are shared, not copied).
-    pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<(), QueryError> {
-        let mut tables = self.tables.write();
-        let table = tables
-            .get_mut(name)
-            .ok_or_else(|| QueryError::TableNotFound(name.to_string()))?;
-        for row in rows {
-            table.append_row(row)?;
-        }
-        self.catalog.register(name, table.clone());
+    /// Append rows to a table, then publish a fresh catalog snapshot so
+    /// subsequent queries see them.
+    ///
+    /// The snapshot shares sealed row groups with the live table (`Arc`, not
+    /// copies), and catalog registration happens *after* the table write
+    /// lock is released — concurrent readers keep querying the previous
+    /// snapshot instead of waiting behind the append.
+    pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        let snapshot = {
+            let mut tables = self.tables.write();
+            let table = tables
+                .get_mut(name)
+                .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
+            for row in rows {
+                table.append_row(row)?;
+            }
+            table.clone()
+        };
+        self.catalog.register(name, snapshot);
         Ok(())
     }
 
     /// Start a declarative query against a table.
-    pub fn query(&self, table: &str) -> Result<LogicalPlan, QueryError> {
-        LogicalPlan::scan(table, &self.catalog)
+    pub fn query(&self, table: &str) -> Result<LogicalPlan> {
+        Ok(LogicalPlan::scan(table, &self.catalog)?)
     }
 
     /// Execute a plan to a single result batch.
-    pub fn execute(&self, plan: LogicalPlan) -> Result<RecordBatch, QueryError> {
-        backbone_query::execute(plan, &self.catalog, &self.exec)
+    pub fn execute(&self, plan: LogicalPlan) -> Result<RecordBatch> {
+        Ok(backbone_query::execute(plan, &self.catalog, &self.exec)?)
     }
 
-    /// Parse and execute a SQL `SELECT` statement.
+    /// Parse and execute a SQL statement: a `SELECT`, or `EXPLAIN [ANALYZE]
+    /// SELECT ...` — the latter returns the rendered plan report as a
+    /// single-column (`plan`, one row per line) batch, like mainstream
+    /// engines do.
     ///
     /// SQL and the builder API lower into the same logical algebra, so they
     /// optimize and execute identically.
-    pub fn sql(&self, query: &str) -> Result<RecordBatch, QueryError> {
-        let plan = backbone_query::parse_select(query, &self.catalog)?;
-        self.execute(plan)
+    pub fn sql(&self, query: &str) -> Result<RecordBatch> {
+        match backbone_query::parse_statement(query, &self.catalog)? {
+            Statement::Select(plan) => self.execute(plan),
+            Statement::Explain {
+                plan,
+                analyze: false,
+            } => report_batch(&self.explain(&plan)?),
+            Statement::Explain {
+                plan,
+                analyze: true,
+            } => report_batch(&self.explain_analyze(plan)?.0),
+        }
     }
 
     /// Execute with explicit options (e.g. parallel scans, optimizer off).
-    pub fn execute_with(&self, plan: LogicalPlan, opts: &ExecOptions) -> Result<RecordBatch, QueryError> {
-        backbone_query::execute(plan, &self.catalog, opts)
+    pub fn execute_with(&self, plan: LogicalPlan, opts: &ExecOptions) -> Result<RecordBatch> {
+        Ok(backbone_query::execute(plan, &self.catalog, opts)?)
     }
 
     /// EXPLAIN a plan: logical and optimized forms with estimates.
-    pub fn explain(&self, plan: &LogicalPlan) -> Result<String, QueryError> {
-        backbone_query::executor::explain(plan, &self.catalog, &self.exec)
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        Ok(backbone_query::executor::explain(
+            plan,
+            &self.catalog,
+            &self.exec,
+        )?)
+    }
+
+    /// EXPLAIN ANALYZE a plan: run it instrumented and return the physical
+    /// plan annotated with measured per-operator rows-in/rows-out, batch
+    /// counts, and elapsed time, alongside the query result. Operator
+    /// totals also accumulate into [`Database::metrics`] (`op.*`).
+    pub fn explain_analyze(&self, plan: LogicalPlan) -> Result<(String, RecordBatch)> {
+        Ok(backbone_query::explain_analyze(
+            plan,
+            &self.catalog,
+            &self.exec,
+        )?)
     }
 
     /// The underlying catalog (for the query layer's free functions).
@@ -117,17 +166,13 @@ impl Database {
         self.tables.read().get(table).map(|t| t.num_rows())
     }
 
-    /// Build a full-text index over a UTF-8 column. Document ids are row
-    /// ordinals.
-    pub fn create_text_index(&self, table: &str, column: &str) -> Result<(), QueryError> {
-        let snapshot = {
-            let mut tables = self.tables.write();
-            let t = tables
-                .get_mut(table)
-                .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
-            t.flush()?;
-            t.clone()
-        };
+    /// Build a full-text index over a UTF-8 column of `table`. Document ids
+    /// are row ordinals. Sibling of
+    /// [`create_vector_index`](Database::create_vector_index), which ingests
+    /// external per-row data the way
+    /// [`create_text_index_from`](Database::create_text_index_from) does.
+    pub fn create_text_index(&self, table: &str, column: &str) -> Result<()> {
+        let snapshot = self.flushed_snapshot(table)?;
         let batch = snapshot.to_batch()?;
         let col = batch.column_by_name(column)?;
         let texts = col.utf8_data()?;
@@ -144,42 +189,59 @@ impl Database {
     /// Build a full-text index for `table` from external documents (one per
     /// row ordinal) — for text that lives outside the relational schema,
     /// e.g. long descriptions kept in an object store.
-    pub fn create_text_index_from<'a>(&self, table: &str, texts: impl Iterator<Item = &'a str>) {
+    ///
+    /// The table must exist and the document count must equal its row count;
+    /// anything else would silently break the ordinal alignment the hybrid
+    /// engine depends on.
+    pub fn create_text_index_from<'a>(
+        &self,
+        table: &str,
+        texts: impl Iterator<Item = &'a str>,
+    ) -> Result<()> {
+        let rows = self
+            .row_count(table)
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
         let mut index = InvertedIndex::new();
+        let mut entries = 0usize;
         for (i, text) in texts.enumerate() {
             index.add_document(i as u64, text);
+            entries += 1;
+        }
+        if entries != rows {
+            return Err(Error::IndexCardinality {
+                table: table.to_string(),
+                rows,
+                entries,
+            });
         }
         self.text_indexes
             .write()
             .insert(table.to_string(), Arc::new(index));
+        Ok(())
     }
 
     /// Attach embedding vectors to a table's rows (slot i = row ordinal i)
-    /// and build a vector index of the requested kind.
+    /// and build the vector index described by `spec` — algorithm, metric,
+    /// and tuning knobs all travel in the typed [`VectorIndexSpec`].
     pub fn create_vector_index(
         &self,
         table: &str,
         vectors: Dataset,
-        metric: Metric,
-        kind: VectorIndexKind,
-    ) -> Result<(), QueryError> {
+        spec: VectorIndexSpec,
+    ) -> Result<()> {
         let rows = self
             .row_count(table)
-            .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
         if vectors.len() != rows {
-            return Err(QueryError::InvalidPlan(format!(
-                "vector count {} does not match table rows {rows}",
-                vectors.len()
-            )));
+            return Err(Error::IndexCardinality {
+                table: table.to_string(),
+                rows,
+                entries: vectors.len(),
+            });
         }
-        let index: Arc<dyn VectorIndex> = match kind {
-            VectorIndexKind::Exact => Arc::new(ExactIndex::from_dataset(vectors, metric)),
-            VectorIndexKind::Ivf => Arc::new(IvfIndex::build(vectors, metric, IvfParams::default())),
-            VectorIndexKind::Hnsw => {
-                Arc::new(HnswIndex::build(vectors, metric, HnswParams::default()))
-            }
-        };
-        self.vector_indexes.write().insert(table.to_string(), index);
+        self.vector_indexes
+            .write()
+            .insert(table.to_string(), spec.build(vectors));
         Ok(())
     }
 
@@ -195,28 +257,24 @@ impl Database {
 
     /// Evaluate a predicate over a table into a row mask, one row group at
     /// a time — no whole-table materialization.
-    pub fn eval_mask(&self, table: &str, predicate: &backbone_query::Expr) -> Result<Vec<bool>, QueryError> {
-        let snapshot = {
-            let mut tables = self.tables.write();
-            let t = tables
-                .get_mut(table)
-                .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
-            t.flush()?;
-            t.clone()
-        };
+    pub fn eval_mask(&self, table: &str, predicate: &backbone_query::Expr) -> Result<Vec<bool>> {
+        let snapshot = self.flushed_snapshot(table)?;
         let mut mask = Vec::with_capacity(snapshot.num_rows());
         for group in snapshot.groups() {
-            mask.extend(backbone_query::eval::eval_predicate(predicate, group.batch())?);
+            mask.extend(backbone_query::eval::eval_predicate(
+                predicate,
+                group.batch(),
+            )?);
         }
         Ok(mask)
     }
 
     /// Materialize a whole table (row ordinals = batch positions).
-    pub fn table_batch(&self, table: &str) -> Result<RecordBatch, QueryError> {
+    pub fn table_batch(&self, table: &str) -> Result<RecordBatch> {
         let tables = self.tables.read();
         let t = tables
             .get(table)
-            .ok_or_else(|| QueryError::TableNotFound(table.to_string()))?;
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
         Ok(t.to_batch()?)
     }
 
@@ -224,6 +282,23 @@ impl Database {
     pub fn table_names(&self) -> Vec<String> {
         self.catalog.table_names()
     }
+
+    /// A flushed clone of a table (sealed groups shared, pending sealed).
+    fn flushed_snapshot(&self, table: &str) -> Result<Table> {
+        let mut tables = self.tables.write();
+        let t = tables
+            .get_mut(table)
+            .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
+        t.flush()?;
+        Ok(t.clone())
+    }
+}
+
+/// Render a plan report as a single-column batch, one row per line.
+fn report_batch(report: &str) -> Result<RecordBatch> {
+    let schema = Schema::new(vec![Field::new("plan", DataType::Utf8)]);
+    let rows: Vec<Vec<Value>> = report.lines().map(|l| vec![Value::str(l)]).collect();
+    Ok(RecordBatch::from_rows(schema, &rows)?)
 }
 
 impl Default for Database {
@@ -237,6 +312,7 @@ mod tests {
     use super::*;
     use backbone_query::{col, lit};
     use backbone_storage::{DataType, Field};
+    use backbone_vector::Metric;
 
     fn db_with_table() -> Database {
         let db = Database::new();
@@ -272,9 +348,10 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let db = db_with_table();
-        assert!(db
-            .create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)]))
-            .is_err());
+        assert!(matches!(
+            db.create_table("t", Schema::new(vec![Field::new("x", DataType::Int64)])),
+            Err(Error::TableExists(_))
+        ));
     }
 
     #[test]
@@ -282,17 +359,62 @@ mod tests {
         let db = Database::new();
         assert!(matches!(
             db.insert("ghost", vec![]),
-            Err(QueryError::TableNotFound(_))
+            Err(Error::TableNotFound(_))
         ));
     }
 
     #[test]
     fn inserts_visible_incrementally() {
         let db = db_with_table();
-        db.insert("t", vec![vec![Value::Int(4), Value::str("green newt")]]).unwrap();
+        db.insert("t", vec![vec![Value::Int(4), Value::str("green newt")]])
+            .unwrap();
         let out = db.execute(db.query("t").unwrap()).unwrap();
         assert_eq!(out.num_rows(), 4);
         assert_eq!(db.row_count("t"), Some(4));
+    }
+
+    #[test]
+    fn concurrent_inserts_and_queries() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let db = Arc::new(Database::new());
+        db.create_table("t", Schema::new(vec![Field::new("id", DataType::Int64)]))
+            .unwrap();
+        let done = Arc::new(AtomicBool::new(false));
+
+        let writer = {
+            let db = db.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                for i in 0..500i64 {
+                    db.insert("t", vec![vec![Value::Int(i)]]).unwrap();
+                }
+                done.store(true, Ordering::Release);
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let db = db.clone();
+                let done = done.clone();
+                std::thread::spawn(move || {
+                    let mut last = 0usize;
+                    while !done.load(Ordering::Acquire) {
+                        let out = db.execute(db.query("t").unwrap()).unwrap();
+                        // Row counts only grow, and every visible id is valid.
+                        assert!(out.num_rows() >= last, "snapshot went backwards");
+                        last = out.num_rows();
+                    }
+                    last
+                })
+            })
+            .collect();
+
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        let out = db.execute(db.query("t").unwrap()).unwrap();
+        assert_eq!(out.num_rows(), 500);
     }
 
     #[test]
@@ -305,18 +427,46 @@ mod tests {
     }
 
     #[test]
+    fn external_text_index_validates_alignment() {
+        let db = db_with_table();
+        // Too few documents: ordinal alignment would break.
+        assert!(matches!(
+            db.create_text_index_from("t", ["only one"].into_iter()),
+            Err(Error::IndexCardinality {
+                rows: 3,
+                entries: 1,
+                ..
+            })
+        ));
+        // Missing table.
+        assert!(matches!(
+            db.create_text_index_from("ghost", ["a"].into_iter()),
+            Err(Error::TableNotFound(_))
+        ));
+        // Aligned documents build fine.
+        db.create_text_index_from("t", ["ash oak", "oak", "fir"].into_iter())
+            .unwrap();
+        assert_eq!(db.text_index("t").unwrap().doc_freq("oak"), 2);
+    }
+
+    #[test]
     fn vector_index_requires_matching_rows() {
         let db = db_with_table();
         let mut ds = Dataset::new(2);
         ds.push(0, &[0.0, 0.0]);
-        assert!(db
-            .create_vector_index("t", ds, Metric::L2, VectorIndexKind::Exact)
-            .is_err());
+        assert!(matches!(
+            db.create_vector_index("t", ds, VectorIndexSpec::exact(Metric::L2)),
+            Err(Error::IndexCardinality {
+                rows: 3,
+                entries: 1,
+                ..
+            })
+        ));
         let mut ds = Dataset::new(2);
         for i in 0..3 {
             ds.push(i, &[i as f32, 0.0]);
         }
-        db.create_vector_index("t", ds, Metric::L2, VectorIndexKind::Exact)
+        db.create_vector_index("t", ds, VectorIndexSpec::exact(Metric::L2))
             .unwrap();
         let ix = db.vector_index("t").unwrap();
         assert_eq!(ix.search(&[2.1, 0.0], 1)[0].id, 2);
@@ -328,5 +478,34 @@ mod tests {
         let plan = db.query("t").unwrap().filter(col("id").eq(lit(2i64)));
         let text = db.explain(&plan).unwrap();
         assert!(text.contains("Optimized plan"));
+    }
+
+    #[test]
+    fn sql_explain_analyze_returns_plan_rows() {
+        let db = db_with_table();
+        let out = db
+            .sql("EXPLAIN ANALYZE SELECT id FROM t WHERE id > 1")
+            .unwrap();
+        assert_eq!(out.schema().field(0).name, "plan");
+        let lines: Vec<String> = (0..out.num_rows())
+            .map(|i| out.row(i)[0].as_str().unwrap().to_string())
+            .collect();
+        let text = lines.join("\n");
+        assert!(text.contains("== Analyzed plan"), "{text}");
+        assert!(text.contains("rows_out="), "{text}");
+        assert!(text.contains("time="), "{text}");
+        // Plain EXPLAIN renders without running.
+        let out = db.sql("EXPLAIN SELECT id FROM t").unwrap();
+        assert!(out.row(0)[0]
+            .as_str()
+            .unwrap()
+            .contains("== Logical plan =="));
+    }
+
+    #[test]
+    fn db_metrics_accumulate_operator_truth() {
+        let db = db_with_table();
+        db.explain_analyze(db.query("t").unwrap()).unwrap();
+        assert_eq!(db.metrics().value("op.scan.rows_out"), 3);
     }
 }

@@ -17,11 +17,13 @@
 //! purely architectural.
 
 use crate::database::Database;
+use crate::error::{Error, Result};
 
-use backbone_query::{Expr, QueryError};
+use backbone_query::Expr;
 use backbone_text::bm25::{rank_terms, rank_terms_filtered, Bm25Params};
 use backbone_text::tokenize::tokenize;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Which vector index implementation a table uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,21 +98,37 @@ fn similarity(distance: f32) -> f64 {
     1.0 / (1.0 + distance.max(0.0) as f64)
 }
 
-fn fuse(
-    weights: &FusionWeights,
-    vector_distance: Option<f32>,
-    text_score: Option<f64>,
-) -> f64 {
+fn fuse(weights: &FusionWeights, vector_distance: Option<f32>, text_score: Option<f64>) -> f64 {
     let v = vector_distance.map(similarity).unwrap_or(0.0);
     let t = text_score.unwrap_or(0.0);
     weights.vector * v + weights.text * t
 }
 
-fn evaluate_filter(db: &Database, spec: &HybridSpec) -> Result<Option<Vec<bool>>, QueryError> {
+fn evaluate_filter(db: &Database, spec: &HybridSpec) -> Result<Option<Vec<bool>>> {
     match &spec.filter {
         None => Ok(None),
         Some(f) => Ok(Some(db.eval_mask(&spec.table, f)?)),
     }
+}
+
+fn vector_index_of(
+    db: &Database,
+    table: &str,
+) -> Result<std::sync::Arc<dyn backbone_vector::VectorIndex>> {
+    db.vector_index(table).ok_or_else(|| Error::IndexMissing {
+        table: table.to_string(),
+        kind: "vector",
+    })
+}
+
+fn text_index_of(
+    db: &Database,
+    table: &str,
+) -> Result<std::sync::Arc<backbone_text::InvertedIndex>> {
+    db.text_index(table).ok_or_else(|| Error::IndexMissing {
+        table: table.to_string(),
+        kind: "text",
+    })
 }
 
 fn rank_and_truncate(
@@ -134,28 +152,41 @@ fn rank_and_truncate(
 
 /// The unified engine: filter once, push the mask into both relevance
 /// components, fuse in place.
-pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost), QueryError> {
+///
+/// Each stage's elapsed time accumulates into the database's metrics
+/// registry (`hybrid.filter_ns`, `hybrid.vector_ns`, `hybrid.text_ns`,
+/// plus a `hybrid.searches` call counter) — the same observability spine
+/// `EXPLAIN ANALYZE` uses for relational operators.
+pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost)> {
+    let metrics = db.metrics();
+    metrics.counter("hybrid.searches").incr();
+
+    let stage = Instant::now();
     let mask = evaluate_filter(db, spec)?;
-    let passes = |row: u64| mask.as_ref().map(|m| m.get(row as usize).copied().unwrap_or(false)).unwrap_or(true);
+    metrics.counter("hybrid.filter_ns").add_elapsed(stage);
+    let passes = |row: u64| {
+        mask.as_ref()
+            .map(|m| m.get(row as usize).copied().unwrap_or(false))
+            .unwrap_or(true)
+    };
 
     let mut merged: HashMap<u64, (Option<f32>, Option<f64>)> = HashMap::new();
 
     if let Some(qv) = &spec.vector {
-        let index = db
-            .vector_index(&spec.table)
-            .ok_or_else(|| QueryError::InvalidPlan(format!("no vector index on '{}'", spec.table)))?;
+        let stage = Instant::now();
+        let index = vector_index_of(db, &spec.table)?;
         // The mask is pushed into the index: no candidates leave the engine.
         let fetch = (spec.k * 4).max(64);
         let hits = index.search_filtered(qv, fetch, &passes);
         for h in hits {
             merged.entry(h.id).or_insert((None, None)).0 = Some(h.distance);
         }
+        metrics.counter("hybrid.vector_ns").add_elapsed(stage);
     }
 
     if let Some(kw) = &spec.keyword {
-        let index = db
-            .text_index(&spec.table)
-            .ok_or_else(|| QueryError::InvalidPlan(format!("no text index on '{}'", spec.table)))?;
+        let stage = Instant::now();
+        let index = text_index_of(db, &spec.table)?;
         let terms = tokenize(kw);
         // Push the mask into relevance scoring and keep a bounded candidate
         // set — the index is co-located, so no over-fetch leaves the engine.
@@ -164,6 +195,7 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
         for s in scored {
             merged.entry(s.doc).or_insert((None, None)).1 = Some(s.score);
         }
+        metrics.counter("hybrid.text_ns").add_elapsed(stage);
     }
 
     // Co-location pays: complete missing vector distances for candidates
@@ -202,7 +234,7 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
 
 /// The bolt-on composition: three services, client-side glue, over-fetch
 /// and retry.
-pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost), QueryError> {
+pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost)> {
     let mask = evaluate_filter(db, spec)?;
     let total_rows = db.row_count(&spec.table).unwrap_or(0);
 
@@ -230,9 +262,7 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
 
         // Service 2 (vector store): blind top-`fetch`, no filter awareness.
         if let Some(qv) = &spec.vector {
-            let index = db
-                .vector_index(&spec.table)
-                .ok_or_else(|| QueryError::InvalidPlan(format!("no vector index on '{}'", spec.table)))?;
+            let index = vector_index_of(db, &spec.table)?;
             let hits = index.search(qv, fetch);
             cost.candidates_fetched += hits.len();
             cost.round_trips += 1;
@@ -243,9 +273,7 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
 
         // Service 3 (text search): blind top-`fetch`.
         if let Some(kw) = &spec.keyword {
-            let index = db
-                .text_index(&spec.table)
-                .ok_or_else(|| QueryError::InvalidPlan(format!("no text index on '{}'", spec.table)))?;
+            let index = text_index_of(db, &spec.table)?;
             let terms = tokenize(kw);
             let scored = rank_terms(&index, &terms, fetch, Bm25Params::default());
             cost.candidates_fetched += scored.len();
@@ -260,7 +288,10 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
 
         if spec.vector.is_none() && spec.keyword.is_none() {
             // Pure relational: the RDBMS result is the answer.
-            for row in filter_ids.clone().unwrap_or_else(|| (0..total_rows as u64).collect()) {
+            for row in filter_ids
+                .clone()
+                .unwrap_or_else(|| (0..total_rows as u64).collect())
+            {
                 merged.insert(row, (None, None));
                 if merged.len() >= spec.k {
                     break;
@@ -279,6 +310,7 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::index::VectorIndexSpec;
     use backbone_query::{col, lit};
     use backbone_storage::{DataType, Field, Schema, Value};
     use backbone_vector::{Dataset, Metric};
@@ -318,7 +350,7 @@ mod tests {
             };
             ds.push(i, &v);
         }
-        db.create_vector_index("items", ds, Metric::L2, VectorIndexKind::Exact)
+        db.create_vector_index("items", ds, VectorIndexSpec::exact(Metric::L2))
             .unwrap();
         db
     }
@@ -378,7 +410,12 @@ mod tests {
         // Unified completes missing vector distances for keyword-only
         // candidates, so its fused top-k score dominates the bolt-on's.
         let score = |v: &[HybridHit]| v.iter().map(|h| h.score).sum::<f64>();
-        assert!(score(&a) >= score(&b) - 1e-9, "{} < {}", score(&a), score(&b));
+        assert!(
+            score(&a) >= score(&b) - 1e-9,
+            "{} < {}",
+            score(&a),
+            score(&b)
+        );
         // And every unified hit now carries a vector distance.
         assert!(a.iter().all(|h| h.vector_distance.is_some()));
     }
@@ -437,7 +474,8 @@ mod tests {
     #[test]
     fn missing_index_is_an_error() {
         let db = Database::new();
-        db.create_table("bare", Schema::new(vec![Field::new("id", DataType::Int64)])).unwrap();
+        db.create_table("bare", Schema::new(vec![Field::new("id", DataType::Int64)]))
+            .unwrap();
         db.insert("bare", vec![vec![Value::Int(1)]]).unwrap();
         let s = HybridSpec {
             table: "bare".into(),
@@ -447,6 +485,20 @@ mod tests {
             k: 1,
             weights: FusionWeights::default(),
         };
-        assert!(unified_search(&db, &s).is_err());
+        assert!(matches!(
+            unified_search(&db, &s),
+            Err(Error::IndexMissing { kind: "text", .. })
+        ));
+    }
+
+    #[test]
+    fn stage_timings_land_in_registry() {
+        let db = db();
+        let before = db.metrics().value("hybrid.searches");
+        unified_search(&db, &spec()).unwrap();
+        assert_eq!(db.metrics().value("hybrid.searches"), before + 1);
+        for stage in ["hybrid.filter_ns", "hybrid.vector_ns", "hybrid.text_ns"] {
+            assert!(db.metrics().value(stage) > 0, "{stage} not recorded");
+        }
     }
 }

@@ -47,14 +47,33 @@
 //! assert_eq!(out.row(0)[0], Value::Int(1));
 //! ```
 
+//!
+//! ## Observability
+//!
+//! Every [`Database`] owns a shared [`Metrics`] registry:
+//! `db.sql("EXPLAIN ANALYZE SELECT ...")` (or [`Database::explain_analyze`])
+//! runs the plan instrumented and renders per-operator rows-in/rows-out and
+//! elapsed time, while operator totals (`op.*`), hybrid-search stage timings
+//! (`hybrid.*`), and — when storage is wired to the same registry —
+//! buffer-pool traffic (`bufferpool.*`) accumulate as counters readable via
+//! [`Database::metrics`].
+
 pub mod csv;
 pub mod database;
+pub mod error;
 pub mod hybrid;
+pub mod index;
 pub mod topk;
 
 pub use database::Database;
-pub use topk::{ta_search, TaResult};
+pub use error::{Error, Result};
 pub use hybrid::{
     bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
     VectorIndexKind,
 };
+pub use index::VectorIndexSpec;
+pub use topk::{ta_search, TaResult};
+
+// The engine-wide counter registry type (defined in `backbone_storage`,
+// shared by every layer).
+pub use backbone_query::Metrics;

@@ -10,8 +10,8 @@
 //! meets the threshold — typically long before either list is exhausted.
 
 use crate::database::Database;
+use crate::error::{Error, Result};
 use crate::hybrid::{FusionWeights, HybridHit, HybridSpec};
-use backbone_query::QueryError;
 use backbone_text::bm25::{rank_terms, Bm25Params};
 use backbone_text::tokenize::tokenize;
 use std::collections::HashMap;
@@ -39,24 +39,30 @@ pub struct TaResult {
 /// Returns exactly the same top-k as exhaustively scoring every object —
 /// the accompanying tests verify this — while reporting how small a prefix
 /// of each ranking it actually consumed.
-pub fn ta_search(db: &Database, spec: &HybridSpec) -> Result<TaResult, QueryError> {
+pub fn ta_search(db: &Database, spec: &HybridSpec) -> Result<TaResult> {
     let (Some(qv), Some(kw)) = (&spec.vector, &spec.keyword) else {
-        return Err(QueryError::InvalidPlan(
+        return Err(Error::InvalidInput(
             "threshold algorithm needs both vector and keyword components".into(),
         ));
     };
     if spec.filter.is_some() {
-        return Err(QueryError::InvalidPlan(
+        return Err(Error::InvalidInput(
             "threshold algorithm variant does not support relational filters; use unified_search"
                 .into(),
         ));
     }
     let vindex = db
         .vector_index(&spec.table)
-        .ok_or_else(|| QueryError::InvalidPlan(format!("no vector index on '{}'", spec.table)))?;
+        .ok_or_else(|| Error::IndexMissing {
+            table: spec.table.clone(),
+            kind: "vector",
+        })?;
     let tindex = db
         .text_index(&spec.table)
-        .ok_or_else(|| QueryError::InvalidPlan(format!("no text index on '{}'", spec.table)))?;
+        .ok_or_else(|| Error::IndexMissing {
+            table: spec.table.clone(),
+            kind: "text",
+        })?;
 
     // Sorted access streams. The vector list is materialized lazily in
     // doubling chunks so shallow terminations stay cheap.
@@ -71,9 +77,9 @@ pub fn ta_search(db: &Database, spec: &HybridSpec) -> Result<TaResult, QueryErro
 
     // Fused score by random access to both sides.
     let full_score = |id: u64,
-                          vd_known: Option<f32>,
-                          ts_known: Option<f64>,
-                          ra: &mut usize|
+                      vd_known: Option<f32>,
+                      ts_known: Option<f64>,
+                      ra: &mut usize|
      -> (f64, Option<f32>, Option<f64>) {
         let vd = vd_known.or_else(|| {
             *ra += 1;
@@ -107,7 +113,10 @@ pub fn ta_search(db: &Database, spec: &HybridSpec) -> Result<TaResult, QueryErro
             break; // both lists exhausted
         }
 
-        for id in [v_entry.map(|h| h.id), t_entry.map(|s| s.doc)].into_iter().flatten() {
+        for id in [v_entry.map(|h| h.id), t_entry.map(|s| s.doc)]
+            .into_iter()
+            .flatten()
+        {
             if seen.contains_key(&id) {
                 continue;
             }
@@ -161,17 +170,14 @@ pub fn ta_search(db: &Database, spec: &HybridSpec) -> Result<TaResult, QueryErro
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::hybrid::VectorIndexKind;
+    use crate::index::VectorIndexSpec;
     use backbone_storage::{DataType, Field, Schema, Value};
     use backbone_vector::{Dataset, Metric};
 
     fn db(n: usize) -> Database {
         let db = Database::new();
-        db.create_table(
-            "docs",
-            Schema::new(vec![Field::new("id", DataType::Int64)]),
-        )
-        .unwrap();
+        db.create_table("docs", Schema::new(vec![Field::new("id", DataType::Int64)]))
+            .unwrap();
         db.insert("docs", (0..n as i64).map(|i| vec![Value::Int(i)]).collect())
             .unwrap();
         // Text: every 3rd doc mentions "alpha", every 7th "beta".
@@ -186,13 +192,14 @@ mod tests {
                     "plain document content"
                 }
             }),
-        );
+        )
+        .unwrap();
         let mut ds = Dataset::new(2);
         for i in 0..n as u64 {
             // Vector: id 0 closest to the query direction, spreading out.
             ds.push(i, &[1.0 + (i as f32) * 0.01, (i as f32) * 0.02]);
         }
-        db.create_vector_index("docs", ds, Metric::L2, VectorIndexKind::Exact)
+        db.create_vector_index("docs", ds, VectorIndexSpec::exact(Metric::L2))
             .unwrap();
         db
     }

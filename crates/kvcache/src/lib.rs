@@ -25,5 +25,5 @@ pub mod sim;
 pub mod trace;
 
 pub use pinning::{hottest_keys, PinnedPolicy};
-pub use sim::{evaluate_policies, CostModel, PolicyResult};
+pub use sim::{evaluate_policies, evaluate_policies_observed, CostModel, PolicyResult};
 pub use trace::{generate_db_scan_trace, generate_llm_trace, LlmTraceConfig, Trace};

@@ -3,6 +3,7 @@
 use crate::trace::Trace;
 use backbone_storage::cache::CacheSim;
 use backbone_storage::eviction::PolicyKind;
+use backbone_storage::Metrics;
 
 /// Cost model for a KV-cache access.
 ///
@@ -53,44 +54,78 @@ pub struct PolicyResult {
 /// Replay `trace` at the given cache capacity under every online policy plus
 /// the Belady oracle; results are sorted by ascending cost.
 pub fn evaluate_policies(trace: &Trace, capacity: usize, cost: CostModel) -> Vec<PolicyResult> {
+    // A throwaway registry: callers who want the counters use
+    // [`evaluate_policies_observed`] with a registry they keep.
+    evaluate_policies_observed(trace, capacity, cost, &Metrics::new(), "kvcache")
+}
+
+/// Like [`evaluate_policies`], but every per-policy cache run mirrors its
+/// counters into `metrics` under `{scope}.{policy}.{lookups,hits,misses,
+/// evictions}` — and the returned hit rates and costs are *read back from
+/// those registry counters*, not recomputed by the harness. One registry can
+/// span the whole experiment (scope per trace/capacity cell) and the report
+/// stays engine-truth.
+pub fn evaluate_policies_observed(
+    trace: &Trace,
+    capacity: usize,
+    cost: CostModel,
+    metrics: &Metrics,
+    scope: &str,
+) -> Vec<PolicyResult> {
     let mut results: Vec<PolicyResult> = Vec::new();
 
-    // Belady first so every policy can be normalized against it.
-    let optimal_cost = {
-        let mut sim = CacheSim::new(
-            capacity,
-            PolicyKind::Belady.build(capacity, Some(&trace.accesses)),
-        );
-        let stats = sim.run(&trace.accesses);
-        let c = cost.total(stats.hits, stats.misses);
-        results.push(PolicyResult {
-            policy: "BELADY",
-            hit_rate: stats.hit_rate(),
-            cost: c,
-            evictions: stats.evictions,
-            cost_vs_optimal: Some(1.0),
-        });
-        c
+    let observed = |name: &'static str, mut sim: CacheSim| {
+        let prefix = format!("{scope}.{}", name.to_lowercase());
+        sim = sim.with_metrics(metrics, &prefix);
+        sim.run(&trace.accesses);
+        // Engine truth: read the mirrored counters, not the local stats.
+        let read = |c: &str| metrics.value(&format!("{prefix}.{c}"));
+        let (lookups, hits, misses) = (read("lookups"), read("hits"), read("misses"));
+        debug_assert_eq!(hits + misses, lookups, "cache counter invariant");
+        PolicyResult {
+            policy: name,
+            hit_rate: hits as f64 / lookups.max(1) as f64,
+            cost: cost.total(hits, misses),
+            evictions: read("evictions"),
+            cost_vs_optimal: None,
+        }
     };
 
+    // Belady first so every policy can be normalized against it.
+    let mut belady = observed(
+        "BELADY",
+        CacheSim::new(
+            capacity,
+            PolicyKind::Belady.build(capacity, Some(&trace.accesses)),
+        ),
+    );
+    belady.cost_vs_optimal = Some(1.0);
+    let optimal_cost = belady.cost;
+    results.push(belady);
+
     for kind in PolicyKind::online() {
-        let mut sim = CacheSim::new(capacity, kind.build(capacity, None));
-        let stats = sim.run(&trace.accesses);
-        let c = cost.total(stats.hits, stats.misses);
-        results.push(PolicyResult {
-            policy: kind.name(),
-            hit_rate: stats.hit_rate(),
-            cost: c,
-            evictions: stats.evictions,
-            cost_vs_optimal: Some(if optimal_cost > 0.0 { c / optimal_cost } else { 1.0 }),
+        let mut r = observed(
+            kind.name(),
+            CacheSim::new(capacity, kind.build(capacity, None)),
+        );
+        r.cost_vs_optimal = Some(if optimal_cost > 0.0 {
+            r.cost / optimal_cost
+        } else {
+            1.0
         });
+        results.push(r);
     }
     results.sort_by(|a, b| a.cost.total_cmp(&b.cost));
     results
 }
 
 /// Replay under one specific policy.
-pub fn evaluate_one(trace: &Trace, capacity: usize, kind: PolicyKind, cost: CostModel) -> PolicyResult {
+pub fn evaluate_one(
+    trace: &Trace,
+    capacity: usize,
+    kind: PolicyKind,
+    cost: CostModel,
+) -> PolicyResult {
     let future = matches!(kind, PolicyKind::Belady).then_some(trace.accesses.as_slice());
     let mut sim = CacheSim::new(capacity, kind.build(capacity, future));
     let stats = sim.run(&trace.accesses);
@@ -184,6 +219,29 @@ mod tests {
             s.hit_rate,
             d.hit_rate
         );
+    }
+
+    #[test]
+    fn observed_results_match_plain_and_fill_registry() {
+        let trace = generate_llm_trace(&LlmTraceConfig {
+            sessions: 8,
+            ..Default::default()
+        });
+        let metrics = Metrics::new();
+        let plain = evaluate_policies(&trace, 64, CostModel::default());
+        let observed =
+            evaluate_policies_observed(&trace, 64, CostModel::default(), &metrics, "e4.llm.c64");
+        for (p, o) in plain.iter().zip(&observed) {
+            assert_eq!(p.policy, o.policy);
+            assert!((p.hit_rate - o.hit_rate).abs() < 1e-12);
+            assert!((p.cost - o.cost).abs() < 1e-9);
+        }
+        // And the registry holds the invariant-checked raw counters.
+        let lookups = metrics.value("e4.llm.c64.lru.lookups");
+        let hits = metrics.value("e4.llm.c64.lru.hits");
+        let misses = metrics.value("e4.llm.c64.lru.misses");
+        assert_eq!(lookups, trace.accesses.len() as u64);
+        assert_eq!(hits + misses, lookups);
     }
 
     #[test]

@@ -117,7 +117,10 @@ pub fn generate_llm_trace(config: &LlmTraceConfig) -> Trace {
         accesses,
         format!(
             "llm: {} sessions x {} turns, {} templates, prefix {} blocks",
-            config.sessions, config.turns_per_session, config.templates, config.shared_prefix_blocks
+            config.sessions,
+            config.turns_per_session,
+            config.templates,
+            config.shared_prefix_blocks
         ),
     )
 }

@@ -41,7 +41,9 @@ impl MemCatalog {
     /// Register (or replace) a table. The table is flushed first so scans see
     /// every appended row.
     pub fn register(&self, name: impl Into<String>, mut table: Table) {
-        table.flush().expect("flush of consistent table cannot fail");
+        table
+            .flush()
+            .expect("flush of consistent table cannot fail");
         let name = name.into();
         self.stats.write().remove(&name);
         self.tables.write().insert(name, Arc::new(table));
@@ -61,7 +63,9 @@ impl MemCatalog {
         }
         let table = self.table(name)?;
         let computed = Arc::new(analyze_table(&table));
-        self.stats.write().insert(name.to_string(), computed.clone());
+        self.stats
+            .write()
+            .insert(name.to_string(), computed.clone());
         Some(computed)
     }
 

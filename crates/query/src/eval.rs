@@ -482,9 +482,11 @@ mod tests {
     fn three_valued_and_or() {
         let b = batch();
         // (b > 0) is NULL on rows 1,3. FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
-        let and_mask = eval_predicate(&col("a").gt(lit(100i64)).and(col("b").gt(lit(0i64))), &b).unwrap();
+        let and_mask =
+            eval_predicate(&col("a").gt(lit(100i64)).and(col("b").gt(lit(0i64))), &b).unwrap();
         assert_eq!(and_mask, vec![false; 4]);
-        let or_mask = eval_predicate(&col("a").gt(lit(0i64)).or(col("b").gt(lit(0i64))), &b).unwrap();
+        let or_mask =
+            eval_predicate(&col("a").gt(lit(0i64)).or(col("b").gt(lit(0i64))), &b).unwrap();
         assert_eq!(or_mask, vec![true; 4]);
         // NULL AND TRUE = NULL -> not kept by predicate semantics.
         let m = eval_predicate(&col("b").gt(lit(0i64)).and(col("a").gt(lit(0i64))), &b).unwrap();

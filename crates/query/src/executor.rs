@@ -5,19 +5,24 @@ use crate::error::Result;
 use crate::logical::LogicalPlan;
 use crate::optimizer::{estimate_rows, Optimizer, Rule};
 use crate::physical::{drain, drain_one};
-use crate::planner::create_physical_plan;
+use crate::planner::{create_instrumented_plan, create_physical_plan};
+use backbone_storage::metrics::Metrics;
 use backbone_storage::RecordBatch;
 
 /// Execution knobs.
 ///
 /// `parallelism` is the scan worker count ("automatic scalability": the query
 /// text never changes). `rules` selects optimizer rules; `None` means all.
+/// `metrics` is an optional shared registry; when set, instrumented plans
+/// accumulate engine-truth `op.<name>.*` counters into it.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Scan worker threads (1 = serial).
     pub parallelism: usize,
     /// Optimizer rules to apply; `None` = every rule, `Some(vec![])` = none.
     pub rules: Option<Vec<Rule>>,
+    /// Shared metrics registry for instrumented execution.
+    pub metrics: Option<Metrics>,
 }
 
 impl Default for ExecOptions {
@@ -25,6 +30,7 @@ impl Default for ExecOptions {
         ExecOptions {
             parallelism: 1,
             rules: None,
+            metrics: None,
         }
     }
 }
@@ -46,6 +52,12 @@ impl ExecOptions {
         }
     }
 
+    /// These options with operator counters recorded into `metrics`.
+    pub fn with_metrics(mut self, metrics: Metrics) -> ExecOptions {
+        self.metrics = Some(metrics);
+        self
+    }
+
     fn optimizer(&self) -> Optimizer {
         match &self.rules {
             None => Optimizer::new(),
@@ -55,7 +67,11 @@ impl ExecOptions {
 }
 
 /// Optimize and execute a plan, returning a single concatenated batch.
-pub fn execute(plan: LogicalPlan, catalog: &dyn Catalog, opts: &ExecOptions) -> Result<RecordBatch> {
+pub fn execute(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<RecordBatch> {
     let optimized = opts.optimizer().optimize(plan, catalog)?;
     let mut op = create_physical_plan(&optimized, catalog, opts)?;
     drain_one(op.as_mut())
@@ -82,6 +98,30 @@ pub fn explain(plan: &LogicalPlan, catalog: &dyn Catalog, opts: &ExecOptions) ->
         estimate_rows(&optimized, catalog),
         optimized.display_indent()
     ))
+}
+
+/// EXPLAIN ANALYZE: optimize the plan, *run* it instrumented, and render the
+/// physical plan annotated with measured per-operator rows-in/rows-out,
+/// batch counts, and elapsed time. Returns the report and the query result.
+pub fn explain_analyze(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<(String, RecordBatch)> {
+    let optimized = opts.optimizer().optimize(plan, catalog)?;
+    let est = estimate_rows(&optimized, catalog);
+    let (mut op, profile) = create_instrumented_plan(&optimized, catalog, opts)?;
+    let start = std::time::Instant::now();
+    let result = drain_one(op.as_mut())?;
+    let total = start.elapsed();
+    drop(op); // release operator state before rendering the final counters
+    let report = format!(
+        "== Analyzed plan (est. {est:.0} rows, actual {} rows, total {}) ==\n{}",
+        result.num_rows(),
+        crate::profile::format_ns(total.as_nanos() as u64),
+        profile.render(),
+    );
+    Ok((report, result))
 }
 
 #[cfg(test)]
@@ -111,8 +151,15 @@ mod tests {
         let make_plan = || {
             LogicalPlan::scan("big", &cat)
                 .unwrap()
-                .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")])
-                .filter(col("big_v").lt(lit(100i64)).and(col("small_v").lt(lit(9i64))))
+                .join_on(
+                    LogicalPlan::scan("small", &cat).unwrap(),
+                    vec![("big_k", "small_k")],
+                )
+                .filter(
+                    col("big_v")
+                        .lt(lit(100i64))
+                        .and(col("small_v").lt(lit(9i64))),
+                )
                 .aggregate(
                     vec![col("small_tag")],
                     vec![count_star().alias("n"), sum(col("big_v")).alias("s")],
@@ -132,12 +179,18 @@ mod tests {
             LogicalPlan::scan("big", &cat)
                 .unwrap()
                 .filter(col("big_v").modulo(lit(3i64)).eq(lit(0i64)))
-                .aggregate(vec![], vec![count_star().alias("n"), avg(col("big_v")).alias("m")])
+                .aggregate(
+                    vec![],
+                    vec![count_star().alias("n"), avg(col("big_v")).alias("m")],
+                )
         };
         let a = execute(make_plan(), &cat, &ExecOptions::default()).unwrap();
         let b = execute(make_plan(), &cat, &ExecOptions::with_parallelism(4)).unwrap();
         assert_eq!(a.row(0)[0], b.row(0)[0]);
-        let (ma, mb) = (a.row(0)[1].as_float().unwrap(), b.row(0)[1].as_float().unwrap());
+        let (ma, mb) = (
+            a.row(0)[1].as_float().unwrap(),
+            b.row(0)[1].as_float().unwrap(),
+        );
         assert!((ma - mb).abs() < 1e-9);
     }
 
@@ -169,14 +222,69 @@ mod tests {
     }
 
     #[test]
+    fn explain_analyze_reports_actual_rows_and_time() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .filter(col("big_v").lt(lit(100i64)))
+            .aggregate(vec![], vec![count_star().alias("n")]);
+        let (report, result) = explain_analyze(plan, &cat, &ExecOptions::default()).unwrap();
+        assert_eq!(result.row(0)[0], Value::Int(100));
+        assert!(report.contains("== Analyzed plan"), "{report}");
+        assert!(report.contains("actual 1 rows"), "{report}");
+        // Filter is pushed into the scan by the optimizer; the aggregate must
+        // report the scan's 100 surviving rows as its input.
+        assert!(report.contains("HashAggregate"), "{report}");
+        assert!(report.contains("rows_in=100"), "{report}");
+        assert!(report.contains("rows_out=100"), "{report}");
+        assert!(report.contains("time="), "{report}");
+    }
+
+    #[test]
+    fn instrumented_execution_matches_plain_and_fills_registry() {
+        let cat = catalog();
+        let metrics = Metrics::new();
+        let make_plan = || {
+            LogicalPlan::scan("big", &cat)
+                .unwrap()
+                .join_on(
+                    LogicalPlan::scan("small", &cat).unwrap(),
+                    vec![("big_k", "small_k")],
+                )
+                .sort(vec![asc(col("big_v"))])
+                .limit(7)
+        };
+        let plain = execute(make_plan(), &cat, &ExecOptions::default()).unwrap();
+        let opts = ExecOptions::default().with_metrics(metrics.clone());
+        let (_, analyzed) = explain_analyze(make_plan(), &cat, &opts).unwrap();
+        assert_eq!(plain.to_rows(), analyzed.to_rows());
+        // Engine-truth totals landed in the shared registry.
+        assert_eq!(metrics.value("op.topk.rows_out"), 7);
+        assert!(metrics.value("op.scan.rows_out") > 0);
+        assert!(metrics.value("op.hash_join.elapsed_ns") > 0);
+        assert_eq!(
+            metrics.value("op.topk.rows_in"),
+            metrics.value("op.hash_join.rows_out"),
+        );
+    }
+
+    use backbone_storage::Metrics;
+
+    #[test]
     fn three_table_join_correctness() {
         let cat = catalog();
         // small(10) -> mid(100) -> big(1000), all on k in 0..50.
         // Count of matches computed independently below.
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
-            .join_on(LogicalPlan::scan("mid", &cat).unwrap(), vec![("big_k", "mid_k")])
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("mid_k", "small_k")])
+            .join_on(
+                LogicalPlan::scan("mid", &cat).unwrap(),
+                vec![("big_k", "mid_k")],
+            )
+            .join_on(
+                LogicalPlan::scan("small", &cat).unwrap(),
+                vec![("mid_k", "small_k")],
+            )
             .aggregate(vec![], vec![count_star().alias("n")]);
         let out = execute(plan, &cat, &ExecOptions::default()).unwrap();
         // Expected: for k in 0..10 (small has k=0..9), big has 20 rows per k

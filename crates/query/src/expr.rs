@@ -52,7 +52,10 @@ impl BinOp {
 
     /// Whether this is arithmetic.
     pub fn is_arithmetic(&self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        )
     }
 }
 
@@ -235,7 +238,11 @@ impl Expr {
                 format!("({} {op} {})", left.output_name(), right.output_name())
             }
             Expr::Unary { op, expr } => format!("{op:?}({})", expr.output_name()),
-            Expr::Like { expr, pattern, negated } => format!(
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => format!(
                 "({} {}LIKE '{pattern}')",
                 expr.output_name(),
                 if *negated { "NOT " } else { "" }
@@ -274,7 +281,9 @@ impl Expr {
                 .map_err(|_| QueryError::InvalidExpression(format!("unknown column '{n}'")))?
                 .data_type),
             Expr::Literal(v) => v.data_type().ok_or_else(|| {
-                QueryError::InvalidExpression("untyped NULL literal; alias it via a typed column".into())
+                QueryError::InvalidExpression(
+                    "untyped NULL literal; alias it via a typed column".into(),
+                )
             }),
             Expr::Binary { left, op, right } => {
                 if op.is_comparison() || op.is_logical() {
@@ -356,7 +365,11 @@ impl fmt::Display for Expr {
                 UnOp::IsNotNull => write!(f, "{expr} IS NOT NULL"),
             },
             Expr::Alias(expr, name) => write!(f, "{expr} AS {name}"),
-            Expr::Like { expr, pattern, negated } => write!(
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
                 f,
                 "({expr} {}LIKE '{pattern}')",
                 if *negated { "NOT " } else { "" }
@@ -513,7 +526,10 @@ mod tests {
 
     #[test]
     fn builder_shapes() {
-        let e = col("a").add(lit(1i64)).gt(lit(10i64)).and(col("s").eq(lit("x")));
+        let e = col("a")
+            .add(lit(1i64))
+            .gt(lit(10i64))
+            .and(col("s").eq(lit("x")));
         assert_eq!(e.to_string(), "(((a + 1) > 10) AND (s = 'x'))");
     }
 
@@ -527,17 +543,32 @@ mod tests {
     #[test]
     fn type_inference() {
         let s = schema();
-        assert_eq!(col("a").add(lit(1i64)).data_type(&s).unwrap(), DataType::Int64);
-        assert_eq!(col("a").add(col("b")).data_type(&s).unwrap(), DataType::Float64);
-        assert_eq!(col("a").div(lit(2i64)).data_type(&s).unwrap(), DataType::Float64);
-        assert_eq!(col("a").lt(lit(3i64)).data_type(&s).unwrap(), DataType::Bool);
+        assert_eq!(
+            col("a").add(lit(1i64)).data_type(&s).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            col("a").add(col("b")).data_type(&s).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            col("a").div(lit(2i64)).data_type(&s).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(
+            col("a").lt(lit(3i64)).data_type(&s).unwrap(),
+            DataType::Bool
+        );
         assert!(col("s").add(lit(1i64)).data_type(&s).is_err());
         assert!(col("zzz").data_type(&s).is_err());
     }
 
     #[test]
     fn split_and_rejoin_conjunction() {
-        let e = col("a").gt(lit(1i64)).and(col("b").lt(lit(2i64))).and(col("s").eq(lit("k")));
+        let e = col("a")
+            .gt(lit(1i64))
+            .and(col("b").lt(lit(2i64)))
+            .and(col("s").eq(lit("k")));
         let parts = e.split_conjunction();
         assert_eq!(parts.len(), 3);
         let rejoined = Expr::conjunction(parts.into_iter().cloned().collect()).unwrap();

@@ -13,6 +13,13 @@
 //! - **Automatic scalability**: scans are morsel-parallel — the executor
 //!   splits row groups across threads without any change to the query.
 
+//!
+//! Observability rides along: [`profile`] instruments physical operators
+//! (per-operator rows/batches/time, the engine behind `EXPLAIN ANALYZE`) and
+//! the shared [`Metrics`] counter registry — re-exported from
+//! `backbone_storage` so one registry spans storage and query — accumulates
+//! engine-truth totals.
+
 pub mod catalog;
 pub mod error;
 pub mod eval;
@@ -22,13 +29,18 @@ pub mod logical;
 pub mod optimizer;
 pub mod physical;
 pub mod planner;
+pub mod profile;
 pub mod sql;
 pub mod stats;
 
 pub use catalog::{Catalog, MemCatalog};
 pub use error::QueryError;
-pub use executor::{execute, execute_plan, ExecOptions};
+pub use executor::{execute, execute_plan, explain_analyze, ExecOptions};
 pub use expr::{avg, col, count, count_star, lit, max, min, sum, AggExpr, BinOp, Expr, UnOp};
 pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
-pub use sql::parse_select;
+pub use profile::{OpStats, ProfileNode};
+pub use sql::{parse_select, parse_statement, Statement};
+
+// One registry type spans every layer; see `backbone_storage::metrics`.
+pub use backbone_storage::metrics::{Counter, Metrics};

@@ -157,7 +157,12 @@ impl LogicalPlan {
     }
 
     /// Equi-join with an explicit join type.
-    pub fn join(self, right: LogicalPlan, on: Vec<(&str, &str)>, join_type: JoinType) -> LogicalPlan {
+    pub fn join(
+        self,
+        right: LogicalPlan,
+        on: Vec<(&str, &str)>,
+        join_type: JoinType,
+    ) -> LogicalPlan {
         LogicalPlan::Join {
             left: Box::new(self),
             right: Box::new(right),
@@ -333,13 +338,7 @@ impl LogicalPlan {
             LogicalPlan::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!(
-                            "{}{}",
-                            k.expr,
-                            if k.descending { " DESC" } else { " ASC" }
-                        )
-                    })
+                    .map(|k| format!("{}{}", k.expr, if k.descending { " DESC" } else { " ASC" }))
                     .collect();
                 out.push_str(&format!("{pad}Sort: {}\n", ks.join(", ")));
                 input.fmt_node(out, depth + 1);
@@ -422,7 +421,9 @@ mod tests {
         let cat = catalog();
         let l = LogicalPlan::scan("t", &cat).unwrap();
         let r = LogicalPlan::scan("t", &cat).unwrap();
-        let inner = l.clone().join(r.clone(), vec![("id", "id")], JoinType::Inner);
+        let inner = l
+            .clone()
+            .join(r.clone(), vec![("id", "id")], JoinType::Inner);
         assert_eq!(inner.schema().unwrap().len(), 6);
         let left = l.join(r, vec![("id", "id")], JoinType::Left);
         assert!(left.schema().unwrap().field(3).nullable);

@@ -55,7 +55,9 @@ pub fn estimate_rows(plan: &LogicalPlan, catalog: &dyn Catalog) -> f64 {
             }
             l.min(r).max(l.max(r) * 0.5).max(1.0)
         }
-        LogicalPlan::Aggregate { input, group_by, .. } => {
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
             let child = estimate_rows(input, catalog);
             if group_by.is_empty() {
                 1.0
@@ -280,7 +282,10 @@ mod tests {
             .unwrap()
             .filter(col("big_v").lt(lit(100i64)));
         let est = estimate_rows(&filtered, &cat);
-        assert!((90.0..=110.0).contains(&est), "expected ~100 rows, got {est}");
+        assert!(
+            (90.0..=110.0).contains(&est),
+            "expected ~100 rows, got {est}"
+        );
     }
 
     #[test]
@@ -288,9 +293,10 @@ mod tests {
         let cat = catalog();
         // big(1000) ⋈ small(10) on k with ndv(big_k)=50, ndv(small_k)=10:
         // |L|·|R|/max(ndv) = 1000*10/50 = 200 — the true fan-out.
-        let plan = LogicalPlan::scan("big", &cat)
-            .unwrap()
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")]);
+        let plan = LogicalPlan::scan("big", &cat).unwrap().join_on(
+            LogicalPlan::scan("small", &cat).unwrap(),
+            vec![("big_k", "small_k")],
+        );
         let est = estimate_rows(&plan, &cat);
         assert!((est - 200.0).abs() < 1.0, "expected 200, got {est}");
     }
@@ -298,9 +304,7 @@ mod tests {
     #[test]
     fn estimates_never_zero() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("small", &cat)
-            .unwrap()
-            .filter(lit(false));
+        let plan = LogicalPlan::scan("small", &cat).unwrap().filter(lit(false));
         assert!(estimate_rows(&plan, &cat) >= 1.0);
     }
 }

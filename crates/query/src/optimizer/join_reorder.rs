@@ -139,7 +139,10 @@ fn build_greedy(
                 .collect())
         })
         .collect::<Result<_>>()?;
-    let sizes: Vec<f64> = relations.iter().map(|r| estimate_rows(r, catalog)).collect();
+    let sizes: Vec<f64> = relations
+        .iter()
+        .map(|r| estimate_rows(r, catalog))
+        .collect();
 
     let n = relations.len();
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -167,7 +170,9 @@ fn build_greedy(
                     || (current_cols.contains(b) && col_sets[idx].contains(a))
             });
             let est = if connected {
-                current_size.min(sizes[idx]).max(current_size.max(sizes[idx]) * 0.5)
+                current_size
+                    .min(sizes[idx])
+                    .max(current_size.max(sizes[idx]) * 0.5)
             } else {
                 current_size * sizes[idx] // cross product
             };
@@ -251,9 +256,10 @@ mod tests {
     #[test]
     fn smaller_relation_becomes_build_side() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("big", &cat)
-            .unwrap()
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")]);
+        let plan = LogicalPlan::scan("big", &cat).unwrap().join_on(
+            LogicalPlan::scan("small", &cat).unwrap(),
+            vec![("big_k", "small_k")],
+        );
         let out = reorder(plan, &cat).unwrap();
         assert_eq!(leftmost(&out), Some("small"), "got:\n{out}");
     }
@@ -261,9 +267,10 @@ mod tests {
     #[test]
     fn schema_order_is_preserved() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("big", &cat)
-            .unwrap()
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")]);
+        let plan = LogicalPlan::scan("big", &cat).unwrap().join_on(
+            LogicalPlan::scan("small", &cat).unwrap(),
+            vec![("big_k", "small_k")],
+        );
         let before = plan.schema().unwrap();
         let after = reorder(plan, &cat).unwrap().schema().unwrap();
         let names = |s: &backbone_storage::Schema| -> Vec<String> {
@@ -277,8 +284,14 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
-            .join_on(LogicalPlan::scan("mid", &cat).unwrap(), vec![("big_k", "mid_k")])
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("mid_k", "small_k")]);
+            .join_on(
+                LogicalPlan::scan("mid", &cat).unwrap(),
+                vec![("big_k", "mid_k")],
+            )
+            .join_on(
+                LogicalPlan::scan("small", &cat).unwrap(),
+                vec![("mid_k", "small_k")],
+            );
         let out = reorder(plan, &cat).unwrap();
         assert_eq!(leftmost(&out), Some("small"), "got:\n{out}");
     }
@@ -286,9 +299,10 @@ mod tests {
     #[test]
     fn already_optimal_left_unchanged_semantically() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("small", &cat)
-            .unwrap()
-            .join_on(LogicalPlan::scan("big", &cat).unwrap(), vec![("small_k", "big_k")]);
+        let plan = LogicalPlan::scan("small", &cat).unwrap().join_on(
+            LogicalPlan::scan("big", &cat).unwrap(),
+            vec![("small_k", "big_k")],
+        );
         let out = reorder(plan.clone(), &cat).unwrap();
         assert_eq!(leftmost(&out), Some("small"));
     }

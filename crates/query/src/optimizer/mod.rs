@@ -135,8 +135,14 @@ mod tests {
         let optimized = Optimizer::new().optimize(plan, &cat).unwrap();
         let text = optimized.display_indent();
         // Pushdown moved the filter into the scan; pruning set a projection.
-        assert!(text.contains("filters="), "expected scan filters in:\n{text}");
-        assert!(text.contains("project="), "expected scan projection in:\n{text}");
+        assert!(
+            text.contains("filters="),
+            "expected scan filters in:\n{text}"
+        );
+        assert!(
+            text.contains("project="),
+            "expected scan projection in:\n{text}"
+        );
         // The folded `AND true` must be gone.
         assert!(!text.contains("AND true"), "constant not folded:\n{text}");
     }
@@ -147,7 +153,9 @@ mod tests {
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
             .filter(col("big_v").lt(lit(100i64)));
-        let same = Optimizer::with_rules(vec![]).optimize(plan.clone(), &cat).unwrap();
+        let same = Optimizer::with_rules(vec![])
+            .optimize(plan.clone(), &cat)
+            .unwrap();
         assert_eq!(plan, same);
     }
 }

@@ -207,7 +207,10 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")])
+            .join_on(
+                LogicalPlan::scan("small", &cat).unwrap(),
+                vec![("big_k", "small_k")],
+            )
             .project(vec![col("big_v"), col("small_v")]);
         let out = prune(plan).unwrap();
         let big = scan_projection(&out, "big").unwrap();

@@ -89,7 +89,10 @@ fn rewrite(plan: LogicalPlan, mut pending: Vec<Expr>) -> Result<LogicalPlan> {
             let mut pushable = Vec::new();
             let mut keep = Vec::new();
             for p in pending {
-                if p.referenced_columns().iter().all(|c| passthrough.contains(c)) {
+                if p.referenced_columns()
+                    .iter()
+                    .all(|c| passthrough.contains(c))
+                {
                     pushable.push(p);
                 } else {
                     keep.push(p);
@@ -139,7 +142,10 @@ fn rewrite(plan: LogicalPlan, mut pending: Vec<Expr>) -> Result<LogicalPlan> {
             let mut pushable = Vec::new();
             let mut keep = Vec::new();
             for p in pending {
-                if p.referenced_columns().iter().all(|c| group_cols.contains(c)) {
+                if p.referenced_columns()
+                    .iter()
+                    .all(|c| group_cols.contains(c))
+                {
                     pushable.push(p);
                 } else {
                     keep.push(p);
@@ -200,7 +206,10 @@ mod tests {
         let cat = catalog();
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
-            .join_on(LogicalPlan::scan("small", &cat).unwrap(), vec![("big_k", "small_k")])
+            .join_on(
+                LogicalPlan::scan("small", &cat).unwrap(),
+                vec![("big_k", "small_k")],
+            )
             .filter(
                 col("big_v")
                     .lt(lit(10i64))
@@ -211,8 +220,14 @@ mod tests {
         let text = out.display_indent();
         // The mixed predicate stays above the join; single-side ones sank.
         assert!(text.contains("Filter: (big_v < small_v)"), "got:\n{text}");
-        assert!(text.contains("Scan: big filters=[(big_v < 10)]"), "got:\n{text}");
-        assert!(text.contains("Scan: small filters=[(small_v > 2)]"), "got:\n{text}");
+        assert!(
+            text.contains("Scan: big filters=[(big_v < 10)]"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("Scan: small filters=[(small_v > 2)]"),
+            "got:\n{text}"
+        );
     }
 
     #[test]
@@ -260,7 +275,10 @@ mod tests {
             .filter(col("big_k").eq(lit(3i64)).and(col("n").gt(lit(1i64))));
         let out = push_down(plan).unwrap();
         let text = out.display_indent();
-        assert!(text.contains("Scan: big filters=[(big_k = 3)]"), "got:\n{text}");
+        assert!(
+            text.contains("Scan: big filters=[(big_k = 3)]"),
+            "got:\n{text}"
+        );
         assert!(text.contains("Filter: (n > 1)"), "got:\n{text}");
     }
 
@@ -274,7 +292,10 @@ mod tests {
             .filter(col("big_k").lt(lit(5i64)).and(col("w").gt(lit(0i64))));
         let out = push_down(plan).unwrap();
         let text = out.display_indent();
-        assert!(text.contains("Scan: big filters=[(big_k < 5)]"), "got:\n{text}");
+        assert!(
+            text.contains("Scan: big filters=[(big_k < 5)]"),
+            "got:\n{text}"
+        );
         assert!(text.contains("Filter: (w > 0)"), "got:\n{text}");
     }
 }

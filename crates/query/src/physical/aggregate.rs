@@ -16,7 +16,10 @@ enum Acc {
     SumF(f64),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: i64 },
+    Avg {
+        sum: f64,
+        count: i64,
+    },
     /// Sum that has seen no non-null input yet (SQL: SUM of empties is NULL);
     /// becomes SumI/SumF on first value.
     SumEmpty,
@@ -55,9 +58,9 @@ impl Acc {
                     (Acc::SumEmpty, Value::Int(x)) => *self = Acc::SumI(*x),
                     (Acc::SumEmpty, Value::Float(x)) => *self = Acc::SumF(*x),
                     (Acc::SumI(s), Value::Int(x)) => {
-                        *s = s.checked_add(*x).ok_or_else(|| {
-                            QueryError::Arithmetic("SUM integer overflow".into())
-                        })?;
+                        *s = s
+                            .checked_add(*x)
+                            .ok_or_else(|| QueryError::Arithmetic("SUM integer overflow".into()))?;
                     }
                     (Acc::SumF(s), Value::Float(x)) => *s += x,
                     (Acc::SumF(s), Value::Int(x)) => *s += *x as f64,
@@ -211,7 +214,10 @@ impl Operator for HashAggregateExec {
         // (COUNT(*) = 0, SUM = NULL, ...), matching SQL.
         if order.is_empty() && self.group_by.is_empty() && !saw_rows {
             order.push(Vec::new());
-            groups.insert(Vec::new(), self.aggs.iter().map(|a| Acc::new(a.func)).collect());
+            groups.insert(
+                Vec::new(),
+                self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
+            );
         }
 
         let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
@@ -355,7 +361,9 @@ mod tests {
         .unwrap();
         let out = drain_one(&mut agg).unwrap();
         let rows = out.to_rows();
-        assert!(rows.iter().any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(11)));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(11)));
     }
 
     #[test]

@@ -46,8 +46,8 @@ impl Operator for FilterExec {
 mod tests {
     use super::*;
     use crate::expr::{col, lit};
-    use crate::physical::test_util::{int_batch, BatchSource};
     use crate::physical::drain_one;
+    use crate::physical::test_util::{int_batch, BatchSource};
 
     #[test]
     fn filters_rows() {
@@ -72,7 +72,10 @@ mod tests {
     #[test]
     fn all_filtered_yields_none() {
         let batch = int_batch(&[("x", vec![1, 2, 3])]);
-        let mut f = FilterExec::new(Box::new(BatchSource::single(batch)), col("x").gt(lit(99i64)));
+        let mut f = FilterExec::new(
+            Box::new(BatchSource::single(batch)),
+            col("x").gt(lit(99i64)),
+        );
         assert!(f.next().unwrap().is_none());
     }
 }

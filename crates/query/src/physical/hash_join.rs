@@ -37,7 +37,9 @@ impl HashJoinExec {
         join_type: JoinType,
     ) -> Result<HashJoinExec> {
         if on.is_empty() {
-            return Err(QueryError::InvalidPlan("hash join requires at least one key".into()));
+            return Err(QueryError::InvalidPlan(
+                "hash join requires at least one key".into(),
+            ));
         }
         let lschema = left.schema();
         let rschema = right.schema();
@@ -88,7 +90,10 @@ impl HashJoinExec {
             .collect();
         let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
         for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols.iter().map(|&c| batch.column(c).value(row)).collect();
+            let key: Vec<Value> = key_cols
+                .iter()
+                .map(|&c| batch.column(c).value(row))
+                .collect();
             // SQL join semantics: NULL keys never match.
             if key.iter().any(|v| v.is_null()) {
                 continue;
@@ -312,7 +317,10 @@ mod tests {
         let mut j = HashJoinExec::new(
             Box::new(BatchSource::single(lb)),
             Box::new(BatchSource::single(rb)),
-            vec![("a".to_string(), "c".to_string()), ("b".to_string(), "d".to_string())],
+            vec![
+                ("a".to_string(), "c".to_string()),
+                ("b".to_string(), "d".to_string()),
+            ],
             JoinType::Inner,
         )
         .unwrap();

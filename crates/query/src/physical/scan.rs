@@ -274,7 +274,8 @@ mod tests {
         ]);
         let mut t = Table::with_group_size(schema, group_size);
         for i in 0..rows {
-            t.append_row(vec![Value::Int(i), Value::Int(i * 10)]).unwrap();
+            t.append_row(vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
         }
         t.flush().unwrap();
         Arc::new(t)
@@ -291,8 +292,7 @@ mod tests {
     #[test]
     fn filtered_scan() {
         let t = table(100, 10);
-        let mut scan =
-            TableScanExec::new(t, None, vec![col("id").gt_eq(lit(95i64))], 1).unwrap();
+        let mut scan = TableScanExec::new(t, None, vec![col("id").gt_eq(lit(95i64))], 1).unwrap();
         let out = drain_one(&mut scan).unwrap();
         assert_eq!(out.num_rows(), 5);
     }
@@ -301,8 +301,7 @@ mod tests {
     fn zone_maps_prune_groups() {
         // Ten groups of 10 sorted ids: id >= 95 touches only the last group.
         let t = table(100, 10);
-        let mut scan =
-            TableScanExec::new(t, None, vec![col("id").gt_eq(lit(95i64))], 1).unwrap();
+        let mut scan = TableScanExec::new(t, None, vec![col("id").gt_eq(lit(95i64))], 1).unwrap();
         while scan.next().unwrap().is_some() {}
         let stats = scan.stats();
         assert_eq!(stats.groups_pruned, 9);

@@ -112,7 +112,11 @@ mod tests {
     #[test]
     fn descending_top_k() {
         let batch = int_batch(&[("x", vec![5, 3, 9, 1, 7])]);
-        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![desc(col("x"))], 3);
+        let mut t = TopKExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![desc(col("x"))],
+            3,
+        );
         let out = drain_one(&mut t).unwrap();
         assert_eq!(out.column(0).i64_data().unwrap(), &[9, 7, 5]);
     }
@@ -120,7 +124,11 @@ mod tests {
     #[test]
     fn k_larger_than_input() {
         let batch = int_batch(&[("x", vec![2, 1])]);
-        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 10);
+        let mut t = TopKExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![asc(col("x"))],
+            10,
+        );
         let out = drain_one(&mut t).unwrap();
         assert_eq!(out.column(0).i64_data().unwrap(), &[1, 2]);
     }

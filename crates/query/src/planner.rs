@@ -8,6 +8,7 @@ use crate::physical::{
     FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec, Operator,
     ProjectExec, SortExec, TableScanExec, TopKExec,
 };
+use crate::profile::{InstrumentedExec, OpStats, ProfileNode};
 
 /// Lower `plan` to a physical operator tree.
 ///
@@ -19,7 +20,31 @@ pub fn create_physical_plan(
     catalog: &dyn Catalog,
     opts: &ExecOptions,
 ) -> Result<Box<dyn Operator>> {
-    match plan {
+    Ok(build(plan, catalog, opts, false)?.0)
+}
+
+/// Lower `plan` with every operator wrapped in an [`InstrumentedExec`],
+/// returning the operator tree plus the matching [`ProfileNode`] tree whose
+/// counters fill in as the plan runs (EXPLAIN ANALYZE).
+pub fn create_instrumented_plan(
+    plan: &LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<(Box<dyn Operator>, ProfileNode)> {
+    let (op, node) = build(plan, catalog, opts, true)?;
+    Ok((op, node.expect("instrumented build returns a profile")))
+}
+
+/// One level of lowering. When `instrument` is set the returned operator is
+/// wrapped and a profile node (with the children's profiles attached) is
+/// returned alongside.
+fn build(
+    plan: &LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+    instrument: bool,
+) -> Result<(Box<dyn Operator>, Option<ProfileNode>)> {
+    let (op, detail, children): (Box<dyn Operator>, String, Vec<Option<ProfileNode>>) = match plan {
         LogicalPlan::Scan {
             table,
             projection,
@@ -29,20 +54,28 @@ pub fn create_physical_plan(
             let t = catalog
                 .table(table)
                 .ok_or_else(|| QueryError::TableNotFound(table.clone()))?;
-            Ok(Box::new(TableScanExec::new(
+            let op: Box<dyn Operator> = Box::new(TableScanExec::new(
                 t,
                 projection.clone(),
                 filters.clone(),
                 opts.parallelism,
-            )?))
+            )?);
+            (op, table.clone(), vec![])
         }
         LogicalPlan::Filter { input, predicate } => {
-            let child = create_physical_plan(input, catalog, opts)?;
-            Ok(Box::new(FilterExec::new(child, predicate.clone())))
+            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let op: Box<dyn Operator> = Box::new(FilterExec::new(child, predicate.clone()));
+            (op, predicate.to_string(), vec![prof])
         }
         LogicalPlan::Project { input, exprs } => {
-            let child = create_physical_plan(input, catalog, opts)?;
-            Ok(Box::new(ProjectExec::new(child, exprs.clone())?))
+            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let detail = exprs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let op: Box<dyn Operator> = Box::new(ProjectExec::new(child, exprs.clone())?);
+            (op, detail, vec![prof])
         }
         LogicalPlan::Join {
             left,
@@ -50,31 +83,39 @@ pub fn create_physical_plan(
             on,
             join_type,
         } => {
-            let l = create_physical_plan(left, catalog, opts)?;
-            let r = create_physical_plan(right, catalog, opts)?;
-            if on.is_empty() {
+            let (l, lprof) = build(left, catalog, opts, instrument)?;
+            let (r, rprof) = build(right, catalog, opts, instrument)?;
+            let detail = on
+                .iter()
+                .map(|(a, b)| format!("{a} = {b}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let op: Box<dyn Operator> = if on.is_empty() {
                 // No equi-keys: fall back to a (cross) nested-loop join.
                 if *join_type != crate::logical::JoinType::Inner {
                     return Err(QueryError::InvalidPlan(
                         "outer join requires equi-join keys".into(),
                     ));
                 }
-                Ok(Box::new(NestedLoopJoinExec::new(l, r, None)))
+                Box::new(NestedLoopJoinExec::new(l, r, None))
             } else {
-                Ok(Box::new(HashJoinExec::new(l, r, on.clone(), *join_type)?))
-            }
+                Box::new(HashJoinExec::new(l, r, on.clone(), *join_type)?)
+            };
+            (op, detail, vec![lprof, rprof])
         }
         LogicalPlan::Aggregate {
             input,
             group_by,
             aggs,
         } => {
-            let child = create_physical_plan(input, catalog, opts)?;
-            Ok(Box::new(HashAggregateExec::new(
+            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let detail = format!("group=[{}]", group_by.len());
+            let op: Box<dyn Operator> = Box::new(HashAggregateExec::new(
                 child,
                 group_by.clone(),
                 aggs.clone(),
-            )?))
+            )?);
+            (op, detail, vec![prof])
         }
         // Limit directly over Sort fuses into TopK: no full sort needed.
         LogicalPlan::Limit { input, n } => {
@@ -83,17 +124,59 @@ pub fn create_physical_plan(
                 keys,
             } = input.as_ref()
             {
-                let child = create_physical_plan(sort_input, catalog, opts)?;
-                return Ok(Box::new(TopKExec::new(child, keys.clone(), *n)));
+                let (child, prof) = build(sort_input, catalog, opts, instrument)?;
+                let op: Box<dyn Operator> = Box::new(TopKExec::new(child, keys.clone(), *n));
+                return Ok(finish(op, format!("k={n}"), vec![prof], opts, instrument));
             }
-            let child = create_physical_plan(input, catalog, opts)?;
-            Ok(Box::new(LimitExec::new(child, *n)))
+            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let op: Box<dyn Operator> = Box::new(LimitExec::new(child, *n));
+            (op, format!("n={n}"), vec![prof])
         }
         LogicalPlan::Sort { input, keys } => {
-            let child = create_physical_plan(input, catalog, opts)?;
-            Ok(Box::new(SortExec::new(child, keys.clone())))
+            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let detail = keys
+                .iter()
+                .map(|k| format!("{}{}", k.expr, if k.descending { " DESC" } else { "" }))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let op: Box<dyn Operator> = Box::new(SortExec::new(child, keys.clone()));
+            (op, detail, vec![prof])
         }
+    };
+    Ok(finish(op, detail, children, opts, instrument))
+}
+
+/// Wrap a lowered operator when instrumenting, threading the children's
+/// rows-out counters in so the wrapper can report rows-in deltas.
+fn finish(
+    op: Box<dyn Operator>,
+    detail: String,
+    children: Vec<Option<ProfileNode>>,
+    opts: &ExecOptions,
+    instrument: bool,
+) -> (Box<dyn Operator>, Option<ProfileNode>) {
+    if !instrument {
+        return (op, None);
     }
+    let children: Vec<ProfileNode> = children
+        .into_iter()
+        .map(|c| c.expect("instrumented children carry profiles"))
+        .collect();
+    let stats = OpStats::default();
+    let child_rows = children.iter().map(|c| c.stats.rows_out.clone()).collect();
+    let node = ProfileNode {
+        name: op.name(),
+        detail,
+        stats: stats.clone(),
+        children,
+    };
+    let wrapped = Box::new(InstrumentedExec::new(
+        op,
+        stats,
+        opts.metrics.as_ref(),
+        child_rows,
+    ));
+    (wrapped, Some(node))
 }
 
 #[cfg(test)]
@@ -117,7 +200,9 @@ mod tests {
     #[test]
     fn sort_without_limit_stays_sort() {
         let cat = catalog();
-        let plan = LogicalPlan::scan("big", &cat).unwrap().sort(vec![asc(col("big_v"))]);
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .sort(vec![asc(col("big_v"))]);
         let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
         assert_eq!(op.name(), "Sort");
     }

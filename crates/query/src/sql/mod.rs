@@ -1,8 +1,11 @@
 //! A SQL front-end for the declarative layer.
 //!
-//! Supports single-statement `SELECT` queries:
+//! Supports single-statement `SELECT` queries, optionally wrapped in
+//! `EXPLAIN` (render the plan) or `EXPLAIN ANALYZE` (run it instrumented and
+//! render measured per-operator statistics):
 //!
 //! ```text
+//! [ EXPLAIN [ANALYZE] ]
 //! SELECT <exprs | aggregates | *>
 //! FROM <table>
 //! [ [LEFT|INNER] JOIN <table> ON a = b [AND c = d]... ]...
@@ -21,4 +24,4 @@ mod lexer;
 mod parser;
 
 pub use lexer::{lex, Token};
-pub use parser::parse_select;
+pub use parser::{parse_select, parse_statement, Statement};

@@ -145,16 +145,24 @@ mod tests {
     fn range_selectivity_interpolates() {
         let stats = analyze_table(&table());
         // k in [0, 6]; k < 3 ~ 0.5.
-        let s = stats[0].range_selectivity(true, false, &Value::Int(3)).unwrap();
+        let s = stats[0]
+            .range_selectivity(true, false, &Value::Int(3))
+            .unwrap();
         assert!((s - 0.5).abs() < 1e-9);
         // k > 6 ~ 0.
-        let s = stats[0].range_selectivity(false, false, &Value::Int(6)).unwrap();
+        let s = stats[0]
+            .range_selectivity(false, false, &Value::Int(6))
+            .unwrap();
         assert_eq!(s, 0.0);
         // Out-of-range literal clamps.
-        let s = stats[0].range_selectivity(true, false, &Value::Int(100)).unwrap();
+        let s = stats[0]
+            .range_selectivity(true, false, &Value::Int(100))
+            .unwrap();
         assert_eq!(s, 1.0);
         // Non-numeric columns yield None.
-        assert!(stats[1].range_selectivity(true, false, &Value::Int(1)).is_none());
+        assert!(stats[1]
+            .range_selectivity(true, false, &Value::Int(1))
+            .is_none());
     }
 
     #[test]
@@ -167,7 +175,13 @@ mod tests {
         t.flush().unwrap();
         let stats = analyze_table(&t);
         assert_eq!(stats[0].ndv, 1);
-        assert_eq!(stats[0].range_selectivity(true, true, &Value::Int(42)), Some(1.0));
-        assert_eq!(stats[0].range_selectivity(true, false, &Value::Int(42)), Some(0.0));
+        assert_eq!(
+            stats[0].range_selectivity(true, true, &Value::Int(42)),
+            Some(1.0)
+        );
+        assert_eq!(
+            stats[0].range_selectivity(true, false, &Value::Int(42)),
+            Some(0.0)
+        );
     }
 }

@@ -44,7 +44,11 @@ impl RecordBatch {
                 )));
             }
         }
-        Ok(RecordBatch { schema, columns, rows })
+        Ok(RecordBatch {
+            schema,
+            columns,
+            rows,
+        })
     }
 
     /// An empty batch with the given schema.
@@ -304,7 +308,10 @@ mod tests {
     #[test]
     fn column_by_name() {
         let b = sample();
-        assert_eq!(b.column_by_name("name").unwrap().value(0), Value::str("ann"));
+        assert_eq!(
+            b.column_by_name("name").unwrap().value(0),
+            Value::str("ann")
+        );
         assert!(b.column_by_name("zzz").is_err());
     }
 }

@@ -3,6 +3,7 @@
 use crate::disk::DiskManager;
 use crate::error::{Result, StorageError};
 use crate::eviction::{Policy, PolicyKind};
+use crate::metrics::{CacheCounters, Counter, Metrics};
 use crate::page::{Page, PageId};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -54,11 +55,25 @@ pub struct BufferPool {
     disk: Arc<DiskManager>,
     capacity: usize,
     state: Mutex<PoolState>,
+    counters: CacheCounters,
+    writebacks: Counter,
 }
 
 impl BufferPool {
-    /// A pool of `capacity` frames using the given replacement policy.
+    /// A pool of `capacity` frames using the given replacement policy,
+    /// recording into a private metrics registry.
     pub fn new(disk: Arc<DiskManager>, capacity: usize, policy: PolicyKind) -> Arc<BufferPool> {
+        BufferPool::with_metrics(disk, capacity, policy, &Metrics::new())
+    }
+
+    /// A pool that records `bufferpool.{lookups,hits,misses,evictions,
+    /// writebacks}` into the given shared registry.
+    pub fn with_metrics(
+        disk: Arc<DiskManager>,
+        capacity: usize,
+        policy: PolicyKind,
+        metrics: &Metrics,
+    ) -> Arc<BufferPool> {
         assert!(capacity >= 1, "buffer pool needs at least one frame");
         Arc::new(BufferPool {
             disk,
@@ -68,6 +83,8 @@ impl BufferPool {
                 policy: policy.build(capacity, None),
                 stats: PoolStats::default(),
             }),
+            counters: CacheCounters::resolve(metrics, "bufferpool"),
+            writebacks: metrics.counter("bufferpool.writebacks"),
         })
     }
 
@@ -78,6 +95,7 @@ impl BufferPool {
             frame.pins += 1;
             let page = frame.page.clone();
             st.stats.hits += 1;
+            self.counters.hit();
             st.policy.on_access(id);
             return Ok(PageGuard {
                 pool: self.clone(),
@@ -86,6 +104,7 @@ impl BufferPool {
             });
         }
         st.stats.misses += 1;
+        self.counters.miss();
         if st.frames.len() >= self.capacity {
             self.evict_one(&mut st)?;
         }
@@ -117,10 +136,15 @@ impl BufferPool {
             .policy
             .evict(&|k| frames_ref.get(&k).map(|f| f.pins > 0).unwrap_or(false))
             .ok_or(StorageError::PoolExhausted)?;
-        let frame = st.frames.remove(&victim).expect("policy returned non-resident victim");
+        let frame = st
+            .frames
+            .remove(&victim)
+            .expect("policy returned non-resident victim");
         st.stats.evictions += 1;
+        self.counters.evict();
         if frame.dirty {
             st.stats.writebacks += 1;
+            self.writebacks.incr();
             self.disk.write(victim, &frame.page.read())?;
         }
         Ok(())
@@ -154,6 +178,7 @@ impl BufferPool {
             let frame = st.frames.get(&id).unwrap();
             self.disk.write(id, &frame.page.read())?;
             st.stats.writebacks += 1;
+            self.writebacks.incr();
             st.frames.get_mut(&id).unwrap().dirty = false;
         }
         Ok(())
@@ -295,6 +320,25 @@ mod tests {
     }
 
     #[test]
+    fn shared_registry_mirrors_pool_stats() {
+        let disk = Arc::new(DiskManager::new());
+        let ids: Vec<PageId> = (0..3).map(|_| disk.allocate()).collect();
+        let metrics = Metrics::new();
+        let pool = BufferPool::with_metrics(disk, 2, PolicyKind::Lru, &metrics);
+        for &id in ids.iter().chain(ids.iter()) {
+            drop(pool.fetch(id).unwrap());
+        }
+        let s = pool.stats();
+        assert_eq!(metrics.value("bufferpool.hits"), s.hits);
+        assert_eq!(metrics.value("bufferpool.misses"), s.misses);
+        assert_eq!(metrics.value("bufferpool.evictions"), s.evictions);
+        assert_eq!(
+            metrics.value("bufferpool.lookups"),
+            metrics.value("bufferpool.hits") + metrics.value("bufferpool.misses"),
+        );
+    }
+
+    #[test]
     fn hit_rate_improves_with_capacity() {
         // The zero→aha demonstration of buffering: same trace, bigger pool,
         // fewer disk reads.
@@ -307,7 +351,10 @@ mod tests {
             }
             rates.push(pool.stats().hit_rate());
         }
-        assert!(rates[0] < rates[2], "hit rate should rise with capacity: {rates:?}");
+        assert!(
+            rates[0] < rates[2],
+            "hit rate should rise with capacity: {rates:?}"
+        );
         assert!(rates[2] > 0.9);
     }
 }

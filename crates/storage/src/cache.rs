@@ -6,6 +6,7 @@
 //! themselves.
 
 use crate::eviction::Policy;
+use crate::metrics::{CacheCounters, Metrics};
 use std::collections::HashSet;
 
 /// Hit/miss statistics for a simulated cache.
@@ -37,6 +38,7 @@ pub struct CacheSim {
     resident: HashSet<u64>,
     policy: Box<dyn Policy>,
     stats: CacheStats,
+    counters: Option<CacheCounters>,
 }
 
 impl CacheSim {
@@ -48,7 +50,15 @@ impl CacheSim {
             resident: HashSet::with_capacity(capacity),
             policy,
             stats: CacheStats::default(),
+            counters: None,
         }
+    }
+
+    /// Mirror this cache's hits/misses/evictions into `{scope}.*` counters
+    /// of a shared registry (in addition to the local [`CacheStats`]).
+    pub fn with_metrics(mut self, metrics: &Metrics, scope: &str) -> CacheSim {
+        self.counters = Some(CacheCounters::resolve(metrics, scope));
+        self
     }
 
     /// Access `key`; returns whether it was a hit. On a miss the key is
@@ -56,10 +66,16 @@ impl CacheSim {
     pub fn access(&mut self, key: u64) -> bool {
         if self.resident.contains(&key) {
             self.stats.hits += 1;
+            if let Some(c) = &self.counters {
+                c.hit();
+            }
             self.policy.on_access(key);
             return true;
         }
         self.stats.misses += 1;
+        if let Some(c) = &self.counters {
+            c.miss();
+        }
         if self.resident.len() >= self.capacity {
             let victim = self
                 .policy
@@ -67,6 +83,9 @@ impl CacheSim {
                 .expect("unpinned cache must always yield a victim");
             self.resident.remove(&victim);
             self.stats.evictions += 1;
+            if let Some(c) = &self.counters {
+                c.evict();
+            }
         }
         self.resident.insert(key);
         self.policy.on_insert(key);
@@ -163,6 +182,19 @@ mod tests {
     }
 
     #[test]
+    fn registry_mirror_matches_local_stats() {
+        let metrics = Metrics::new();
+        let mut sim =
+            CacheSim::new(2, PolicyKind::Lru.build(2, None)).with_metrics(&metrics, "kvcache");
+        let trace: Vec<u64> = (0..50).map(|i| i % 5).collect();
+        let s = sim.run(&trace);
+        assert_eq!(metrics.value("kvcache.hits"), s.hits);
+        assert_eq!(metrics.value("kvcache.misses"), s.misses);
+        assert_eq!(metrics.value("kvcache.evictions"), s.evictions);
+        assert_eq!(metrics.value("kvcache.lookups"), s.hits + s.misses);
+    }
+
+    #[test]
     fn belady_dominates_online_policies() {
         // On a skewed random trace MIN must be >= every online policy.
         use rand::prelude::*;
@@ -179,7 +211,9 @@ mod tests {
             .run(&trace)
             .hit_rate();
         for kind in PolicyKind::online() {
-            let rate = CacheSim::new(cap, kind.build(cap, None)).run(&trace).hit_rate();
+            let rate = CacheSim::new(cap, kind.build(cap, None))
+                .run(&trace)
+                .hit_rate();
             assert!(
                 min_rate >= rate - 1e-9,
                 "{} ({rate:.4}) beat Belady ({min_rate:.4})",

@@ -25,7 +25,11 @@ impl Bitmap {
                 *last = (1u64 << (len % 64)) - 1;
             }
         }
-        Bitmap { words, len, ones: len }
+        Bitmap {
+            words,
+            len,
+            ones: len,
+        }
     }
 
     /// An all-null bitmap of the given length.
@@ -233,7 +237,10 @@ impl Column {
     /// The validity bitmap.
     pub fn validity(&self) -> &Bitmap {
         match self {
-            Column::Int64(_, b) | Column::Float64(_, b) | Column::Utf8(_, b) | Column::Bool(_, b) => b,
+            Column::Int64(_, b)
+            | Column::Float64(_, b)
+            | Column::Utf8(_, b)
+            | Column::Bool(_, b) => b,
         }
     }
 
@@ -424,7 +431,9 @@ impl Column {
     /// Concatenate columns of the same type.
     pub fn concat(parts: &[&Column]) -> Result<Column> {
         let Some(first) = parts.first() else {
-            return Err(StorageError::SchemaMismatch("concat of zero columns".into()));
+            return Err(StorageError::SchemaMismatch(
+                "concat of zero columns".into(),
+            ));
         };
         let dt = first.data_type();
         let total: usize = parts.iter().map(|c| c.len()).sum();

@@ -48,7 +48,10 @@ impl RleI64 {
     /// Random access without full decode: value at position `i`.
     pub fn get(&self, i: usize) -> Result<i64> {
         if i >= self.len {
-            return Err(StorageError::OutOfBounds { index: i, len: self.len });
+            return Err(StorageError::OutOfBounds {
+                index: i,
+                len: self.len,
+            });
         }
         let mut pos = 0usize;
         for &(v, n) in &self.runs {
@@ -57,7 +60,9 @@ impl RleI64 {
                 return Ok(v);
             }
         }
-        Err(StorageError::Corrupt("RLE runs shorter than declared len".into()))
+        Err(StorageError::Corrupt(
+            "RLE runs shorter than declared len".into(),
+        ))
     }
 }
 
@@ -184,7 +189,10 @@ impl BitPackedI64 {
     /// Random access: value at position `i`.
     pub fn get(&self, i: usize) -> Result<i64> {
         if i >= self.len {
-            return Err(StorageError::OutOfBounds { index: i, len: self.len });
+            return Err(StorageError::OutOfBounds {
+                index: i,
+                len: self.len,
+            });
         }
         Ok(self.get_unchecked(i))
     }
@@ -263,7 +271,10 @@ mod tests {
 
     #[test]
     fn dict_roundtrip() {
-        let data: Vec<String> = ["a", "b", "a", "c", "b", "a"].iter().map(|s| s.to_string()).collect();
+        let data: Vec<String> = ["a", "b", "a", "c", "b", "a"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let enc = DictUtf8::encode(&data);
         assert_eq!(enc.cardinality(), 3);
         assert_eq!(enc.decode().unwrap(), data);

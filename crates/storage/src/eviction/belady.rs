@@ -91,7 +91,7 @@ mod tests {
         let mut p = Belady::new(&trace);
         p.on_insert(1); // consumes pos 0; next use of 1 = pos 3
         p.on_insert(2); // consumes pos 1; next use of 2 = pos 4
-        // Need room for 3: optimal evicts 2 (used at 4) — farther than 1 (at 3).
+                        // Need room for 3: optimal evicts 2 (used at 4) — farther than 1 (at 3).
         assert_eq!(p.evict(&|_| false), Some(2));
     }
 
@@ -132,7 +132,11 @@ mod tests {
             lru.access(k);
             min.access(k);
         }
-        assert_eq!(lru.stats().hits, 0, "LRU thrashes on a loop one larger than the cache");
+        assert_eq!(
+            lru.stats().hits,
+            0,
+            "LRU thrashes on a loop one larger than the cache"
+        );
         assert!(
             min.stats().hit_rate() > 0.5,
             "MIN should retain most of the loop: {:?}",

@@ -101,7 +101,7 @@ mod tests {
         p.on_insert(1);
         p.on_insert(2);
         p.on_access(1); // 1 gets its reference bit set
-        // Hand starts at 1: bit set -> cleared, move on; 2: bit clear -> victim.
+                        // Hand starts at 1: bit set -> cleared, move on; 2: bit clear -> victim.
         assert_eq!(p.evict(&|_| false), Some(2));
         // Now 1's bit was cleared during the sweep.
         assert_eq!(p.evict(&|_| false), Some(1));

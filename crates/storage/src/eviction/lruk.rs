@@ -103,7 +103,7 @@ mod tests {
         p.on_insert(2); // t=2
         p.on_access(1); // t=3 -> key1 history [1,3]
         p.on_access(2); // t=4 -> key2 history [2,4]
-        // K-th most recent: key1 -> 1, key2 -> 2. Evict key1.
+                        // K-th most recent: key1 -> 1, key2 -> 2. Evict key1.
         assert_eq!(p.evict(&|_| false), Some(1));
     }
 

@@ -143,7 +143,7 @@ mod tests {
     #[test]
     fn one_shot_scans_stay_probationary() {
         let mut p = TwoQ::new(8); // a1in_target = 2
-        // Hot key accessed twice -> Am.
+                                  // Hot key accessed twice -> Am.
         p.on_insert(100);
         p.on_access(100);
         // Scan of one-shot keys.
@@ -161,7 +161,7 @@ mod tests {
         p.on_insert(1);
         p.on_insert(2); // a1in over target
         assert_eq!(p.evict(&|_| false), Some(1)); // 1 goes to ghost list
-        // Re-insert 1: ghost hit -> protected Am.
+                                                  // Re-insert 1: ghost hit -> protected Am.
         p.on_insert(1);
         p.on_insert(3);
         p.on_insert(4);

@@ -16,7 +16,10 @@
 //!   LFU, 2Q, FIFO, and a Belady oracle),
 //! - [`cache`]: a policy-driven cache simulator shared with the LLM KV-cache
 //!   study (experiment E4),
-//! - [`bufferpool`]: a pin/unpin page buffer pool over the page store.
+//! - [`bufferpool`]: a pin/unpin page buffer pool over the page store,
+//! - [`metrics`]: the engine-wide [`metrics::Metrics`] counter registry that
+//!   the buffer pool, cache simulator, query operators, and the `Database`
+//!   facade all record into.
 
 pub mod batch;
 pub mod bufferpool;
@@ -26,6 +29,7 @@ pub mod compress;
 pub mod disk;
 pub mod error;
 pub mod eviction;
+pub mod metrics;
 pub mod page;
 pub mod schema;
 pub mod table;
@@ -34,6 +38,7 @@ pub mod types;
 pub use batch::RecordBatch;
 pub use column::{Bitmap, Column};
 pub use error::StorageError;
+pub use metrics::{Counter, Metrics};
 pub use schema::{Field, Schema};
 pub use table::{RowGroup, Table};
 pub use types::{DataType, Value};

@@ -2,11 +2,10 @@
 
 use crate::error::{Result, StorageError};
 use crate::types::DataType;
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// A named, typed field in a schema.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
     /// Column name.
     pub name: String,
@@ -37,7 +36,7 @@ impl Field {
 }
 
 /// An ordered collection of fields.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }

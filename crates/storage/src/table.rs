@@ -131,10 +131,14 @@ impl RowGroup {
 }
 
 /// An append-only, row-grouped columnar table.
+///
+/// Sealed row groups are immutable and `Arc`-shared, so cloning a table (the
+/// catalog does this to publish a snapshot after every append) copies only
+/// the pending buffer and a vector of pointers — never column data.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    groups: Vec<RowGroup>,
+    groups: Vec<Arc<RowGroup>>,
     /// Rows buffered but not yet sealed into a group.
     pending: Vec<Vec<Value>>,
     group_size: usize,
@@ -207,14 +211,14 @@ impl Table {
         }
         let rows = std::mem::take(&mut self.pending);
         let batch = RecordBatch::from_rows(self.schema.clone(), &rows)?;
-        self.groups.push(RowGroup::new(batch));
+        self.groups.push(Arc::new(RowGroup::new(batch)));
         Ok(())
     }
 
     /// Iterate sealed row groups. Call [`Table::flush`] first to include
     /// recent appends.
     pub fn groups(&self) -> impl Iterator<Item = &RowGroup> {
-        self.groups.iter()
+        self.groups.iter().map(|g| g.as_ref())
     }
 
     /// Materialize the whole table as one batch (testing / small tables).
@@ -249,7 +253,8 @@ mod tests {
     fn append_and_group_sealing() {
         let mut t = Table::with_group_size(schema(), 4);
         for i in 0..10 {
-            t.append_row(vec![Value::Int(i), Value::str(format!("r{i}"))]).unwrap();
+            t.append_row(vec![Value::Int(i), Value::str(format!("r{i}"))])
+                .unwrap();
         }
         assert_eq!(t.num_rows(), 10);
         assert_eq!(t.num_groups(), 2); // two sealed groups of 4, 2 pending

@@ -1,12 +1,11 @@
 //! Scalar values and data types.
 
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
 /// The logical type of a column or scalar.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// 64-bit signed integer.
     Int64,
@@ -35,7 +34,7 @@ impl fmt::Display for DataType {
 /// and come out as `Vec<Value>`. Inside the engine data lives in typed
 /// [`crate::column::Column`]s and never round-trips through `Value` on the hot
 /// path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// SQL NULL.
     Null,

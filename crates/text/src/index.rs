@@ -102,11 +102,7 @@ impl InvertedIndex {
             'starts: for &start in &p0.positions {
                 for (offset, term) in phrase.iter().enumerate().skip(1) {
                     let want = start + offset as u32;
-                    let Some(p) = self
-                        .postings(term)
-                        .iter()
-                        .find(|p| p.doc == p0.doc)
-                    else {
+                    let Some(p) = self.postings(term).iter().find(|p| p.doc == p0.doc) else {
                         continue 'docs;
                     };
                     if p.positions.binary_search(&want).is_err() {
@@ -149,11 +145,7 @@ mod tests {
         assert_eq!(ix.doc_freq("fox"), 1);
         assert_eq!(ix.doc_freq("missing"), 0);
         // "quick" appears twice in doc 3.
-        let p = ix
-            .postings("quick")
-            .iter()
-            .find(|p| p.doc == 3)
-            .unwrap();
+        let p = ix.postings("quick").iter().find(|p| p.doc == 3).unwrap();
         assert_eq!(p.positions, vec![0, 1]);
     }
 

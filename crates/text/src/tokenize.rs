@@ -41,15 +41,15 @@ mod tests {
 
     #[test]
     fn keeps_stopwords_when_asked() {
-        assert_eq!(
-            tokenize_with("the cat", false),
-            vec!["the", "cat"]
-        );
+        assert_eq!(tokenize_with("the cat", false), vec!["the", "cat"]);
     }
 
     #[test]
     fn numbers_survive() {
-        assert_eq!(tokenize("tpc-h scale 1000"), vec!["tpc", "h", "scale", "1000"]);
+        assert_eq!(
+            tokenize("tpc-h scale 1000"),
+            vec!["tpc", "h", "scale", "1000"]
+        );
     }
 
     #[test]

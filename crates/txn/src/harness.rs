@@ -86,7 +86,8 @@ pub fn run_workload(engine: Arc<dyn KvEngine>, config: &WorkloadConfig) -> Workl
             let aborts = aborts.clone();
             let config = config.clone();
             std::thread::spawn(move || {
-                let mut rng = StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E3779B9));
+                let mut rng =
+                    StdRng::seed_from_u64(config.seed ^ (t as u64).wrapping_mul(0x9E3779B9));
                 for _ in 0..config.txns_per_thread {
                     let read_only = rng.gen::<f64>() < config.read_ratio;
                     let mut ops = Vec::with_capacity(config.ops_per_txn);

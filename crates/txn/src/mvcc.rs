@@ -209,7 +209,9 @@ mod tests {
     fn snapshot_reads_and_writes() {
         let e = MvccEngine::new(None);
         e.execute(&[TxnOp::Write(1, 10)]).unwrap();
-        let r = e.execute(&[TxnOp::Read(1), TxnOp::Add(1, 5), TxnOp::Read(1)]).unwrap();
+        let r = e
+            .execute(&[TxnOp::Read(1), TxnOp::Add(1, 5), TxnOp::Read(1)])
+            .unwrap();
         assert_eq!(r, vec![Some(10), Some(15)]);
         assert_eq!(e.read(1), Some(15));
     }

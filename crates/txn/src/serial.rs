@@ -142,7 +142,12 @@ mod tests {
     fn read_your_own_writes() {
         let e = SerialEngine::new(None);
         let r = e
-            .execute(&[TxnOp::Write(1, 7), TxnOp::Read(1), TxnOp::Add(1, 1), TxnOp::Read(1)])
+            .execute(&[
+                TxnOp::Write(1, 7),
+                TxnOp::Read(1),
+                TxnOp::Add(1, 1),
+                TxnOp::Read(1),
+            ])
             .unwrap();
         assert_eq!(r, vec![Some(7), Some(8)]);
     }

@@ -112,7 +112,8 @@ mod tests {
     #[test]
     fn basic_transactions() {
         let e = TwoPlEngine::new(None);
-        e.execute(&[TxnOp::Write(1, 100), TxnOp::Write(2, 200)]).unwrap();
+        e.execute(&[TxnOp::Write(1, 100), TxnOp::Write(2, 200)])
+            .unwrap();
         let r = e.execute(&[TxnOp::Read(1), TxnOp::Read(2)]).unwrap();
         assert_eq!(r, vec![Some(100), Some(200)]);
     }
@@ -153,7 +154,8 @@ mod tests {
             let e = e.clone();
             std::thread::spawn(move || {
                 for _ in 0..1000 {
-                    e.execute(&[TxnOp::Add(1, 1), TxnOp::Add(1_000_003, 1)]).unwrap();
+                    e.execute(&[TxnOp::Add(1, 1), TxnOp::Add(1_000_003, 1)])
+                        .unwrap();
                 }
             })
         };
@@ -161,7 +163,9 @@ mod tests {
             let e = e.clone();
             std::thread::spawn(move || {
                 for _ in 0..1000 {
-                    let r = e.execute(&[TxnOp::Read(1), TxnOp::Read(1_000_003)]).unwrap();
+                    let r = e
+                        .execute(&[TxnOp::Read(1), TxnOp::Read(1_000_003)])
+                        .unwrap();
                     let a = r[0].unwrap_or(0);
                     let b = r[1].unwrap_or(0);
                     assert_eq!(a, b, "reader saw a torn transaction");

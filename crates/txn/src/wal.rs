@@ -92,7 +92,6 @@ impl Wal {
     }
 
     fn wait_durable_locked(&self, st: &mut parking_lot::MutexGuard<'_, WalState>, my_seq: u64) {
-
         if !self.config.group_commit {
             // Strict per-commit durability: records are flushed one at a
             // time, one fsync each, in append order. This is the cost model

@@ -77,7 +77,12 @@ impl ExactIndex {
     /// Filtered scan that evaluates the predicate *before* computing
     /// distances — the "unified" behaviour a real engine wants, as opposed
     /// to the over-fetching default of [`VectorIndex::search_filtered`].
-    pub fn search_prefiltered(&self, query: &[f32], k: usize, filter: &dyn Fn(u64) -> bool) -> Vec<Hit> {
+    pub fn search_prefiltered(
+        &self,
+        query: &[f32],
+        k: usize,
+        filter: &dyn Fn(u64) -> bool,
+    ) -> Vec<Hit> {
         top_k(
             self.data
                 .iter()
@@ -159,7 +164,7 @@ mod tests {
     #[test]
     fn prefiltered_matches_postfiltered_when_enough_results() {
         let ix = index();
-        let filter = |id: u64| id % 2 == 0;
+        let filter = |id: u64| id.is_multiple_of(2);
         let pre = ix.search_prefiltered(&[0.0, 0.0], 2, &filter);
         let post = ix.search_filtered(&[0.0, 0.0], 2, &filter);
         assert_eq!(pre.len(), 2);

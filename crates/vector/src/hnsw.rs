@@ -116,7 +116,13 @@ impl HnswIndex {
     }
 
     /// Beam search within one layer, returning up to `ef` closest slots.
-    fn search_layer(&self, query: &[f32], entries: &[usize], ef: usize, layer: usize) -> Vec<(f32, usize)> {
+    fn search_layer(
+        &self,
+        query: &[f32],
+        entries: &[usize],
+        ef: usize,
+        layer: usize,
+    ) -> Vec<(f32, usize)> {
         let mut visited: HashSet<usize> = entries.iter().copied().collect();
         let mut candidates: BinaryHeap<Closest> = BinaryHeap::new();
         let mut results: BinaryHeap<Farthest> = BinaryHeap::new();

@@ -143,9 +143,7 @@ fn nearest_centroid(centroids: &[Vec<f32>], v: &[f32]) -> usize {
     centroids
         .iter()
         .enumerate()
-        .min_by(|a, b| {
-            crate::distance::l2_sq(a.1, v).total_cmp(&crate::distance::l2_sq(b.1, v))
-        })
+        .min_by(|a, b| crate::distance::l2_sq(a.1, v).total_cmp(&crate::distance::l2_sq(b.1, v)))
         .map(|(i, _)| i)
         .expect("nlist >= 1")
 }
@@ -249,7 +247,14 @@ mod tests {
         let mut d = Dataset::new(1);
         d.push(1, &[1.0]);
         d.push(2, &[2.0]);
-        let ix = IvfIndex::build(d, Metric::L2, IvfParams { nlist: 100, ..Default::default() });
+        let ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 100,
+                ..Default::default()
+            },
+        );
         assert!(ix.nlist() <= 2);
         assert_eq!(ix.search(&[1.1], 1)[0].id, 1);
     }

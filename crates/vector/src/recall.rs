@@ -5,7 +5,12 @@ use std::collections::HashSet;
 
 /// Mean recall@k of `index` against brute-force ground truth over the given
 /// queries.
-pub fn recall_at_k(index: &dyn VectorIndex, exact: &ExactIndex, queries: &[Vec<f32>], k: usize) -> f64 {
+pub fn recall_at_k(
+    index: &dyn VectorIndex,
+    exact: &ExactIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> f64 {
     if queries.is_empty() || k == 0 {
         return 0.0;
     }

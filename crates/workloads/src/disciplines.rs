@@ -198,12 +198,13 @@ pub fn classify(p: &Project) -> Mode {
     if has_practitioner {
         return Mode::Trans;
     }
-    let crossing = p.collaborations.iter().any(|&(a, b)| {
-        match (p.members.get(a), p.members.get(b)) {
-            (Some(Member::Academic(x)), Some(Member::Academic(y))) => x != y,
-            _ => false,
-        }
-    });
+    let crossing =
+        p.collaborations
+            .iter()
+            .any(|&(a, b)| match (p.members.get(a), p.members.get(b)) {
+                (Some(Member::Academic(x)), Some(Member::Academic(y))) => x != y,
+                _ => false,
+            });
     if crossing {
         return Mode::Inter;
     }
@@ -253,7 +254,10 @@ mod tests {
         let multi = generate_project(Mode::Multi, 5, &mut rng);
         assert!(multi.borrowed_methods.is_empty());
         let trans = generate_project(Mode::Trans, 5, &mut rng);
-        assert!(trans.members.iter().any(|m| matches!(m, Member::Practitioner)));
+        assert!(trans
+            .members
+            .iter()
+            .any(|m| matches!(m, Member::Practitioner)));
         let cross = generate_project(Mode::Cross, 5, &mut rng);
         assert_eq!(cross.borrowed_methods.len(), 1);
     }

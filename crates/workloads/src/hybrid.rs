@@ -8,17 +8,71 @@ use rand::prelude::*;
 pub const CATEGORIES: &[&str] = &["audio", "camera", "kitchen", "outdoor", "office", "gaming"];
 
 const VOCAB: &[(&str, &[&str])] = &[
-    ("audio", &["headphone", "speaker", "bass", "wireless", "noise", "cancelling"]),
-    ("camera", &["lens", "zoom", "sensor", "tripod", "aperture", "mirrorless"]),
-    ("kitchen", &["blender", "knife", "oven", "steel", "nonstick", "espresso"]),
-    ("outdoor", &["tent", "hiking", "waterproof", "trail", "sleeping", "thermal"]),
-    ("office", &["ergonomic", "desk", "monitor", "keyboard", "mesh", "standing"]),
-    ("gaming", &["console", "controller", "rgb", "latency", "fps", "mechanical"]),
+    (
+        "audio",
+        &[
+            "headphone",
+            "speaker",
+            "bass",
+            "wireless",
+            "noise",
+            "cancelling",
+        ],
+    ),
+    (
+        "camera",
+        &["lens", "zoom", "sensor", "tripod", "aperture", "mirrorless"],
+    ),
+    (
+        "kitchen",
+        &["blender", "knife", "oven", "steel", "nonstick", "espresso"],
+    ),
+    (
+        "outdoor",
+        &[
+            "tent",
+            "hiking",
+            "waterproof",
+            "trail",
+            "sleeping",
+            "thermal",
+        ],
+    ),
+    (
+        "office",
+        &[
+            "ergonomic",
+            "desk",
+            "monitor",
+            "keyboard",
+            "mesh",
+            "standing",
+        ],
+    ),
+    (
+        "gaming",
+        &[
+            "console",
+            "controller",
+            "rgb",
+            "latency",
+            "fps",
+            "mechanical",
+        ],
+    ),
 ];
 
 const FILLER: &[&str] = &[
-    "premium", "quality", "durable", "lightweight", "portable", "compact", "professional",
-    "classic", "modern", "versatile",
+    "premium",
+    "quality",
+    "durable",
+    "lightweight",
+    "portable",
+    "compact",
+    "professional",
+    "classic",
+    "modern",
+    "versatile",
 ];
 
 /// One generated product.
@@ -81,7 +135,10 @@ impl ProductCatalog {
 /// similarity, keyword relevance, and the `category` column all correlate,
 /// like a real catalog.
 pub fn generate(n: usize, dim: usize, seed: u64) -> ProductCatalog {
-    assert!(dim >= CATEGORIES.len(), "dim must be >= number of categories");
+    assert!(
+        dim >= CATEGORIES.len(),
+        "dim must be >= number of categories"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut products = Vec::with_capacity(n);
     for id in 0..n as u64 {
@@ -134,7 +191,13 @@ pub struct HybridQuery {
 }
 
 /// Generate `n` hybrid queries aimed at random categories.
-pub fn generate_queries(n: usize, dim: usize, max_price: f64, k: usize, seed: u64) -> Vec<HybridQuery> {
+pub fn generate_queries(
+    n: usize,
+    dim: usize,
+    max_price: f64,
+    k: usize,
+    seed: u64,
+) -> Vec<HybridQuery> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {

@@ -22,7 +22,11 @@ pub fn n_plus_one(
 
     let orders = backbone_query::execute(
         LogicalPlan::scan("orders", catalog)?
-            .project(vec![col("o_orderkey"), col("o_custkey"), col("o_totalprice")])
+            .project(vec![
+                col("o_orderkey"),
+                col("o_custkey"),
+                col("o_totalprice"),
+            ])
             .limit(max_orders),
         catalog,
         &opts,
@@ -58,9 +62,16 @@ pub fn set_oriented(
     max_orders: usize,
 ) -> Result<(Vec<OrderWithCustomer>, usize), QueryError> {
     let plan = LogicalPlan::scan("orders", catalog)?
-        .project(vec![col("o_orderkey"), col("o_custkey"), col("o_totalprice")])
+        .project(vec![
+            col("o_orderkey"),
+            col("o_custkey"),
+            col("o_totalprice"),
+        ])
         .limit(max_orders)
-        .join_on(LogicalPlan::scan("customer", catalog)?, vec![("o_custkey", "c_custkey")])
+        .join_on(
+            LogicalPlan::scan("customer", catalog)?,
+            vec![("o_custkey", "c_custkey")],
+        )
         .project(vec![col("o_orderkey"), col("o_totalprice"), col("c_name")]);
     let batch = backbone_query::execute(plan, catalog, &ExecOptions::default())?;
     let mut out = Vec::with_capacity(batch.num_rows());
@@ -89,8 +100,8 @@ mod tests {
         let cat = generate(0.001, 5);
         let (mut a, qa) = n_plus_one(&cat, 50).unwrap();
         let (mut b, qb) = set_oriented(&cat, 50).unwrap();
-        a.sort_by(|x, y| x.0.cmp(&y.0));
-        b.sort_by(|x, y| x.0.cmp(&y.0));
+        a.sort_by_key(|x| x.0);
+        b.sort_by_key(|x| x.0);
         assert_eq!(a.len(), 50);
         // Compare keys and names; floats bitwise-equal since same source.
         assert_eq!(a, b);

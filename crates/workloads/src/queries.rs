@@ -60,7 +60,12 @@ pub fn q3(catalog: &dyn Catalog, segment: &str, date: i64) -> Result<LogicalPlan
 
 /// Q5 — local supplier volume: six-way join restricted to one region,
 /// revenue grouped by nation.
-pub fn q5(catalog: &dyn Catalog, region: &str, date_lo: i64, date_hi: i64) -> Result<LogicalPlan, QueryError> {
+pub fn q5(
+    catalog: &dyn Catalog,
+    region: &str,
+    date_lo: i64,
+    date_hi: i64,
+) -> Result<LogicalPlan, QueryError> {
     let customer = LogicalPlan::scan("customer", catalog)?;
     let orders = LogicalPlan::scan("orders", catalog)?;
     let lineitem = LogicalPlan::scan("lineitem", catalog)?;
@@ -71,7 +76,10 @@ pub fn q5(catalog: &dyn Catalog, region: &str, date_lo: i64, date_hi: i64) -> Re
     Ok(customer
         .join_on(orders, vec![("c_custkey", "o_custkey")])
         .join_on(lineitem, vec![("o_orderkey", "l_orderkey")])
-        .join_on(supplier, vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")])
+        .join_on(
+            supplier,
+            vec![("l_suppkey", "s_suppkey"), ("c_nationkey", "s_nationkey")],
+        )
         .join_on(nation, vec![("s_nationkey", "n_nationkey")])
         .join_on(region_plan, vec![("n_regionkey", "r_regionkey")])
         .filter(
@@ -132,7 +140,13 @@ mod tests {
         assert!(out.num_rows() >= 2 && out.num_rows() <= 6);
         // count_order must sum to the number of filtered lineitems.
         let total: i64 = (0..out.num_rows())
-            .map(|i| out.column_by_name("count_order").unwrap().value(i).as_int().unwrap())
+            .map(|i| {
+                out.column_by_name("count_order")
+                    .unwrap()
+                    .value(i)
+                    .as_int()
+                    .unwrap()
+            })
             .sum();
         assert!(total > 0);
         // sorted by flag then status
@@ -152,11 +166,29 @@ mod tests {
         let li = cat.table("lineitem").unwrap().to_batch().unwrap();
         let mut manual: std::collections::HashMap<(String, String), f64> = Default::default();
         for i in 0..li.num_rows() {
-            let ship = li.column_by_name("l_shipdate").unwrap().value(i).as_int().unwrap();
+            let ship = li
+                .column_by_name("l_shipdate")
+                .unwrap()
+                .value(i)
+                .as_int()
+                .unwrap();
             if ship <= Q1_CUTOFF_DAY {
-                let f = li.column_by_name("l_returnflag").unwrap().value(i).to_string();
-                let s = li.column_by_name("l_linestatus").unwrap().value(i).to_string();
-                let q = li.column_by_name("l_quantity").unwrap().value(i).as_float().unwrap();
+                let f = li
+                    .column_by_name("l_returnflag")
+                    .unwrap()
+                    .value(i)
+                    .to_string();
+                let s = li
+                    .column_by_name("l_linestatus")
+                    .unwrap()
+                    .value(i)
+                    .to_string();
+                let q = li
+                    .column_by_name("l_quantity")
+                    .unwrap()
+                    .value(i)
+                    .as_float()
+                    .unwrap();
                 *manual.entry((f, s)).or_insert(0.0) += q;
             }
         }
@@ -165,7 +197,12 @@ mod tests {
                 out.column(0).value(i).to_string(),
                 out.column(1).value(i).to_string(),
             );
-            let got = out.column_by_name("sum_qty").unwrap().value(i).as_float().unwrap();
+            let got = out
+                .column_by_name("sum_qty")
+                .unwrap()
+                .value(i)
+                .as_float()
+                .unwrap();
             let want = manual[&key];
             assert!((got - want).abs() < 1e-6, "group {key:?}: {got} != {want}");
         }
@@ -174,7 +211,12 @@ mod tests {
     #[test]
     fn q3_returns_at_most_ten_sorted_by_revenue() {
         let cat = catalog();
-        let out = execute(q3(&cat, "BUILDING", 1200).unwrap(), &cat, &ExecOptions::default()).unwrap();
+        let out = execute(
+            q3(&cat, "BUILDING", 1200).unwrap(),
+            &cat,
+            &ExecOptions::default(),
+        )
+        .unwrap();
         assert!(out.num_rows() <= 10);
         let rev = out.column_by_name("revenue").unwrap();
         for i in 1..out.num_rows() {
@@ -185,7 +227,12 @@ mod tests {
     #[test]
     fn q5_groups_by_nation_in_region() {
         let cat = catalog();
-        let out = execute(q5(&cat, "ASIA", 0, 2500).unwrap(), &cat, &ExecOptions::default()).unwrap();
+        let out = execute(
+            q5(&cat, "ASIA", 0, 2500).unwrap(),
+            &cat,
+            &ExecOptions::default(),
+        )
+        .unwrap();
         // At most 5 nations per region.
         assert!(out.num_rows() <= 5);
         for i in 0..out.num_rows() {

@@ -15,7 +15,13 @@ pub const Q1_CUTOFF_DAY: i64 = 2406 - 120;
 pub const DATE_DAYS: i64 = 2406;
 
 /// Market segments (TPC-H has 5).
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 /// Region names.
 pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
 /// Return flags.
@@ -230,8 +236,22 @@ pub fn generate(sf: f64, seed: u64) -> MemCatalog {
 }
 
 const COLORS: &[&str] = &[
-    "almond", "azure", "beige", "blush", "chiffon", "coral", "cream", "drab", "firebrick",
-    "forest", "ghost", "honeydew", "ivory", "khaki", "lace", "lavender",
+    "almond",
+    "azure",
+    "beige",
+    "blush",
+    "chiffon",
+    "coral",
+    "cream",
+    "drab",
+    "firebrick",
+    "forest",
+    "ghost",
+    "honeydew",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
 ];
 
 #[cfg(test)]
@@ -251,7 +271,9 @@ mod tests {
     #[test]
     fn generates_all_tables() {
         let cat = generate(0.001, 1);
-        for t in ["region", "nation", "supplier", "part", "customer", "orders", "lineitem"] {
+        for t in [
+            "region", "nation", "supplier", "part", "customer", "orders", "lineitem",
+        ] {
             assert!(cat.table(t).is_some(), "missing table {t}");
         }
         assert_eq!(cat.table("region").unwrap().num_rows(), 5);

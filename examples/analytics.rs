@@ -21,7 +21,10 @@ fn main() {
 
     // Show the optimizer at work on the join-heavy Q3.
     let q3 = queries::q3(&catalog, "BUILDING", 1200).expect("q3");
-    println!("{}", explain(&q3, &catalog, &ExecOptions::default()).expect("explain"));
+    println!(
+        "{}",
+        explain(&q3, &catalog, &ExecOptions::default()).expect("explain")
+    );
 
     // Run everything, serial vs 4-way parallel scans — same queries,
     // no code change: "automatic scalability".

@@ -43,7 +43,11 @@ fn main() {
         .expect("query");
     for i in 0..out.num_rows() {
         let row = out.row(i);
-        println!("  {:<12} {:>10.0} people/km2", row[0], row[1].as_float().unwrap_or(0.0));
+        println!(
+            "  {:<12} {:>10.0} people/km2",
+            row[0],
+            row[1].as_float().unwrap_or(0.0)
+        );
     }
 
     println!("\nsql> population by country");

@@ -9,7 +9,10 @@ use backbone_workloads::disciplines::{classify, generate_corpus, Confusion, Memb
 
 fn main() {
     let corpus = generate_corpus(100, 6, 42);
-    println!("generated {} projects (100 per mode, 6 disciplines)\n", corpus.len());
+    println!(
+        "generated {} projects (100 per mode, 6 disciplines)\n",
+        corpus.len()
+    );
 
     // A few concrete projects with their structural signals.
     for mode in Mode::all() {

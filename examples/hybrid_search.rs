@@ -7,8 +7,8 @@
 //! cargo run --example hybrid_search
 //! ```
 
-use backbone_core::{bolton_search, unified_search, FusionWeights, HybridSpec, VectorIndexKind};
 use backbone_core::Database;
+use backbone_core::{bolton_search, unified_search, FusionWeights, HybridSpec, VectorIndexSpec};
 use backbone_query::{col, lit};
 use backbone_storage::{DataType, Field, Schema, Value};
 use backbone_vector::{Dataset, Metric};
@@ -46,20 +46,32 @@ fn main() {
             .collect(),
     )
     .expect("insert");
-    db.create_text_index_from("products", catalog.products.iter().map(|p| p.description.as_str()));
+    db.create_text_index_from(
+        "products",
+        catalog.products.iter().map(|p| p.description.as_str()),
+    )
+    .expect("text index");
     let mut ds = Dataset::new(catalog.dim);
     for p in &catalog.products {
         ds.push(p.id, &p.embedding);
     }
-    db.create_vector_index("products", ds, Metric::L2, VectorIndexKind::Hnsw)
-        .expect("vector index");
+    db.create_vector_index(
+        "products",
+        ds,
+        VectorIndexSpec::hnsw(Metric::L2).ef_search(96),
+    )
+    .expect("vector index");
 
     // "Find 5 audio products like this one, about bass, under $100."
     let mut query_vec = vec![0.1f32; 8];
     query_vec[0] = 1.0; // the "audio" direction
     let spec = HybridSpec {
         table: "products".into(),
-        filter: Some(col("price").lt(lit(100.0)).and(col("in_stock").eq(lit(true)))),
+        filter: Some(
+            col("price")
+                .lt(lit(100.0))
+                .and(col("in_stock").eq(lit(true))),
+        ),
         keyword: Some("bass wireless".into()),
         vector: Some(query_vec),
         k: 5,
@@ -67,14 +79,21 @@ fn main() {
     };
 
     let (hits, cost) = unified_search(&db, &spec).expect("unified");
-    println!("unified engine: {} round trip(s), {} candidates shipped", cost.round_trips, cost.candidates_fetched);
+    println!(
+        "unified engine: {} round trip(s), {} candidates shipped",
+        cost.round_trips, cost.candidates_fetched
+    );
     let batch = db.table_batch("products").expect("batch");
     for h in &hits {
         let row = batch.row(h.row as usize);
         println!(
             "  #{:<6} {:<8} ${:<8.2} score {:.3} (vec {:?}, text {:?})",
-            row[0], row[1], row[2].as_float().unwrap_or(0.0), h.score,
-            h.vector_distance, h.text_score
+            row[0],
+            row[1],
+            row[2].as_float().unwrap_or(0.0),
+            h.score,
+            h.vector_distance,
+            h.text_score
         );
     }
 

@@ -22,7 +22,12 @@ fn main() {
         seed: 42,
     };
     let trace = generate_llm_trace(&config);
-    println!("serving trace: {} ({} block accesses, {} distinct blocks)\n", trace.label, trace.len(), trace.unique_blocks);
+    println!(
+        "serving trace: {} ({} block accesses, {} distinct blocks)\n",
+        trace.label,
+        trace.len(),
+        trace.unique_blocks
+    );
 
     let cost = CostModel {
         hit_cost: 1.0,   // read a cached KV block
@@ -31,7 +36,10 @@ fn main() {
 
     for capacity in [64usize, 128, 256] {
         println!("GPU cache capacity: {capacity} blocks");
-        println!("  {:>8} {:>9} {:>12} {:>11}", "policy", "hit-rate", "cost", "vs-optimal");
+        println!(
+            "  {:>8} {:>9} {:>12} {:>11}",
+            "policy", "hit-rate", "cost", "vs-optimal"
+        );
         for r in evaluate_policies(&trace, capacity, cost) {
             println!(
                 "  {:>8} {:>8.1}% {:>12.0} {:>10.2}x",

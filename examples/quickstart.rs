@@ -52,12 +52,16 @@ fn main() {
         )
         .sort(vec![desc(col("revenue"))]);
 
-    // 4. EXPLAIN shows what the optimizer did with it.
-    println!("{}", db.explain(&plan).expect("explain"));
+    // 4. EXPLAIN ANALYZE runs the plan instrumented: the optimized tree
+    //    annotated with measured per-operator rows and elapsed time.
+    let (report, out) = db.explain_analyze(plan).expect("explain analyze");
+    println!("{report}");
 
-    // 5. Execute and print.
-    let out = db.execute(plan).expect("execute");
-    println!("{:>8} {:>12} {:>10} {:>8}", "region", "revenue", "avg_units", "orders");
+    // 5. Print the result.
+    println!(
+        "{:>8} {:>12} {:>10} {:>8}",
+        "region", "revenue", "avg_units", "orders"
+    );
     for i in 0..out.num_rows() {
         let row = out.row(i);
         println!(
@@ -68,4 +72,9 @@ fn main() {
             row[3]
         );
     }
+
+    // 6. The database's shared metrics registry accumulated the operator
+    //    totals along the way (`op.*` counters survive across queries).
+    println!("\nmetrics:");
+    print!("{}", db.metrics().render());
 }

@@ -13,7 +13,9 @@ fn main() {
     println!("generating TPC-H-like data (SF 0.005)...");
     let generated = tpch::generate(0.005, 42);
     let db = Database::new();
-    for name in ["region", "nation", "supplier", "part", "customer", "orders", "lineitem"] {
+    for name in [
+        "region", "nation", "supplier", "part", "customer", "orders", "lineitem",
+    ] {
         use backbone_query::Catalog;
         let table = generated.table(name).unwrap();
         db.register_table(name, (*table).clone()).unwrap();
@@ -52,5 +54,16 @@ fn main() {
             }
             Err(e) => println!("error: {e}"),
         }
+    }
+
+    // EXPLAIN ANALYZE is SQL too: the optimized plan comes back as rows,
+    // annotated with measured per-operator row counts and timings.
+    let q = "EXPLAIN ANALYZE SELECT n_name, COUNT(*) AS suppliers \
+             FROM supplier JOIN nation ON s_nationkey = n_nationkey \
+             GROUP BY n_name ORDER BY suppliers DESC LIMIT 5";
+    println!("\nsql> {q}");
+    let plan = db.sql(q).expect("explain analyze");
+    for i in 0..plan.num_rows() {
+        println!("{}", plan.row(i)[0]);
     }
 }

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the full test suite.
+#
+#   scripts/check.sh
+#
+# Run from anywhere; operates on the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test -q =="
+cargo test --workspace -q
+
+echo "OK"

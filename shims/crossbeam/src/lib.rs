@@ -1,0 +1,86 @@
+//! Offline stand-in for `crossbeam`, covering the `channel::bounded` API the
+//! workspace uses, implemented over `std::sync::mpsc`.
+
+/// Multi-producer single-consumer channels.
+pub mod channel {
+    /// Error returned when the receiving side has hung up.
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// A bounded channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// The sending half (clonable).
+    pub struct Sender<T> {
+        inner: std::sync::mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send, blocking while the channel is full. Errors when the
+        /// receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value)
+        }
+    }
+
+    /// The receiving half.
+    pub struct Receiver<T> {
+        inner: std::sync::mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking while the channel is empty. Errors when every
+        /// sender is gone and the channel is drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_workers() {
+            let (tx, rx) = bounded::<u32>(2);
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || tx.send(i).unwrap())
+                })
+                .collect();
+            drop(tx);
+            let mut got = Vec::new();
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn recv_errors_after_senders_drop() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(tx);
+            assert!(rx.recv().is_err());
+        }
+    }
+}

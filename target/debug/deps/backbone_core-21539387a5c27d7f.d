@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/backbone_core-21539387a5c27d7f.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/backbone_core-21539387a5c27d7f: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/topk.rs:

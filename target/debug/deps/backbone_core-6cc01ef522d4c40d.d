@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/backbone_core-6cc01ef522d4c40d.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libbackbone_core-6cc01ef522d4c40d.rlib: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libbackbone_core-6cc01ef522d4c40d.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/topk.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/backbone_kvcache-0c1e25e08033a871.d: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/debug/deps/backbone_kvcache-0c1e25e08033a871: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/pinning.rs:
+crates/kvcache/src/sim.rs:
+crates/kvcache/src/trace.rs:

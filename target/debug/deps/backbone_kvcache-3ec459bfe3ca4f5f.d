@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/backbone_kvcache-3ec459bfe3ca4f5f.d: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_kvcache-3ec459bfe3ca4f5f.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs Cargo.toml
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/pinning.rs:
+crates/kvcache/src/sim.rs:
+crates/kvcache/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/backbone_kvcache-be4832aac7db3219.d: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/debug/deps/libbackbone_kvcache-be4832aac7db3219.rlib: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/debug/deps/libbackbone_kvcache-be4832aac7db3219.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/pinning.rs:
+crates/kvcache/src/sim.rs:
+crates/kvcache/src/trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backbone_text-13fa64a39e67ec03.d: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/backbone_text-13fa64a39e67ec03: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/bm25.rs:
+crates/text/src/index.rs:
+crates/text/src/query.rs:
+crates/text/src/tokenize.rs:

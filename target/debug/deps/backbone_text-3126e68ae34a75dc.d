@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/backbone_text-3126e68ae34a75dc.d: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_text-3126e68ae34a75dc.rmeta: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs Cargo.toml
+
+crates/text/src/lib.rs:
+crates/text/src/bm25.rs:
+crates/text/src/index.rs:
+crates/text/src/query.rs:
+crates/text/src/tokenize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/backbone_text-ebf1a3daa5ff82da.d: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libbackbone_text-ebf1a3daa5ff82da.rlib: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libbackbone_text-ebf1a3daa5ff82da.rmeta: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/bm25.rs:
+crates/text/src/index.rs:
+crates/text/src/query.rs:
+crates/text/src/tokenize.rs:

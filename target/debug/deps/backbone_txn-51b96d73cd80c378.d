@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/backbone_txn-51b96d73cd80c378.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/debug/deps/libbackbone_txn-51b96d73cd80c378.rlib: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/debug/deps/libbackbone_txn-51b96d73cd80c378.rmeta: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:

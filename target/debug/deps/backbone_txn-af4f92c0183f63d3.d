@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/backbone_txn-af4f92c0183f63d3.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/debug/deps/backbone_txn-af4f92c0183f63d3: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/backbone_txn-b929b94f393ed375.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_txn-b929b94f393ed375.rmeta: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs Cargo.toml
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

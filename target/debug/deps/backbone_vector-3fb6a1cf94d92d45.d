@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/backbone_vector-3fb6a1cf94d92d45.d: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_vector-3fb6a1cf94d92d45.rmeta: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs Cargo.toml
+
+crates/vector/src/lib.rs:
+crates/vector/src/dataset.rs:
+crates/vector/src/distance.rs:
+crates/vector/src/exact.rs:
+crates/vector/src/hnsw.rs:
+crates/vector/src/ivf.rs:
+crates/vector/src/recall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/backbone_vector-6e1a0ea5560a54f1.d: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_vector-6e1a0ea5560a54f1.rmeta: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs Cargo.toml
+
+crates/vector/src/lib.rs:
+crates/vector/src/dataset.rs:
+crates/vector/src/distance.rs:
+crates/vector/src/exact.rs:
+crates/vector/src/hnsw.rs:
+crates/vector/src/ivf.rs:
+crates/vector/src/recall.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/backbone_workloads-49ff57269c386d1a.d: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/backbone_workloads-49ff57269c386d1a: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/disciplines.rs:
+crates/workloads/src/hybrid.rs:
+crates/workloads/src/orm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/tpch.rs:

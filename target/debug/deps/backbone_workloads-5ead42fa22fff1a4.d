@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/backbone_workloads-5ead42fa22fff1a4.d: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_workloads-5ead42fa22fff1a4.rmeta: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/disciplines.rs:
+crates/workloads/src/hybrid.rs:
+crates/workloads/src/orm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/backbone_workloads-7a7589a9648d404d.d: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libbackbone_workloads-7a7589a9648d404d.rlib: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libbackbone_workloads-7a7589a9648d404d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/disciplines.rs:
+crates/workloads/src/hybrid.rs:
+crates/workloads/src/orm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/tpch.rs:

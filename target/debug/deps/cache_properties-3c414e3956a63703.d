@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-3c414e3956a63703.d: crates/bench/../../tests/cache_properties.rs
+
+/root/repo/target/debug/deps/cache_properties-3c414e3956a63703: crates/bench/../../tests/cache_properties.rs
+
+crates/bench/../../tests/cache_properties.rs:

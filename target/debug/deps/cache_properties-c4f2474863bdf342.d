@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_properties-c4f2474863bdf342.d: crates/bench/../../tests/cache_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_properties-c4f2474863bdf342.rmeta: crates/bench/../../tests/cache_properties.rs Cargo.toml
+
+crates/bench/../../tests/cache_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

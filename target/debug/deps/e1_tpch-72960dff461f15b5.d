@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_tpch-72960dff461f15b5.d: crates/bench/benches/e1_tpch.rs
+
+/root/repo/target/debug/deps/e1_tpch-72960dff461f15b5: crates/bench/benches/e1_tpch.rs
+
+crates/bench/benches/e1_tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_orm-2be2c2a25911f5fe.d: crates/bench/benches/e2_orm.rs
+
+/root/repo/target/debug/deps/e2_orm-2be2c2a25911f5fe: crates/bench/benches/e2_orm.rs
+
+crates/bench/benches/e2_orm.rs:

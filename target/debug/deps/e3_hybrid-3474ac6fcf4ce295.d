@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_hybrid-3474ac6fcf4ce295.d: crates/bench/benches/e3_hybrid.rs
+
+/root/repo/target/debug/deps/e3_hybrid-3474ac6fcf4ce295: crates/bench/benches/e3_hybrid.rs
+
+crates/bench/benches/e3_hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_hybrid-48fc48d0ea7f47c7.d: crates/bench/benches/e3_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_hybrid-48fc48d0ea7f47c7.rmeta: crates/bench/benches/e3_hybrid.rs Cargo.toml
+
+crates/bench/benches/e3_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

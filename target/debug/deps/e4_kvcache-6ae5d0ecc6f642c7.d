@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_kvcache-6ae5d0ecc6f642c7.d: crates/bench/benches/e4_kvcache.rs
+
+/root/repo/target/debug/deps/e4_kvcache-6ae5d0ecc6f642c7: crates/bench/benches/e4_kvcache.rs
+
+crates/bench/benches/e4_kvcache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_txn-2499c299e177e471.d: crates/bench/benches/e5_txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_txn-2499c299e177e471.rmeta: crates/bench/benches/e5_txn.rs Cargo.toml
+
+crates/bench/benches/e5_txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

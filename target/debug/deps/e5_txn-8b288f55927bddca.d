@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_txn-8b288f55927bddca.d: crates/bench/benches/e5_txn.rs
+
+/root/repo/target/debug/deps/e5_txn-8b288f55927bddca: crates/bench/benches/e5_txn.rs
+
+crates/bench/benches/e5_txn.rs:

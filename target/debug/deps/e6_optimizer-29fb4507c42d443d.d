@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_optimizer-29fb4507c42d443d.d: crates/bench/benches/e6_optimizer.rs
+
+/root/repo/target/debug/deps/e6_optimizer-29fb4507c42d443d: crates/bench/benches/e6_optimizer.rs
+
+crates/bench/benches/e6_optimizer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_optimizer-35aea730247f07a1.d: crates/bench/benches/e6_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_optimizer-35aea730247f07a1.rmeta: crates/bench/benches/e6_optimizer.rs Cargo.toml
+
+crates/bench/benches/e6_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

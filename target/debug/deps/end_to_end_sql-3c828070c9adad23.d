@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sql-3c828070c9adad23.d: crates/bench/../../tests/end_to_end_sql.rs
+
+/root/repo/target/debug/deps/end_to_end_sql-3c828070c9adad23: crates/bench/../../tests/end_to_end_sql.rs
+
+crates/bench/../../tests/end_to_end_sql.rs:

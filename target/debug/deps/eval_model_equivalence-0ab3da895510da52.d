@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_model_equivalence-0ab3da895510da52.d: crates/bench/../../tests/eval_model_equivalence.rs
+
+/root/repo/target/debug/deps/eval_model_equivalence-0ab3da895510da52: crates/bench/../../tests/eval_model_equivalence.rs
+
+crates/bench/../../tests/eval_model_equivalence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_model_equivalence-ae8f8f0e6ad82aeb.d: crates/bench/../../tests/eval_model_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_model_equivalence-ae8f8f0e6ad82aeb.rmeta: crates/bench/../../tests/eval_model_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/eval_model_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_consistency-214799654090520f.d: crates/bench/../../tests/hybrid_consistency.rs
+
+/root/repo/target/debug/deps/hybrid_consistency-214799654090520f: crates/bench/../../tests/hybrid_consistency.rs
+
+crates/bench/../../tests/hybrid_consistency.rs:

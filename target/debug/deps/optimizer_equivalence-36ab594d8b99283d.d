@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_equivalence-36ab594d8b99283d.d: crates/bench/../../tests/optimizer_equivalence.rs
+
+/root/repo/target/debug/deps/optimizer_equivalence-36ab594d8b99283d: crates/bench/../../tests/optimizer_equivalence.rs
+
+crates/bench/../../tests/optimizer_equivalence.rs:

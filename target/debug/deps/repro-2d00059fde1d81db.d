@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-2d00059fde1d81db.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-2d00059fde1d81db: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

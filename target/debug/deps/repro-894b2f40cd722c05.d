@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-894b2f40cd722c05.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-894b2f40cd722c05: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

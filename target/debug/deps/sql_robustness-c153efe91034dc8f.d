@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_robustness-c153efe91034dc8f.d: crates/bench/../../tests/sql_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_robustness-c153efe91034dc8f.rmeta: crates/bench/../../tests/sql_robustness.rs Cargo.toml
+
+crates/bench/../../tests/sql_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_robustness-e0a236154d53430c.d: crates/bench/../../tests/sql_robustness.rs
+
+/root/repo/target/debug/deps/sql_robustness-e0a236154d53430c: crates/bench/../../tests/sql_robustness.rs
+
+crates/bench/../../tests/sql_robustness.rs:

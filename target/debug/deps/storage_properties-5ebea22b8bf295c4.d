@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_properties-5ebea22b8bf295c4.d: crates/bench/../../tests/storage_properties.rs
+
+/root/repo/target/debug/deps/storage_properties-5ebea22b8bf295c4: crates/bench/../../tests/storage_properties.rs
+
+crates/bench/../../tests/storage_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_properties-c08f45f862c8aa6b.d: crates/bench/../../tests/storage_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_properties-c08f45f862c8aa6b.rmeta: crates/bench/../../tests/storage_properties.rs Cargo.toml
+
+crates/bench/../../tests/storage_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txn_isolation-402cb3d0119754a8.d: crates/bench/../../tests/txn_isolation.rs
+
+/root/repo/target/debug/deps/txn_isolation-402cb3d0119754a8: crates/bench/../../tests/txn_isolation.rs
+
+crates/bench/../../tests/txn_isolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txn_isolation-f3d96abdb6637201.d: crates/bench/../../tests/txn_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxn_isolation-f3d96abdb6637201.rmeta: crates/bench/../../tests/txn_isolation.rs Cargo.toml
+
+crates/bench/../../tests/txn_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

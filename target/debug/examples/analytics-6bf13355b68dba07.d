@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics-6bf13355b68dba07.d: crates/bench/../../examples/analytics.rs
+
+/root/repo/target/debug/examples/analytics-6bf13355b68dba07: crates/bench/../../examples/analytics.rs
+
+crates/bench/../../examples/analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_to_sql-ed435817d916cc5f.d: crates/bench/../../examples/csv_to_sql.rs
+
+/root/repo/target/debug/examples/csv_to_sql-ed435817d916cc5f: crates/bench/../../examples/csv_to_sql.rs
+
+crates/bench/../../examples/csv_to_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disciplinarity-060022beb0ed1470.d: crates/bench/../../examples/disciplinarity.rs
+
+/root/repo/target/debug/examples/disciplinarity-060022beb0ed1470: crates/bench/../../examples/disciplinarity.rs
+
+crates/bench/../../examples/disciplinarity.rs:

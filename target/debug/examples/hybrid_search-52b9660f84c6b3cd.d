@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_search-52b9660f84c6b3cd.d: crates/bench/../../examples/hybrid_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_search-52b9660f84c6b3cd.rmeta: crates/bench/../../examples/hybrid_search.rs Cargo.toml
+
+crates/bench/../../examples/hybrid_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

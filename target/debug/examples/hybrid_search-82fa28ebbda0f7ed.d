@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_search-82fa28ebbda0f7ed.d: crates/bench/../../examples/hybrid_search.rs
+
+/root/repo/target/debug/examples/hybrid_search-82fa28ebbda0f7ed: crates/bench/../../examples/hybrid_search.rs
+
+crates/bench/../../examples/hybrid_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_kv_cache-912739d47d863b5a.d: crates/bench/../../examples/llm_kv_cache.rs
+
+/root/repo/target/debug/examples/llm_kv_cache-912739d47d863b5a: crates/bench/../../examples/llm_kv_cache.rs
+
+crates/bench/../../examples/llm_kv_cache.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llm_kv_cache-9ba849643515aa90.d: crates/bench/../../examples/llm_kv_cache.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllm_kv_cache-9ba849643515aa90.rmeta: crates/bench/../../examples/llm_kv_cache.rs Cargo.toml
+
+crates/bench/../../examples/llm_kv_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

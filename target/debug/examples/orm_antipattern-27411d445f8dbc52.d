@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orm_antipattern-27411d445f8dbc52.d: crates/bench/../../examples/orm_antipattern.rs
+
+/root/repo/target/debug/examples/orm_antipattern-27411d445f8dbc52: crates/bench/../../examples/orm_antipattern.rs
+
+crates/bench/../../examples/orm_antipattern.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/orm_antipattern-917b57933f4c8d8a.d: crates/bench/../../examples/orm_antipattern.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborm_antipattern-917b57933f4c8d8a.rmeta: crates/bench/../../examples/orm_antipattern.rs Cargo.toml
+
+crates/bench/../../examples/orm_antipattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e4a7419b8de39a10.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e4a7419b8de39a10: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

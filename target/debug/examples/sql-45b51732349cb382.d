@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql-45b51732349cb382.d: crates/bench/../../examples/sql.rs
+
+/root/repo/target/debug/examples/sql-45b51732349cb382: crates/bench/../../examples/sql.rs
+
+crates/bench/../../examples/sql.rs:

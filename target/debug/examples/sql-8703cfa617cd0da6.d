@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql-8703cfa617cd0da6.d: crates/bench/../../examples/sql.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql-8703cfa617cd0da6.rmeta: crates/bench/../../examples/sql.rs Cargo.toml
+
+crates/bench/../../examples/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

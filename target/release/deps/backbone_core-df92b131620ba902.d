@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/backbone_core-df92b131620ba902.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libbackbone_core-df92b131620ba902.rlib: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libbackbone_core-df92b131620ba902.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/topk.rs:

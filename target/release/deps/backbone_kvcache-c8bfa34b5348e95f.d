@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/backbone_kvcache-c8bfa34b5348e95f.d: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/release/deps/libbackbone_kvcache-c8bfa34b5348e95f.rlib: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/release/deps/libbackbone_kvcache-c8bfa34b5348e95f.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/pinning.rs:
+crates/kvcache/src/sim.rs:
+crates/kvcache/src/trace.rs:

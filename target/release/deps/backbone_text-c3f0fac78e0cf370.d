@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/backbone_text-c3f0fac78e0cf370.d: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libbackbone_text-c3f0fac78e0cf370.rlib: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/release/deps/libbackbone_text-c3f0fac78e0cf370.rmeta: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/bm25.rs:
+crates/text/src/index.rs:
+crates/text/src/query.rs:
+crates/text/src/tokenize.rs:

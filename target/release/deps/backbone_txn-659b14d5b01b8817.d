@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/backbone_txn-659b14d5b01b8817.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/release/deps/libbackbone_txn-659b14d5b01b8817.rlib: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/release/deps/libbackbone_txn-659b14d5b01b8817.rmeta: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/backbone_vector-b8ccaa14c0afc897.d: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs
+
+/root/repo/target/release/deps/libbackbone_vector-b8ccaa14c0afc897.rlib: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs
+
+/root/repo/target/release/deps/libbackbone_vector-b8ccaa14c0afc897.rmeta: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs
+
+crates/vector/src/lib.rs:
+crates/vector/src/dataset.rs:
+crates/vector/src/distance.rs:
+crates/vector/src/exact.rs:
+crates/vector/src/hnsw.rs:
+crates/vector/src/ivf.rs:
+crates/vector/src/recall.rs:

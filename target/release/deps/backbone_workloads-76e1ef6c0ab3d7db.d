@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/backbone_workloads-76e1ef6c0ab3d7db.d: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libbackbone_workloads-76e1ef6c0ab3d7db.rlib: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/release/deps/libbackbone_workloads-76e1ef6c0ab3d7db.rmeta: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/disciplines.rs:
+crates/workloads/src/hybrid.rs:
+crates/workloads/src/orm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/tpch.rs:

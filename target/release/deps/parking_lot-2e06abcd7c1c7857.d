@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-2e06abcd7c1c7857.d: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2e06abcd7c1c7857.rlib: shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-2e06abcd7c1c7857.rmeta: shims/parking_lot/src/lib.rs
+
+shims/parking_lot/src/lib.rs:

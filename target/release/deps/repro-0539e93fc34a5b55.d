@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-0539e93fc34a5b55.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-0539e93fc34a5b55: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,8 +1,12 @@
 //! Property tests for the replacement-policy family.
 
+use backbone_storage::bufferpool::BufferPool;
 use backbone_storage::cache::CacheSim;
+use backbone_storage::disk::DiskManager;
 use backbone_storage::eviction::PolicyKind;
+use backbone_storage::Metrics;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -76,6 +80,51 @@ proptest! {
         }
     }
 
+    /// A cache mirrored into the shared [`Metrics`] registry holds
+    /// `hits + misses == lookups` there, and the registry agrees with the
+    /// local stats — for every policy.
+    #[test]
+    fn registry_counters_hold_invariant(
+        trace in proptest::collection::vec(0u64..40, 1..300),
+        capacity in 1usize..16,
+    ) {
+        for kind in PolicyKind::online() {
+            let metrics = Metrics::new();
+            let mut sim = CacheSim::new(capacity, kind.build(capacity, None))
+                .with_metrics(&metrics, "cache");
+            let s = sim.run(&trace);
+            let v = |c: &str| metrics.value(&format!("cache.{c}"));
+            prop_assert_eq!(v("hits") + v("misses"), v("lookups"), "{}", kind.name());
+            prop_assert_eq!(v("lookups"), trace.len() as u64);
+            prop_assert_eq!(
+                (v("hits"), v("misses"), v("evictions")),
+                (s.hits, s.misses, s.evictions)
+            );
+        }
+    }
+
+    /// The buffer pool's `bufferpool.*` counters obey the same invariant
+    /// under random page traffic, and match [`BufferPool::stats`].
+    #[test]
+    fn bufferpool_registry_counters_hold_invariant(
+        accesses in proptest::collection::vec(0usize..24, 1..200),
+        capacity in 1usize..8,
+    ) {
+        let metrics = Metrics::new();
+        let disk = Arc::new(DiskManager::new());
+        let pages: Vec<_> = (0..24).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::with_metrics(disk, capacity, PolicyKind::Lru, &metrics);
+        for &a in &accesses {
+            pool.fetch(pages[a]).unwrap();
+        }
+        let v = |c: &str| metrics.value(&format!("bufferpool.{c}"));
+        prop_assert_eq!(v("hits") + v("misses"), v("lookups"));
+        prop_assert_eq!(v("lookups"), accesses.len() as u64);
+        let stats = pool.stats();
+        prop_assert_eq!((v("hits"), v("misses")), (stats.hits, stats.misses));
+        prop_assert_eq!(v("evictions"), stats.evictions);
+    }
+
     /// Policies must stay correct when the same key is accessed repeatedly
     /// between inserts (regression guard for bookkeeping bugs).
     #[test]
@@ -96,7 +145,9 @@ proptest! {
 #[test]
 fn belady_matches_hand_computed_optimum() {
     // Textbook example: capacity 3, trace from the OS course slides.
-    let trace = [7u64, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1];
+    let trace = [
+        7u64, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2, 1, 2, 0, 1, 7, 0, 1,
+    ];
     let mut sim = CacheSim::new(3, PolicyKind::Belady.build(3, Some(&trace)));
     let stats = sim.run(&trace);
     // Known MIN result for this trace: 9 faults (with 3 cold) -> 11 hits.

@@ -2,7 +2,9 @@
 //! hand-computed truths on generated data.
 
 use backbone_query::logical::{asc, desc};
-use backbone_query::{avg, col, count_star, execute, lit, max, min, sum, Catalog, ExecOptions, LogicalPlan};
+use backbone_query::{
+    avg, col, count_star, execute, lit, max, min, sum, Catalog, ExecOptions, LogicalPlan,
+};
 use backbone_storage::Value;
 use backbone_workloads::tpch;
 
@@ -50,7 +52,10 @@ fn join_fanout_matches_manual() {
     // customer ⋈ orders: one row per order (every o_custkey exists).
     let plan = LogicalPlan::scan("customer", &cat)
         .unwrap()
-        .join_on(LogicalPlan::scan("orders", &cat).unwrap(), vec![("c_custkey", "o_custkey")])
+        .join_on(
+            LogicalPlan::scan("orders", &cat).unwrap(),
+            vec![("c_custkey", "o_custkey")],
+        )
         .aggregate(vec![], vec![count_star().alias("n")]);
     let out = execute(plan, &cat, &ExecOptions::default()).unwrap();
     assert_eq!(
@@ -90,13 +95,21 @@ fn aggregates_agree_with_manual_math() {
     let out = execute(plan, &cat, &ExecOptions::default()).unwrap();
     let li = cat.table("lineitem").unwrap().to_batch().unwrap();
     let q = li.column_by_name("l_quantity").unwrap();
-    let vals: Vec<f64> = (0..li.num_rows()).map(|i| q.value(i).as_float().unwrap()).collect();
+    let vals: Vec<f64> = (0..li.num_rows())
+        .map(|i| q.value(i).as_float().unwrap())
+        .collect();
     let s: f64 = vals.iter().sum();
     let row = out.row(0);
     assert!((row[0].as_float().unwrap() - s).abs() < 1e-6);
     assert!((row[1].as_float().unwrap() - s / vals.len() as f64).abs() < 1e-9);
-    assert_eq!(row[2].as_float().unwrap(), vals.iter().cloned().fold(f64::MAX, f64::min));
-    assert_eq!(row[3].as_float().unwrap(), vals.iter().cloned().fold(f64::MIN, f64::max));
+    assert_eq!(
+        row[2].as_float().unwrap(),
+        vals.iter().cloned().fold(f64::MAX, f64::min)
+    );
+    assert_eq!(
+        row[3].as_float().unwrap(),
+        vals.iter().cloned().fold(f64::MIN, f64::max)
+    );
     assert_eq!(row[4], Value::Int(vals.len() as i64));
 }
 
@@ -129,7 +142,10 @@ fn parallel_scans_agree_with_serial_across_queries() {
             for (vx, vy) in x.iter().zip(y) {
                 match (vx.as_float(), vy.as_float()) {
                     (Some(fx), Some(fy)) => {
-                        assert!((fx - fy).abs() < 1e-6 * fx.abs().max(1.0), "{name}: {fx} vs {fy}")
+                        assert!(
+                            (fx - fy).abs() < 1e-6 * fx.abs().max(1.0),
+                            "{name}: {fx} vs {fy}"
+                        )
                     }
                     _ => assert_eq!(vx, vy, "{name}"),
                 }
@@ -173,6 +189,58 @@ fn explain_is_stable_and_informative() {
 }
 
 #[test]
+fn explain_analyze_q3_reports_per_operator_truth() {
+    let cat = catalog();
+    let plan = backbone_workloads::queries::q3(&cat, "BUILDING", 1100).unwrap();
+    let (report, result) =
+        backbone_query::explain_analyze(plan, &cat, &ExecOptions::default()).unwrap();
+
+    // The header carries the measured total: actual row count and wall time.
+    assert!(result.num_rows() <= 10);
+    assert!(
+        report.contains(&format!("actual {} rows", result.num_rows())),
+        "header disagrees with result:\n{report}"
+    );
+
+    // Q3's shape survives into the physical plan: three scans, two hash
+    // joins, one aggregation.
+    for op in ["TableScan", "HashJoin", "HashAggregate"] {
+        assert!(report.contains(op), "missing {op} in:\n{report}");
+    }
+
+    // Every operator line is annotated with measured rows and elapsed time.
+    let annotated: Vec<&str> = report.lines().filter(|l| l.contains("rows_out=")).collect();
+    assert!(
+        annotated.len() >= 6,
+        "expected >= 6 annotated operators:\n{report}"
+    );
+    for line in &annotated {
+        assert!(line.contains("time="), "untimed operator line: {line}");
+        // Leaves (scans) have no plan inputs; everything else reports
+        // consumed rows too.
+        assert!(
+            line.contains("rows_in=") || line.contains("TableScan"),
+            "unannotated operator line: {line}"
+        );
+    }
+    assert!(
+        report.contains("rows_in="),
+        "no operator reported rows_in:\n{report}"
+    );
+
+    // Engine truth: the root operator's measured output is the result size.
+    let rows_out = |line: &str| -> u64 {
+        let tail = &line[line.find("rows_out=").unwrap() + "rows_out=".len()..];
+        tail.chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(rows_out(annotated[0]), result.num_rows() as u64);
+}
+
+#[test]
 fn fifty_random_filter_queries_match_model() {
     // Randomized differential test: engine vs a naive row-loop model.
     use rand::prelude::*;
@@ -180,11 +248,15 @@ fn fifty_random_filter_queries_match_model() {
     let orders = cat.table("orders").unwrap().to_batch().unwrap();
     let dates: Vec<i64> = {
         let c = orders.column_by_name("o_orderdate").unwrap();
-        (0..orders.num_rows()).map(|i| c.value(i).as_int().unwrap()).collect()
+        (0..orders.num_rows())
+            .map(|i| c.value(i).as_int().unwrap())
+            .collect()
     };
     let prices: Vec<f64> = {
         let c = orders.column_by_name("o_totalprice").unwrap();
-        (0..orders.num_rows()).map(|i| c.value(i).as_float().unwrap()).collect()
+        (0..orders.num_rows())
+            .map(|i| c.value(i).as_float().unwrap())
+            .collect()
     };
     let mut rng = StdRng::seed_from_u64(5);
     for _ in 0..50 {
@@ -192,7 +264,11 @@ fn fifty_random_filter_queries_match_model() {
         let p = rng.gen_range(0.0..300_000.0f64);
         let plan = LogicalPlan::scan("orders", &cat)
             .unwrap()
-            .filter(col("o_orderdate").gt_eq(lit(d)).and(col("o_totalprice").lt(lit(p))))
+            .filter(
+                col("o_orderdate")
+                    .gt_eq(lit(d))
+                    .and(col("o_totalprice").lt(lit(p))),
+            )
             .aggregate(vec![], vec![count_star().alias("n")]);
         let out = execute(plan, &cat, &ExecOptions::default()).unwrap();
         let expected = dates

@@ -2,7 +2,9 @@
 //! bolt-on composition must agree on answers whenever the bolt-on has
 //! enough information, and both must honor the relational filter exactly.
 
-use backbone_core::{bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexKind};
+use backbone_core::{
+    bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexSpec,
+};
 use backbone_query::{col, lit};
 use backbone_storage::{DataType, Field, Schema, Value};
 use backbone_vector::{Dataset, Metric};
@@ -40,12 +42,16 @@ fn build_db(products: usize, seed: u64) -> Database {
             .collect(),
     )
     .unwrap();
-    db.create_text_index_from("products", catalog.products.iter().map(|p| p.description.as_str()));
+    db.create_text_index_from(
+        "products",
+        catalog.products.iter().map(|p| p.description.as_str()),
+    )
+    .unwrap();
     let mut ds = Dataset::new(8);
     for p in &catalog.products {
         ds.push(p.id, &p.embedding);
     }
-    db.create_vector_index("products", ds, Metric::L2, VectorIndexKind::Exact)
+    db.create_vector_index("products", ds, VectorIndexSpec::exact(Metric::L2))
         .unwrap();
     db
 }
@@ -142,7 +148,7 @@ fn hnsw_backed_unified_search_mostly_matches_exact() {
         for p in &catalog.products {
             ds.push(p.id, &p.embedding);
         }
-        db.create_vector_index("products", ds, Metric::L2, VectorIndexKind::Hnsw)
+        db.create_vector_index("products", ds, VectorIndexSpec::hnsw(Metric::L2))
             .unwrap();
         db
     };

@@ -33,7 +33,8 @@ fn build_catalog(rows: &[(i64, i64, u8)]) -> MemCatalog {
     ]);
     let mut t2 = Table::with_group_size(schema2, 16);
     for k in 0..8i64 {
-        t2.append_row(vec![Value::Int(k), Value::Int(k * 100)]).unwrap();
+        t2.append_row(vec![Value::Int(k), Value::Int(k * 100)])
+            .unwrap();
     }
     cat.register("dim", t2);
     cat
@@ -48,10 +49,17 @@ fn build_plan(cat: &MemCatalog, shape: u8, threshold: i64) -> LogicalPlan {
             .project(vec![col("a"), col("b").add(lit(1i64)).alias("b1")]),
         1 => scan
             .filter(col("a").lt(lit(threshold)).and(lit(true)))
-            .aggregate(vec![col("tag")], vec![sum(col("b")).alias("s"), count_star().alias("n")])
+            .aggregate(
+                vec![col("tag")],
+                vec![sum(col("b")).alias("s"), count_star().alias("n")],
+            )
             .sort(vec![backbone_query::logical::asc(col("tag"))]),
         2 => scan
-            .project(vec![col("a"), col("b").modulo(lit(8i64)).alias("bk"), col("tag")])
+            .project(vec![
+                col("a"),
+                col("b").modulo(lit(8i64)).alias("bk"),
+                col("tag"),
+            ])
             .join_on(LogicalPlan::scan("dim", cat).unwrap(), vec![("bk", "k")])
             .filter(col("a").gt_eq(lit(threshold)).or(col("w").gt(lit(300i64))))
             .aggregate(vec![], vec![count_star().alias("n")]),
@@ -89,7 +97,11 @@ proptest! {
         let mut rule_sets: Vec<Vec<Rule>> = Rule::all().into_iter().map(|r| vec![r]).collect();
         rule_sets.push(Rule::all());
         for rules in rule_sets {
-            let opts = ExecOptions { parallelism: 1, rules: Some(rules.clone()) };
+            let opts = ExecOptions {
+                parallelism: 1,
+                rules: Some(rules.clone()),
+                ..ExecOptions::default()
+            };
             let got = execute(plan.clone(), &cat, &opts).unwrap().to_rows();
             prop_assert_eq!(&got, &reference, "rules {:?} changed the answer", rules);
         }

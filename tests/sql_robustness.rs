@@ -1,7 +1,7 @@
 //! SQL front-end robustness: the parser must never panic, and structured
 //! random queries must round-trip through planning and execution.
 
-use backbone_query::{parse_select, Catalog, ExecOptions, MemCatalog};
+use backbone_query::{parse_select, ExecOptions, MemCatalog};
 use backbone_storage::{DataType, Field, Schema, Table, Value};
 use proptest::prelude::*;
 

@@ -17,9 +17,18 @@ fn engines_with_wal() -> Vec<(Arc<dyn KvEngine>, Arc<Wal>)> {
     let w2 = Arc::new(Wal::new(wal_cfg));
     let w3 = Arc::new(Wal::new(wal_cfg));
     vec![
-        (Arc::new(SerialEngine::new(Some(w1.clone()))) as Arc<dyn KvEngine>, w1),
-        (Arc::new(TwoPlEngine::new(Some(w2.clone()))) as Arc<dyn KvEngine>, w2),
-        (Arc::new(MvccEngine::new(Some(w3.clone()))) as Arc<dyn KvEngine>, w3),
+        (
+            Arc::new(SerialEngine::new(Some(w1.clone()))) as Arc<dyn KvEngine>,
+            w1,
+        ),
+        (
+            Arc::new(TwoPlEngine::new(Some(w2.clone()))) as Arc<dyn KvEngine>,
+            w2,
+        ),
+        (
+            Arc::new(MvccEngine::new(Some(w3.clone()))) as Arc<dyn KvEngine>,
+            w3,
+        ),
     ]
 }
 
@@ -44,7 +53,12 @@ fn money_conservation_under_heavy_contention() {
             engine.name()
         );
         let total: u64 = (0..config.keys).map(|k| engine.read(k).unwrap_or(0)).sum();
-        assert_eq!(total, config.keys * INITIAL_BALANCE, "{} lost money", engine.name());
+        assert_eq!(
+            total,
+            config.keys * INITIAL_BALANCE,
+            "{} lost money",
+            engine.name()
+        );
     }
 }
 
@@ -150,8 +164,16 @@ fn wal_order_matches_commit_order_for_blind_writes() {
     for record in wal.replay() {
         apply_record(&recovered, &record);
     }
-    assert_eq!(recovered.read(1), engine.read(1), "last-writer diverged on key 1");
-    assert_eq!(recovered.read(2), engine.read(2), "last-writer diverged on key 2");
+    assert_eq!(
+        recovered.read(1),
+        engine.read(1),
+        "last-writer diverged on key 1"
+    );
+    assert_eq!(
+        recovered.read(2),
+        engine.read(2),
+        "last-writer diverged on key 2"
+    );
 }
 
 #[test]
