@@ -1,13 +1,21 @@
-//! The `Database` handle: tables, indexes, and query execution.
+//! The `Database` handle: tables, indexes, query execution, and the
+//! durable open/recover lifecycle.
 
+use crate::durability::{
+    self, DbOp, Durability, DurabilityOptions, RecoveredState, RecoveryReport,
+};
 use crate::error::{Error, Result};
 use crate::index::VectorIndexSpec;
+use crate::session::{SearchRequest, Session};
 use backbone_query::{ExecOptions, LogicalPlan, MemCatalog, Metrics, Statement};
+use backbone_storage::checkpoint::write_checkpoint;
 use backbone_storage::{DataType, Field, RecordBatch, Schema, Table, Value};
 use backbone_text::InvertedIndex;
+use backbone_txn::wal::LogDevice;
 use backbone_vector::{Dataset, VectorIndex};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 /// An embedded multi-workload database.
@@ -15,6 +23,12 @@ use std::sync::Arc;
 /// Rows are addressed by ordinal (0-based insertion order); text and vector
 /// indexes use the same ordinals as document/vector ids, which is what lets
 /// the hybrid engine intersect the three worlds without any id mapping.
+///
+/// Constructed in-memory ([`Database::open_in_memory`]) or durable
+/// ([`Database::open`]): a durable database write-ahead-logs every
+/// `create_table`/`insert`, checkpoints periodically, and recovers its
+/// state on reopen — committed data survives a crash, and a torn log tail
+/// is truncated instead of panicking.
 ///
 /// Every method returns the unified [`Error`]; lower-layer causes stay
 /// reachable through [`std::error::Error::source`].
@@ -25,12 +39,20 @@ pub struct Database {
     vector_indexes: RwLock<HashMap<String, Arc<dyn VectorIndex>>>,
     exec: ExecOptions,
     metrics: Metrics,
+    durability: Option<Durability>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Database {
-    /// An empty database with default execution options.
+    /// An empty in-memory database with default execution options.
     pub fn new() -> Database {
         Database::with_options(ExecOptions::default())
+    }
+
+    /// An empty in-memory database — nothing is persisted. Alias of
+    /// [`Database::new`] that reads naturally next to [`Database::open`].
+    pub fn open_in_memory() -> Database {
+        Database::new()
     }
 
     /// An empty database with custom execution options (parallelism,
@@ -45,6 +67,85 @@ impl Database {
             vector_indexes: RwLock::new(HashMap::new()),
             exec,
             metrics,
+            durability: None,
+            recovery: None,
+        }
+    }
+
+    /// Open (or create) a durable database in directory `dir` with default
+    /// durability options (group-commit fsync, checkpoint every 1024 ops).
+    ///
+    /// Recovery runs before this returns: the newest checkpoint is loaded,
+    /// the WAL tail is replayed on top of it, and a torn or corrupt tail is
+    /// truncated at the last valid record. [`Database::recovery_report`]
+    /// says what was found.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(dir, DurabilityOptions::default())
+    }
+
+    /// [`Database::open`] with explicit [`DurabilityOptions`].
+    pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Database> {
+        let (durability, state) = Durability::open(dir.as_ref(), opts)?;
+        Database::recover(durability, state)
+    }
+
+    /// Open a durable database whose WAL writes go through a caller-supplied
+    /// [`LogDevice`] — the fault-injection entry point: pass a
+    /// [`backbone_txn::fault::FaultFile`] to crash the log deterministically
+    /// mid-run, then reopen the directory with [`Database::open`] to
+    /// exercise recovery. The checkpoint file still lives in `dir`.
+    pub fn open_with_device(
+        dir: impl AsRef<Path>,
+        device: Box<dyn LogDevice>,
+        opts: DurabilityOptions,
+    ) -> Result<Database> {
+        let (durability, state) = Durability::open_with_device(dir.as_ref(), device, opts)?;
+        Database::recover(durability, state)
+    }
+
+    /// Rebuild in-memory state from a checkpoint plus the WAL tail.
+    fn recover(durability: Durability, state: RecoveredState) -> Result<Database> {
+        let mut db = Database::with_options(ExecOptions::default());
+        let mut report = RecoveryReport {
+            wal_bytes_dropped: state.replay.bytes_dropped,
+            ..RecoveryReport::default()
+        };
+        if let Some(ckpt) = state.checkpoint {
+            report.checkpoint_lsn = ckpt.lsn;
+            report.checkpoint_tables = ckpt.tables.len();
+            let mut tables = db.tables.write();
+            for (name, table) in ckpt.tables {
+                db.catalog.register(&name, table.clone());
+                tables.insert(name, table);
+            }
+        }
+        // Replay only the log suffix the checkpoint does not cover; records
+        // at or below its LSN are already in the snapshot (this is what
+        // keeps replay idempotent even if a crash separated the checkpoint
+        // rename from the log truncation).
+        for rec in &state.replay.records {
+            if rec.lsn <= report.checkpoint_lsn {
+                continue;
+            }
+            db.apply_op(durability::decode_op(&rec.payload)?)?;
+            report.replayed_records += 1;
+        }
+        db.metrics
+            .counter("wal.recovered_records")
+            .add(report.replayed_records as u64);
+        db.metrics
+            .counter("wal.bytes_dropped")
+            .add(report.wal_bytes_dropped);
+        db.durability = Some(durability);
+        db.recovery = Some(report);
+        Ok(db)
+    }
+
+    /// Apply a recovered op without re-logging it.
+    fn apply_op(&self, op: DbOp) -> Result<()> {
+        match op {
+            DbOp::CreateTable { name, schema } => self.apply_create(name, schema),
+            DbOp::Insert { table, rows } => self.apply_insert(&table, rows),
         }
     }
 
@@ -55,9 +156,30 @@ impl Database {
         &self.metrics
     }
 
-    /// Create an empty table.
+    /// Create an empty table. On a durable database the operation is
+    /// write-ahead-logged and acknowledged only once durable under the
+    /// configured fsync policy.
     pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<()> {
         let name = name.into();
+        let lsn = {
+            let mut tables = self.tables.write();
+            if tables.contains_key(&name) {
+                return Err(Error::TableExists(name));
+            }
+            let table = Table::new(schema.clone());
+            self.catalog.register(&name, table.clone());
+            tables.insert(name.clone(), table);
+            // Log inside the lock: WAL order == commit order.
+            match &self.durability {
+                Some(d) => Some(d.log(&durability::encode_create(&name, &schema))?),
+                None => None,
+            }
+        };
+        self.finish_durable(lsn)
+    }
+
+    /// The non-logging core of `create_table`, shared with recovery replay.
+    fn apply_create(&self, name: String, schema: Arc<Schema>) -> Result<()> {
         let mut tables = self.tables.write();
         if tables.contains_key(&name) {
             return Err(Error::TableExists(name));
@@ -84,7 +206,37 @@ impl Database {
     /// copies), and catalog registration happens *after* the table write
     /// lock is released — concurrent readers keep querying the previous
     /// snapshot instead of waiting behind the append.
+    ///
+    /// On a durable database the rows are write-ahead-logged after they
+    /// validate (a failed insert leaves no durable record), and the call
+    /// returns only once the record is durable under the fsync policy —
+    /// concurrent inserters share fsyncs via group commit.
     pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        // Encode before the rows are consumed by the append below.
+        let record = self
+            .durability
+            .as_ref()
+            .map(|_| durability::encode_insert(name, &rows));
+        let (snapshot, lsn) = {
+            let mut tables = self.tables.write();
+            let table = tables
+                .get_mut(name)
+                .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
+            for row in rows {
+                table.append_row(row)?;
+            }
+            let lsn = match (&self.durability, record) {
+                (Some(d), Some(rec)) => Some(d.log(&rec)?),
+                _ => None,
+            };
+            (table.clone(), lsn)
+        };
+        self.catalog.register(name, snapshot);
+        self.finish_durable(lsn)
+    }
+
+    /// The non-logging core of `insert`, shared with recovery replay.
+    fn apply_insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
         let snapshot = {
             let mut tables = self.tables.write();
             let table = tables
@@ -97,6 +249,91 @@ impl Database {
         };
         self.catalog.register(name, snapshot);
         Ok(())
+    }
+
+    /// Wait for a logged op's durability and run the checkpoint cadence.
+    /// Called outside every lock so group commit can batch waiters.
+    fn finish_durable(&self, lsn: Option<u64>) -> Result<()> {
+        if let Some(lsn) = lsn {
+            let d = self.durability.as_ref().expect("lsn implies durability");
+            d.wait(lsn)?;
+            if d.checkpoint_due() {
+                self.checkpoint()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Take a checkpoint now: snapshot every table to disk atomically,
+    /// stamp it with the current WAL position, and truncate the log through
+    /// that position. A no-op on in-memory databases.
+    ///
+    /// Safe against concurrent writers: appends land inside the table write
+    /// lock, so the LSN read under that lock covers exactly the rows in the
+    /// snapshot; anything logged after it survives truncation and replays
+    /// on top of this checkpoint.
+    pub fn checkpoint(&self) -> Result<()> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let _serialize = d.checkpoint_lock().lock();
+        let (snapshot, lsn) = {
+            let mut tables = self.tables.write();
+            for t in tables.values_mut() {
+                t.flush()?;
+            }
+            let snap: Vec<(String, Table)> =
+                tables.iter().map(|(n, t)| (n.clone(), t.clone())).collect();
+            (snap, d.wal().appended_lsn())
+        };
+        let refs: Vec<(&str, &Table)> = snapshot.iter().map(|(n, t)| (n.as_str(), t)).collect();
+        write_checkpoint(d.checkpoint_path(), lsn, &refs)?;
+        d.wal().truncate_through(lsn)?;
+        d.checkpoint_done();
+        self.metrics.counter("wal.checkpoints").incr();
+        Ok(())
+    }
+
+    /// Force every logged op to stable storage regardless of fsync policy
+    /// (the durability point under [`FsyncPolicy::Never`]). A no-op on
+    /// in-memory databases.
+    ///
+    /// [`FsyncPolicy::Never`]: backbone_txn::wal::FsyncPolicy::Never
+    pub fn wal_sync(&self) -> Result<()> {
+        if let Some(d) = &self.durability {
+            d.wal().flush_all()?;
+        }
+        Ok(())
+    }
+
+    /// Whether this database persists to disk.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// What recovery found when this database was opened (`None` for
+    /// in-memory databases).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Number of WAL fsyncs performed since open (`None` in-memory). Group
+    /// commit makes this grow slower than the commit count under load.
+    pub fn wal_fsyncs(&self) -> Option<u64> {
+        self.durability.as_ref().map(|d| d.wal().fsyncs())
+    }
+
+    /// Start an interactive [`Session`]: a lightweight handle carrying its
+    /// own execution options that routes queries back to this database.
+    pub fn session(&self) -> Session<'_> {
+        Session::new(self)
+    }
+
+    /// Start building a hybrid search against `table` (relational filter +
+    /// keyword + vector in one request). Shorthand for
+    /// [`Session::search`] on a default session.
+    pub fn search(&self, table: impl Into<String>) -> SearchRequest<'_> {
+        SearchRequest::new(self, table.into())
     }
 
     /// Start a declarative query against a table.
@@ -117,16 +354,22 @@ impl Database {
     /// SQL and the builder API lower into the same logical algebra, so they
     /// optimize and execute identically.
     pub fn sql(&self, query: &str) -> Result<RecordBatch> {
+        self.sql_with(query, &self.exec)
+    }
+
+    /// [`Database::sql`] with explicit execution options (the [`Session`]
+    /// routing point).
+    pub fn sql_with(&self, query: &str, opts: &ExecOptions) -> Result<RecordBatch> {
         match backbone_query::parse_statement(query, &self.catalog)? {
-            Statement::Select(plan) => self.execute(plan),
+            Statement::Select(plan) => self.execute_with(plan, opts),
             Statement::Explain {
                 plan,
                 analyze: false,
-            } => report_batch(&self.explain(&plan)?),
+            } => report_batch(&self.explain_with(&plan, opts)?),
             Statement::Explain {
                 plan,
                 analyze: true,
-            } => report_batch(&self.explain_analyze(plan)?.0),
+            } => report_batch(&self.explain_analyze_with(plan, opts)?.0),
         }
     }
 
@@ -137,10 +380,15 @@ impl Database {
 
     /// EXPLAIN a plan: logical and optimized forms with estimates.
     pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        self.explain_with(plan, &self.exec)
+    }
+
+    /// [`Database::explain`] with explicit execution options.
+    pub fn explain_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<String> {
         Ok(backbone_query::executor::explain(
             plan,
             &self.catalog,
-            &self.exec,
+            opts,
         )?)
     }
 
@@ -149,11 +397,22 @@ impl Database {
     /// counts, and elapsed time, alongside the query result. Operator
     /// totals also accumulate into [`Database::metrics`] (`op.*`).
     pub fn explain_analyze(&self, plan: LogicalPlan) -> Result<(String, RecordBatch)> {
-        Ok(backbone_query::explain_analyze(
-            plan,
-            &self.catalog,
-            &self.exec,
-        )?)
+        self.explain_analyze_with(plan, &self.exec)
+    }
+
+    /// [`Database::explain_analyze`] with explicit execution options.
+    pub fn explain_analyze_with(
+        &self,
+        plan: LogicalPlan,
+        opts: &ExecOptions,
+    ) -> Result<(String, RecordBatch)> {
+        Ok(backbone_query::explain_analyze(plan, &self.catalog, opts)?)
+    }
+
+    /// The database's baseline execution options (sessions start from a
+    /// clone of these).
+    pub(crate) fn exec_options(&self) -> &ExecOptions {
+        &self.exec
     }
 
     /// The underlying catalog (for the query layer's free functions).
@@ -304,6 +563,16 @@ fn report_batch(report: &str) -> Result<RecordBatch> {
 impl Default for Database {
     fn default() -> Self {
         Database::new()
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        // Best-effort: push any policy-deferred WAL records to disk on a
+        // clean shutdown. A crash (the whole point of the WAL) skips this.
+        if let Some(d) = &self.durability {
+            let _ = d.wal().flush_all();
+        }
     }
 }
 

@@ -7,6 +7,7 @@
 
 use backbone_query::QueryError;
 use backbone_storage::StorageError;
+use backbone_txn::wal::WalError;
 use std::fmt;
 
 /// Any failure surfaced by the `backbone` facade.
@@ -16,6 +17,8 @@ pub enum Error {
     Query(QueryError),
     /// The storage layer failed outside of any query.
     Storage(StorageError),
+    /// The write-ahead log failed; the operation is not durable.
+    Wal(WalError),
     /// A facade call referenced a table that does not exist.
     TableNotFound(String),
     /// `create_table` with a name that is already registered.
@@ -47,6 +50,7 @@ impl fmt::Display for Error {
         match self {
             Error::Query(e) => write!(f, "query error: {e}"),
             Error::Storage(e) => write!(f, "storage error: {e}"),
+            Error::Wal(e) => write!(f, "durability error: {e}"),
             Error::TableNotFound(t) => write!(f, "table not found: {t}"),
             Error::TableExists(t) => write!(f, "table already exists: {t}"),
             Error::IndexCardinality {
@@ -70,8 +74,15 @@ impl std::error::Error for Error {
         match self {
             Error::Query(e) => Some(e),
             Error::Storage(e) => Some(e),
+            Error::Wal(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<WalError> for Error {
+    fn from(e: WalError) -> Self {
+        Error::Wal(e)
     }
 }
 

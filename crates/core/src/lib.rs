@@ -57,22 +57,41 @@
 //! (`hybrid.*`), and — when storage is wired to the same registry —
 //! buffer-pool traffic (`bufferpool.*`) accumulate as counters readable via
 //! [`Database::metrics`].
+//!
+//! ## Durability
+//!
+//! [`Database::open`] gives a directory-backed database: every
+//! `create_table`/`insert` is WAL-logged (checksummed, file-backed, group
+//! commit) before it is acknowledged, checkpoints snapshot tables and
+//! truncate the log, and reopening replays checkpoint + log tail (see
+//! [`durability`] and `DESIGN.md` § Durability & recovery). Per-caller
+//! execution state lives in [`Session`]s (`db.session()`), and hybrid
+//! queries are assembled with the [`SearchRequest`] builder
+//! (`db.search("t").keyword("...").vector(v).k(5).run()`).
 
 pub mod csv;
 pub mod database;
+pub mod durability;
 pub mod error;
 pub mod hybrid;
 pub mod index;
+pub mod session;
 pub mod topk;
 
 pub use database::Database;
+pub use durability::{DbOp, DurabilityOptions, RecoveryReport};
 pub use error::{Error, Result};
 pub use hybrid::{
     bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
     VectorIndexKind,
 };
 pub use index::VectorIndexSpec;
+pub use session::{SearchRequest, SearchResponse, SearchStrategy, Session};
 pub use topk::{ta_search, TaResult};
+
+// Durability policy knob, re-exported so `Database::open_with` callers
+// don't need a direct `backbone_txn` dependency.
+pub use backbone_txn::wal::FsyncPolicy;
 
 // The engine-wide counter registry type (defined in `backbone_storage`,
 // shared by every layer).

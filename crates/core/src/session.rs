@@ -1,0 +1,348 @@
+//! Sessions and the hybrid-search request builder.
+//!
+//! A [`Session`] is a lightweight per-caller handle over a shared
+//! [`Database`]: it carries its own [`ExecOptions`] (parallelism, optimizer
+//! rules) so two sessions can run the same database with different
+//! execution settings, while all data, indexes, durability, and metrics
+//! stay shared. Sessions borrow the database — they are handed out by
+//! [`Database::session`] and cost nothing to create or drop.
+//!
+//! [`SearchRequest`] consolidates the hybrid-search plumbing behind one
+//! typed builder (the same consuming-builder style as
+//! [`crate::VectorIndexSpec`]): filter, keywords, vector, `k`, and fusion
+//! weights compose fluently, and [`SearchRequest::run`] executes either the
+//! unified engine or the bolt-on baseline over the identical spec.
+
+use crate::database::Database;
+use crate::error::Result;
+use crate::hybrid::{
+    bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
+};
+use backbone_query::{ExecOptions, Expr, LogicalPlan};
+use backbone_storage::{RecordBatch, Schema, Value};
+use std::sync::Arc;
+
+/// A per-caller handle over a shared [`Database`].
+pub struct Session<'db> {
+    db: &'db Database,
+    opts: ExecOptions,
+}
+
+impl<'db> Session<'db> {
+    /// A session starting from the database's baseline execution options.
+    pub(crate) fn new(db: &'db Database) -> Session<'db> {
+        Session {
+            opts: db.exec_options().clone(),
+            db,
+        }
+    }
+
+    /// Set this session's scan parallelism (consuming builder).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Session<'db> {
+        self.opts.parallelism = parallelism;
+        self
+    }
+
+    /// Replace this session's execution options wholesale. The database's
+    /// metrics registry is kept so operator counters stay unified.
+    pub fn with_options(mut self, mut opts: ExecOptions) -> Session<'db> {
+        opts.metrics = self.opts.metrics.take();
+        self.opts = opts;
+        self
+    }
+
+    /// The session's current execution options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// The database this session runs against.
+    pub fn database(&self) -> &'db Database {
+        self.db
+    }
+
+    /// Parse and execute SQL under this session's options.
+    pub fn sql(&self, query: &str) -> Result<RecordBatch> {
+        self.db.sql_with(query, &self.opts)
+    }
+
+    /// Start a declarative query against a table.
+    pub fn query(&self, table: &str) -> Result<LogicalPlan> {
+        self.db.query(table)
+    }
+
+    /// Execute a plan under this session's options.
+    pub fn execute(&self, plan: LogicalPlan) -> Result<RecordBatch> {
+        self.db.execute_with(plan, &self.opts)
+    }
+
+    /// EXPLAIN a plan under this session's options.
+    pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
+        self.db.explain_with(plan, &self.opts)
+    }
+
+    /// EXPLAIN ANALYZE a plan under this session's options.
+    pub fn explain_analyze(&self, plan: LogicalPlan) -> Result<(String, RecordBatch)> {
+        self.db.explain_analyze_with(plan, &self.opts)
+    }
+
+    /// Create a table (durable when the database is; see
+    /// [`Database::create_table`]).
+    pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<()> {
+        self.db.create_table(name, schema)
+    }
+
+    /// Insert rows (durable when the database is; see [`Database::insert`]).
+    pub fn insert(&self, table: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        self.db.insert(table, rows)
+    }
+
+    /// Take a checkpoint now (see [`Database::checkpoint`]).
+    pub fn checkpoint(&self) -> Result<()> {
+        self.db.checkpoint()
+    }
+
+    /// Start building a hybrid search against `table`.
+    pub fn search(&self, table: impl Into<String>) -> SearchRequest<'db> {
+        SearchRequest::new(self.db, table.into())
+    }
+}
+
+/// Which architecture executes a [`SearchRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchStrategy {
+    /// The unified engine: one pass, filter pushed into both indexes.
+    Unified,
+    /// The bolt-on baseline: three independent services glued at the
+    /// client (the architecture E3 measures against).
+    BoltOn,
+}
+
+/// A hybrid search in flight: relational filter + keyword query + vector
+/// query over one table, fused into a single ranked result.
+///
+/// ```
+/// # use backbone_core::Database;
+/// # use backbone_query::{col, lit};
+/// # let db = Database::new();
+/// # db.create_table("docs", backbone_storage::Schema::new(vec![
+/// #     backbone_storage::Field::new("year", backbone_storage::DataType::Int64),
+/// #     backbone_storage::Field::new("body", backbone_storage::DataType::Utf8),
+/// # ])).unwrap();
+/// # db.insert("docs", vec![vec![backbone_storage::Value::Int(2024),
+/// #     backbone_storage::Value::str("column stores")]]).unwrap();
+/// # db.create_text_index("docs", "body").unwrap();
+/// let response = db
+///     .search("docs")
+///     .filter(col("year").gt(lit(2020i64)))
+///     .keyword("column stores")
+///     .k(5)
+///     .run()
+///     .unwrap();
+/// assert!(response.hits.len() <= 5);
+/// ```
+pub struct SearchRequest<'db> {
+    db: &'db Database,
+    spec: HybridSpec,
+    strategy: SearchStrategy,
+}
+
+/// The outcome of a [`SearchRequest`]: ranked hits plus the architectural
+/// cost accounting ([`SearchCost`]) the E3 experiment compares.
+#[derive(Debug, Clone)]
+pub struct SearchResponse {
+    /// Fused results, best first.
+    pub hits: Vec<HybridHit>,
+    /// What the search cost (candidates shipped, round trips).
+    pub cost: SearchCost,
+}
+
+impl<'db> SearchRequest<'db> {
+    pub(crate) fn new(db: &'db Database, table: String) -> SearchRequest<'db> {
+        SearchRequest {
+            db,
+            spec: HybridSpec {
+                table,
+                filter: None,
+                keyword: None,
+                vector: None,
+                k: 10,
+                weights: FusionWeights::default(),
+            },
+            strategy: SearchStrategy::Unified,
+        }
+    }
+
+    /// Restrict results to rows matching a relational predicate.
+    pub fn filter(mut self, predicate: Expr) -> SearchRequest<'db> {
+        self.spec.filter = Some(predicate);
+        self
+    }
+
+    /// Rank by BM25 relevance to a keyword query (requires a text index).
+    pub fn keyword(mut self, query: impl Into<String>) -> SearchRequest<'db> {
+        self.spec.keyword = Some(query.into());
+        self
+    }
+
+    /// Rank by similarity to a query embedding (requires a vector index).
+    pub fn vector(mut self, embedding: Vec<f32>) -> SearchRequest<'db> {
+        self.spec.vector = Some(embedding);
+        self
+    }
+
+    /// Result size (default 10).
+    pub fn k(mut self, k: usize) -> SearchRequest<'db> {
+        self.spec.k = k;
+        self
+    }
+
+    /// Set both fusion weights at once.
+    pub fn weights(mut self, weights: FusionWeights) -> SearchRequest<'db> {
+        self.spec.weights = weights;
+        self
+    }
+
+    /// Weight of the vector-similarity component.
+    pub fn vector_weight(mut self, weight: f64) -> SearchRequest<'db> {
+        self.spec.weights.vector = weight;
+        self
+    }
+
+    /// Weight of the BM25 text component.
+    pub fn text_weight(mut self, weight: f64) -> SearchRequest<'db> {
+        self.spec.weights.text = weight;
+        self
+    }
+
+    /// Execute through the bolt-on (three separate services) baseline
+    /// instead of the unified engine.
+    pub fn via_bolton(mut self) -> SearchRequest<'db> {
+        self.strategy = SearchStrategy::BoltOn;
+        self
+    }
+
+    /// The spec this builder has accumulated (for logging / tests).
+    pub fn spec(&self) -> &HybridSpec {
+        &self.spec
+    }
+
+    /// Run the search.
+    pub fn run(self) -> Result<SearchResponse> {
+        let (hits, cost) = match self.strategy {
+            SearchStrategy::Unified => unified_search(self.db, &self.spec)?,
+            SearchStrategy::BoltOn => bolton_search(self.db, &self.spec)?,
+        };
+        Ok(SearchResponse { hits, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use backbone_query::{col, lit};
+    use backbone_storage::{DataType, Field};
+
+    fn seeded_db() -> Database {
+        let db = Database::new();
+        db.create_table(
+            "t",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("txt", DataType::Utf8),
+            ]),
+        )
+        .unwrap();
+        db.insert(
+            "t",
+            vec![
+                vec![Value::Int(1), Value::str("red fox jumps")],
+                vec![Value::Int(2), Value::str("blue whale sings")],
+                vec![Value::Int(3), Value::str("red panda sleeps")],
+            ],
+        )
+        .unwrap();
+        db.create_text_index("t", "txt").unwrap();
+        db
+    }
+
+    #[test]
+    fn session_routes_sql_and_plans() {
+        let db = seeded_db();
+        let session = db.session();
+        let out = session.sql("SELECT id FROM t WHERE id > 1").unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let plan = session.query("t").unwrap().filter(col("id").eq(lit(3i64)));
+        assert_eq!(session.execute(plan).unwrap().num_rows(), 1);
+    }
+
+    #[test]
+    fn sessions_carry_independent_options() {
+        let db = seeded_db();
+        let serial = db.session();
+        let parallel = db.session().with_parallelism(4);
+        assert_eq!(
+            serial.options().parallelism,
+            parallel.options().parallelism - 3
+        );
+        // Both still see the same data.
+        assert_eq!(
+            serial.sql("SELECT id FROM t").unwrap().num_rows(),
+            parallel.sql("SELECT id FROM t").unwrap().num_rows(),
+        );
+    }
+
+    #[test]
+    fn session_writes_hit_the_shared_database() {
+        let db = seeded_db();
+        let session = db.session();
+        session
+            .insert("t", vec![vec![Value::Int(4), Value::str("green newt")]])
+            .unwrap();
+        assert_eq!(db.row_count("t"), Some(4));
+    }
+
+    #[test]
+    fn search_builder_matches_direct_spec() {
+        let db = seeded_db();
+        let response = db
+            .search("t")
+            .filter(col("id").gt(lit(1i64)))
+            .keyword("red")
+            .k(2)
+            .run()
+            .unwrap();
+        let spec = HybridSpec {
+            table: "t".into(),
+            filter: Some(col("id").gt(lit(1i64))),
+            keyword: Some("red".into()),
+            vector: None,
+            k: 2,
+            weights: FusionWeights::default(),
+        };
+        let (direct, _) = unified_search(&db, &spec).unwrap();
+        assert_eq!(response.hits, direct);
+        // Only row 3 ("red panda") passes both filter and keyword.
+        assert_eq!(response.hits[0].row, 2);
+    }
+
+    #[test]
+    fn bolton_strategy_runs_the_baseline() {
+        let db = seeded_db();
+        let unified = db.search("t").keyword("red").k(3).run().unwrap();
+        let bolton = db
+            .search("t")
+            .keyword("red")
+            .k(3)
+            .via_bolton()
+            .run()
+            .unwrap();
+        // Same fused ranking, different architecture: the bolt-on pays in
+        // round trips.
+        assert_eq!(
+            unified.hits.iter().map(|h| h.row).collect::<Vec<_>>(),
+            bolton.hits.iter().map(|h| h.row).collect::<Vec<_>>(),
+        );
+        assert!(bolton.cost.round_trips >= unified.cost.round_trips);
+    }
+}

@@ -1,0 +1,198 @@
+//! Checkpoint snapshots of table state.
+//!
+//! A checkpoint is a point-in-time serialization of every table (schema +
+//! rows) plus the WAL LSN the snapshot corresponds to. Recovery loads the
+//! newest checkpoint and replays only WAL records with a higher LSN, so the
+//! log can be truncated after each checkpoint instead of growing forever.
+//!
+//! The file is written atomically: serialize to `<path>.tmp`, fsync, then
+//! rename over the live file. A crash at any point leaves either the old
+//! checkpoint or the new one — never a half-written hybrid — and the
+//! whole-body CRC-32 trailer rejects torn or bit-flipped files that slip
+//! through anyway.
+
+use crate::codec::{self, Cursor};
+use crate::error::{Result, StorageError};
+use crate::table::Table;
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// File magic: "BCKP".
+const MAGIC: u32 = u32::from_le_bytes(*b"BCKP");
+/// Format version.
+const VERSION: u32 = 1;
+
+/// A decoded checkpoint: the WAL position it covers and the table snapshot.
+pub struct CheckpointData {
+    /// WAL records with LSN ≤ this value are already reflected in `tables`.
+    pub lsn: u64,
+    /// Every table at snapshot time, rebuilt and flushed.
+    pub tables: Vec<(String, Table)>,
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io(format!("{ctx}: {e}"))
+}
+
+/// Serialize `tables` as a checkpoint covering WAL position `lsn` and
+/// atomically replace the file at `path` with it.
+pub fn write_checkpoint(path: &Path, lsn: u64, tables: &[(&str, &Table)]) -> Result<()> {
+    let mut body = Vec::new();
+    codec::put_u32(&mut body, MAGIC);
+    codec::put_u32(&mut body, VERSION);
+    codec::put_u64(&mut body, lsn);
+    codec::put_u32(&mut body, tables.len() as u32);
+    for (name, table) in tables {
+        codec::put_str(&mut body, name);
+        codec::put_schema(&mut body, table.schema());
+        let batch = table.to_batch()?;
+        codec::put_u64(&mut body, batch.num_rows() as u64);
+        for i in 0..batch.num_rows() {
+            for v in batch.row(i) {
+                codec::put_value(&mut body, &v);
+            }
+        }
+    }
+    let crc = codec::crc32(&body);
+    codec::put_u32(&mut body, crc);
+
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = File::create(&tmp).map_err(|e| io_err("create checkpoint tmp", e))?;
+        f.write_all(&body)
+            .map_err(|e| io_err("write checkpoint", e))?;
+        f.sync_data().map_err(|e| io_err("sync checkpoint", e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("publish checkpoint", e))?;
+    Ok(())
+}
+
+/// Load the checkpoint at `path`; `Ok(None)` when no checkpoint exists yet.
+///
+/// A corrupt file (bad magic, bad CRC, truncated body) is an error, not a
+/// silent empty state — the caller decides whether to fall back.
+pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointData>> {
+    let bytes = match fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(io_err("read checkpoint", e)),
+    };
+    if bytes.len() < 4 {
+        return Err(StorageError::Corrupt("checkpoint shorter than CRC".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored_crc = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if codec::crc32(body) != stored_crc {
+        return Err(StorageError::Corrupt("checkpoint CRC mismatch".into()));
+    }
+    let mut cur = Cursor::new(body);
+    if cur.u32()? != MAGIC {
+        return Err(StorageError::Corrupt("not a checkpoint file".into()));
+    }
+    let version = cur.u32()?;
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported checkpoint version {version}"
+        )));
+    }
+    let lsn = cur.u64()?;
+    let n_tables = cur.u32()? as usize;
+    let mut tables = Vec::with_capacity(n_tables);
+    for _ in 0..n_tables {
+        let name = cur.str()?.to_string();
+        let schema = codec::read_schema(&mut cur)?;
+        let rows = cur.u64()? as usize;
+        let width = schema.len();
+        let mut table = Table::new(schema);
+        for _ in 0..rows {
+            let mut row = Vec::with_capacity(width);
+            for _ in 0..width {
+                row.push(codec::read_value(&mut cur)?);
+            }
+            table.append_row(row)?;
+        }
+        table.flush()?;
+        tables.push((name, table));
+    }
+    Ok(Some(CheckpointData { lsn, tables }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::types::{DataType, Value};
+
+    fn sample_table(rows: usize) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+        ]);
+        let mut t = Table::new(schema);
+        for i in 0..rows {
+            let name = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::str(format!("row-{i}"))
+            };
+            t.append_row(vec![Value::Int(i as i64), name]).unwrap();
+        }
+        t.flush().unwrap();
+        t
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("backbone-ckpt-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_tables_and_lsn() {
+        let path = temp_path("roundtrip");
+        let t = sample_table(10);
+        write_checkpoint(&path, 42, &[("items", &t)]).unwrap();
+        let back = read_checkpoint(&path).unwrap().unwrap();
+        assert_eq!(back.lsn, 42);
+        assert_eq!(back.tables.len(), 1);
+        let (name, rt) = &back.tables[0];
+        assert_eq!(name, "items");
+        assert_eq!(rt.num_rows(), 10);
+        assert_eq!(rt.to_batch().unwrap().row(4), t.to_batch().unwrap().row(4));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_none() {
+        let path = temp_path("missing");
+        let _ = fs::remove_file(&path);
+        assert!(read_checkpoint(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let path = temp_path("corrupt");
+        let t = sample_table(4);
+        write_checkpoint(&path, 7, &[("t", &t)]).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let path = temp_path("rewrite");
+        write_checkpoint(&path, 1, &[("a", &sample_table(2))]).unwrap();
+        write_checkpoint(&path, 9, &[("b", &sample_table(5))]).unwrap();
+        let back = read_checkpoint(&path).unwrap().unwrap();
+        assert_eq!(back.lsn, 9);
+        assert_eq!(back.tables[0].0, "b");
+        assert_eq!(back.tables[0].1.num_rows(), 5);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,297 @@
+//! Byte-level encoding shared by the durability subsystem.
+//!
+//! The WAL and the checkpoint file both need to serialize schemas, rows, and
+//! scalar [`Value`]s into self-describing bytes and to detect corruption on
+//! the way back in. This module is the single codec both sides use: CRC-32
+//! checksums, length-prefixed primitives, and value/schema round-trips.
+//! Decoding never panics — every malformed input surfaces as
+//! [`StorageError::Corrupt`].
+
+use crate::error::{Result, StorageError};
+use crate::schema::{Field, Schema};
+use crate::types::{DataType, Value};
+use std::sync::Arc;
+
+/// CRC-32 (IEEE 802.3) lookup table, computed at compile time.
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+/// Append a `u32` in little-endian.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` in little-endian.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked reader over encoded bytes.
+///
+/// Every accessor returns [`StorageError::Corrupt`] instead of panicking
+/// when the buffer is shorter than the encoding claims.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// A cursor at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Cursor<'a> {
+        Cursor { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed every byte.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consume `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(StorageError::Corrupt(format!(
+                "need {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Consume one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Consume a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// Consume a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|_| StorageError::Corrupt("invalid utf-8 in encoded string".into()))
+    }
+}
+
+const VALUE_NULL: u8 = 0;
+const VALUE_INT: u8 = 1;
+const VALUE_FLOAT: u8 = 2;
+const VALUE_STR: u8 = 3;
+const VALUE_BOOL: u8 = 4;
+
+/// Append one tagged scalar value.
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(VALUE_NULL),
+        Value::Int(i) => {
+            out.push(VALUE_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(VALUE_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(VALUE_STR);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(VALUE_BOOL);
+            out.push(*b as u8);
+        }
+    }
+}
+
+/// Decode one tagged scalar value.
+pub fn read_value(cur: &mut Cursor<'_>) -> Result<Value> {
+    match cur.u8()? {
+        VALUE_NULL => Ok(Value::Null),
+        VALUE_INT => Ok(Value::Int(cur.i64()?)),
+        VALUE_FLOAT => Ok(Value::Float(cur.f64()?)),
+        VALUE_STR => Ok(Value::str(cur.str()?)),
+        VALUE_BOOL => Ok(Value::Bool(cur.u8()? != 0)),
+        tag => Err(StorageError::Corrupt(format!("unknown value tag {tag}"))),
+    }
+}
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Utf8 => 2,
+        DataType::Bool => 3,
+    }
+}
+
+fn type_of_tag(tag: u8) -> Result<DataType> {
+    match tag {
+        0 => Ok(DataType::Int64),
+        1 => Ok(DataType::Float64),
+        2 => Ok(DataType::Utf8),
+        3 => Ok(DataType::Bool),
+        _ => Err(StorageError::Corrupt(format!("unknown type tag {tag}"))),
+    }
+}
+
+/// Append an encoded schema (field names, types, nullability).
+pub fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    put_u32(out, schema.len() as u32);
+    for f in schema.fields() {
+        put_str(out, &f.name);
+        out.push(type_tag(f.data_type));
+        out.push(f.nullable as u8);
+    }
+}
+
+/// Decode a schema written by [`put_schema`].
+pub fn read_schema(cur: &mut Cursor<'_>) -> Result<Arc<Schema>> {
+    let n = cur.u32()? as usize;
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = cur.str()?.to_string();
+        let data_type = type_of_tag(cur.u8()?)?;
+        let nullable = cur.u8()? != 0;
+        fields.push(Field {
+            name,
+            data_type,
+            nullable,
+        });
+    }
+    Ok(Schema::new(fields))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard IEEE CRC-32 test vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn values_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::str("héllo"),
+            Value::Bool(true),
+            Value::Bool(false),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for v in &vals {
+            assert_eq!(&read_value(&mut cur).unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn schema_round_trips() {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("name", DataType::Utf8),
+            Field::new("price", DataType::Float64),
+            Field::nullable("flag", DataType::Bool),
+        ]);
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        let back = read_schema(&mut Cursor::new(&buf)).unwrap();
+        assert_eq!(*back, *schema);
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut buf = Vec::new();
+        put_value(&mut buf, &Value::str("long enough to truncate"));
+        for cut in 0..buf.len() {
+            let mut cur = Cursor::new(&buf[..cut]);
+            assert!(read_value(&mut cur).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_error() {
+        assert!(matches!(
+            read_value(&mut Cursor::new(&[9u8])),
+            Err(StorageError::Corrupt(_))
+        ));
+        let buf = [1u8, 0, 0, 0, b'x', 9, 0];
+        assert!(read_schema(&mut Cursor::new(&buf)).is_err());
+    }
+}

@@ -29,6 +29,8 @@ pub enum StorageError {
     PageNotFound(u64),
     /// Corrupt or undecodable encoded data.
     Corrupt(String),
+    /// An operating-system I/O failure (message retains the source error).
+    Io(String),
 }
 
 impl fmt::Display for StorageError {
@@ -45,6 +47,7 @@ impl fmt::Display for StorageError {
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
             StorageError::PageNotFound(id) => write!(f, "page {id} not found"),
             StorageError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StorageError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }

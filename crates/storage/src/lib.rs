@@ -17,6 +17,8 @@
 //! - [`cache`]: a policy-driven cache simulator shared with the LLM KV-cache
 //!   study (experiment E4),
 //! - [`bufferpool`]: a pin/unpin page buffer pool over the page store,
+//! - [`codec`] / [`checkpoint`]: checksummed byte encodings and atomic
+//!   table snapshots for the durability subsystem,
 //! - [`metrics`]: the engine-wide [`metrics::Metrics`] counter registry that
 //!   the buffer pool, cache simulator, query operators, and the `Database`
 //!   facade all record into.
@@ -24,6 +26,8 @@
 pub mod batch;
 pub mod bufferpool;
 pub mod cache;
+pub mod checkpoint;
+pub mod codec;
 pub mod column;
 pub mod compress;
 pub mod disk;

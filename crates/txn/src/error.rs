@@ -1,9 +1,10 @@
 //! Transaction errors.
 
+use crate::wal::WalError;
 use std::fmt;
 
 /// Errors surfaced by transaction engines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxnError {
     /// A write-write conflict under snapshot isolation; the caller should
     /// retry the transaction.
@@ -11,6 +12,9 @@ pub enum TxnError {
     /// An `Add` underflowed below zero (domain constraint used by the bank
     /// workload).
     ConstraintViolation,
+    /// The write-ahead log failed; the commit is not durable and must not
+    /// be acknowledged.
+    Wal(WalError),
 }
 
 impl fmt::Display for TxnError {
@@ -18,8 +22,22 @@ impl fmt::Display for TxnError {
         match self {
             TxnError::Conflict => write!(f, "write-write conflict; retry"),
             TxnError::ConstraintViolation => write!(f, "constraint violation"),
+            TxnError::Wal(e) => write!(f, "commit not durable: {e}"),
         }
     }
 }
 
-impl std::error::Error for TxnError {}
+impl std::error::Error for TxnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TxnError::Wal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WalError> for TxnError {
+    fn from(e: WalError) -> TxnError {
+        TxnError::Wal(e)
+    }
+}

@@ -1,0 +1,402 @@
+//! Deterministic fault injection for the durability subsystem.
+//!
+//! [`FaultFile`] wraps a real [`FileDevice`] with a model of the operating
+//! system's page cache: `append` only buffers; bytes reach the file when
+//! `sync` runs. A [`FaultPlan`] arms one fault — at the Nth append or the
+//! Nth sync (depending on the kind) the device "crashes": it persists
+//! whatever the fault kind dictates (a torn prefix, nothing, a bit-flipped
+//! image, or a lie) and every later operation fails. Reopening the log file
+//! with an ordinary device then exercises recovery exactly as a process
+//! crash would, but deterministically — the same `(kind, trigger, seed)`
+//! triple always tears the same bytes.
+//!
+//! The kinds split into two honesty classes, which is what the recovery
+//! invariants key off:
+//!
+//! - **Honest** ([`FaultKind::CleanCrash`], [`FaultKind::TornWrite`],
+//!   [`FaultKind::PartialTail`]): every acknowledged `sync` really persisted.
+//!   Recovery must retain *all* acknowledged commits.
+//! - **Lying** ([`FaultKind::DroppedFsync`], [`FaultKind::BitFlip`]): the
+//!   device acknowledged a sync it did not honor. No log can recover what
+//!   was never written; recovery must still come back to a clean prefix of
+//!   the acknowledged history without panicking.
+
+use crate::wal::{FileDevice, LogDevice};
+use parking_lot::Mutex;
+use std::io::{Error, Result};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The failure a [`FaultFile`] injects when its trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The crash interrupts a write: a random strict prefix of the
+    /// in-flight bytes reaches the file (can cut mid-record). Honest —
+    /// the write was never acknowledged.
+    TornWrite,
+    /// Like [`FaultKind::TornWrite`] but the cut lands inside the last
+    /// record's payload, leaving an intact-looking length prefix with a
+    /// short body — the case a length-only (checksum-free) reader
+    /// misparses. Honest.
+    PartialTail,
+    /// The crash loses the entire page cache; nothing in flight reaches the
+    /// file. Honest.
+    CleanCrash,
+    /// `sync` returns success without persisting anything, then the machine
+    /// dies — the lying-fsync disk. Commits acknowledged against that sync
+    /// are unrecoverable by construction.
+    DroppedFsync,
+    /// `sync` persists the bytes but flips one bit on the way down (silent
+    /// media corruption), acknowledges, then the machine dies.
+    BitFlip,
+}
+
+impl FaultKind {
+    /// Every kind, for building test matrices.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TornWrite,
+        FaultKind::PartialTail,
+        FaultKind::CleanCrash,
+        FaultKind::DroppedFsync,
+        FaultKind::BitFlip,
+    ];
+
+    /// Whether every acknowledged sync truly persisted. When true, recovery
+    /// must preserve all acknowledged commits; when false, only the
+    /// prefix-and-no-panic invariants apply.
+    pub fn is_honest(self) -> bool {
+        !matches!(self, FaultKind::DroppedFsync | FaultKind::BitFlip)
+    }
+
+    /// Whether the trigger counts appends (write faults) or syncs.
+    fn triggers_on_append(self) -> bool {
+        matches!(
+            self,
+            FaultKind::TornWrite | FaultKind::PartialTail | FaultKind::CleanCrash
+        )
+    }
+}
+
+/// When and how a [`FaultFile`] fails.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// What happens at the trigger.
+    pub kind: FaultKind,
+    /// Fire on the Nth append (write kinds) or Nth sync (sync kinds),
+    /// 1-based. A trigger the run never reaches simply never fires.
+    pub trigger_at: u64,
+    /// Seed for the deterministic cut/flip positions.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan for `kind` firing at operation `trigger_at` with `seed`.
+    pub fn new(kind: FaultKind, trigger_at: u64, seed: u64) -> FaultPlan {
+        FaultPlan {
+            kind,
+            trigger_at,
+            seed,
+        }
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn crash_err(what: &str) -> Error {
+    Error::other(format!("injected fault: {what}"))
+}
+
+/// A [`LogDevice`] over a real file that crashes on cue. See the module
+/// docs for the cache model and honesty classes.
+pub struct FaultFile {
+    inner: FileDevice,
+    plan: FaultPlan,
+    /// Bytes appended but not yet synced (the simulated OS page cache).
+    cache: Mutex<Vec<u8>>,
+    rng: Mutex<u64>,
+    appends: AtomicU64,
+    syncs: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultFile {
+    /// Open (or create) the log file at `path` with `plan` armed.
+    pub fn open(path: impl Into<PathBuf>, plan: FaultPlan) -> Result<FaultFile> {
+        Ok(FaultFile {
+            inner: FileDevice::open(path)?,
+            plan,
+            cache: Mutex::new(Vec::new()),
+            rng: Mutex::new(plan.seed ^ 0x5DEE_CE66_D1CE_CAFE),
+            appends: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether the fault has fired.
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::SeqCst)
+    }
+
+    /// Appends observed so far.
+    pub fn appends(&self) -> u64 {
+        self.appends.load(Ordering::SeqCst)
+    }
+
+    /// Syncs observed so far (acknowledged ones, honest or not).
+    pub fn syncs(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    fn check_alive(&self) -> Result<()> {
+        if self.crashed() {
+            Err(crash_err("device is down"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Persist a torn prefix of `data` and mark the device dead.
+    fn crash_with_prefix(&self, data: &[u8], cut: usize) -> Result<()> {
+        if cut > 0 {
+            self.inner.append(&data[..cut])?;
+            self.inner.sync()?;
+        }
+        self.crashed.store(true, Ordering::SeqCst);
+        Ok(())
+    }
+}
+
+impl LogDevice for FaultFile {
+    fn append(&self, buf: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        let n = self.appends.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut cache = self.cache.lock();
+        if self.plan.kind.triggers_on_append() && n == self.plan.trigger_at {
+            // The crash catches this write in flight: the cache plus some
+            // prefix of `buf` may already have been flushed by the OS.
+            let mut data = std::mem::take(&mut *cache);
+            data.extend_from_slice(buf);
+            let cut = match self.plan.kind {
+                FaultKind::CleanCrash => 0,
+                FaultKind::TornWrite => {
+                    // Any strict prefix, including cutting an earlier record.
+                    (splitmix64(&mut self.rng.lock()) as usize) % data.len().max(1)
+                }
+                FaultKind::PartialTail => {
+                    // Cut inside the final bytes: the length prefix survives,
+                    // the payload does not.
+                    let short = 1
+                        + (splitmix64(&mut self.rng.lock()) as usize)
+                            % 4.min(data.len().max(2) - 1);
+                    data.len() - short
+                }
+                _ => unreachable!("sync-triggered kind in append path"),
+            };
+            self.crash_with_prefix(&data, cut)?;
+            return Err(crash_err("power loss during write"));
+        }
+        cache.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.check_alive()?;
+        let n = self.syncs.fetch_add(1, Ordering::SeqCst) + 1;
+        let mut cache = self.cache.lock();
+        let fires = !self.plan.kind.triggers_on_append() && n == self.plan.trigger_at;
+        if fires {
+            match self.plan.kind {
+                FaultKind::DroppedFsync => {
+                    // Acknowledge without persisting, then die: the cached
+                    // bytes are gone.
+                    cache.clear();
+                    self.crashed.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+                FaultKind::BitFlip => {
+                    let mut data = std::mem::take(&mut *cache);
+                    if !data.is_empty() {
+                        let pos = (splitmix64(&mut self.rng.lock()) as usize) % data.len();
+                        let bit = 1u8 << (splitmix64(&mut self.rng.lock()) % 8);
+                        data[pos] ^= bit;
+                    }
+                    self.inner.append(&data)?;
+                    self.inner.sync()?;
+                    self.crashed.store(true, Ordering::SeqCst);
+                    return Ok(());
+                }
+                _ => unreachable!("append-triggered kind in sync path"),
+            }
+        }
+        let data = std::mem::take(&mut *cache);
+        self.inner.append(&data)?;
+        self.inner.sync()
+    }
+
+    fn contents(&self) -> Result<Vec<u8>> {
+        self.check_alive()?;
+        // What a reader through the page cache would see: durable bytes
+        // plus the unsynced tail.
+        let mut out = self.inner.contents()?;
+        out.extend_from_slice(&self.cache.lock());
+        Ok(out)
+    }
+
+    fn reset(&self, contents: &[u8]) -> Result<()> {
+        self.check_alive()?;
+        self.cache.lock().clear();
+        self.inner.reset(contents)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wal::{FsyncPolicy, Wal, WalConfig};
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("backbone-fault-{tag}-{}", std::process::id()));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    /// Drive commits through a faulty device until the fault fires; return
+    /// the payloads whose commits were acknowledged.
+    fn run_until_crash(path: &PathBuf, plan: FaultPlan) -> Vec<Vec<u8>> {
+        let device = FaultFile::open(path, plan).unwrap();
+        let mut acked = Vec::new();
+        // An `Err` here means the fault fired while writing the header:
+        // nothing was acknowledged, so `acked` stays empty.
+        if let Ok(wal) = Wal::with_device(
+            Box::new(device),
+            WalConfig::with_policy(FsyncPolicy::Always),
+        ) {
+            for i in 0..20u8 {
+                let payload = vec![i; 5];
+                if wal.commit(&payload).is_err() {
+                    break;
+                }
+                acked.push(payload);
+            }
+        }
+        acked
+    }
+
+    #[test]
+    fn deterministic_same_seed_same_tear() {
+        let plan = FaultPlan::new(FaultKind::TornWrite, 4, 99);
+        let p1 = temp_path("det1");
+        let p2 = temp_path("det2");
+        run_until_crash(&p1, plan);
+        run_until_crash(&p2, plan);
+        assert_eq!(fs::read(&p1).unwrap(), fs::read(&p2).unwrap());
+        let _ = fs::remove_file(&p1);
+        let _ = fs::remove_file(&p2);
+    }
+
+    #[test]
+    fn honest_faults_keep_every_acked_commit() {
+        for kind in [
+            FaultKind::CleanCrash,
+            FaultKind::TornWrite,
+            FaultKind::PartialTail,
+        ] {
+            for trigger in 1..6 {
+                let path = temp_path(&format!("honest-{kind:?}-{trigger}"));
+                let acked = run_until_crash(&path, FaultPlan::new(kind, trigger, 7));
+                // Recover with an ordinary device, as a restart would.
+                let wal = Wal::open(&path, WalConfig::default()).unwrap();
+                let recovered: Vec<Vec<u8>> = wal
+                    .replay()
+                    .unwrap()
+                    .payloads()
+                    .map(|p| p.to_vec())
+                    .collect();
+                assert!(
+                    recovered.len() >= acked.len(),
+                    "{kind:?}@{trigger}: lost acked commits ({} < {})",
+                    recovered.len(),
+                    acked.len()
+                );
+                assert_eq!(&recovered[..acked.len()], &acked[..], "{kind:?}@{trigger}");
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn lying_faults_recover_to_clean_prefix() {
+        for kind in [FaultKind::DroppedFsync, FaultKind::BitFlip] {
+            for trigger in 1..6 {
+                let path = temp_path(&format!("lying-{kind:?}-{trigger}"));
+                let acked = run_until_crash(&path, FaultPlan::new(kind, trigger, 13));
+                // A flip inside the header makes the file unrecognizable;
+                // refusing to open it is the correct non-panicking outcome
+                // (nothing was acked against a header that never synced).
+                let recovered: Vec<Vec<u8>> = match Wal::open(&path, WalConfig::default()) {
+                    Ok(wal) => wal
+                        .replay()
+                        .unwrap()
+                        .payloads()
+                        .map(|p| p.to_vec())
+                        .collect(),
+                    Err(crate::wal::WalError::Corrupt(_)) => Vec::new(),
+                    Err(e) => panic!("unexpected recovery error: {e}"),
+                };
+                // A lying disk can lose commits but recovery must come back
+                // to a prefix of what was acknowledged, no panic, no junk.
+                assert!(recovered.len() <= acked.len(), "{kind:?}@{trigger}");
+                assert_eq!(
+                    &acked[..recovered.len()],
+                    &recovered[..],
+                    "{kind:?}@{trigger}"
+                );
+                let _ = fs::remove_file(&path);
+            }
+        }
+    }
+
+    #[test]
+    fn device_stays_down_after_crash() {
+        let path = temp_path("down");
+        let device = FaultFile::open(&path, FaultPlan::new(FaultKind::CleanCrash, 1, 1)).unwrap();
+        assert!(device.append(b"boom").is_err());
+        assert!(device.crashed());
+        assert!(device.append(b"later").is_err());
+        assert!(device.sync().is_err());
+        assert!(device.contents().is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wal_latches_failed_after_device_crash() {
+        let path = temp_path("latch");
+        let device = FaultFile::open(&path, FaultPlan::new(FaultKind::TornWrite, 3, 5)).unwrap();
+        let wal = Wal::with_device(
+            Box::new(device),
+            WalConfig::with_policy(FsyncPolicy::Always),
+        )
+        .unwrap();
+        let mut saw_err = false;
+        for i in 0..10u8 {
+            if wal.commit(&[i]).is_err() {
+                saw_err = true;
+                break;
+            }
+        }
+        assert!(saw_err, "fault never fired");
+        // Every later commit fails fast instead of hanging or lying.
+        assert!(wal.commit(b"after").is_err());
+        assert!(wal.flush_all().is_err());
+        let _ = fs::remove_file(&path);
+    }
+}

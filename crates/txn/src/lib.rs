@@ -15,8 +15,16 @@
 //! 4. any engine + [`wal::Wal`] group commit — amortized fsync.
 //!
 //! [`harness`] drives them with a contended multi-threaded workload.
+//!
+//! The WAL is the durable backbone of the whole engine, not just the E5
+//! ladder: it appends length-prefixed, CRC-32-checksummed records to a
+//! pluggable [`wal::LogDevice`] (in-memory for benchmarks, a real file for
+//! persistence, or the deterministic crash-injecting [`fault::FaultFile`]),
+//! and [`wal::Wal::replay`] recovers a torn or corrupt tail by truncating at
+//! the last valid record instead of panicking.
 
 pub mod error;
+pub mod fault;
 pub mod harness;
 pub mod mvcc;
 pub mod ops;
@@ -25,9 +33,12 @@ pub mod twopl;
 pub mod wal;
 
 pub use error::TxnError;
+pub use fault::{FaultFile, FaultKind, FaultPlan};
 pub use harness::{run_workload, WorkloadConfig, WorkloadReport};
 pub use mvcc::MvccEngine;
 pub use ops::{KvEngine, TxnOp};
 pub use serial::SerialEngine;
 pub use twopl::TwoPlEngine;
-pub use wal::{Wal, WalConfig};
+pub use wal::{
+    FileDevice, FsyncPolicy, LogDevice, MemDevice, Replay, Wal, WalConfig, WalError, WalRecord,
+};

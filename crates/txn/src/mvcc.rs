@@ -187,14 +187,18 @@ impl MvccEngine {
             // order equals the commit-timestamp order (replay correctness
             // for non-commutative writes)...
             wal_seq = self.wal.as_ref().map(|w| w.append(&encode_record(ops)));
-            // Publishing the timestamp makes the versions visible.
+            // Publishing the timestamp makes the versions visible. On a WAL
+            // failure we still publish — the versions are already installed
+            // and later validators key off them — but the commit is NOT
+            // acknowledged below.
             self.commit_ts.store(commit_ts, Ordering::SeqCst);
         }
 
         // ...but wait for durability outside it, so group commit can batch
         // many committers into one fsync.
-        if let (Some(wal), Some(seq)) = (&self.wal, wal_seq) {
-            wal.wait_durable(seq);
+        if let Some(seq) = wal_seq {
+            let wal = self.wal.as_ref().expect("wal_seq implies wal");
+            wal.wait_durable(seq?)?;
         }
         Ok(reads)
     }

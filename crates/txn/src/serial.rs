@@ -97,7 +97,7 @@ impl KvEngine for SerialEngine {
         // Log before releasing the lock: commit order == log order.
         if let Some(wal) = &self.wal {
             if ops.iter().any(|o| o.is_write()) {
-                wal.commit(&encode_record(ops));
+                wal.commit(&encode_record(ops))?;
             }
         }
         Ok(result)

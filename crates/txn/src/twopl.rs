@@ -95,7 +95,7 @@ impl KvEngine for TwoPlEngine {
         }
         if let Some(wal) = &self.wal {
             if ops.iter().any(|o| o.is_write()) {
-                wal.commit(&encode_record(ops));
+                wal.commit(&encode_record(ops))?;
             }
         }
         // Shrinking phase: guards drop here, after the commit record is

@@ -1,196 +1,588 @@
-//! Write-ahead log with optional group commit.
+//! File-backed write-ahead log with group commit and checkpoint truncation.
 //!
-//! The log device is simulated: an in-memory buffer plus a configurable
-//! per-fsync latency. That preserves exactly the behaviour group commit
-//! exploits — fsync cost is per *flush*, not per *byte* — without needing a
-//! real disk.
+//! The log is a header (`"BWAL"`, version, base LSN) followed by
+//! length-prefixed, CRC-32-checksummed records. Every record has an absolute
+//! LSN (`base_lsn + ordinal`), which is what lets a checkpoint supersede a
+//! log prefix: [`Wal::truncate_through`] rewrites the file with a higher
+//! base LSN and recovery skips records at or below the checkpoint's LSN —
+//! replay stays idempotent even if a crash lands between the checkpoint
+//! rename and the log truncation.
+//!
+//! Durability cost is policy-driven ([`FsyncPolicy`]): strict per-commit
+//! fsync, leader-elected group commit (one fsync covers every record
+//! appended before the flush began), or no commit-time fsync at all
+//! (durability only at [`Wal::flush_all`] / checkpoint).
+//!
+//! The log device is pluggable ([`LogDevice`]): an in-memory buffer with
+//! simulated fsync latency for the E5 throughput ladder, a real file for
+//! persistence, or the fault-injecting [`crate::fault::FaultFile`] for crash
+//! testing. Replay never panics: a torn or corrupt tail is truncated at the
+//! last valid record and reported as [`Replay::bytes_dropped`].
 
+use backbone_storage::codec::crc32;
 use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
+
+/// Log file magic bytes.
+pub const WAL_MAGIC: [u8; 4] = *b"BWAL";
+/// Log format version.
+pub const WAL_VERSION: u32 = 1;
+/// Header: magic (4) + version (4) + base LSN (8).
+const HEADER_LEN: usize = 16;
+/// Per-record framing: length (4) + CRC-32 (4).
+const FRAME_LEN: usize = 8;
+/// Upper bound on a single record; a longer claimed length is corruption.
+const MAX_RECORD_LEN: u32 = 1 << 30;
+
+/// When a commit's log record must reach stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync before acknowledging every commit, one fsync per record.
+    Always,
+    /// fsync before acknowledging, but let concurrent committers share one
+    /// fsync (group commit).
+    Group,
+    /// Never fsync on commit; records become durable only at
+    /// [`Wal::flush_all`] (close / checkpoint). Fastest, weakest.
+    Never,
+}
 
 /// WAL configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct WalConfig {
-    /// Simulated fsync latency.
+    /// Extra simulated latency added to every flush (used by the in-memory
+    /// device to model a slow disk; keep `ZERO` for real files).
     pub fsync_latency: Duration,
-    /// Batch concurrent commits into one fsync.
-    pub group_commit: bool,
+    /// Commit durability policy.
+    pub policy: FsyncPolicy,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
         WalConfig {
-            fsync_latency: Duration::from_micros(100),
-            group_commit: true,
+            fsync_latency: Duration::ZERO,
+            policy: FsyncPolicy::Group,
         }
     }
 }
 
-#[derive(Default)]
-struct WalState {
-    /// Records appended but not yet durable.
-    pending: Vec<Vec<u8>>,
-    /// Sequence number of the last durable record.
-    durable_seq: u64,
-    /// Sequence number of the last appended record.
-    appended_seq: u64,
-    /// A flush is in flight (its leader is sleeping in "fsync").
-    flushing: bool,
-    /// Durable bytes (the simulated on-disk log).
-    log: Vec<u8>,
-    /// Number of fsyncs performed.
-    fsyncs: u64,
+impl WalConfig {
+    /// Zero-latency config with the given policy.
+    pub fn with_policy(policy: FsyncPolicy) -> WalConfig {
+        WalConfig {
+            fsync_latency: Duration::ZERO,
+            policy,
+        }
+    }
 }
 
-/// A write-ahead log with per-commit or group commit durability.
+/// Failures surfaced by the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalError {
+    /// The log device failed (real I/O error or injected fault). Once a
+    /// device fails the log is latched failed: later commits also error.
+    Device(String),
+    /// The log exists but cannot be understood (bad magic / version).
+    Corrupt(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Device(msg) => write!(f, "wal device error: {msg}"),
+            WalError::Corrupt(msg) => write!(f, "wal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+fn dev_err(e: std::io::Error) -> WalError {
+    WalError::Device(e.to_string())
+}
+
+/// The storage a [`Wal`] appends to. Implementations must be thread-safe;
+/// the WAL serializes flushes itself but reads (`contents`) may race an
+/// append only through the WAL's own locking.
+pub trait LogDevice: Send + Sync {
+    /// Append bytes at the end of the log (buffered; durable after `sync`).
+    fn append(&self, buf: &[u8]) -> std::io::Result<()>;
+    /// Force previously appended bytes to stable storage.
+    fn sync(&self) -> std::io::Result<()>;
+    /// The entire current log contents.
+    fn contents(&self) -> std::io::Result<Vec<u8>>;
+    /// Atomically replace the log contents (checkpoint truncation, torn-tail
+    /// repair).
+    fn reset(&self, contents: &[u8]) -> std::io::Result<()>;
+}
+
+/// An in-memory log device. `sync` is a no-op — used by the transaction
+/// benchmarks, where fsync cost is modeled by [`WalConfig::fsync_latency`].
+#[derive(Default)]
+pub struct MemDevice {
+    buf: Mutex<Vec<u8>>,
+}
+
+impl MemDevice {
+    /// An empty in-memory log.
+    pub fn new() -> MemDevice {
+        MemDevice::default()
+    }
+}
+
+impl LogDevice for MemDevice {
+    fn append(&self, buf: &[u8]) -> std::io::Result<()> {
+        self.buf.lock().extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn contents(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.buf.lock().clone())
+    }
+
+    fn reset(&self, contents: &[u8]) -> std::io::Result<()> {
+        *self.buf.lock() = contents.to_vec();
+        Ok(())
+    }
+}
+
+/// A real append-only file; `sync` maps to `fsync` (`File::sync_data`).
+pub struct FileDevice {
+    path: PathBuf,
+    file: Mutex<File>,
+}
+
+impl FileDevice {
+    /// Open (creating if needed) the log file at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<FileDevice> {
+        let path = path.into();
+        let file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(&path)?;
+        Ok(FileDevice {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The file path this device writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl LogDevice for FileDevice {
+    fn append(&self, buf: &[u8]) -> std::io::Result<()> {
+        self.file.lock().write_all(buf)
+    }
+
+    fn sync(&self) -> std::io::Result<()> {
+        self.file.lock().sync_data()
+    }
+
+    fn contents(&self) -> std::io::Result<Vec<u8>> {
+        // Read through an independent handle so the append cursor is
+        // untouched.
+        let mut out = Vec::new();
+        File::open(&self.path)?.read_to_end(&mut out)?;
+        Ok(out)
+    }
+
+    fn reset(&self, contents: &[u8]) -> std::io::Result<()> {
+        let tmp = self.path.with_extension("tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(contents)?;
+            f.sync_data()?;
+        }
+        fs::rename(&tmp, &self.path)?;
+        let mut handle = self.file.lock();
+        *handle = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(())
+    }
+}
+
+/// One recovered log record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Absolute sequence number (monotonic across checkpoint truncations).
+    pub lsn: u64,
+    /// The record payload as appended.
+    pub payload: Vec<u8>,
+}
+
+/// The result of replaying the log.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Every valid record, in append (= commit) order.
+    pub records: Vec<WalRecord>,
+    /// Bytes discarded from a torn or corrupt tail (0 for a clean log). This
+    /// includes bytes repaired away when the log was opened.
+    pub bytes_dropped: u64,
+}
+
+impl Replay {
+    /// The record payloads in order (convenience for callers that do their
+    /// own decoding).
+    pub fn payloads(&self) -> impl Iterator<Item = &[u8]> {
+        self.records.iter().map(|r| r.payload.as_slice())
+    }
+}
+
+/// A parsed log image.
+struct Scan {
+    base_lsn: u64,
+    records: Vec<WalRecord>,
+    /// Length of the valid prefix; anything beyond is torn/corrupt.
+    valid_len: usize,
+}
+
+fn encode_header(base_lsn: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN);
+    out.extend_from_slice(&WAL_MAGIC);
+    out.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    out.extend_from_slice(&base_lsn.to_le_bytes());
+    out
+}
+
+fn encode_record(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Parse a log image, stopping at the first invalid byte. Never panics: a
+/// truncated header, torn record, or checksum mismatch just ends the valid
+/// prefix there.
+fn scan_log(contents: &[u8]) -> Result<Scan, WalError> {
+    if contents.len() < HEADER_LEN {
+        // A header torn mid-write: the log never held a record.
+        return Ok(Scan {
+            base_lsn: 0,
+            records: Vec::new(),
+            valid_len: 0,
+        });
+    }
+    if contents[..4] != WAL_MAGIC {
+        return Err(WalError::Corrupt("bad magic (not a backbone WAL)".into()));
+    }
+    let version = u32::from_le_bytes(contents[4..8].try_into().unwrap());
+    if version != WAL_VERSION {
+        return Err(WalError::Corrupt(format!(
+            "unsupported WAL version {version}"
+        )));
+    }
+    let base_lsn = u64::from_le_bytes(contents[8..16].try_into().unwrap());
+    let mut records = Vec::new();
+    let mut pos = HEADER_LEN;
+    loop {
+        if pos + FRAME_LEN > contents.len() {
+            break; // torn frame header
+        }
+        let len = u32::from_le_bytes(contents[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(contents[pos + 4..pos + 8].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            break; // absurd length: corrupt frame
+        }
+        let len = len as usize;
+        if pos + FRAME_LEN + len > contents.len() {
+            break; // torn payload
+        }
+        let payload = &contents[pos + FRAME_LEN..pos + FRAME_LEN + len];
+        if crc32(payload) != crc {
+            break; // checksum rejection
+        }
+        records.push(WalRecord {
+            lsn: base_lsn + records.len() as u64 + 1,
+            payload: payload.to_vec(),
+        });
+        pos += FRAME_LEN + len;
+    }
+    Ok(Scan {
+        base_lsn,
+        records,
+        valid_len: pos,
+    })
+}
+
+struct WalState {
+    /// Payloads appended but not yet written to the device.
+    pending: Vec<Vec<u8>>,
+    /// LSN of the last appended record.
+    appended_lsn: u64,
+    /// LSN through which records are durable (on the device and synced, or
+    /// superseded by a checkpoint).
+    durable_lsn: u64,
+    /// A flush is in flight (its leader holds the device).
+    flushing: bool,
+    /// Number of device syncs performed.
+    fsyncs: u64,
+    /// Device failure latch: once set, every later operation fails fast.
+    failed: Option<WalError>,
+}
+
+/// A write-ahead log over a [`LogDevice`].
 pub struct Wal {
     config: WalConfig,
+    device: Box<dyn LogDevice>,
     state: Mutex<WalState>,
     flushed: Condvar,
+    /// Torn-tail bytes discarded when the log was opened.
+    repaired_bytes: u64,
 }
 
 impl Wal {
-    /// A new empty log.
+    /// A fresh in-memory log (benchmarks, tests).
     pub fn new(config: WalConfig) -> Wal {
-        Wal {
-            config,
-            state: Mutex::new(WalState::default()),
-            flushed: Condvar::new(),
-        }
+        Wal::with_device(Box::new(MemDevice::new()), config).expect("in-memory device cannot fail")
     }
 
-    /// Append a record to the log buffer without waiting for durability.
-    /// Returns the record's sequence number for [`Wal::wait_durable`].
+    /// Open (or create) a file-backed log at `path`, repairing any torn
+    /// tail left by a crash.
+    pub fn open(path: impl Into<PathBuf>, config: WalConfig) -> Result<Wal, WalError> {
+        let device = FileDevice::open(path.into()).map_err(dev_err)?;
+        Wal::with_device(Box::new(device), config)
+    }
+
+    /// Open a log over an arbitrary device (fault injection, custom
+    /// storage). Existing contents are scanned; a torn tail is truncated to
+    /// the last valid record so later appends land on a clean boundary.
+    pub fn with_device(device: Box<dyn LogDevice>, config: WalConfig) -> Result<Wal, WalError> {
+        let contents = device.contents().map_err(dev_err)?;
+        let mut repaired_bytes = 0u64;
+        let last_lsn;
+        if contents.is_empty() {
+            device.append(&encode_header(0)).map_err(dev_err)?;
+            device.sync().map_err(dev_err)?;
+            last_lsn = 0;
+        } else {
+            let scan = scan_log(&contents)?;
+            if scan.valid_len < contents.len() {
+                repaired_bytes = (contents.len() - scan.valid_len) as u64;
+                let keep = if scan.valid_len == 0 {
+                    encode_header(0)
+                } else {
+                    contents[..scan.valid_len].to_vec()
+                };
+                device.reset(&keep).map_err(dev_err)?;
+            }
+            last_lsn = scan.base_lsn + scan.records.len() as u64;
+        }
+        Ok(Wal {
+            config,
+            device,
+            state: Mutex::new(WalState {
+                pending: Vec::new(),
+                appended_lsn: last_lsn,
+                durable_lsn: last_lsn,
+                flushing: false,
+                fsyncs: 0,
+                failed: None,
+            }),
+            flushed: Condvar::new(),
+            repaired_bytes,
+        })
+    }
+
+    /// Append a record without waiting for durability. Returns its LSN for
+    /// [`Wal::wait_durable`].
     ///
     /// Call this inside the engine's commit critical section so the log
     /// order equals the commit order, then wait outside it so group commit
     /// can batch the fsync.
-    pub fn append(&self, record: &[u8]) -> u64 {
+    pub fn append(&self, payload: &[u8]) -> Result<u64, WalError> {
         let mut st = self.state.lock();
-        st.appended_seq += 1;
-        st.pending.push(record.to_vec());
-        st.appended_seq
-    }
-
-    /// Block until the record with sequence `seq` is durable.
-    pub fn wait_durable(&self, seq: u64) {
-        let mut st = self.state.lock();
-        self.wait_durable_locked(&mut st, seq);
-    }
-
-    /// Append a commit record and block until it is durable.
-    ///
-    /// Without group commit every append performs its own fsync. With group
-    /// commit, concurrent appenders elect a leader whose single fsync covers
-    /// every record appended before the flush began.
-    pub fn commit(&self, record: &[u8]) {
-        let mut st = self.state.lock();
-        st.appended_seq += 1;
-        let my_seq = st.appended_seq;
-        st.pending.push(record.to_vec());
-        self.wait_durable_locked(&mut st, my_seq);
-    }
-
-    fn wait_durable_locked(&self, st: &mut parking_lot::MutexGuard<'_, WalState>, my_seq: u64) {
-        if !self.config.group_commit {
-            // Strict per-commit durability: records are flushed one at a
-            // time, one fsync each, in append order. This is the cost model
-            // group commit amortizes.
-            loop {
-                if st.durable_seq >= my_seq {
-                    return;
-                }
-                if st.flushing {
-                    self.flushed.wait(st);
-                    continue;
-                }
-                self.flush_one_locked(st);
-                self.flushed.notify_all();
-            }
+        if let Some(e) = &st.failed {
+            return Err(e.clone());
         }
+        st.appended_lsn += 1;
+        st.pending.push(payload.to_vec());
+        Ok(st.appended_lsn)
+    }
 
+    /// Block until the record at `lsn` is durable under the configured
+    /// policy. With [`FsyncPolicy::Never`] this returns immediately.
+    pub fn wait_durable(&self, lsn: u64) -> Result<(), WalError> {
+        if self.config.policy == FsyncPolicy::Never {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        self.wait_durable_locked(&mut st, lsn)
+    }
+
+    /// Append a commit record and block until it is durable (composition of
+    /// [`Wal::append`] + [`Wal::wait_durable`]). Returns the record's LSN.
+    pub fn commit(&self, payload: &[u8]) -> Result<u64, WalError> {
+        let lsn = self.append(payload)?;
+        self.wait_durable(lsn)?;
+        Ok(lsn)
+    }
+
+    /// Force every appended record to stable storage regardless of policy
+    /// (checkpoint / close path; the durability point for
+    /// [`FsyncPolicy::Never`]).
+    pub fn flush_all(&self) -> Result<(), WalError> {
+        let mut st = self.state.lock();
         loop {
-            if st.durable_seq >= my_seq {
-                return;
+            if let Some(e) = &st.failed {
+                return Err(e.clone());
+            }
+            if st.pending.is_empty() && !st.flushing {
+                return Ok(());
+            }
+            if st.flushing {
+                self.flushed.wait(&mut st);
+                continue;
+            }
+            self.flush_locked(&mut st);
+            self.flushed.notify_all();
+        }
+    }
+
+    fn wait_durable_locked(
+        &self,
+        st: &mut parking_lot::MutexGuard<'_, WalState>,
+        lsn: u64,
+    ) -> Result<(), WalError> {
+        loop {
+            if st.durable_lsn >= lsn {
+                return Ok(());
+            }
+            if let Some(e) = &st.failed {
+                return Err(e.clone());
             }
             if st.flushing {
                 // A leader is flushing; wait for it and re-check.
                 self.flushed.wait(st);
                 continue;
             }
-            // Become the leader: flush everything pending right now.
-            self.flush_locked(st);
+            match self.config.policy {
+                // Strict per-commit durability: one record, one fsync, in
+                // append order — the cost model group commit amortizes.
+                FsyncPolicy::Always => self.flush_some_locked(st, 1),
+                // Become the leader: one flush covers everything pending.
+                FsyncPolicy::Group | FsyncPolicy::Never => self.flush_some_locked(st, usize::MAX),
+            }
             self.flushed.notify_all();
         }
     }
 
-    /// Flush all pending records. Drops the lock during the simulated fsync
-    /// so other committers can queue behind the flush (this is the whole
-    /// point of group commit).
     fn flush_locked(&self, st: &mut parking_lot::MutexGuard<'_, WalState>) {
-        st.flushing = true;
-        let batch: Vec<Vec<u8>> = std::mem::take(&mut st.pending);
-        let covered_seq = st.appended_seq - st.pending.len() as u64; // == appended_seq
-        parking_lot::MutexGuard::unlocked(st, || {
-            if !self.config.fsync_latency.is_zero() {
-                std::thread::sleep(self.config.fsync_latency);
-            }
-        });
-        for rec in &batch {
-            let len = rec.len() as u32;
-            st.log.extend_from_slice(&len.to_le_bytes());
-            st.log.extend_from_slice(rec);
-        }
-        st.fsyncs += 1;
-        st.durable_seq = st.durable_seq.max(covered_seq);
-        st.flushing = false;
+        self.flush_some_locked(st, usize::MAX);
     }
 
-    /// Flush exactly one pending record with its own fsync (per-commit mode).
-    fn flush_one_locked(&self, st: &mut parking_lot::MutexGuard<'_, WalState>) {
+    /// Flush up to `limit` pending records with one device sync. Drops the
+    /// lock during the device I/O so other committers can queue behind the
+    /// flush (the whole point of group commit).
+    fn flush_some_locked(&self, st: &mut parking_lot::MutexGuard<'_, WalState>, limit: usize) {
         if st.pending.is_empty() {
             return;
         }
         st.flushing = true;
-        let rec = st.pending.remove(0);
-        parking_lot::MutexGuard::unlocked(st, || {
+        let take = st.pending.len().min(limit);
+        let batch: Vec<Vec<u8>> = st.pending.drain(..take).collect();
+        let covered = st.appended_lsn - st.pending.len() as u64;
+        let mut buf = Vec::new();
+        for payload in &batch {
+            encode_record(&mut buf, payload);
+        }
+        let result = parking_lot::MutexGuard::unlocked(st, || {
             if !self.config.fsync_latency.is_zero() {
                 std::thread::sleep(self.config.fsync_latency);
             }
+            self.device.append(&buf).and_then(|()| self.device.sync())
         });
-        let len = rec.len() as u32;
-        st.log.extend_from_slice(&len.to_le_bytes());
-        st.log.extend_from_slice(&rec);
-        st.fsyncs += 1;
-        st.durable_seq += 1;
+        match result {
+            Ok(()) => {
+                st.fsyncs += 1;
+                st.durable_lsn = st.durable_lsn.max(covered);
+            }
+            Err(e) => {
+                // The device may hold a torn prefix of `batch`; recovery
+                // truncates it. Latch the failure so no later commit is
+                // acknowledged against a dead log.
+                st.failed = Some(dev_err(e));
+            }
+        }
         st.flushing = false;
     }
 
-    /// Number of fsyncs performed so far.
+    /// Number of device syncs performed so far.
     pub fn fsyncs(&self) -> u64 {
         self.state.lock().fsyncs
     }
 
-    /// Number of durable records.
-    pub fn durable_records(&self) -> u64 {
-        self.state.lock().durable_seq
+    /// LSN of the last record known durable.
+    pub fn durable_lsn(&self) -> u64 {
+        self.state.lock().durable_lsn
     }
 
-    /// Replay the durable log as raw records (recovery).
-    pub fn replay(&self) -> Vec<Vec<u8>> {
-        let st = self.state.lock();
-        let mut out = Vec::new();
-        let mut pos = 0usize;
-        while pos + 4 <= st.log.len() {
-            let len = u32::from_le_bytes(st.log[pos..pos + 4].try_into().unwrap()) as usize;
-            pos += 4;
-            if pos + len > st.log.len() {
-                break; // torn tail — ignored, like a real redo pass
-            }
-            out.push(st.log[pos..pos + len].to_vec());
-            pos += len;
+    /// LSN of the last record appended (durable or not).
+    pub fn appended_lsn(&self) -> u64 {
+        self.state.lock().appended_lsn
+    }
+
+    /// The configured durability policy.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.config.policy
+    }
+
+    /// Replay the durable log: every valid record in commit order, plus the
+    /// number of torn/corrupt tail bytes that were dropped instead of
+    /// panicking.
+    pub fn replay(&self) -> Result<Replay, WalError> {
+        let contents = self.device.contents().map_err(dev_err)?;
+        if contents.is_empty() {
+            return Ok(Replay {
+                records: Vec::new(),
+                bytes_dropped: self.repaired_bytes,
+            });
         }
-        out
+        let scan = scan_log(&contents)?;
+        Ok(Replay {
+            bytes_dropped: self.repaired_bytes + (contents.len() - scan.valid_len) as u64,
+            records: scan.records,
+        })
+    }
+
+    /// Drop every record with LSN ≤ `lsn` (they are superseded by a
+    /// checkpoint) and rewrite the log with `lsn` as the new base. Pending
+    /// unflushed records at or below `lsn` are discarded too — flushing them
+    /// after the rebase would replay them under fresh LSNs.
+    pub fn truncate_through(&self, lsn: u64) -> Result<(), WalError> {
+        let mut st = self.state.lock();
+        while st.flushing {
+            self.flushed.wait(&mut st);
+        }
+        if let Some(e) = &st.failed {
+            return Err(e.clone());
+        }
+        if lsn > st.durable_lsn {
+            let superseded = (lsn - st.durable_lsn).min(st.pending.len() as u64) as usize;
+            st.pending.drain(..superseded);
+            st.durable_lsn = lsn;
+        }
+        let contents = self.device.contents().map_err(dev_err)?;
+        let scan = scan_log(&contents)?;
+        let mut out = encode_header(lsn);
+        for rec in scan.records.iter().filter(|r| r.lsn > lsn) {
+            encode_record(&mut out, &rec.payload);
+        }
+        self.device.reset(&out).map_err(dev_err)?;
+        Ok(())
     }
 }
 
@@ -199,23 +591,33 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn mem(policy: FsyncPolicy) -> Wal {
+        Wal::new(WalConfig::with_policy(policy))
+    }
+
+    fn payloads(wal: &Wal) -> Vec<Vec<u8>> {
+        wal.replay()
+            .unwrap()
+            .payloads()
+            .map(|p| p.to_vec())
+            .collect()
+    }
+
     #[test]
     fn records_become_durable() {
-        let wal = Wal::new(WalConfig {
-            fsync_latency: Duration::ZERO,
-            group_commit: false,
-        });
-        wal.commit(b"one");
-        wal.commit(b"two");
-        assert_eq!(wal.durable_records(), 2);
-        assert_eq!(wal.replay(), vec![b"one".to_vec(), b"two".to_vec()]);
+        let wal = mem(FsyncPolicy::Always);
+        wal.commit(b"one").unwrap();
+        wal.commit(b"two").unwrap();
+        assert_eq!(wal.durable_lsn(), 2);
+        assert_eq!(payloads(&wal), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(wal.replay().unwrap().bytes_dropped, 0);
     }
 
     #[test]
     fn group_commit_batches_fsyncs() {
         let wal = Arc::new(Wal::new(WalConfig {
             fsync_latency: Duration::from_millis(2),
-            group_commit: true,
+            policy: FsyncPolicy::Group,
         }));
         let threads = 8;
         let commits_per_thread = 5;
@@ -224,7 +626,7 @@ mod tests {
                 let wal = wal.clone();
                 std::thread::spawn(move || {
                     for i in 0..commits_per_thread {
-                        wal.commit(format!("t{t}c{i}").as_bytes());
+                        wal.commit(format!("t{t}c{i}").as_bytes()).unwrap();
                     }
                 })
             })
@@ -233,8 +635,8 @@ mod tests {
             h.join().unwrap();
         }
         let total = (threads * commits_per_thread) as u64;
-        assert_eq!(wal.durable_records(), total);
-        assert_eq!(wal.replay().len(), total as usize);
+        assert_eq!(wal.durable_lsn(), total);
+        assert_eq!(wal.replay().unwrap().records.len(), total as usize);
         assert!(
             wal.fsyncs() < total,
             "group commit should need fewer fsyncs ({}) than commits ({total})",
@@ -243,30 +645,136 @@ mod tests {
     }
 
     #[test]
-    fn per_commit_mode_fsyncs_at_least_once_per_nonbatched_commit() {
-        let wal = Wal::new(WalConfig {
-            fsync_latency: Duration::ZERO,
-            group_commit: false,
-        });
+    fn per_commit_mode_fsyncs_once_per_commit() {
+        let wal = mem(FsyncPolicy::Always);
         for i in 0..10u8 {
-            wal.commit(&[i]);
+            wal.commit(&[i]).unwrap();
         }
         // Serial caller: exactly one fsync per commit.
         assert_eq!(wal.fsyncs(), 10);
     }
 
     #[test]
-    fn replay_ignores_torn_tail() {
-        let wal = Wal::new(WalConfig {
-            fsync_latency: Duration::ZERO,
-            group_commit: false,
-        });
-        wal.commit(b"good");
+    fn never_policy_defers_to_flush_all() {
+        let wal = mem(FsyncPolicy::Never);
+        wal.commit(b"a").unwrap();
+        wal.commit(b"b").unwrap();
+        assert_eq!(wal.fsyncs(), 0);
+        assert_eq!(wal.durable_lsn(), 0);
+        wal.flush_all().unwrap();
+        assert_eq!(wal.durable_lsn(), 2);
+        assert_eq!(payloads(&wal).len(), 2);
+    }
+
+    #[test]
+    fn replay_truncates_torn_tail_and_reports_bytes() {
+        let wal = mem(FsyncPolicy::Always);
+        wal.commit(b"good").unwrap();
+        // A torn record: a frame claiming 99 bytes with only 4 present.
+        let mut torn = Vec::new();
+        torn.extend_from_slice(&99u32.to_le_bytes());
+        torn.extend_from_slice(&crc32(b"whatever").to_le_bytes());
+        torn.extend_from_slice(b"torn");
+        wal.device.append(&torn).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.records[0].payload, b"good");
+        assert_eq!(replay.bytes_dropped, torn.len() as u64);
+    }
+
+    #[test]
+    fn replay_rejects_checksum_mismatch() {
+        let wal = mem(FsyncPolicy::Always);
+        wal.commit(b"first").unwrap();
+        wal.commit(b"second").unwrap();
+        // Flip one bit inside the second record's payload.
+        let mut contents = wal.device.contents().unwrap();
+        let n = contents.len();
+        contents[n - 2] ^= 0x10;
+        wal.device.reset(&contents).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records.len(), 1, "corrupt record must be dropped");
+        assert!(replay.bytes_dropped > 0);
+    }
+
+    #[test]
+    fn open_repairs_torn_tail_for_future_appends() {
+        let path = std::env::temp_dir().join(format!("backbone-wal-repair-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
         {
-            let mut st = wal.state.lock();
-            st.log.extend_from_slice(&99u32.to_le_bytes());
-            st.log.extend_from_slice(b"torn");
+            let wal = Wal::open(&path, WalConfig::with_policy(FsyncPolicy::Always)).unwrap();
+            wal.commit(b"keep").unwrap();
         }
-        assert_eq!(wal.replay(), vec![b"good".to_vec()]);
+        // Simulate a torn append at the tail.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[7u8, 0, 0]).unwrap();
+        }
+        let wal = Wal::open(&path, WalConfig::with_policy(FsyncPolicy::Always)).unwrap();
+        assert_eq!(wal.replay().unwrap().bytes_dropped, 3);
+        wal.commit(b"after").unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(
+            replay.payloads().collect::<Vec<_>>(),
+            vec![b"keep".as_slice(), b"after".as_slice()]
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn file_backed_log_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("backbone-wal-reopen-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        {
+            let wal = Wal::open(&path, WalConfig::with_policy(FsyncPolicy::Group)).unwrap();
+            wal.commit(b"alpha").unwrap();
+            wal.commit(b"beta").unwrap();
+        }
+        let wal = Wal::open(&path, WalConfig::with_policy(FsyncPolicy::Group)).unwrap();
+        assert_eq!(wal.appended_lsn(), 2);
+        let replay = wal.replay().unwrap();
+        assert_eq!(replay.records[1].lsn, 2);
+        assert_eq!(replay.records[1].payload, b"beta");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncate_through_rebases_lsns() {
+        let wal = mem(FsyncPolicy::Always);
+        for i in 0..5u8 {
+            wal.commit(&[i]).unwrap();
+        }
+        wal.truncate_through(3).unwrap();
+        let replay = wal.replay().unwrap();
+        assert_eq!(
+            replay.records.iter().map(|r| r.lsn).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        // New appends continue the absolute sequence.
+        let lsn = wal.commit(&[9]).unwrap();
+        assert_eq!(lsn, 6);
+        assert_eq!(wal.replay().unwrap().records.last().unwrap().lsn, 6);
+    }
+
+    #[test]
+    fn truncate_discards_superseded_pending_records() {
+        let wal = mem(FsyncPolicy::Never);
+        for i in 0..4u8 {
+            wal.commit(&[i]).unwrap(); // policy Never: all pending
+        }
+        // A checkpoint at LSN 4 supersedes everything pending.
+        wal.truncate_through(4).unwrap();
+        wal.flush_all().unwrap();
+        assert!(wal.replay().unwrap().records.is_empty());
+        assert_eq!(wal.commit(&[9]).unwrap(), 5);
+        wal.flush_all().unwrap();
+        assert_eq!(wal.replay().unwrap().records[0].lsn, 5);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_replayed() {
+        let wal = mem(FsyncPolicy::Always);
+        wal.device.reset(b"definitely not a wal file").unwrap();
+        assert!(matches!(wal.replay(), Err(WalError::Corrupt(_))));
     }
 }

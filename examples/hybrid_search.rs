@@ -8,7 +8,7 @@
 //! ```
 
 use backbone_core::Database;
-use backbone_core::{bolton_search, unified_search, FusionWeights, HybridSpec, VectorIndexSpec};
+use backbone_core::{HybridSpec, VectorIndexSpec};
 use backbone_query::{col, lit};
 use backbone_storage::{DataType, Field, Schema, Value};
 use backbone_vector::{Dataset, Metric};
@@ -62,29 +62,28 @@ fn main() {
     )
     .expect("vector index");
 
-    // "Find 5 audio products like this one, about bass, under $100."
+    // "Find 5 audio products like this one, about bass, under $100" — one
+    // declarative request assembled with the `SearchRequest` builder.
     let mut query_vec = vec![0.1f32; 8];
     query_vec[0] = 1.0; // the "audio" direction
-    let spec = HybridSpec {
-        table: "products".into(),
-        filter: Some(
+    let unified = db
+        .search("products")
+        .filter(
             col("price")
                 .lt(lit(100.0))
                 .and(col("in_stock").eq(lit(true))),
-        ),
-        keyword: Some("bass wireless".into()),
-        vector: Some(query_vec),
-        k: 5,
-        weights: FusionWeights::default(),
-    };
-
-    let (hits, cost) = unified_search(&db, &spec).expect("unified");
+        )
+        .keyword("bass wireless")
+        .vector(query_vec.clone())
+        .k(5)
+        .run()
+        .expect("unified");
     println!(
         "unified engine: {} round trip(s), {} candidates shipped",
-        cost.round_trips, cost.candidates_fetched
+        unified.cost.round_trips, unified.cost.candidates_fetched
     );
     let batch = db.table_batch("products").expect("batch");
-    for h in &hits {
+    for h in &unified.hits {
         let row = batch.row(h.row as usize);
         println!(
             "  #{:<6} {:<8} ${:<8.2} score {:.3} (vec {:?}, text {:?})",
@@ -97,19 +96,37 @@ fn main() {
         );
     }
 
-    let (_, bolton_cost) = bolton_search(&db, &spec).expect("bolton");
+    // Same request, routed through the bolt-on three-service composition
+    // (the measured baseline the unified engine replaces).
+    let bolton = db
+        .search("products")
+        .filter(
+            col("price")
+                .lt(lit(100.0))
+                .and(col("in_stock").eq(lit(true))),
+        )
+        .keyword("bass wireless")
+        .vector(query_vec.clone())
+        .k(5)
+        .via_bolton()
+        .run()
+        .expect("bolton");
     println!(
         "\nbolt-on composition: {} round trips, {} candidates shipped ({}x more)",
-        bolton_cost.round_trips,
-        bolton_cost.candidates_fetched,
-        bolton_cost.candidates_fetched / cost.candidates_fetched.max(1)
+        bolton.cost.round_trips,
+        bolton.cost.candidates_fetched,
+        bolton.cost.candidates_fetched / unified.cost.candidates_fetched.max(1)
     );
 
     // Bonus: the paper's cross-disciplinary exhibit — Fagin's Threshold
     // Algorithm terminates the fused top-k early on the unfiltered query.
     let unfiltered = HybridSpec {
+        table: "products".into(),
         filter: None,
-        ..spec.clone()
+        keyword: Some("bass wireless".into()),
+        vector: Some(query_vec),
+        k: 5,
+        weights: Default::default(),
     };
     let ta = backbone_core::ta_search(&db, &unfiltered).expect("ta");
     println!(

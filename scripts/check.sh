@@ -16,4 +16,16 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test -q =="
 cargo test --workspace -q
 
+echo "== fault-injection / crash-recovery suite =="
+cargo test -q -p backbone-txn fault
+cargo test -q -p backbone-bench --test recovery
+
+echo "== repro smoke (quick) =="
+out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"
+echo "$out"
+# The durable ladder must still report WAL fsync counts, including the
+# file-backed group-commit rung.
+echo "$out" | grep -q "fsyncs" || { echo "repro e5: missing fsyncs column"; exit 1; }
+echo "$out" | grep -q "MVCC+grp+file" || { echo "repro e5: missing file-backed WAL rung"; exit 1; }
+
 echo "OK"

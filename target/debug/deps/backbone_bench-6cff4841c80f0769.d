@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/backbone_bench-6cff4841c80f0769.d: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_bench-6cff4841c80f0769.rmeta: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/e1_tpch.rs:
+crates/bench/src/e2_orm.rs:
+crates/bench/src/e3_hybrid.rs:
+crates/bench/src/e4_kvcache.rs:
+crates/bench/src/e5_txn.rs:
+crates/bench/src/e6_optimizer.rs:
+crates/bench/src/e7_disciplines.rs:
+crates/bench/src/e8_usability.rs:
+crates/bench/src/e9_ann.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/backbone_bench-dae1c00a344d94ab.d: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs
+
+/root/repo/target/debug/deps/libbackbone_bench-dae1c00a344d94ab.rmeta: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e1_tpch.rs:
+crates/bench/src/e2_orm.rs:
+crates/bench/src/e3_hybrid.rs:
+crates/bench/src/e4_kvcache.rs:
+crates/bench/src/e5_txn.rs:
+crates/bench/src/e6_optimizer.rs:
+crates/bench/src/e7_disciplines.rs:
+crates/bench/src/e8_usability.rs:
+crates/bench/src/e9_ann.rs:

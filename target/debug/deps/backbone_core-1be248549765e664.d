@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/backbone_core-1be248549765e664.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libbackbone_core-1be248549765e664.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/session.rs:
+crates/core/src/topk.rs:

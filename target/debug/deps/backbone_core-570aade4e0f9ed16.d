@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/backbone_core-570aade4e0f9ed16.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_core-570aade4e0f9ed16.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/session.rs:
+crates/core/src/topk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

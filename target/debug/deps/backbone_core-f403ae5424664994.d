@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/backbone_core-f403ae5424664994.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libbackbone_core-f403ae5424664994.rlib: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+/root/repo/target/debug/deps/libbackbone_core-f403ae5424664994.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/session.rs:
+crates/core/src/topk.rs:

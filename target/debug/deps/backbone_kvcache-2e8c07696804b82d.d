@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/backbone_kvcache-2e8c07696804b82d.d: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+/root/repo/target/debug/deps/libbackbone_kvcache-2e8c07696804b82d.rmeta: crates/kvcache/src/lib.rs crates/kvcache/src/pinning.rs crates/kvcache/src/sim.rs crates/kvcache/src/trace.rs
+
+crates/kvcache/src/lib.rs:
+crates/kvcache/src/pinning.rs:
+crates/kvcache/src/sim.rs:
+crates/kvcache/src/trace.rs:

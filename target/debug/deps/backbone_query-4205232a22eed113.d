@@ -1,0 +1,33 @@
+/root/repo/target/debug/deps/backbone_query-4205232a22eed113.d: crates/query/src/lib.rs crates/query/src/catalog.rs crates/query/src/error.rs crates/query/src/eval.rs crates/query/src/executor.rs crates/query/src/expr.rs crates/query/src/logical.rs crates/query/src/optimizer/mod.rs crates/query/src/optimizer/cardinality.rs crates/query/src/optimizer/fold.rs crates/query/src/optimizer/join_reorder.rs crates/query/src/optimizer/prune.rs crates/query/src/optimizer/pushdown.rs crates/query/src/physical/mod.rs crates/query/src/physical/aggregate.rs crates/query/src/physical/filter.rs crates/query/src/physical/hash_join.rs crates/query/src/physical/limit.rs crates/query/src/physical/nl_join.rs crates/query/src/physical/project.rs crates/query/src/physical/scan.rs crates/query/src/physical/sort.rs crates/query/src/physical/topk.rs crates/query/src/planner.rs crates/query/src/profile.rs crates/query/src/sql/mod.rs crates/query/src/sql/lexer.rs crates/query/src/sql/parser.rs crates/query/src/stats.rs
+
+/root/repo/target/debug/deps/libbackbone_query-4205232a22eed113.rmeta: crates/query/src/lib.rs crates/query/src/catalog.rs crates/query/src/error.rs crates/query/src/eval.rs crates/query/src/executor.rs crates/query/src/expr.rs crates/query/src/logical.rs crates/query/src/optimizer/mod.rs crates/query/src/optimizer/cardinality.rs crates/query/src/optimizer/fold.rs crates/query/src/optimizer/join_reorder.rs crates/query/src/optimizer/prune.rs crates/query/src/optimizer/pushdown.rs crates/query/src/physical/mod.rs crates/query/src/physical/aggregate.rs crates/query/src/physical/filter.rs crates/query/src/physical/hash_join.rs crates/query/src/physical/limit.rs crates/query/src/physical/nl_join.rs crates/query/src/physical/project.rs crates/query/src/physical/scan.rs crates/query/src/physical/sort.rs crates/query/src/physical/topk.rs crates/query/src/planner.rs crates/query/src/profile.rs crates/query/src/sql/mod.rs crates/query/src/sql/lexer.rs crates/query/src/sql/parser.rs crates/query/src/stats.rs
+
+crates/query/src/lib.rs:
+crates/query/src/catalog.rs:
+crates/query/src/error.rs:
+crates/query/src/eval.rs:
+crates/query/src/executor.rs:
+crates/query/src/expr.rs:
+crates/query/src/logical.rs:
+crates/query/src/optimizer/mod.rs:
+crates/query/src/optimizer/cardinality.rs:
+crates/query/src/optimizer/fold.rs:
+crates/query/src/optimizer/join_reorder.rs:
+crates/query/src/optimizer/prune.rs:
+crates/query/src/optimizer/pushdown.rs:
+crates/query/src/physical/mod.rs:
+crates/query/src/physical/aggregate.rs:
+crates/query/src/physical/filter.rs:
+crates/query/src/physical/hash_join.rs:
+crates/query/src/physical/limit.rs:
+crates/query/src/physical/nl_join.rs:
+crates/query/src/physical/project.rs:
+crates/query/src/physical/scan.rs:
+crates/query/src/physical/sort.rs:
+crates/query/src/physical/topk.rs:
+crates/query/src/planner.rs:
+crates/query/src/profile.rs:
+crates/query/src/sql/mod.rs:
+crates/query/src/sql/lexer.rs:
+crates/query/src/sql/parser.rs:
+crates/query/src/stats.rs:

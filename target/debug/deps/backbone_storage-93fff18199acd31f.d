@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/backbone_storage-93fff18199acd31f.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/bufferpool.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/compress.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/eviction/mod.rs crates/storage/src/eviction/arc.rs crates/storage/src/eviction/belady.rs crates/storage/src/eviction/clock.rs crates/storage/src/eviction/fifo.rs crates/storage/src/eviction/lfu.rs crates/storage/src/eviction/lru.rs crates/storage/src/eviction/lruk.rs crates/storage/src/eviction/twoq.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/backbone_storage-93fff18199acd31f.d: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/bufferpool.rs crates/storage/src/cache.rs crates/storage/src/checkpoint.rs crates/storage/src/codec.rs crates/storage/src/column.rs crates/storage/src/compress.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/eviction/mod.rs crates/storage/src/eviction/arc.rs crates/storage/src/eviction/belady.rs crates/storage/src/eviction/clock.rs crates/storage/src/eviction/fifo.rs crates/storage/src/eviction/lfu.rs crates/storage/src/eviction/lru.rs crates/storage/src/eviction/lruk.rs crates/storage/src/eviction/twoq.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
 
-/root/repo/target/debug/deps/libbackbone_storage-93fff18199acd31f.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/bufferpool.rs crates/storage/src/cache.rs crates/storage/src/column.rs crates/storage/src/compress.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/eviction/mod.rs crates/storage/src/eviction/arc.rs crates/storage/src/eviction/belady.rs crates/storage/src/eviction/clock.rs crates/storage/src/eviction/fifo.rs crates/storage/src/eviction/lfu.rs crates/storage/src/eviction/lru.rs crates/storage/src/eviction/lruk.rs crates/storage/src/eviction/twoq.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
+/root/repo/target/debug/deps/libbackbone_storage-93fff18199acd31f.rmeta: crates/storage/src/lib.rs crates/storage/src/batch.rs crates/storage/src/bufferpool.rs crates/storage/src/cache.rs crates/storage/src/checkpoint.rs crates/storage/src/codec.rs crates/storage/src/column.rs crates/storage/src/compress.rs crates/storage/src/disk.rs crates/storage/src/error.rs crates/storage/src/eviction/mod.rs crates/storage/src/eviction/arc.rs crates/storage/src/eviction/belady.rs crates/storage/src/eviction/clock.rs crates/storage/src/eviction/fifo.rs crates/storage/src/eviction/lfu.rs crates/storage/src/eviction/lru.rs crates/storage/src/eviction/lruk.rs crates/storage/src/eviction/twoq.rs crates/storage/src/metrics.rs crates/storage/src/page.rs crates/storage/src/schema.rs crates/storage/src/table.rs crates/storage/src/types.rs Cargo.toml
 
 crates/storage/src/lib.rs:
 crates/storage/src/batch.rs:
 crates/storage/src/bufferpool.rs:
 crates/storage/src/cache.rs:
+crates/storage/src/checkpoint.rs:
+crates/storage/src/codec.rs:
 crates/storage/src/column.rs:
 crates/storage/src/compress.rs:
 crates/storage/src/disk.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backbone_text-d65d4427b251482b.d: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+/root/repo/target/debug/deps/libbackbone_text-d65d4427b251482b.rmeta: crates/text/src/lib.rs crates/text/src/bm25.rs crates/text/src/index.rs crates/text/src/query.rs crates/text/src/tokenize.rs
+
+crates/text/src/lib.rs:
+crates/text/src/bm25.rs:
+crates/text/src/index.rs:
+crates/text/src/query.rs:
+crates/text/src/tokenize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/backbone_txn-71f8ddc4bd42a4f6.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/debug/deps/backbone_txn-71f8ddc4bd42a4f6: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/fault.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/backbone_txn-c3b17061d4a4d065.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackbone_txn-c3b17061d4a4d065.rmeta: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs Cargo.toml
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/fault.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/backbone_vector-451140d495ddd3cb.d: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs
+
+/root/repo/target/debug/deps/libbackbone_vector-451140d495ddd3cb.rmeta: crates/vector/src/lib.rs crates/vector/src/dataset.rs crates/vector/src/distance.rs crates/vector/src/exact.rs crates/vector/src/hnsw.rs crates/vector/src/ivf.rs crates/vector/src/recall.rs
+
+crates/vector/src/lib.rs:
+crates/vector/src/dataset.rs:
+crates/vector/src/distance.rs:
+crates/vector/src/exact.rs:
+crates/vector/src/hnsw.rs:
+crates/vector/src/ivf.rs:
+crates/vector/src/recall.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/backbone_workloads-86ebdfa4834b1749.d: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+/root/repo/target/debug/deps/libbackbone_workloads-86ebdfa4834b1749.rmeta: crates/workloads/src/lib.rs crates/workloads/src/disciplines.rs crates/workloads/src/hybrid.rs crates/workloads/src/orm.rs crates/workloads/src/queries.rs crates/workloads/src/tpch.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/disciplines.rs:
+crates/workloads/src/hybrid.rs:
+crates/workloads/src/orm.rs:
+crates/workloads/src/queries.rs:
+crates/workloads/src/tpch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-0aedb8cdb8982788.d: crates/bench/../../tests/cache_properties.rs
+
+/root/repo/target/debug/deps/libcache_properties-0aedb8cdb8982788.rmeta: crates/bench/../../tests/cache_properties.rs
+
+crates/bench/../../tests/cache_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cache_properties-59603c5842a5b41d.d: crates/bench/../../tests/cache_properties.rs
+
+/root/repo/target/debug/deps/cache_properties-59603c5842a5b41d: crates/bench/../../tests/cache_properties.rs
+
+crates/bench/../../tests/cache_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cache_properties-d541d5e8ee7b38b6.d: crates/bench/../../tests/cache_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcache_properties-d541d5e8ee7b38b6.rmeta: crates/bench/../../tests/cache_properties.rs Cargo.toml
+
+crates/bench/../../tests/cache_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e1_tpch-b7116021ce361d8e.d: crates/bench/benches/e1_tpch.rs
+
+/root/repo/target/debug/deps/libe1_tpch-b7116021ce361d8e.rmeta: crates/bench/benches/e1_tpch.rs
+
+crates/bench/benches/e1_tpch.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_tpch-f38957c8513d32e1.d: crates/bench/benches/e1_tpch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_tpch-f38957c8513d32e1.rmeta: crates/bench/benches/e1_tpch.rs Cargo.toml
+
+crates/bench/benches/e1_tpch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

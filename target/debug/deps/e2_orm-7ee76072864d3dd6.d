@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_orm-7ee76072864d3dd6.d: crates/bench/benches/e2_orm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_orm-7ee76072864d3dd6.rmeta: crates/bench/benches/e2_orm.rs Cargo.toml
+
+crates/bench/benches/e2_orm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

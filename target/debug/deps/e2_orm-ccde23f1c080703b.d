@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e2_orm-ccde23f1c080703b.d: crates/bench/benches/e2_orm.rs
+
+/root/repo/target/debug/deps/libe2_orm-ccde23f1c080703b.rmeta: crates/bench/benches/e2_orm.rs
+
+crates/bench/benches/e2_orm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_hybrid-13cc72ff90ba366a.d: crates/bench/benches/e3_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_hybrid-13cc72ff90ba366a.rmeta: crates/bench/benches/e3_hybrid.rs Cargo.toml
+
+crates/bench/benches/e3_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e3_hybrid-cb917e48f4b89529.d: crates/bench/benches/e3_hybrid.rs
+
+/root/repo/target/debug/deps/libe3_hybrid-cb917e48f4b89529.rmeta: crates/bench/benches/e3_hybrid.rs
+
+crates/bench/benches/e3_hybrid.rs:

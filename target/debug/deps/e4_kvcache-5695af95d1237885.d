@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_kvcache-5695af95d1237885.d: crates/bench/benches/e4_kvcache.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_kvcache-5695af95d1237885.rmeta: crates/bench/benches/e4_kvcache.rs Cargo.toml
+
+crates/bench/benches/e4_kvcache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

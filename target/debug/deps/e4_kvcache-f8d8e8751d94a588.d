@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e4_kvcache-f8d8e8751d94a588.d: crates/bench/benches/e4_kvcache.rs
+
+/root/repo/target/debug/deps/libe4_kvcache-f8d8e8751d94a588.rmeta: crates/bench/benches/e4_kvcache.rs
+
+crates/bench/benches/e4_kvcache.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e5_txn-43ccf6aa58ed88b2.d: crates/bench/benches/e5_txn.rs
+
+/root/repo/target/debug/deps/libe5_txn-43ccf6aa58ed88b2.rmeta: crates/bench/benches/e5_txn.rs
+
+crates/bench/benches/e5_txn.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e5_txn-b1192a9542b26ab9.d: crates/bench/benches/e5_txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe5_txn-b1192a9542b26ab9.rmeta: crates/bench/benches/e5_txn.rs Cargo.toml
+
+crates/bench/benches/e5_txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

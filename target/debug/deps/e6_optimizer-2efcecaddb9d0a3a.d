@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/e6_optimizer-2efcecaddb9d0a3a.d: crates/bench/benches/e6_optimizer.rs
+
+/root/repo/target/debug/deps/libe6_optimizer-2efcecaddb9d0a3a.rmeta: crates/bench/benches/e6_optimizer.rs
+
+crates/bench/benches/e6_optimizer.rs:

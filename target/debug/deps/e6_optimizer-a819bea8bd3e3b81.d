@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e6_optimizer-a819bea8bd3e3b81.d: crates/bench/benches/e6_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe6_optimizer-a819bea8bd3e3b81.rmeta: crates/bench/benches/e6_optimizer.rs Cargo.toml
+
+crates/bench/benches/e6_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

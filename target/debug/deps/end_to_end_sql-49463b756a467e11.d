@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sql-49463b756a467e11.d: crates/bench/../../tests/end_to_end_sql.rs
+
+/root/repo/target/debug/deps/libend_to_end_sql-49463b756a467e11.rmeta: crates/bench/../../tests/end_to_end_sql.rs
+
+crates/bench/../../tests/end_to_end_sql.rs:

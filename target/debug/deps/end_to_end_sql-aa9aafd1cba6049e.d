@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/end_to_end_sql-aa9aafd1cba6049e.d: crates/bench/../../tests/end_to_end_sql.rs Cargo.toml
+
+/root/repo/target/debug/deps/libend_to_end_sql-aa9aafd1cba6049e.rmeta: crates/bench/../../tests/end_to_end_sql.rs Cargo.toml
+
+crates/bench/../../tests/end_to_end_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end_sql-b22e31f96ac34bd1.d: crates/bench/../../tests/end_to_end_sql.rs
+
+/root/repo/target/debug/deps/end_to_end_sql-b22e31f96ac34bd1: crates/bench/../../tests/end_to_end_sql.rs
+
+crates/bench/../../tests/end_to_end_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_model_equivalence-200bb4bfe5b1c278.d: crates/bench/../../tests/eval_model_equivalence.rs
+
+/root/repo/target/debug/deps/eval_model_equivalence-200bb4bfe5b1c278: crates/bench/../../tests/eval_model_equivalence.rs
+
+crates/bench/../../tests/eval_model_equivalence.rs:

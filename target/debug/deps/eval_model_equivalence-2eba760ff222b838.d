@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eval_model_equivalence-2eba760ff222b838.d: crates/bench/../../tests/eval_model_equivalence.rs
+
+/root/repo/target/debug/deps/libeval_model_equivalence-2eba760ff222b838.rmeta: crates/bench/../../tests/eval_model_equivalence.rs
+
+crates/bench/../../tests/eval_model_equivalence.rs:

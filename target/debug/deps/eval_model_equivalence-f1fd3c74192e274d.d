@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eval_model_equivalence-f1fd3c74192e274d.d: crates/bench/../../tests/eval_model_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeval_model_equivalence-f1fd3c74192e274d.rmeta: crates/bench/../../tests/eval_model_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/eval_model_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_consistency-2f7cf0605e513081.d: crates/bench/../../tests/hybrid_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_consistency-2f7cf0605e513081.rmeta: crates/bench/../../tests/hybrid_consistency.rs Cargo.toml
+
+crates/bench/../../tests/hybrid_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

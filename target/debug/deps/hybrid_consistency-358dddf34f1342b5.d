@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_consistency-358dddf34f1342b5.d: crates/bench/../../tests/hybrid_consistency.rs
+
+/root/repo/target/debug/deps/libhybrid_consistency-358dddf34f1342b5.rmeta: crates/bench/../../tests/hybrid_consistency.rs
+
+crates/bench/../../tests/hybrid_consistency.rs:

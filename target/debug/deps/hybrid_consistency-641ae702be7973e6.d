@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_consistency-641ae702be7973e6.d: crates/bench/../../tests/hybrid_consistency.rs
+
+/root/repo/target/debug/deps/hybrid_consistency-641ae702be7973e6: crates/bench/../../tests/hybrid_consistency.rs
+
+crates/bench/../../tests/hybrid_consistency.rs:

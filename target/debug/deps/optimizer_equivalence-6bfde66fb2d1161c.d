@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_equivalence-6bfde66fb2d1161c.d: crates/bench/../../tests/optimizer_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_equivalence-6bfde66fb2d1161c.rmeta: crates/bench/../../tests/optimizer_equivalence.rs Cargo.toml
+
+crates/bench/../../tests/optimizer_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_equivalence-d87e439007ba0ebb.d: crates/bench/../../tests/optimizer_equivalence.rs
+
+/root/repo/target/debug/deps/optimizer_equivalence-d87e439007ba0ebb: crates/bench/../../tests/optimizer_equivalence.rs
+
+crates/bench/../../tests/optimizer_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_equivalence-dc21982ae7303abf.d: crates/bench/../../tests/optimizer_equivalence.rs
+
+/root/repo/target/debug/deps/liboptimizer_equivalence-dc21982ae7303abf.rmeta: crates/bench/../../tests/optimizer_equivalence.rs
+
+crates/bench/../../tests/optimizer_equivalence.rs:

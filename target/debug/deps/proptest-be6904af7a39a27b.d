@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-be6904af7a39a27b.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-be6904af7a39a27b.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-4bf6aafc801efe20.d: crates/bench/../../tests/recovery.rs
+
+/root/repo/target/debug/deps/librecovery-4bf6aafc801efe20.rmeta: crates/bench/../../tests/recovery.rs
+
+crates/bench/../../tests/recovery.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery-f184f59dc7304edc.d: crates/bench/../../tests/recovery.rs
+
+/root/repo/target/debug/deps/recovery-f184f59dc7304edc: crates/bench/../../tests/recovery.rs
+
+crates/bench/../../tests/recovery.rs:

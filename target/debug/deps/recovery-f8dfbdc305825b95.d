@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery-f8dfbdc305825b95.d: crates/bench/../../tests/recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery-f8dfbdc305825b95.rmeta: crates/bench/../../tests/recovery.rs Cargo.toml
+
+crates/bench/../../tests/recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

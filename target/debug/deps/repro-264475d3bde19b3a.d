@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-264475d3bde19b3a.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-264475d3bde19b3a: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

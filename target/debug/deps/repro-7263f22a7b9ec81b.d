@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7263f22a7b9ec81b.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7263f22a7b9ec81b: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

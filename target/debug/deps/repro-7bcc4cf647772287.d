@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7bcc4cf647772287.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-7bcc4cf647772287.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

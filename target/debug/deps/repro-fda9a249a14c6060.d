@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-fda9a249a14c6060.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-fda9a249a14c6060.rmeta: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_robustness-371b76ac69754385.d: crates/bench/../../tests/sql_robustness.rs
+
+/root/repo/target/debug/deps/sql_robustness-371b76ac69754385: crates/bench/../../tests/sql_robustness.rs
+
+crates/bench/../../tests/sql_robustness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sql_robustness-d515addba8ef814b.d: crates/bench/../../tests/sql_robustness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsql_robustness-d515addba8ef814b.rmeta: crates/bench/../../tests/sql_robustness.rs Cargo.toml
+
+crates/bench/../../tests/sql_robustness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sql_robustness-f3de206c66a5f2c7.d: crates/bench/../../tests/sql_robustness.rs
+
+/root/repo/target/debug/deps/libsql_robustness-f3de206c66a5f2c7.rmeta: crates/bench/../../tests/sql_robustness.rs
+
+crates/bench/../../tests/sql_robustness.rs:

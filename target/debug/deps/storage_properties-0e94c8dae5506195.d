@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/storage_properties-0e94c8dae5506195.d: crates/bench/../../tests/storage_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstorage_properties-0e94c8dae5506195.rmeta: crates/bench/../../tests/storage_properties.rs Cargo.toml
+
+crates/bench/../../tests/storage_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

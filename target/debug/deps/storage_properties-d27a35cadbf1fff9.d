@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_properties-d27a35cadbf1fff9.d: crates/bench/../../tests/storage_properties.rs
+
+/root/repo/target/debug/deps/storage_properties-d27a35cadbf1fff9: crates/bench/../../tests/storage_properties.rs
+
+crates/bench/../../tests/storage_properties.rs:

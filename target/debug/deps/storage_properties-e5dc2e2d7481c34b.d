@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/storage_properties-e5dc2e2d7481c34b.d: crates/bench/../../tests/storage_properties.rs
+
+/root/repo/target/debug/deps/libstorage_properties-e5dc2e2d7481c34b.rmeta: crates/bench/../../tests/storage_properties.rs
+
+crates/bench/../../tests/storage_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txn_isolation-8efc9a540cadedea.d: crates/bench/../../tests/txn_isolation.rs
+
+/root/repo/target/debug/deps/txn_isolation-8efc9a540cadedea: crates/bench/../../tests/txn_isolation.rs
+
+crates/bench/../../tests/txn_isolation.rs:

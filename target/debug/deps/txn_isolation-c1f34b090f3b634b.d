@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/txn_isolation-c1f34b090f3b634b.d: crates/bench/../../tests/txn_isolation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtxn_isolation-c1f34b090f3b634b.rmeta: crates/bench/../../tests/txn_isolation.rs Cargo.toml
+
+crates/bench/../../tests/txn_isolation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/txn_isolation-f6d38cf0376ae44b.d: crates/bench/../../tests/txn_isolation.rs
+
+/root/repo/target/debug/deps/libtxn_isolation-f6d38cf0376ae44b.rmeta: crates/bench/../../tests/txn_isolation.rs
+
+crates/bench/../../tests/txn_isolation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/analytics-08b0f6f3749d708b.d: crates/bench/../../examples/analytics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libanalytics-08b0f6f3749d708b.rmeta: crates/bench/../../examples/analytics.rs Cargo.toml
+
+crates/bench/../../examples/analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics-40d6348dc038c309.d: crates/bench/../../examples/analytics.rs
+
+/root/repo/target/debug/examples/analytics-40d6348dc038c309: crates/bench/../../examples/analytics.rs
+
+crates/bench/../../examples/analytics.rs:

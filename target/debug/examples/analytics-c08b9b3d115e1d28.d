@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/analytics-c08b9b3d115e1d28.d: crates/bench/../../examples/analytics.rs
+
+/root/repo/target/debug/examples/libanalytics-c08b9b3d115e1d28.rmeta: crates/bench/../../examples/analytics.rs
+
+crates/bench/../../examples/analytics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/csv_to_sql-3138ba607bcb858a.d: crates/bench/../../examples/csv_to_sql.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcsv_to_sql-3138ba607bcb858a.rmeta: crates/bench/../../examples/csv_to_sql.rs Cargo.toml
+
+crates/bench/../../examples/csv_to_sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

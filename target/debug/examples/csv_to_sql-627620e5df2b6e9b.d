@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_to_sql-627620e5df2b6e9b.d: crates/bench/../../examples/csv_to_sql.rs
+
+/root/repo/target/debug/examples/libcsv_to_sql-627620e5df2b6e9b.rmeta: crates/bench/../../examples/csv_to_sql.rs
+
+crates/bench/../../examples/csv_to_sql.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/csv_to_sql-97b7ebca2c5f5b61.d: crates/bench/../../examples/csv_to_sql.rs
+
+/root/repo/target/debug/examples/csv_to_sql-97b7ebca2c5f5b61: crates/bench/../../examples/csv_to_sql.rs
+
+crates/bench/../../examples/csv_to_sql.rs:

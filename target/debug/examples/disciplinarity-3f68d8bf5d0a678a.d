@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disciplinarity-3f68d8bf5d0a678a.d: crates/bench/../../examples/disciplinarity.rs
+
+/root/repo/target/debug/examples/libdisciplinarity-3f68d8bf5d0a678a.rmeta: crates/bench/../../examples/disciplinarity.rs
+
+crates/bench/../../examples/disciplinarity.rs:

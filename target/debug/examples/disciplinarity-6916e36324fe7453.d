@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/disciplinarity-6916e36324fe7453.d: crates/bench/../../examples/disciplinarity.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdisciplinarity-6916e36324fe7453.rmeta: crates/bench/../../examples/disciplinarity.rs Cargo.toml
+
+crates/bench/../../examples/disciplinarity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

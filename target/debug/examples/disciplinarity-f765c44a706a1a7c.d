@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/disciplinarity-f765c44a706a1a7c.d: crates/bench/../../examples/disciplinarity.rs
+
+/root/repo/target/debug/examples/disciplinarity-f765c44a706a1a7c: crates/bench/../../examples/disciplinarity.rs
+
+crates/bench/../../examples/disciplinarity.rs:

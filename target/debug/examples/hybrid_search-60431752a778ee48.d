@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_search-60431752a778ee48.d: crates/bench/../../examples/hybrid_search.rs
+
+/root/repo/target/debug/examples/libhybrid_search-60431752a778ee48.rmeta: crates/bench/../../examples/hybrid_search.rs
+
+crates/bench/../../examples/hybrid_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hybrid_search-83550cb2ffaf6165.d: crates/bench/../../examples/hybrid_search.rs
+
+/root/repo/target/debug/examples/hybrid_search-83550cb2ffaf6165: crates/bench/../../examples/hybrid_search.rs
+
+crates/bench/../../examples/hybrid_search.rs:

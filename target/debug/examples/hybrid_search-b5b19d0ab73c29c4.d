@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hybrid_search-b5b19d0ab73c29c4.d: crates/bench/../../examples/hybrid_search.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhybrid_search-b5b19d0ab73c29c4.rmeta: crates/bench/../../examples/hybrid_search.rs Cargo.toml
+
+crates/bench/../../examples/hybrid_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

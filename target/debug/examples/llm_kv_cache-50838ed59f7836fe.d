@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_kv_cache-50838ed59f7836fe.d: crates/bench/../../examples/llm_kv_cache.rs
+
+/root/repo/target/debug/examples/libllm_kv_cache-50838ed59f7836fe.rmeta: crates/bench/../../examples/llm_kv_cache.rs
+
+crates/bench/../../examples/llm_kv_cache.rs:

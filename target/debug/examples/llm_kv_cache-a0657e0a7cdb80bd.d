@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/llm_kv_cache-a0657e0a7cdb80bd.d: crates/bench/../../examples/llm_kv_cache.rs
+
+/root/repo/target/debug/examples/llm_kv_cache-a0657e0a7cdb80bd: crates/bench/../../examples/llm_kv_cache.rs
+
+crates/bench/../../examples/llm_kv_cache.rs:

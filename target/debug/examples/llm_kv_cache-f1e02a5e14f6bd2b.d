@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/llm_kv_cache-f1e02a5e14f6bd2b.d: crates/bench/../../examples/llm_kv_cache.rs Cargo.toml
+
+/root/repo/target/debug/examples/libllm_kv_cache-f1e02a5e14f6bd2b.rmeta: crates/bench/../../examples/llm_kv_cache.rs Cargo.toml
+
+crates/bench/../../examples/llm_kv_cache.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

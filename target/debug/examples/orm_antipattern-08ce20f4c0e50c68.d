@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/orm_antipattern-08ce20f4c0e50c68.d: crates/bench/../../examples/orm_antipattern.rs Cargo.toml
+
+/root/repo/target/debug/examples/liborm_antipattern-08ce20f4c0e50c68.rmeta: crates/bench/../../examples/orm_antipattern.rs Cargo.toml
+
+crates/bench/../../examples/orm_antipattern.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

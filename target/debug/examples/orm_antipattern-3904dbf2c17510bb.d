@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orm_antipattern-3904dbf2c17510bb.d: crates/bench/../../examples/orm_antipattern.rs
+
+/root/repo/target/debug/examples/liborm_antipattern-3904dbf2c17510bb.rmeta: crates/bench/../../examples/orm_antipattern.rs
+
+crates/bench/../../examples/orm_antipattern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/orm_antipattern-ac79893eb9b1b5a6.d: crates/bench/../../examples/orm_antipattern.rs
+
+/root/repo/target/debug/examples/orm_antipattern-ac79893eb9b1b5a6: crates/bench/../../examples/orm_antipattern.rs
+
+crates/bench/../../examples/orm_antipattern.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence-5ccd915c005c2069.d: crates/bench/../../examples/persistence.rs
+
+/root/repo/target/debug/examples/persistence-5ccd915c005c2069: crates/bench/../../examples/persistence.rs
+
+crates/bench/../../examples/persistence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/persistence-a649e1c57edc8890.d: crates/bench/../../examples/persistence.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpersistence-a649e1c57edc8890.rmeta: crates/bench/../../examples/persistence.rs Cargo.toml
+
+crates/bench/../../examples/persistence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

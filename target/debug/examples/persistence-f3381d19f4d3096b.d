@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/persistence-f3381d19f4d3096b.d: crates/bench/../../examples/persistence.rs
+
+/root/repo/target/debug/examples/libpersistence-f3381d19f4d3096b.rmeta: crates/bench/../../examples/persistence.rs
+
+crates/bench/../../examples/persistence.rs:

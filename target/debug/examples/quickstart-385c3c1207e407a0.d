@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-385c3c1207e407a0.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-385c3c1207e407a0.rmeta: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

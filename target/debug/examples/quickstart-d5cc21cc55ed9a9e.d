@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d5cc21cc55ed9a9e.d: crates/bench/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d5cc21cc55ed9a9e: crates/bench/../../examples/quickstart.rs
+
+crates/bench/../../examples/quickstart.rs:

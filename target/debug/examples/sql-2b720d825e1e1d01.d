@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql-2b720d825e1e1d01.d: crates/bench/../../examples/sql.rs
+
+/root/repo/target/debug/examples/libsql-2b720d825e1e1d01.rmeta: crates/bench/../../examples/sql.rs
+
+crates/bench/../../examples/sql.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sql-874e84ee16b7878a.d: crates/bench/../../examples/sql.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsql-874e84ee16b7878a.rmeta: crates/bench/../../examples/sql.rs Cargo.toml
+
+crates/bench/../../examples/sql.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

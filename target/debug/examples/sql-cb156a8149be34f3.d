@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sql-cb156a8149be34f3.d: crates/bench/../../examples/sql.rs
+
+/root/repo/target/debug/examples/sql-cb156a8149be34f3: crates/bench/../../examples/sql.rs
+
+crates/bench/../../examples/sql.rs:

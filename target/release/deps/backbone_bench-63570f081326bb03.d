@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/backbone_bench-63570f081326bb03.d: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs
+
+/root/repo/target/release/deps/libbackbone_bench-63570f081326bb03.rlib: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs
+
+/root/repo/target/release/deps/libbackbone_bench-63570f081326bb03.rmeta: crates/bench/src/lib.rs crates/bench/src/e1_tpch.rs crates/bench/src/e2_orm.rs crates/bench/src/e3_hybrid.rs crates/bench/src/e4_kvcache.rs crates/bench/src/e5_txn.rs crates/bench/src/e6_optimizer.rs crates/bench/src/e7_disciplines.rs crates/bench/src/e8_usability.rs crates/bench/src/e9_ann.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/e1_tpch.rs:
+crates/bench/src/e2_orm.rs:
+crates/bench/src/e3_hybrid.rs:
+crates/bench/src/e4_kvcache.rs:
+crates/bench/src/e5_txn.rs:
+crates/bench/src/e6_optimizer.rs:
+crates/bench/src/e7_disciplines.rs:
+crates/bench/src/e8_usability.rs:
+crates/bench/src/e9_ann.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/backbone_core-930dad1505a04664.d: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libbackbone_core-930dad1505a04664.rlib: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+/root/repo/target/release/deps/libbackbone_core-930dad1505a04664.rmeta: crates/core/src/lib.rs crates/core/src/csv.rs crates/core/src/database.rs crates/core/src/durability.rs crates/core/src/error.rs crates/core/src/hybrid.rs crates/core/src/index.rs crates/core/src/session.rs crates/core/src/topk.rs
+
+crates/core/src/lib.rs:
+crates/core/src/csv.rs:
+crates/core/src/database.rs:
+crates/core/src/durability.rs:
+crates/core/src/error.rs:
+crates/core/src/hybrid.rs:
+crates/core/src/index.rs:
+crates/core/src/session.rs:
+crates/core/src/topk.rs:

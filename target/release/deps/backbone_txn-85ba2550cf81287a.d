@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/backbone_txn-85ba2550cf81287a.d: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/release/deps/libbackbone_txn-85ba2550cf81287a.rlib: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+/root/repo/target/release/deps/libbackbone_txn-85ba2550cf81287a.rmeta: crates/txn/src/lib.rs crates/txn/src/error.rs crates/txn/src/fault.rs crates/txn/src/harness.rs crates/txn/src/mvcc.rs crates/txn/src/ops.rs crates/txn/src/serial.rs crates/txn/src/twopl.rs crates/txn/src/wal.rs
+
+crates/txn/src/lib.rs:
+crates/txn/src/error.rs:
+crates/txn/src/fault.rs:
+crates/txn/src/harness.rs:
+crates/txn/src/mvcc.rs:
+crates/txn/src/ops.rs:
+crates/txn/src/serial.rs:
+crates/txn/src/twopl.rs:
+crates/txn/src/wal.rs:

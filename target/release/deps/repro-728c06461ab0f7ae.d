@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-728c06461ab0f7ae.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-728c06461ab0f7ae: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/hybrid_search-00672e09ef8d99ad.d: crates/bench/../../examples/hybrid_search.rs
+
+/root/repo/target/release/examples/hybrid_search-00672e09ef8d99ad: crates/bench/../../examples/hybrid_search.rs
+
+crates/bench/../../examples/hybrid_search.rs:

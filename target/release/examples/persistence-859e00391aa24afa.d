@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/persistence-859e00391aa24afa.d: crates/bench/../../examples/persistence.rs
+
+/root/repo/target/release/examples/persistence-859e00391aa24afa: crates/bench/../../examples/persistence.rs
+
+crates/bench/../../examples/persistence.rs:

@@ -139,6 +139,59 @@ proptest! {
 }
 
 #[test]
+fn search_request_builder_matches_direct_calls() {
+    // The `Session`/`SearchRequest` facade is plumbing, not policy: for the
+    // same spec it must return byte-identical hits and costs for both the
+    // unified engine and the bolt-on baseline.
+    let db = build_db(500, 27);
+    let mut v = vec![0.1f32; 8];
+    v[2] = 1.0;
+    let spec = HybridSpec {
+        table: "products".into(),
+        filter: Some(col("rating").gt(lit(2.5))),
+        keyword: Some("premium bass".into()),
+        vector: Some(v.clone()),
+        k: 7,
+        weights: FusionWeights {
+            vector: 1.5,
+            text: 0.5,
+        },
+    };
+    let session = db.session();
+    let built = session
+        .search("products")
+        .filter(col("rating").gt(lit(2.5)))
+        .keyword("premium bass")
+        .vector(v.clone())
+        .k(7)
+        .vector_weight(1.5)
+        .text_weight(0.5)
+        .run()
+        .unwrap();
+    let (direct, direct_cost) = unified_search(&db, &spec).unwrap();
+    assert_eq!(built.hits, direct);
+    assert_eq!(built.cost.round_trips, direct_cost.round_trips);
+    assert_eq!(
+        built.cost.candidates_fetched,
+        direct_cost.candidates_fetched
+    );
+
+    let built_bolton = session
+        .search("products")
+        .filter(col("rating").gt(lit(2.5)))
+        .keyword("premium bass")
+        .vector(v)
+        .k(7)
+        .vector_weight(1.5)
+        .text_weight(0.5)
+        .via_bolton()
+        .run()
+        .unwrap();
+    let (direct_bolton, _) = bolton_search(&db, &spec).unwrap();
+    assert_eq!(built_bolton.hits, direct_bolton);
+}
+
+#[test]
 fn hnsw_backed_unified_search_mostly_matches_exact() {
     let db_exact = build_db(1500, 30);
     let catalog = hybrid::generate(1500, 8, 30);

@@ -4,15 +4,13 @@
 
 use backbone_txn::harness::{load_initial, run_workload, WorkloadConfig, INITIAL_BALANCE};
 use backbone_txn::ops::execute_with_retry;
-use backbone_txn::{KvEngine, MvccEngine, SerialEngine, TwoPlEngine, TxnOp, Wal, WalConfig};
+use backbone_txn::{
+    FsyncPolicy, KvEngine, MvccEngine, SerialEngine, TwoPlEngine, TxnOp, Wal, WalConfig,
+};
 use std::sync::Arc;
-use std::time::Duration;
 
 fn engines_with_wal() -> Vec<(Arc<dyn KvEngine>, Arc<Wal>)> {
-    let wal_cfg = WalConfig {
-        fsync_latency: Duration::ZERO,
-        group_commit: true,
-    };
+    let wal_cfg = WalConfig::with_policy(FsyncPolicy::Group);
     let w1 = Arc::new(Wal::new(wal_cfg));
     let w2 = Arc::new(Wal::new(wal_cfg));
     let w3 = Arc::new(Wal::new(wal_cfg));
@@ -75,10 +73,7 @@ fn load_initial_dyn(engine: &dyn KvEngine, keys: u64) {
 fn wal_replay_reconstructs_committed_state() {
     // Run a workload against MVCC + WAL, then replay the log into a fresh
     // serial engine and compare every key.
-    let wal = Arc::new(Wal::new(WalConfig {
-        fsync_latency: Duration::ZERO,
-        group_commit: true,
-    }));
+    let wal = Arc::new(Wal::new(WalConfig::with_policy(FsyncPolicy::Group)));
     let engine = Arc::new(MvccEngine::new(Some(wal.clone())));
     load_initial(engine.as_ref(), 64);
     let config = WorkloadConfig {
@@ -95,8 +90,10 @@ fn wal_replay_reconstructs_committed_state() {
     // Recovery: fresh engine, initial state, replay records in log order.
     let recovered = SerialEngine::new(None);
     recovered.load((0..64).map(|k| (k, INITIAL_BALANCE)));
-    for record in wal.replay() {
-        apply_record(&recovered, &record);
+    let replay = wal.replay().expect("clean log replays");
+    assert_eq!(replay.bytes_dropped, 0, "no torn tail on a clean shutdown");
+    for record in &replay.records {
+        apply_record(&recovered, &record.payload);
     }
     for k in 0..64 {
         assert_eq!(
@@ -135,10 +132,7 @@ fn wal_order_matches_commit_order_for_blind_writes() {
     // Non-commutative Writes: replay is only correct if the log order
     // equals the commit-timestamp order (the WAL appends inside the commit
     // critical section).
-    let wal = Arc::new(Wal::new(WalConfig {
-        fsync_latency: Duration::ZERO,
-        group_commit: true,
-    }));
+    let wal = Arc::new(Wal::new(WalConfig::with_policy(FsyncPolicy::Group)));
     let engine = Arc::new(MvccEngine::new(Some(wal.clone())));
     engine.load([(1, 0), (2, 0)]);
     let handles: Vec<_> = (0..4)
@@ -161,8 +155,8 @@ fn wal_order_matches_commit_order_for_blind_writes() {
     }
     let recovered = SerialEngine::new(None);
     recovered.load([(1, 0), (2, 0)]);
-    for record in wal.replay() {
-        apply_record(&recovered, &record);
+    for record in &wal.replay().expect("clean log").records {
+        apply_record(&recovered, &record.payload);
     }
     assert_eq!(
         recovered.read(1),
