@@ -88,8 +88,23 @@ fn main() {
         println!("{}", bench::e9_ann::report(n, 42));
     }
 
+    if which == "bench" {
+        ran = true;
+        let entries = bench::exec_bench::run(quick);
+        let json = bench::exec_bench::to_json(&entries, quick);
+        // Quick smoke runs must not clobber the committed full-size baseline.
+        let path = if quick {
+            "target/BENCH_exec.quick.json"
+        } else {
+            "BENCH_exec.json"
+        };
+        std::fs::write(path, format!("{json}\n")).expect("write baseline");
+        print!("{}", bench::exec_bench::report(&entries, 8.0));
+        println!("wrote {path}");
+    }
+
     if !ran {
-        eprintln!("unknown experiment '{which}'; expected e1..e9 or all");
+        eprintln!("unknown experiment '{which}'; expected e1..e9, bench, or all");
         std::process::exit(2);
     }
 }

@@ -8,6 +8,7 @@
 
 use crate::time;
 use backbone_query::{execute, Catalog, ExecOptions, MemCatalog};
+use backbone_storage::Metrics;
 use backbone_workloads::{queries, tpch};
 
 /// One measured cell: query at a scale factor.
@@ -23,6 +24,8 @@ pub struct E1Row {
     pub rows: usize,
     /// `lineitem` rows at this SF.
     pub lineitem_rows: usize,
+    /// `op.*.kernel.*` counters captured during the measured run.
+    pub kernels: Vec<(String, u64)>,
 }
 
 /// Run every query at every scale factor.
@@ -31,17 +34,25 @@ pub fn run(sfs: &[f64], parallelism: usize, seed: u64) -> Vec<E1Row> {
     for &sf in sfs {
         let catalog: MemCatalog = tpch::generate(sf, seed);
         let lineitem_rows = catalog.table("lineitem").map(|t| t.num_rows()).unwrap_or(0);
-        let opts = ExecOptions::with_parallelism(parallelism);
+        let metrics = Metrics::new();
+        let opts = ExecOptions::with_parallelism(parallelism).with_metrics(metrics.clone());
         for (label, plan) in queries::all_queries(&catalog).expect("query build") {
-            // One warmup, then the measured run.
+            // One warmup, then the measured run with a clean registry.
             let _ = execute(plan.clone(), &catalog, &opts);
+            metrics.reset();
             let (result, seconds) = time(|| execute(plan, &catalog, &opts).expect("query run"));
+            let kernels: Vec<(String, u64)> = metrics
+                .snapshot()
+                .into_iter()
+                .filter(|(k, v)| k.starts_with("op.") && k.contains(".kernel.") && *v > 0)
+                .collect();
             out.push(E1Row {
                 sf,
                 query: label,
                 seconds,
                 rows: result.num_rows(),
                 lineitem_rows,
+                kernels,
             });
         }
     }
@@ -102,6 +113,23 @@ pub fn report(sfs: &[f64], parallelism: usize, seed: u64) -> String {
             r.rows
         ));
     }
+    if let Some(max_sf) = rows.iter().map(|r| r.sf).fold(None, |m: Option<f64>, s| {
+        Some(m.map_or(s, |m| if s > m { s } else { m }))
+    }) {
+        out.push_str(&format!(
+            "\nkernel timings at SF {max_sf} (engine truth):\n"
+        ));
+        for r in rows.iter().filter(|r| r.sf == max_sf) {
+            out.push_str(&format!("  {}:\n", r.query));
+            for (name, v) in &r.kernels {
+                if name.ends_with("_ns") {
+                    out.push_str(&format!("    {name:<34} {:>9.2} ms\n", *v as f64 / 1e6));
+                } else {
+                    out.push_str(&format!("    {name:<34} {v:>9}\n"));
+                }
+            }
+        }
+    }
     out.push_str("\nlinear extrapolation to SF 1000 (single machine):\n");
     for (q, secs) in extrapolate(&rows, 1000.0) {
         out.push_str(&format!("  {q}: ~{secs:.1} s\n"));
@@ -129,6 +157,7 @@ mod tests {
                 seconds: 1.0,
                 rows: 1,
                 lineitem_rows: 0,
+                kernels: vec![],
             },
             E1Row {
                 sf: 2.0,
@@ -136,6 +165,7 @@ mod tests {
                 seconds: 2.0,
                 rows: 1,
                 lineitem_rows: 0,
+                kernels: vec![],
             },
         ];
         let x = extrapolate(&rows, 10.0);

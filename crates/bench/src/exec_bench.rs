@@ -1,0 +1,229 @@
+//! Machine-readable execution-kernel baseline (`repro bench`).
+//!
+//! Measures the operator hot paths this crate's experiments lean on — E1's
+//! Q1/Q6 aggregation scans, E8's declarative-vs-hand-rolled gap, and a LIKE
+//! micro-benchmark over the compiled-pattern matcher — and emits the numbers
+//! as JSON (`BENCH_exec.json`) so CI can diff against a committed baseline.
+//! Every measured query also asserts result identity against an independent
+//! evaluation, so a speedup can never silently change answers.
+
+use crate::time;
+use backbone_query::{col, count_star, execute, ExecOptions, LogicalPlan, MemCatalog};
+use backbone_storage::{DataType, Field, Schema, Table, Value};
+use backbone_workloads::{queries, tpch};
+
+/// One measured entry: name, milliseconds (median of `RUNS`), result rows.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Metric name as it appears in the JSON.
+    pub name: &'static str,
+    /// Median wall-clock milliseconds.
+    pub ms: f64,
+    /// Result rows (sanity anchor: a wrong plan shows up here).
+    pub rows: usize,
+}
+
+const RUNS: usize = 3;
+
+/// Median-of-N wall clock for `f`, with one untimed warmup.
+fn measure<R>(mut f: impl FnMut() -> R) -> (R, f64) {
+    let _ = f();
+    let mut samples: Vec<f64> = Vec::with_capacity(RUNS);
+    let mut last = None;
+    for _ in 0..RUNS {
+        let (r, s) = time(&mut f);
+        samples.push(s * 1000.0);
+        last = Some(r);
+    }
+    samples.sort_by(f64::total_cmp);
+    (last.expect("RUNS > 0"), samples[RUNS / 2])
+}
+
+/// Rows match within floating-point tolerance (sums may reassociate when the
+/// optimizer reshapes a plan).
+fn rows_equal(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(va, vb)| match (va, vb) {
+                    (Value::Float(x), Value::Float(y)) => {
+                        (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+                    }
+                    _ => va == vb,
+                })
+        })
+}
+
+/// A corpus of order-comment strings for the LIKE micro-benchmark; roughly
+/// 10% contain the needle.
+fn like_catalog(rows: usize) -> MemCatalog {
+    let schema = Schema::new(vec![Field::new("note", DataType::Utf8)]);
+    let mut table = Table::new(schema);
+    for i in 0..rows {
+        let note = if i % 10 == 3 {
+            format!("order {i} flagged acme priority review")
+        } else {
+            format!("order {i} routine fulfilment batch {}", i % 97)
+        };
+        table
+            .append_row(vec![Value::str(note)])
+            .expect("schema matches");
+    }
+    table.flush().expect("flush in-memory table");
+    let catalog = MemCatalog::new();
+    catalog.register("notes", table);
+    catalog
+}
+
+/// Run the baseline suite. `quick` shrinks data sizes for CI smoke runs.
+pub fn run(quick: bool) -> Vec<BenchEntry> {
+    let mut out = Vec::new();
+
+    // E1 Q1/Q6: aggregation-dominated scans over lineitem.
+    let sf = if quick { 0.005 } else { 0.05 };
+    let catalog = tpch::generate(sf, 42);
+    let opts = ExecOptions::with_parallelism(4);
+    let baseline_opts = ExecOptions::unoptimized();
+    for (label, name) in [("Q1", "e1_q1_ms"), ("Q6", "e1_q6_ms")] {
+        let plan = |q: &str| {
+            queries::all_queries(&catalog)
+                .expect("query build")
+                .into_iter()
+                .find(|(l, _)| *l == q)
+                .expect("known query")
+                .1
+        };
+        let (result, ms) = measure(|| execute(plan(label), &catalog, &opts).expect("query run"));
+        let reference = execute(plan(label), &catalog, &baseline_opts).expect("reference run");
+        assert!(
+            rows_equal(&result.to_rows(), &reference.to_rows()),
+            "{label}: kernelized result diverged from unoptimized reference"
+        );
+        out.push(BenchEntry {
+            name,
+            ms,
+            rows: result.num_rows(),
+        });
+    }
+
+    // E8: the declarative plan vs the hand-rolled client loop.
+    let sf = if quick { 0.002 } else { 0.02 };
+    let catalog = tpch::generate(sf, 42);
+    let date = 1500;
+    let (decl, decl_ms) = measure(|| crate::e8_usability::declarative(&catalog, date));
+    let (manual, manual_ms) = measure(|| crate::e8_usability::manual(&catalog, date));
+    assert_eq!(
+        decl, manual,
+        "E8: declarative and hand-rolled answers differ"
+    );
+    out.push(BenchEntry {
+        name: "e8_declarative_ms",
+        ms: decl_ms,
+        rows: decl.len(),
+    });
+    out.push(BenchEntry {
+        name: "e8_manual_ms",
+        ms: manual_ms,
+        rows: manual.len(),
+    });
+
+    // LIKE micro-benchmark: a fast-path pattern (contains) and a generic one.
+    let rows = if quick { 20_000 } else { 200_000 };
+    let catalog = like_catalog(rows);
+    let opts = ExecOptions::default();
+    for (pattern, name, expect) in [
+        ("%acme%", "like_contains_ms", rows / 10),
+        ("%a_me p%iority%", "like_generic_ms", rows / 10),
+    ] {
+        let plan = || {
+            LogicalPlan::scan("notes", &catalog)
+                .unwrap()
+                .filter(col("note").like(pattern))
+                .aggregate(vec![], vec![count_star().alias("n")])
+        };
+        let (result, ms) = measure(|| execute(plan(), &catalog, &opts).expect("like run"));
+        let n = result.row(0)[0].as_int().expect("count") as usize;
+        assert_eq!(n, expect, "LIKE '{pattern}' matched an unexpected count");
+        out.push(BenchEntry { name, ms, rows: n });
+    }
+
+    out
+}
+
+/// Render entries as a stable, pretty-printed JSON object.
+pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    for (i, e) in entries.iter().enumerate() {
+        let sep = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "  \"{}\": {{ \"ms\": {:.3}, \"rows\": {} }}{sep}\n",
+            e.name, e.ms, e.rows
+        ));
+    }
+    s.push('}');
+    s
+}
+
+/// Human summary plus the `PERF_OK`/`PERF_FAIL` verdict line CI greps for.
+/// The threshold is deliberately generous: the declarative engine must stay
+/// within `max_gap`× of the hand-rolled loop (catastrophic-regression alarm,
+/// not a tuning target).
+pub fn report(entries: &[BenchEntry], max_gap: f64) -> String {
+    let mut out = String::from("exec kernel baseline:\n");
+    for e in entries {
+        out.push_str(&format!(
+            "  {:<20} {:>9.2} ms  rows={}\n",
+            e.name, e.ms, e.rows
+        ));
+    }
+    let get = |name: &str| entries.iter().find(|e| e.name == name).map(|e| e.ms);
+    match (get("e8_declarative_ms"), get("e8_manual_ms")) {
+        (Some(decl), Some(manual)) if manual > 0.0 => {
+            let gap = decl / manual;
+            let verdict = if gap <= max_gap {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} declarative/hand-rolled gap = {gap:.2}x (threshold {max_gap:.0}x)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing E8 measurements\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_runs_and_serializes() {
+        let entries = run(true);
+        assert_eq!(entries.len(), 6);
+        let json = to_json(&entries, true);
+        assert!(json.contains("\"e1_q1_ms\""));
+        assert!(json.contains("\"like_generic_ms\""));
+        let rep = report(&entries, 1000.0);
+        assert!(rep.contains("PERF_OK"), "{rep}");
+    }
+
+    #[test]
+    fn gap_threshold_enforced() {
+        let entries = vec![
+            BenchEntry {
+                name: "e8_declarative_ms",
+                ms: 100.0,
+                rows: 3,
+            },
+            BenchEntry {
+                name: "e8_manual_ms",
+                ms: 1.0,
+                rows: 3,
+            },
+        ];
+        assert!(report(&entries, 10.0).contains("PERF_FAIL"));
+    }
+}

@@ -14,6 +14,7 @@ pub mod e6_optimizer;
 pub mod e7_disciplines;
 pub mod e8_usability;
 pub mod e9_ann;
+pub mod exec_bench;
 
 /// Format a number with thousands separators.
 pub fn fmt_count(n: f64) -> String {

@@ -1,12 +1,62 @@
 //! Vectorized expression evaluation over record batches.
+//!
+//! Kernels are **selection-aware**: when a batch carries a selection vector,
+//! every computed column still has the batch's *base* row count, but only the
+//! selected lanes are evaluated (and marked valid). That keeps column indices
+//! aligned across stacked operators without compaction, and it preserves
+//! error semantics — a division by zero on a row the filter already dropped
+//! must not fail the query.
 
 use crate::error::{QueryError, Result};
 use crate::expr::{BinOp, Expr, UnOp};
 use backbone_storage::{Bitmap, Column, RecordBatch, Value};
 
+/// Visit base-row indices: the selected lanes when `sel` is present, else all
+/// of `0..n`.
+macro_rules! lanes {
+    ($sel:expr, $n:expr, $i:ident => $body:block) => {
+        match $sel {
+            Some(s) => {
+                for &lane in s {
+                    let $i = lane as usize;
+                    $body
+                }
+            }
+            None => {
+                for $i in 0..$n {
+                    $body
+                }
+            }
+        }
+    };
+}
+
 /// Evaluate an expression against a batch, producing one column of the
-/// batch's row count.
+/// batch's **base** row count. On a selected batch only the selected lanes
+/// are computed; other lanes are NULL and must not be read.
 pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
+    eval_lanes(expr, batch, batch.selection())
+}
+
+/// Evaluate like [`eval`], but bare column references (and aliases of them)
+/// return the batch's shared column handle instead of deep-cloning the data —
+/// the difference between O(1) and re-allocating every string in a Utf8
+/// column on each batch.
+pub fn eval_arc(expr: &Expr, batch: &RecordBatch) -> Result<std::sync::Arc<Column>> {
+    let mut e = expr;
+    while let Expr::Alias(inner, _) = e {
+        e = inner;
+    }
+    if let Expr::Column(name) = e {
+        let col = batch
+            .column_by_name(name)
+            .map_err(|_| QueryError::InvalidExpression(format!("unknown column '{name}'")))?;
+        return Ok(col.clone());
+    }
+    Ok(std::sync::Arc::new(eval(expr, batch)?))
+}
+
+fn eval_lanes(expr: &Expr, batch: &RecordBatch, sel: Option<&[u32]>) -> Result<Column> {
     match expr {
         Expr::Column(name) => {
             let col = batch
@@ -14,31 +64,91 @@ pub fn eval(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
                 .map_err(|_| QueryError::InvalidExpression(format!("unknown column '{name}'")))?;
             Ok(col.as_ref().clone())
         }
-        Expr::Literal(v) => broadcast(v, batch.num_rows()),
-        Expr::Alias(inner, _) => eval(inner, batch),
+        Expr::Literal(v) => broadcast(v, batch.base_rows()),
+        Expr::Alias(inner, _) => eval_lanes(inner, batch, sel),
         Expr::Unary { op, expr } => {
-            let input = eval(expr, batch)?;
+            let input = eval_lanes(expr, batch, sel)?;
             eval_unary(*op, &input)
         }
         Expr::Binary { left, op, right } => {
-            let l = eval(left, batch)?;
-            let r = eval(right, batch)?;
-            eval_binary(&l, *op, &r)
+            let l = eval_lanes(left, batch, sel)?;
+            let r = eval_lanes(right, batch, sel)?;
+            eval_binary(&l, *op, &r, sel)
         }
         Expr::Like {
             expr,
             pattern,
             negated,
         } => {
-            let input = eval(expr, batch)?;
-            eval_like(&input, pattern, *negated)
+            let input = eval_lanes(expr, batch, sel)?;
+            eval_like(&input, pattern, *negated, sel)
+        }
+    }
+}
+
+/// A LIKE pattern compiled once per column. Patterns whose only wildcards
+/// are leading/trailing `%` dispatch to `str` fast paths; everything else
+/// falls back to the generic matcher over a reused char buffer.
+enum LikePattern {
+    Exact(String),
+    Prefix(String),
+    Suffix(String),
+    Contains(String),
+    Generic(Vec<char>),
+}
+
+impl LikePattern {
+    fn compile(pattern: &str) -> LikePattern {
+        if !pattern.contains('_') {
+            let inner_pct = |s: &str| s.contains('%');
+            let starts = pattern.starts_with('%');
+            let ends = pattern.ends_with('%') && pattern.len() >= 2 || pattern == "%";
+            match (starts, ends) {
+                (false, false) if !inner_pct(pattern) => {
+                    return LikePattern::Exact(pattern.to_string())
+                }
+                (false, true) => {
+                    let body = &pattern[..pattern.len() - 1];
+                    if !inner_pct(body) {
+                        return LikePattern::Prefix(body.to_string());
+                    }
+                }
+                (true, false) => {
+                    let body = &pattern[1..];
+                    if !inner_pct(body) {
+                        return LikePattern::Suffix(body.to_string());
+                    }
+                }
+                (true, true) => {
+                    let body = &pattern[1..pattern.len().saturating_sub(1).max(1)];
+                    if !inner_pct(body) {
+                        return LikePattern::Contains(body.to_string());
+                    }
+                }
+                _ => {}
+            }
+        }
+        LikePattern::Generic(pattern.chars().collect())
+    }
+
+    fn matches(&self, text: &str, buf: &mut Vec<char>) -> bool {
+        match self {
+            LikePattern::Exact(p) => text == p,
+            LikePattern::Prefix(p) => text.starts_with(p.as_str()),
+            LikePattern::Suffix(p) => text.ends_with(p.as_str()),
+            LikePattern::Contains(p) => text.contains(p.as_str()),
+            LikePattern::Generic(pat) => {
+                buf.clear();
+                buf.extend(text.chars());
+                like_match(buf, pat)
+            }
         }
     }
 }
 
 /// SQL LIKE: `%` matches any run (including empty), `_` exactly one char.
 /// NULL inputs yield NULL (excluded by predicate semantics).
-fn eval_like(input: &Column, pattern: &str, negated: bool) -> Result<Column> {
+fn eval_like(input: &Column, pattern: &str, negated: bool, sel: Option<&[u32]>) -> Result<Column> {
     let (vals, validity) = match input {
         Column::Utf8(v, b) => (v, b),
         other => {
@@ -48,17 +158,18 @@ fn eval_like(input: &Column, pattern: &str, negated: bool) -> Result<Column> {
             )))
         }
     };
-    let pat: Vec<char> = pattern.chars().collect();
+    let pat = LikePattern::compile(pattern);
     let n = vals.len();
     let mut out = vec![false; n];
     let mut out_validity = Bitmap::all_null(n);
-    for i in 0..n {
+    let mut buf: Vec<char> = Vec::new();
+    lanes!(sel, n, i => {
         if validity.get(i) {
-            let m = like_match(&vals[i].chars().collect::<Vec<_>>(), &pat);
+            let m = pat.matches(&vals[i], &mut buf);
             out[i] = m != negated;
             out_validity.set(i, true);
         }
-    }
+    });
     Ok(Column::Bool(out, out_validity))
 }
 
@@ -89,16 +200,23 @@ fn like_match(text: &[char], pat: &[char]) -> bool {
     p == pat.len()
 }
 
-/// Evaluate a predicate to a row mask: `true` where the result is TRUE (not
-/// NULL, not FALSE) — SQL `WHERE` semantics.
+/// Evaluate a predicate to a **logical-row** mask: `true` where the result is
+/// TRUE (not NULL, not FALSE) — SQL `WHERE` semantics. On a selected batch
+/// the mask has one entry per selection lane, aligned with `num_rows()`.
 pub fn eval_predicate(expr: &Expr, batch: &RecordBatch) -> Result<Vec<bool>> {
     let col = eval(expr, batch)?;
     match col {
-        Column::Bool(vals, validity) => Ok(vals
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| b && validity.get(i))
-            .collect()),
+        Column::Bool(vals, validity) => Ok(match batch.selection() {
+            Some(s) => s
+                .iter()
+                .map(|&i| vals[i as usize] && validity.get(i as usize))
+                .collect(),
+            None => vals
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b && validity.get(i))
+                .collect(),
+        }),
         other => Err(QueryError::InvalidExpression(format!(
             "predicate must be boolean, got {}",
             other.data_type()
@@ -154,7 +272,7 @@ fn eval_unary(op: UnOp, input: &Column) -> Result<Column> {
     }
 }
 
-fn eval_binary(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+fn eval_binary(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Result<Column> {
     if l.len() != r.len() {
         return Err(QueryError::InvalidExpression(format!(
             "operand length mismatch: {} vs {}",
@@ -163,16 +281,16 @@ fn eval_binary(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
         )));
     }
     if op.is_logical() {
-        return eval_logical(l, op, r);
+        return eval_logical(l, op, r, sel);
     }
     if op.is_comparison() {
-        return eval_comparison(l, op, r);
+        return eval_comparison(l, op, r, sel);
     }
-    eval_arithmetic(l, op, r)
+    eval_arithmetic(l, op, r, sel)
 }
 
 /// Three-valued AND/OR per the SQL standard.
-fn eval_logical(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+fn eval_logical(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Result<Column> {
     let (lv, lb) = match l {
         Column::Bool(v, b) => (v, b),
         other => {
@@ -194,7 +312,7 @@ fn eval_logical(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
     let n = lv.len();
     let mut vals = vec![false; n];
     let mut validity = Bitmap::all_null(n);
-    for i in 0..n {
+    lanes!(sel, n, i => {
         let a = lb.get(i).then_some(lv[i]);
         let b = rb.get(i).then_some(rv[i]);
         let out = match op {
@@ -214,11 +332,11 @@ fn eval_logical(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
             vals[i] = v;
             validity.set(i, true);
         }
-    }
+    });
     Ok(Column::Bool(vals, validity))
 }
 
-fn eval_comparison(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+fn eval_comparison(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Result<Column> {
     use std::cmp::Ordering;
     let n = l.len();
     let keep = |ord: Ordering| -> bool {
@@ -239,58 +357,58 @@ fn eval_comparison(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
     // Fast paths for the hot numeric/string cases; generic fallback via Value.
     match (l, r) {
         (Column::Int64(lv, lb), Column::Int64(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     vals[i] = keep(lv[i].cmp(&rv[i]));
                     validity.set(i, true);
                 }
-            }
+            });
         }
         (Column::Float64(lv, lb), Column::Float64(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     if let Some(ord) = lv[i].partial_cmp(&rv[i]) {
                         vals[i] = keep(ord);
                         validity.set(i, true);
                     }
                 }
-            }
+            });
         }
         (Column::Int64(lv, lb), Column::Float64(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     if let Some(ord) = (lv[i] as f64).partial_cmp(&rv[i]) {
                         vals[i] = keep(ord);
                         validity.set(i, true);
                     }
                 }
-            }
+            });
         }
         (Column::Float64(lv, lb), Column::Int64(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     if let Some(ord) = lv[i].partial_cmp(&(rv[i] as f64)) {
                         vals[i] = keep(ord);
                         validity.set(i, true);
                     }
                 }
-            }
+            });
         }
         (Column::Utf8(lv, lb), Column::Utf8(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     vals[i] = keep(lv[i].cmp(&rv[i]));
                     validity.set(i, true);
                 }
-            }
+            });
         }
         (Column::Bool(lv, lb), Column::Bool(rv, rb)) => {
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     vals[i] = keep(lv[i].cmp(&rv[i]));
                     validity.set(i, true);
                 }
-            }
+            });
         }
         _ => {
             return Err(QueryError::InvalidExpression(format!(
@@ -303,14 +421,14 @@ fn eval_comparison(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
     Ok(Column::Bool(vals, validity))
 }
 
-fn eval_arithmetic(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
+fn eval_arithmetic(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Result<Column> {
     let n = l.len();
     match (l, r) {
         // Int op Int: stays integer, except Div which widens to float.
         (Column::Int64(lv, lb), Column::Int64(rv, rb)) if op != BinOp::Div => {
             let mut vals = vec![0i64; n];
             let mut validity = Bitmap::all_null(n);
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     let out = match op {
                         BinOp::Add => lv[i].checked_add(rv[i]),
@@ -332,50 +450,66 @@ fn eval_arithmetic(l: &Column, op: BinOp, r: &Column) -> Result<Column> {
                         }
                     }
                 }
-            }
+            });
             Ok(Column::Int64(vals, validity))
         }
         // Everything else numeric: compute in f64.
         _ => {
-            let lf = to_f64(l)?;
-            let rf = to_f64(r)?;
-            let (lv, lb) = lf;
-            let (rv, rb) = rf;
+            let (lv, lb) = to_f64_parts(l)?;
+            let (rv, rb) = to_f64_parts(r)?;
             let mut vals = vec![0f64; n];
             let mut validity = Bitmap::all_null(n);
-            for i in 0..n {
+            lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
+                    let a = lv.get_f64(i);
+                    let b = rv.get_f64(i);
                     let v = match op {
-                        BinOp::Add => lv[i] + rv[i],
-                        BinOp::Sub => lv[i] - rv[i],
-                        BinOp::Mul => lv[i] * rv[i],
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
                         BinOp::Div => {
-                            if rv[i] == 0.0 {
+                            if b == 0.0 {
                                 return Err(QueryError::Arithmetic("division by zero".into()));
                             }
-                            lv[i] / rv[i]
+                            a / b
                         }
                         BinOp::Mod => {
-                            if rv[i] == 0.0 {
+                            if b == 0.0 {
                                 return Err(QueryError::Arithmetic("modulo by zero".into()));
                             }
-                            lv[i] % rv[i]
+                            a % b
                         }
                         _ => unreachable!(),
                     };
                     vals[i] = v;
                     validity.set(i, true);
                 }
-            }
+            });
             Ok(Column::Float64(vals, validity))
         }
     }
 }
 
-fn to_f64(c: &Column) -> Result<(Vec<f64>, Bitmap)> {
+/// A numeric slice readable as `f64` without copying the column.
+enum F64Lanes<'a> {
+    F(&'a [f64]),
+    I(&'a [i64]),
+}
+
+impl F64Lanes<'_> {
+    #[inline]
+    fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            F64Lanes::F(v) => v[i],
+            F64Lanes::I(v) => v[i] as f64,
+        }
+    }
+}
+
+fn to_f64_parts(c: &Column) -> Result<(F64Lanes<'_>, &Bitmap)> {
     match c {
-        Column::Float64(v, b) => Ok((v.clone(), b.clone())),
-        Column::Int64(v, b) => Ok((v.iter().map(|&x| x as f64).collect(), b.clone())),
+        Column::Float64(v, b) => Ok((F64Lanes::F(v), b)),
+        Column::Int64(v, b) => Ok((F64Lanes::I(v), b)),
         other => Err(QueryError::InvalidExpression(format!(
             "arithmetic over {}",
             other.data_type()
@@ -562,6 +696,59 @@ mod tests {
             let p: Vec<char> = pat.chars().collect();
             assert_eq!(like_match(&t, &p), want, "{text} LIKE {pat}");
         }
+    }
+
+    #[test]
+    fn like_fast_paths_agree_with_generic() {
+        // Every compiled class must match the generic matcher's verdict.
+        let texts = ["", "a", "ab", "abc", "hello", "aXb", "xx%yy"];
+        let patterns = [
+            "abc", "a%", "%c", "%b%", "%", "%%", "a%c", "_b_", "a_", "%_%", "ab%", "%ab", "",
+        ];
+        for pat in patterns {
+            let compiled = LikePattern::compile(pat);
+            let generic: Vec<char> = pat.chars().collect();
+            let mut buf = Vec::new();
+            for text in texts {
+                let t: Vec<char> = text.chars().collect();
+                assert_eq!(
+                    compiled.matches(text, &mut buf),
+                    like_match(&t, &generic),
+                    "'{text}' LIKE '{pat}'"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selected_batch_evaluates_only_lanes() {
+        // Row 1 would divide by zero, but it is deselected — must not error.
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("d", DataType::Int64),
+        ]);
+        let cols = vec![
+            Arc::new(Column::from_i64(vec![10, 20, 30])),
+            Arc::new(Column::from_i64(vec![2, 0, 5])),
+        ];
+        let b = RecordBatch::try_new(schema, cols).unwrap();
+        let sel = b.with_selection(Arc::new(vec![0, 2])).unwrap();
+        let c = eval(&col("x").div(col("d")), &sel).unwrap();
+        assert_eq!(c.value(0), Value::Float(5.0));
+        assert_eq!(c.value(2), Value::Float(6.0));
+        // Dense evaluation of the same expression must still error.
+        assert!(eval(&col("x").div(col("d")), &b).is_err());
+    }
+
+    #[test]
+    fn predicate_mask_is_logical_on_selected_batch() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int64)]);
+        let cols = vec![Arc::new(Column::from_i64(vec![1, 2, 3, 4, 5]))];
+        let b = RecordBatch::try_new(schema, cols).unwrap();
+        let sel = b.with_selection(Arc::new(vec![1, 3, 4])).unwrap();
+        let m = eval_predicate(&col("x").gt(lit(2i64)), &sel).unwrap();
+        // Logical rows are x = [2, 4, 5].
+        assert_eq!(m, vec![false, true, true]);
     }
 
     #[test]

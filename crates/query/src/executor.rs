@@ -23,6 +23,9 @@ pub struct ExecOptions {
     pub rules: Option<Vec<Rule>>,
     /// Shared metrics registry for instrumented execution.
     pub metrics: Option<Metrics>,
+    /// Rows per scan batch (0 = one batch per row group). Smaller batches
+    /// keep the working set cache-resident through the kernel pipeline.
+    pub batch_rows: usize,
 }
 
 impl Default for ExecOptions {
@@ -31,9 +34,14 @@ impl Default for ExecOptions {
             parallelism: 1,
             rules: None,
             metrics: None,
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
     }
 }
+
+/// Default scan batch size: large enough to amortize per-batch dispatch,
+/// small enough that a handful of live columns stay in L2.
+pub const DEFAULT_BATCH_ROWS: usize = 16 * 1024;
 
 impl ExecOptions {
     /// Default options with `n` scan workers.
@@ -55,6 +63,12 @@ impl ExecOptions {
     /// These options with operator counters recorded into `metrics`.
     pub fn with_metrics(mut self, metrics: Metrics) -> ExecOptions {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// These options with scan batches capped at `n` rows (0 = per row group).
+    pub fn with_batch_rows(mut self, n: usize) -> ExecOptions {
+        self.batch_rows = n;
         self
     }
 

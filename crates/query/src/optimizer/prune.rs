@@ -78,7 +78,31 @@ fn rewrite(plan: LogicalPlan, need: Need) -> Result<LogicalPlan> {
             })
         }
         LogicalPlan::Project { input, exprs } => {
-            // A projection resets requirements to exactly what it computes.
+            // Keep only the outputs an ancestor reads. The query's final
+            // projection always sees `Need::All`, so the user-visible schema
+            // is never narrowed; this clause exists for *intermediate*
+            // projections (e.g. the column-order restorers join reordering
+            // inserts), which would otherwise reset requirements to every
+            // column and defeat pruning below a join.
+            let exprs = match &need {
+                Need::All => exprs,
+                Need::Cols(wanted) => {
+                    let kept: Vec<Expr> = exprs
+                        .iter()
+                        .filter(|e| wanted.contains(&e.output_name()))
+                        .cloned()
+                        .collect();
+                    // Never project down to zero columns: batches would lose
+                    // their row count.
+                    if kept.is_empty() {
+                        exprs
+                    } else {
+                        kept
+                    }
+                }
+            };
+            // The surviving expressions reset requirements to exactly what
+            // they compute.
             let mut cols = BTreeSet::new();
             for e in &exprs {
                 cols.extend(e.referenced_columns());

@@ -1,147 +1,440 @@
 //! Hash aggregation.
+//!
+//! Columnar, selection-aware implementation: group keys are hashed column-
+//! wise with [`Column::hash_combine`] (one mixing pass per key column, no
+//! `Value` boxing), group ids come from an open-addressing table pre-sized to
+//! the first batch, and every aggregate maintains a **typed accumulator
+//! vector indexed by group id** so the update pass is a tight loop over one
+//! column at a time. A global aggregate (no keys) skips hashing entirely.
 
-use super::Operator;
+use super::{for_each_lane, Operator};
 use crate::error::{QueryError, Result};
-use crate::eval::eval;
+use crate::eval::eval_arc;
 use crate::expr::{AggExpr, AggFunc, Expr};
-use backbone_storage::{Column, Field, RecordBatch, Schema, Value};
-use std::collections::HashMap;
+use backbone_storage::{Bitmap, Column, DataType, Field, Metrics, RecordBatch, Schema, Value};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// One running accumulator per (group, aggregate).
-#[derive(Debug, Clone)]
-enum Acc {
-    Count(i64),
-    SumI(i64),
-    SumF(f64),
-    Min(Option<Value>),
-    Max(Option<Value>),
-    Avg {
-        sum: f64,
-        count: i64,
-    },
-    /// Sum that has seen no non-null input yet (SQL: SUM of empties is NULL);
-    /// becomes SumI/SumF on first value.
-    SumEmpty,
+/// Open-addressing hash table mapping key hashes to dense group ids.
+/// Collisions are resolved by the caller-supplied key-equality closure, so
+/// the table itself never touches key data.
+struct GroupTable {
+    /// `group_id + 1`; 0 marks an empty slot.
+    slots: Vec<u32>,
+    hashes: Vec<u64>,
+    mask: usize,
+    len: usize,
 }
 
-impl Acc {
-    fn new(func: AggFunc) -> Acc {
-        match func {
-            AggFunc::Count | AggFunc::CountStar => Acc::Count(0),
-            AggFunc::Sum => Acc::SumEmpty,
-            AggFunc::Min => Acc::Min(None),
-            AggFunc::Max => Acc::Max(None),
-            AggFunc::Avg => Acc::Avg { sum: 0.0, count: 0 },
+impl GroupTable {
+    fn with_capacity(groups: usize) -> GroupTable {
+        let cap = (groups.max(8) * 2).next_power_of_two();
+        GroupTable {
+            slots: vec![0; cap],
+            hashes: vec![0; cap],
+            mask: cap - 1,
+            len: 0,
         }
     }
 
-    fn update(&mut self, func: AggFunc, v: &Value) -> Result<()> {
+    /// Look up `hash`, verifying candidates with `eq(group_id)`; insert as
+    /// `next_id` when absent. Returns `(group_id, inserted)`.
+    fn find_or_insert(&mut self, hash: u64, next_id: u32, eq: impl Fn(u32) -> bool) -> (u32, bool) {
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            self.grow();
+        }
+        let mut idx = (hash as usize) & self.mask;
+        loop {
+            let s = self.slots[idx];
+            if s == 0 {
+                self.slots[idx] = next_id + 1;
+                self.hashes[idx] = hash;
+                self.len += 1;
+                return (next_id, true);
+            }
+            if self.hashes[idx] == hash && eq(s - 1) {
+                return (s - 1, false);
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        let mut slots = vec![0u32; cap];
+        let mut hashes = vec![0u64; cap];
+        let mask = cap - 1;
+        for (&s, &h) in self.slots.iter().zip(&self.hashes) {
+            if s != 0 {
+                let mut idx = (h as usize) & mask;
+                while slots[idx] != 0 {
+                    idx = (idx + 1) & mask;
+                }
+                slots[idx] = s;
+                hashes[idx] = h;
+            }
+        }
+        self.slots = slots;
+        self.hashes = hashes;
+        self.mask = mask;
+    }
+}
+
+/// One typed accumulator vector per aggregate, indexed by group id.
+enum AccVec {
+    /// COUNT / COUNT(*).
+    Count(Vec<i64>),
+    SumI {
+        sums: Vec<i64>,
+        seen: Vec<bool>,
+    },
+    SumF {
+        sums: Vec<f64>,
+        seen: Vec<bool>,
+    },
+    Avg {
+        sums: Vec<f64>,
+        counts: Vec<i64>,
+    },
+    MinMaxI {
+        vals: Vec<i64>,
+        seen: Vec<bool>,
+        min: bool,
+    },
+    MinMaxF {
+        vals: Vec<f64>,
+        seen: Vec<bool>,
+        min: bool,
+    },
+    MinMaxS {
+        vals: Vec<String>,
+        seen: Vec<bool>,
+        min: bool,
+    },
+    MinMaxB {
+        vals: Vec<bool>,
+        seen: Vec<bool>,
+        min: bool,
+    },
+}
+
+impl AccVec {
+    fn new(func: AggFunc, input_dt: DataType) -> AccVec {
         match func {
-            AggFunc::CountStar => {
-                if let Acc::Count(c) = self {
-                    *c += 1;
+            AggFunc::Count | AggFunc::CountStar => AccVec::Count(Vec::new()),
+            AggFunc::Sum => match input_dt {
+                DataType::Float64 => AccVec::SumF {
+                    sums: Vec::new(),
+                    seen: Vec::new(),
+                },
+                // Non-numeric SUM is rejected at plan time (AggExpr::data_type).
+                _ => AccVec::SumI {
+                    sums: Vec::new(),
+                    seen: Vec::new(),
+                },
+            },
+            AggFunc::Avg => AccVec::Avg {
+                sums: Vec::new(),
+                counts: Vec::new(),
+            },
+            AggFunc::Min | AggFunc::Max => {
+                let min = func == AggFunc::Min;
+                match input_dt {
+                    DataType::Int64 => AccVec::MinMaxI {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        min,
+                    },
+                    DataType::Float64 => AccVec::MinMaxF {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        min,
+                    },
+                    DataType::Utf8 => AccVec::MinMaxS {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        min,
+                    },
+                    DataType::Bool => AccVec::MinMaxB {
+                        vals: Vec::new(),
+                        seen: Vec::new(),
+                        min,
+                    },
                 }
             }
-            AggFunc::Count => {
-                if !v.is_null() {
-                    if let Acc::Count(c) = self {
-                        *c += 1;
-                    }
-                }
+        }
+    }
+
+    /// Append default state for one newly created group.
+    fn push_group(&mut self) {
+        match self {
+            AccVec::Count(c) => c.push(0),
+            AccVec::SumI { sums, seen } => {
+                sums.push(0);
+                seen.push(false);
             }
-            AggFunc::Sum => {
-                if v.is_null() {
-                    return Ok(());
+            AccVec::SumF { sums, seen } => {
+                sums.push(0.0);
+                seen.push(false);
+            }
+            AccVec::Avg { sums, counts } => {
+                sums.push(0.0);
+                counts.push(0);
+            }
+            AccVec::MinMaxI { vals, seen, .. } => {
+                vals.push(0);
+                seen.push(false);
+            }
+            AccVec::MinMaxF { vals, seen, .. } => {
+                vals.push(0.0);
+                seen.push(false);
+            }
+            AccVec::MinMaxS { vals, seen, .. } => {
+                vals.push(String::new());
+                seen.push(false);
+            }
+            AccVec::MinMaxB { vals, seen, .. } => {
+                vals.push(false);
+                seen.push(false);
+            }
+        }
+    }
+
+    /// Fold one batch's lanes into the accumulators. `gids[pos]` is the group
+    /// for logical row `pos`; `input` is `None` only for COUNT(*).
+    fn update_batch(
+        &mut self,
+        gids: &[u32],
+        sel: Option<&[u32]>,
+        n: usize,
+        input: Option<&Column>,
+    ) -> Result<()> {
+        match self {
+            AccVec::Count(counts) => match input {
+                None => {
+                    // COUNT(*): every lane counts.
+                    for &g in gids {
+                        counts[g as usize] += 1;
+                    }
                 }
-                match (&mut *self, v) {
-                    (Acc::SumEmpty, Value::Int(x)) => *self = Acc::SumI(*x),
-                    (Acc::SumEmpty, Value::Float(x)) => *self = Acc::SumF(*x),
-                    (Acc::SumI(s), Value::Int(x)) => {
-                        *s = s
-                            .checked_add(*x)
-                            .ok_or_else(|| QueryError::Arithmetic("SUM integer overflow".into()))?;
+                Some(col) => {
+                    let validity = col.validity();
+                    for_each_lane(sel, n, |pos, base| {
+                        if validity.get(base) {
+                            counts[gids[pos] as usize] += 1;
+                        }
+                    });
+                }
+            },
+            AccVec::SumI { sums, seen } => {
+                let col = input.expect("SUM has an input");
+                match col {
+                    Column::Int64(v, bm) => {
+                        let mut overflow = false;
+                        for_each_lane(sel, n, |pos, base| {
+                            if bm.get(base) {
+                                let g = gids[pos] as usize;
+                                match sums[g].checked_add(v[base]) {
+                                    Some(s) => {
+                                        sums[g] = s;
+                                        seen[g] = true;
+                                    }
+                                    None => overflow = true,
+                                }
+                            }
+                        });
+                        if overflow {
+                            return Err(QueryError::Arithmetic("SUM integer overflow".into()));
+                        }
                     }
-                    (Acc::SumF(s), Value::Float(x)) => *s += x,
-                    (Acc::SumF(s), Value::Int(x)) => *s += *x as f64,
-                    (Acc::SumI(s), Value::Float(x)) => {
-                        *self = Acc::SumF(*s as f64 + x);
-                    }
-                    _ => {
+                    other => {
                         return Err(QueryError::InvalidExpression(format!(
-                            "SUM over non-numeric value {v}"
+                            "SUM over {}",
+                            other.data_type()
                         )))
                     }
                 }
             }
-            AggFunc::Min => {
-                if v.is_null() {
-                    return Ok(());
-                }
-                if let Acc::Min(cur) = self {
-                    match cur {
-                        None => *cur = Some(v.clone()),
-                        Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Less => {
-                            *cur = Some(v.clone())
-                        }
-                        _ => {}
+            AccVec::SumF { sums, seen } => {
+                let col = input.expect("SUM has an input");
+                match col {
+                    Column::Float64(v, bm) => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if bm.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += v[base];
+                                seen[g] = true;
+                            }
+                        });
+                    }
+                    Column::Int64(v, bm) => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if bm.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += v[base] as f64;
+                                seen[g] = true;
+                            }
+                        });
+                    }
+                    other => {
+                        return Err(QueryError::InvalidExpression(format!(
+                            "SUM over {}",
+                            other.data_type()
+                        )))
                     }
                 }
             }
-            AggFunc::Max => {
-                if v.is_null() {
-                    return Ok(());
-                }
-                if let Acc::Max(cur) = self {
-                    match cur {
-                        None => *cur = Some(v.clone()),
-                        Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Greater => {
-                            *cur = Some(v.clone())
+            AccVec::Avg { sums, counts } => {
+                let col = input.expect("AVG has an input");
+                match col {
+                    Column::Float64(v, bm) => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if bm.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += v[base];
+                                counts[g] += 1;
+                            }
+                        });
+                    }
+                    Column::Int64(v, bm) => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if bm.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += v[base] as f64;
+                                counts[g] += 1;
+                            }
+                        });
+                    }
+                    other => {
+                        // Mirror the row-at-a-time error: only raised when a
+                        // non-null value actually arrives.
+                        let mut bad: Option<Value> = None;
+                        for_each_lane(sel, n, |_, base| {
+                            if bad.is_none() && !other.is_null(base) {
+                                bad = Some(other.value(base));
+                            }
+                        });
+                        if let Some(v) = bad {
+                            return Err(QueryError::InvalidExpression(format!(
+                                "AVG over non-numeric value {v}"
+                            )));
                         }
-                        _ => {}
                     }
                 }
             }
-            AggFunc::Avg => {
-                if v.is_null() {
-                    return Ok(());
+            AccVec::MinMaxI { vals, seen, min } => {
+                if let Some(Column::Int64(v, bm)) = input {
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if bm.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = v[base];
+                            if !seen[g] || (min && x < vals[g]) || (!min && x > vals[g]) {
+                                vals[g] = x;
+                                seen[g] = true;
+                            }
+                        }
+                    });
                 }
-                if let Acc::Avg { sum, count } = self {
-                    *sum += v.as_float().ok_or_else(|| {
-                        QueryError::InvalidExpression(format!("AVG over non-numeric value {v}"))
-                    })?;
-                    *count += 1;
+            }
+            AccVec::MinMaxF { vals, seen, min } => {
+                if let Some(Column::Float64(v, bm)) = input {
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if bm.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = v[base];
+                            // sql_cmp treats incomparable floats as equal, so
+                            // NaN never replaces an existing extreme.
+                            let ord = x.partial_cmp(&vals[g]).unwrap_or(std::cmp::Ordering::Equal);
+                            let better = if min {
+                                ord == std::cmp::Ordering::Less
+                            } else {
+                                ord == std::cmp::Ordering::Greater
+                            };
+                            if !seen[g] || better {
+                                vals[g] = x;
+                                seen[g] = true;
+                            }
+                        }
+                    });
+                }
+            }
+            AccVec::MinMaxS { vals, seen, min } => {
+                if let Some(Column::Utf8(v, bm)) = input {
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if bm.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = &v[base];
+                            if !seen[g] || (min && *x < vals[g]) || (!min && *x > vals[g]) {
+                                vals[g] = x.clone();
+                                seen[g] = true;
+                            }
+                        }
+                    });
+                }
+            }
+            AccVec::MinMaxB { vals, seen, min } => {
+                if let Some(Column::Bool(v, bm)) = input {
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if bm.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = v[base];
+                            if !seen[g] || (min && !x & vals[g]) || (!min && x & !vals[g]) {
+                                vals[g] = x;
+                                seen[g] = true;
+                            }
+                        }
+                    });
                 }
             }
         }
         Ok(())
     }
 
-    fn finish(&self) -> Value {
+    /// Emit the output column across all groups.
+    fn finish(self) -> Column {
+        fn with_seen<T>(
+            vals: Vec<T>,
+            seen: Vec<bool>,
+            build: impl Fn(Vec<T>, Bitmap) -> Column,
+        ) -> Column {
+            let bm = Bitmap::from_bools(&seen);
+            build(vals, bm)
+        }
         match self {
-            Acc::Count(c) => Value::Int(*c),
-            Acc::SumI(s) => Value::Int(*s),
-            Acc::SumF(s) => Value::Float(*s),
-            Acc::SumEmpty => Value::Null,
-            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
-            Acc::Avg { sum, count } => {
-                if *count == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(sum / *count as f64)
-                }
+            AccVec::Count(c) => Column::from_i64(c),
+            AccVec::SumI { sums, seen } => with_seen(sums, seen, Column::Int64),
+            AccVec::SumF { sums, seen } => with_seen(sums, seen, Column::Float64),
+            AccVec::Avg { sums, counts } => {
+                let seen: Vec<bool> = counts.iter().map(|&c| c > 0).collect();
+                let vals: Vec<f64> = sums
+                    .iter()
+                    .zip(&counts)
+                    .map(|(&s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+                    .collect();
+                with_seen(vals, seen, Column::Float64)
             }
+            AccVec::MinMaxI { vals, seen, .. } => with_seen(vals, seen, Column::Int64),
+            AccVec::MinMaxF { vals, seen, .. } => with_seen(vals, seen, Column::Float64),
+            AccVec::MinMaxS { vals, seen, .. } => with_seen(vals, seen, Column::Utf8),
+            AccVec::MinMaxB { vals, seen, .. } => with_seen(vals, seen, Column::Bool),
         }
     }
 }
 
 /// Hash aggregate: consumes all input, groups by key expressions, and emits
-/// one row per group.
+/// one row per group (first-appearance order).
 pub struct HashAggregateExec {
     input: Box<dyn Operator>,
     group_by: Vec<Expr>,
     aggs: Vec<AggExpr>,
     schema: Arc<Schema>,
+    key_types: Vec<DataType>,
+    agg_input_types: Vec<DataType>,
+    metrics: Option<Metrics>,
     done: bool,
 }
 
@@ -154,19 +447,33 @@ impl HashAggregateExec {
     ) -> Result<HashAggregateExec> {
         let in_schema = input.schema();
         let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+        let mut key_types = Vec::with_capacity(group_by.len());
         for g in &group_by {
-            fields.push(Field::nullable(g.output_name(), g.data_type(&in_schema)?));
+            let dt = g.data_type(&in_schema)?;
+            key_types.push(dt);
+            fields.push(Field::nullable(g.output_name(), dt));
         }
+        let mut agg_input_types = Vec::with_capacity(aggs.len());
         for a in &aggs {
             fields.push(Field::nullable(a.name.clone(), a.data_type(&in_schema)?));
+            agg_input_types.push(a.input.data_type(&in_schema).unwrap_or(DataType::Int64));
         }
         Ok(HashAggregateExec {
             input,
             group_by,
             aggs,
             schema: Schema::new(fields),
+            key_types,
+            agg_input_types,
+            metrics: None,
             done: false,
         })
+    }
+
+    /// Record per-kernel timers into `metrics` under `op.aggregate.kernel.*`.
+    pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
     }
 }
 
@@ -181,53 +488,127 @@ impl Operator for HashAggregateExec {
         }
         self.done = true;
 
-        // Keyed accumulators; key order of first appearance for stable output.
-        let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut saw_rows = false;
+        let nkeys = self.group_by.len();
+        let mut key_stores: Vec<Column> =
+            self.key_types.iter().map(|&dt| Column::empty(dt)).collect();
+        let mut accs: Vec<AccVec> = self
+            .aggs
+            .iter()
+            .zip(&self.agg_input_types)
+            .map(|(a, &dt)| AccVec::new(a.func, dt))
+            .collect();
+        let mut table = GroupTable::with_capacity(256);
+        let mut n_groups: u32 = 0;
+
+        let mut hash_ns = 0u64;
+        let mut update_ns = 0u64;
+        let mut hashes: Vec<u64> = Vec::new();
+        let mut gids: Vec<u32> = Vec::new();
 
         while let Some(batch) = self.input.next()? {
-            saw_rows = saw_rows || batch.num_rows() > 0;
-            let key_cols: Vec<Column> = self
+            let n = batch.num_rows();
+            if n == 0 && nkeys > 0 {
+                continue;
+            }
+            let sel = batch.selection();
+            let base = batch.base_rows();
+
+            let key_cols: Vec<Arc<Column>> = self
                 .group_by
                 .iter()
-                .map(|g| eval(g, &batch))
+                .map(|g| eval_arc(g, &batch))
                 .collect::<Result<_>>()?;
-            let agg_cols: Vec<Column> = self
+            // COUNT(*) needs no input column at all.
+            let agg_cols: Vec<Option<Arc<Column>>> = self
                 .aggs
                 .iter()
-                .map(|a| eval(&a.input, &batch))
+                .map(|a| match a.func {
+                    AggFunc::CountStar => Ok(None),
+                    _ => eval_arc(&a.input, &batch).map(Some),
+                })
                 .collect::<Result<_>>()?;
-            for row in 0..batch.num_rows() {
-                let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-                let accs = groups.entry(key.clone()).or_insert_with(|| {
-                    order.push(key);
-                    self.aggs.iter().map(|a| Acc::new(a.func)).collect()
+
+            // Pass 1: assign a group id to every lane.
+            let t0 = Instant::now();
+            gids.clear();
+            gids.resize(n, 0);
+            if nkeys == 0 {
+                // Global aggregate: one group, no hashing.
+                if n_groups == 0 && n > 0 {
+                    n_groups = 1;
+                    for acc in &mut accs {
+                        acc.push_group();
+                    }
+                }
+            } else {
+                hashes.clear();
+                hashes.resize(base, 0);
+                for kc in &key_cols {
+                    kc.hash_combine(sel, &mut hashes);
+                }
+                let mut insert_err: Option<QueryError> = None;
+                for_each_lane(sel, n, |pos, base_row| {
+                    if insert_err.is_some() {
+                        return;
+                    }
+                    let h = hashes[base_row];
+                    let (gid, inserted) = table.find_or_insert(h, n_groups, |g| {
+                        key_stores
+                            .iter()
+                            .zip(&key_cols)
+                            .all(|(store, kc)| store.eq_rows_null_eq(g as usize, kc, base_row))
+                    });
+                    if inserted {
+                        n_groups += 1;
+                        for (store, kc) in key_stores.iter_mut().zip(&key_cols) {
+                            if let Err(e) = store.push_from(kc, base_row) {
+                                insert_err = Some(e.into());
+                                return;
+                            }
+                        }
+                        for acc in &mut accs {
+                            acc.push_group();
+                        }
+                    }
+                    gids[pos] = gid;
                 });
-                for (acc, (a, col)) in accs.iter_mut().zip(self.aggs.iter().zip(&agg_cols)) {
-                    acc.update(a.func, &col.value(row))?;
+                if let Some(e) = insert_err {
+                    return Err(e);
                 }
             }
+            hash_ns += t0.elapsed().as_nanos() as u64;
+
+            // Pass 2: columnar accumulator update, one aggregate at a time.
+            let t1 = Instant::now();
+            for (acc, col) in accs.iter_mut().zip(&agg_cols) {
+                acc.update_batch(&gids, sel, n, col.as_deref())?;
+            }
+            update_ns += t1.elapsed().as_nanos() as u64;
         }
 
         // Global aggregation over an empty input still yields one row
         // (COUNT(*) = 0, SUM = NULL, ...), matching SQL.
-        if order.is_empty() && self.group_by.is_empty() && !saw_rows {
-            order.push(Vec::new());
-            groups.insert(
-                Vec::new(),
-                self.aggs.iter().map(|a| Acc::new(a.func)).collect(),
-            );
+        if n_groups == 0 && nkeys == 0 {
+            n_groups = 1;
+            for acc in &mut accs {
+                acc.push_group();
+            }
         }
 
-        let mut rows: Vec<Vec<Value>> = Vec::with_capacity(order.len());
-        for key in &order {
-            let accs = &groups[key];
-            let mut row = key.clone();
-            row.extend(accs.iter().map(|a| a.finish()));
-            rows.push(row);
+        if let Some(m) = &self.metrics {
+            m.counter("op.aggregate.kernel.hash_ns").add(hash_ns);
+            m.counter("op.aggregate.kernel.update_ns").add(update_ns);
+            m.counter("op.aggregate.kernel.groups").add(n_groups as u64);
         }
-        Ok(Some(RecordBatch::from_rows(self.schema.clone(), &rows)?))
+
+        let mut columns: Vec<Arc<Column>> = Vec::with_capacity(nkeys + self.aggs.len());
+        for store in key_stores {
+            columns.push(Arc::new(store));
+        }
+        for acc in accs {
+            columns.push(Arc::new(acc.finish()));
+        }
+        Ok(Some(RecordBatch::try_new(self.schema.clone(), columns)?))
     }
 
     fn name(&self) -> &'static str {
@@ -376,5 +757,72 @@ mod tests {
         )
         .unwrap();
         assert!(matches!(agg.next(), Err(QueryError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn groups_emit_in_first_appearance_order() {
+        let batch = int_batch(&[("g", vec![7, 3, 7, 9, 3]), ("v", vec![1, 1, 1, 1, 1])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("g")],
+            vec![count_star().alias("n")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        let keys: Vec<Value> = (0..out.num_rows()).map(|i| out.row(i)[0].clone()).collect();
+        assert_eq!(keys, vec![Value::Int(7), Value::Int(3), Value::Int(9)]);
+    }
+
+    #[test]
+    fn null_keys_group_together() {
+        use backbone_storage::{Column, DataType, Field};
+        let schema = Schema::new(vec![
+            Field::nullable("g", DataType::Int64),
+            Field::new("v", DataType::Int64),
+        ]);
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![
+                Arc::new(Column::from_opt_i64(vec![None, Some(1), None, Some(1)])),
+                Arc::new(Column::from_i64(vec![10, 20, 30, 40])),
+            ],
+        )
+        .unwrap();
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![col("g")],
+            vec![sum(col("v")).alias("s")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let rows = out.to_rows();
+        assert!(rows
+            .iter()
+            .any(|r| r[0].is_null() && r[1] == Value::Int(40)));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(60)));
+    }
+
+    #[test]
+    fn aggregates_respect_selection_views() {
+        let batch = int_batch(&[("g", vec![1, 1, 2, 2]), ("v", vec![10, 20, 30, 40])]);
+        let view = batch.with_selection(Arc::new(vec![0, 3])).unwrap();
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::new(view.schema().clone(), vec![view])),
+            vec![col("g")],
+            vec![sum(col("v")).alias("s"), count_star().alias("n")],
+        )
+        .unwrap();
+        let out = drain_one(&mut agg).unwrap();
+        let rows = out.to_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(10) && r[2] == Value::Int(1)));
+        assert!(rows
+            .iter()
+            .any(|r| r[0] == Value::Int(2) && r[1] == Value::Int(40) && r[2] == Value::Int(1)));
     }
 }

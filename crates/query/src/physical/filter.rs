@@ -29,7 +29,9 @@ impl Operator for FilterExec {
         // Skip batches that filter to empty rather than emitting empties.
         while let Some(batch) = self.input.next()? {
             let mask = eval_predicate(&self.predicate, &batch)?;
-            let out = batch.filter(&mask)?;
+            // Pass survivors downstream as a selection view: no column is
+            // compacted here, kernels below iterate the selected lanes.
+            let out = batch.select_mask(&mask)?;
             if !out.is_empty() {
                 return Ok(Some(out));
             }

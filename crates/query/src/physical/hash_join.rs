@@ -1,11 +1,17 @@
 //! Hash equi-join operator.
+//!
+//! Vectorized two-phase implementation: the build side is hashed column-wise
+//! into a chained bucket table (head + next arrays of `u32` row ids, no
+//! `Value` keys), the probe side hashes its key columns over the selected
+//! lanes, and matches accumulate as `u32` row-id lists that turn into **one
+//! gather per output column** instead of per-row pushes.
 
-use super::{drain, Operator};
+use super::{drain, for_each_lane, Operator};
 use crate::error::{QueryError, Result};
 use crate::logical::JoinType;
-use backbone_storage::{Column, RecordBatch, Schema, Value};
-use std::collections::HashMap;
+use backbone_storage::{Column, Metrics, RecordBatch, Schema};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Classic two-phase hash join: materialize and hash the left (build) side,
 /// then stream the right (probe) side. Supports inner and left-outer joins.
@@ -16,15 +22,25 @@ pub struct HashJoinExec {
     join_type: JoinType,
     schema: Arc<Schema>,
     build: Option<BuildSide>,
+    metrics: Option<Metrics>,
     /// Unmatched-left output pending after the probe side is exhausted.
     done_probe: bool,
 }
 
 struct BuildSide {
     batch: RecordBatch,
-    index: HashMap<Vec<Value>, Vec<usize>>,
+    /// Chained hash table: `heads[bucket]` and `next[row]` hold `row + 1`
+    /// (0 terminates). Rows with NULL keys are never linked in.
+    heads: Vec<u32>,
+    next: Vec<u32>,
+    /// Per-row key hash, for cheap pre-checks before typed comparison.
+    hashes: Vec<u64>,
+    bucket_mask: usize,
     matched: Vec<bool>,
-    key_cols: Vec<usize>,
+    /// Probe-side key column ordinals.
+    probe_keys: Vec<usize>,
+    /// Build-side key column ordinals.
+    build_keys: Vec<usize>,
 }
 
 impl HashJoinExec {
@@ -71,71 +87,97 @@ impl HashJoinExec {
             join_type,
             schema,
             build: None,
+            metrics: None,
             done_probe: false,
         })
+    }
+
+    /// Record per-kernel timers into `metrics` under `op.hash_join.kernel.*`.
+    pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
     }
 
     fn ensure_built(&mut self) -> Result<()> {
         if self.build.is_some() {
             return Ok(());
         }
+        let t0 = Instant::now();
         let mut left = self.left.take().expect("build side consumed once");
         let lschema = left.schema();
         let batches = drain(left.as_mut())?;
         let batch = RecordBatch::concat(lschema.clone(), &batches)?;
-        let key_cols: Vec<usize> = self
+        let build_keys: Vec<usize> = self
             .on
             .iter()
             .map(|(l, _)| lschema.index_of(l).expect("validated in new"))
             .collect();
-        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-        for row in 0..batch.num_rows() {
-            let key: Vec<Value> = key_cols
-                .iter()
-                .map(|&c| batch.column(c).value(row))
-                .collect();
-            // SQL join semantics: NULL keys never match.
-            if key.iter().any(|v| v.is_null()) {
+
+        let rows = batch.num_rows();
+        // Column-wise key hashing over the dense build batch.
+        let mut hashes = vec![0u64; rows];
+        for &c in &build_keys {
+            batch.column(c).hash_combine(None, &mut hashes);
+        }
+        let buckets = (rows.max(8) * 2).next_power_of_two();
+        let bucket_mask = buckets - 1;
+        let mut heads = vec![0u32; buckets];
+        let mut next = vec![0u32; rows];
+        // Insert in reverse so each chain lists build rows in ascending
+        // order, matching the map-based implementation's match order.
+        for row in (0..rows).rev() {
+            // SQL join semantics: NULL keys never match — leave unlinked.
+            if build_keys.iter().any(|&c| batch.column(c).is_null(row)) {
                 continue;
             }
-            index.entry(key).or_default().push(row);
+            let b = (hashes[row] as usize) & bucket_mask;
+            next[row] = heads[b];
+            heads[b] = row as u32 + 1;
         }
-        let matched = vec![false; batch.num_rows()];
+
+        if let Some(m) = &self.metrics {
+            m.counter("op.hash_join.kernel.build_ns")
+                .add(t0.elapsed().as_nanos() as u64);
+            m.counter("op.hash_join.kernel.build_rows").add(rows as u64);
+        }
         self.build = Some(BuildSide {
             batch,
-            index,
-            matched,
-            key_cols: self
+            heads,
+            next,
+            hashes,
+            bucket_mask,
+            matched: vec![false; rows],
+            probe_keys: self
                 .on
                 .iter()
                 .map(|(_, r)| self.right.schema().index_of(r).expect("validated in new"))
                 .collect(),
+            build_keys,
         });
         Ok(())
     }
 
     fn emit_unmatched_left(&mut self) -> Result<Option<RecordBatch>> {
         let build = self.build.as_ref().expect("built before probe finished");
-        let unmatched: Vec<usize> = build
+        let unmatched: Vec<u32> = build
             .matched
             .iter()
             .enumerate()
-            .filter_map(|(i, &m)| (!m).then_some(i))
+            .filter_map(|(i, &m)| (!m).then_some(i as u32))
             .collect();
         if unmatched.is_empty() {
             return Ok(None);
         }
-        let left_part = build.batch.take(&unmatched)?;
-        // Right side: all-NULL columns of the right schema.
-        let rschema = self.right.schema();
         let n = unmatched.len();
-        let mut cols: Vec<Arc<Column>> = left_part.columns().to_vec();
-        for f in rschema.fields() {
-            let mut c = Column::empty(f.data_type);
-            for _ in 0..n {
-                c.push_value(&Value::Null)?;
-            }
-            cols.push(Arc::new(c));
+        let mut cols: Vec<Arc<Column>> = build
+            .batch
+            .columns()
+            .iter()
+            .map(|c| Arc::new(c.gather(&unmatched)))
+            .collect();
+        // Right side: all-NULL columns of the right schema.
+        for f in self.right.schema().fields() {
+            cols.push(Arc::new(Column::nulls(f.data_type, n)));
         }
         Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?))
     }
@@ -160,32 +202,69 @@ impl Operator for HashJoinExec {
                 return Ok(None);
             };
             let build = self.build.as_mut().expect("built above");
-            let mut left_rows = Vec::new();
-            let mut right_rows = Vec::new();
-            for row in 0..probe.num_rows() {
-                let key: Vec<Value> = build
-                    .key_cols
-                    .iter()
-                    .map(|&c| probe.column(c).value(row))
-                    .collect();
-                if key.iter().any(|v| v.is_null()) {
-                    continue;
-                }
-                if let Some(matches) = build.index.get(&key) {
-                    for &l in matches {
-                        build.matched[l] = true;
-                        left_rows.push(l);
-                        right_rows.push(row);
-                    }
-                }
+
+            let t0 = Instant::now();
+            let sel = probe.selection();
+            let n = probe.num_rows();
+            let base = probe.base_rows();
+            let probe_cols: Vec<&Arc<Column>> =
+                build.probe_keys.iter().map(|&c| probe.column(c)).collect();
+
+            // Column-wise probe hashing over the selected lanes.
+            let mut hashes = vec![0u64; base];
+            for pc in &probe_cols {
+                pc.hash_combine(sel, &mut hashes);
             }
+
+            // Row-id match lists: one (build_row, probe_base_row) pair per hit.
+            let mut left_rows: Vec<u32> = Vec::new();
+            let mut right_rows: Vec<u32> = Vec::new();
+            for_each_lane(sel, n, |_, base_row| {
+                if probe_cols.iter().any(|pc| pc.is_null(base_row)) {
+                    return;
+                }
+                let h = hashes[base_row];
+                let mut cand = build.heads[(h as usize) & build.bucket_mask];
+                while cand != 0 {
+                    let r = (cand - 1) as usize;
+                    if build.hashes[r] == h
+                        && build.build_keys.iter().zip(&probe_cols).all(|(&bc, pc)| {
+                            build.batch.column(bc).eq_rows_null_eq(r, pc, base_row)
+                        })
+                    {
+                        build.matched[r] = true;
+                        left_rows.push(r as u32);
+                        right_rows.push(base_row as u32);
+                    }
+                    cand = build.next[r];
+                }
+            });
+            let probe_ns = t0.elapsed().as_nanos() as u64;
+
             if left_rows.is_empty() {
+                if let Some(m) = &self.metrics {
+                    m.counter("op.hash_join.kernel.probe_ns").add(probe_ns);
+                }
                 continue;
             }
-            let left_part = build.batch.take(&left_rows)?;
-            let right_part = probe.take(&right_rows)?;
-            let mut cols: Vec<Arc<Column>> = left_part.columns().to_vec();
-            cols.extend(right_part.columns().iter().cloned());
+
+            // One gather per output column.
+            let t1 = Instant::now();
+            let mut cols: Vec<Arc<Column>> =
+                Vec::with_capacity(build.batch.num_columns() + probe.num_columns());
+            for c in build.batch.columns() {
+                cols.push(Arc::new(c.gather(&left_rows)));
+            }
+            for c in probe.columns() {
+                cols.push(Arc::new(c.gather(&right_rows)));
+            }
+            if let Some(m) = &self.metrics {
+                m.counter("op.hash_join.kernel.probe_ns").add(probe_ns);
+                m.counter("op.hash_join.kernel.gather_ns")
+                    .add(t1.elapsed().as_nanos() as u64);
+                m.counter("op.hash_join.kernel.out_rows")
+                    .add(left_rows.len() as u64);
+            }
             return Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?));
         }
     }
@@ -200,6 +279,7 @@ mod tests {
     use super::*;
     use crate::physical::drain_one;
     use crate::physical::test_util::{int_batch, BatchSource};
+    use backbone_storage::Value;
 
     fn join(
         left: Vec<(&'static str, Vec<i64>)>,
@@ -326,6 +406,25 @@ mod tests {
         .unwrap();
         let out = drain_one(&mut j).unwrap();
         assert_eq!(out.num_rows(), 1); // only (1,2) matches
+    }
+
+    #[test]
+    fn probe_side_selection_respected() {
+        let lb = int_batch(&[("id", vec![1, 2, 3])]);
+        let rb = int_batch(&[("rid", vec![1, 2, 3]), ("rv", vec![10, 20, 30])]);
+        // Select only probe rows 0 and 2.
+        let view = rb.with_selection(Arc::new(vec![0, 2])).unwrap();
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::new(view.schema().clone(), vec![view])),
+            vec![("id".to_string(), "rid".to_string())],
+            JoinType::Inner,
+        )
+        .unwrap();
+        let out = drain_one(&mut j).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        let rvs: Vec<i64> = out.column(2).i64_data().unwrap().to_vec();
+        assert!(rvs.contains(&10) && rvs.contains(&30));
     }
 
     #[test]

@@ -41,11 +41,30 @@ pub trait Operator: Send {
     fn name(&self) -> &'static str;
 }
 
-/// Drain an operator into a vector of batches.
+/// Visit a batch's logical rows as `(position, base_row)` pairs: positions
+/// are dense `0..n`, base rows map through the selection when present.
+#[inline]
+pub(crate) fn for_each_lane(sel: Option<&[u32]>, n: usize, mut f: impl FnMut(usize, usize)) {
+    match sel {
+        Some(s) => {
+            for (pos, &b) in s.iter().enumerate() {
+                f(pos, b as usize);
+            }
+        }
+        None => {
+            for i in 0..n {
+                f(i, i);
+            }
+        }
+    }
+}
+
+/// Drain an operator into a vector of **dense** batches. Selection views are
+/// materialized here so batches never escape the executor half-filtered.
 pub fn drain(op: &mut dyn Operator) -> Result<Vec<RecordBatch>> {
     let mut out = Vec::new();
     while let Some(batch) = op.next()? {
-        out.push(batch);
+        out.push(batch.materialize());
     }
     Ok(out)
 }

@@ -2,7 +2,7 @@
 
 use super::Operator;
 use crate::error::Result;
-use crate::eval::eval;
+use crate::eval::eval_arc;
 use crate::expr::Expr;
 use backbone_storage::{Field, RecordBatch, Schema};
 use std::sync::Arc;
@@ -41,9 +41,17 @@ impl Operator for ProjectExec {
         };
         let mut cols = Vec::with_capacity(self.exprs.len());
         for e in &self.exprs {
-            cols.push(Arc::new(eval(e, &batch)?));
+            // Bare column references pass through by Arc; only computed
+            // expressions allocate.
+            cols.push(eval_arc(e, &batch)?);
         }
-        Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?))
+        // Eval outputs are base-length: a selected input stays a selected
+        // output, carrying the same lanes over the freshly computed columns.
+        let out = RecordBatch::try_new(self.schema.clone(), cols)?;
+        match batch.selection_shared() {
+            Some(sel) => Ok(Some(out.with_selection(sel)?)),
+            None => Ok(Some(out)),
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -6,9 +6,11 @@ use crate::error::Result;
 use crate::eval::eval_predicate;
 use crate::expr::{BinOp, Expr};
 use backbone_storage::table::ZoneMap;
-use backbone_storage::{RecordBatch, Schema, Table, Value};
+use backbone_storage::{Metrics, RecordBatch, Schema, Table, Value};
 use crossbeam::channel::{bounded, Receiver};
+use std::collections::VecDeque;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Counters exposed for pruning experiments (E6 reports them).
 #[derive(Debug, Default, Clone, Copy)]
@@ -28,6 +30,12 @@ pub struct TableScanExec {
     schema: Arc<Schema>,
     mode: Mode,
     stats: ScanStats,
+    /// Split emitted batches to at most this many logical rows (0 = group
+    /// size). On filtered scans the split narrows the selection vector, so
+    /// no column data is copied.
+    batch_rows: usize,
+    pending: VecDeque<RecordBatch>,
+    metrics: Option<Metrics>,
 }
 
 enum Mode {
@@ -82,6 +90,9 @@ impl TableScanExec {
                     group_idx: 0,
                 },
                 stats: ScanStats::default(),
+                batch_rows: 0,
+                pending: VecDeque::new(),
+                metrics: None,
             });
         }
 
@@ -121,7 +132,38 @@ impl TableScanExec {
             schema,
             mode: Mode::Parallel { rx, handles },
             stats: ScanStats::default(),
+            batch_rows: 0,
+            pending: VecDeque::new(),
+            metrics: None,
         })
+    }
+
+    /// Cap emitted batches at `n` logical rows (0 = one batch per row group).
+    pub fn with_batch_rows(mut self, n: usize) -> Self {
+        self.batch_rows = n;
+        self
+    }
+
+    /// Record scan-filter kernel time into `metrics` under `op.scan.kernel.*`
+    /// (serial mode; parallel workers do not report timers).
+    pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Split `batch` per `batch_rows`, queueing the tail; returns the head.
+    fn emit(&mut self, batch: RecordBatch) -> Result<RecordBatch> {
+        let n = batch.num_rows();
+        if self.batch_rows == 0 || n <= self.batch_rows {
+            return Ok(batch);
+        }
+        let mut offset = self.batch_rows;
+        while offset < n {
+            let len = self.batch_rows.min(n - offset);
+            self.pending.push_back(batch.slice(offset, len)?);
+            offset += len;
+        }
+        Ok(batch.slice(0, self.batch_rows)?)
     }
 
     /// Pruning counters (serial mode only; parallel workers don't report).
@@ -198,7 +240,9 @@ fn process_group(
     let mut current = batch.clone();
     for f in filters {
         let mask = eval_predicate(f, &current)?;
-        current = current.filter(&mask)?;
+        // Survivors become a narrower selection over the same columns;
+        // downstream kernels and the projection late-materialize.
+        current = current.select_mask(&mask)?;
         if current.is_empty() {
             return Ok(None);
         }
@@ -215,16 +259,20 @@ impl Operator for TableScanExec {
     }
 
     fn next(&mut self) -> Result<Option<RecordBatch>> {
-        match &mut self.mode {
+        if let Some(b) = self.pending.pop_front() {
+            return Ok(Some(b));
+        }
+        let produced = match &mut self.mode {
             Mode::Serial {
                 table,
                 filters,
                 projection,
                 group_idx,
             } => {
+                let mut found = None;
                 loop {
                     let Some(group) = table.groups().nth(*group_idx) else {
-                        return Ok(None);
+                        break;
                     };
                     let g = *group_idx;
                     *group_idx += 1;
@@ -238,20 +286,32 @@ impl Operator for TableScanExec {
                     self.stats.groups_scanned += 1;
                     // Re-fetch to appease the borrow checker after stats update.
                     let group = table.groups().nth(g).expect("group still present");
-                    if let Some(batch) = process_group(group.batch(), zones, filters, projection)? {
-                        return Ok(Some(batch));
+                    let t0 = Instant::now();
+                    let out = process_group(group.batch(), zones, filters, projection)?;
+                    if let Some(m) = &self.metrics {
+                        m.counter("op.scan.kernel.filter_ns")
+                            .add(t0.elapsed().as_nanos() as u64);
+                    }
+                    if let Some(batch) = out {
+                        found = Some(batch);
+                        break;
                     }
                 }
+                found
             }
             Mode::Parallel { rx, handles } => match rx.recv() {
-                Ok(item) => item.map(Some),
+                Ok(item) => Some(item?),
                 Err(_) => {
                     for h in handles.drain(..) {
                         h.join().expect("scan worker panicked");
                     }
-                    Ok(None)
+                    None
                 }
             },
+        };
+        match produced {
+            Some(batch) => Ok(Some(self.emit(batch)?)),
+            None => Ok(None),
         }
     }
 

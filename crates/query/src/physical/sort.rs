@@ -2,7 +2,7 @@
 
 use super::{drain, Operator};
 use crate::error::Result;
-use crate::eval::eval;
+use crate::eval::eval_arc;
 use crate::logical::SortKey;
 use backbone_storage::{Column, RecordBatch, Schema};
 use std::cmp::Ordering;
@@ -31,7 +31,7 @@ impl SortExec {
 
 /// Compare row `a` vs row `b` under the sort keys, given pre-evaluated key
 /// columns.
-pub(crate) fn cmp_rows(key_cols: &[(Column, bool)], a: usize, b: usize) -> Ordering {
+pub(crate) fn cmp_rows(key_cols: &[(Arc<Column>, bool)], a: usize, b: usize) -> Ordering {
     for (col, descending) in key_cols {
         let va = col.value(a);
         let vb = col.value(b);
@@ -60,10 +60,10 @@ impl Operator for SortExec {
         if all.is_empty() {
             return Ok(Some(all));
         }
-        let key_cols: Vec<(Column, bool)> = self
+        let key_cols: Vec<(Arc<Column>, bool)> = self
             .keys
             .iter()
-            .map(|k| Ok((eval(&k.expr, &all)?, k.descending)))
+            .map(|k| Ok((eval_arc(&k.expr, &all)?, k.descending)))
             .collect::<Result<_>>()?;
         let mut indices: Vec<usize> = (0..all.num_rows()).collect();
         // Stable sort: ties keep input order, giving deterministic output.

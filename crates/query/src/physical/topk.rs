@@ -2,7 +2,7 @@
 
 use super::Operator;
 use crate::error::Result;
-use crate::eval::eval;
+use crate::eval::eval_arc;
 use crate::logical::SortKey;
 use crate::physical::sort::cmp_rows;
 use backbone_storage::{Column, RecordBatch, Schema, Value};
@@ -49,10 +49,13 @@ impl Operator for TopKExec {
         }
         let mut input = self.input.take().expect("run once");
 
-        // Buffer of candidate rows as (key values, full row). Kept sorted and
-        // truncated to k after each batch: selection cost is
-        // O(n log(buffer)) and memory O(k + batch).
-        let mut buffer: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+        // Candidates are (key values, batch index, base row): rows stay in
+        // their source batches until the final gather (late materialization),
+        // so evicted candidates never cost a row copy. Kept sorted and
+        // truncated to k after each batch: selection cost is O(n log(buffer))
+        // and memory O(k + retained batches).
+        let mut kept: Vec<RecordBatch> = Vec::new();
+        let mut buffer: Vec<(Vec<Value>, usize, usize)> = Vec::new();
         let descending: Vec<bool> = self.keys.iter().map(|k| k.descending).collect();
         let cmp_keys = |a: &[Value], b: &[Value]| -> Ordering {
             for (i, (va, vb)) in a.iter().zip(b).enumerate() {
@@ -66,25 +69,40 @@ impl Operator for TopKExec {
         };
 
         while let Some(batch) = input.next()? {
-            let key_cols: Vec<(Column, bool)> = self
+            if batch.is_empty() {
+                continue;
+            }
+            let key_cols: Vec<(Arc<Column>, bool)> = self
                 .keys
                 .iter()
-                .map(|k| Ok((eval(&k.expr, &batch)?, k.descending)))
+                .map(|k| Ok((eval_arc(&k.expr, &batch)?, k.descending)))
                 .collect::<Result<_>>()?;
-            // Pre-rank this batch's rows, take its local top-k, merge.
-            let mut local: Vec<usize> = (0..batch.num_rows()).collect();
+            // Pre-rank this batch's lanes (key columns are base-length, so
+            // sort base indices), take its local top-k, merge.
+            let mut local: Vec<usize> =
+                (0..batch.num_rows()).map(|i| batch.base_index(i)).collect();
             local.sort_by(|&a, &b| cmp_rows(&key_cols, a, b));
             local.truncate(self.k);
-            for row in local {
-                let key: Vec<Value> = key_cols.iter().map(|(c, _)| c.value(row)).collect();
-                buffer.push((key, batch.row(row)));
+            let bi = kept.len();
+            for base_row in local {
+                let key: Vec<Value> = key_cols.iter().map(|(c, _)| c.value(base_row)).collect();
+                buffer.push((key, bi, base_row));
             }
+            kept.push(batch);
             buffer.sort_by(|a, b| cmp_keys(&a.0, &b.0));
             buffer.truncate(self.k);
         }
 
-        let rows: Vec<Vec<Value>> = buffer.into_iter().map(|(_, row)| row).collect();
-        Ok(Some(RecordBatch::from_rows(self.schema.clone(), &rows)?))
+        // Gather the surviving rows column-by-column with typed appends.
+        let mut columns = Vec::with_capacity(self.schema.len());
+        for (ci, f) in self.schema.fields().iter().enumerate() {
+            let mut col = Column::empty(f.data_type);
+            for (_, bi, base_row) in &buffer {
+                col.push_from(kept[*bi].column(ci), *base_row)?;
+            }
+            columns.push(Arc::new(col));
+        }
+        Ok(Some(RecordBatch::try_new(self.schema.clone(), columns)?))
     }
 
     fn name(&self) -> &'static str {
@@ -139,6 +157,17 @@ mod tests {
         let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 0);
         let out = drain_one(&mut t).unwrap();
         assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn respects_selection_views() {
+        // Select lanes {1, 3, 4} -> values {3, 1, 7}; top-2 asc = [1, 3].
+        let batch = int_batch(&[("x", vec![5, 3, 9, 1, 7])])
+            .with_selection(Arc::new(vec![1, 3, 4]))
+            .unwrap();
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 2);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.column(0).i64_data().unwrap(), &[1, 3]);
     }
 
     #[test]

@@ -54,12 +54,11 @@ fn build(
             let t = catalog
                 .table(table)
                 .ok_or_else(|| QueryError::TableNotFound(table.clone()))?;
-            let op: Box<dyn Operator> = Box::new(TableScanExec::new(
-                t,
-                projection.clone(),
-                filters.clone(),
-                opts.parallelism,
-            )?);
+            let op: Box<dyn Operator> = Box::new(
+                TableScanExec::new(t, projection.clone(), filters.clone(), opts.parallelism)?
+                    .with_batch_rows(opts.batch_rows)
+                    .with_metrics(opts.metrics.clone()),
+            );
             (op, table.clone(), vec![])
         }
         LogicalPlan::Filter { input, predicate } => {
@@ -99,7 +98,10 @@ fn build(
                 }
                 Box::new(NestedLoopJoinExec::new(l, r, None))
             } else {
-                Box::new(HashJoinExec::new(l, r, on.clone(), *join_type)?)
+                Box::new(
+                    HashJoinExec::new(l, r, on.clone(), *join_type)?
+                        .with_metrics(opts.metrics.clone()),
+                )
             };
             (op, detail, vec![lprof, rprof])
         }
@@ -110,11 +112,10 @@ fn build(
         } => {
             let (child, prof) = build(input, catalog, opts, instrument)?;
             let detail = format!("group=[{}]", group_by.len());
-            let op: Box<dyn Operator> = Box::new(HashAggregateExec::new(
-                child,
-                group_by.clone(),
-                aggs.clone(),
-            )?);
+            let op: Box<dyn Operator> = Box::new(
+                HashAggregateExec::new(child, group_by.clone(), aggs.clone())?
+                    .with_metrics(opts.metrics.clone()),
+            );
             (op, detail, vec![prof])
         }
         // Limit directly over Sort fuses into TopK: no full sort needed.

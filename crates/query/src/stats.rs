@@ -57,40 +57,186 @@ impl ColumnStats {
     }
 }
 
+/// Per-type accumulator for one column's statistics. Typed kernels keep the
+/// hot loop on raw slices: no per-row `Value` boxing, and distinct-counting
+/// hashes primitives (floats by bit pattern) instead of enum values.
+enum StatAcc<'a> {
+    Int {
+        distinct: HashSet<i64>,
+        min: i64,
+        max: i64,
+    },
+    Float {
+        distinct: HashSet<u64>,
+        min: f64,
+        max: f64,
+    },
+    Str {
+        distinct: HashSet<&'a str>,
+        min: Option<&'a str>,
+        max: Option<&'a str>,
+    },
+    Bool {
+        seen: [bool; 2],
+    },
+    Other {
+        distinct: HashSet<Value>,
+        min: Option<Value>,
+        max: Option<Value>,
+    },
+}
+
 /// Compute statistics for every column of a table (one pass per column).
 pub fn analyze_table(table: &Table) -> Vec<ColumnStats> {
     let ncols = table.schema().len();
+    let groups: Vec<_> = table.groups().collect();
     let mut out = Vec::with_capacity(ncols);
     for c in 0..ncols {
-        let mut distinct: HashSet<Value> = HashSet::new();
-        let mut min: Option<Value> = None;
-        let mut max: Option<Value> = None;
+        let mut acc: Option<StatAcc> = None;
         let mut null_count = 0u64;
         let mut row_count = 0u64;
-        for group in table.groups() {
+        for group in &groups {
             let col = group.batch().column(c);
-            for i in 0..col.len() {
-                row_count += 1;
-                let v = col.value(i);
-                if v.is_null() {
-                    null_count += 1;
-                    continue;
+            let bm = col.validity();
+            row_count += col.len() as u64;
+            if let Ok(data) = col.i64_data() {
+                let a = acc.get_or_insert(StatAcc::Int {
+                    distinct: HashSet::new(),
+                    min: i64::MAX,
+                    max: i64::MIN,
+                });
+                if let StatAcc::Int { distinct, min, max } = a {
+                    for (i, &v) in data.iter().enumerate() {
+                        if !bm.get(i) {
+                            null_count += 1;
+                            continue;
+                        }
+                        *min = v.min(*min);
+                        *max = v.max(*max);
+                        distinct.insert(v);
+                    }
                 }
-                match &min {
-                    None => min = Some(v.clone()),
-                    Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Less => min = Some(v.clone()),
-                    _ => {}
+            } else if let Ok(data) = col.f64_data() {
+                let a = acc.get_or_insert(StatAcc::Float {
+                    distinct: HashSet::new(),
+                    min: f64::INFINITY,
+                    max: f64::NEG_INFINITY,
+                });
+                if let StatAcc::Float { distinct, min, max } = a {
+                    for (i, &v) in data.iter().enumerate() {
+                        if !bm.get(i) {
+                            null_count += 1;
+                            continue;
+                        }
+                        *min = v.min(*min);
+                        *max = v.max(*max);
+                        distinct.insert(v.to_bits());
+                    }
                 }
-                match &max {
-                    None => max = Some(v.clone()),
-                    Some(m) if v.sql_cmp(m) == std::cmp::Ordering::Greater => max = Some(v.clone()),
-                    _ => {}
+            } else if let Ok(data) = col.utf8_data() {
+                let a = acc.get_or_insert(StatAcc::Str {
+                    distinct: HashSet::new(),
+                    min: None,
+                    max: None,
+                });
+                if let StatAcc::Str { distinct, min, max } = a {
+                    for (i, v) in data.iter().enumerate() {
+                        if !bm.get(i) {
+                            null_count += 1;
+                            continue;
+                        }
+                        let s: &str = v.as_str();
+                        if min.is_none_or(|m| s < m) {
+                            *min = Some(s);
+                        }
+                        if max.is_none_or(|m| s > m) {
+                            *max = Some(s);
+                        }
+                        distinct.insert(s);
+                    }
                 }
-                distinct.insert(v);
+            } else if let Ok(data) = col.bool_data() {
+                let a = acc.get_or_insert(StatAcc::Bool {
+                    seen: [false, false],
+                });
+                if let StatAcc::Bool { seen } = a {
+                    for (i, &v) in data.iter().enumerate() {
+                        if !bm.get(i) {
+                            null_count += 1;
+                            continue;
+                        }
+                        seen[v as usize] = true;
+                    }
+                }
+            } else {
+                let a = acc.get_or_insert(StatAcc::Other {
+                    distinct: HashSet::new(),
+                    min: None,
+                    max: None,
+                });
+                if let StatAcc::Other { distinct, min, max } = a {
+                    for i in 0..col.len() {
+                        let v = col.value(i);
+                        if v.is_null() {
+                            null_count += 1;
+                            continue;
+                        }
+                        if min
+                            .as_ref()
+                            .is_none_or(|m| v.sql_cmp(m) == std::cmp::Ordering::Less)
+                        {
+                            *min = Some(v.clone());
+                        }
+                        if max
+                            .as_ref()
+                            .is_none_or(|m| v.sql_cmp(m) == std::cmp::Ordering::Greater)
+                        {
+                            *max = Some(v.clone());
+                        }
+                        distinct.insert(v);
+                    }
+                }
             }
         }
+        let (ndv, min, max) = match acc {
+            Some(StatAcc::Int { distinct, min, max }) if !distinct.is_empty() => (
+                distinct.len() as u64,
+                Some(Value::Int(min)),
+                Some(Value::Int(max)),
+            ),
+            Some(StatAcc::Float { distinct, min, max }) if !distinct.is_empty() => (
+                distinct.len() as u64,
+                Some(Value::Float(min)),
+                Some(Value::Float(max)),
+            ),
+            Some(StatAcc::Str { distinct, min, max }) => (
+                distinct.len() as u64,
+                min.map(Value::str),
+                max.map(Value::str),
+            ),
+            Some(StatAcc::Bool { seen }) => {
+                let ndv = seen.iter().filter(|&&b| b).count() as u64;
+                let min = if seen[0] {
+                    Some(Value::Bool(false))
+                } else if seen[1] {
+                    Some(Value::Bool(true))
+                } else {
+                    None
+                };
+                let max = if seen[1] {
+                    Some(Value::Bool(true))
+                } else if seen[0] {
+                    Some(Value::Bool(false))
+                } else {
+                    None
+                };
+                (ndv, min, max)
+            }
+            Some(StatAcc::Other { distinct, min, max }) => (distinct.len() as u64, min, max),
+            _ => (0, None, None),
+        };
         out.push(ColumnStats {
-            ndv: distinct.len() as u64,
+            ndv,
             min,
             max,
             null_count,

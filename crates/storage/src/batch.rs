@@ -9,11 +9,20 @@ use std::sync::Arc;
 /// A horizontal slice of a table: a schema plus one column per field, all of
 /// equal length. Batches are immutable and cheap to clone (columns are
 /// `Arc`-shared).
+///
+/// A batch may additionally carry a **selection vector**: an ordered list of
+/// base-row indices naming the logical rows. Filters produce selected views
+/// instead of compacting every surviving column, and downstream kernels
+/// iterate only the selected lanes; `materialize` gathers the view into a
+/// dense batch at operator boundaries that need one. All row-level accessors
+/// (`num_rows`, `row`, `to_rows`, `filter`, `take`, `slice`) see logical
+/// rows, so a selected batch behaves observably like its compacted form.
 #[derive(Debug, Clone)]
 pub struct RecordBatch {
     schema: Arc<Schema>,
     columns: Vec<Arc<Column>>,
     rows: usize,
+    sel: Option<Arc<Vec<u32>>>,
 }
 
 impl RecordBatch {
@@ -48,6 +57,7 @@ impl RecordBatch {
             schema,
             columns,
             rows,
+            sel: None,
         })
     }
 
@@ -62,6 +72,7 @@ impl RecordBatch {
             schema,
             columns,
             rows: 0,
+            sel: None,
         }
     }
 
@@ -92,9 +103,110 @@ impl RecordBatch {
         &self.schema
     }
 
-    /// Number of rows.
+    /// Number of logical rows (selection lanes when a selection is present).
     pub fn num_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.rows,
+        }
+    }
+
+    /// Number of physical rows in the underlying columns.
+    pub fn base_rows(&self) -> usize {
         self.rows
+    }
+
+    /// The selection vector, if this batch is a filtered view.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref().map(|s| s.as_slice())
+    }
+
+    /// Shared handle to the selection vector (cheap to clone onto a sibling
+    /// batch with the same base row count).
+    pub fn selection_shared(&self) -> Option<Arc<Vec<u32>>> {
+        self.sel.clone()
+    }
+
+    /// Map a logical row index to its base-column row index.
+    #[inline]
+    pub fn base_index(&self, i: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[i] as usize,
+            None => i,
+        }
+    }
+
+    /// This batch viewed through `sel` (base-row indices). Replaces any
+    /// existing selection — callers composing filters must map through
+    /// [`RecordBatch::base_index`] first.
+    pub fn with_selection(&self, sel: Arc<Vec<u32>>) -> Result<RecordBatch> {
+        if let Some(&bad) = sel.iter().find(|&&i| i as usize >= self.rows) {
+            return Err(StorageError::OutOfBounds {
+                index: bad as usize,
+                len: self.rows,
+            });
+        }
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            sel: Some(sel),
+        })
+    }
+
+    /// Zero-copy filter: keep logical rows where `mask` is true, composing
+    /// with any existing selection. Columns are shared, not compacted.
+    pub fn select_mask(&self, mask: &[bool]) -> Result<RecordBatch> {
+        if mask.len() != self.num_rows() {
+            return Err(StorageError::OutOfBounds {
+                index: mask.len(),
+                len: self.num_rows(),
+            });
+        }
+        let mut sel = Vec::with_capacity(mask.iter().filter(|&&m| m).count());
+        match &self.sel {
+            Some(old) => {
+                for (k, &m) in mask.iter().enumerate() {
+                    if m {
+                        sel.push(old[k]);
+                    }
+                }
+            }
+            None => {
+                for (k, &m) in mask.iter().enumerate() {
+                    if m {
+                        sel.push(k as u32);
+                    }
+                }
+            }
+        }
+        Ok(RecordBatch {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            sel: Some(Arc::new(sel)),
+        })
+    }
+
+    /// Gather any selection into dense columns. A no-op clone when the batch
+    /// is already dense.
+    pub fn materialize(&self) -> RecordBatch {
+        match &self.sel {
+            None => self.clone(),
+            Some(sel) => {
+                let columns = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.gather(sel)))
+                    .collect();
+                RecordBatch {
+                    schema: self.schema.clone(),
+                    columns,
+                    rows: sel.len(),
+                    sel: None,
+                }
+            }
+        }
     }
 
     /// Number of columns.
@@ -102,9 +214,9 @@ impl RecordBatch {
         self.columns.len()
     }
 
-    /// Whether the batch has zero rows.
+    /// Whether the batch has zero logical rows.
     pub fn is_empty(&self) -> bool {
-        self.rows == 0
+        self.num_rows() == 0
     }
 
     /// Column at ordinal `i`.
@@ -122,23 +234,28 @@ impl RecordBatch {
         self.schema.index_of(name).map(|i| &self.columns[i])
     }
 
-    /// Row `i` as dynamic values.
+    /// Logical row `i` as dynamic values.
     pub fn row(&self, i: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c.value(i)).collect()
+        let base = self.base_index(i);
+        self.columns.iter().map(|c| c.value(base)).collect()
     }
 
-    /// All rows as dynamic values (result materialization).
+    /// All logical rows as dynamic values (result materialization).
     pub fn to_rows(&self) -> Vec<Vec<Value>> {
-        (0..self.rows).map(|i| self.row(i)).collect()
+        (0..self.num_rows()).map(|i| self.row(i)).collect()
     }
 
-    /// Keep rows where `mask` is true.
+    /// Keep logical rows where `mask` is true, compacting the columns.
+    /// See [`RecordBatch::select_mask`] for the zero-copy view variant.
     pub fn filter(&self, mask: &[bool]) -> Result<RecordBatch> {
-        if mask.len() != self.rows {
+        if mask.len() != self.num_rows() {
             return Err(StorageError::OutOfBounds {
                 index: mask.len(),
-                len: self.rows,
+                len: self.num_rows(),
             });
+        }
+        if self.sel.is_some() {
+            return self.select_mask(mask).map(|b| b.materialize());
         }
         let cols = self
             .columns
@@ -148,53 +265,93 @@ impl RecordBatch {
         RecordBatch::try_new(self.schema.clone(), cols)
     }
 
-    /// Gather rows at `indices`.
+    /// Gather logical rows at `indices`.
     pub fn take(&self, indices: &[usize]) -> Result<RecordBatch> {
-        if let Some(&bad) = indices.iter().find(|&&i| i >= self.rows) {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.num_rows()) {
             return Err(StorageError::OutOfBounds {
                 index: bad,
-                len: self.rows,
+                len: self.num_rows(),
             });
         }
-        let cols = self
-            .columns
-            .iter()
-            .map(|c| Arc::new(c.take(indices)))
-            .collect();
-        RecordBatch::try_new(self.schema.clone(), cols)
+        match &self.sel {
+            Some(sel) => {
+                let base: Vec<usize> = indices.iter().map(|&i| sel[i] as usize).collect();
+                let cols = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.take(&base)))
+                    .collect();
+                RecordBatch::try_new(self.schema.clone(), cols)
+            }
+            None => {
+                let cols = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.take(indices)))
+                    .collect();
+                RecordBatch::try_new(self.schema.clone(), cols)
+            }
+        }
     }
 
-    /// Project columns by ordinal.
+    /// Project columns by ordinal, preserving any selection.
     pub fn project(&self, indices: &[usize]) -> Result<RecordBatch> {
         let schema = self.schema.project(indices);
-        let cols = indices.iter().map(|&i| self.columns[i].clone()).collect();
-        RecordBatch::try_new(schema, cols)
-    }
-
-    /// A contiguous row slice `[offset, offset+len)`.
-    pub fn slice(&self, offset: usize, len: usize) -> Result<RecordBatch> {
-        if offset + len > self.rows {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= self.columns.len()) {
             return Err(StorageError::OutOfBounds {
-                index: offset + len,
-                len: self.rows,
+                index: bad,
+                len: self.columns.len(),
             });
         }
-        let cols = self
-            .columns
-            .iter()
-            .map(|c| Arc::new(c.slice(offset, len)))
-            .collect();
-        RecordBatch::try_new(self.schema.clone(), cols)
+        let cols = indices.iter().map(|&i| self.columns[i].clone()).collect();
+        Ok(RecordBatch {
+            schema,
+            columns: cols,
+            rows: self.rows,
+            sel: self.sel.clone(),
+        })
     }
 
-    /// Vertically concatenate batches sharing a schema.
+    /// A contiguous logical row slice `[offset, offset+len)`. On a selected
+    /// batch this narrows the selection without touching column data.
+    pub fn slice(&self, offset: usize, len: usize) -> Result<RecordBatch> {
+        if offset + len > self.num_rows() {
+            return Err(StorageError::OutOfBounds {
+                index: offset + len,
+                len: self.num_rows(),
+            });
+        }
+        match &self.sel {
+            Some(sel) => {
+                let narrowed = Arc::new(sel[offset..offset + len].to_vec());
+                Ok(RecordBatch {
+                    schema: self.schema.clone(),
+                    columns: self.columns.clone(),
+                    rows: self.rows,
+                    sel: Some(narrowed),
+                })
+            }
+            None => {
+                let cols = self
+                    .columns
+                    .iter()
+                    .map(|c| Arc::new(c.slice(offset, len)))
+                    .collect();
+                RecordBatch::try_new(self.schema.clone(), cols)
+            }
+        }
+    }
+
+    /// Vertically concatenate batches sharing a schema. Selected inputs are
+    /// materialized first; the result is always dense.
     pub fn concat(schema: Arc<Schema>, batches: &[RecordBatch]) -> Result<RecordBatch> {
         if batches.is_empty() {
             return Ok(RecordBatch::empty(schema));
         }
+        let dense: Vec<RecordBatch> = batches.iter().map(|b| b.materialize()).collect();
         let mut cols = Vec::with_capacity(schema.len());
         for i in 0..schema.len() {
-            let parts: Vec<&Column> = batches.iter().map(|b| b.column(i).as_ref()).collect();
+            let parts: Vec<&Column> = dense.iter().map(|b| b.column(i).as_ref()).collect();
             cols.push(Arc::new(Column::concat(&parts)?));
         }
         RecordBatch::try_new(schema, cols)

@@ -361,6 +361,168 @@ impl Column {
         }
     }
 
+    /// An all-NULL column of the given type and length.
+    pub fn nulls(dt: DataType, n: usize) -> Self {
+        let bm = Bitmap::all_null(n);
+        match dt {
+            DataType::Int64 => Column::Int64(vec![0; n], bm),
+            DataType::Float64 => Column::Float64(vec![0.0; n], bm),
+            DataType::Utf8 => Column::Utf8(vec![String::new(); n], bm),
+            DataType::Bool => Column::Bool(vec![false; n], bm),
+        }
+    }
+
+    /// Append row `i` of `src` to this column without a `Value` round-trip.
+    /// Integers widen into float columns, mirroring [`Column::push_value`].
+    pub fn push_from(&mut self, src: &Column, i: usize) -> Result<()> {
+        if src.is_null(i) {
+            match self {
+                Column::Int64(d, b) => {
+                    d.push(0);
+                    b.push(false);
+                }
+                Column::Float64(d, b) => {
+                    d.push(0.0);
+                    b.push(false);
+                }
+                Column::Utf8(d, b) => {
+                    d.push(String::new());
+                    b.push(false);
+                }
+                Column::Bool(d, b) => {
+                    d.push(false);
+                    b.push(false);
+                }
+            }
+            return Ok(());
+        }
+        match (&mut *self, src) {
+            (Column::Int64(d, b), Column::Int64(s, _)) => {
+                d.push(s[i]);
+                b.push(true);
+            }
+            (Column::Float64(d, b), Column::Float64(s, _)) => {
+                d.push(s[i]);
+                b.push(true);
+            }
+            (Column::Float64(d, b), Column::Int64(s, _)) => {
+                d.push(s[i] as f64);
+                b.push(true);
+            }
+            (Column::Utf8(d, b), Column::Utf8(s, _)) => {
+                d.push(s[i].clone());
+                b.push(true);
+            }
+            (Column::Bool(d, b), Column::Bool(s, _)) => {
+                d.push(s[i]);
+                b.push(true);
+            }
+            (dst, src) => {
+                return Err(StorageError::TypeMismatch {
+                    expected: dst.data_type().to_string(),
+                    found: src.data_type().to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Gather rows at `indices` (as `u32`) — the selection-vector output path.
+    /// One pass per column; no `Value` boxing.
+    pub fn gather(&self, indices: &[u32]) -> Column {
+        match self {
+            Column::Int64(v, bm) => {
+                let (data, out_bm) = gather_copy(v, bm, indices);
+                Column::Int64(data, out_bm)
+            }
+            Column::Float64(v, bm) => {
+                let (data, out_bm) = gather_copy(v, bm, indices);
+                Column::Float64(data, out_bm)
+            }
+            Column::Utf8(v, bm) => {
+                let (data, out_bm) = gather_clone(v, bm, indices);
+                Column::Utf8(data, out_bm)
+            }
+            Column::Bool(v, bm) => {
+                let (data, out_bm) = gather_copy(v, bm, indices);
+                Column::Bool(data, out_bm)
+            }
+        }
+    }
+
+    /// Mix this column's values into per-row hash lanes, visiting only the
+    /// rows in `sel` (or every row when `sel` is `None`). Hashing mirrors
+    /// [`crate::types::Value`]'s `Hash`/`PartialEq` exactly: integers hash as
+    /// their `f64` bit pattern so `Int(2)` and `Float(2.0)` collide, floats
+    /// hash bitwise, NULL hashes as a fixed tag. `hashes` is indexed by base
+    /// row: `hashes[i]` must be valid for every visited `i`.
+    pub fn hash_combine(&self, sel: Option<&[u32]>, hashes: &mut [u64]) {
+        macro_rules! lanes {
+            ($f:expr) => {
+                match sel {
+                    Some(s) => {
+                        for &i in s {
+                            let i = i as usize;
+                            hashes[i] = mix64(hashes[i] ^ $f(i));
+                        }
+                    }
+                    None => {
+                        for (i, h) in hashes.iter_mut().enumerate() {
+                            *h = mix64(*h ^ $f(i));
+                        }
+                    }
+                }
+            };
+        }
+        const NULL_TAG: u64 = 0x9e37_79b9_7f4a_7c15;
+        match self {
+            Column::Int64(v, bm) => {
+                lanes!(|i: usize| if bm.get(i) {
+                    (v[i] as f64).to_bits()
+                } else {
+                    NULL_TAG
+                });
+            }
+            Column::Float64(v, bm) => {
+                lanes!(|i: usize| if bm.get(i) { v[i].to_bits() } else { NULL_TAG });
+            }
+            Column::Utf8(v, bm) => {
+                lanes!(|i: usize| if bm.get(i) {
+                    fnv1a(v[i].as_bytes())
+                } else {
+                    NULL_TAG
+                });
+            }
+            Column::Bool(v, bm) => {
+                lanes!(|i: usize| if bm.get(i) { v[i] as u64 + 1 } else { NULL_TAG });
+            }
+        }
+    }
+
+    /// Typed row equality with NULL == NULL (hash/group key semantics,
+    /// mirroring `Value`'s structural `PartialEq`: cross-type numerics
+    /// compare by `f64` bit pattern, floats bitwise).
+    pub fn eq_rows_null_eq(&self, i: usize, other: &Column, j: usize) -> bool {
+        match (self.is_null(i), other.is_null(j)) {
+            (true, true) => return true,
+            (false, false) => {}
+            _ => return false,
+        }
+        match (self, other) {
+            (Column::Int64(a, _), Column::Int64(b, _)) => a[i] == b[j],
+            (Column::Float64(a, _), Column::Float64(b, _)) => a[i].to_bits() == b[j].to_bits(),
+            (Column::Int64(a, _), Column::Float64(b, _)) => {
+                (a[i] as f64).to_bits() == b[j].to_bits()
+            }
+            (Column::Float64(a, _), Column::Int64(b, _)) => {
+                a[i].to_bits() == (b[j] as f64).to_bits()
+            }
+            (Column::Utf8(a, _), Column::Utf8(b, _)) => a[i] == b[j],
+            (Column::Bool(a, _), Column::Bool(b, _)) => a[i] == b[j],
+            _ => false,
+        }
+    }
+
     /// Gather rows at `indices` into a new column (hash-join/sort output path).
     pub fn take(&self, indices: &[usize]) -> Column {
         match self {
@@ -491,6 +653,68 @@ impl Column {
             Column::Bool(v, _) => v.len(),
         }
     }
+}
+
+/// Finalizer from splitmix64: full-avalanche 64-bit mixer, so combining
+/// per-column hashes by XOR-then-mix keeps multi-key distributions flat.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over raw bytes, for string key lanes.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn gather_copy<T: Copy + Default>(data: &[T], bm: &Bitmap, indices: &[u32]) -> (Vec<T>, Bitmap) {
+    let mut out = Vec::with_capacity(indices.len());
+    if bm.all_set() {
+        for &i in indices {
+            out.push(data[i as usize]);
+        }
+        return (out, Bitmap::all_valid(indices.len()));
+    }
+    let mut out_bm = Bitmap::all_null(indices.len());
+    for (k, &i) in indices.iter().enumerate() {
+        let i = i as usize;
+        if bm.get(i) {
+            out.push(data[i]);
+            out_bm.set(k, true);
+        } else {
+            out.push(T::default());
+        }
+    }
+    (out, out_bm)
+}
+
+fn gather_clone(data: &[String], bm: &Bitmap, indices: &[u32]) -> (Vec<String>, Bitmap) {
+    let mut out = Vec::with_capacity(indices.len());
+    if bm.all_set() {
+        for &i in indices {
+            out.push(data[i as usize].clone());
+        }
+        return (out, Bitmap::all_valid(indices.len()));
+    }
+    let mut out_bm = Bitmap::all_null(indices.len());
+    for (k, &i) in indices.iter().enumerate() {
+        let i = i as usize;
+        if bm.get(i) {
+            out.push(data[i].clone());
+            out_bm.set(k, true);
+        } else {
+            out.push(String::new());
+        }
+    }
+    (out, out_bm)
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@ echo "== fault-injection / crash-recovery suite =="
 cargo test -q -p backbone-txn fault
 cargo test -q -p backbone-bench --test recovery
 
+echo "== kernel equivalence property suite =="
+cargo test -q -p backbone-bench --test kernel_equivalence
+
 echo "== repro smoke (quick) =="
 out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"
 echo "$out"
@@ -27,5 +30,15 @@ echo "$out"
 # file-backed group-commit rung.
 echo "$out" | grep -q "fsyncs" || { echo "repro e5: missing fsyncs column"; exit 1; }
 echo "$out" | grep -q "MVCC+grp+file" || { echo "repro e5: missing file-backed WAL rung"; exit 1; }
+
+echo "== perf smoke (quick) =="
+out="$(cargo run -q --release -p backbone-bench --bin repro -- e8 --quick)"
+echo "$out"
+echo "$out" | grep -q "declarative" || { echo "repro e8: missing declarative row"; exit 1; }
+out="$(cargo run -q --release -p backbone-bench --bin repro -- bench --quick)"
+echo "$out"
+# Generous catastrophic-regression gate: the declarative engine must stay
+# within 8x of the hand-rolled loop (see exec_bench::report).
+echo "$out" | grep -q "PERF_OK" || { echo "repro bench: declarative/hand-rolled gap regressed"; exit 1; }
 
 echo "OK"
