@@ -8,9 +8,12 @@
 //! evaluation, so a speedup can never silently change answers.
 
 use crate::time;
-use backbone_query::{col, count_star, execute, ExecOptions, LogicalPlan, MemCatalog};
-use backbone_storage::{DataType, Field, Schema, Table, Value};
+use backbone_query::{
+    col, count_star, execute, lit, sum, ExecOptions, JoinType, LogicalPlan, MemCatalog,
+};
+use backbone_storage::{Bitmap, Column, DataType, Field, RecordBatch, Schema, Table, Value};
 use backbone_workloads::{queries, tpch};
+use std::sync::Arc;
 
 /// One measured entry: name, milliseconds (median of `RUNS`), result rows.
 #[derive(Debug, Clone)]
@@ -72,6 +75,64 @@ fn like_catalog(rows: usize) -> MemCatalog {
     table.flush().expect("flush in-memory table");
     let catalog = MemCatalog::new();
     catalog.register("notes", table);
+    catalog
+}
+
+/// Number of distinct region tags in the dictionary benchmark tables.
+const DICT_REGIONS: usize = 16;
+
+/// Twin fact tables (`events_plain` / `events_dict`) with identical rows —
+/// a low-cardinality `region` string column (plain vs dictionary-encoded)
+/// and an `amount` integer — plus twin dimension tables keyed by region.
+/// The dict dimension shares the fact table's dictionary `Arc`, so the join
+/// exercises the shared-encoding probe path.
+fn dict_catalog(rows: usize) -> MemCatalog {
+    let schema = Schema::new(vec![
+        Field::new("region", DataType::Utf8),
+        Field::new("amount", DataType::Int64),
+    ]);
+    let regions: Vec<Value> = (0..rows)
+        .map(|i| Value::str(format!("region-{:02}", (i * 7) % DICT_REGIONS)))
+        .collect();
+    let amounts: Vec<Value> = (0..rows).map(|i| Value::Int((i % 1000) as i64)).collect();
+    let plain = Column::from_values(DataType::Utf8, &regions).expect("utf8 column");
+    let dict = plain.dict_encode().expect("utf8 columns encode");
+    let shared = Arc::clone(dict.dict_parts().expect("encoded").0);
+    let amount = Column::from_values(DataType::Int64, &amounts).expect("int column");
+    let catalog = MemCatalog::new();
+    for (name, scol) in [("events_plain", plain), ("events_dict", dict)] {
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![Arc::new(scol), Arc::new(amount.clone())],
+        )
+        .expect("columns match schema");
+        let mut table = Table::new(schema.clone());
+        table.push_sealed_batch(batch).expect("sealed batch");
+        catalog.register(name, table);
+    }
+
+    let dim_schema = Schema::new(vec![
+        Field::new("rname", DataType::Utf8),
+        Field::new("weight", DataType::Int64),
+    ]);
+    let names: Vec<String> = shared.to_vec();
+    let weights = Column::from_i64((0..names.len() as i64).collect());
+    let dim_plain = Column::from_strings(names.clone());
+    let dim_dict = Column::dict_from_parts(
+        shared,
+        (0..names.len() as u32).collect(),
+        Bitmap::all_valid(names.len()),
+    );
+    for (name, scol) in [("dim_plain", dim_plain), ("dim_dict", dim_dict)] {
+        let batch = RecordBatch::try_new(
+            dim_schema.clone(),
+            vec![Arc::new(scol), Arc::new(weights.clone())],
+        )
+        .expect("columns match schema");
+        let mut table = Table::new(dim_schema.clone());
+        table.push_sealed_batch(batch).expect("sealed batch");
+        catalog.register(name, table);
+    }
     catalog
 }
 
@@ -147,6 +208,88 @@ pub fn run(quick: bool) -> Vec<BenchEntry> {
         out.push(BenchEntry { name, ms, rows: n });
     }
 
+    // Dictionary encoding: the same scans over plain vs encoded strings. The
+    // plain run is the control; `report` turns the ratios into the PERF gate.
+    let rows = if quick { 40_000 } else { 400_000 };
+    let catalog = dict_catalog(rows);
+    let opts = ExecOptions::default();
+    let mut results: Vec<(&str, Vec<Vec<Value>>)> = Vec::new();
+    for (events, dim, suffix) in [
+        ("events_plain", "dim_plain", "plain"),
+        ("events_dict", "dim_dict", "dict"),
+    ] {
+        let scan = || LogicalPlan::scan(events, &catalog).expect("events table");
+        let rungs: Vec<(&'static str, LogicalPlan)> = vec![
+            (
+                "filter",
+                scan()
+                    .filter(col("region").eq(lit("region-07")))
+                    .aggregate(vec![], vec![count_star().alias("n")]),
+            ),
+            (
+                "group",
+                scan().aggregate(
+                    vec![col("region")],
+                    vec![count_star().alias("n"), sum(col("amount")).alias("total")],
+                ),
+            ),
+            (
+                "join",
+                scan()
+                    .join(
+                        LogicalPlan::scan(dim, &catalog).expect("dim table"),
+                        vec![("region", "rname")],
+                        JoinType::Inner,
+                    )
+                    .aggregate(vec![], vec![sum(col("weight")).alias("w")]),
+            ),
+        ];
+        for (kind, plan) in rungs {
+            let (result, ms) =
+                measure(|| execute(plan.clone(), &catalog, &opts).expect("dict bench run"));
+            let rows_out = result.to_rows();
+            match results.iter().find(|(k, _)| *k == kind) {
+                Some((_, control)) => assert!(
+                    rows_equal(&rows_out, control),
+                    "{kind}: encoded result diverged from plain control"
+                ),
+                None => results.push((kind, rows_out.clone())),
+            }
+            out.push(BenchEntry {
+                name: match (kind, suffix) {
+                    ("filter", "plain") => "plain_filter_ms",
+                    ("filter", "dict") => "dict_filter_ms",
+                    ("group", "plain") => "plain_group_ms",
+                    ("group", "dict") => "dict_group_ms",
+                    ("join", "plain") => "plain_join_ms",
+                    _ => "dict_join_ms",
+                },
+                ms,
+                rows: result.num_rows(),
+            });
+        }
+    }
+
+    // Checkpoint footprint: the same table's on-disk bytes, plain vs encoded.
+    let dir = std::env::temp_dir().join(format!("backbone-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (table, name) in [
+        ("events_plain", "plain_checkpoint_bytes"),
+        ("events_dict", "dict_checkpoint_bytes"),
+    ] {
+        let path = dir.join(table).with_extension("ckpt");
+        let t = backbone_query::Catalog::table(&catalog, table).expect("bench table");
+        backbone_storage::checkpoint::write_checkpoint(&path, 0, &[(table, &*t)])
+            .expect("checkpoint write");
+        let bytes = std::fs::metadata(&path).expect("checkpoint stat").len() as usize;
+        out.push(BenchEntry {
+            name,
+            ms: 0.0,
+            rows: bytes,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
     out
 }
 
@@ -192,6 +335,26 @@ pub fn report(entries: &[BenchEntry], max_gap: f64) -> String {
         }
         _ => out.push_str("PERF_FAIL missing E8 measurements\n"),
     }
+    // Encoding gate: dictionary kernels must never lose to the plain path.
+    for (kind, plain, dict) in [
+        ("filter", "plain_filter_ms", "dict_filter_ms"),
+        ("group-by", "plain_group_ms", "dict_group_ms"),
+    ] {
+        match (get(plain), get(dict)) {
+            (Some(p), Some(d)) if d > 0.0 => {
+                let speedup = p / d;
+                let verdict = if speedup >= 1.0 {
+                    "PERF_OK"
+                } else {
+                    "PERF_FAIL"
+                };
+                out.push_str(&format!(
+                    "{verdict} dict {kind} speedup = {speedup:.2}x over plain (floor 1.0x)\n"
+                ));
+            }
+            _ => out.push_str(&format!("PERF_FAIL missing dict {kind} measurements\n")),
+        }
+    }
     out
 }
 
@@ -202,12 +365,29 @@ mod tests {
     #[test]
     fn quick_suite_runs_and_serializes() {
         let entries = run(true);
-        assert_eq!(entries.len(), 6);
+        assert_eq!(entries.len(), 14);
         let json = to_json(&entries, true);
         assert!(json.contains("\"e1_q1_ms\""));
         assert!(json.contains("\"like_generic_ms\""));
+        assert!(json.contains("\"dict_filter_ms\""));
+        assert!(json.contains("\"dict_checkpoint_bytes\""));
         let rep = report(&entries, 1000.0);
         assert!(rep.contains("PERF_OK"), "{rep}");
+        assert!(!rep.contains("missing dict"), "{rep}");
+        // The encoded checkpoint must be materially smaller than the plain one.
+        let bytes = |name: &str| {
+            entries
+                .iter()
+                .find(|e| e.name == name)
+                .expect("checkpoint entry")
+                .rows
+        };
+        assert!(
+            bytes("dict_checkpoint_bytes") * 2 < bytes("plain_checkpoint_bytes"),
+            "dictionary checkpoint not smaller: {} vs {}",
+            bytes("dict_checkpoint_bytes"),
+            bytes("plain_checkpoint_bytes")
+        );
     }
 
     #[test]

@@ -138,6 +138,7 @@ impl Database {
             .add(report.wal_bytes_dropped);
         db.durability = Some(durability);
         db.recovery = Some(report);
+        db.record_encoding_stats();
         Ok(db)
     }
 
@@ -291,7 +292,31 @@ impl Database {
         d.wal().truncate_through(lsn)?;
         d.checkpoint_done();
         self.metrics.counter("wal.checkpoints").incr();
+        if let Ok(meta) = std::fs::metadata(d.checkpoint_path()) {
+            let bytes = self.metrics.counter("storage.encoding.checkpoint_bytes");
+            bytes.reset();
+            bytes.add(meta.len());
+        }
+        self.record_encoding_stats();
         Ok(())
+    }
+
+    /// Refresh the `storage.encoding.*` gauges from sealed table state:
+    /// how many columns (and rows) are dictionary-encoded right now.
+    fn record_encoding_stats(&self) {
+        let tables = self.tables.read();
+        let (mut cols, mut rows) = (0u64, 0u64);
+        for t in tables.values() {
+            let (c, r) = t.encoding_stats();
+            cols += c as u64;
+            rows += r as u64;
+        }
+        let counter = self.metrics.counter("storage.encoding.dict_columns");
+        counter.reset();
+        counter.add(cols);
+        let counter = self.metrics.counter("storage.encoding.dict_rows");
+        counter.reset();
+        counter.add(rows);
     }
 
     /// Force every logged op to stable storage regardless of fsync policy
@@ -434,7 +459,10 @@ impl Database {
         let snapshot = self.flushed_snapshot(table)?;
         let batch = snapshot.to_batch()?;
         let col = batch.column_by_name(column)?;
-        let texts = col.utf8_data()?;
+        // Dictionary-encoded columns decode here: the inverted index wants
+        // per-row text, not code space.
+        let flat = col.decoded();
+        let texts = flat.as_ref().unwrap_or_else(|| col.as_ref()).utf8_data()?;
         let mut index = InvertedIndex::new();
         for (i, text) in texts.iter().enumerate() {
             index.add_document(i as u64, text);

@@ -9,7 +9,10 @@
 
 use crate::error::{QueryError, Result};
 use crate::expr::{BinOp, Expr, UnOp};
+use crate::kernel_metrics;
 use backbone_storage::{Bitmap, Column, RecordBatch, Value};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Visit base-row indices: the selected lanes when `sel` is present, else all
 /// of `0..n`.
@@ -71,6 +74,14 @@ fn eval_lanes(expr: &Expr, batch: &RecordBatch, sel: Option<&[u32]>) -> Result<C
             eval_unary(*op, &input)
         }
         Expr::Binary { left, op, right } => {
+            // Dictionary fast path: `dict_col <cmp> 'literal'` compares once
+            // per dictionary entry instead of once per row. Must intercept
+            // before the literal broadcasts into a full column.
+            if op.is_comparison() {
+                if let Some(out) = try_dict_compare(left, *op, right, batch, sel)? {
+                    return Ok(out);
+                }
+            }
             let l = eval_lanes(left, batch, sel)?;
             let r = eval_lanes(right, batch, sel)?;
             eval_binary(&l, *op, &r, sel)
@@ -83,18 +94,219 @@ fn eval_lanes(expr: &Expr, batch: &RecordBatch, sel: Option<&[u32]>) -> Result<C
             let input = eval_lanes(expr, batch, sel)?;
             eval_like(&input, pattern, *negated, sel)
         }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => eval_in_list(expr, list, *negated, batch, sel),
     }
+}
+
+/// Strip alias wrappers to the underlying expression.
+fn strip_alias(mut e: &Expr) -> &Expr {
+    while let Expr::Alias(inner, _) = e {
+        e = inner;
+    }
+    e
+}
+
+/// `keep(ordering)` verdict for a comparison operator.
+#[inline]
+fn cmp_keep(op: BinOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinOp::Eq => ord == Ordering::Equal,
+        BinOp::NotEq => ord != Ordering::Equal,
+        BinOp::Lt => ord == Ordering::Less,
+        BinOp::LtEq => ord != Ordering::Greater,
+        BinOp::Gt => ord == Ordering::Greater,
+        BinOp::GtEq => ord != Ordering::Less,
+        _ => unreachable!("not a comparison"),
+    }
+}
+
+/// Code-space comparison kernel: when one side is a dictionary-encoded
+/// column reference and the other a string literal, evaluate the comparison
+/// over the O(distinct) dictionary and scan the u32 codes against the
+/// resulting accept set. Returns `None` when the shape doesn't apply (the
+/// caller falls through to the generic row-wise path).
+fn try_dict_compare(
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+    batch: &RecordBatch,
+    sel: Option<&[u32]>,
+) -> Result<Option<Column>> {
+    let (name, needle, flipped) = match (strip_alias(left), strip_alias(right)) {
+        (Expr::Column(n), Expr::Literal(Value::Str(s))) => (n, s, false),
+        (Expr::Literal(Value::Str(s)), Expr::Column(n)) => (n, s, true),
+        _ => return Ok(None),
+    };
+    let Ok(col) = batch.column_by_name(name) else {
+        return Ok(None); // unknown column: let the generic path report it
+    };
+    let Some((dict, codes, validity)) = col.dict_parts() else {
+        return Ok(None);
+    };
+    let t0 = Instant::now();
+    let accept: Vec<bool> = dict
+        .iter()
+        .map(|entry| {
+            let ord = if flipped {
+                (**needle).cmp(entry.as_str())
+            } else {
+                entry.as_str().cmp(needle)
+            };
+            cmp_keep(op, ord)
+        })
+        .collect();
+    let n = codes.len();
+    let mut vals = vec![false; n];
+    let mut out_validity = Bitmap::all_null(n);
+    lanes!(sel, n, i => {
+        if validity.get(i) {
+            vals[i] = accept[codes[i] as usize];
+            out_validity.set(i, true);
+        }
+    });
+    kernel_metrics::record(|m| {
+        m.counter("op.eval.kernel.dict_cmp_ns").add_elapsed(t0);
+        m.counter("op.eval.kernel.dict_rows").add(n as u64);
+    });
+    Ok(Some(Column::Bool(vals, out_validity)))
+}
+
+/// SQL `IN (...)`: OR-chain three-valued semantics. Dictionary columns with
+/// all-literal string lists build an accept set once per dictionary entry.
+fn eval_in_list(
+    expr: &Expr,
+    list: &[Expr],
+    negated: bool,
+    batch: &RecordBatch,
+    sel: Option<&[u32]>,
+) -> Result<Column> {
+    if let Some(out) = try_dict_in_list(expr, list, negated, batch, sel)? {
+        return Ok(out);
+    }
+    let input = eval_lanes(expr, batch, sel)?;
+    let n = input.len();
+    // Fold `input = item` comparisons with three-valued OR, starting from
+    // definite FALSE (the SQL verdict of `x IN ()`).
+    let mut vals = vec![false; n];
+    let mut validity = Bitmap::all_valid(n);
+    for item in list {
+        if matches!(strip_alias(item), Expr::Literal(Value::Null)) {
+            // `x = NULL` is NULL for every row: a definite TRUE survives the
+            // OR, everything else degrades to NULL.
+            lanes!(sel, n, i => {
+                if !(validity.get(i) && vals[i]) {
+                    vals[i] = false;
+                    validity.set(i, false);
+                }
+            });
+            continue;
+        }
+        let item_col = eval_lanes(item, batch, sel)?;
+        let cmp = eval_comparison(&input, BinOp::Eq, &item_col, sel)?;
+        let Column::Bool(cv, cb) = cmp else {
+            unreachable!("comparison yields Bool")
+        };
+        lanes!(sel, n, i => {
+            let acc = validity.get(i).then_some(vals[i]);
+            let item_v = cb.get(i).then_some(cv[i]);
+            let out = match (acc, item_v) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            };
+            match out {
+                Some(v) => {
+                    vals[i] = v;
+                    validity.set(i, true);
+                }
+                None => {
+                    vals[i] = false;
+                    validity.set(i, false);
+                }
+            }
+        });
+    }
+    if negated {
+        lanes!(sel, n, i => {
+            if validity.get(i) {
+                vals[i] = !vals[i];
+            }
+        });
+    }
+    Ok(Column::Bool(vals, validity))
+}
+
+/// Accept-set membership for `dict_col IN ('a', 'b', ...)`. Returns `None`
+/// unless the probe is a dictionary column reference and every list item is
+/// a string (or NULL) literal.
+fn try_dict_in_list(
+    expr: &Expr,
+    list: &[Expr],
+    negated: bool,
+    batch: &RecordBatch,
+    sel: Option<&[u32]>,
+) -> Result<Option<Column>> {
+    let Expr::Column(name) = strip_alias(expr) else {
+        return Ok(None);
+    };
+    let mut items: std::collections::HashSet<&str> = std::collections::HashSet::new();
+    let mut has_null_item = false;
+    for e in list {
+        match strip_alias(e) {
+            Expr::Literal(Value::Str(s)) => {
+                items.insert(s);
+            }
+            Expr::Literal(Value::Null) => has_null_item = true,
+            _ => return Ok(None),
+        }
+    }
+    let Ok(col) = batch.column_by_name(name) else {
+        return Ok(None);
+    };
+    let Some((dict, codes, validity)) = col.dict_parts() else {
+        return Ok(None);
+    };
+    let t0 = Instant::now();
+    let accept: Vec<bool> = dict.iter().map(|e| items.contains(e.as_str())).collect();
+    let n = codes.len();
+    let mut vals = vec![false; n];
+    let mut out_validity = Bitmap::all_null(n);
+    lanes!(sel, n, i => {
+        if validity.get(i) {
+            if accept[codes[i] as usize] {
+                vals[i] = !negated;
+                out_validity.set(i, true);
+            } else if !has_null_item {
+                vals[i] = negated;
+                out_validity.set(i, true);
+            }
+            // else: no match but a NULL item — verdict is NULL.
+        }
+    });
+    kernel_metrics::record(|m| {
+        m.counter("op.eval.kernel.dict_in_ns").add_elapsed(t0);
+        m.counter("op.eval.kernel.dict_rows").add(n as u64);
+    });
+    Ok(Some(Column::Bool(vals, out_validity)))
 }
 
 /// A LIKE pattern compiled once per column. Patterns whose only wildcards
 /// are leading/trailing `%` dispatch to `str` fast paths; everything else
-/// falls back to the generic matcher over a reused char buffer.
+/// uses segment search: the pattern splits on `%` into fixed-length
+/// segments (`_` matches any one char), the first and last segments anchor
+/// to the text's ends, and middle segments are found leftmost-first — no
+/// char-by-char backtracking.
 enum LikePattern {
     Exact(String),
     Prefix(String),
     Suffix(String),
     Contains(String),
-    Generic(Vec<char>),
+    Segmented(Vec<Vec<char>>),
 }
 
 impl LikePattern {
@@ -128,7 +340,9 @@ impl LikePattern {
                 _ => {}
             }
         }
-        LikePattern::Generic(pattern.chars().collect())
+        // `%`-delimited segments; empty segments at the edges encode a
+        // leading/trailing `%` (they anchor trivially).
+        LikePattern::Segmented(pattern.split('%').map(|s| s.chars().collect()).collect())
     }
 
     fn matches(&self, text: &str, buf: &mut Vec<char>) -> bool {
@@ -137,20 +351,42 @@ impl LikePattern {
             LikePattern::Prefix(p) => text.starts_with(p.as_str()),
             LikePattern::Suffix(p) => text.ends_with(p.as_str()),
             LikePattern::Contains(p) => text.contains(p.as_str()),
-            LikePattern::Generic(pat) => {
+            LikePattern::Segmented(segs) => {
                 buf.clear();
                 buf.extend(text.chars());
-                like_match(buf, pat)
+                seg_match(buf, segs)
             }
         }
     }
 }
 
 /// SQL LIKE: `%` matches any run (including empty), `_` exactly one char.
-/// NULL inputs yield NULL (excluded by predicate semantics).
+/// NULL inputs yield NULL (excluded by predicate semantics). Dictionary
+/// columns match once per dictionary entry, then scan codes.
 fn eval_like(input: &Column, pattern: &str, negated: bool, sel: Option<&[u32]>) -> Result<Column> {
     let (vals, validity) = match input {
         Column::Utf8(v, b) => (v, b),
+        Column::DictUtf8 { .. } => {
+            let (dict, codes, validity) = input.dict_parts().expect("matched dict");
+            let t0 = Instant::now();
+            let pat = LikePattern::compile(pattern);
+            let mut buf: Vec<char> = Vec::new();
+            let accept: Vec<bool> = dict.iter().map(|e| pat.matches(e, &mut buf)).collect();
+            let n = codes.len();
+            let mut out = vec![false; n];
+            let mut out_validity = Bitmap::all_null(n);
+            lanes!(sel, n, i => {
+                if validity.get(i) {
+                    out[i] = accept[codes[i] as usize] != negated;
+                    out_validity.set(i, true);
+                }
+            });
+            kernel_metrics::record(|m| {
+                m.counter("op.eval.kernel.dict_like_ns").add_elapsed(t0);
+                m.counter("op.eval.kernel.dict_rows").add(n as u64);
+            });
+            return Ok(Column::Bool(out, out_validity));
+        }
         other => {
             return Err(QueryError::InvalidExpression(format!(
                 "LIKE over {}",
@@ -173,31 +409,62 @@ fn eval_like(input: &Column, pattern: &str, negated: bool, sel: Option<&[u32]>) 
     Ok(Column::Bool(out, out_validity))
 }
 
-/// Greedy-with-backtracking wildcard matcher (the classic two-pointer
-/// algorithm; linear in practice).
-fn like_match(text: &[char], pat: &[char]) -> bool {
-    let (mut t, mut p) = (0usize, 0usize);
-    let mut star: Option<(usize, usize)> = None; // (pat idx after %, text idx)
-    while t < text.len() {
-        if p < pat.len() && (pat[p] == '_' || pat[p] == text[t]) {
-            t += 1;
-            p += 1;
-        } else if p < pat.len() && pat[p] == '%' {
-            star = Some((p + 1, t));
-            p += 1;
-        } else if let Some((sp, st)) = star {
-            // Backtrack: let the last % absorb one more character.
-            p = sp;
-            t = st + 1;
-            star = Some((sp, st + 1));
-        } else {
-            return false;
+/// Whether `seg` matches at `text[at..at + seg.len()]` (`_` = any one char).
+#[inline]
+fn seg_eq_at(text: &[char], at: usize, seg: &[char]) -> bool {
+    at + seg.len() <= text.len()
+        && seg
+            .iter()
+            .zip(&text[at..])
+            .all(|(p, t)| *p == '_' || p == t)
+}
+
+/// Leftmost occurrence of `seg` starting at or after `from` and ending at or
+/// before `limit`.
+fn find_seg(text: &[char], from: usize, limit: usize, seg: &[char]) -> Option<usize> {
+    let mut p = from;
+    while p + seg.len() <= limit {
+        if seg_eq_at(text, p, seg) {
+            return Some(p);
         }
-    }
-    while p < pat.len() && pat[p] == '%' {
         p += 1;
     }
-    p == pat.len()
+    None
+}
+
+/// Segment-search LIKE matcher over `%`-split segments. The first segment
+/// anchors at the start, the last at the end (empty edge segments — from
+/// leading/trailing `%` — anchor trivially), and middle segments are
+/// matched leftmost-first, which is optimal for fixed-length segments:
+/// consuming a middle match as early as possible leaves a superset of text
+/// for the rest.
+fn seg_match(text: &[char], segs: &[Vec<char>]) -> bool {
+    if segs.len() == 1 {
+        // No `%` at all: exact length, `_` wildcards only.
+        return text.len() == segs[0].len() && seg_eq_at(text, 0, &segs[0]);
+    }
+    let first = &segs[0];
+    let last = &segs[segs.len() - 1];
+    if !seg_eq_at(text, 0, first) {
+        return false;
+    }
+    let mut pos = first.len();
+    let Some(tail_start) = text.len().checked_sub(last.len()) else {
+        return false;
+    };
+    if tail_start < pos || !seg_eq_at(text, tail_start, last) {
+        return false;
+    }
+    for seg in &segs[1..segs.len() - 1] {
+        if seg.is_empty() {
+            continue;
+        }
+        match find_seg(text, pos, tail_start, seg) {
+            Some(p) => pos = p + seg.len(),
+            None => return false,
+        }
+    }
+    true
 }
 
 /// Evaluate a predicate to a **logical-row** mask: `true` where the result is
@@ -406,6 +673,70 @@ fn eval_comparison(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Re
             lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
                     vals[i] = keep(lv[i].cmp(&rv[i]));
+                    validity.set(i, true);
+                }
+            });
+        }
+        (
+            Column::DictUtf8 {
+                dict: ld,
+                codes: lc,
+                validity: lb,
+            },
+            Column::DictUtf8 {
+                dict: rd,
+                codes: rc,
+                validity: rb,
+            },
+        ) => {
+            if Arc::ptr_eq(ld, rd) && matches!(op, BinOp::Eq | BinOp::NotEq) {
+                // Shared dictionary: equality is code equality — no string
+                // comparisons at all.
+                lanes!(sel, n, i => {
+                    if lb.get(i) && rb.get(i) {
+                        vals[i] = keep(lc[i].cmp(&rc[i]));
+                        validity.set(i, true);
+                    }
+                });
+            } else {
+                kernel_metrics::record(|m| m.counter("op.eval.kernel.dict_fallback").add(1));
+                lanes!(sel, n, i => {
+                    if lb.get(i) && rb.get(i) {
+                        vals[i] =
+                            keep(ld[lc[i] as usize].as_str().cmp(rd[rc[i] as usize].as_str()));
+                        validity.set(i, true);
+                    }
+                });
+            }
+        }
+        (
+            Column::DictUtf8 {
+                dict: ld,
+                codes: lc,
+                validity: lb,
+            },
+            Column::Utf8(rv, rb),
+        ) => {
+            kernel_metrics::record(|m| m.counter("op.eval.kernel.dict_fallback").add(1));
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(ld[lc[i] as usize].as_str().cmp(rv[i].as_str()));
+                    validity.set(i, true);
+                }
+            });
+        }
+        (
+            Column::Utf8(lv, lb),
+            Column::DictUtf8 {
+                dict: rd,
+                codes: rc,
+                validity: rb,
+            },
+        ) => {
+            kernel_metrics::record(|m| m.counter("op.eval.kernel.dict_fallback").add(1));
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(lv[i].as_str().cmp(rd[rc[i] as usize].as_str()));
                     validity.set(i, true);
                 }
             });
@@ -676,6 +1007,150 @@ mod tests {
         assert!(eval(&col("a").like("%"), &b).is_err());
     }
 
+    /// One low-cardinality string column, dict-encoded, next to its plain
+    /// twin — every dict kernel must agree with the plain path over it.
+    fn dict_batch() -> RecordBatch {
+        let strs = vec![
+            Value::Str("ash".into()),
+            Value::Str("birch".into()),
+            Value::Null,
+            Value::Str("ash".into()),
+            Value::Str("cedar".into()),
+            Value::Str("birch".into()),
+        ];
+        let plain = Column::from_values(DataType::Utf8, &strs).unwrap();
+        let dict = plain.dict_encode().expect("string column encodes");
+        assert!(dict.is_dict());
+        let schema = Schema::new(vec![
+            Field::nullable("d", DataType::Utf8),
+            Field::nullable("p", DataType::Utf8),
+        ]);
+        RecordBatch::try_new(schema, vec![Arc::new(dict), Arc::new(plain)]).unwrap()
+    }
+
+    #[test]
+    fn dict_compare_agrees_with_plain() {
+        let b = dict_batch();
+        type MakeExpr = fn(Expr) -> Expr;
+        let cases: [(MakeExpr, &str); 4] = [
+            (|c| c.eq(lit("birch")), "eq"),
+            (|c| c.not_eq(lit("birch")), "neq"),
+            (|c| c.lt(lit("birch")), "lt"),
+            (|c| c.gt_eq(lit("birch")), "gte"),
+        ];
+        for (make, _name) in cases {
+            let dm = eval_predicate(&make(col("d")), &b).unwrap();
+            let pm = eval_predicate(&make(col("p")), &b).unwrap();
+            assert_eq!(dm, pm);
+        }
+        // Flipped literal orientation takes the same fast path.
+        let dm = eval_predicate(&lit("birch").lt(col("d")), &b).unwrap();
+        let pm = eval_predicate(&lit("birch").lt(col("p")), &b).unwrap();
+        assert_eq!(dm, pm);
+    }
+
+    #[test]
+    fn dict_compare_records_kernel_metrics() {
+        let b = dict_batch();
+        let m = crate::Metrics::new();
+        {
+            let _g = kernel_metrics::install(Some(m.clone()));
+            eval_predicate(&col("d").eq(lit("ash")), &b).unwrap();
+            eval_predicate(&col("d").like("%ir%"), &b).unwrap();
+        }
+        assert_eq!(m.value("op.eval.kernel.dict_rows"), 12);
+        assert_eq!(m.value("op.eval.kernel.dict_fallback"), 0);
+    }
+
+    #[test]
+    fn dict_like_agrees_with_plain() {
+        let b = dict_batch();
+        for pat in ["ash", "%ir%", "b_rch", "%h", "c%r", "%"] {
+            let dm = eval_predicate(&col("d").like(pat), &b).unwrap();
+            let pm = eval_predicate(&col("p").like(pat), &b).unwrap();
+            assert_eq!(dm, pm, "LIKE {pat}");
+            let dm = eval_predicate(&col("d").not_like(pat), &b).unwrap();
+            let pm = eval_predicate(&col("p").not_like(pat), &b).unwrap();
+            assert_eq!(dm, pm, "NOT LIKE {pat}");
+        }
+    }
+
+    #[test]
+    fn in_list_semantics() {
+        let b = batch();
+        // a = [1,2,3,4]
+        let m = eval_predicate(&col("a").in_list(vec![lit(1), lit(3)]), &b).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+        let m = eval_predicate(&col("a").not_in_list(vec![lit(1), lit(3)]), &b).unwrap();
+        assert_eq!(m, vec![false, true, false, true]);
+        // NULL item: matches stay TRUE, non-matches become NULL (filtered).
+        let m = eval_predicate(
+            &col("a").in_list(vec![lit(1), Expr::Literal(Value::Null)]),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(m, vec![true, false, false, false]);
+        // NOT IN with a NULL item can never be TRUE.
+        let m = eval_predicate(
+            &col("a").not_in_list(vec![lit(1), Expr::Literal(Value::Null)]),
+            &b,
+        )
+        .unwrap();
+        assert_eq!(m, vec![false; 4]);
+        // NULL probe rows are NULL.
+        let m = eval_predicate(&col("b").in_list(vec![lit(10), lit(30)]), &b).unwrap();
+        assert_eq!(m, vec![true, false, true, false]);
+        // Empty list is vacuously FALSE; NOT IN () is TRUE.
+        let m = eval_predicate(&col("a").not_in_list(vec![]), &b).unwrap();
+        assert_eq!(m, vec![true; 4]);
+    }
+
+    #[test]
+    fn dict_in_list_agrees_with_plain() {
+        let b = dict_batch();
+        let items = || vec![lit("ash"), lit("cedar")];
+        let dm = eval_predicate(&col("d").in_list(items()), &b).unwrap();
+        let pm = eval_predicate(&col("p").in_list(items()), &b).unwrap();
+        assert_eq!(dm, pm);
+        assert_eq!(dm, vec![true, false, false, true, true, false]);
+        let dm = eval_predicate(&col("d").not_in_list(items()), &b).unwrap();
+        let pm = eval_predicate(&col("p").not_in_list(items()), &b).unwrap();
+        assert_eq!(dm, pm);
+        // NULL list item: non-members become NULL, members stay TRUE.
+        let with_null = || vec![lit("ash"), Expr::Literal(Value::Null)];
+        let dm = eval_predicate(&col("d").in_list(with_null()), &b).unwrap();
+        let pm = eval_predicate(&col("p").in_list(with_null()), &b).unwrap();
+        assert_eq!(dm, pm);
+        assert_eq!(dm, vec![true, false, false, true, false, false]);
+    }
+
+    /// Reference LIKE matcher: the classic greedy-with-backtracking
+    /// two-pointer algorithm. Kept as a test oracle for the segmented
+    /// production matcher.
+    fn like_oracle(text: &[char], pat: &[char]) -> bool {
+        let (mut t, mut p) = (0usize, 0usize);
+        let mut star: Option<(usize, usize)> = None;
+        while t < text.len() {
+            if p < pat.len() && (pat[p] == '_' || pat[p] == text[t]) {
+                t += 1;
+                p += 1;
+            } else if p < pat.len() && pat[p] == '%' {
+                star = Some((p + 1, t));
+                p += 1;
+            } else if let Some((sp, st)) = star {
+                p = sp;
+                t = st + 1;
+                star = Some((sp, st + 1));
+            } else {
+                return false;
+            }
+        }
+        while p < pat.len() && pat[p] == '%' {
+            p += 1;
+        }
+        p == pat.len()
+    }
+
     #[test]
     fn like_match_wildcards() {
         let cases = [
@@ -689,21 +1164,28 @@ mod tests {
             ("abc", "a%b%c", true),
             ("abc", "%a", false),
             ("aaa", "a%a", true),
+            ("a", "a%a", false),
             ("mississippi", "m%iss%pi", true),
+            ("mississippi", "m%iss%pj", false),
+            ("ab", "a%_b", false),
+            ("axb", "a%_b", true),
         ];
         for (text, pat, want) in cases {
             let t: Vec<char> = text.chars().collect();
+            let segs: Vec<Vec<char>> = pat.split('%').map(|s| s.chars().collect()).collect();
+            assert_eq!(seg_match(&t, &segs), want, "{text} LIKE {pat}");
             let p: Vec<char> = pat.chars().collect();
-            assert_eq!(like_match(&t, &p), want, "{text} LIKE {pat}");
+            assert_eq!(like_oracle(&t, &p), want, "oracle: {text} LIKE {pat}");
         }
     }
 
     #[test]
     fn like_fast_paths_agree_with_generic() {
-        // Every compiled class must match the generic matcher's verdict.
-        let texts = ["", "a", "ab", "abc", "hello", "aXb", "xx%yy"];
+        // Every compiled class must match the oracle matcher's verdict.
+        let texts = ["", "a", "ab", "abc", "hello", "aXb", "xx%yy", "aab", "abab"];
         let patterns = [
             "abc", "a%", "%c", "%b%", "%", "%%", "a%c", "_b_", "a_", "%_%", "ab%", "%ab", "",
+            "a%_b", "a%b%", "%a%b", "_%_", "a__b",
         ];
         for pat in patterns {
             let compiled = LikePattern::compile(pat);
@@ -713,7 +1195,7 @@ mod tests {
                 let t: Vec<char> = text.chars().collect();
                 assert_eq!(
                     compiled.matches(text, &mut buf),
-                    like_match(&t, &generic),
+                    like_oracle(&t, &generic),
                     "'{text}' LIKE '{pat}'"
                 );
             }

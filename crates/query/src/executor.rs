@@ -81,6 +81,10 @@ impl ExecOptions {
 }
 
 /// Optimize and execute a plan, returning a single concatenated batch.
+///
+/// Dictionary-encoded columns flow through the operator pipeline in code
+/// space and are late-materialized here, at the boundary where results
+/// leave the engine.
 pub fn execute(
     plan: LogicalPlan,
     catalog: &dyn Catalog,
@@ -88,10 +92,12 @@ pub fn execute(
 ) -> Result<RecordBatch> {
     let optimized = opts.optimizer().optimize(plan, catalog)?;
     let mut op = create_physical_plan(&optimized, catalog, opts)?;
-    drain_one(op.as_mut())
+    let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
+    Ok(drain_one(op.as_mut())?.decoded())
 }
 
-/// Optimize and execute a plan, returning the raw batch stream.
+/// Optimize and execute a plan, returning the raw batch stream (decoded,
+/// like [`execute`]).
 pub fn execute_plan(
     plan: LogicalPlan,
     catalog: &dyn Catalog,
@@ -99,7 +105,8 @@ pub fn execute_plan(
 ) -> Result<Vec<RecordBatch>> {
     let optimized = opts.optimizer().optimize(plan, catalog)?;
     let mut op = create_physical_plan(&optimized, catalog, opts)?;
-    drain(op.as_mut())
+    let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
+    Ok(drain(op.as_mut())?.iter().map(|b| b.decoded()).collect())
 }
 
 /// Render an EXPLAIN report: the plan before and after optimization, with
@@ -125,8 +132,9 @@ pub fn explain_analyze(
     let optimized = opts.optimizer().optimize(plan, catalog)?;
     let est = estimate_rows(&optimized, catalog);
     let (mut op, profile) = create_instrumented_plan(&optimized, catalog, opts)?;
+    let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
     let start = std::time::Instant::now();
-    let result = drain_one(op.as_mut())?;
+    let result = drain_one(op.as_mut())?.decoded();
     let total = start.elapsed();
     drop(op); // release operator state before rendering the final counters
     let report = format!(

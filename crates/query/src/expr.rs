@@ -127,6 +127,18 @@ pub enum Expr {
         /// `NOT LIKE` when true.
         negated: bool,
     },
+    /// SQL `IN (v1, v2, ...)` membership. Semantically equivalent to an
+    /// OR-chain of equalities (same three-valued NULL behavior), but kept
+    /// first-class so dictionary columns can evaluate membership once per
+    /// distinct entry.
+    InList {
+        /// The probe expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// `NOT IN` when true.
+        negated: bool,
+    },
 }
 
 /// Reference a column by name.
@@ -223,6 +235,24 @@ impl Expr {
         }
     }
 
+    /// SQL `IN (...)` membership test.
+    pub fn in_list(self, list: Vec<Expr>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: false,
+        }
+    }
+
+    /// SQL `NOT IN (...)`.
+    pub fn not_in_list(self, list: Vec<Expr>) -> Expr {
+        Expr::InList {
+            expr: Box::new(self),
+            list,
+            negated: true,
+        }
+    }
+
     /// Rename this expression's output column.
     pub fn alias(self, name: impl Into<String>) -> Expr {
         Expr::Alias(Box::new(self), name.into())
@@ -247,6 +277,19 @@ impl Expr {
                 expr.output_name(),
                 if *negated { "NOT " } else { "" }
             ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => format!(
+                "({} {}IN ({}))",
+                expr.output_name(),
+                if *negated { "NOT " } else { "" },
+                list.iter()
+                    .map(|e| e.output_name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         }
     }
 
@@ -270,6 +313,12 @@ impl Expr {
             Expr::Unary { expr, .. } => expr.collect_columns(out),
             Expr::Alias(expr, _) => expr.collect_columns(out),
             Expr::Like { expr, .. } => expr.collect_columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_columns(out);
+                for e in list {
+                    e.collect_columns(out);
+                }
+            }
         }
     }
 
@@ -319,6 +368,24 @@ impl Expr {
                 DataType::Utf8 => Ok(DataType::Bool),
                 other => Err(QueryError::InvalidExpression(format!("LIKE over {other}"))),
             },
+            Expr::InList { expr, list, .. } => {
+                let probe = expr.data_type(schema)?;
+                for e in list {
+                    let item = e.data_type(schema)?;
+                    let compatible = item == probe
+                        || matches!(
+                            (probe, item),
+                            (DataType::Int64, DataType::Float64)
+                                | (DataType::Float64, DataType::Int64)
+                        );
+                    if !compatible {
+                        return Err(QueryError::InvalidExpression(format!(
+                            "IN list item of type {item} against {probe}"
+                        )));
+                    }
+                }
+                Ok(DataType::Bool)
+            }
         }
     }
 
@@ -374,6 +441,20 @@ impl fmt::Display for Expr {
                 "({expr} {}LIKE '{pattern}')",
                 if *negated { "NOT " } else { "" }
             ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
         }
     }
 }

@@ -1,0 +1,68 @@
+//! Thread-local [`Metrics`] handle for expression-level kernels.
+//!
+//! Operators receive a `Metrics` registry explicitly, but expression
+//! evaluation is a free function called from deep inside every operator —
+//! threading a handle through each `eval` call would put a metrics argument
+//! on the hottest signature in the engine. Instead the executor installs the
+//! registry for the current thread before draining a plan, and encoded
+//! kernels record `op.eval.kernel.*` counters through it. Worker threads of
+//! the morsel-parallel scan do not inherit the handle (matching the existing
+//! precedent that parallel scan workers skip per-kernel timers).
+
+use backbone_storage::Metrics;
+use std::cell::RefCell;
+
+thread_local! {
+    static EVAL_METRICS: RefCell<Option<Metrics>> = const { RefCell::new(None) };
+}
+
+/// Install `metrics` as this thread's eval-kernel registry; the previous
+/// handle is restored when the guard drops (nesting-safe for sub-queries).
+pub fn install(metrics: Option<Metrics>) -> EvalMetricsGuard {
+    let prev = EVAL_METRICS.with(|tl| tl.replace(metrics));
+    EvalMetricsGuard { prev }
+}
+
+/// Restores the previously installed handle on drop.
+pub struct EvalMetricsGuard {
+    prev: Option<Metrics>,
+}
+
+impl Drop for EvalMetricsGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        EVAL_METRICS.with(|tl| tl.replace(prev));
+    }
+}
+
+/// Run `f` with the installed registry, if any.
+pub(crate) fn record(f: impl FnOnce(&Metrics)) {
+    EVAL_METRICS.with(|tl| {
+        if let Some(m) = tl.borrow().as_ref() {
+            f(m);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_restore_nesting() {
+        let outer = Metrics::new();
+        let inner = Metrics::new();
+        {
+            let _g1 = install(Some(outer.clone()));
+            record(|m| m.counter("x").add(1));
+            {
+                let _g2 = install(Some(inner.clone()));
+                record(|m| m.counter("x").add(10));
+            }
+            record(|m| m.counter("x").add(1));
+        }
+        record(|m| m.counter("x").add(100)); // no registry installed
+        assert_eq!(outer.value("x"), 2);
+        assert_eq!(inner.value("x"), 10);
+    }
+}

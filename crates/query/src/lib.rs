@@ -25,6 +25,7 @@ pub mod error;
 pub mod eval;
 pub mod executor;
 pub mod expr;
+pub mod kernel_metrics;
 pub mod logical;
 pub mod optimizer;
 pub mod physical;

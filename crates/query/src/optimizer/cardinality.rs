@@ -209,6 +209,15 @@ pub fn selectivity(expr: &Expr) -> f64 {
                 SEL_RANGE
             }
         }
+        Expr::InList { list, negated, .. } => {
+            // Each list item behaves like an equality disjunct.
+            let hit = (SEL_EQ * list.len() as f64).min(1.0);
+            if *negated {
+                1.0 - hit
+            } else {
+                hit
+            }
+        }
         Expr::Literal(v) => match v.as_bool() {
             Some(true) => 1.0,
             Some(false) => 0.0,

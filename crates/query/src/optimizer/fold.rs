@@ -121,6 +121,18 @@ pub fn fold_expr(expr: Expr) -> Expr {
             };
             try_eval_const(&folded).unwrap_or(folded)
         }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let folded = Expr::InList {
+                expr: Box::new(fold_expr(*expr)),
+                list: list.into_iter().map(fold_expr).collect(),
+                negated,
+            };
+            try_eval_const(&folded).unwrap_or(folded)
+        }
         leaf => leaf,
     }
 }

@@ -360,8 +360,8 @@ impl AccVec {
                     });
                 }
             }
-            AccVec::MinMaxS { vals, seen, min } => {
-                if let Some(Column::Utf8(v, bm)) = input {
+            AccVec::MinMaxS { vals, seen, min } => match input {
+                Some(Column::Utf8(v, bm)) => {
                     let min = *min;
                     for_each_lane(sel, n, |pos, base| {
                         if bm.get(base) {
@@ -374,7 +374,25 @@ impl AccVec {
                         }
                     });
                 }
-            }
+                Some(c @ Column::DictUtf8 { .. }) => {
+                    let (dict, codes, bm) = c.dict_parts().expect("matched dict");
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if bm.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = dict[codes[base] as usize].as_str();
+                            if !seen[g]
+                                || (min && x < vals[g].as_str())
+                                || (!min && x > vals[g].as_str())
+                            {
+                                vals[g] = x.to_string();
+                                seen[g] = true;
+                            }
+                        }
+                    });
+                }
+                _ => {}
+            },
             AccVec::MinMaxB { vals, seen, min } => {
                 if let Some(Column::Bool(v, bm)) = input {
                     let min = *min;
@@ -502,6 +520,7 @@ impl Operator for HashAggregateExec {
 
         let mut hash_ns = 0u64;
         let mut update_ns = 0u64;
+        let mut dict_key_rows = 0u64;
         let mut hashes: Vec<u64> = Vec::new();
         let mut gids: Vec<u32> = Vec::new();
 
@@ -545,6 +564,9 @@ impl Operator for HashAggregateExec {
                 hashes.resize(base, 0);
                 for kc in &key_cols {
                     kc.hash_combine(sel, &mut hashes);
+                }
+                if key_cols.iter().any(|kc| kc.is_dict()) {
+                    dict_key_rows += n as u64;
                 }
                 let mut insert_err: Option<QueryError> = None;
                 for_each_lane(sel, n, |pos, base_row| {
@@ -599,6 +621,10 @@ impl Operator for HashAggregateExec {
             m.counter("op.aggregate.kernel.hash_ns").add(hash_ns);
             m.counter("op.aggregate.kernel.update_ns").add(update_ns);
             m.counter("op.aggregate.kernel.groups").add(n_groups as u64);
+            if dict_key_rows > 0 {
+                m.counter("op.aggregate.kernel.dict_key_rows")
+                    .add(dict_key_rows);
+            }
         }
 
         let mut columns: Vec<Arc<Column>> = Vec::with_capacity(nkeys + self.aggs.len());

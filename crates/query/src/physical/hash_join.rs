@@ -106,12 +106,23 @@ impl HashJoinExec {
         let mut left = self.left.take().expect("build side consumed once");
         let lschema = left.schema();
         let batches = drain(left.as_mut())?;
-        let batch = RecordBatch::concat(lschema.clone(), &batches)?;
         let build_keys: Vec<usize> = self
             .on
             .iter()
             .map(|(l, _)| lschema.index_of(l).expect("validated in new"))
             .collect();
+        let any_dict_key: Vec<bool> = build_keys
+            .iter()
+            .map(|&c| batches.iter().any(|b| b.column(c).is_dict()))
+            .collect();
+        let batch = RecordBatch::concat(lschema.clone(), &batches)?;
+        // Mixed-encoding inputs force the concat to decode: count it rather
+        // than silently eating the cost.
+        let decode_fallbacks = build_keys
+            .iter()
+            .zip(&any_dict_key)
+            .filter(|&(&c, &was_dict)| was_dict && !batch.column(c).is_dict())
+            .count() as u64;
 
         let rows = batch.num_rows();
         // Column-wise key hashing over the dense build batch.
@@ -139,6 +150,10 @@ impl HashJoinExec {
             m.counter("op.hash_join.kernel.build_ns")
                 .add(t0.elapsed().as_nanos() as u64);
             m.counter("op.hash_join.kernel.build_rows").add(rows as u64);
+            if decode_fallbacks > 0 {
+                m.counter("op.hash_join.kernel.dict_fallback")
+                    .add(decode_fallbacks);
+            }
         }
         self.build = Some(BuildSide {
             batch,
@@ -215,6 +230,21 @@ impl Operator for HashJoinExec {
             for pc in &probe_cols {
                 pc.hash_combine(sel, &mut hashes);
             }
+            // Classify key encodings once per batch: a shared dictionary
+            // means `eq_rows_null_eq` verifies candidates by u32 code
+            // compare; any other dict pairing falls back to per-row string
+            // comparison and must be visible in the counters.
+            let mut dict_shared_rows = 0u64;
+            let mut dict_mixed = 0u64;
+            for (&bc, pc) in build.build_keys.iter().zip(&probe_cols) {
+                match (build.batch.column(bc).dict_parts(), pc.dict_parts()) {
+                    (Some((bd, _, _)), Some((pd, _, _))) if Arc::ptr_eq(bd, pd) => {
+                        dict_shared_rows += n as u64;
+                    }
+                    (None, None) => {}
+                    _ => dict_mixed += 1,
+                }
+            }
 
             // Row-id match lists: one (build_row, probe_base_row) pair per hit.
             let mut left_rows: Vec<u32> = Vec::new();
@@ -244,6 +274,10 @@ impl Operator for HashJoinExec {
             if left_rows.is_empty() {
                 if let Some(m) = &self.metrics {
                     m.counter("op.hash_join.kernel.probe_ns").add(probe_ns);
+                    if dict_mixed > 0 {
+                        m.counter("op.hash_join.kernel.dict_fallback")
+                            .add(dict_mixed);
+                    }
                 }
                 continue;
             }
@@ -264,6 +298,14 @@ impl Operator for HashJoinExec {
                     .add(t1.elapsed().as_nanos() as u64);
                 m.counter("op.hash_join.kernel.out_rows")
                     .add(left_rows.len() as u64);
+                if dict_shared_rows > 0 {
+                    m.counter("op.hash_join.kernel.dict_code_probe_rows")
+                        .add(dict_shared_rows);
+                }
+                if dict_mixed > 0 {
+                    m.counter("op.hash_join.kernel.dict_fallback")
+                        .add(dict_mixed);
+                }
             }
             return Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?));
         }

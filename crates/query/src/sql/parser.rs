@@ -385,6 +385,44 @@ impl Parser {
                     }
                 }
             }
+            // [NOT] IN ( expr, ... ).
+            let in_ahead = self.peek().map(|t| t.keyword_eq("IN")).unwrap_or(false);
+            let not_in_ahead = self.peek().map(|t| t.keyword_eq("NOT")).unwrap_or(false)
+                && self
+                    .tokens
+                    .get(self.pos + 1)
+                    .map(|t| t.keyword_eq("IN"))
+                    .unwrap_or(false);
+            if (in_ahead || not_in_ahead) && min_bp <= 4 {
+                let negated = not_in_ahead;
+                self.pos += if negated { 2 } else { 1 };
+                if !matches!(self.next(), Some(Token::LParen)) {
+                    return Err(QueryError::InvalidPlan("IN expects '('".into()));
+                }
+                let mut list = Vec::new();
+                if matches!(self.peek(), Some(Token::RParen)) {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        list.push(self.parse_expr(0)?);
+                        match self.next() {
+                            Some(Token::Comma) => continue,
+                            Some(Token::RParen) => break,
+                            other => {
+                                return Err(QueryError::InvalidPlan(format!(
+                                    "IN list expects ',' or ')', found {other:?}"
+                                )))
+                            }
+                        }
+                    }
+                }
+                lhs = if negated {
+                    lhs.not_in_list(list)
+                } else {
+                    lhs.in_list(list)
+                };
+                continue;
+            }
             // BETWEEN lo AND hi.
             if self
                 .peek()
@@ -699,6 +737,25 @@ mod tests {
         assert_eq!(rows.len(), 0);
         let cat = catalog();
         assert!(parse_select("SELECT * FROM small WHERE small_tag LIKE 5", &cat).is_err());
+    }
+
+    #[test]
+    fn in_lists() {
+        let rows = run("SELECT small_v FROM small WHERE small_tag IN ('a')");
+        assert_eq!(rows.len(), 5);
+        let rows = run("SELECT small_v FROM small WHERE small_tag IN ('a', 'b')");
+        assert_eq!(rows.len(), 10);
+        let rows = run("SELECT small_v FROM small WHERE small_tag NOT IN ('a')");
+        assert_eq!(rows.len(), 5);
+        let rows = run("SELECT small_v FROM small WHERE small_v IN (1, 3, 999)");
+        assert_eq!(rows.len(), 2);
+        let rows = run("SELECT small_v FROM small WHERE small_tag IN ()");
+        assert_eq!(rows.len(), 0);
+        let rows = run("SELECT small_v FROM small WHERE small_v IN (1 + 1)");
+        assert_eq!(rows.len(), 1);
+        let cat = catalog();
+        assert!(parse_select("SELECT * FROM small WHERE small_tag IN 'a'", &cat).is_err());
+        assert!(parse_select("SELECT * FROM small WHERE small_tag IN ('a'", &cat).is_err());
     }
 
     #[test]

@@ -168,6 +168,37 @@ pub fn analyze_table(table: &Table) -> Vec<ColumnStats> {
                         seen[v as usize] = true;
                     }
                 }
+            } else if let Some((dict, codes, _)) = col.dict_parts() {
+                // Dictionary columns: O(rows) code scan for usage + nulls,
+                // then string work only over the distinct entries.
+                let a = acc.get_or_insert(StatAcc::Str {
+                    distinct: HashSet::new(),
+                    min: None,
+                    max: None,
+                });
+                if let StatAcc::Str { distinct, min, max } = a {
+                    let mut used = vec![false; dict.len()];
+                    for (i, &code) in codes.iter().enumerate() {
+                        if !bm.get(i) {
+                            null_count += 1;
+                            continue;
+                        }
+                        used[code as usize] = true;
+                    }
+                    for (entry, u) in dict.iter().zip(used) {
+                        if !u {
+                            continue;
+                        }
+                        let s: &str = entry.as_str();
+                        if min.is_none_or(|m| s < m) {
+                            *min = Some(s);
+                        }
+                        if max.is_none_or(|m| s > m) {
+                            *max = Some(s);
+                        }
+                        distinct.insert(s);
+                    }
+                }
             } else {
                 let a = acc.get_or_insert(StatAcc::Other {
                     distinct: HashSet::new(),

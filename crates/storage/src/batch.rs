@@ -209,6 +209,29 @@ impl RecordBatch {
         }
     }
 
+    /// Replace dictionary-encoded columns with their decoded (flat) form.
+    /// A no-op clone when nothing is encoded — the late-materialization
+    /// step at the boundary where results leave the engine.
+    pub fn decoded(&self) -> RecordBatch {
+        if !self.columns.iter().any(|c| c.is_dict()) {
+            return self.clone();
+        }
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| match c.decoded() {
+                Some(flat) => Arc::new(flat),
+                None => c.clone(),
+            })
+            .collect();
+        RecordBatch {
+            schema: self.schema.clone(),
+            columns,
+            rows: self.rows,
+            sel: self.sel.clone(),
+        }
+    }
+
     /// Number of columns.
     pub fn num_columns(&self) -> usize {
         self.columns.len()

@@ -12,16 +12,27 @@
 //! through anyway.
 
 use crate::codec::{self, Cursor};
+use crate::column::{Bitmap, Column};
+use crate::compress::BitPackedI64;
 use crate::error::{Result, StorageError};
 use crate::table::Table;
+use crate::RecordBatch;
 use std::fs::{self, File};
 use std::io::Write;
 use std::path::Path;
+use std::sync::Arc;
 
 /// File magic: "BCKP".
 const MAGIC: u32 = u32::from_le_bytes(*b"BCKP");
-/// Format version.
-const VERSION: u32 = 1;
+/// Format version. Version 2 serializes row groups **columnar**, preserving
+/// physical encodings: dictionary columns write their dictionary once plus
+/// frame-of-reference bit-packed codes instead of repeating every string.
+/// Version 1 (row-at-a-time values) is still readable.
+const VERSION: u32 = 2;
+
+/// Per-column encoding tags in a version-2 group.
+const COL_PLAIN: u8 = 0;
+const COL_DICT: u8 = 1;
 
 /// A decoded checkpoint: the WAL position it covers and the table snapshot.
 pub struct CheckpointData {
@@ -35,6 +46,112 @@ fn io_err(ctx: &str, e: std::io::Error) -> StorageError {
     StorageError::Io(format!("{ctx}: {e}"))
 }
 
+/// Serialize one validity bitmap as packed u64 words.
+fn put_bitmap(out: &mut Vec<u8>, bm: &Bitmap, rows: usize) {
+    let mut words = vec![0u64; rows.div_ceil(64)];
+    for (i, word) in words.iter_mut().enumerate() {
+        for bit in 0..64.min(rows - i * 64) {
+            if bm.get(i * 64 + bit) {
+                *word |= 1u64 << bit;
+            }
+        }
+    }
+    codec::put_u32(out, words.len() as u32);
+    for w in words {
+        codec::put_u64(out, w);
+    }
+}
+
+fn read_bitmap(cur: &mut Cursor<'_>, rows: usize) -> Result<Bitmap> {
+    let nwords = cur.u32()? as usize;
+    if nwords != rows.div_ceil(64) {
+        return Err(StorageError::Corrupt("bitmap word count mismatch".into()));
+    }
+    let mut bm = Bitmap::all_null(rows);
+    for i in 0..nwords {
+        let w = cur.u64()?;
+        for bit in 0..64.min(rows - i * 64) {
+            if (w >> bit) & 1 == 1 {
+                bm.set(i * 64 + bit, true);
+            }
+        }
+    }
+    Ok(bm)
+}
+
+/// Serialize one column of a sealed row group, preserving its encoding.
+fn put_column(out: &mut Vec<u8>, col: &Column, rows: usize) {
+    if let Some((dict, codes, validity)) = col.dict_parts() {
+        out.push(COL_DICT);
+        codec::put_u32(out, dict.len() as u32);
+        for s in dict.iter() {
+            codec::put_str(out, s);
+        }
+        let ints: Vec<i64> = codes.iter().map(|&c| c as i64).collect();
+        let packed = BitPackedI64::encode(&ints);
+        codec::put_u64(out, packed.reference as u64);
+        out.push(packed.width);
+        codec::put_u64(out, packed.len as u64);
+        codec::put_u32(out, packed.words.len() as u32);
+        for w in &packed.words {
+            codec::put_u64(out, *w);
+        }
+        put_bitmap(out, validity, rows);
+    } else {
+        out.push(COL_PLAIN);
+        for i in 0..rows {
+            codec::put_value(out, &col.value(i));
+        }
+    }
+}
+
+fn read_column(cur: &mut Cursor<'_>, dt: crate::DataType, rows: usize) -> Result<Column> {
+    match cur.u8()? {
+        COL_PLAIN => {
+            let mut vals = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                vals.push(codec::read_value(cur)?);
+            }
+            Column::from_values(dt, &vals)
+        }
+        COL_DICT => {
+            let dict_len = cur.u32()? as usize;
+            let mut dict = Vec::with_capacity(dict_len);
+            for _ in 0..dict_len {
+                dict.push(cur.str()?.to_string());
+            }
+            let packed = BitPackedI64 {
+                reference: cur.u64()? as i64,
+                width: cur.u8()?,
+                len: cur.u64()? as usize,
+                words: {
+                    let nwords = cur.u32()? as usize;
+                    let mut words = Vec::with_capacity(nwords);
+                    for _ in 0..nwords {
+                        words.push(cur.u64()?);
+                    }
+                    words
+                },
+            };
+            if packed.len != rows {
+                return Err(StorageError::Corrupt("dict code count mismatch".into()));
+            }
+            let codes: Vec<u32> = packed.decode().into_iter().map(|v| v as u32).collect();
+            if codes
+                .iter()
+                .any(|&c| c as usize >= dict.len() && dict_len > 0)
+            {
+                return Err(StorageError::Corrupt("dict code out of range".into()));
+            }
+            let validity = read_bitmap(cur, rows)?;
+            Ok(Column::dict_from_parts(Arc::new(dict), codes, validity))
+        }
+        other => Err(StorageError::Corrupt(format!(
+            "unknown column encoding tag {other}"
+        ))),
+    }
+}
+
 /// Serialize `tables` as a checkpoint covering WAL position `lsn` and
 /// atomically replace the file at `path` with it.
 pub fn write_checkpoint(path: &Path, lsn: u64, tables: &[(&str, &Table)]) -> Result<()> {
@@ -46,11 +163,21 @@ pub fn write_checkpoint(path: &Path, lsn: u64, tables: &[(&str, &Table)]) -> Res
     for (name, table) in tables {
         codec::put_str(&mut body, name);
         codec::put_schema(&mut body, table.schema());
-        let batch = table.to_batch()?;
-        codec::put_u64(&mut body, batch.num_rows() as u64);
-        for i in 0..batch.num_rows() {
-            for v in batch.row(i) {
-                codec::put_value(&mut body, &v);
+        let groups: Vec<&RecordBatch> = table.groups().map(|g| g.batch()).collect();
+        codec::put_u32(&mut body, groups.len() as u32);
+        for batch in groups {
+            let rows = batch.num_rows();
+            codec::put_u64(&mut body, rows as u64);
+            for col in batch.columns() {
+                put_column(&mut body, col, rows);
+            }
+        }
+        // Rows appended since the last seal ride along in row form.
+        let pending = table.pending_rows();
+        codec::put_u64(&mut body, pending.len() as u64);
+        for row in pending {
+            for v in row {
+                codec::put_value(&mut body, v);
             }
         }
     }
@@ -91,7 +218,7 @@ pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointData>> {
         return Err(StorageError::Corrupt("not a checkpoint file".into()));
     }
     let version = cur.u32()?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(StorageError::Corrupt(format!(
             "unsupported checkpoint version {version}"
         )));
@@ -102,17 +229,39 @@ pub fn read_checkpoint(path: &Path) -> Result<Option<CheckpointData>> {
     for _ in 0..n_tables {
         let name = cur.str()?.to_string();
         let schema = codec::read_schema(&mut cur)?;
-        let rows = cur.u64()? as usize;
         let width = schema.len();
-        let mut table = Table::new(schema);
-        for _ in 0..rows {
-            let mut row = Vec::with_capacity(width);
-            for _ in 0..width {
-                row.push(codec::read_value(&mut cur)?);
+        let mut table = Table::new(schema.clone());
+        if version == 1 {
+            let rows = cur.u64()? as usize;
+            for _ in 0..rows {
+                let mut row = Vec::with_capacity(width);
+                for _ in 0..width {
+                    row.push(codec::read_value(&mut cur)?);
+                }
+                table.append_row(row)?;
             }
-            table.append_row(row)?;
+            table.flush()?;
+        } else {
+            let n_groups = cur.u32()? as usize;
+            for _ in 0..n_groups {
+                let rows = cur.u64()? as usize;
+                let mut cols = Vec::with_capacity(width);
+                for f in schema.fields() {
+                    cols.push(Arc::new(read_column(&mut cur, f.data_type, rows)?));
+                }
+                let batch = RecordBatch::try_new(schema.clone(), cols)?;
+                table.push_sealed_batch(batch)?;
+            }
+            let pending = cur.u64()? as usize;
+            for _ in 0..pending {
+                let mut row = Vec::with_capacity(width);
+                for _ in 0..width {
+                    row.push(codec::read_value(&mut cur)?);
+                }
+                table.append_row(row)?;
+            }
+            table.flush()?;
         }
-        table.flush()?;
         tables.push((name, table));
     }
     Ok(Some(CheckpointData { lsn, tables }))
@@ -181,6 +330,83 @@ mod tests {
             read_checkpoint(&path),
             Err(StorageError::Corrupt(_))
         ));
+        let _ = fs::remove_file(&path);
+    }
+
+    fn tagged_table(rows: usize, policy: crate::table::EncodingPolicy) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::nullable("tag", DataType::Utf8),
+        ]);
+        let mut t = Table::new(schema).with_encoding(policy);
+        for i in 0..rows {
+            let tag = match i % 7 {
+                0 => Value::Null,
+                j => Value::str(format!("region-{}", j % 3)),
+            };
+            t.append_row(vec![Value::Int(i as i64), tag]).unwrap();
+        }
+        t.flush().unwrap();
+        t
+    }
+
+    #[test]
+    fn v2_preserves_dictionary_encoding() {
+        use crate::table::EncodingPolicy;
+        let path = temp_path("dict");
+        let t = tagged_table(512, EncodingPolicy::Auto);
+        let (dict_cols, dict_rows) = t.encoding_stats();
+        assert_eq!((dict_cols, dict_rows), (1, 512), "seal must encode");
+        write_checkpoint(&path, 3, &[("tagged", &t)]).unwrap();
+        let back = read_checkpoint(&path).unwrap().unwrap();
+        let rt = &back.tables[0].1;
+        assert_eq!(rt.encoding_stats(), (1, 512), "recovery must not decode");
+        assert_eq!(
+            rt.to_batch().unwrap().to_rows(),
+            t.to_batch().unwrap().to_rows()
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dictionary_checkpoint_is_smaller_than_plain() {
+        use crate::table::EncodingPolicy;
+        let dict_path = temp_path("size-dict");
+        let plain_path = temp_path("size-plain");
+        write_checkpoint(
+            &dict_path,
+            1,
+            &[("t", &tagged_table(2048, EncodingPolicy::Auto))],
+        )
+        .unwrap();
+        write_checkpoint(
+            &plain_path,
+            1,
+            &[("t", &tagged_table(2048, EncodingPolicy::Plain))],
+        )
+        .unwrap();
+        let dict_bytes = fs::metadata(&dict_path).unwrap().len();
+        let plain_bytes = fs::metadata(&plain_path).unwrap().len();
+        assert!(
+            dict_bytes * 2 < plain_bytes,
+            "dict checkpoint {dict_bytes}B should be well under plain {plain_bytes}B"
+        );
+        let _ = fs::remove_file(&dict_path);
+        let _ = fs::remove_file(&plain_path);
+    }
+
+    #[test]
+    fn pending_rows_survive_checkpoint() {
+        let path = temp_path("pending");
+        let mut t = sample_table(6);
+        // Rows appended after the last flush must round-trip too.
+        t.append_row(vec![Value::Int(100), Value::str("tail")])
+            .unwrap();
+        write_checkpoint(&path, 5, &[("t", &t)]).unwrap();
+        let back = read_checkpoint(&path).unwrap().unwrap();
+        assert_eq!(back.tables[0].1.num_rows(), 7);
+        let rows = back.tables[0].1.to_batch().unwrap().to_rows();
+        assert_eq!(rows[6][1], Value::str("tail"));
         let _ = fs::remove_file(&path);
     }
 

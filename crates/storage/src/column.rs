@@ -2,6 +2,8 @@
 
 use crate::error::{Result, StorageError};
 use crate::types::{DataType, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A validity bitmap: one bit per row, set = valid (non-null).
 ///
@@ -129,7 +131,26 @@ pub enum Column {
     Utf8(Vec<String>, Bitmap),
     /// Booleans.
     Bool(Vec<bool>, Bitmap),
+    /// Dictionary-encoded UTF-8: `codes[i]` indexes into the shared `dict`.
+    ///
+    /// Logically identical to [`Column::Utf8`] (`data_type()` reports
+    /// `Utf8`); kernels that understand the encoding stay in u32 code space
+    /// and evaluate string work once per distinct entry. The dictionary is
+    /// `Arc`-shared so gathers, slices, and joins of the same row group can
+    /// compare codes directly (`Arc::ptr_eq`). Code slots for NULL rows hold
+    /// an arbitrary value; consult the validity bitmap first.
+    DictUtf8 {
+        /// Distinct values, in first-occurrence order.
+        dict: Arc<Vec<String>>,
+        /// Per-row indexes into `dict`.
+        codes: Vec<u32>,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
 }
+
+/// Borrowed pieces of a dictionary column: entries, per-row codes, validity.
+pub type DictParts<'a> = (&'a Arc<Vec<String>>, &'a [u32], &'a Bitmap);
 
 impl Column {
     /// Build a non-null Int64 column.
@@ -209,12 +230,13 @@ impl Column {
         Ok(col)
     }
 
-    /// The column's data type.
+    /// The column's data type. Dictionary-encoded strings report `Utf8`:
+    /// the encoding is a physical detail, not a logical type.
     pub fn data_type(&self) -> DataType {
         match self {
             Column::Int64(..) => DataType::Int64,
             Column::Float64(..) => DataType::Float64,
-            Column::Utf8(..) => DataType::Utf8,
+            Column::Utf8(..) | Column::DictUtf8 { .. } => DataType::Utf8,
             Column::Bool(..) => DataType::Bool,
         }
     }
@@ -226,6 +248,7 @@ impl Column {
             Column::Float64(v, _) => v.len(),
             Column::Utf8(v, _) => v.len(),
             Column::Bool(v, _) => v.len(),
+            Column::DictUtf8 { codes, .. } => codes.len(),
         }
     }
 
@@ -241,6 +264,7 @@ impl Column {
             | Column::Float64(_, b)
             | Column::Utf8(_, b)
             | Column::Bool(_, b) => b,
+            Column::DictUtf8 { validity, .. } => validity,
         }
     }
 
@@ -260,6 +284,7 @@ impl Column {
             Column::Float64(v, _) => Value::Float(v[i]),
             Column::Utf8(v, _) => Value::str(&v[i]),
             Column::Bool(v, _) => Value::Bool(v[i]),
+            Column::DictUtf8 { dict, codes, .. } => Value::str(&dict[codes[i] as usize]),
         }
     }
 
@@ -286,6 +311,17 @@ impl Column {
                 data.push(*x);
                 bm.push(true);
             }
+            (
+                Column::DictUtf8 {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Value::Str(s),
+            ) => {
+                codes.push(dict_intern(dict, s));
+                validity.push(true);
+            }
             (col, Value::Null) => match col {
                 Column::Int64(data, bm) => {
                     data.push(0);
@@ -302,6 +338,12 @@ impl Column {
                 Column::Bool(data, bm) => {
                     data.push(false);
                     bm.push(false);
+                }
+                Column::DictUtf8 {
+                    codes, validity, ..
+                } => {
+                    codes.push(0);
+                    validity.push(false);
                 }
             },
             (col, v) => {
@@ -339,10 +381,16 @@ impl Column {
         }
     }
 
-    /// Borrow the raw string data, failing on other types.
+    /// Borrow the raw string data, failing on other types. Dictionary
+    /// columns fail too (the per-row strings don't exist contiguously);
+    /// call [`Column::decoded`] first when a flat view is required.
     pub fn utf8_data(&self) -> Result<&[String]> {
         match self {
             Column::Utf8(v, _) => Ok(v),
+            Column::DictUtf8 { .. } => Err(StorageError::TypeMismatch {
+                expected: "UTF8".into(),
+                found: "DICT(UTF8)".into(),
+            }),
             other => Err(StorageError::TypeMismatch {
                 expected: "UTF8".into(),
                 found: other.data_type().to_string(),
@@ -393,6 +441,12 @@ impl Column {
                     d.push(false);
                     b.push(false);
                 }
+                Column::DictUtf8 {
+                    codes, validity, ..
+                } => {
+                    codes.push(0);
+                    validity.push(false);
+                }
             }
             return Ok(());
         }
@@ -412,6 +466,40 @@ impl Column {
             (Column::Utf8(d, b), Column::Utf8(s, _)) => {
                 d.push(s[i].clone());
                 b.push(true);
+            }
+            (Column::Utf8(d, b), Column::DictUtf8 { dict, codes, .. }) => {
+                d.push(dict[codes[i] as usize].clone());
+                b.push(true);
+            }
+            (
+                Column::DictUtf8 {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Column::DictUtf8 {
+                    dict: sd,
+                    codes: sc,
+                    ..
+                },
+            ) => {
+                if Arc::ptr_eq(dict, sd) {
+                    codes.push(sc[i]);
+                } else {
+                    codes.push(dict_intern(dict, &sd[sc[i] as usize]));
+                }
+                validity.push(true);
+            }
+            (
+                Column::DictUtf8 {
+                    dict,
+                    codes,
+                    validity,
+                },
+                Column::Utf8(s, _),
+            ) => {
+                codes.push(dict_intern(dict, &s[i]));
+                validity.push(true);
             }
             (Column::Bool(d, b), Column::Bool(s, _)) => {
                 d.push(s[i]);
@@ -446,6 +534,20 @@ impl Column {
             Column::Bool(v, bm) => {
                 let (data, out_bm) = gather_copy(v, bm, indices);
                 Column::Bool(data, out_bm)
+            }
+            // Dictionary columns gather in code space: the dictionary is
+            // shared untouched, only the u32 codes move.
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => {
+                let (out_codes, out_bm) = gather_copy(codes, validity, indices);
+                Column::DictUtf8 {
+                    dict: dict.clone(),
+                    codes: out_codes,
+                    validity: out_bm,
+                }
             }
         }
     }
@@ -496,6 +598,22 @@ impl Column {
             Column::Bool(v, bm) => {
                 lanes!(|i: usize| if bm.get(i) { v[i] as u64 + 1 } else { NULL_TAG });
             }
+            // Hash each distinct entry once, then look lanes up by code.
+            // Using the same FNV-1a over the entry bytes keeps dictionary
+            // columns hash-compatible with plain Utf8, so mixed-encoding
+            // group-bys and joins still collide correctly.
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => {
+                let entry_hashes: Vec<u64> = dict.iter().map(|s| fnv1a(s.as_bytes())).collect();
+                lanes!(|i: usize| if validity.get(i) {
+                    entry_hashes[codes[i] as usize]
+                } else {
+                    NULL_TAG
+                });
+            }
         }
     }
 
@@ -519,6 +637,31 @@ impl Column {
             }
             (Column::Utf8(a, _), Column::Utf8(b, _)) => a[i] == b[j],
             (Column::Bool(a, _), Column::Bool(b, _)) => a[i] == b[j],
+            (
+                Column::DictUtf8 {
+                    dict: da,
+                    codes: ca,
+                    ..
+                },
+                Column::DictUtf8 {
+                    dict: db,
+                    codes: cb,
+                    ..
+                },
+            ) => {
+                // Shared dictionary: equal codes iff equal strings.
+                if Arc::ptr_eq(da, db) {
+                    ca[i] == cb[j]
+                } else {
+                    da[ca[i] as usize] == db[cb[j] as usize]
+                }
+            }
+            (Column::DictUtf8 { dict, codes, .. }, Column::Utf8(b, _)) => {
+                dict[codes[i] as usize] == b[j]
+            }
+            (Column::Utf8(a, _), Column::DictUtf8 { dict, codes, .. }) => {
+                a[i] == dict[codes[j] as usize]
+            }
             _ => false,
         }
     }
@@ -570,6 +713,25 @@ impl Column {
                 }
                 Column::Bool(data, out_bm)
             }
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => {
+                let mut out_codes = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (out, &i) in indices.iter().enumerate() {
+                    out_codes.push(codes[i]);
+                    if validity.get(i) {
+                        out_bm.set(out, true);
+                    }
+                }
+                Column::DictUtf8 {
+                    dict: dict.clone(),
+                    codes: out_codes,
+                    validity: out_bm,
+                }
+            }
         }
     }
 
@@ -591,6 +753,11 @@ impl Column {
     }
 
     /// Concatenate columns of the same type.
+    ///
+    /// Utf8 parts may mix physical encodings: all-dictionary inputs merge
+    /// into one dictionary (a shared `Arc` passes through untouched, else
+    /// codes are remapped), while a dict/plain mix decodes to flat strings —
+    /// operators on hot paths should count that fallback before calling.
     pub fn concat(parts: &[&Column]) -> Result<Column> {
         let Some(first) = parts.first() else {
             return Err(StorageError::SchemaMismatch(
@@ -598,9 +765,6 @@ impl Column {
             ));
         };
         let dt = first.data_type();
-        let total: usize = parts.iter().map(|c| c.len()).sum();
-        let mut out = Column::empty(dt);
-        out.reserve(total);
         for part in parts {
             if part.data_type() != dt {
                 return Err(StorageError::TypeMismatch {
@@ -608,6 +772,14 @@ impl Column {
                     found: part.data_type().to_string(),
                 });
             }
+        }
+        if dt == DataType::Utf8 {
+            return concat_utf8(parts);
+        }
+        let total: usize = parts.iter().map(|c| c.len()).sum();
+        let mut out = Column::empty(dt);
+        out.reserve(total);
+        for part in parts {
             for i in 0..part.len() {
                 // Fast paths per type avoid Value round-trips.
                 match (&mut out, *part) {
@@ -617,10 +789,6 @@ impl Column {
                     }
                     (Column::Float64(d, b), Column::Float64(s, sb)) => {
                         d.push(s[i]);
-                        b.push(sb.get(i));
-                    }
-                    (Column::Utf8(d, b), Column::Utf8(s, sb)) => {
-                        d.push(s[i].clone());
                         b.push(sb.get(i));
                     }
                     (Column::Bool(d, b), Column::Bool(s, sb)) => {
@@ -640,6 +808,7 @@ impl Column {
             Column::Float64(v, _) => v.reserve(additional),
             Column::Utf8(v, _) => v.reserve(additional),
             Column::Bool(v, _) => v.reserve(additional),
+            Column::DictUtf8 { codes, .. } => codes.reserve(additional),
         }
     }
 
@@ -651,8 +820,213 @@ impl Column {
             Column::Float64(v, _) => v.len() * 8,
             Column::Utf8(v, _) => v.iter().map(|s| s.len() + 24).sum(),
             Column::Bool(v, _) => v.len(),
+            Column::DictUtf8 { dict, codes, .. } => {
+                codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
+            }
         }
     }
+
+    /// Whether this column is dictionary-encoded.
+    pub fn is_dict(&self) -> bool {
+        matches!(self, Column::DictUtf8 { .. })
+    }
+
+    /// Borrow the dictionary parts, or `None` for other representations.
+    pub fn dict_parts(&self) -> Option<DictParts<'_>> {
+        match self {
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => Some((dict, codes, validity)),
+            _ => None,
+        }
+    }
+
+    /// Build a dictionary column from pre-computed parts (checkpoint replay,
+    /// tests). Every valid row's code must index into `dict`.
+    pub fn dict_from_parts(dict: Arc<Vec<String>>, codes: Vec<u32>, validity: Bitmap) -> Column {
+        debug_assert_eq!(codes.len(), validity.len());
+        debug_assert!(codes
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| !validity.get(i) || (c as usize) < dict.len()));
+        Column::DictUtf8 {
+            dict,
+            codes,
+            validity,
+        }
+    }
+
+    /// Dictionary-encode a plain Utf8 column (first-occurrence entry order).
+    /// Returns `None` for non-Utf8 or already-encoded columns.
+    pub fn dict_encode(&self) -> Option<Column> {
+        let Column::Utf8(values, bm) = self else {
+            return None;
+        };
+        let mut dict: Vec<String> = Vec::new();
+        let mut index: HashMap<&str, u32> = HashMap::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for (i, s) in values.iter().enumerate() {
+            if !bm.get(i) {
+                codes.push(0);
+                continue;
+            }
+            let code = *index.entry(s.as_str()).or_insert_with(|| {
+                dict.push(s.clone());
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
+        }
+        Some(Column::DictUtf8 {
+            dict: Arc::new(dict),
+            codes,
+            validity: bm.clone(),
+        })
+    }
+
+    /// Number of distinct non-null values in a Utf8 column (the encoding
+    /// decision input). Dictionary columns answer from their entry count.
+    pub fn utf8_distinct(&self) -> Option<usize> {
+        match self {
+            Column::Utf8(values, bm) => {
+                let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+                for (i, s) in values.iter().enumerate() {
+                    if bm.get(i) {
+                        seen.insert(s.as_str());
+                    }
+                }
+                Some(seen.len())
+            }
+            Column::DictUtf8 { dict, .. } => Some(dict.len()),
+            _ => None,
+        }
+    }
+
+    /// Decode a dictionary column to flat strings; other representations
+    /// return `None` (they are already in their canonical form).
+    pub fn decoded(&self) -> Option<Column> {
+        let Column::DictUtf8 {
+            dict,
+            codes,
+            validity,
+        } = self
+        else {
+            return None;
+        };
+        let data = codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                if validity.get(i) {
+                    dict[c as usize].clone()
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        Some(Column::Utf8(data, validity.clone()))
+    }
+}
+
+/// Code for `s` in `dict`, appending a new entry when absent. Linear probe:
+/// only cold row-at-a-time paths (`push_value`, cross-dictionary
+/// `push_from`) intern; batch kernels never do.
+fn dict_intern(dict: &mut Arc<Vec<String>>, s: &str) -> u32 {
+    if let Some(code) = dict.iter().position(|e| e == s) {
+        return code as u32;
+    }
+    let entries = Arc::make_mut(dict);
+    entries.push(s.to_string());
+    (entries.len() - 1) as u32
+}
+
+/// [`Column::concat`] for logical-Utf8 parts that may mix encodings.
+fn concat_utf8(parts: &[&Column]) -> Result<Column> {
+    let total: usize = parts.iter().map(|c| c.len()).sum();
+    if parts.iter().all(|c| c.is_dict()) {
+        let Some((first_dict, ..)) = parts[0].dict_parts() else {
+            unreachable!("all parts are dict");
+        };
+        let shared = parts
+            .iter()
+            .all(|c| matches!(c.dict_parts(), Some((d, ..)) if Arc::ptr_eq(d, first_dict)));
+        let mut codes = Vec::with_capacity(total);
+        let mut validity = Bitmap::all_valid(0);
+        if shared {
+            for part in parts {
+                let Some((_, pc, pv)) = part.dict_parts() else {
+                    unreachable!("all parts are dict");
+                };
+                for (i, &c) in pc.iter().enumerate() {
+                    codes.push(c);
+                    validity.push(pv.get(i));
+                }
+            }
+            return Ok(Column::DictUtf8 {
+                dict: first_dict.clone(),
+                codes,
+                validity,
+            });
+        }
+        // Different dictionaries: merge entries and remap codes per part.
+        let mut merged: Vec<String> = Vec::new();
+        let mut index: HashMap<String, u32> = HashMap::new();
+        for part in parts {
+            let Some((dict, pc, pv)) = part.dict_parts() else {
+                unreachable!("all parts are dict");
+            };
+            let remap: Vec<u32> = dict
+                .iter()
+                .map(|s| {
+                    *index.entry(s.clone()).or_insert_with(|| {
+                        merged.push(s.clone());
+                        (merged.len() - 1) as u32
+                    })
+                })
+                .collect();
+            for (i, &c) in pc.iter().enumerate() {
+                let valid = pv.get(i);
+                codes.push(if valid { remap[c as usize] } else { 0 });
+                validity.push(valid);
+            }
+        }
+        return Ok(Column::DictUtf8 {
+            dict: Arc::new(merged),
+            codes,
+            validity,
+        });
+    }
+    // Mixed encodings or all plain: emit flat strings.
+    let mut data = Vec::with_capacity(total);
+    let mut bm = Bitmap::all_valid(0);
+    for part in parts {
+        match part {
+            Column::Utf8(s, sb) => {
+                for (i, v) in s.iter().enumerate() {
+                    data.push(v.clone());
+                    bm.push(sb.get(i));
+                }
+            }
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => {
+                for (i, &c) in codes.iter().enumerate() {
+                    let valid = validity.get(i);
+                    data.push(if valid {
+                        dict[c as usize].clone()
+                    } else {
+                        String::new()
+                    });
+                    bm.push(valid);
+                }
+            }
+            _ => unreachable!("type checked by concat"),
+        }
+    }
+    Ok(Column::Utf8(data, bm))
 }
 
 /// Finalizer from splitmix64: full-avalanche 64-bit mixer, so combining
@@ -824,5 +1198,136 @@ mod tests {
     fn byte_size_positive() {
         let c = Column::from_strings(vec!["hello".into()]);
         assert!(c.byte_size() > 5);
+    }
+
+    fn opt_strings(vals: &[Option<&str>]) -> Column {
+        let mut c = Column::empty(DataType::Utf8);
+        for v in vals {
+            let v = v.map(Value::str).unwrap_or(Value::Null);
+            c.push_value(&v).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn dict_encode_roundtrip() {
+        let plain = opt_strings(&[Some("a"), Some("b"), None, Some("a"), Some("a")]);
+        let dict = plain.dict_encode().unwrap();
+        assert!(dict.is_dict());
+        assert_eq!(dict.data_type(), DataType::Utf8);
+        assert_eq!(dict.utf8_distinct(), Some(2));
+        for i in 0..plain.len() {
+            assert_eq!(dict.value(i), plain.value(i));
+        }
+        assert_eq!(dict.decoded().unwrap(), plain);
+    }
+
+    #[test]
+    fn dict_gather_take_share_dictionary() {
+        let dict = Column::from_strings(vec!["x".into(), "y".into(), "x".into(), "z".into()])
+            .dict_encode()
+            .unwrap();
+        let (d0, ..) = dict.dict_parts().unwrap();
+        let d0 = d0.clone();
+        let g = dict.gather(&[3, 0]);
+        let (d1, codes, _) = g.dict_parts().unwrap();
+        assert!(Arc::ptr_eq(&d0, d1));
+        assert_eq!(codes, &[2, 0]);
+        let t = dict.take(&[1, 1]);
+        assert!(Arc::ptr_eq(&d0, t.dict_parts().unwrap().0));
+        assert_eq!(t.value(0), Value::str("y"));
+    }
+
+    #[test]
+    fn dict_hashes_match_plain() {
+        let plain = opt_strings(&[Some("a"), Some("bb"), None, Some("a")]);
+        let dict = plain.dict_encode().unwrap();
+        let mut h_plain = vec![7u64; 4];
+        let mut h_dict = vec![7u64; 4];
+        plain.hash_combine(None, &mut h_plain);
+        dict.hash_combine(None, &mut h_dict);
+        assert_eq!(h_plain, h_dict);
+        let sel = [1u32, 3];
+        let mut s_plain = vec![0u64; 4];
+        let mut s_dict = vec![0u64; 4];
+        plain.hash_combine(Some(&sel), &mut s_plain);
+        dict.hash_combine(Some(&sel), &mut s_dict);
+        assert_eq!(s_plain, s_dict);
+    }
+
+    #[test]
+    fn dict_eq_rows_cross_encoding() {
+        let plain = opt_strings(&[Some("a"), Some("b"), None]);
+        let dict = plain.dict_encode().unwrap();
+        let other = opt_strings(&[Some("b"), None]).dict_encode().unwrap();
+        for i in 0..3 {
+            assert!(dict.eq_rows_null_eq(i, &plain, i));
+            assert!(plain.eq_rows_null_eq(i, &dict, i));
+        }
+        assert!(dict.eq_rows_null_eq(1, &other, 0));
+        assert!(dict.eq_rows_null_eq(2, &other, 1));
+        assert!(!dict.eq_rows_null_eq(0, &other, 0));
+    }
+
+    #[test]
+    fn concat_all_dict_shared_stays_dict() {
+        let base = Column::from_strings(vec!["a".into(), "b".into()])
+            .dict_encode()
+            .unwrap();
+        let left = base.gather(&[0, 1]);
+        let right = base.gather(&[1]);
+        let out = Column::concat(&[&left, &right]).unwrap();
+        let (d, codes, _) = out.dict_parts().unwrap();
+        assert!(Arc::ptr_eq(d, base.dict_parts().unwrap().0));
+        assert_eq!(codes, &[0, 1, 1]);
+    }
+
+    #[test]
+    fn concat_dict_merges_dictionaries() {
+        let a = opt_strings(&[Some("x"), None]).dict_encode().unwrap();
+        let b = opt_strings(&[Some("y"), Some("x")]).dict_encode().unwrap();
+        let out = Column::concat(&[&a, &b]).unwrap();
+        let (d, codes, bm) = out.dict_parts().unwrap();
+        assert_eq!(d.as_slice(), &["x".to_string(), "y".to_string()]);
+        assert_eq!(codes, &[0, 0, 1, 0]);
+        assert!(!bm.get(1));
+        assert_eq!(out.value(3), Value::str("x"));
+    }
+
+    #[test]
+    fn concat_mixed_encoding_decodes() {
+        let dict = opt_strings(&[Some("a"), None]).dict_encode().unwrap();
+        let plain = opt_strings(&[Some("b")]);
+        let out = Column::concat(&[&dict, &plain]).unwrap();
+        assert!(!out.is_dict());
+        assert_eq!(out.value(0), Value::str("a"));
+        assert_eq!(out.value(1), Value::Null);
+        assert_eq!(out.value(2), Value::str("b"));
+    }
+
+    #[test]
+    fn dict_push_from_and_push_value() {
+        let src = opt_strings(&[Some("a"), Some("b"), None])
+            .dict_encode()
+            .unwrap();
+        // Utf8 destination decodes per row.
+        let mut flat = Column::empty(DataType::Utf8);
+        for i in 0..3 {
+            flat.push_from(&src, i).unwrap();
+        }
+        assert_eq!(flat, src.decoded().unwrap());
+        // Dict destination with a foreign dictionary interns.
+        let mut d = opt_strings(&[Some("b")]).dict_encode().unwrap();
+        for i in 0..3 {
+            d.push_from(&src, i).unwrap();
+        }
+        d.push_value(&Value::str("c")).unwrap();
+        d.push_value(&Value::Null).unwrap();
+        assert_eq!(d.value(1), Value::str("a"));
+        assert_eq!(d.value(2), Value::str("b"));
+        assert_eq!(d.value(3), Value::Null);
+        assert_eq!(d.value(4), Value::str("c"));
+        assert!(d.is_null(5));
+        assert_eq!(d.utf8_distinct(), Some(3));
     }
 }

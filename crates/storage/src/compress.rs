@@ -1,8 +1,11 @@
-//! Lightweight column encodings: run-length, dictionary, and bit-packing.
+//! Lightweight integer encodings: run-length and bit-packing.
 //!
-//! These are the classic analytical-storage encodings; the `repro` harness
-//! uses them to report compression ratios for the TPC-H-like data, and the
-//! property tests guarantee lossless round-trips.
+//! These are the classic analytical-storage encodings; the checkpoint codec
+//! bit-packs dictionary codes with [`BitPackedI64`], the `repro` harness
+//! reports compression ratios for the TPC-H-like data, and the property
+//! tests guarantee lossless round-trips. Dictionary encoding for strings is
+//! not here: it is a first-class column representation
+//! ([`crate::Column::DictUtf8`]), not an at-rest codec.
 
 use crate::error::{Result, StorageError};
 
@@ -63,58 +66,6 @@ impl RleI64 {
         Err(StorageError::Corrupt(
             "RLE runs shorter than declared len".into(),
         ))
-    }
-}
-
-/// Dictionary encoding for strings: unique values + u32 codes.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct DictUtf8 {
-    /// Distinct values in first-appearance order.
-    pub dict: Vec<String>,
-    /// One code per row, indexing into `dict`.
-    pub codes: Vec<u32>,
-}
-
-impl DictUtf8 {
-    /// Encode a slice of strings.
-    pub fn encode(values: &[String]) -> DictUtf8 {
-        let mut dict: Vec<String> = Vec::new();
-        let mut index: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
-        let mut codes = Vec::with_capacity(values.len());
-        for v in values {
-            if let Some(&c) = index.get(v.as_str()) {
-                codes.push(c);
-            } else {
-                let c = dict.len() as u32;
-                dict.push(v.clone());
-                codes.push(c);
-                index.insert(v.clone(), c);
-            }
-        }
-        DictUtf8 { dict, codes }
-    }
-
-    /// Decode back to the original strings.
-    pub fn decode(&self) -> Result<Vec<String>> {
-        let mut out = Vec::with_capacity(self.codes.len());
-        for &c in &self.codes {
-            let s = self
-                .dict
-                .get(c as usize)
-                .ok_or_else(|| StorageError::Corrupt(format!("dict code {c} out of range")))?;
-            out.push(s.clone());
-        }
-        Ok(out)
-    }
-
-    /// Number of distinct values.
-    pub fn cardinality(&self) -> usize {
-        self.dict.len()
-    }
-
-    /// Encoded size in bytes (dictionary payload + 4 bytes per code).
-    pub fn byte_size(&self) -> usize {
-        self.dict.iter().map(|s| s.len() + 8).sum::<usize>() + self.codes.len() * 4
     }
 }
 
@@ -267,24 +218,6 @@ mod tests {
             assert_eq!(enc.get(i).unwrap(), v);
         }
         assert!(enc.get(6).is_err());
-    }
-
-    #[test]
-    fn dict_roundtrip() {
-        let data: Vec<String> = ["a", "b", "a", "c", "b", "a"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        let enc = DictUtf8::encode(&data);
-        assert_eq!(enc.cardinality(), 3);
-        assert_eq!(enc.decode().unwrap(), data);
-    }
-
-    #[test]
-    fn dict_detects_corrupt_code() {
-        let mut enc = DictUtf8::encode(&["x".to_string()]);
-        enc.codes[0] = 99;
-        assert!(enc.decode().is_err());
     }
 
     #[test]

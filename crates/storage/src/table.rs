@@ -17,6 +17,27 @@ use std::sync::Arc;
 /// Default number of rows per row group.
 pub const DEFAULT_ROW_GROUP_SIZE: usize = 65_536;
 
+/// Minimum rows before seal-time dictionary encoding is considered; below
+/// this the bookkeeping outweighs the win and tiny test tables stay plain.
+pub const DICT_MIN_SEAL_ROWS: usize = 64;
+
+/// A Utf8 column dictionary-encodes when `distinct * DICT_RATIO_DEN <= rows`
+/// (distinct ratio at most 1/4) — low enough that per-entry predicate
+/// evaluation and u32 code scans beat per-row string work.
+pub const DICT_RATIO_DEN: usize = 4;
+
+/// How [`Table::flush`] physically represents Utf8 columns when sealing a
+/// row group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingPolicy {
+    /// Dictionary-encode Utf8 columns whose distinct ratio qualifies
+    /// (the default).
+    #[default]
+    Auto,
+    /// Keep every column plain (tests and decoded-twin baselines).
+    Plain,
+}
+
 /// Min/max/null statistics for one column of one row group.
 #[derive(Debug, Clone)]
 pub struct ZoneMap {
@@ -31,8 +52,33 @@ pub struct ZoneMap {
 }
 
 impl ZoneMap {
-    /// Compute the zone map for a column.
+    /// Compute the zone map for a column. Dictionary columns scan their
+    /// entries instead of rows: O(distinct) rather than O(rows), and still
+    /// sound (entries bound every stored value).
     pub fn from_column(col: &Column) -> ZoneMap {
+        if let Some((dict, _, validity)) = col.dict_parts() {
+            let mut min: Option<Value> = None;
+            let mut max: Option<Value> = None;
+            for s in dict.iter() {
+                let v = Value::str(s);
+                match &min {
+                    None => min = Some(v.clone()),
+                    Some(m) if v.sql_cmp(m) == Ordering::Less => min = Some(v.clone()),
+                    _ => {}
+                }
+                match &max {
+                    None => max = Some(v),
+                    Some(m) if v.sql_cmp(m) == Ordering::Greater => max = Some(v),
+                    _ => {}
+                }
+            }
+            return ZoneMap {
+                min,
+                max,
+                null_count: validity.count_null(),
+                row_count: col.len(),
+            };
+        }
         let mut min: Option<Value> = None;
         let mut max: Option<Value> = None;
         let mut null_count = 0;
@@ -143,6 +189,7 @@ pub struct Table {
     pending: Vec<Vec<Value>>,
     group_size: usize,
     rows: usize,
+    encoding: EncodingPolicy,
 }
 
 impl Table {
@@ -161,7 +208,19 @@ impl Table {
             pending: Vec::new(),
             group_size,
             rows: 0,
+            encoding: EncodingPolicy::default(),
         }
+    }
+
+    /// Set the seal-time encoding policy (builder style).
+    pub fn with_encoding(mut self, encoding: EncodingPolicy) -> Table {
+        self.encoding = encoding;
+        self
+    }
+
+    /// The seal-time encoding policy.
+    pub fn encoding_policy(&self) -> EncodingPolicy {
+        self.encoding
     }
 
     /// The table's schema.
@@ -204,13 +263,32 @@ impl Table {
         Ok(())
     }
 
-    /// Seal pending rows into a row group.
+    /// Seal pending rows into a row group, dictionary-encoding qualifying
+    /// Utf8 columns under the table's [`EncodingPolicy`].
     pub fn flush(&mut self) -> Result<()> {
         if self.pending.is_empty() {
             return Ok(());
         }
         let rows = std::mem::take(&mut self.pending);
         let batch = RecordBatch::from_rows(self.schema.clone(), &rows)?;
+        let batch = match self.encoding {
+            EncodingPolicy::Auto => encode_for_seal(batch),
+            EncodingPolicy::Plain => batch,
+        };
+        self.groups.push(Arc::new(RowGroup::new(batch)));
+        Ok(())
+    }
+
+    /// Seal an already-built batch directly as a row group, keeping whatever
+    /// physical encodings its columns carry (checkpoint replay restores
+    /// dictionary columns without a re-encode pass).
+    pub fn push_sealed_batch(&mut self, batch: RecordBatch) -> Result<()> {
+        if batch.schema().fields() != self.schema.fields() {
+            return Err(StorageError::SchemaMismatch(
+                "sealed batch schema differs from table schema".into(),
+            ));
+        }
+        self.rows += batch.num_rows();
         self.groups.push(Arc::new(RowGroup::new(batch)));
         Ok(())
     }
@@ -219,6 +297,11 @@ impl Table {
     /// recent appends.
     pub fn groups(&self) -> impl Iterator<Item = &RowGroup> {
         self.groups.iter().map(|g| g.as_ref())
+    }
+
+    /// Rows appended since the last seal (not yet in any row group).
+    pub fn pending_rows(&self) -> &[Vec<Value>] {
+        &self.pending
     }
 
     /// Materialize the whole table as one batch (testing / small tables).
@@ -234,6 +317,52 @@ impl Table {
     pub fn byte_size(&self) -> usize {
         self.groups.iter().map(|g| g.batch().byte_size()).sum()
     }
+
+    /// (dictionary-encoded columns, rows they cover) across sealed groups —
+    /// the source for `storage.encoding.*` counters.
+    pub fn encoding_stats(&self) -> (usize, usize) {
+        let mut cols = 0;
+        let mut rows = 0;
+        for g in &self.groups {
+            for c in g.batch().columns() {
+                if c.is_dict() {
+                    cols += 1;
+                    rows += c.len();
+                }
+            }
+        }
+        (cols, rows)
+    }
+}
+
+/// Dictionary-encode every qualifying Utf8 column of a freshly sealed
+/// batch: at least [`DICT_MIN_SEAL_ROWS`] rows and distinct ratio at most
+/// `1 / DICT_RATIO_DEN`. One encode pass per string column; non-qualifying
+/// columns keep their plain vectors.
+fn encode_for_seal(batch: RecordBatch) -> RecordBatch {
+    let rows = batch.num_rows();
+    if rows < DICT_MIN_SEAL_ROWS {
+        return batch;
+    }
+    let mut changed = false;
+    let columns: Vec<Arc<Column>> = batch
+        .columns()
+        .iter()
+        .map(|c| {
+            if let Some(dict) = c.dict_encode() {
+                if dict.utf8_distinct().unwrap_or(usize::MAX) * DICT_RATIO_DEN <= rows {
+                    changed = true;
+                    return Arc::new(dict);
+                }
+            }
+            c.clone()
+        })
+        .collect();
+    if !changed {
+        return batch;
+    }
+    let schema = batch.schema().clone();
+    RecordBatch::try_new(schema, columns).expect("re-encoded batch keeps schema")
 }
 
 #[cfg(test)]
@@ -319,6 +448,60 @@ mod tests {
     fn arity_check() {
         let mut t = Table::new(schema());
         assert!(t.append_row(vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn seal_encodes_low_cardinality_strings() {
+        let mut t = Table::with_group_size(schema(), 256);
+        for i in 0..256 {
+            t.append_row(vec![
+                Value::Int(i),
+                Value::str(["A", "B", "C"][i as usize % 3]),
+            ])
+            .unwrap();
+        }
+        let g = t.groups().next().unwrap();
+        let col = &g.batch().columns()[1];
+        assert!(col.is_dict(), "low-cardinality Utf8 should seal as dict");
+        assert_eq!(col.utf8_distinct(), Some(3));
+        // Zone maps still bound the values.
+        assert!(g.zone(1).may_contain_eq(&Value::str("B")));
+        assert!(!g.zone(1).may_contain_eq(&Value::str("Z")));
+        assert_eq!(t.encoding_stats(), (1, 256));
+        // High-cardinality columns stay plain.
+        let mut hi = Table::with_group_size(schema(), 256);
+        for i in 0..256 {
+            hi.append_row(vec![Value::Int(i), Value::str(format!("v{i}"))])
+                .unwrap();
+        }
+        assert!(!hi.groups().next().unwrap().batch().columns()[1].is_dict());
+        // Plain policy disables encoding entirely.
+        let mut plain = Table::with_group_size(schema(), 256).with_encoding(EncodingPolicy::Plain);
+        for i in 0..256 {
+            plain
+                .append_row(vec![Value::Int(i), Value::str("same")])
+                .unwrap();
+        }
+        assert!(!plain.groups().next().unwrap().batch().columns()[1].is_dict());
+        assert_eq!(plain.encoding_stats(), (0, 0));
+    }
+
+    #[test]
+    fn push_sealed_batch_keeps_encoding() {
+        let s = schema();
+        let cols = vec![
+            Arc::new(Column::from_i64(vec![1, 2])),
+            Arc::new(
+                Column::from_strings(vec!["a".into(), "a".into()])
+                    .dict_encode()
+                    .unwrap(),
+            ),
+        ];
+        let batch = RecordBatch::try_new(s.clone(), cols).unwrap();
+        let mut t = Table::new(s);
+        t.push_sealed_batch(batch).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert!(t.groups().next().unwrap().batch().columns()[1].is_dict());
     }
 
     #[test]

@@ -39,6 +39,13 @@ out="$(cargo run -q --release -p backbone-bench --bin repro -- bench --quick)"
 echo "$out"
 # Generous catastrophic-regression gate: the declarative engine must stay
 # within 8x of the hand-rolled loop (see exec_bench::report).
-echo "$out" | grep -q "PERF_OK" || { echo "repro bench: declarative/hand-rolled gap regressed"; exit 1; }
+echo "$out" | grep -q "PERF_OK declarative" || { echo "repro bench: declarative/hand-rolled gap regressed"; exit 1; }
+# Encoding gate: dictionary kernels must never lose to the plain-string path.
+echo "$out" | grep -q "PERF_OK dict filter" || { echo "repro bench: dict filter slower than plain"; exit 1; }
+echo "$out" | grep -q "PERF_OK dict group-by" || { echo "repro bench: dict group-by slower than plain"; exit 1; }
+if echo "$out" | grep -q "PERF_FAIL"; then
+  echo "repro bench: PERF_FAIL verdict present"
+  exit 1
+fi
 
 echo "OK"

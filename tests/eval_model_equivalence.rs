@@ -80,6 +80,32 @@ fn model_eval(expr: &Expr, a: Option<i64>, b: Option<i64>) -> Cell {
                 _ => panic!("unsupported op in model"),
             }
         }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            // Three-valued OR over per-item equalities, starting from the
+            // definite FALSE of `x IN ()`.
+            let probe = model_eval(expr, a, b);
+            let mut acc = Cell::Bool(false);
+            for item in list {
+                let item_v = model_eval(item, a, b);
+                let eq = match (&probe, &item_v) {
+                    (Cell::Int(x), Cell::Int(y)) => Cell::Bool(x == y),
+                    _ => Cell::Null,
+                };
+                acc = match (acc, eq) {
+                    (Cell::Bool(true), _) | (_, Cell::Bool(true)) => Cell::Bool(true),
+                    (Cell::Bool(false), Cell::Bool(false)) => Cell::Bool(false),
+                    _ => Cell::Null,
+                };
+            }
+            match (acc, negated) {
+                (Cell::Bool(v), true) => Cell::Bool(!v),
+                (acc, _) => acc,
+            }
+        }
         Expr::Like { .. } => panic!("LIKE not in model space"),
     }
 }
@@ -108,7 +134,19 @@ fn bool_expr() -> impl Strategy<Value = Expr> {
         _ => l.gt_eq(r),
     });
     let null_check = prop_oneof![Just(col("a").is_null()), Just(col("b").is_not_null()),];
-    let leaf = prop_oneof![cmp, null_check];
+    let in_list = (
+        int_expr(),
+        proptest::collection::vec(int_expr(), 0..4),
+        any::<bool>(),
+    )
+        .prop_map(|(probe, items, negated)| {
+            if negated {
+                probe.not_in_list(items)
+            } else {
+                probe.in_list(items)
+            }
+        });
+    let leaf = prop_oneof![cmp, null_check, in_list];
     leaf.prop_recursive(3, 24, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),

@@ -11,9 +11,10 @@ use backbone_query::{
     avg, col, count, count_star, execute, lit, max, min, sum, ExecOptions, JoinType, LogicalPlan,
     MemCatalog,
 };
-use backbone_storage::{DataType, Field, Schema, Table, Value};
+use backbone_storage::{Column, DataType, Field, RecordBatch, Schema, Table, Value};
 use proptest::prelude::*;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// One generated row: nullable int key, nullable int value, nullable float.
 type Row = (Option<i64>, Option<i64>, Option<f64>);
@@ -321,6 +322,224 @@ fn empty_selection_flows_through_every_operator() {
     let plan = filtered().sort(vec![asc(col("v"))]).limit(5);
     let out = execute(plan, &catalog, &ExecOptions::default()).unwrap();
     assert_eq!(out.num_rows(), 0);
+}
+
+// ---- Dictionary-encoded vs plain strings ---------------------------------
+
+/// One generated string row: nullable low-cardinality tag, nullable int.
+type SRow = (Option<String>, Option<i64>);
+
+/// Register `rows` twice under `<stem>_plain` / `<stem>_dict`: identical
+/// contents, but the dict twin's string column is dictionary-encoded. Any
+/// plan must produce identical rows on both — encoding is purely physical.
+fn register_string_pair(catalog: &MemCatalog, stem: &str, rows: &[SRow], sname: &str, vname: &str) {
+    let schema = Schema::new(vec![
+        Field::nullable(sname, DataType::Utf8),
+        Field::nullable(vname, DataType::Int64),
+    ]);
+    let svals: Vec<Value> = rows
+        .iter()
+        .map(|(s, _)| s.clone().map(Value::str).unwrap_or(Value::Null))
+        .collect();
+    let vvals: Vec<Value> = rows.iter().map(|(_, v)| value_of_int(*v)).collect();
+    let plain = Column::from_values(DataType::Utf8, &svals).expect("utf8 column");
+    let dict = plain.dict_encode().expect("utf8 columns always encode");
+    let ints = Column::from_values(DataType::Int64, &vvals).expect("int column");
+    for (suffix, scol) in [("plain", plain), ("dict", dict)] {
+        let mut table = Table::new(schema.clone());
+        if !rows.is_empty() {
+            let batch =
+                RecordBatch::try_new(schema.clone(), vec![Arc::new(scol), Arc::new(ints.clone())])
+                    .expect("columns match schema");
+            table.push_sealed_batch(batch).expect("sealed batch");
+        }
+        catalog.register(format!("{stem}_{suffix}"), table);
+    }
+}
+
+/// Run the same plan against both twins; the dict rows must match the plain
+/// rows exactly (optionally order-insensitively).
+fn twins_match(
+    catalog: &MemCatalog,
+    stem: &str,
+    context: &str,
+    sort: bool,
+    make: &dyn Fn(&str) -> LogicalPlan,
+) {
+    let run = |sfx: &str| {
+        let mut rows = execute(
+            make(&format!("{stem}_{sfx}")),
+            catalog,
+            &ExecOptions::default(),
+        )
+        .unwrap_or_else(|e| panic!("{context} on {stem}_{sfx}: {e}"))
+        .to_rows();
+        if sort {
+            rows.sort_by_key(|r| join_key(r));
+        }
+        rows
+    };
+    let plain = run("plain");
+    let dict = run("dict");
+    assert_rows_match(&dict, &plain, context);
+}
+
+/// Filters, aggregation, and top-k over a dict column vs its plain twin.
+fn check_dict_vs_plain(rows: &[SRow]) {
+    let catalog = MemCatalog::new();
+    register_string_pair(&catalog, "t", rows, "s", "v");
+    let scan = |name: &str| LogicalPlan::scan(name, &catalog).expect("table registered");
+
+    // Accept-set comparison kernels: =, <>, range, LIKE, [NOT] IN.
+    type PredFn = Box<dyn Fn() -> backbone_query::Expr>;
+    let filters: Vec<(&str, PredFn)> = vec![
+        ("s = lit", Box::new(|| col("s").eq(lit("birch")))),
+        ("s <> lit", Box::new(|| col("s").not_eq(lit("cedar")))),
+        ("s < lit", Box::new(|| col("s").lt(lit("birch")))),
+        ("s LIKE prefix", Box::new(|| col("s").like("b%"))),
+        ("s LIKE segmented", Box::new(|| col("s").like("%e%a%"))),
+        (
+            "s NOT LIKE underscore",
+            Box::new(|| col("s").not_like("_sh")),
+        ),
+        (
+            "s IN list",
+            Box::new(|| col("s").in_list(vec![lit("ash"), lit("delta"), lit("absent")])),
+        ),
+        (
+            "s NOT IN list",
+            Box::new(|| col("s").not_in_list(vec![lit("birch"), lit("cedar")])),
+        ),
+    ];
+    for (context, pred) in &filters {
+        twins_match(&catalog, "t", context, false, &|n| scan(n).filter(pred()));
+    }
+
+    // Group-by on the dict key, with string min/max riding along.
+    twins_match(&catalog, "t", "group by s", true, &|n| {
+        scan(n).aggregate(
+            vec![col("s")],
+            vec![
+                count_star().alias("n"),
+                sum(col("v")).alias("sv"),
+                min(col("s")).alias("mins"),
+                max(col("s")).alias("maxs"),
+            ],
+        )
+    });
+
+    // Top-k gathers codes and late-materializes at the drain boundary.
+    twins_match(&catalog, "t", "topk over dict", false, &|n| {
+        scan(n).sort(vec![desc(col("v")), asc(col("s"))]).limit(7)
+    });
+}
+
+/// Joins on string keys across every encoding combination: dict⋈dict (two
+/// distinct dictionaries), dict⋈plain, plain⋈dict — all must equal plain⋈plain.
+fn check_dict_join(left: &[SRow], right: &[SRow], join_type: JoinType) {
+    let catalog = MemCatalog::new();
+    register_string_pair(&catalog, "l", left, "s", "v");
+    register_string_pair(&catalog, "r", right, "rs", "rv");
+    let run = |ln: &str, rn: &str| {
+        let plan = LogicalPlan::scan(ln, &catalog).unwrap().join(
+            LogicalPlan::scan(rn, &catalog).unwrap(),
+            vec![("s", "rs")],
+            join_type,
+        );
+        let mut rows = execute(plan, &catalog, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("join {ln} x {rn}: {e}"))
+            .to_rows();
+        rows.sort_by_key(|r| join_key(r));
+        rows
+    };
+    let base = run("l_plain", "r_plain");
+    for (ln, rn) in [
+        ("l_dict", "r_dict"),
+        ("l_dict", "r_plain"),
+        ("l_plain", "r_dict"),
+    ] {
+        assert_rows_match(&run(ln, rn), &base, &format!("join {ln} x {rn}"));
+    }
+}
+
+fn tag() -> impl Strategy<Value = String> {
+    prop_oneof![Just("ash"), Just("birch"), Just("cedar"), Just("delta")].prop_map(str::to_owned)
+}
+
+fn arbitrary_srows(max_len: usize, null_weight: u32) -> impl Strategy<Value = Vec<SRow>> {
+    let cell = (maybe(null_weight, tag()), maybe(3, -50i64..50));
+    proptest::collection::vec(cell, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dict_execution_matches_plain(rows in arbitrary_srows(120, 3)) {
+        check_dict_vs_plain(&rows);
+    }
+
+    #[test]
+    fn dict_execution_matches_plain_null_heavy(rows in arbitrary_srows(80, 30)) {
+        check_dict_vs_plain(&rows);
+    }
+
+    #[test]
+    fn dict_inner_join_matches_plain(
+        left in arbitrary_srows(60, 3),
+        right in arbitrary_srows(60, 3),
+    ) {
+        check_dict_join(&left, &right, JoinType::Inner);
+    }
+
+    #[test]
+    fn dict_left_join_matches_plain(
+        left in arbitrary_srows(50, 8),
+        right in arbitrary_srows(50, 8),
+    ) {
+        check_dict_join(&left, &right, JoinType::Left);
+    }
+}
+
+#[test]
+fn all_duplicate_dict_batch_matches_plain() {
+    // One distinct entry: every accept-set collapses to a single lane answer
+    // and group-by produces exactly one (or two, with NULLs) groups.
+    let rows: Vec<SRow> = (0..100)
+        .map(|i| {
+            let s = (i % 9 != 0).then(|| "same".to_string());
+            (s, Some(i % 7))
+        })
+        .collect();
+    check_dict_vs_plain(&rows);
+    check_dict_join(&rows, &rows, JoinType::Inner);
+}
+
+#[test]
+fn empty_selection_flows_through_dict_operators() {
+    // A predicate no dictionary entry satisfies: the accept-set is all-false
+    // and downstream operators see empty selections over encoded columns.
+    let rows: Vec<SRow> = (0..64)
+        .map(|i| (Some(format!("tag-{}", i % 4)), Some(i)))
+        .collect();
+    let catalog = MemCatalog::new();
+    register_string_pair(&catalog, "t", &rows, "s", "v");
+    let filtered = |n: &str| {
+        LogicalPlan::scan(n, &catalog)
+            .unwrap()
+            .filter(col("s").eq(lit("absent")))
+    };
+    for plan in [
+        filtered("t_dict"),
+        filtered("t_dict").aggregate(vec![col("s")], vec![count_star().alias("n")]),
+        filtered("t_dict").sort(vec![asc(col("s"))]).limit(5),
+    ] {
+        let out = execute(plan, &catalog, &ExecOptions::default()).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+    twins_match(&catalog, "t", "empty selection aggregate", true, &|n| {
+        filtered(n).aggregate(vec![col("s")], vec![count_star().alias("n")])
+    });
 }
 
 #[test]

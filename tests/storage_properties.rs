@@ -1,7 +1,7 @@
 //! Property tests for the storage layer: encodings are lossless, batch
 //! operators agree with a naive row model, and zone maps never lie.
 
-use backbone_storage::compress::{BitPackedI64, DictUtf8, RleI64};
+use backbone_storage::compress::{BitPackedI64, RleI64};
 use backbone_storage::table::ZoneMap;
 use backbone_storage::{Column, DataType, Field, RecordBatch, Schema, Table, Value};
 use proptest::prelude::*;
@@ -38,9 +38,10 @@ proptest! {
 
     #[test]
     fn dict_roundtrip(values in proptest::collection::vec("[a-d]{0,3}", 0..200)) {
-        let enc = DictUtf8::encode(&values);
-        prop_assert_eq!(enc.decode().unwrap(), values.clone());
-        prop_assert!(enc.cardinality() <= values.len().max(1));
+        let plain = Column::from_strings(values.clone());
+        let dict = plain.dict_encode().unwrap();
+        prop_assert_eq!(dict.decoded().unwrap(), plain);
+        prop_assert!(dict.utf8_distinct().unwrap() <= values.len().max(1));
     }
 
     /// filter ∘ take ∘ slice agree with a naive Vec<Vec<Value>> model.
