@@ -38,9 +38,8 @@ fn bench_ablation(c: &mut Criterion) {
     ];
     for (name, rules) in sets {
         let opts = ExecOptions {
-            parallelism: 1,
             rules: Some(rules),
-            ..ExecOptions::default()
+            ..ExecOptions::serial()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, opts| {
             b.iter(|| execute(plan.clone(), &catalog, opts).unwrap());

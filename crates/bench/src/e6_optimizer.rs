@@ -48,17 +48,15 @@ pub fn run(catalog: &MemCatalog) -> Vec<E6Row> {
             plan.clone(),
             catalog,
             &ExecOptions {
-                parallelism: 1,
                 rules: None,
-                ..ExecOptions::default()
+                ..ExecOptions::serial()
             },
         );
         let mut baseline_rows = None;
         for (rules_label, rules) in rule_sets() {
             let opts = ExecOptions {
-                parallelism: 1,
                 rules: Some(rules),
-                ..ExecOptions::default()
+                ..ExecOptions::serial()
             };
             let (result, seconds) =
                 time(|| execute(plan.clone(), catalog, &opts).expect("ablation run"));

@@ -15,6 +15,12 @@ use std::collections::HashMap;
 
 /// The declarative version (source mirrored in [`DECLARATIVE_SRC`]).
 pub fn declarative(catalog: &MemCatalog, date: i64) -> Vec<(String, f64)> {
+    declarative_with(catalog, date, &ExecOptions::default())
+}
+
+/// [`declarative`] under caller-chosen execution options — the thread-scaling
+/// bench runs the same plan at several [`backbone_query::Parallelism`] rungs.
+pub fn declarative_with(catalog: &MemCatalog, date: i64, opts: &ExecOptions) -> Vec<(String, f64)> {
     let plan = LogicalPlan::scan("orders", catalog)
         .unwrap()
         .filter(col("o_orderdate").lt(lit(date)))
@@ -28,7 +34,7 @@ pub fn declarative(catalog: &MemCatalog, date: i64) -> Vec<(String, f64)> {
         )
         .sort(vec![desc(col("revenue"))])
         .limit(3);
-    let out = execute(plan, catalog, &ExecOptions::default()).unwrap();
+    let out = execute(plan, catalog, opts).unwrap();
     (0..out.num_rows())
         .map(|i| {
             (

@@ -96,3 +96,5 @@ pub use backbone_txn::wal::FsyncPolicy;
 // The engine-wide counter registry type (defined in `backbone_storage`,
 // shared by every layer).
 pub use backbone_query::Metrics;
+// The typed parallelism knob consumed by `Session::with_parallelism`.
+pub use backbone_query::Parallelism;

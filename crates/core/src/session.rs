@@ -18,7 +18,7 @@ use crate::error::Result;
 use crate::hybrid::{
     bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
 };
-use backbone_query::{ExecOptions, Expr, LogicalPlan};
+use backbone_query::{ExecOptions, Expr, LogicalPlan, Parallelism};
 use backbone_storage::{RecordBatch, Schema, Value};
 use std::sync::Arc;
 
@@ -37,9 +37,12 @@ impl<'db> Session<'db> {
         }
     }
 
-    /// Set this session's scan parallelism (consuming builder).
-    pub fn with_parallelism(mut self, parallelism: usize) -> Session<'db> {
-        self.opts.parallelism = parallelism;
+    /// Set this session's execution parallelism (consuming builder): every
+    /// statement on the session runs with it. Accepts the typed
+    /// [`Parallelism`] enum or a bare worker count for compatibility
+    /// (`0`/`1` mean serial).
+    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> Session<'db> {
+        self.opts.parallelism = parallelism.into();
         self
     }
 
@@ -280,15 +283,19 @@ mod tests {
     fn sessions_carry_independent_options() {
         let db = seeded_db();
         let serial = db.session();
-        let parallel = db.session().with_parallelism(4);
-        assert_eq!(
-            serial.options().parallelism,
-            parallel.options().parallelism - 3
-        );
-        // Both still see the same data.
+        let fixed = db.session().with_parallelism(4);
+        let auto = db.session().with_parallelism(Parallelism::Auto);
+        assert_eq!(serial.options().parallelism, Parallelism::Serial);
+        assert_eq!(fixed.options().parallelism, Parallelism::Fixed(4));
+        assert_eq!(auto.options().parallelism, Parallelism::Auto);
+        // All still see the same data.
         assert_eq!(
             serial.sql("SELECT id FROM t").unwrap().num_rows(),
-            parallel.sql("SELECT id FROM t").unwrap().num_rows(),
+            fixed.sql("SELECT id FROM t").unwrap().num_rows(),
+        );
+        assert_eq!(
+            serial.sql("SELECT id FROM t").unwrap().num_rows(),
+            auto.sql("SELECT id FROM t").unwrap().num_rows(),
         );
     }
 

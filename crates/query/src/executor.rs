@@ -9,16 +9,78 @@ use crate::planner::{create_instrumented_plan, create_physical_plan};
 use backbone_storage::metrics::Metrics;
 use backbone_storage::RecordBatch;
 
+/// How many worker threads an executing plan may use ("automatic
+/// scalability": the query text never changes, the engine soaks up the
+/// hardware).
+///
+/// The default is [`Parallelism::Serial`]: every operator runs inline on the
+/// calling thread, which is also what [`Parallelism::Auto`] degrades to on a
+/// single-core machine. `Fixed(n)` always uses exactly `n` workers — even
+/// `Fixed(1)` exercises the full parallel machinery (shared morsel source,
+/// partial states, merge), though its one worker runs inline on the caller,
+/// which is how the bench floor measures parallel overhead deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Parallelism {
+    /// Run every operator inline on the calling thread.
+    #[default]
+    Serial,
+    /// Spawn exactly this many worker threads (clamped to at least 1).
+    Fixed(usize),
+    /// Use the available cores (capped at [`MAX_AUTO_WORKERS`]); serial on a
+    /// single-core machine, where workers could only add overhead.
+    Auto,
+}
+
+/// Upper bound on worker threads chosen by [`Parallelism::Auto`].
+pub const MAX_AUTO_WORKERS: usize = 16;
+
+impl Parallelism {
+    /// Worker threads to spawn; `0` means run serially inline.
+    pub fn worker_threads(&self) -> usize {
+        match self {
+            Parallelism::Serial => 0,
+            Parallelism::Fixed(n) => (*n).max(1),
+            Parallelism::Auto => {
+                let cores = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1);
+                if cores <= 1 {
+                    0
+                } else {
+                    cores.min(MAX_AUTO_WORKERS)
+                }
+            }
+        }
+    }
+
+    /// True when execution stays on the calling thread.
+    pub fn is_serial(&self) -> bool {
+        self.worker_threads() == 0
+    }
+}
+
+/// Back-compat with the old `parallelism: usize` knob: `0` and `1` meant a
+/// serial scan, anything larger meant that many workers.
+impl From<usize> for Parallelism {
+    fn from(n: usize) -> Parallelism {
+        if n <= 1 {
+            Parallelism::Serial
+        } else {
+            Parallelism::Fixed(n)
+        }
+    }
+}
+
 /// Execution knobs.
 ///
-/// `parallelism` is the scan worker count ("automatic scalability": the query
-/// text never changes). `rules` selects optimizer rules; `None` means all.
-/// `metrics` is an optional shared registry; when set, instrumented plans
-/// accumulate engine-truth `op.<name>.*` counters into it.
+/// `parallelism` is the worker-thread policy ("automatic scalability": the
+/// query text never changes). `rules` selects optimizer rules; `None` means
+/// all. `metrics` is an optional shared registry; when set, instrumented
+/// plans accumulate engine-truth `op.<name>.*` counters into it.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
-    /// Scan worker threads (1 = serial).
-    pub parallelism: usize,
+    /// Worker-thread policy for parallel operators.
+    pub parallelism: Parallelism,
     /// Optimizer rules to apply; `None` = every rule, `Some(vec![])` = none.
     pub rules: Option<Vec<Rule>>,
     /// Shared metrics registry for instrumented execution.
@@ -30,12 +92,7 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions {
-            parallelism: 1,
-            rules: None,
-            metrics: None,
-            batch_rows: DEFAULT_BATCH_ROWS,
-        }
+        ExecOptions::serial()
     }
 }
 
@@ -44,19 +101,40 @@ impl Default for ExecOptions {
 pub const DEFAULT_BATCH_ROWS: usize = 16 * 1024;
 
 impl ExecOptions {
-    /// Default options with `n` scan workers.
-    pub fn with_parallelism(n: usize) -> ExecOptions {
+    /// The single source of truth for baseline options: serial execution,
+    /// every optimizer rule, no metrics, default batch size. `Default`,
+    /// the test helpers, and every other constructor route through here.
+    pub fn serial() -> ExecOptions {
         ExecOptions {
-            parallelism: n.max(1),
-            ..ExecOptions::default()
+            parallelism: Parallelism::Serial,
+            rules: None,
+            metrics: None,
+            batch_rows: DEFAULT_BATCH_ROWS,
         }
+    }
+
+    /// Default options with the given parallelism. Accepts the typed
+    /// [`Parallelism`] enum or, as a thin compatibility shim, the old
+    /// `usize` worker count (`ExecOptions::with_parallelism(4)`).
+    pub fn with_parallelism(p: impl Into<Parallelism>) -> ExecOptions {
+        ExecOptions {
+            parallelism: p.into(),
+            ..ExecOptions::serial()
+        }
+    }
+
+    /// These options with the given parallelism (consuming builder, the
+    /// same style as [`ExecOptions::with_metrics`]).
+    pub fn parallel(mut self, p: impl Into<Parallelism>) -> ExecOptions {
+        self.parallelism = p.into();
+        self
     }
 
     /// Default options with optimization disabled (baseline measurements).
     pub fn unoptimized() -> ExecOptions {
         ExecOptions {
             rules: Some(vec![]),
-            ..ExecOptions::default()
+            ..ExecOptions::serial()
         }
     }
 
@@ -214,6 +292,93 @@ mod tests {
             b.row(0)[1].as_float().unwrap(),
         );
         assert!((ma - mb).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallelism_usize_shim_maps_to_enum() {
+        assert_eq!(Parallelism::from(0), Parallelism::Serial);
+        assert_eq!(Parallelism::from(1), Parallelism::Serial);
+        assert_eq!(Parallelism::from(4), Parallelism::Fixed(4));
+        assert_eq!(
+            ExecOptions::with_parallelism(4).parallelism,
+            Parallelism::Fixed(4)
+        );
+        assert_eq!(
+            ExecOptions::with_parallelism(Parallelism::Auto).parallelism,
+            Parallelism::Auto
+        );
+    }
+
+    #[test]
+    fn parallelism_worker_threads() {
+        assert_eq!(Parallelism::Serial.worker_threads(), 0);
+        assert!(Parallelism::Serial.is_serial());
+        // Fixed always spawns workers, even Fixed(1) / Fixed(0).
+        assert_eq!(Parallelism::Fixed(1).worker_threads(), 1);
+        assert_eq!(Parallelism::Fixed(0).worker_threads(), 1);
+        assert!(!Parallelism::Fixed(1).is_serial());
+        // Auto never exceeds the cap and degrades to serial on one core.
+        let auto = Parallelism::Auto.worker_threads();
+        assert!(auto <= MAX_AUTO_WORKERS);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cores <= 1 {
+            assert_eq!(auto, 0, "Auto must degrade to serial on 1 vCPU");
+        } else {
+            assert!(auto >= 2);
+        }
+    }
+
+    #[test]
+    fn parallel_builder_is_consuming() {
+        let opts = ExecOptions::serial()
+            .parallel(Parallelism::Fixed(2))
+            .with_batch_rows(512);
+        assert_eq!(opts.parallelism, Parallelism::Fixed(2));
+        assert_eq!(opts.batch_rows, 512);
+    }
+
+    #[test]
+    fn fixed_one_worker_matches_serial() {
+        let cat = catalog();
+        let make_plan = || {
+            LogicalPlan::scan("big", &cat)
+                .unwrap()
+                .filter(col("big_v").modulo(lit(5i64)).eq(lit(1i64)))
+                .aggregate(
+                    vec![col("big_k")],
+                    vec![count_star().alias("n"), sum(col("big_v")).alias("s")],
+                )
+                .sort(vec![asc(col("big_k"))])
+        };
+        let a = execute(make_plan(), &cat, &ExecOptions::serial()).unwrap();
+        let b = execute(
+            make_plan(),
+            &cat,
+            &ExecOptions::with_parallelism(Parallelism::Fixed(1)),
+        )
+        .unwrap();
+        assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn explain_analyze_annotates_parallel_operators() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("big", &cat)
+            .unwrap()
+            .aggregate(
+                vec![col("big_k")],
+                vec![count_star().alias("n"), sum(col("big_v")).alias("s")],
+            )
+            .sort(vec![asc(col("big_k"))])
+            .limit(5);
+        let opts = ExecOptions::with_parallelism(Parallelism::Fixed(2));
+        let (report, result) = explain_analyze(plan, &cat, &opts).unwrap();
+        assert_eq!(result.num_rows(), 5);
+        assert!(report.contains("workers=2"), "{report}");
+        assert!(report.contains("morsels="), "{report}");
+        assert!(report.contains("merge="), "{report}");
     }
 
     #[test]

@@ -5,9 +5,10 @@
 //! threading a handle through each `eval` call would put a metrics argument
 //! on the hottest signature in the engine. Instead the executor installs the
 //! registry for the current thread before draining a plan, and encoded
-//! kernels record `op.eval.kernel.*` counters through it. Worker threads of
-//! the morsel-parallel scan do not inherit the handle (matching the existing
-//! precedent that parallel scan workers skip per-kernel timers).
+//! kernels record `op.eval.kernel.*` counters through it. Morsel-parallel
+//! worker threads (scan, aggregate, join probe, top-k) install their own
+//! handle on the same shared registry at spawn, so parallel runs report the
+//! same `op.eval.kernel.*` totals as serial ones.
 
 use backbone_storage::Metrics;
 use std::cell::RefCell;

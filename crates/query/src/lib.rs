@@ -36,7 +36,7 @@ pub mod stats;
 
 pub use catalog::{Catalog, MemCatalog};
 pub use error::QueryError;
-pub use executor::{execute, execute_plan, explain_analyze, ExecOptions};
+pub use executor::{execute, execute_plan, explain_analyze, ExecOptions, Parallelism};
 pub use expr::{avg, col, count, count_star, lit, max, min, sum, AggExpr, BinOp, Expr, UnOp};
 pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;

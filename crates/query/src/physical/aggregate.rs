@@ -7,6 +7,7 @@
 //! vector indexed by group id** so the update pass is a tight loop over one
 //! column at a time. A global aggregate (no keys) skips hashing entirely.
 
+use super::parallel::{record_worker, ParallelProfile, SharedSource};
 use super::{for_each_lane, Operator};
 use crate::error::{QueryError, Result};
 use crate::eval::eval_arc;
@@ -412,6 +413,95 @@ impl AccVec {
         Ok(())
     }
 
+    /// Fold source group `sg` of `src` (a partial state for the same
+    /// aggregate) into group `dst` of `self` — the merge phase of parallel
+    /// aggregation. Same semantics as feeding `src`'s inputs through
+    /// `update_batch`, so COUNT adds, SUM re-checks overflow, MIN/MAX keep
+    /// the better extreme, and never-seen source groups stay NULL.
+    fn merge_from(&mut self, dst: usize, src: &AccVec, sg: usize) -> Result<()> {
+        fn better<T: PartialOrd>(min: bool, x: &T, cur: &T) -> bool {
+            let ord = x.partial_cmp(cur).unwrap_or(std::cmp::Ordering::Equal);
+            if min {
+                ord == std::cmp::Ordering::Less
+            } else {
+                ord == std::cmp::Ordering::Greater
+            }
+        }
+        match (self, src) {
+            (AccVec::Count(a), AccVec::Count(b)) => a[dst] += b[sg],
+            (AccVec::SumI { sums, seen }, AccVec::SumI { sums: s2, seen: e2 }) => {
+                if e2[sg] {
+                    sums[dst] = sums[dst]
+                        .checked_add(s2[sg])
+                        .ok_or_else(|| QueryError::Arithmetic("SUM integer overflow".into()))?;
+                    seen[dst] = true;
+                }
+            }
+            (AccVec::SumF { sums, seen }, AccVec::SumF { sums: s2, seen: e2 }) => {
+                if e2[sg] {
+                    sums[dst] += s2[sg];
+                    seen[dst] = true;
+                }
+            }
+            (
+                AccVec::Avg { sums, counts },
+                AccVec::Avg {
+                    sums: s2,
+                    counts: c2,
+                },
+            ) => {
+                sums[dst] += s2[sg];
+                counts[dst] += c2[sg];
+            }
+            (
+                AccVec::MinMaxI { vals, seen, min },
+                AccVec::MinMaxI {
+                    vals: v2, seen: e2, ..
+                },
+            ) => {
+                if e2[sg] && (!seen[dst] || better(*min, &v2[sg], &vals[dst])) {
+                    vals[dst] = v2[sg];
+                    seen[dst] = true;
+                }
+            }
+            (
+                AccVec::MinMaxF { vals, seen, min },
+                AccVec::MinMaxF {
+                    vals: v2, seen: e2, ..
+                },
+            ) => {
+                if e2[sg] && (!seen[dst] || better(*min, &v2[sg], &vals[dst])) {
+                    vals[dst] = v2[sg];
+                    seen[dst] = true;
+                }
+            }
+            (
+                AccVec::MinMaxS { vals, seen, min },
+                AccVec::MinMaxS {
+                    vals: v2, seen: e2, ..
+                },
+            ) => {
+                if e2[sg] && (!seen[dst] || better(*min, &v2[sg], &vals[dst])) {
+                    vals[dst] = v2[sg].clone();
+                    seen[dst] = true;
+                }
+            }
+            (
+                AccVec::MinMaxB { vals, seen, min },
+                AccVec::MinMaxB {
+                    vals: v2, seen: e2, ..
+                },
+            ) => {
+                if e2[sg] && (!seen[dst] || better(*min, &v2[sg], &vals[dst])) {
+                    vals[dst] = v2[sg];
+                    seen[dst] = true;
+                }
+            }
+            _ => unreachable!("partial aggregate states share one spec"),
+        }
+        Ok(())
+    }
+
     /// Emit the output column across all groups.
     fn finish(self) -> Column {
         fn with_seen<T>(
@@ -443,8 +533,199 @@ impl AccVec {
     }
 }
 
+/// One grouping state: key stores + accumulators + the hash table mapping
+/// key hashes to dense group ids. Serial aggregation uses one; each parallel
+/// worker builds its own and the states merge pairwise afterwards.
+struct AggState {
+    key_stores: Vec<Column>,
+    accs: Vec<AccVec>,
+    table: GroupTable,
+    n_groups: u32,
+    hash_ns: u64,
+    update_ns: u64,
+    dict_key_rows: u64,
+    morsels: u64,
+    rows: u64,
+    // Scratch reused across batches.
+    hashes: Vec<u64>,
+    gids: Vec<u32>,
+}
+
+impl AggState {
+    fn new(key_types: &[DataType], aggs: &[AggExpr], agg_input_types: &[DataType]) -> AggState {
+        AggState {
+            key_stores: key_types.iter().map(|&dt| Column::empty(dt)).collect(),
+            accs: aggs
+                .iter()
+                .zip(agg_input_types)
+                .map(|(a, &dt)| AccVec::new(a.func, dt))
+                .collect(),
+            table: GroupTable::with_capacity(256),
+            n_groups: 0,
+            hash_ns: 0,
+            update_ns: 0,
+            dict_key_rows: 0,
+            morsels: 0,
+            rows: 0,
+            hashes: Vec::new(),
+            gids: Vec::new(),
+        }
+    }
+
+    /// Fold one input batch into this state (hash keys, assign group ids,
+    /// columnar accumulator update).
+    fn consume(&mut self, group_by: &[Expr], aggs: &[AggExpr], batch: &RecordBatch) -> Result<()> {
+        let nkeys = group_by.len();
+        let n = batch.num_rows();
+        self.morsels += 1;
+        self.rows += n as u64;
+        if n == 0 && nkeys > 0 {
+            return Ok(());
+        }
+        let sel = batch.selection();
+        let base = batch.base_rows();
+
+        let key_cols: Vec<Arc<Column>> = group_by
+            .iter()
+            .map(|g| eval_arc(g, batch))
+            .collect::<Result<_>>()?;
+        // COUNT(*) needs no input column at all.
+        let agg_cols: Vec<Option<Arc<Column>>> = aggs
+            .iter()
+            .map(|a| match a.func {
+                AggFunc::CountStar => Ok(None),
+                _ => eval_arc(&a.input, batch).map(Some),
+            })
+            .collect::<Result<_>>()?;
+
+        // Pass 1: assign a group id to every lane.
+        let t0 = Instant::now();
+        self.gids.clear();
+        self.gids.resize(n, 0);
+        if nkeys == 0 {
+            // Global aggregate: one group, no hashing.
+            if self.n_groups == 0 && n > 0 {
+                self.n_groups = 1;
+                for acc in &mut self.accs {
+                    acc.push_group();
+                }
+            }
+        } else {
+            self.hashes.clear();
+            self.hashes.resize(base, 0);
+            for kc in &key_cols {
+                kc.hash_combine(sel, &mut self.hashes);
+            }
+            if key_cols.iter().any(|kc| kc.is_dict()) {
+                self.dict_key_rows += n as u64;
+            }
+            let mut insert_err: Option<QueryError> = None;
+            let hashes = &self.hashes;
+            let gids = &mut self.gids;
+            let key_stores = &mut self.key_stores;
+            let accs = &mut self.accs;
+            let table = &mut self.table;
+            let n_groups = &mut self.n_groups;
+            for_each_lane(sel, n, |pos, base_row| {
+                if insert_err.is_some() {
+                    return;
+                }
+                let h = hashes[base_row];
+                let (gid, inserted) = table.find_or_insert(h, *n_groups, |g| {
+                    key_stores
+                        .iter()
+                        .zip(&key_cols)
+                        .all(|(store, kc)| store.eq_rows_null_eq(g as usize, kc, base_row))
+                });
+                if inserted {
+                    *n_groups += 1;
+                    for (store, kc) in key_stores.iter_mut().zip(&key_cols) {
+                        if let Err(e) = store.push_from(kc, base_row) {
+                            insert_err = Some(e.into());
+                            return;
+                        }
+                    }
+                    for acc in accs.iter_mut() {
+                        acc.push_group();
+                    }
+                }
+                gids[pos] = gid;
+            });
+            if let Some(e) = insert_err {
+                return Err(e);
+            }
+        }
+        self.hash_ns += t0.elapsed().as_nanos() as u64;
+
+        // Pass 2: columnar accumulator update, one aggregate at a time.
+        let t1 = Instant::now();
+        for (acc, col) in self.accs.iter_mut().zip(&agg_cols) {
+            acc.update_batch(&self.gids, sel, n, col.as_deref())?;
+        }
+        self.update_ns += t1.elapsed().as_nanos() as u64;
+        Ok(())
+    }
+
+    /// Merge another worker's partial state into this one. Key stores hold
+    /// decoded values, and [`Column::hash_combine`]'s hash is value-
+    /// compatible between plain and dict columns, so rehashing the stored
+    /// keys reproduces the hashes the per-worker tables were built from.
+    fn absorb(&mut self, other: &AggState, nkeys: usize) -> Result<()> {
+        self.hash_ns += other.hash_ns;
+        self.update_ns += other.update_ns;
+        self.dict_key_rows += other.dict_key_rows;
+        self.morsels += other.morsels;
+        self.rows += other.rows;
+        if other.n_groups == 0 {
+            return Ok(());
+        }
+        if nkeys == 0 {
+            if self.n_groups == 0 {
+                self.n_groups = 1;
+                for acc in &mut self.accs {
+                    acc.push_group();
+                }
+            }
+            for (acc, src) in self.accs.iter_mut().zip(&other.accs) {
+                acc.merge_from(0, src, 0)?;
+            }
+            return Ok(());
+        }
+        let src_groups = other.n_groups as usize;
+        let mut hashes = vec![0u64; src_groups];
+        for ks in &other.key_stores {
+            ks.hash_combine(None, &mut hashes);
+        }
+        for (sg, &hash) in hashes.iter().enumerate() {
+            let key_stores = &self.key_stores;
+            let others = &other.key_stores;
+            let (gid, inserted) = self.table.find_or_insert(hash, self.n_groups, |g| {
+                key_stores
+                    .iter()
+                    .zip(others)
+                    .all(|(store, o)| store.eq_rows_null_eq(g as usize, o, sg))
+            });
+            if inserted {
+                self.n_groups += 1;
+                for (store, o) in self.key_stores.iter_mut().zip(&other.key_stores) {
+                    store.push_from(o, sg)?;
+                }
+                for acc in &mut self.accs {
+                    acc.push_group();
+                }
+            }
+            for (acc, src) in self.accs.iter_mut().zip(&other.accs) {
+                acc.merge_from(gid as usize, src, sg)?;
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Hash aggregate: consumes all input, groups by key expressions, and emits
-/// one row per group (first-appearance order).
+/// one row per group (first-appearance order). With `workers >= 1`, worker
+/// threads pull batches through a shared source into per-worker states that
+/// merge — in worker order, so output order stays deterministic — at the end.
 pub struct HashAggregateExec {
     input: Box<dyn Operator>,
     group_by: Vec<Expr>,
@@ -453,6 +734,8 @@ pub struct HashAggregateExec {
     key_types: Vec<DataType>,
     agg_input_types: Vec<DataType>,
     metrics: Option<Metrics>,
+    workers: usize,
+    profile: Option<ParallelProfile>,
     done: bool,
 }
 
@@ -484,14 +767,75 @@ impl HashAggregateExec {
             key_types,
             agg_input_types,
             metrics: None,
+            workers: 0,
+            profile: None,
             done: false,
         })
     }
 
-    /// Record per-kernel timers into `metrics` under `op.aggregate.kernel.*`.
+    /// Record per-kernel timers into `metrics` under `op.aggregate.kernel.*`
+    /// (plus `op.aggregate.worker.*` when parallel).
     pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Aggregate with `n` worker threads (0 = serial, on the calling thread).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Attach shared parallel counters for EXPLAIN ANALYZE.
+    pub fn with_parallel_profile(mut self, profile: Option<ParallelProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Build per-worker partial states in parallel, then merge them serially
+    /// in worker order.
+    fn parallel_state(&mut self) -> Result<AggState> {
+        let workers = self.workers;
+        let metrics = &self.metrics;
+        let profile = &self.profile;
+        let group_by = &self.group_by;
+        let aggs = &self.aggs;
+        let key_types = &self.key_types;
+        let agg_input_types = &self.agg_input_types;
+        let source = SharedSource::new(self.input.as_mut());
+        let states: Vec<Result<AggState>> = super::pool::run_workers(workers, |w| {
+            // Per-thread handle so eval kernels report here too.
+            let _kernel = crate::kernel_metrics::install(metrics.clone());
+            let mut st = AggState::new(key_types, aggs, agg_input_types);
+            while let Some(batch) = source.next()? {
+                st.consume(group_by, aggs, &batch)?;
+            }
+            record_worker(metrics.as_ref(), "aggregate", w, st.morsels, st.rows);
+            Ok(st)
+        });
+        if let Some(p) = profile {
+            p.workers.add(workers as u64);
+        }
+        let t0 = Instant::now();
+        let mut merged: Option<AggState> = None;
+        for st in states {
+            let st = st?;
+            match &mut merged {
+                None => merged = Some(st),
+                Some(m) => m.absorb(&st, self.group_by.len())?,
+            }
+        }
+        let merge_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(p) = profile {
+            if let Some(m) = &merged {
+                p.morsels.add(m.morsels);
+            }
+            p.merge_ns.add(merge_ns);
+        }
+        if let Some(m) = &self.metrics {
+            m.counter("op.aggregate.kernel.merge_ns").add(merge_ns);
+        }
+        Ok(merged.expect("at least one worker"))
     }
 }
 
@@ -507,131 +851,42 @@ impl Operator for HashAggregateExec {
         self.done = true;
 
         let nkeys = self.group_by.len();
-        let mut key_stores: Vec<Column> =
-            self.key_types.iter().map(|&dt| Column::empty(dt)).collect();
-        let mut accs: Vec<AccVec> = self
-            .aggs
-            .iter()
-            .zip(&self.agg_input_types)
-            .map(|(a, &dt)| AccVec::new(a.func, dt))
-            .collect();
-        let mut table = GroupTable::with_capacity(256);
-        let mut n_groups: u32 = 0;
-
-        let mut hash_ns = 0u64;
-        let mut update_ns = 0u64;
-        let mut dict_key_rows = 0u64;
-        let mut hashes: Vec<u64> = Vec::new();
-        let mut gids: Vec<u32> = Vec::new();
-
-        while let Some(batch) = self.input.next()? {
-            let n = batch.num_rows();
-            if n == 0 && nkeys > 0 {
-                continue;
+        let mut state = if self.workers == 0 {
+            let mut st = AggState::new(&self.key_types, &self.aggs, &self.agg_input_types);
+            while let Some(batch) = self.input.next()? {
+                st.consume(&self.group_by, &self.aggs, &batch)?;
             }
-            let sel = batch.selection();
-            let base = batch.base_rows();
-
-            let key_cols: Vec<Arc<Column>> = self
-                .group_by
-                .iter()
-                .map(|g| eval_arc(g, &batch))
-                .collect::<Result<_>>()?;
-            // COUNT(*) needs no input column at all.
-            let agg_cols: Vec<Option<Arc<Column>>> = self
-                .aggs
-                .iter()
-                .map(|a| match a.func {
-                    AggFunc::CountStar => Ok(None),
-                    _ => eval_arc(&a.input, &batch).map(Some),
-                })
-                .collect::<Result<_>>()?;
-
-            // Pass 1: assign a group id to every lane.
-            let t0 = Instant::now();
-            gids.clear();
-            gids.resize(n, 0);
-            if nkeys == 0 {
-                // Global aggregate: one group, no hashing.
-                if n_groups == 0 && n > 0 {
-                    n_groups = 1;
-                    for acc in &mut accs {
-                        acc.push_group();
-                    }
-                }
-            } else {
-                hashes.clear();
-                hashes.resize(base, 0);
-                for kc in &key_cols {
-                    kc.hash_combine(sel, &mut hashes);
-                }
-                if key_cols.iter().any(|kc| kc.is_dict()) {
-                    dict_key_rows += n as u64;
-                }
-                let mut insert_err: Option<QueryError> = None;
-                for_each_lane(sel, n, |pos, base_row| {
-                    if insert_err.is_some() {
-                        return;
-                    }
-                    let h = hashes[base_row];
-                    let (gid, inserted) = table.find_or_insert(h, n_groups, |g| {
-                        key_stores
-                            .iter()
-                            .zip(&key_cols)
-                            .all(|(store, kc)| store.eq_rows_null_eq(g as usize, kc, base_row))
-                    });
-                    if inserted {
-                        n_groups += 1;
-                        for (store, kc) in key_stores.iter_mut().zip(&key_cols) {
-                            if let Err(e) = store.push_from(kc, base_row) {
-                                insert_err = Some(e.into());
-                                return;
-                            }
-                        }
-                        for acc in &mut accs {
-                            acc.push_group();
-                        }
-                    }
-                    gids[pos] = gid;
-                });
-                if let Some(e) = insert_err {
-                    return Err(e);
-                }
-            }
-            hash_ns += t0.elapsed().as_nanos() as u64;
-
-            // Pass 2: columnar accumulator update, one aggregate at a time.
-            let t1 = Instant::now();
-            for (acc, col) in accs.iter_mut().zip(&agg_cols) {
-                acc.update_batch(&gids, sel, n, col.as_deref())?;
-            }
-            update_ns += t1.elapsed().as_nanos() as u64;
-        }
+            st
+        } else {
+            self.parallel_state()?
+        };
 
         // Global aggregation over an empty input still yields one row
         // (COUNT(*) = 0, SUM = NULL, ...), matching SQL.
-        if n_groups == 0 && nkeys == 0 {
-            n_groups = 1;
-            for acc in &mut accs {
+        if state.n_groups == 0 && nkeys == 0 {
+            state.n_groups = 1;
+            for acc in &mut state.accs {
                 acc.push_group();
             }
         }
 
         if let Some(m) = &self.metrics {
-            m.counter("op.aggregate.kernel.hash_ns").add(hash_ns);
-            m.counter("op.aggregate.kernel.update_ns").add(update_ns);
-            m.counter("op.aggregate.kernel.groups").add(n_groups as u64);
-            if dict_key_rows > 0 {
+            m.counter("op.aggregate.kernel.hash_ns").add(state.hash_ns);
+            m.counter("op.aggregate.kernel.update_ns")
+                .add(state.update_ns);
+            m.counter("op.aggregate.kernel.groups")
+                .add(state.n_groups as u64);
+            if state.dict_key_rows > 0 {
                 m.counter("op.aggregate.kernel.dict_key_rows")
-                    .add(dict_key_rows);
+                    .add(state.dict_key_rows);
             }
         }
 
         let mut columns: Vec<Arc<Column>> = Vec::with_capacity(nkeys + self.aggs.len());
-        for store in key_stores {
+        for store in state.key_stores {
             columns.push(Arc::new(store));
         }
-        for acc in accs {
+        for acc in state.accs {
             columns.push(Arc::new(acc.finish()));
         }
         Ok(Some(RecordBatch::try_new(self.schema.clone(), columns)?))
@@ -829,6 +1084,86 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r[0] == Value::Int(1) && r[1] == Value::Int(60)));
+    }
+
+    #[test]
+    fn parallel_matches_serial_grouped() {
+        let make = || {
+            let batches: Vec<_> = (0..8)
+                .map(|b| {
+                    int_batch(&[
+                        ("g", (0..100).map(|i| (b * 7 + i) % 13).collect()),
+                        ("v", (0..100).map(|i| b * 100 + i).collect()),
+                    ])
+                })
+                .collect();
+            BatchSource::new(batches[0].schema().clone(), batches)
+        };
+        let run = |workers: usize| {
+            let mut agg = HashAggregateExec::new(
+                Box::new(make()),
+                vec![col("g")],
+                vec![
+                    sum(col("v")).alias("s"),
+                    count_star().alias("n"),
+                    min(col("v")).alias("lo"),
+                    max(col("v")).alias("hi"),
+                    avg(col("v")).alias("a"),
+                ],
+            )
+            .unwrap()
+            .with_workers(workers);
+            let mut rows = drain_one(&mut agg).unwrap().to_rows();
+            rows.sort_by_key(|r| format!("{:?}", r[0]));
+            rows
+        };
+        let serial = run(0);
+        assert_eq!(serial, run(1));
+        assert_eq!(serial, run(3));
+    }
+
+    #[test]
+    fn parallel_global_aggregate_and_profile() {
+        let batches: Vec<_> = (0..4)
+            .map(|b| int_batch(&[("v", (b * 10..b * 10 + 10).collect())]))
+            .collect();
+        let src = BatchSource::new(batches[0].schema().clone(), batches);
+        let profile = ParallelProfile::default();
+        let metrics = Metrics::new();
+        let mut agg = HashAggregateExec::new(
+            Box::new(src),
+            vec![],
+            vec![sum(col("v")).alias("s"), count_star().alias("n")],
+        )
+        .unwrap()
+        .with_workers(2)
+        .with_metrics(Some(metrics.clone()))
+        .with_parallel_profile(Some(profile.clone()));
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.row(0)[0], Value::Int((0..40).sum()));
+        assert_eq!(out.row(0)[1], Value::Int(40));
+        assert_eq!(profile.workers.get(), 2);
+        assert_eq!(profile.morsels.get(), 4);
+        let worker_morsels: u64 = (0..2)
+            .map(|w| metrics.value(&format!("op.aggregate.worker.{w}.morsels")))
+            .sum();
+        assert_eq!(worker_morsels, 4);
+    }
+
+    #[test]
+    fn parallel_empty_global_still_one_row() {
+        let batch = int_batch(&[("v", vec![])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![count_star().alias("n"), sum(col("v")).alias("s")],
+        )
+        .unwrap()
+        .with_workers(2);
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0)[0], Value::Int(0));
+        assert!(out.row(0)[1].is_null());
     }
 
     #[test]

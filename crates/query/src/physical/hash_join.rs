@@ -5,11 +5,20 @@
 //! `Value` keys), the probe side hashes its key columns over the selected
 //! lanes, and matches accumulate as `u32` row-id lists that turn into **one
 //! gather per output column** instead of per-row pushes.
+//!
+//! With `workers >= 1` the build table is split into hash partitions linked
+//! in parallel and probe batches are pulled by worker threads. Equal keys
+//! have equal hashes, so they land in one partition and one bucket whose
+//! chain lists build rows in ascending order exactly like the serial table —
+//! per-batch join output is identical either way.
 
+use super::parallel::{record_worker, ParallelProfile, SharedSource};
 use super::{drain, for_each_lane, Operator};
 use crate::error::{QueryError, Result};
 use crate::logical::JoinType;
 use backbone_storage::{Column, Metrics, RecordBatch, Schema};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -23,24 +32,165 @@ pub struct HashJoinExec {
     schema: Arc<Schema>,
     build: Option<BuildSide>,
     metrics: Option<Metrics>,
-    /// Unmatched-left output pending after the probe side is exhausted.
+    workers: usize,
+    profile: Option<ParallelProfile>,
+    pending: VecDeque<RecordBatch>,
     done_probe: bool,
+    /// Left-outer padding emitted (at most once, after the probe drains).
+    left_emitted: bool,
 }
 
 struct BuildSide {
     batch: RecordBatch,
-    /// Chained hash table: `heads[bucket]` and `next[row]` hold `row + 1`
-    /// (0 terminates). Rows with NULL keys are never linked in.
-    heads: Vec<u32>,
-    next: Vec<u32>,
+    /// Per-partition chained hash tables: `heads[part][bucket]` and
+    /// `next[row]` hold `row + 1` (0 terminates). Rows with NULL keys are
+    /// never linked in. Serial builds use a single partition, reproducing
+    /// the classic one-table layout.
+    heads: Vec<Vec<u32>>,
+    next: Vec<AtomicU32>,
     /// Per-row key hash, for cheap pre-checks before typed comparison.
     hashes: Vec<u64>,
     bucket_mask: usize,
-    matched: Vec<bool>,
+    /// Hash → partition: top `part_bits` bits, independent of the low bits
+    /// that pick the bucket.
+    part_bits: u32,
+    matched: Vec<AtomicBool>,
     /// Probe-side key column ordinals.
     probe_keys: Vec<usize>,
     /// Build-side key column ordinals.
     build_keys: Vec<usize>,
+}
+
+impl BuildSide {
+    #[inline]
+    fn partition(&self, hash: u64) -> usize {
+        if self.part_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - self.part_bits)) as usize
+        }
+    }
+}
+
+/// Per-batch probe counters, folded into the metrics registry by the caller.
+#[derive(Default)]
+struct ProbeStats {
+    probe_ns: u64,
+    gather_ns: u64,
+    out_rows: u64,
+    dict_shared_rows: u64,
+    dict_mixed: u64,
+}
+
+impl ProbeStats {
+    fn merge(&mut self, other: &ProbeStats) {
+        self.probe_ns += other.probe_ns;
+        self.gather_ns += other.gather_ns;
+        self.out_rows += other.out_rows;
+        self.dict_shared_rows += other.dict_shared_rows;
+        self.dict_mixed += other.dict_mixed;
+    }
+
+    fn record(&self, metrics: &Option<Metrics>) {
+        if let Some(m) = metrics {
+            m.counter("op.hash_join.kernel.probe_ns").add(self.probe_ns);
+            if self.gather_ns > 0 {
+                m.counter("op.hash_join.kernel.gather_ns")
+                    .add(self.gather_ns);
+            }
+            if self.out_rows > 0 {
+                m.counter("op.hash_join.kernel.out_rows").add(self.out_rows);
+            }
+            if self.dict_shared_rows > 0 {
+                m.counter("op.hash_join.kernel.dict_code_probe_rows")
+                    .add(self.dict_shared_rows);
+            }
+            if self.dict_mixed > 0 {
+                m.counter("op.hash_join.kernel.dict_fallback")
+                    .add(self.dict_mixed);
+            }
+        }
+    }
+}
+
+/// Probe one batch against the build table. Takes `&BuildSide` (match flags
+/// are atomic) so parallel workers can probe concurrently.
+fn probe_batch(
+    build: &BuildSide,
+    probe: &RecordBatch,
+    schema: &Arc<Schema>,
+) -> Result<(Option<RecordBatch>, ProbeStats)> {
+    let mut stats = ProbeStats::default();
+    let t0 = Instant::now();
+    let sel = probe.selection();
+    let n = probe.num_rows();
+    let base = probe.base_rows();
+    let probe_cols: Vec<&Arc<Column>> = build.probe_keys.iter().map(|&c| probe.column(c)).collect();
+
+    // Column-wise probe hashing over the selected lanes.
+    let mut hashes = vec![0u64; base];
+    for pc in &probe_cols {
+        pc.hash_combine(sel, &mut hashes);
+    }
+    // Classify key encodings once per batch: a shared dictionary means
+    // `eq_rows_null_eq` verifies candidates by u32 code compare; any other
+    // dict pairing falls back to per-row string comparison and must be
+    // visible in the counters.
+    for (&bc, pc) in build.build_keys.iter().zip(&probe_cols) {
+        match (build.batch.column(bc).dict_parts(), pc.dict_parts()) {
+            (Some((bd, _, _)), Some((pd, _, _))) if Arc::ptr_eq(bd, pd) => {
+                stats.dict_shared_rows += n as u64;
+            }
+            (None, None) => {}
+            _ => stats.dict_mixed += 1,
+        }
+    }
+
+    // Row-id match lists: one (build_row, probe_base_row) pair per hit.
+    let mut left_rows: Vec<u32> = Vec::new();
+    let mut right_rows: Vec<u32> = Vec::new();
+    for_each_lane(sel, n, |_, base_row| {
+        if probe_cols.iter().any(|pc| pc.is_null(base_row)) {
+            return;
+        }
+        let h = hashes[base_row];
+        let heads = &build.heads[build.partition(h)];
+        let mut cand = heads[(h as usize) & build.bucket_mask];
+        while cand != 0 {
+            let r = (cand - 1) as usize;
+            if build.hashes[r] == h
+                && build
+                    .build_keys
+                    .iter()
+                    .zip(&probe_cols)
+                    .all(|(&bc, pc)| build.batch.column(bc).eq_rows_null_eq(r, pc, base_row))
+            {
+                build.matched[r].store(true, Ordering::Relaxed);
+                left_rows.push(r as u32);
+                right_rows.push(base_row as u32);
+            }
+            cand = build.next[r].load(Ordering::Relaxed);
+        }
+    });
+    stats.probe_ns = t0.elapsed().as_nanos() as u64;
+
+    if left_rows.is_empty() {
+        return Ok((None, stats));
+    }
+
+    // One gather per output column.
+    let t1 = Instant::now();
+    let mut cols: Vec<Arc<Column>> =
+        Vec::with_capacity(build.batch.num_columns() + probe.num_columns());
+    for c in build.batch.columns() {
+        cols.push(Arc::new(c.gather(&left_rows)));
+    }
+    for c in probe.columns() {
+        cols.push(Arc::new(c.gather(&right_rows)));
+    }
+    stats.gather_ns = t1.elapsed().as_nanos() as u64;
+    stats.out_rows = left_rows.len() as u64;
+    Ok((Some(RecordBatch::try_new(schema.clone(), cols)?), stats))
 }
 
 impl HashJoinExec {
@@ -88,13 +238,30 @@ impl HashJoinExec {
             schema,
             build: None,
             metrics: None,
+            workers: 0,
+            profile: None,
+            pending: VecDeque::new(),
             done_probe: false,
+            left_emitted: false,
         })
     }
 
-    /// Record per-kernel timers into `metrics` under `op.hash_join.kernel.*`.
+    /// Record per-kernel timers into `metrics` under `op.hash_join.kernel.*`
+    /// (plus `op.hash_join.worker.*` when parallel).
     pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
         self.metrics = metrics;
+        self
+    }
+
+    /// Join with `n` worker threads (0 = serial, on the calling thread).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Attach shared parallel counters for EXPLAIN ANALYZE.
+    pub fn with_parallel_profile(mut self, profile: Option<ParallelProfile>) -> Self {
+        self.profile = profile;
         self
     }
 
@@ -130,26 +297,74 @@ impl HashJoinExec {
         for &c in &build_keys {
             batch.column(c).hash_combine(None, &mut hashes);
         }
-        let buckets = (rows.max(8) * 2).next_power_of_two();
+        // Partition by the top hash bits so the low bits that pick a bucket
+        // stay independent. Serial builds use one partition — the classic
+        // single-table layout.
+        let npart = if self.workers >= 2 {
+            self.workers.next_power_of_two().min(64)
+        } else {
+            1
+        };
+        let part_bits = npart.trailing_zeros();
+        let buckets = ((rows / npart).max(8) * 2).next_power_of_two();
         let bucket_mask = buckets - 1;
-        let mut heads = vec![0u32; buckets];
-        let mut next = vec![0u32; rows];
-        // Insert in reverse so each chain lists build rows in ascending
-        // order, matching the map-based implementation's match order.
-        for row in (0..rows).rev() {
+        // One pass assigning linkable rows to partitions, in ascending row
+        // order so reverse-linking below leaves every chain ascending.
+        let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); npart];
+        for (row, &hash) in hashes.iter().enumerate() {
             // SQL join semantics: NULL keys never match — leave unlinked.
             if build_keys.iter().any(|&c| batch.column(c).is_null(row)) {
                 continue;
             }
-            let b = (hashes[row] as usize) & bucket_mask;
-            next[row] = heads[b];
-            heads[b] = row as u32 + 1;
+            let part = if part_bits == 0 {
+                0
+            } else {
+                (hash >> (64 - part_bits)) as usize
+            };
+            part_rows[part].push(row as u32);
         }
+
+        let next: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
+        let link = |rows_in_part: &[u32]| -> Vec<u32> {
+            let mut heads = vec![0u32; buckets];
+            // Insert in reverse so each chain lists build rows in ascending
+            // order, matching the map-based implementation's match order.
+            for &row in rows_in_part.iter().rev() {
+                let b = (hashes[row as usize] as usize) & bucket_mask;
+                next[row as usize].store(heads[b], Ordering::Relaxed);
+                heads[b] = row + 1;
+            }
+            heads
+        };
+        let heads: Vec<Vec<u32>> = if npart == 1 {
+            vec![link(&part_rows[0])]
+        } else {
+            // Workers claim partitions off a shared counter; each row is in
+            // exactly one partition, so `next` writes never overlap.
+            let cursor = AtomicUsize::new(0);
+            let mut heads: Vec<Vec<u32>> = (0..npart).map(|_| Vec::new()).collect();
+            let slots: Vec<std::sync::Mutex<&mut Vec<u32>>> =
+                heads.iter_mut().map(std::sync::Mutex::new).collect();
+            super::pool::run_workers(self.workers.min(npart), |_| loop {
+                let p = cursor.fetch_add(1, Ordering::Relaxed);
+                if p >= part_rows.len() {
+                    break;
+                }
+                let linked = link(&part_rows[p]);
+                **slots[p].lock().expect("partition slot") = linked;
+            });
+            drop(slots);
+            heads
+        };
 
         if let Some(m) = &self.metrics {
             m.counter("op.hash_join.kernel.build_ns")
                 .add(t0.elapsed().as_nanos() as u64);
             m.counter("op.hash_join.kernel.build_rows").add(rows as u64);
+            if npart > 1 {
+                m.counter("op.hash_join.kernel.build_partitions")
+                    .add(npart as u64);
+            }
             if decode_fallbacks > 0 {
                 m.counter("op.hash_join.kernel.dict_fallback")
                     .add(decode_fallbacks);
@@ -161,7 +376,8 @@ impl HashJoinExec {
             next,
             hashes,
             bucket_mask,
-            matched: vec![false; rows],
+            part_bits,
+            matched: (0..rows).map(|_| AtomicBool::new(false)).collect(),
             probe_keys: self
                 .on
                 .iter()
@@ -172,13 +388,55 @@ impl HashJoinExec {
         Ok(())
     }
 
+    /// Drain the whole probe side with worker threads, queueing output
+    /// batches in worker order.
+    fn parallel_probe(&mut self) -> Result<()> {
+        let workers = self.workers.max(1);
+        let build = self.build.as_ref().expect("built before probe");
+        let schema = &self.schema;
+        let metrics = &self.metrics;
+        let source = SharedSource::new(self.right.as_mut());
+        let results: Vec<Result<(Vec<RecordBatch>, ProbeStats, u64)>> =
+            super::pool::run_workers(workers, |w| {
+                let _kernel = crate::kernel_metrics::install(metrics.clone());
+                let mut out = Vec::new();
+                let mut stats = ProbeStats::default();
+                let mut morsels = 0u64;
+                let mut rows = 0u64;
+                while let Some(probe) = source.next()? {
+                    morsels += 1;
+                    rows += probe.num_rows() as u64;
+                    let (batch, st) = probe_batch(build, &probe, schema)?;
+                    stats.merge(&st);
+                    out.extend(batch);
+                }
+                record_worker(metrics.as_ref(), "hash_join", w, morsels, rows);
+                Ok((out, stats, morsels))
+            });
+        if let Some(p) = &self.profile {
+            p.workers.add(workers as u64);
+        }
+        let mut stats = ProbeStats::default();
+        for r in results {
+            let (batches, st, morsels) = r?;
+            self.pending.extend(batches);
+            stats.merge(&st);
+            if let Some(p) = &self.profile {
+                p.morsels.add(morsels);
+            }
+        }
+        stats.record(&self.metrics);
+        self.done_probe = true;
+        Ok(())
+    }
+
     fn emit_unmatched_left(&mut self) -> Result<Option<RecordBatch>> {
         let build = self.build.as_ref().expect("built before probe finished");
         let unmatched: Vec<u32> = build
             .matched
             .iter()
             .enumerate()
-            .filter_map(|(i, &m)| (!m).then_some(i as u32))
+            .filter_map(|(i, m)| (!m.load(Ordering::Relaxed)).then_some(i as u32))
             .collect();
         if unmatched.is_empty() {
             return Ok(None);
@@ -206,108 +464,30 @@ impl Operator for HashJoinExec {
     fn next(&mut self) -> Result<Option<RecordBatch>> {
         self.ensure_built()?;
         loop {
-            if self.done_probe {
-                return Ok(None);
+            if let Some(b) = self.pending.pop_front() {
+                return Ok(Some(b));
             }
-            let Some(probe) = self.right.next()? else {
-                self.done_probe = true;
-                if self.join_type == JoinType::Left {
+            if self.done_probe {
+                if self.join_type == JoinType::Left && !self.left_emitted {
+                    self.left_emitted = true;
                     return self.emit_unmatched_left();
                 }
                 return Ok(None);
-            };
-            let build = self.build.as_mut().expect("built above");
-
-            let t0 = Instant::now();
-            let sel = probe.selection();
-            let n = probe.num_rows();
-            let base = probe.base_rows();
-            let probe_cols: Vec<&Arc<Column>> =
-                build.probe_keys.iter().map(|&c| probe.column(c)).collect();
-
-            // Column-wise probe hashing over the selected lanes.
-            let mut hashes = vec![0u64; base];
-            for pc in &probe_cols {
-                pc.hash_combine(sel, &mut hashes);
             }
-            // Classify key encodings once per batch: a shared dictionary
-            // means `eq_rows_null_eq` verifies candidates by u32 code
-            // compare; any other dict pairing falls back to per-row string
-            // comparison and must be visible in the counters.
-            let mut dict_shared_rows = 0u64;
-            let mut dict_mixed = 0u64;
-            for (&bc, pc) in build.build_keys.iter().zip(&probe_cols) {
-                match (build.batch.column(bc).dict_parts(), pc.dict_parts()) {
-                    (Some((bd, _, _)), Some((pd, _, _))) if Arc::ptr_eq(bd, pd) => {
-                        dict_shared_rows += n as u64;
-                    }
-                    (None, None) => {}
-                    _ => dict_mixed += 1,
-                }
-            }
-
-            // Row-id match lists: one (build_row, probe_base_row) pair per hit.
-            let mut left_rows: Vec<u32> = Vec::new();
-            let mut right_rows: Vec<u32> = Vec::new();
-            for_each_lane(sel, n, |_, base_row| {
-                if probe_cols.iter().any(|pc| pc.is_null(base_row)) {
-                    return;
-                }
-                let h = hashes[base_row];
-                let mut cand = build.heads[(h as usize) & build.bucket_mask];
-                while cand != 0 {
-                    let r = (cand - 1) as usize;
-                    if build.hashes[r] == h
-                        && build.build_keys.iter().zip(&probe_cols).all(|(&bc, pc)| {
-                            build.batch.column(bc).eq_rows_null_eq(r, pc, base_row)
-                        })
-                    {
-                        build.matched[r] = true;
-                        left_rows.push(r as u32);
-                        right_rows.push(base_row as u32);
-                    }
-                    cand = build.next[r];
-                }
-            });
-            let probe_ns = t0.elapsed().as_nanos() as u64;
-
-            if left_rows.is_empty() {
-                if let Some(m) = &self.metrics {
-                    m.counter("op.hash_join.kernel.probe_ns").add(probe_ns);
-                    if dict_mixed > 0 {
-                        m.counter("op.hash_join.kernel.dict_fallback")
-                            .add(dict_mixed);
-                    }
-                }
+            if self.workers >= 1 {
+                self.parallel_probe()?;
                 continue;
             }
-
-            // One gather per output column.
-            let t1 = Instant::now();
-            let mut cols: Vec<Arc<Column>> =
-                Vec::with_capacity(build.batch.num_columns() + probe.num_columns());
-            for c in build.batch.columns() {
-                cols.push(Arc::new(c.gather(&left_rows)));
+            let Some(probe) = self.right.next()? else {
+                self.done_probe = true;
+                continue;
+            };
+            let build = self.build.as_ref().expect("built above");
+            let (out, stats) = probe_batch(build, &probe, &self.schema)?;
+            stats.record(&self.metrics);
+            if let Some(b) = out {
+                return Ok(Some(b));
             }
-            for c in probe.columns() {
-                cols.push(Arc::new(c.gather(&right_rows)));
-            }
-            if let Some(m) = &self.metrics {
-                m.counter("op.hash_join.kernel.probe_ns").add(probe_ns);
-                m.counter("op.hash_join.kernel.gather_ns")
-                    .add(t1.elapsed().as_nanos() as u64);
-                m.counter("op.hash_join.kernel.out_rows")
-                    .add(left_rows.len() as u64);
-                if dict_shared_rows > 0 {
-                    m.counter("op.hash_join.kernel.dict_code_probe_rows")
-                        .add(dict_shared_rows);
-                }
-                if dict_mixed > 0 {
-                    m.counter("op.hash_join.kernel.dict_fallback")
-                        .add(dict_mixed);
-                }
-            }
-            return Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?));
         }
     }
 
@@ -480,5 +660,90 @@ mod tests {
             JoinType::Inner,
         )
         .is_err());
+    }
+
+    /// Sorted row images for order-insensitive comparison.
+    fn sorted_rows(b: &RecordBatch) -> Vec<String> {
+        let mut rows: Vec<String> = b.to_rows().iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn parallel_inner_join_matches_serial() {
+        let make = |workers: usize| {
+            let lb = int_batch(&[
+                ("id", (0..200).map(|i| i % 37).collect()),
+                ("lv", (0..200).collect()),
+            ]);
+            let rbs: Vec<_> = (0..6)
+                .map(|b| {
+                    int_batch(&[
+                        ("rid", (0..50).map(|i| (b * 11 + i) % 41).collect()),
+                        ("rv", (0..50).map(|i| b * 50 + i).collect()),
+                    ])
+                })
+                .collect();
+            HashJoinExec::new(
+                Box::new(BatchSource::single(lb)),
+                Box::new(BatchSource::new(rbs[0].schema().clone(), rbs)),
+                vec![("id".to_string(), "rid".to_string())],
+                JoinType::Inner,
+            )
+            .unwrap()
+            .with_workers(workers)
+        };
+        let serial = sorted_rows(&drain_one(&mut make(0)).unwrap());
+        assert_eq!(serial, sorted_rows(&drain_one(&mut make(1)).unwrap()));
+        assert_eq!(serial, sorted_rows(&drain_one(&mut make(4)).unwrap()));
+    }
+
+    #[test]
+    fn parallel_left_join_matches_serial() {
+        let make = |workers: usize| {
+            let lb = int_batch(&[("id", (0..60).collect()), ("lv", (100..160).collect())]);
+            let rb = int_batch(&[
+                ("rid", (0..30).map(|i| i * 2).collect()),
+                ("rv", (0..30).collect()),
+            ]);
+            HashJoinExec::new(
+                Box::new(BatchSource::single(lb)),
+                Box::new(BatchSource::single(rb)),
+                vec![("id".to_string(), "rid".to_string())],
+                JoinType::Left,
+            )
+            .unwrap()
+            .with_workers(workers)
+        };
+        let serial = sorted_rows(&drain_one(&mut make(0)).unwrap());
+        assert_eq!(serial, sorted_rows(&drain_one(&mut make(3)).unwrap()));
+    }
+
+    #[test]
+    fn parallel_join_records_profile() {
+        let profile = ParallelProfile::default();
+        let metrics = Metrics::new();
+        let lb = int_batch(&[("id", vec![1, 2, 3])]);
+        let rbs: Vec<_> = (0..3)
+            .map(|b| int_batch(&[("rid", vec![b, b + 1])]))
+            .collect();
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::single(lb)),
+            Box::new(BatchSource::new(rbs[0].schema().clone(), rbs)),
+            vec![("id".to_string(), "rid".to_string())],
+            JoinType::Inner,
+        )
+        .unwrap()
+        .with_workers(2)
+        .with_metrics(Some(metrics.clone()))
+        .with_parallel_profile(Some(profile.clone()));
+        drain_one(&mut j).unwrap();
+        assert_eq!(profile.workers.get(), 2);
+        assert_eq!(profile.morsels.get(), 3);
+        assert_eq!(metrics.value("op.hash_join.kernel.build_partitions"), 2);
+        let worker_morsels: u64 = (0..2)
+            .map(|w| metrics.value(&format!("op.hash_join.worker.{w}.morsels")))
+            .sum();
+        assert_eq!(worker_morsels, 3);
     }
 }

@@ -10,6 +10,8 @@ mod filter;
 mod hash_join;
 mod limit;
 mod nl_join;
+mod parallel;
+mod pool;
 mod project;
 mod scan;
 mod sort;
@@ -20,6 +22,7 @@ pub use filter::FilterExec;
 pub use hash_join::HashJoinExec;
 pub use limit::LimitExec;
 pub use nl_join::NestedLoopJoinExec;
+pub use parallel::ParallelProfile;
 pub use project::ProjectExec;
 pub use scan::TableScanExec;
 pub use sort::SortExec;

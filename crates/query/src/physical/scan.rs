@@ -1,6 +1,8 @@
 //! Table scan with zone-map pruning, scan-time filtering, projection, and
 //! morsel-style parallelism.
 
+use super::parallel::{record_worker, ParallelProfile, StealQueues};
+use super::pool::{spawn_detached, PoolHandle};
 use super::Operator;
 use crate::error::Result;
 use crate::eval::eval_predicate;
@@ -23,9 +25,9 @@ pub struct ScanStats {
 
 /// Scans a table's row groups, skipping groups whose zone maps refute a
 /// pushed-down filter, evaluating remaining filters per batch, and projecting
-/// early. With `parallelism > 1` row groups are processed by worker threads
-/// (morsel-driven) with no change to semantics — the paper's "automatic
-/// scalability" principle.
+/// early. With `workers >= 1` row groups become morsels on per-worker
+/// work-stealing queues processed by that many threads, with no change to
+/// semantics — the paper's "automatic scalability" principle.
 pub struct TableScanExec {
     schema: Arc<Schema>,
     mode: Mode,
@@ -36,6 +38,7 @@ pub struct TableScanExec {
     batch_rows: usize,
     pending: VecDeque<RecordBatch>,
     metrics: Option<Metrics>,
+    profile: Option<ParallelProfile>,
 }
 
 enum Mode {
@@ -45,10 +48,18 @@ enum Mode {
         projection: Option<Vec<usize>>,
         group_idx: usize,
     },
-    Parallel {
+    /// Parallel scan not yet started: workers spawn lazily on the first
+    /// `next()` so the builder methods (`with_metrics`, profile) apply.
+    Pending {
+        table: Arc<Table>,
+        filters: Vec<Expr>,
+        projection: Option<Vec<usize>>,
+        workers: usize,
+    },
+    Running {
         rx: Receiver<Result<RecordBatch>>,
         /// Keep handles so worker panics surface at join.
-        handles: Vec<std::thread::JoinHandle<()>>,
+        handles: Vec<PoolHandle>,
     },
 }
 
@@ -56,13 +67,13 @@ impl TableScanExec {
     /// Build a scan.
     ///
     /// `projection` lists output column names (in order); `filters` are
-    /// conjunctive predicates applied during the scan; `parallelism` is the
-    /// number of worker threads (1 = serial).
+    /// conjunctive predicates applied during the scan; `workers` is the
+    /// number of worker threads (0 or 1 = serial, on the calling thread).
     pub fn new(
         table: Arc<Table>,
         projection: Option<Vec<String>>,
         filters: Vec<Expr>,
-        parallelism: usize,
+        workers: usize,
     ) -> Result<TableScanExec> {
         let table_schema = table.schema().clone();
         let proj_indices: Option<Vec<usize>> = match &projection {
@@ -79,62 +90,29 @@ impl TableScanExec {
             None => table_schema.clone(),
             Some(idx) => table_schema.project(idx),
         };
-
-        if parallelism <= 1 {
-            return Ok(TableScanExec {
-                schema,
-                mode: Mode::Serial {
-                    table,
-                    filters,
-                    projection: proj_indices,
-                    group_idx: 0,
-                },
-                stats: ScanStats::default(),
-                batch_rows: 0,
-                pending: VecDeque::new(),
-                metrics: None,
-            });
-        }
-
-        // Morsel-parallel: workers pull group indices off a shared counter.
-        let (tx, rx) = bounded(parallelism * 2);
-        let n_groups = table.groups().count();
-        let next_group = Arc::new(std::sync::atomic::AtomicUsize::new(0));
-        let mut handles = Vec::with_capacity(parallelism);
-        for _ in 0..parallelism {
-            let table = table.clone();
-            let filters = filters.clone();
-            let projection = proj_indices.clone();
-            let tx = tx.clone();
-            let next_group = next_group.clone();
-            handles.push(std::thread::spawn(move || loop {
-                let g = next_group.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if g >= n_groups {
-                    break;
-                }
-                let group = table.groups().nth(g).expect("group index in range");
-                match process_group(group.batch(), group_zones(&table, g), &filters, &projection) {
-                    Ok(Some(batch)) => {
-                        if tx.send(Ok(batch)).is_err() {
-                            break;
-                        }
-                    }
-                    Ok(None) => {}
-                    Err(e) => {
-                        let _ = tx.send(Err(e));
-                        break;
-                    }
-                }
-            }));
-        }
-        drop(tx);
+        let mode = if workers <= 1 {
+            Mode::Serial {
+                table,
+                filters,
+                projection: proj_indices,
+                group_idx: 0,
+            }
+        } else {
+            Mode::Pending {
+                table,
+                filters,
+                projection: proj_indices,
+                workers,
+            }
+        };
         Ok(TableScanExec {
             schema,
-            mode: Mode::Parallel { rx, handles },
+            mode,
             stats: ScanStats::default(),
             batch_rows: 0,
             pending: VecDeque::new(),
             metrics: None,
+            profile: None,
         })
     }
 
@@ -144,11 +122,92 @@ impl TableScanExec {
         self
     }
 
-    /// Record scan-filter kernel time into `metrics` under `op.scan.kernel.*`
-    /// (serial mode; parallel workers do not report timers).
+    /// Record scan kernel time (`op.scan.kernel.*`) and, in parallel mode,
+    /// per-worker morsel/row/steal counters (`op.scan.worker.*`,
+    /// `op.scan.steals`) into `metrics`.
     pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
         self.metrics = metrics;
         self
+    }
+
+    /// Attach shared parallel counters for EXPLAIN ANALYZE.
+    pub fn with_parallel_profile(mut self, profile: Option<ParallelProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Morsel-parallel start: row groups go onto per-worker work-stealing
+    /// queues; workers prune, filter, and project their morsels and feed
+    /// surviving batches through a bounded channel.
+    fn start(&mut self) {
+        let placeholder = Mode::Running {
+            rx: bounded(0).1,
+            handles: Vec::new(),
+        };
+        let Mode::Pending {
+            table,
+            filters,
+            projection,
+            workers,
+        } = std::mem::replace(&mut self.mode, placeholder)
+        else {
+            unreachable!("start is only called on a pending parallel scan");
+        };
+        let (tx, rx) = bounded(workers * 2);
+        let n_groups = table.groups().count();
+        let queues = Arc::new(StealQueues::split(n_groups, workers));
+        if let Some(p) = &self.profile {
+            p.workers.add(workers as u64);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let table = table.clone();
+            let filters = filters.clone();
+            let projection = projection.clone();
+            let tx = tx.clone();
+            let queues = queues.clone();
+            let metrics = self.metrics.clone();
+            let profile = self.profile.clone();
+            handles.push(spawn_detached(move || {
+                // Workers record eval-kernel counters through their own
+                // thread-local handle; all counters are shared atomics.
+                let _kernel = crate::kernel_metrics::install(metrics.clone());
+                let (mut morsels, mut rows, mut steals) = (0u64, 0u64, 0u64);
+                while let Some((g, stolen)) = queues.pop(w) {
+                    morsels += 1;
+                    steals += u64::from(stolen);
+                    let group = table.groups().nth(g).expect("group index in range");
+                    match process_group(
+                        group.batch(),
+                        group_zones(&table, g),
+                        &filters,
+                        &projection,
+                    ) {
+                        Ok(Some(batch)) => {
+                            rows += batch.num_rows() as u64;
+                            if tx.send(Ok(batch)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => {}
+                        Err(e) => {
+                            let _ = tx.send(Err(e));
+                            break;
+                        }
+                    }
+                }
+                record_worker(metrics.as_ref(), "scan", w, morsels, rows);
+                if let Some(m) = &metrics {
+                    m.counter("op.scan.steals").add(steals);
+                }
+                if let Some(p) = &profile {
+                    p.morsels.add(morsels);
+                    p.steals.add(steals);
+                }
+            }));
+        }
+        drop(tx);
+        self.mode = Mode::Running { rx, handles };
     }
 
     /// Split `batch` per `batch_rows`, queueing the tail; returns the head.
@@ -262,6 +321,9 @@ impl Operator for TableScanExec {
         if let Some(b) = self.pending.pop_front() {
             return Ok(Some(b));
         }
+        if matches!(self.mode, Mode::Pending { .. }) {
+            self.start();
+        }
         let produced = match &mut self.mode {
             Mode::Serial {
                 table,
@@ -299,7 +361,8 @@ impl Operator for TableScanExec {
                 }
                 found
             }
-            Mode::Parallel { rx, handles } => match rx.recv() {
+            Mode::Pending { .. } => unreachable!("pending scan started above"),
+            Mode::Running { rx, handles } => match rx.recv() {
                 Ok(item) => Some(item?),
                 Err(_) => {
                     for h in handles.drain(..) {

@@ -1,13 +1,93 @@
 //! Top-K operator: `ORDER BY ... LIMIT k` without a full sort.
 
+use super::parallel::{record_worker, ParallelProfile, SharedSource};
 use super::Operator;
 use crate::error::Result;
 use crate::eval::eval_arc;
 use crate::logical::SortKey;
 use crate::physical::sort::cmp_rows;
-use backbone_storage::{Column, RecordBatch, Schema, Value};
+use backbone_storage::{Column, Metrics, RecordBatch, Schema, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Compare two candidate key tuples under per-key sort direction.
+fn cmp_keys(descending: &[bool], a: &[Value], b: &[Value]) -> Ordering {
+    for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+        let ord = va.sql_cmp(vb);
+        let ord = if descending[i] { ord.reverse() } else { ord };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// One selection buffer: candidates are (key values, kept-batch index, base
+/// row). Rows stay in their source batches until the final gather (late
+/// materialization), so evicted candidates never cost a row copy. Serial
+/// top-k uses one; each parallel worker keeps its own and the buffers merge
+/// — in worker order, keeping the merge deterministic — at drain.
+#[derive(Default)]
+struct TopKState {
+    kept: Vec<RecordBatch>,
+    buffer: Vec<(Vec<Value>, usize, usize)>,
+    morsels: u64,
+    rows: u64,
+}
+
+impl TopKState {
+    /// Fold one batch: pre-rank its lanes, take the local top-k, merge into
+    /// the buffer, re-truncate to k. Selection cost is O(n log(buffer)) and
+    /// memory O(k + retained batches).
+    fn consume(
+        &mut self,
+        keys: &[SortKey],
+        descending: &[bool],
+        k: usize,
+        batch: RecordBatch,
+    ) -> Result<()> {
+        self.morsels += 1;
+        self.rows += batch.num_rows() as u64;
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let key_cols: Vec<(Arc<Column>, bool)> = keys
+            .iter()
+            .map(|key| Ok((eval_arc(&key.expr, &batch)?, key.descending)))
+            .collect::<Result<_>>()?;
+        // Key columns are base-length, so sort base indices.
+        let mut local: Vec<usize> = (0..batch.num_rows()).map(|i| batch.base_index(i)).collect();
+        local.sort_by(|&a, &b| cmp_rows(&key_cols, a, b));
+        local.truncate(k);
+        let bi = self.kept.len();
+        for base_row in local {
+            let key: Vec<Value> = key_cols.iter().map(|(c, _)| c.value(base_row)).collect();
+            self.buffer.push((key, bi, base_row));
+        }
+        self.kept.push(batch);
+        self.buffer.sort_by(|a, b| cmp_keys(descending, &a.0, &b.0));
+        self.buffer.truncate(k);
+        Ok(())
+    }
+
+    /// Append another worker's survivors (batch indices re-based), then
+    /// re-select the global top-k.
+    fn absorb(&mut self, other: TopKState, descending: &[bool], k: usize) {
+        self.morsels += other.morsels;
+        self.rows += other.rows;
+        let offset = self.kept.len();
+        self.kept.extend(other.kept);
+        self.buffer.extend(
+            other
+                .buffer
+                .into_iter()
+                .map(|(key, bi, row)| (key, bi + offset, row)),
+        );
+        self.buffer.sort_by(|a, b| cmp_keys(descending, &a.0, &b.0));
+        self.buffer.truncate(k);
+    }
+}
 
 /// Keeps only the best `k` rows under the sort keys, using a bounded
 /// selection buffer instead of sorting the whole input. The planner fuses
@@ -17,6 +97,9 @@ pub struct TopKExec {
     keys: Vec<SortKey>,
     k: usize,
     schema: Arc<Schema>,
+    metrics: Option<Metrics>,
+    workers: usize,
+    profile: Option<ParallelProfile>,
     done: bool,
 }
 
@@ -29,8 +112,71 @@ impl TopKExec {
             keys,
             k,
             schema,
+            metrics: None,
+            workers: 0,
+            profile: None,
             done: false,
         }
+    }
+
+    /// Record merge-phase time into `metrics` under `op.topk.kernel.*`
+    /// (plus `op.topk.worker.*` when parallel).
+    pub fn with_metrics(mut self, metrics: Option<Metrics>) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Select with `n` worker threads (0 = serial, on the calling thread).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Attach shared parallel counters for EXPLAIN ANALYZE.
+    pub fn with_parallel_profile(mut self, profile: Option<ParallelProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Per-worker selection buffers over a shared source, merged in worker
+    /// order.
+    fn parallel_state(&self, input: &mut dyn Operator, descending: &[bool]) -> Result<TopKState> {
+        let workers = self.workers;
+        let keys = &self.keys;
+        let k = self.k;
+        let metrics = &self.metrics;
+        let source = SharedSource::new(input);
+        let states: Vec<Result<TopKState>> = super::pool::run_workers(workers, |w| {
+            let _kernel = crate::kernel_metrics::install(metrics.clone());
+            let mut st = TopKState::default();
+            while let Some(batch) = source.next()? {
+                st.consume(keys, descending, k, batch)?;
+            }
+            record_worker(metrics.as_ref(), "topk", w, st.morsels, st.rows);
+            Ok(st)
+        });
+        if let Some(p) = &self.profile {
+            p.workers.add(workers as u64);
+        }
+        let t0 = Instant::now();
+        let mut merged: Option<TopKState> = None;
+        for st in states {
+            let st = st?;
+            match &mut merged {
+                None => merged = Some(st),
+                Some(m) => m.absorb(st, descending, k),
+            }
+        }
+        let merge_ns = t0.elapsed().as_nanos() as u64;
+        let merged = merged.expect("at least one worker");
+        if let Some(p) = &self.profile {
+            p.morsels.add(merged.morsels);
+            p.merge_ns.add(merge_ns);
+        }
+        if let Some(m) = &self.metrics {
+            m.counter("op.topk.kernel.merge_ns").add(merge_ns);
+        }
+        Ok(merged)
     }
 }
 
@@ -48,57 +194,24 @@ impl Operator for TopKExec {
             return Ok(Some(RecordBatch::empty(self.schema.clone())));
         }
         let mut input = self.input.take().expect("run once");
-
-        // Candidates are (key values, batch index, base row): rows stay in
-        // their source batches until the final gather (late materialization),
-        // so evicted candidates never cost a row copy. Kept sorted and
-        // truncated to k after each batch: selection cost is O(n log(buffer))
-        // and memory O(k + retained batches).
-        let mut kept: Vec<RecordBatch> = Vec::new();
-        let mut buffer: Vec<(Vec<Value>, usize, usize)> = Vec::new();
         let descending: Vec<bool> = self.keys.iter().map(|k| k.descending).collect();
-        let cmp_keys = |a: &[Value], b: &[Value]| -> Ordering {
-            for (i, (va, vb)) in a.iter().zip(b).enumerate() {
-                let ord = va.sql_cmp(vb);
-                let ord = if descending[i] { ord.reverse() } else { ord };
-                if ord != Ordering::Equal {
-                    return ord;
-                }
-            }
-            Ordering::Equal
-        };
 
-        while let Some(batch) = input.next()? {
-            if batch.is_empty() {
-                continue;
+        let state = if self.workers == 0 {
+            let mut st = TopKState::default();
+            while let Some(batch) = input.next()? {
+                st.consume(&self.keys, &descending, self.k, batch)?;
             }
-            let key_cols: Vec<(Arc<Column>, bool)> = self
-                .keys
-                .iter()
-                .map(|k| Ok((eval_arc(&k.expr, &batch)?, k.descending)))
-                .collect::<Result<_>>()?;
-            // Pre-rank this batch's lanes (key columns are base-length, so
-            // sort base indices), take its local top-k, merge.
-            let mut local: Vec<usize> =
-                (0..batch.num_rows()).map(|i| batch.base_index(i)).collect();
-            local.sort_by(|&a, &b| cmp_rows(&key_cols, a, b));
-            local.truncate(self.k);
-            let bi = kept.len();
-            for base_row in local {
-                let key: Vec<Value> = key_cols.iter().map(|(c, _)| c.value(base_row)).collect();
-                buffer.push((key, bi, base_row));
-            }
-            kept.push(batch);
-            buffer.sort_by(|a, b| cmp_keys(&a.0, &b.0));
-            buffer.truncate(self.k);
-        }
+            st
+        } else {
+            self.parallel_state(input.as_mut(), &descending)?
+        };
 
         // Gather the surviving rows column-by-column with typed appends.
         let mut columns = Vec::with_capacity(self.schema.len());
         for (ci, f) in self.schema.fields().iter().enumerate() {
             let mut col = Column::empty(f.data_type);
-            for (_, bi, base_row) in &buffer {
-                col.push_from(kept[*bi].column(ci), *base_row)?;
+            for (_, bi, base_row) in &state.buffer {
+                col.push_from(state.kept[*bi].column(ci), *base_row)?;
             }
             columns.push(Arc::new(col));
         }
@@ -194,5 +307,55 @@ mod tests {
         let full = drain_one(&mut sort).unwrap();
         let b = full.slice(0, 7).unwrap();
         assert_eq!(a.to_rows(), b.to_rows());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        use rand::prelude::*;
+        let make = |workers: usize| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let batches: Vec<_> = (0..6)
+                .map(|_| {
+                    let vals: Vec<i64> = (0..40).map(|_| rng.gen_range(0..10_000)).collect();
+                    int_batch(&[("x", vals)])
+                })
+                .collect();
+            TopKExec::new(
+                Box::new(BatchSource::new(batches[0].schema().clone(), batches)),
+                vec![asc(col("x"))],
+                9,
+            )
+            .with_workers(workers)
+        };
+        let serial = drain_one(&mut make(0)).unwrap().to_rows();
+        assert_eq!(serial, drain_one(&mut make(1)).unwrap().to_rows());
+        assert_eq!(serial, drain_one(&mut make(4)).unwrap().to_rows());
+    }
+
+    #[test]
+    fn parallel_zero_k_skips_workers() {
+        let batch = int_batch(&[("x", vec![1, 2])]);
+        let mut t = TopKExec::new(Box::new(BatchSource::single(batch)), vec![asc(col("x"))], 0)
+            .with_workers(4);
+        let out = drain_one(&mut t).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn parallel_records_profile() {
+        let profile = ParallelProfile::default();
+        let batches: Vec<_> = (0..5)
+            .map(|b| int_batch(&[("x", vec![b, b + 1])]))
+            .collect();
+        let mut t = TopKExec::new(
+            Box::new(BatchSource::new(batches[0].schema().clone(), batches)),
+            vec![asc(col("x"))],
+            3,
+        )
+        .with_workers(2)
+        .with_parallel_profile(Some(profile.clone()));
+        drain_one(&mut t).unwrap();
+        assert_eq!(profile.workers.get(), 2);
+        assert_eq!(profile.morsels.get(), 5);
     }
 }

@@ -6,7 +6,7 @@ use crate::executor::ExecOptions;
 use crate::logical::LogicalPlan;
 use crate::physical::{
     FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec, Operator,
-    ProjectExec, SortExec, TableScanExec, TopKExec,
+    ParallelProfile, ProjectExec, SortExec, TableScanExec, TopKExec,
 };
 use crate::profile::{InstrumentedExec, OpStats, ProfileNode};
 
@@ -44,6 +44,11 @@ fn build(
     opts: &ExecOptions,
     instrument: bool,
 ) -> Result<(Box<dyn Operator>, Option<ProfileNode>)> {
+    let threads = opts.parallelism.worker_threads();
+    // Parallel operators get a live counter block only when instrumenting:
+    // EXPLAIN ANALYZE reads it, plain execution skips the bookkeeping.
+    let new_pprof = || (instrument && threads > 0).then(ParallelProfile::default);
+    let mut parallel: Option<ParallelProfile> = None;
     let (op, detail, children): (Box<dyn Operator>, String, Vec<Option<ProfileNode>>) = match plan {
         LogicalPlan::Scan {
             table,
@@ -54,10 +59,12 @@ fn build(
             let t = catalog
                 .table(table)
                 .ok_or_else(|| QueryError::TableNotFound(table.clone()))?;
+            parallel = new_pprof();
             let op: Box<dyn Operator> = Box::new(
-                TableScanExec::new(t, projection.clone(), filters.clone(), opts.parallelism)?
+                TableScanExec::new(t, projection.clone(), filters.clone(), threads)?
                     .with_batch_rows(opts.batch_rows)
-                    .with_metrics(opts.metrics.clone()),
+                    .with_metrics(opts.metrics.clone())
+                    .with_parallel_profile(parallel.clone()),
             );
             (op, table.clone(), vec![])
         }
@@ -98,9 +105,12 @@ fn build(
                 }
                 Box::new(NestedLoopJoinExec::new(l, r, None))
             } else {
+                parallel = new_pprof();
                 Box::new(
                     HashJoinExec::new(l, r, on.clone(), *join_type)?
-                        .with_metrics(opts.metrics.clone()),
+                        .with_metrics(opts.metrics.clone())
+                        .with_workers(threads)
+                        .with_parallel_profile(parallel.clone()),
                 )
             };
             (op, detail, vec![lprof, rprof])
@@ -112,9 +122,12 @@ fn build(
         } => {
             let (child, prof) = build(input, catalog, opts, instrument)?;
             let detail = format!("group=[{}]", group_by.len());
+            parallel = new_pprof();
             let op: Box<dyn Operator> = Box::new(
                 HashAggregateExec::new(child, group_by.clone(), aggs.clone())?
-                    .with_metrics(opts.metrics.clone()),
+                    .with_metrics(opts.metrics.clone())
+                    .with_workers(threads)
+                    .with_parallel_profile(parallel.clone()),
             );
             (op, detail, vec![prof])
         }
@@ -126,8 +139,21 @@ fn build(
             } = input.as_ref()
             {
                 let (child, prof) = build(sort_input, catalog, opts, instrument)?;
-                let op: Box<dyn Operator> = Box::new(TopKExec::new(child, keys.clone(), *n));
-                return Ok(finish(op, format!("k={n}"), vec![prof], opts, instrument));
+                let pprof = new_pprof();
+                let op: Box<dyn Operator> = Box::new(
+                    TopKExec::new(child, keys.clone(), *n)
+                        .with_metrics(opts.metrics.clone())
+                        .with_workers(threads)
+                        .with_parallel_profile(pprof.clone()),
+                );
+                return Ok(finish(
+                    op,
+                    format!("k={n}"),
+                    vec![prof],
+                    pprof,
+                    opts,
+                    instrument,
+                ));
             }
             let (child, prof) = build(input, catalog, opts, instrument)?;
             let op: Box<dyn Operator> = Box::new(LimitExec::new(child, *n));
@@ -144,7 +170,7 @@ fn build(
             (op, detail, vec![prof])
         }
     };
-    Ok(finish(op, detail, children, opts, instrument))
+    Ok(finish(op, detail, children, parallel, opts, instrument))
 }
 
 /// Wrap a lowered operator when instrumenting, threading the children's
@@ -153,6 +179,7 @@ fn finish(
     op: Box<dyn Operator>,
     detail: String,
     children: Vec<Option<ProfileNode>>,
+    parallel: Option<ParallelProfile>,
     opts: &ExecOptions,
     instrument: bool,
 ) -> (Box<dyn Operator>, Option<ProfileNode>) {
@@ -169,6 +196,7 @@ fn finish(
         name: op.name(),
         detail,
         stats: stats.clone(),
+        parallel,
         children,
     };
     let wrapped = Box::new(InstrumentedExec::new(
@@ -194,7 +222,7 @@ mod tests {
             .unwrap()
             .sort(vec![asc(col("big_v"))])
             .limit(5);
-        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::serial()).unwrap();
         assert_eq!(op.name(), "TopK");
     }
 
@@ -204,7 +232,7 @@ mod tests {
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
             .sort(vec![asc(col("big_v"))]);
-        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::serial()).unwrap();
         assert_eq!(op.name(), "Sort");
     }
 
@@ -217,7 +245,7 @@ mod tests {
             on: vec![],
             join_type: crate::logical::JoinType::Inner,
         };
-        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::serial()).unwrap();
         assert_eq!(op.name(), "NestedLoopJoin");
     }
 
@@ -231,7 +259,7 @@ mod tests {
             filters: vec![],
         };
         assert!(matches!(
-            create_physical_plan(&plan, &cat, &ExecOptions::default()),
+            create_physical_plan(&plan, &cat, &ExecOptions::serial()),
             Err(QueryError::TableNotFound(_))
         ));
     }
@@ -242,7 +270,7 @@ mod tests {
         let plan = LogicalPlan::scan("big", &cat)
             .unwrap()
             .filter(col("big_v").lt(lit(3i64)));
-        let op = create_physical_plan(&plan, &cat, &ExecOptions::default()).unwrap();
+        let op = create_physical_plan(&plan, &cat, &ExecOptions::serial()).unwrap();
         assert_eq!(op.name(), "Filter");
     }
 }

@@ -11,7 +11,7 @@
 //! so engine-truth totals survive across queries.
 
 use crate::error::Result;
-use crate::physical::Operator;
+use crate::physical::{Operator, ParallelProfile};
 use backbone_storage::metrics::{Counter, Metrics};
 use backbone_storage::{RecordBatch, Schema};
 use std::sync::Arc;
@@ -141,6 +141,9 @@ pub struct ProfileNode {
     pub detail: String,
     /// Live counters shared with the running operator.
     pub stats: OpStats,
+    /// Parallel-execution counters (workers, morsels, steals, merge time),
+    /// present when the operator ran with worker threads.
+    pub parallel: Option<ParallelProfile>,
     /// Child profiles, in the operator's input order.
     pub children: Vec<ProfileNode>,
 }
@@ -172,8 +175,23 @@ impl ProfileNode {
         } else {
             format!("rows_in={} ", self.rows_in())
         };
+        // Parallel annotation only when workers actually ran (a serial plan
+        // renders exactly as before).
+        let parallel = match &self.parallel {
+            Some(p) if p.workers.get() > 0 => {
+                let mut s = format!(" workers={} morsels={}", p.workers.get(), p.morsels.get());
+                if p.steals.get() > 0 {
+                    s.push_str(&format!(" steals={}", p.steals.get()));
+                }
+                if p.merge_ns.get() > 0 {
+                    s.push_str(&format!(" merge={}", format_ns(p.merge_ns.get())));
+                }
+                s
+            }
+            _ => String::new(),
+        };
         out.push_str(&format!(
-            "{pad}{}:{detail} ({rows_in}rows_out={} batches={} time={})\n",
+            "{pad}{}:{detail} ({rows_in}rows_out={} batches={} time={}{parallel})\n",
             self.name,
             self.stats.rows_out.get(),
             self.stats.batches.get(),
@@ -254,10 +272,12 @@ mod tests {
             name: "Filter",
             detail: "(v > 1)".into(),
             stats: OpStats::default(),
+            parallel: None,
             children: vec![ProfileNode {
                 name: "TableScan",
                 detail: "t".into(),
                 stats: child_stats,
+                parallel: None,
                 children: vec![],
             }],
         };
@@ -265,6 +285,34 @@ mod tests {
         let text = root.render();
         assert!(text.contains("Filter: (v > 1) (rows_in=3 rows_out=0"));
         assert!(text.contains("  TableScan: t (rows_out=3"));
+    }
+
+    #[test]
+    fn parallel_counters_render_when_workers_ran() {
+        let parallel = ParallelProfile::default();
+        parallel.workers.add(4);
+        parallel.morsels.add(12);
+        parallel.steals.add(2);
+        parallel.merge_ns.add(1_700);
+        let node = ProfileNode {
+            name: "HashAggregate",
+            detail: String::new(),
+            stats: OpStats::default(),
+            parallel: Some(parallel),
+            children: vec![],
+        };
+        let text = node.render();
+        assert!(text.contains("workers=4 morsels=12 steals=2 merge=1.70us"));
+
+        // Zero-worker profiles (serial fallback) stay unannotated.
+        let quiet = ProfileNode {
+            name: "HashAggregate",
+            detail: String::new(),
+            stats: OpStats::default(),
+            parallel: Some(ParallelProfile::default()),
+            children: vec![],
+        };
+        assert!(!quiet.render().contains("workers="));
     }
 
     #[test]

@@ -612,7 +612,7 @@ mod tests {
     fn run(sql: &str) -> Vec<Vec<Value>> {
         let cat = catalog();
         let plan = parse_select(sql, &cat).expect(sql);
-        execute(plan, &cat, &ExecOptions::default())
+        execute(plan, &cat, &ExecOptions::serial())
             .expect(sql)
             .to_rows()
     }

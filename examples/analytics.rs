@@ -1,11 +1,11 @@
-//! Laptop-scale analytics: TPC-H-like queries with EXPLAIN and automatic
-//! scan parallelism.
+//! Laptop-scale analytics: TPC-H-like queries with EXPLAIN and morsel-driven
+//! parallelism selected through the typed `Parallelism` knob.
 //!
 //! ```sh
 //! cargo run --release --example analytics
 //! ```
 
-use backbone_query::{execute, executor::explain, Catalog, ExecOptions};
+use backbone_query::{execute, executor::explain, Catalog, ExecOptions, Parallelism};
 use backbone_workloads::{queries, tpch};
 use std::time::Instant;
 
@@ -26,15 +26,21 @@ fn main() {
         explain(&q3, &catalog, &ExecOptions::default()).expect("explain")
     );
 
-    // Run everything, serial vs 4-way parallel scans — same queries,
-    // no code change: "automatic scalability".
+    // Run everything across the parallelism ladder — same queries, no code
+    // change: Serial pins everything to the caller, Fixed(n) forces a worker
+    // count, Auto sizes to the machine. "Automatic scalability".
+    let rungs = [
+        ("serial", Parallelism::Serial),
+        ("fixed-4", Parallelism::Fixed(4)),
+        ("auto", Parallelism::Auto),
+    ];
     for (label, plan) in queries::all_queries(&catalog).expect("queries") {
-        for parallelism in [1usize, 4] {
-            let opts = ExecOptions::with_parallelism(parallelism);
+        for (rung, parallelism) in rungs {
+            let opts = ExecOptions::default().parallel(parallelism);
             let t = Instant::now();
             let out = execute(plan.clone(), &catalog, &opts).expect("run");
             println!(
-                "{label} (threads={parallelism}): {:>8.2?} -> {} rows",
+                "{label} ({rung:>7}): {:>8.2?} -> {} rows",
                 t.elapsed(),
                 out.num_rows()
             );

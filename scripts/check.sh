@@ -23,6 +23,9 @@ cargo test -q -p backbone-bench --test recovery
 echo "== kernel equivalence property suite =="
 cargo test -q -p backbone-bench --test kernel_equivalence
 
+echo "== parallel vs serial equivalence (workers 1/2/8) =="
+cargo test -q -p backbone-bench --test kernel_equivalence parallel
+
 echo "== repro smoke (quick) =="
 out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"
 echo "$out"
@@ -43,6 +46,9 @@ echo "$out" | grep -q "PERF_OK declarative" || { echo "repro bench: declarative/
 # Encoding gate: dictionary kernels must never lose to the plain-string path.
 echo "$out" | grep -q "PERF_OK dict filter" || { echo "repro bench: dict filter slower than plain"; exit 1; }
 echo "$out" | grep -q "PERF_OK dict group-by" || { echo "repro bench: dict group-by slower than plain"; exit 1; }
+# Parallelism gate: one morsel worker must stay within 10% of serial; the
+# >=2.5x scaling floor self-gates on core count (PERF_SKIP below 4 cores).
+echo "$out" | grep -q "PERF_OK parallel" || { echo "repro bench: parallel 1-worker overhead regressed"; exit 1; }
 if echo "$out" | grep -q "PERF_FAIL"; then
   echo "repro bench: PERF_FAIL verdict present"
   exit 1

@@ -9,7 +9,7 @@
 use backbone_query::logical::{asc, desc};
 use backbone_query::{
     avg, col, count, count_star, execute, lit, max, min, sum, ExecOptions, JoinType, LogicalPlan,
-    MemCatalog,
+    MemCatalog, Parallelism,
 };
 use backbone_storage::{Column, DataType, Field, RecordBatch, Schema, Table, Value};
 use proptest::prelude::*;
@@ -540,6 +540,228 @@ fn empty_selection_flows_through_dict_operators() {
     twins_match(&catalog, "t", "empty selection aggregate", true, &|n| {
         filtered(n).aggregate(vec![col("s")], vec![count_star().alias("n")])
     });
+}
+
+// ---- Parallel vs serial --------------------------------------------------
+//
+// Morsel-driven execution must be invisible in results: the same plan runs
+// serially and at parallelism 1/2/8, and the (sorted) rows must be
+// identical. Row groups are kept small so parallel scans see many morsels.
+
+fn register_small_groups(catalog: &MemCatalog, name: &str, rows: &[Row]) {
+    let schema = Schema::new(vec![
+        Field::nullable("k", DataType::Int64),
+        Field::nullable("v", DataType::Int64),
+        Field::nullable("f", DataType::Float64),
+    ]);
+    let mut table = Table::with_group_size(schema, 32);
+    for (k, v, f) in rows {
+        table
+            .append_row(vec![value_of_int(*k), value_of_int(*v), value_of_float(*f)])
+            .expect("schema matches");
+    }
+    table.flush().expect("in-memory flush");
+    catalog.register(name, table);
+}
+
+/// Execute `make()` serially and at worker counts 1/2/8; all runs must
+/// produce the same sorted rows.
+fn parallel_matches_serial(catalog: &MemCatalog, context: &str, make: &dyn Fn() -> LogicalPlan) {
+    let run = |p: Parallelism| {
+        let mut rows = execute(make(), catalog, &ExecOptions::serial().parallel(p))
+            .unwrap_or_else(|e| panic!("{context} at {p:?}: {e}"))
+            .to_rows();
+        rows.sort_by_key(|r| join_key(r));
+        rows
+    };
+    let serial = run(Parallelism::Serial);
+    for p in [
+        Parallelism::Fixed(1),
+        Parallelism::Fixed(2),
+        Parallelism::Fixed(8),
+    ] {
+        assert_rows_match(&run(p), &serial, &format!("{context} at {p:?}"));
+    }
+}
+
+fn check_parallel(rows: &[Row], threshold: i64, k: usize) {
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "t", rows);
+    let scan = || LogicalPlan::scan("t", &catalog).expect("registered");
+
+    parallel_matches_serial(&catalog, "parallel filter", &|| {
+        scan().filter(col("v").gt_eq(lit(threshold)))
+    });
+    parallel_matches_serial(&catalog, "parallel group-by", &|| {
+        scan().aggregate(
+            vec![col("k")],
+            vec![
+                count_star().alias("n"),
+                count(col("v")).alias("nv"),
+                sum(col("v")).alias("sv"),
+                min(col("v")).alias("minv"),
+                max(col("v")).alias("maxv"),
+                avg(col("f")).alias("af"),
+            ],
+        )
+    });
+    parallel_matches_serial(&catalog, "parallel global agg", &|| {
+        scan().aggregate(
+            vec![],
+            vec![count_star().alias("n"), sum(col("v")).alias("sv")],
+        )
+    });
+    // Sort keys cover every column so the k-boundary is total-ordered and
+    // serial/parallel keep the identical row set.
+    parallel_matches_serial(&catalog, "parallel topk", &|| {
+        scan()
+            .sort(vec![desc(col("v")), asc(col("k")), asc(col("f"))])
+            .limit(k)
+    });
+}
+
+fn check_parallel_join(left: &[Row], right: &[Row], join_type: JoinType) {
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "l", left);
+    let schema = Schema::new(vec![
+        Field::nullable("rk", DataType::Int64),
+        Field::nullable("rv", DataType::Int64),
+    ]);
+    let mut table = Table::with_group_size(schema, 32);
+    for (k, v, _) in right {
+        table
+            .append_row(vec![value_of_int(*k), value_of_int(*v)])
+            .expect("schema matches");
+    }
+    table.flush().expect("in-memory flush");
+    catalog.register("r", table);
+    parallel_matches_serial(&catalog, "parallel join", &|| {
+        LogicalPlan::scan("l", &catalog).unwrap().join(
+            LogicalPlan::scan("r", &catalog).unwrap(),
+            vec![("k", "rk")],
+            join_type,
+        )
+    });
+}
+
+/// Dict-encoded pipelines under parallel execution: group-by, filter, join
+/// on the dictionary twin at every worker count.
+fn check_parallel_dict(rows: &[SRow]) {
+    let catalog = MemCatalog::new();
+    register_string_pair(&catalog, "t", rows, "s", "v");
+    register_string_pair(&catalog, "r", rows, "rs", "rv");
+    let scan = |n: &str| LogicalPlan::scan(n, &catalog).expect("registered");
+    parallel_matches_serial(&catalog, "parallel dict filter", &|| {
+        scan("t_dict").filter(col("s").like("b%"))
+    });
+    parallel_matches_serial(&catalog, "parallel dict group-by", &|| {
+        scan("t_dict").aggregate(
+            vec![col("s")],
+            vec![
+                count_star().alias("n"),
+                sum(col("v")).alias("sv"),
+                min(col("s")).alias("mins"),
+                max(col("s")).alias("maxs"),
+            ],
+        )
+    });
+    parallel_matches_serial(&catalog, "parallel dict join", &|| {
+        scan("t_dict").join(scan("r_dict"), vec![("s", "rs")], JoinType::Inner)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn parallel_execution_matches_serial(
+        rows in arbitrary_rows(160, 3),
+        t in -100i64..100,
+        k in 0usize..20,
+    ) {
+        check_parallel(&rows, t, k);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_null_heavy(
+        rows in arbitrary_rows(120, 30),
+        t in -100i64..100,
+        k in 0usize..20,
+    ) {
+        check_parallel(&rows, t, k);
+    }
+
+    #[test]
+    fn parallel_inner_join_matches_serial(
+        left in arbitrary_rows(60, 3),
+        right in arbitrary_rows(60, 3),
+    ) {
+        check_parallel_join(&left, &right, JoinType::Inner);
+    }
+
+    #[test]
+    fn parallel_left_join_matches_serial(
+        left in arbitrary_rows(60, 8),
+        right in arbitrary_rows(60, 8),
+    ) {
+        check_parallel_join(&left, &right, JoinType::Left);
+    }
+
+    #[test]
+    fn parallel_dict_execution_matches_serial(rows in arbitrary_srows(100, 6)) {
+        check_parallel_dict(&rows);
+    }
+}
+
+#[test]
+fn parallel_empty_selection_flows_through_every_operator() {
+    // A predicate nothing satisfies, at every worker count: downstream
+    // parallel operators see batches with empty selections (or none at all).
+    let rows: Vec<Row> = (0..120).map(|i| (Some(i % 5), Some(i), None)).collect();
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "t", &rows);
+    let filtered = || {
+        LogicalPlan::scan("t", &catalog)
+            .unwrap()
+            .filter(col("v").gt(lit(10_000i64)))
+    };
+    parallel_matches_serial(&catalog, "parallel empty filter", &filtered);
+    parallel_matches_serial(&catalog, "parallel empty global agg", &|| {
+        filtered().aggregate(
+            vec![],
+            vec![count_star().alias("n"), sum(col("v")).alias("s")],
+        )
+    });
+    parallel_matches_serial(&catalog, "parallel empty group-by", &|| {
+        filtered().aggregate(vec![col("k")], vec![count_star().alias("n")])
+    });
+    parallel_matches_serial(&catalog, "parallel empty topk", &|| {
+        filtered().sort(vec![asc(col("v"))]).limit(5)
+    });
+}
+
+#[test]
+fn parallel_auto_runs_and_matches_serial() {
+    // Auto resolves to the machine's core count (serial on 1 vCPU); either
+    // way results must be identical to the serial plan.
+    let rows: Vec<Row> = (0..200)
+        .map(|i| (Some(i % 7), Some(i * 3 % 101), Some(i as f64 / 3.0)))
+        .collect();
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "t", &rows);
+    let plan = || {
+        LogicalPlan::scan("t", &catalog)
+            .unwrap()
+            .aggregate(vec![col("k")], vec![sum(col("v")).alias("sv")])
+    };
+    let sorted = |opts: &ExecOptions| {
+        let mut rows = execute(plan(), &catalog, opts).unwrap().to_rows();
+        rows.sort_by_key(|r| join_key(r));
+        rows
+    };
+    let serial = sorted(&ExecOptions::serial());
+    let auto = sorted(&ExecOptions::serial().parallel(Parallelism::Auto));
+    assert_rows_match(&auto, &serial, "parallel auto");
 }
 
 #[test]

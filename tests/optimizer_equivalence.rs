@@ -98,9 +98,8 @@ proptest! {
         rule_sets.push(Rule::all());
         for rules in rule_sets {
             let opts = ExecOptions {
-                parallelism: 1,
                 rules: Some(rules.clone()),
-                ..ExecOptions::default()
+                ..ExecOptions::serial()
             };
             let got = execute(plan.clone(), &cat, &opts).unwrap().to_rows();
             prop_assert_eq!(&got, &reference, "rules {:?} changed the answer", rules);
