@@ -11,7 +11,9 @@ use crate::time;
 use backbone_query::{
     col, count_star, execute, lit, sum, ExecOptions, JoinType, LogicalPlan, MemCatalog, Parallelism,
 };
-use backbone_storage::{Bitmap, Column, DataType, Field, RecordBatch, Schema, Table, Value};
+use backbone_storage::{
+    Bitmap, Column, DataType, Field, Metrics, RecordBatch, Schema, Table, Value,
+};
 use backbone_workloads::{queries, tpch};
 use std::sync::Arc;
 
@@ -141,6 +143,44 @@ fn dict_catalog(rows: usize) -> MemCatalog {
     catalog
 }
 
+/// Twin fact tables (`ints_plain` / `ints_enc`) with identical rows: a
+/// run-heavy `status` integer (plain vs `Int64Encoded` at rest — runs of
+/// 512 keep it in the RLE arm, where kernels evaluate once per run) and a
+/// plain `amount` integer that both twins share. `int_dim` keys 20 weights
+/// by status for the join rung.
+fn int_catalog(rows: usize) -> MemCatalog {
+    let schema = Schema::new(vec![
+        Field::new("status", DataType::Int64),
+        Field::new("amount", DataType::Int64),
+    ]);
+    let plain = Column::from_i64((0..rows).map(|i| ((i / 512) % 20) as i64).collect());
+    let enc = plain.int64_encode().expect("plain Int64 columns encode");
+    let amount = Column::from_i64((0..rows).map(|i| (i % 1000) as i64).collect());
+    let catalog = MemCatalog::new();
+    for (name, scol) in [("ints_plain", plain), ("ints_enc", enc)] {
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![Arc::new(scol), Arc::new(amount.clone())],
+        )
+        .expect("columns match schema");
+        let mut table = Table::new(schema.clone());
+        table.push_sealed_batch(batch).expect("sealed batch");
+        catalog.register(name, table);
+    }
+    let dim_schema = Schema::new(vec![
+        Field::new("sid", DataType::Int64),
+        Field::new("weight", DataType::Int64),
+    ]);
+    let mut dim = Table::new(dim_schema);
+    for s in 0..20i64 {
+        dim.append_row(vec![Value::Int(s), Value::Int(s * 3 + 1)])
+            .expect("schema matches");
+    }
+    dim.flush().expect("flush in-memory table");
+    catalog.register("int_dim", dim);
+    catalog
+}
+
 /// Worker counts the thread-scaling ladder measures, with the static entry
 /// names each rung publishes (`<query>_p<workers>_ms`).
 const SCALING_RUNGS: [(usize, &str, &str, &str); 4] = [
@@ -216,6 +256,47 @@ pub fn run(quick: bool) -> Vec<BenchEntry> {
             });
         }
     }
+
+    // Out-of-core ceiling: Q3 (two hash joins feeding a wide group-by) under
+    // a 32 KiB budget — a working set far past the ceiling at either scale
+    // factor, so the joins Grace-partition and the aggregate spills partial
+    // states. The rung asserts the budgeted answer equals the unbudgeted one
+    // and that the spill counters actually fired; `report` turns the
+    // budgeted/unbudgeted wall-time ratio into a catastrophic-regression
+    // ceiling.
+    let (q3_reference, q3_ms) =
+        measure(|| execute(plan("Q3"), &catalog, &serial).expect("Q3 serial run"));
+    let spill_metrics = Metrics::new();
+    let budgeted = ExecOptions::serial()
+        .with_mem_budget(32 * 1024)
+        .with_metrics(spill_metrics.clone());
+    let (q3_budgeted, q3_budget_ms) =
+        measure(|| execute(plan("Q3"), &catalog, &budgeted).expect("budgeted Q3 run"));
+    assert!(
+        rows_equal(&q3_budgeted.to_rows(), &q3_reference.to_rows()),
+        "Q3 under a 32 KiB budget diverged from the unbudgeted answer"
+    );
+    let spill_partitions = spill_metrics.value("storage.spill.partitions");
+    assert!(
+        spill_partitions > 0 && spill_metrics.value("storage.spill.bytes_read") > 0,
+        "budgeted Q3 never touched disk; the rung is not out-of-core"
+    );
+    out.push(BenchEntry {
+        name: "e1_q3_ms",
+        ms: q3_ms,
+        rows: q3_reference.num_rows(),
+    });
+    out.push(BenchEntry {
+        name: "e1_q3_budget_ms",
+        ms: q3_budget_ms,
+        rows: q3_budgeted.num_rows(),
+    });
+    // Cumulative across warmups + samples; the gate only needs nonzero.
+    out.push(BenchEntry {
+        name: "e1_q3_spill_partitions",
+        ms: 0.0,
+        rows: spill_partitions as usize,
+    });
 
     // Paired 1-worker overhead measurement: interleave serial and 1-worker
     // blocks, then compare the best sample each mode achieved anywhere in
@@ -377,6 +458,66 @@ pub fn run(quick: bool) -> Vec<BenchEntry> {
         }
     }
 
+    // Numeric encoding: the same scans over plain vs RLE-encoded integers.
+    // The filter rung hits the run-aware comparison kernel (one verdict per
+    // run); the group rung hits run-aware key hashing. Plain is the control.
+    let rows = if quick { 40_000 } else { 400_000 };
+    let int_cat = int_catalog(rows);
+    let opts = ExecOptions::default();
+    let mut results: Vec<(&str, Vec<Vec<Value>>)> = Vec::new();
+    for (events, suffix) in [("ints_plain", "plain"), ("ints_enc", "enc")] {
+        let scan = || LogicalPlan::scan(events, &int_cat).expect("ints table");
+        let rungs: Vec<(&'static str, LogicalPlan)> = vec![
+            (
+                "filter",
+                scan()
+                    .filter(col("status").eq(lit(7)))
+                    .aggregate(vec![], vec![count_star().alias("n")]),
+            ),
+            (
+                "group",
+                scan().aggregate(
+                    vec![col("status")],
+                    vec![count_star().alias("n"), sum(col("amount")).alias("total")],
+                ),
+            ),
+            (
+                "join",
+                scan()
+                    .join(
+                        LogicalPlan::scan("int_dim", &int_cat).expect("dim table"),
+                        vec![("status", "sid")],
+                        JoinType::Inner,
+                    )
+                    .aggregate(vec![], vec![sum(col("weight")).alias("w")]),
+            ),
+        ];
+        for (kind, plan) in rungs {
+            let (result, ms) =
+                measure(|| execute(plan.clone(), &int_cat, &opts).expect("int bench run"));
+            let rows_out = result.to_rows();
+            match results.iter().find(|(k, _)| *k == kind) {
+                Some((_, control)) => assert!(
+                    rows_equal(&rows_out, control),
+                    "{kind}: encoded-int result diverged from plain control"
+                ),
+                None => results.push((kind, rows_out.clone())),
+            }
+            out.push(BenchEntry {
+                name: match (kind, suffix) {
+                    ("filter", "plain") => "plain_int_filter_ms",
+                    ("filter", "enc") => "enc_int_filter_ms",
+                    ("group", "plain") => "plain_int_group_ms",
+                    ("group", "enc") => "enc_int_group_ms",
+                    ("join", "plain") => "plain_int_join_ms",
+                    _ => "enc_int_join_ms",
+                },
+                ms,
+                rows: result.num_rows(),
+            });
+        }
+    }
+
     // Checkpoint footprint: the same table's on-disk bytes, plain vs encoded.
     let dir = std::env::temp_dir().join(format!("backbone-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -462,6 +603,53 @@ pub fn report(entries: &[BenchEntry], max_gap: f64) -> String {
             _ => out.push_str(&format!("PERF_FAIL missing dict {kind} measurements\n")),
         }
     }
+    // Numeric encoding gate: encoded-int kernels must never lose to plain.
+    for (kind, plain, enc) in [
+        ("filter", "plain_int_filter_ms", "enc_int_filter_ms"),
+        ("group-by", "plain_int_group_ms", "enc_int_group_ms"),
+        ("join", "plain_int_join_ms", "enc_int_join_ms"),
+    ] {
+        match (get(plain), get(enc)) {
+            (Some(p), Some(e)) if e > 0.0 => {
+                let speedup = p / e;
+                let verdict = if speedup >= 1.0 {
+                    "PERF_OK"
+                } else {
+                    "PERF_FAIL"
+                };
+                out.push_str(&format!(
+                    "{verdict} encoded int {kind} speedup = {speedup:.2}x over plain (floor 1.0x)\n"
+                ));
+            }
+            _ => out.push_str(&format!(
+                "PERF_FAIL missing encoded int {kind} measurements\n"
+            )),
+        }
+    }
+    // Out-of-core gate: a memory budget must force spilling, not a blow-up.
+    // The budgeted Q3 run pays partitioning I/O and recursive repartitioning,
+    // so the ceiling is a catastrophic-regression alarm, not a tuning target.
+    match (get("e1_q3_ms"), get("e1_q3_budget_ms")) {
+        (Some(base), Some(b)) if base > 0.0 => {
+            let ratio = b / base;
+            let verdict = if ratio <= 20.0 {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} budgeted Q3 overhead = {ratio:.2}x of unbudgeted (ceiling 20.0x)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing budgeted Q3 measurements\n"),
+    }
+    match entries.iter().find(|e| e.name == "e1_q3_spill_partitions") {
+        Some(e) if e.rows > 0 => out.push_str(&format!(
+            "PERF_OK budgeted Q3 spilled ({} partitions across samples)\n",
+            e.rows
+        )),
+        _ => out.push_str("PERF_FAIL budgeted Q3 did not spill\n"),
+    }
     // Parallel gates. One worker must cost at most 10% over serial; the
     // verdict uses the paired ratio (serial and 1-worker alternated round by
     // round, median of per-round ratios) so host-wide noise cancels instead
@@ -514,10 +702,15 @@ mod tests {
     #[test]
     fn quick_suite_runs_and_serializes() {
         let entries = run(true);
-        assert_eq!(entries.len(), 28);
+        assert_eq!(entries.len(), 37);
         let json = to_json(&entries, true);
         assert!(json.contains("\"cores\""));
         assert!(json.contains("\"e1_q1_ms\""));
+        assert!(json.contains("\"e1_q3_budget_ms\""));
+        assert!(json.contains("\"e1_q3_spill_partitions\""));
+        assert!(json.contains("\"enc_int_filter_ms\""));
+        assert!(json.contains("\"enc_int_group_ms\""));
+        assert!(json.contains("\"enc_int_join_ms\""));
         assert!(json.contains("\"e1_q1_p4_ms\""));
         assert!(json.contains("\"e1_q6_p8_ms\""));
         assert!(json.contains("\"e8_declarative_p2_ms\""));
@@ -528,6 +721,9 @@ mod tests {
         assert!(rep.contains("PERF_OK"), "{rep}");
         assert!(!rep.contains("missing dict"), "{rep}");
         assert!(!rep.contains("missing parallel"), "{rep}");
+        assert!(!rep.contains("missing encoded int"), "{rep}");
+        assert!(!rep.contains("missing budgeted"), "{rep}");
+        assert!(rep.contains("budgeted Q3 spilled"), "{rep}");
         // The scaling verdict is always present: a floor on >=4 cores, an
         // explicit skip below that.
         assert!(

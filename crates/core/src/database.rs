@@ -85,8 +85,11 @@ impl Database {
 
     /// [`Database::open`] with explicit [`DurabilityOptions`].
     pub fn open_with(dir: impl AsRef<Path>, opts: DurabilityOptions) -> Result<Database> {
-        let (durability, state) = Durability::open(dir.as_ref(), opts)?;
-        Database::recover(durability, state)
+        // The registry is created before recovery so a paged open's
+        // buffer-pool traffic lands in the database's own metrics.
+        let metrics = Metrics::new();
+        let (durability, state) = Durability::open(dir.as_ref(), opts, &metrics)?;
+        Database::recover(durability, state, metrics)
     }
 
     /// Open a durable database whose WAL writes go through a caller-supplied
@@ -99,13 +102,19 @@ impl Database {
         device: Box<dyn LogDevice>,
         opts: DurabilityOptions,
     ) -> Result<Database> {
-        let (durability, state) = Durability::open_with_device(dir.as_ref(), device, opts)?;
-        Database::recover(durability, state)
+        let metrics = Metrics::new();
+        let (durability, state) =
+            Durability::open_with_device(dir.as_ref(), device, opts, &metrics)?;
+        Database::recover(durability, state, metrics)
     }
 
     /// Rebuild in-memory state from a checkpoint plus the WAL tail.
-    fn recover(durability: Durability, state: RecoveredState) -> Result<Database> {
-        let mut db = Database::with_options(ExecOptions::default());
+    fn recover(
+        durability: Durability,
+        state: RecoveredState,
+        metrics: Metrics,
+    ) -> Result<Database> {
+        let mut db = Database::with_options(ExecOptions::default().with_metrics(metrics));
         let mut report = RecoveryReport {
             wal_bytes_dropped: state.replay.bytes_dropped,
             ..RecoveryReport::default()
@@ -302,21 +311,33 @@ impl Database {
     }
 
     /// Refresh the `storage.encoding.*` gauges from sealed table state:
-    /// how many columns (and rows) are dictionary-encoded right now.
+    /// how many columns (and rows) are dictionary- or integer-encoded right
+    /// now, and how many row groups live on disk behind the buffer pool.
     fn record_encoding_stats(&self) {
         let tables = self.tables.read();
-        let (mut cols, mut rows) = (0u64, 0u64);
+        let (mut dict_cols, mut dict_rows) = (0u64, 0u64);
+        let (mut int_cols, mut int_rows) = (0u64, 0u64);
+        let mut paged_groups = 0u64;
         for t in tables.values() {
             let (c, r) = t.encoding_stats();
-            cols += c as u64;
-            rows += r as u64;
+            dict_cols += c as u64;
+            dict_rows += r as u64;
+            let (c, r) = t.int_encoding_stats();
+            int_cols += c as u64;
+            int_rows += r as u64;
+            paged_groups += t.num_paged_groups() as u64;
         }
-        let counter = self.metrics.counter("storage.encoding.dict_columns");
-        counter.reset();
-        counter.add(cols);
-        let counter = self.metrics.counter("storage.encoding.dict_rows");
-        counter.reset();
-        counter.add(rows);
+        for (name, value) in [
+            ("storage.encoding.dict_columns", dict_cols),
+            ("storage.encoding.dict_rows", dict_rows),
+            ("storage.encoding.int_columns", int_cols),
+            ("storage.encoding.int_rows", int_rows),
+            ("storage.pager.paged_groups", paged_groups),
+        ] {
+            let counter = self.metrics.counter(name);
+            counter.reset();
+            counter.add(value);
+        }
     }
 
     /// Force every logged op to stable storage regardless of fsync policy
@@ -547,7 +568,8 @@ impl Database {
     pub fn eval_mask(&self, table: &str, predicate: &backbone_query::Expr) -> Result<Vec<bool>> {
         let snapshot = self.flushed_snapshot(table)?;
         let mut mask = Vec::with_capacity(snapshot.num_rows());
-        for group in snapshot.groups() {
+        for gi in 0..snapshot.num_groups() {
+            let group = snapshot.group(gi)?;
             mask.extend(backbone_query::eval::eval_predicate(
                 predicate,
                 group.batch(),

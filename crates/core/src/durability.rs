@@ -19,9 +19,9 @@
 //! `wal.bytes_dropped` metric.
 
 use crate::error::{Error, Result};
-use backbone_storage::checkpoint::{read_checkpoint, CheckpointData};
+use backbone_storage::checkpoint::{open_checkpoint_paged, read_checkpoint, CheckpointData};
 use backbone_storage::codec::{self, Cursor};
-use backbone_storage::{Schema, StorageError, Value};
+use backbone_storage::{Metrics, Schema, StorageError, Value};
 use backbone_txn::wal::{FsyncPolicy, LogDevice, Replay, Wal, WalConfig};
 use parking_lot::Mutex;
 use std::path::{Path, PathBuf};
@@ -46,6 +46,11 @@ pub struct DurabilityOptions {
     /// Take a checkpoint after this many logged operations (0 disables
     /// automatic checkpoints; [`crate::Database::checkpoint`] still works).
     pub checkpoint_every: u64,
+    /// When `Some(n)`, open the checkpoint *paged*: sealed row groups stay
+    /// on disk behind a buffer pool of `n` 4 KiB frames and stream in on
+    /// demand, so recovery memory is `O(n)` instead of `O(data)`. `None`
+    /// (the default) loads every table fully into memory.
+    pub pool_pages: Option<usize>,
 }
 
 impl Default for DurabilityOptions {
@@ -54,6 +59,7 @@ impl Default for DurabilityOptions {
             fsync: FsyncPolicy::Group,
             fsync_latency: Duration::ZERO,
             checkpoint_every: 1024,
+            pool_pages: None,
         }
     }
 }
@@ -75,6 +81,13 @@ impl DurabilityOptions {
     /// Add simulated fsync latency (benchmark modeling).
     pub fn fsync_latency(mut self, latency: Duration) -> DurabilityOptions {
         self.fsync_latency = latency;
+        self
+    }
+
+    /// Open checkpointed row groups through a buffer pool of `pool_pages`
+    /// frames instead of loading them into memory (out-of-core mode).
+    pub fn paged(mut self, pool_pages: usize) -> DurabilityOptions {
+        self.pool_pages = Some(pool_pages);
         self
     }
 }
@@ -194,11 +207,18 @@ pub struct RecoveredState {
 impl Durability {
     /// Open the durable state in `dir` (created if missing) over the WAL
     /// file `dir/wal.log`, returning the state recovery must apply.
-    pub fn open(dir: &Path, opts: DurabilityOptions) -> Result<(Durability, RecoveredState)> {
+    /// Buffer-pool traffic from a paged open lands in `metrics`
+    /// (`bufferpool.*`) — pass the registry the database will own so
+    /// EXPLAIN ANALYZE sees the recovery I/O.
+    pub fn open(
+        dir: &Path,
+        opts: DurabilityOptions,
+        metrics: &Metrics,
+    ) -> Result<(Durability, RecoveredState)> {
         std::fs::create_dir_all(dir)
             .map_err(|e| Error::Storage(StorageError::Io(format!("create db dir: {e}"))))?;
         let wal = Wal::open(dir.join(WAL_FILE), wal_config(&opts))?;
-        Durability::finish_open(dir, wal, opts)
+        Durability::finish_open(dir, wal, opts, metrics)
     }
 
     /// Like [`Durability::open`] but over a caller-supplied log device —
@@ -208,20 +228,25 @@ impl Durability {
         dir: &Path,
         device: Box<dyn LogDevice>,
         opts: DurabilityOptions,
+        metrics: &Metrics,
     ) -> Result<(Durability, RecoveredState)> {
         std::fs::create_dir_all(dir)
             .map_err(|e| Error::Storage(StorageError::Io(format!("create db dir: {e}"))))?;
         let wal = Wal::with_device(device, wal_config(&opts))?;
-        Durability::finish_open(dir, wal, opts)
+        Durability::finish_open(dir, wal, opts, metrics)
     }
 
     fn finish_open(
         dir: &Path,
         wal: Wal,
         opts: DurabilityOptions,
+        metrics: &Metrics,
     ) -> Result<(Durability, RecoveredState)> {
         let checkpoint_path = dir.join(CHECKPOINT_FILE);
-        let checkpoint = read_checkpoint(&checkpoint_path)?;
+        let checkpoint = match opts.pool_pages {
+            Some(pages) => open_checkpoint_paged(&checkpoint_path, pages, metrics)?,
+            None => read_checkpoint(&checkpoint_path)?,
+        };
         let replay = wal.replay()?;
         Ok((
             Durability {

@@ -122,7 +122,7 @@ mod tests {
         cat.register("t", make_table(3));
         let t = cat.table("t").unwrap();
         // All rows must be visible through sealed groups.
-        let total: usize = t.groups().map(|g| g.num_rows()).sum();
+        let total: usize = (0..t.num_groups()).map(|g| t.group_rows(g)).sum();
         assert_eq!(total, 3);
     }
 

@@ -81,6 +81,9 @@ fn eval_lanes(expr: &Expr, batch: &RecordBatch, sel: Option<&[u32]>) -> Result<C
                 if let Some(out) = try_dict_compare(left, *op, right, batch, sel)? {
                     return Ok(out);
                 }
+                if let Some(out) = try_encoded_compare(left, *op, right, batch, sel)? {
+                    return Ok(out);
+                }
             }
             let l = eval_lanes(left, batch, sel)?;
             let r = eval_lanes(right, batch, sel)?;
@@ -172,6 +175,95 @@ fn try_dict_compare(
     kernel_metrics::record(|m| {
         m.counter("op.eval.kernel.dict_cmp_ns").add_elapsed(t0);
         m.counter("op.eval.kernel.dict_rows").add(n as u64);
+    });
+    Ok(Some(Column::Bool(vals, out_validity)))
+}
+
+/// Code-space comparison kernel for encoded integers: when one side is an
+/// [`Column::Int64Encoded`] column reference and the other a numeric
+/// literal, RLE columns get one verdict per run (filled across the whole
+/// span) and bit-packed columns compare unpacked words lane by lane —
+/// neither materializes a plain vector. Returns `None` when the shape
+/// doesn't apply.
+fn try_encoded_compare(
+    left: &Expr,
+    op: BinOp,
+    right: &Expr,
+    batch: &RecordBatch,
+    sel: Option<&[u32]>,
+) -> Result<Option<Column>> {
+    #[derive(Clone, Copy)]
+    enum Needle {
+        I(i64),
+        F(f64),
+    }
+    let (name, needle, flipped) = match (strip_alias(left), strip_alias(right)) {
+        (Expr::Column(n), Expr::Literal(Value::Int(v))) => (n, Needle::I(*v), false),
+        (Expr::Literal(Value::Int(v)), Expr::Column(n)) => (n, Needle::I(*v), true),
+        (Expr::Column(n), Expr::Literal(Value::Float(v))) => (n, Needle::F(*v), false),
+        (Expr::Literal(Value::Float(v)), Expr::Column(n)) => (n, Needle::F(*v), true),
+        _ => return Ok(None),
+    };
+    let Ok(col) = batch.column_by_name(name) else {
+        return Ok(None); // unknown column: let the generic path report it
+    };
+    let Some((data, validity)) = col.encoded_parts() else {
+        return Ok(None);
+    };
+    let t0 = Instant::now();
+    // `None` mirrors the float kernels' NaN behavior: no ordering, row NULL.
+    let verdict = |v: i64| -> Option<bool> {
+        let ord = match needle {
+            Needle::I(x) => {
+                if flipped {
+                    x.cmp(&v)
+                } else {
+                    v.cmp(&x)
+                }
+            }
+            Needle::F(x) => {
+                if flipped {
+                    x.partial_cmp(&(v as f64))?
+                } else {
+                    (v as f64).partial_cmp(&x)?
+                }
+            }
+        };
+        Some(cmp_keep(op, ord))
+    };
+    let n = col.len();
+    let mut vals = vec![false; n];
+    let mut out_validity = Bitmap::all_null(n);
+    match (data.runs(), sel) {
+        (Some(runs), None) => {
+            let mut pos = 0usize;
+            for &(v, cnt) in runs {
+                let end = pos + cnt as usize;
+                if let Some(k) = verdict(v) {
+                    for (slot, i) in vals[pos..end].iter_mut().zip(pos..) {
+                        if validity.get(i) {
+                            *slot = k;
+                            out_validity.set(i, true);
+                        }
+                    }
+                }
+                pos = end;
+            }
+        }
+        _ => {
+            lanes!(sel, n, i => {
+                if validity.get(i) {
+                    if let Some(k) = verdict(data.get(i)) {
+                        vals[i] = k;
+                        out_validity.set(i, true);
+                    }
+                }
+            });
+        }
+    }
+    kernel_metrics::record(|m| {
+        m.counter("op.eval.kernel.enc_cmp_ns").add_elapsed(t0);
+        m.counter("op.eval.kernel.enc_rows").add(n as u64);
     });
     Ok(Some(Column::Bool(vals, out_validity)))
 }
@@ -527,6 +619,13 @@ fn eval_unary(op: UnOp, input: &Column) -> Result<Column> {
                 vals.iter().map(|v| v.wrapping_neg()).collect(),
                 validity.clone(),
             )),
+            Column::Int64Encoded { data, validity } => Ok(Column::Int64(
+                data.decode()
+                    .into_iter()
+                    .map(|v| v.wrapping_neg())
+                    .collect(),
+                validity.clone(),
+            )),
             Column::Float64(vals, validity) => Ok(Column::Float64(
                 vals.iter().map(|v| -v).collect(),
                 validity.clone(),
@@ -669,6 +768,83 @@ fn eval_comparison(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Re
                 }
             });
         }
+        (
+            Column::Int64Encoded {
+                data: ld,
+                validity: lb,
+            },
+            Column::Int64(rv, rb),
+        ) => {
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(ld.get(i).cmp(&rv[i]));
+                    validity.set(i, true);
+                }
+            });
+        }
+        (
+            Column::Int64(lv, lb),
+            Column::Int64Encoded {
+                data: rd,
+                validity: rb,
+            },
+        ) => {
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(lv[i].cmp(&rd.get(i)));
+                    validity.set(i, true);
+                }
+            });
+        }
+        (
+            Column::Int64Encoded {
+                data: ld,
+                validity: lb,
+            },
+            Column::Int64Encoded {
+                data: rd,
+                validity: rb,
+            },
+        ) => {
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    vals[i] = keep(ld.get(i).cmp(&rd.get(i)));
+                    validity.set(i, true);
+                }
+            });
+        }
+        (
+            Column::Int64Encoded {
+                data: ld,
+                validity: lb,
+            },
+            Column::Float64(rv, rb),
+        ) => {
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    if let Some(ord) = (ld.get(i) as f64).partial_cmp(&rv[i]) {
+                        vals[i] = keep(ord);
+                        validity.set(i, true);
+                    }
+                }
+            });
+        }
+        (
+            Column::Float64(lv, lb),
+            Column::Int64Encoded {
+                data: rd,
+                validity: rb,
+            },
+        ) => {
+            lanes!(sel, n, i => {
+                if lb.get(i) && rb.get(i) {
+                    if let Some(ord) = lv[i].partial_cmp(&(rd.get(i) as f64)) {
+                        vals[i] = keep(ord);
+                        validity.set(i, true);
+                    }
+                }
+            });
+        }
         (Column::Bool(lv, lb), Column::Bool(rv, rb)) => {
             lanes!(sel, n, i => {
                 if lb.get(i) && rb.get(i) {
@@ -753,6 +929,13 @@ fn eval_comparison(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Re
 }
 
 fn eval_arithmetic(l: &Column, op: BinOp, r: &Column, sel: Option<&[u32]>) -> Result<Column> {
+    // Encoded integer inputs decode once and recurse: arithmetic writes a
+    // fresh output vector per lane anyway, so there is no code-space win.
+    if l.is_encoded() || r.is_encoded() {
+        let ld = if l.is_encoded() { l.decoded() } else { None };
+        let rd = if r.is_encoded() { r.decoded() } else { None };
+        return eval_arithmetic(ld.as_ref().unwrap_or(l), op, rd.as_ref().unwrap_or(r), sel);
+    }
     let n = l.len();
     match (l, r) {
         // Int op Int: stays integer, except Div which widens to float.
@@ -1073,6 +1256,100 @@ mod tests {
             let pm = eval_predicate(&col("p").not_like(pat), &b).unwrap();
             assert_eq!(dm, pm, "NOT LIKE {pat}");
         }
+    }
+
+    /// One compressible Int64 column, encoded, next to its plain twin —
+    /// every encoded kernel must agree with the plain path over it.
+    fn encoded_batch() -> RecordBatch {
+        let ints = vec![
+            Some(3),
+            Some(3),
+            None,
+            Some(7),
+            Some(7),
+            Some(7),
+            Some(-2),
+            None,
+        ];
+        let plain = Column::from_opt_i64(ints);
+        let enc = plain.int64_encode().expect("int column encodes");
+        assert!(enc.is_encoded());
+        let schema = Schema::new(vec![
+            Field::nullable("e", DataType::Int64),
+            Field::nullable("p", DataType::Int64),
+        ]);
+        RecordBatch::try_new(schema, vec![Arc::new(enc), Arc::new(plain)]).unwrap()
+    }
+
+    #[test]
+    fn encoded_compare_agrees_with_plain() {
+        let b = encoded_batch();
+        type MakeExpr = fn(Expr) -> Expr;
+        let cases: [MakeExpr; 6] = [
+            |c| c.eq(lit(7i64)),
+            |c| c.not_eq(lit(7i64)),
+            |c| c.lt(lit(3i64)),
+            |c| c.lt_eq(lit(3i64)),
+            |c| c.gt(lit(-2i64)),
+            |c| c.gt_eq(lit(7.0)),
+        ];
+        for make in cases {
+            let em = eval_predicate(&make(col("e")), &b).unwrap();
+            let pm = eval_predicate(&make(col("p")), &b).unwrap();
+            assert_eq!(em, pm);
+        }
+        // Flipped literal orientation takes the same fast path.
+        let em = eval_predicate(&lit(3i64).lt(col("e")), &b).unwrap();
+        let pm = eval_predicate(&lit(3i64).lt(col("p")), &b).unwrap();
+        assert_eq!(em, pm);
+        // Column-vs-column comparisons exercise the typed arms.
+        let em = eval_predicate(&col("e").eq(col("p")), &b).unwrap();
+        assert_eq!(em, vec![true, true, false, true, true, true, true, false]);
+        let em = eval_predicate(&col("e").lt_eq(col("e")), &b).unwrap();
+        let pm = eval_predicate(&col("p").lt_eq(col("p")), &b).unwrap();
+        assert_eq!(em, pm);
+    }
+
+    #[test]
+    fn encoded_compare_records_kernel_metrics() {
+        let b = encoded_batch();
+        let m = crate::Metrics::new();
+        {
+            let _g = kernel_metrics::install(Some(m.clone()));
+            eval_predicate(&col("e").gt(lit(0i64)), &b).unwrap();
+        }
+        assert_eq!(m.value("op.eval.kernel.enc_rows"), 8);
+    }
+
+    #[test]
+    fn encoded_arithmetic_and_misc_agree_with_plain() {
+        let b = encoded_batch();
+        let ec = eval(&col("e").add(lit(5i64)).mul(lit(2i64)), &b).unwrap();
+        let pc = eval(&col("p").add(lit(5i64)).mul(lit(2i64)), &b).unwrap();
+        for i in 0..b.num_rows() {
+            assert_eq!(ec.value(i), pc.value(i), "arith row {i}");
+        }
+        let en = eval(&col("e").neg(), &b).unwrap();
+        let pn = eval(&col("p").neg(), &b).unwrap();
+        for i in 0..b.num_rows() {
+            assert_eq!(en.value(i), pn.value(i), "neg row {i}");
+        }
+        let em = eval_predicate(&col("e").is_null(), &b).unwrap();
+        let pm = eval_predicate(&col("p").is_null(), &b).unwrap();
+        assert_eq!(em, pm);
+        let em = eval_predicate(&col("e").in_list(vec![lit(3i64), lit(-2i64)]), &b).unwrap();
+        let pm = eval_predicate(&col("p").in_list(vec![lit(3i64), lit(-2i64)]), &b).unwrap();
+        assert_eq!(em, pm);
+    }
+
+    #[test]
+    fn encoded_compare_respects_selection() {
+        let b = encoded_batch();
+        let sel = b.with_selection(Arc::new(vec![0, 3, 6])).unwrap();
+        let em = eval_predicate(&col("e").gt(lit(0i64)), &sel).unwrap();
+        let pm = eval_predicate(&col("p").gt(lit(0i64)), &sel).unwrap();
+        assert_eq!(em, pm);
+        assert_eq!(em, vec![true, true, false]);
     }
 
     #[test]

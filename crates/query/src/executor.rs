@@ -88,6 +88,12 @@ pub struct ExecOptions {
     /// Rows per scan batch (0 = one batch per row group). Smaller batches
     /// keep the working set cache-resident through the kernel pipeline.
     pub batch_rows: usize,
+    /// Memory budget in bytes for pipeline-breaking operator state (hash
+    /// aggregate tables, hash join build sides). `None` = unlimited. When
+    /// the shared per-query total crosses the budget, operators partition
+    /// their state by key hash and spill to disk (Grace-style), re-reading
+    /// one partition at a time.
+    pub mem_budget: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -110,6 +116,7 @@ impl ExecOptions {
             rules: None,
             metrics: None,
             batch_rows: DEFAULT_BATCH_ROWS,
+            mem_budget: None,
         }
     }
 
@@ -147,6 +154,13 @@ impl ExecOptions {
     /// These options with scan batches capped at `n` rows (0 = per row group).
     pub fn with_batch_rows(mut self, n: usize) -> ExecOptions {
         self.batch_rows = n;
+        self
+    }
+
+    /// These options with a memory budget (bytes) for operator state. Hash
+    /// aggregates and hash joins spill to disk instead of exceeding it.
+    pub fn with_mem_budget(mut self, bytes: usize) -> ExecOptions {
+        self.mem_budget = Some(bytes);
         self
     }
 
@@ -211,16 +225,40 @@ pub fn explain_analyze(
     let est = estimate_rows(&optimized, catalog);
     let (mut op, profile) = create_instrumented_plan(&optimized, catalog, opts)?;
     let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
+    // Snapshot spill counters so the report shows this query's delta even
+    // against a long-lived shared registry.
+    let spill_keys = [
+        "storage.spill.partitions",
+        "storage.spill.bytes_written",
+        "storage.spill.bytes_read",
+    ];
+    let spill_before: Vec<u64> = spill_keys
+        .iter()
+        .map(|k| opts.metrics.as_ref().map_or(0, |m| m.value(k)))
+        .collect();
     let start = std::time::Instant::now();
     let result = drain_one(op.as_mut())?.decoded();
     let total = start.elapsed();
     drop(op); // release operator state before rendering the final counters
-    let report = format!(
+    let mut report = format!(
         "== Analyzed plan (est. {est:.0} rows, actual {} rows, total {}) ==\n{}",
         result.num_rows(),
         crate::profile::format_ns(total.as_nanos() as u64),
         profile.render(),
     );
+    if let Some(m) = &opts.metrics {
+        let delta: Vec<u64> = spill_keys
+            .iter()
+            .zip(&spill_before)
+            .map(|(k, &b)| m.value(k).saturating_sub(b))
+            .collect();
+        if delta.iter().any(|&d| d > 0) {
+            report.push_str(&format!(
+                "spill: partitions={} bytes_written={} bytes_read={}\n",
+                delta[0], delta[1], delta[2]
+            ));
+        }
+    }
     Ok((report, result))
 }
 

@@ -8,12 +8,13 @@
 //! column at a time. A global aggregate (no keys) skips hashing entirely.
 
 use super::parallel::{record_worker, ParallelProfile, SharedSource};
+use super::spill::{BudgetAccountant, BudgetLease, SpillFile, SpillSet, MAX_SPILL_DEPTH};
 use super::{for_each_lane, Operator};
 use crate::error::{QueryError, Result};
 use crate::eval::eval_arc;
 use crate::expr::{AggExpr, AggFunc, Expr};
 use backbone_storage::{Bitmap, Column, DataType, Field, Metrics, RecordBatch, Schema, Value};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Open-addressing hash table mapping key hashes to dense group ids.
@@ -248,6 +249,24 @@ impl AccVec {
                             return Err(QueryError::Arithmetic("SUM integer overflow".into()));
                         }
                     }
+                    Column::Int64Encoded { data, validity } => {
+                        let mut overflow = false;
+                        for_each_lane(sel, n, |pos, base| {
+                            if validity.get(base) {
+                                let g = gids[pos] as usize;
+                                match sums[g].checked_add(data.get(base)) {
+                                    Some(s) => {
+                                        sums[g] = s;
+                                        seen[g] = true;
+                                    }
+                                    None => overflow = true,
+                                }
+                            }
+                        });
+                        if overflow {
+                            return Err(QueryError::Arithmetic("SUM integer overflow".into()));
+                        }
+                    }
                     other => {
                         return Err(QueryError::InvalidExpression(format!(
                             "SUM over {}",
@@ -273,6 +292,15 @@ impl AccVec {
                             if bm.get(base) {
                                 let g = gids[pos] as usize;
                                 sums[g] += v[base] as f64;
+                                seen[g] = true;
+                            }
+                        });
+                    }
+                    Column::Int64Encoded { data, validity } => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if validity.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += data.get(base) as f64;
                                 seen[g] = true;
                             }
                         });
@@ -306,6 +334,15 @@ impl AccVec {
                             }
                         });
                     }
+                    Column::Int64Encoded { data, validity } => {
+                        for_each_lane(sel, n, |pos, base| {
+                            if validity.get(base) {
+                                let g = gids[pos] as usize;
+                                sums[g] += data.get(base) as f64;
+                                counts[g] += 1;
+                            }
+                        });
+                    }
                     other => {
                         // Mirror the row-at-a-time error: only raised when a
                         // non-null value actually arrives.
@@ -323,8 +360,8 @@ impl AccVec {
                     }
                 }
             }
-            AccVec::MinMaxI { vals, seen, min } => {
-                if let Some(Column::Int64(v, bm)) = input {
+            AccVec::MinMaxI { vals, seen, min } => match input {
+                Some(Column::Int64(v, bm)) => {
                     let min = *min;
                     for_each_lane(sel, n, |pos, base| {
                         if bm.get(base) {
@@ -337,7 +374,21 @@ impl AccVec {
                         }
                     });
                 }
-            }
+                Some(Column::Int64Encoded { data, validity }) => {
+                    let min = *min;
+                    for_each_lane(sel, n, |pos, base| {
+                        if validity.get(base) {
+                            let g = gids[pos] as usize;
+                            let x = data.get(base);
+                            if !seen[g] || (min && x < vals[g]) || (!min && x > vals[g]) {
+                                vals[g] = x;
+                                seen[g] = true;
+                            }
+                        }
+                    });
+                }
+                _ => {}
+            },
             AccVec::MinMaxF { vals, seen, min } => {
                 if let Some(Column::Float64(v, bm)) = input {
                     let min = *min;
@@ -502,6 +553,121 @@ impl AccVec {
         Ok(())
     }
 
+    /// Approximate resident bytes, for budget accounting.
+    fn byte_size(&self) -> usize {
+        match self {
+            AccVec::Count(c) => c.len() * 8,
+            AccVec::SumI { sums, seen } => sums.len() * 8 + seen.len(),
+            AccVec::SumF { sums, seen } => sums.len() * 8 + seen.len(),
+            AccVec::Avg { sums, counts } => sums.len() * 8 + counts.len() * 8,
+            AccVec::MinMaxI { vals, seen, .. } => vals.len() * 8 + seen.len(),
+            AccVec::MinMaxF { vals, seen, .. } => vals.len() * 8 + seen.len(),
+            AccVec::MinMaxS { vals, seen, .. } => {
+                vals.iter().map(|s| s.capacity() + 24).sum::<usize>() + seen.len()
+            }
+            AccVec::MinMaxB { vals, seen, .. } => vals.len() + seen.len(),
+        }
+    }
+
+    /// Data types of this accumulator's serialized partial state. AVG keeps
+    /// sums and counts as separate columns so re-merged partials stay exact.
+    fn state_types(&self) -> Vec<DataType> {
+        match self {
+            AccVec::Count(_) => vec![DataType::Int64],
+            AccVec::SumI { .. } => vec![DataType::Int64],
+            AccVec::SumF { .. } => vec![DataType::Float64],
+            AccVec::Avg { .. } => vec![DataType::Float64, DataType::Int64],
+            AccVec::MinMaxI { .. } => vec![DataType::Int64],
+            AccVec::MinMaxF { .. } => vec![DataType::Float64],
+            AccVec::MinMaxS { .. } => vec![DataType::Utf8],
+            AccVec::MinMaxB { .. } => vec![DataType::Bool],
+        }
+    }
+
+    /// Serialize the partial state for spilling. `seen` becomes the validity
+    /// bitmap, so a codec round trip that zeroes data under nulls cannot
+    /// change the merge result ([`AccVec::merge_from`] checks `seen` first).
+    fn state_columns(&self) -> Vec<Column> {
+        match self {
+            AccVec::Count(c) => vec![Column::from_i64(c.clone())],
+            AccVec::SumI { sums, seen } => {
+                vec![Column::Int64(sums.clone(), Bitmap::from_bools(seen))]
+            }
+            AccVec::SumF { sums, seen } => {
+                vec![Column::Float64(sums.clone(), Bitmap::from_bools(seen))]
+            }
+            AccVec::Avg { sums, counts } => vec![
+                Column::from_f64(sums.clone()),
+                Column::from_i64(counts.clone()),
+            ],
+            AccVec::MinMaxI { vals, seen, .. } => {
+                vec![Column::Int64(vals.clone(), Bitmap::from_bools(seen))]
+            }
+            AccVec::MinMaxF { vals, seen, .. } => {
+                vec![Column::Float64(vals.clone(), Bitmap::from_bools(seen))]
+            }
+            AccVec::MinMaxS { vals, seen, .. } => {
+                vec![Column::Utf8(vals.clone(), Bitmap::from_bools(seen))]
+            }
+            AccVec::MinMaxB { vals, seen, .. } => {
+                vec![Column::Bool(vals.clone(), Bitmap::from_bools(seen))]
+            }
+        }
+    }
+
+    /// Rebuild partial state from spilled columns (inverse of
+    /// [`AccVec::state_columns`]); consumes as many columns from the
+    /// iterator as [`AccVec::state_types`] declares.
+    fn load_state<'a>(&mut self, cols: &mut impl Iterator<Item = &'a Arc<Column>>) -> Result<()> {
+        fn seen_of(col: &Column) -> Vec<bool> {
+            let bm = col.validity();
+            (0..col.len()).map(|i| bm.get(i)).collect()
+        }
+        let mut next = || {
+            cols.next().ok_or_else(|| {
+                QueryError::InvalidPlan("missing spilled aggregate state column".into())
+            })
+        };
+        match self {
+            AccVec::Count(c) => *c = next()?.i64_data()?.to_vec(),
+            AccVec::SumI { sums, seen } => {
+                let col = next()?;
+                *sums = col.i64_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+            AccVec::SumF { sums, seen } => {
+                let col = next()?;
+                *sums = col.f64_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+            AccVec::Avg { sums, counts } => {
+                *sums = next()?.f64_data()?.to_vec();
+                *counts = next()?.i64_data()?.to_vec();
+            }
+            AccVec::MinMaxI { vals, seen, .. } => {
+                let col = next()?;
+                *vals = col.i64_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+            AccVec::MinMaxF { vals, seen, .. } => {
+                let col = next()?;
+                *vals = col.f64_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+            AccVec::MinMaxS { vals, seen, .. } => {
+                let col = next()?;
+                *vals = col.utf8_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+            AccVec::MinMaxB { vals, seen, .. } => {
+                let col = next()?;
+                *vals = col.bool_data()?.to_vec();
+                *seen = seen_of(col);
+            }
+        }
+        Ok(())
+    }
+
     /// Emit the output column across all groups.
     fn finish(self) -> Column {
         fn with_seen<T>(
@@ -626,6 +792,42 @@ impl AggState {
             let accs = &mut self.accs;
             let table = &mut self.table;
             let n_groups = &mut self.n_groups;
+            // Run-aware fast path: a single all-valid RLE-encoded key with
+            // no selection resolves one group id per *run* — every row in a
+            // run shares the key, hence the hash, hence the group.
+            let key_runs = if sel.is_none() && key_cols.len() == 1 {
+                match key_cols[0].as_ref() {
+                    Column::Int64Encoded { data, validity } if validity.all_set() => data.runs(),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(runs) = key_runs {
+                let mut pos = 0usize;
+                for &(_, cnt) in runs {
+                    let (gid, inserted) = table.find_or_insert(hashes[pos], *n_groups, |g| {
+                        key_stores[0].eq_rows_null_eq(g as usize, &key_cols[0], pos)
+                    });
+                    if inserted {
+                        *n_groups += 1;
+                        key_stores[0].push_from(&key_cols[0], pos)?;
+                        for acc in accs.iter_mut() {
+                            acc.push_group();
+                        }
+                    }
+                    let end = pos + cnt as usize;
+                    gids[pos..end].fill(gid);
+                    pos = end;
+                }
+                self.hash_ns += t0.elapsed().as_nanos() as u64;
+                let t1 = Instant::now();
+                for (acc, col) in self.accs.iter_mut().zip(&agg_cols) {
+                    acc.update_batch(&self.gids, sel, n, col.as_deref())?;
+                }
+                self.update_ns += t1.elapsed().as_nanos() as u64;
+                return Ok(());
+            }
             for_each_lane(sel, n, |pos, base_row| {
                 if insert_err.is_some() {
                     return;
@@ -720,6 +922,98 @@ impl AggState {
         }
         Ok(())
     }
+
+    /// Approximate resident bytes of this grouping state (keys +
+    /// accumulators + hash table), for budget accounting.
+    fn mem_bytes(&self) -> usize {
+        let keys: usize = self.key_stores.iter().map(|c| c.byte_size()).sum();
+        let accs: usize = self.accs.iter().map(|a| a.byte_size()).sum();
+        keys + accs + self.table.slots.len() * 12
+    }
+
+    /// Serialize every group as one partial-state row: key columns first,
+    /// then each accumulator's state columns, matching the spill schema.
+    fn state_batch(&self, spill_schema: &Arc<Schema>) -> Result<RecordBatch> {
+        let mut cols: Vec<Arc<Column>> = Vec::with_capacity(spill_schema.len());
+        for ks in &self.key_stores {
+            cols.push(Arc::new(ks.clone()));
+        }
+        for acc in &self.accs {
+            for c in acc.state_columns() {
+                cols.push(Arc::new(c));
+            }
+        }
+        Ok(RecordBatch::try_new(spill_schema.clone(), cols)?)
+    }
+
+    /// Merge one spilled partial-state batch back in (inverse of
+    /// [`AggState::state_batch`], routed through [`AggState::absorb`] so the
+    /// merge semantics are identical to the parallel worker merge).
+    fn absorb_batch(&mut self, batch: &RecordBatch, spec: &AggSpec<'_>) -> Result<()> {
+        let mut partial = AggState::new(spec.key_types, spec.aggs, spec.agg_input_types);
+        partial.n_groups = batch.num_rows() as u32;
+        partial.key_stores = (0..spec.nkeys())
+            .map(|i| batch.column(i).as_ref().clone())
+            .collect();
+        let mut it = batch.columns().iter().skip(spec.nkeys());
+        for acc in &mut partial.accs {
+            acc.load_state(&mut it)?;
+        }
+        self.absorb(&partial, spec.nkeys())
+    }
+}
+
+/// The aggregate's type spec, bundled so spill helpers stay callable from
+/// worker closures that cannot borrow the whole operator.
+struct AggSpec<'a> {
+    key_types: &'a [DataType],
+    aggs: &'a [AggExpr],
+    agg_input_types: &'a [DataType],
+}
+
+impl AggSpec<'_> {
+    fn nkeys(&self) -> usize {
+        self.key_types.len()
+    }
+}
+
+/// Flush `state`'s groups into `spill` partitioned by key hash at `depth`,
+/// leaving a fresh state that keeps the running timing counters.
+fn spill_state_into(
+    state: &mut AggState,
+    spill: &mut SpillSet,
+    spill_schema: &Arc<Schema>,
+    spec: &AggSpec<'_>,
+    depth: usize,
+    metrics: Option<&Metrics>,
+) -> Result<()> {
+    if state.n_groups == 0 {
+        return Ok(());
+    }
+    let batch = state.state_batch(spill_schema)?;
+    let key_idx: Vec<usize> = (0..spec.nkeys()).collect();
+    spill.append_partitioned(&batch, &key_idx, depth, metrics)?;
+    let mut fresh = AggState::new(spec.key_types, spec.aggs, spec.agg_input_types);
+    fresh.hash_ns = state.hash_ns;
+    fresh.update_ns = state.update_ns;
+    fresh.dict_key_rows = state.dict_key_rows;
+    fresh.morsels = state.morsels;
+    fresh.rows = state.rows;
+    *state = fresh;
+    Ok(())
+}
+
+/// Emit a finished state as an output batch (keys + aggregate results).
+fn finish_batch(state: AggState, schema: &Arc<Schema>) -> Result<RecordBatch> {
+    let mut columns: Vec<Arc<Column>> =
+        Vec::with_capacity(state.key_stores.len() + state.accs.len());
+    for store in state.key_stores {
+        columns.push(Arc::new(store));
+    }
+    for acc in state.accs {
+        columns.push(Arc::new(acc.finish()));
+    }
+    Ok(RecordBatch::try_new(schema.clone(), columns)?)
 }
 
 /// Hash aggregate: consumes all input, groups by key expressions, and emits
@@ -736,6 +1030,7 @@ pub struct HashAggregateExec {
     metrics: Option<Metrics>,
     workers: usize,
     profile: Option<ParallelProfile>,
+    budget: Option<Arc<BudgetAccountant>>,
     done: bool,
 }
 
@@ -769,6 +1064,7 @@ impl HashAggregateExec {
             metrics: None,
             workers: 0,
             profile: None,
+            budget: None,
             done: false,
         })
     }
@@ -792,9 +1088,97 @@ impl HashAggregateExec {
         self
     }
 
+    /// Share a per-query memory-budget accountant. When the shared total
+    /// crosses the limit, grouped aggregation partitions its hash-table
+    /// state by key hash and spills to disk.
+    pub fn with_budget(mut self, budget: Option<Arc<BudgetAccountant>>) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Schema of spilled partial-state batches: group keys, then each
+    /// accumulator's state columns.
+    fn spill_schema(&self) -> Arc<Schema> {
+        let mut fields = Vec::new();
+        for (i, &dt) in self.key_types.iter().enumerate() {
+            fields.push(Field::nullable(format!("k{i}"), dt));
+        }
+        for (ai, (a, &dt)) in self.aggs.iter().zip(&self.agg_input_types).enumerate() {
+            let proto = AccVec::new(a.func, dt);
+            for (si, sdt) in proto.state_types().into_iter().enumerate() {
+                fields.push(Field::nullable(format!("a{ai}s{si}"), sdt));
+            }
+        }
+        Schema::new(fields)
+    }
+
+    fn spec(&self) -> AggSpec<'_> {
+        AggSpec {
+            key_types: &self.key_types,
+            aggs: &self.aggs,
+            agg_input_types: &self.agg_input_types,
+        }
+    }
+
+    /// Re-aggregate one spilled partition. A partition whose merged state
+    /// itself exceeds the budget repartitions with deeper hash bits and
+    /// recurses, up to [`MAX_SPILL_DEPTH`]; past the cap it finishes in
+    /// memory (correctness over the ceiling).
+    fn process_partition(
+        &self,
+        file: &mut SpillFile,
+        spill_schema: &Arc<Schema>,
+        depth: usize,
+        out: &mut Vec<RecordBatch>,
+    ) -> Result<()> {
+        if file.is_empty() {
+            return Ok(());
+        }
+        let spec = self.spec();
+        let batches = file.read_all(spill_schema, self.metrics.as_ref())?;
+        let mut lease = self.budget.as_ref().map(|b| BudgetLease::new(b.clone()));
+        let mut st = AggState::new(&self.key_types, &self.aggs, &self.agg_input_types);
+        for (i, b) in batches.iter().enumerate() {
+            st.absorb_batch(b, &spec)?;
+            if let Some(l) = &mut lease {
+                l.set(st.mem_bytes());
+                if l.over() && depth < MAX_SPILL_DEPTH {
+                    let mut sub = SpillSet::new();
+                    spill_state_into(
+                        &mut st,
+                        &mut sub,
+                        spill_schema,
+                        &spec,
+                        depth,
+                        self.metrics.as_ref(),
+                    )?;
+                    l.set(st.mem_bytes());
+                    let key_idx: Vec<usize> = (0..spec.nkeys()).collect();
+                    for rest in &batches[i + 1..] {
+                        sub.append_partitioned(rest, &key_idx, depth, self.metrics.as_ref())?;
+                    }
+                    for mut f in sub.into_files() {
+                        self.process_partition(&mut f, spill_schema, depth + 1, out)?;
+                    }
+                    return Ok(());
+                }
+            }
+        }
+        if st.n_groups > 0 {
+            out.push(finish_batch(st, &self.schema)?);
+        }
+        Ok(())
+    }
+
     /// Build per-worker partial states in parallel, then merge them serially
-    /// in worker order.
-    fn parallel_state(&mut self) -> Result<AggState> {
+    /// in worker order. Workers share the budget accountant; a worker whose
+    /// state pushes the shared total over the limit serializes it into the
+    /// shared partition files under one lock.
+    fn parallel_state(
+        &mut self,
+        spill: &mut Option<SpillSet>,
+        spill_schema: &Arc<Schema>,
+    ) -> Result<AggState> {
         let workers = self.workers;
         let metrics = &self.metrics;
         let profile = &self.profile;
@@ -802,13 +1186,41 @@ impl HashAggregateExec {
         let aggs = &self.aggs;
         let key_types = &self.key_types;
         let agg_input_types = &self.agg_input_types;
+        let budget = self.budget.clone();
+        let nkeys = group_by.len();
+        let shared_spill: Mutex<&mut Option<SpillSet>> = Mutex::new(spill);
         let source = SharedSource::new(self.input.as_mut());
         let states: Vec<Result<AggState>> = super::pool::run_workers(workers, |w| {
             // Per-thread handle so eval kernels report here too.
             let _kernel = crate::kernel_metrics::install(metrics.clone());
+            let spec = AggSpec {
+                key_types,
+                aggs,
+                agg_input_types,
+            };
+            let mut lease = budget.as_ref().map(|b| BudgetLease::new(b.clone()));
             let mut st = AggState::new(key_types, aggs, agg_input_types);
             while let Some(batch) = source.next()? {
                 st.consume(group_by, aggs, &batch)?;
+                if nkeys > 0 {
+                    if let Some(l) = &mut lease {
+                        l.set(st.mem_bytes());
+                        if l.over() {
+                            let mut guard = shared_spill.lock().expect("spill lock");
+                            let set = guard.get_or_insert_with(SpillSet::new);
+                            spill_state_into(
+                                &mut st,
+                                set,
+                                spill_schema,
+                                &spec,
+                                0,
+                                metrics.as_ref(),
+                            )?;
+                            drop(guard);
+                            l.set(st.mem_bytes());
+                        }
+                    }
+                }
             }
             record_worker(metrics.as_ref(), "aggregate", w, st.morsels, st.rows);
             Ok(st)
@@ -851,15 +1263,51 @@ impl Operator for HashAggregateExec {
         self.done = true;
 
         let nkeys = self.group_by.len();
+        let spill_schema = self.spill_schema();
+        let mut spill: Option<SpillSet> = None;
         let mut state = if self.workers == 0 {
+            // Field-level borrows: `spec` must not lock all of `self` while
+            // the loop pulls from `self.input`.
+            let spec = AggSpec {
+                key_types: &self.key_types,
+                aggs: &self.aggs,
+                agg_input_types: &self.agg_input_types,
+            };
+            let mut lease = self.budget.as_ref().map(|b| BudgetLease::new(b.clone()));
             let mut st = AggState::new(&self.key_types, &self.aggs, &self.agg_input_types);
             while let Some(batch) = self.input.next()? {
                 st.consume(&self.group_by, &self.aggs, &batch)?;
+                if nkeys > 0 {
+                    if let Some(l) = &mut lease {
+                        l.set(st.mem_bytes());
+                        if l.over() {
+                            spill_state_into(
+                                &mut st,
+                                spill.get_or_insert_with(SpillSet::new),
+                                &spill_schema,
+                                &spec,
+                                0,
+                                self.metrics.as_ref(),
+                            )?;
+                            l.set(st.mem_bytes());
+                        }
+                    }
+                }
             }
             st
         } else {
-            self.parallel_state()?
+            self.parallel_state(&mut spill, &spill_schema)?
         };
+
+        // The merge of per-worker partials can itself cross the budget even
+        // when no worker spilled mid-stream.
+        if spill.is_none() && nkeys > 0 {
+            if let Some(b) = &self.budget {
+                if state.mem_bytes() > b.limit() {
+                    spill = Some(SpillSet::new());
+                }
+            }
+        }
 
         // Global aggregation over an empty input still yields one row
         // (COUNT(*) = 0, SUM = NULL, ...), matching SQL.
@@ -870,26 +1318,48 @@ impl Operator for HashAggregateExec {
             }
         }
 
+        // When anything spilled, every group flows through the partitions:
+        // the in-memory residual is flushed too, so a group spilled earlier
+        // cannot also be emitted from memory. Output group order becomes
+        // per-partition instead of first-appearance.
+        let spilled_out = if let Some(mut set) = spill.take() {
+            let spec = self.spec();
+            spill_state_into(
+                &mut state,
+                &mut set,
+                &spill_schema,
+                &spec,
+                0,
+                self.metrics.as_ref(),
+            )?;
+            let mut out = Vec::new();
+            for mut f in set.into_files() {
+                self.process_partition(&mut f, &spill_schema, 1, &mut out)?;
+            }
+            Some(out)
+        } else {
+            None
+        };
+
+        let groups_total = match &spilled_out {
+            Some(bs) => bs.iter().map(|b| b.num_rows() as u64).sum(),
+            None => state.n_groups as u64,
+        };
         if let Some(m) = &self.metrics {
             m.counter("op.aggregate.kernel.hash_ns").add(state.hash_ns);
             m.counter("op.aggregate.kernel.update_ns")
                 .add(state.update_ns);
-            m.counter("op.aggregate.kernel.groups")
-                .add(state.n_groups as u64);
+            m.counter("op.aggregate.kernel.groups").add(groups_total);
             if state.dict_key_rows > 0 {
                 m.counter("op.aggregate.kernel.dict_key_rows")
                     .add(state.dict_key_rows);
             }
         }
 
-        let mut columns: Vec<Arc<Column>> = Vec::with_capacity(nkeys + self.aggs.len());
-        for store in state.key_stores {
-            columns.push(Arc::new(store));
+        match spilled_out {
+            Some(bs) => Ok(Some(RecordBatch::concat(self.schema.clone(), &bs)?)),
+            None => Ok(Some(finish_batch(state, &self.schema)?)),
         }
-        for acc in state.accs {
-            columns.push(Arc::new(acc.finish()));
-        }
-        Ok(Some(RecordBatch::try_new(self.schema.clone(), columns)?))
     }
 
     fn name(&self) -> &'static str {
@@ -1185,5 +1655,99 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r[0] == Value::Int(2) && r[1] == Value::Int(40) && r[2] == Value::Int(1)));
+    }
+
+    /// Sorted row images for order-insensitive comparison: spilled output is
+    /// emitted per partition, not in first-appearance order.
+    fn sorted_rows(b: &RecordBatch) -> Vec<String> {
+        let mut rows: Vec<String> = b.to_rows().iter().map(|r| format!("{r:?}")).collect();
+        rows.sort();
+        rows
+    }
+
+    /// 800 rows over 157 groups with a mixed accumulator set; integer-valued
+    /// sums stay exact in f64, so avg is merge-order independent.
+    fn many_groups(workers: usize, budget: Option<usize>, metrics: Option<Metrics>) -> RecordBatch {
+        let batches: Vec<_> = (0..8)
+            .map(|b| {
+                int_batch(&[
+                    ("g", (0..100).map(|i| (b * 100 + i) % 157).collect()),
+                    ("v", (0..100).map(|i| b * 100 + i).collect()),
+                ])
+            })
+            .collect();
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::new(batches[0].schema().clone(), batches)),
+            vec![col("g")],
+            vec![
+                sum(col("v")).alias("s"),
+                count_star().alias("n"),
+                min(col("v")).alias("lo"),
+                avg(col("v")).alias("a"),
+            ],
+        )
+        .unwrap()
+        .with_workers(workers)
+        .with_metrics(metrics)
+        .with_budget(budget.map(BudgetAccountant::new));
+        drain_one(&mut agg).unwrap()
+    }
+
+    #[test]
+    fn spilling_aggregate_matches_in_memory() {
+        let expect = sorted_rows(&many_groups(0, None, None));
+        let metrics = Metrics::new();
+        let spilled = many_groups(0, Some(4096), Some(metrics.clone()));
+        assert_eq!(sorted_rows(&spilled), expect);
+        assert!(
+            metrics.value("storage.spill.partitions") > 0,
+            "a 4 KiB budget must force a spill"
+        );
+        assert!(metrics.value("storage.spill.bytes_written") > 0);
+        assert!(metrics.value("storage.spill.bytes_read") > 0);
+    }
+
+    #[test]
+    fn parallel_spilling_aggregate_matches_serial() {
+        let expect = sorted_rows(&many_groups(0, None, None));
+        let metrics = Metrics::new();
+        let spilled = many_groups(4, Some(4096), Some(metrics.clone()));
+        assert_eq!(sorted_rows(&spilled), expect);
+        assert!(metrics.value("storage.spill.partitions") > 0);
+    }
+
+    #[test]
+    fn one_byte_budget_recursion_stays_correct() {
+        // Every partition is always "over", so repartitioning recurses to
+        // MAX_SPILL_DEPTH and then finishes in memory.
+        let expect = sorted_rows(&many_groups(0, None, None));
+        assert_eq!(sorted_rows(&many_groups(0, Some(1), None)), expect);
+    }
+
+    #[test]
+    fn generous_budget_never_spills() {
+        let metrics = Metrics::new();
+        let out = many_groups(0, Some(64 << 20), Some(metrics.clone()));
+        assert_eq!(sorted_rows(&out), sorted_rows(&many_groups(0, None, None)));
+        assert_eq!(metrics.value("storage.spill.partitions"), 0);
+    }
+
+    #[test]
+    fn global_aggregate_ignores_budget() {
+        // No group keys: nothing to partition by, so the (tiny) budget must
+        // not trigger spilling and the single-row result stays exact.
+        let metrics = Metrics::new();
+        let batch = int_batch(&[("v", vec![1, 2, 3, 4])]);
+        let mut agg = HashAggregateExec::new(
+            Box::new(BatchSource::single(batch)),
+            vec![],
+            vec![sum(col("v")).alias("s")],
+        )
+        .unwrap()
+        .with_metrics(Some(metrics.clone()))
+        .with_budget(Some(BudgetAccountant::new(1)));
+        let out = drain_one(&mut agg).unwrap();
+        assert_eq!(out.row(0)[0], Value::Int(10));
+        assert_eq!(metrics.value("storage.spill.partitions"), 0);
     }
 }

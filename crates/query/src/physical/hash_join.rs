@@ -13,7 +13,8 @@
 //! per-batch join output is identical either way.
 
 use super::parallel::{record_worker, ParallelProfile, SharedSource};
-use super::{drain, for_each_lane, Operator};
+use super::spill::{BudgetAccountant, BudgetLease, SpillFile, SpillSet, MAX_SPILL_DEPTH};
+use super::{for_each_lane, Operator};
 use crate::error::{QueryError, Result};
 use crate::logical::JoinType;
 use backbone_storage::{Column, Metrics, RecordBatch, Schema};
@@ -38,6 +39,26 @@ pub struct HashJoinExec {
     done_probe: bool,
     /// Left-outer padding emitted (at most once, after the probe drains).
     left_emitted: bool,
+    /// Shared memory budget; the build side spills to a Grace partition
+    /// join when collecting it would cross the ceiling.
+    budget: Option<Arc<BudgetAccountant>>,
+    /// Reservation for the resident build table (in-memory mode).
+    lease: Option<BudgetLease>,
+    grace: Option<GraceJoin>,
+}
+
+/// State for a Grace (partitioned, out-of-core) hash join: both inputs were
+/// hash-partitioned into spill files and the pairs are joined one at a time.
+/// Equal keys hash equally, so a partition pair is self-contained — and
+/// distinct partitions are key-disjoint, which makes per-partition
+/// left-outer padding sound.
+struct GraceJoin {
+    /// (build partition, probe partition, repartition depth) work queue.
+    parts: VecDeque<(SpillFile, SpillFile, usize)>,
+    lschema: Arc<Schema>,
+    rschema: Arc<Schema>,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
 }
 
 struct BuildSide {
@@ -149,6 +170,52 @@ fn probe_batch(
     // Row-id match lists: one (build_row, probe_base_row) pair per hit.
     let mut left_rows: Vec<u32> = Vec::new();
     let mut right_rows: Vec<u32> = Vec::new();
+    // Run-aware fast path: a single all-valid RLE-encoded probe key with no
+    // selection walks the build chain once per *run* — every row in a run
+    // shares the key, hence the candidate set. Pair emission order matches
+    // the per-row loop exactly (probe rows ascending, candidates in chain
+    // order), so results are bit-for-bit identical.
+    let probe_runs = if build.probe_keys.len() == 1 && sel.is_none() {
+        match probe_cols[0].as_ref() {
+            Column::Int64Encoded { data, validity } if validity.all_set() => data.runs(),
+            _ => None,
+        }
+    } else {
+        None
+    };
+    if let Some(runs) = probe_runs {
+        let bcol = build.batch.column(build.build_keys[0]);
+        let mut matches: Vec<u32> = Vec::new();
+        let mut pos = 0usize;
+        for &(_, cnt) in runs {
+            let end = pos + cnt as usize;
+            let h = hashes[pos];
+            let heads = &build.heads[build.partition(h)];
+            let mut cand = heads[(h as usize) & build.bucket_mask];
+            matches.clear();
+            while cand != 0 {
+                let r = (cand - 1) as usize;
+                if build.hashes[r] == h && bcol.eq_rows_null_eq(r, probe_cols[0], pos) {
+                    matches.push(r as u32);
+                }
+                cand = build.next[r].load(Ordering::Relaxed);
+            }
+            if !matches.is_empty() {
+                for &r in &matches {
+                    build.matched[r as usize].store(true, Ordering::Relaxed);
+                }
+                for row in pos..end {
+                    for &r in &matches {
+                        left_rows.push(r);
+                        right_rows.push(row as u32);
+                    }
+                }
+            }
+            pos = end;
+        }
+        stats.probe_ns = t0.elapsed().as_nanos() as u64;
+        return finish_probe(build, probe, schema, left_rows, right_rows, stats);
+    }
     for_each_lane(sel, n, |_, base_row| {
         if probe_cols.iter().any(|pc| pc.is_null(base_row)) {
             return;
@@ -173,7 +240,18 @@ fn probe_batch(
         }
     });
     stats.probe_ns = t0.elapsed().as_nanos() as u64;
+    finish_probe(build, probe, schema, left_rows, right_rows, stats)
+}
 
+/// Gather the matched (build_row, probe_row) pairs into an output batch.
+fn finish_probe(
+    build: &BuildSide,
+    probe: &RecordBatch,
+    schema: &Arc<Schema>,
+    left_rows: Vec<u32>,
+    right_rows: Vec<u32>,
+    mut stats: ProbeStats,
+) -> Result<(Option<RecordBatch>, ProbeStats)> {
     if left_rows.is_empty() {
         return Ok((None, stats));
     }
@@ -191,6 +269,135 @@ fn probe_batch(
     stats.gather_ns = t1.elapsed().as_nanos() as u64;
     stats.out_rows = left_rows.len() as u64;
     Ok((Some(RecordBatch::try_new(schema.clone(), cols)?), stats))
+}
+
+/// Hash, partition, and link one dense build batch into a [`BuildSide`].
+/// `workers >= 2` links hash partitions in parallel; otherwise the classic
+/// single-partition table is produced (grace partitions always link
+/// serially — they are already small by construction).
+fn link_build_side(
+    batch: RecordBatch,
+    build_keys: Vec<usize>,
+    probe_keys: Vec<usize>,
+    workers: usize,
+    metrics: &Option<Metrics>,
+) -> BuildSide {
+    let t0 = Instant::now();
+    let rows = batch.num_rows();
+    // Column-wise key hashing over the dense build batch.
+    let mut hashes = vec![0u64; rows];
+    for &c in &build_keys {
+        batch.column(c).hash_combine(None, &mut hashes);
+    }
+    // Partition by the top hash bits so the low bits that pick a bucket
+    // stay independent. Serial builds use one partition — the classic
+    // single-table layout.
+    let npart = if workers >= 2 {
+        workers.next_power_of_two().min(64)
+    } else {
+        1
+    };
+    let part_bits = npart.trailing_zeros();
+    let buckets = ((rows / npart).max(8) * 2).next_power_of_two();
+    let bucket_mask = buckets - 1;
+    // One pass assigning linkable rows to partitions, in ascending row
+    // order so reverse-linking below leaves every chain ascending.
+    let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); npart];
+    for (row, &hash) in hashes.iter().enumerate() {
+        // SQL join semantics: NULL keys never match — leave unlinked.
+        if build_keys.iter().any(|&c| batch.column(c).is_null(row)) {
+            continue;
+        }
+        let part = if part_bits == 0 {
+            0
+        } else {
+            (hash >> (64 - part_bits)) as usize
+        };
+        part_rows[part].push(row as u32);
+    }
+
+    let next: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
+    let link = |rows_in_part: &[u32]| -> Vec<u32> {
+        let mut heads = vec![0u32; buckets];
+        // Insert in reverse so each chain lists build rows in ascending
+        // order, matching the map-based implementation's match order.
+        for &row in rows_in_part.iter().rev() {
+            let b = (hashes[row as usize] as usize) & bucket_mask;
+            next[row as usize].store(heads[b], Ordering::Relaxed);
+            heads[b] = row + 1;
+        }
+        heads
+    };
+    let heads: Vec<Vec<u32>> = if npart == 1 {
+        vec![link(&part_rows[0])]
+    } else {
+        // Workers claim partitions off a shared counter; each row is in
+        // exactly one partition, so `next` writes never overlap.
+        let cursor = AtomicUsize::new(0);
+        let mut heads: Vec<Vec<u32>> = (0..npart).map(|_| Vec::new()).collect();
+        let slots: Vec<std::sync::Mutex<&mut Vec<u32>>> =
+            heads.iter_mut().map(std::sync::Mutex::new).collect();
+        super::pool::run_workers(workers.min(npart), |_| loop {
+            let p = cursor.fetch_add(1, Ordering::Relaxed);
+            if p >= part_rows.len() {
+                break;
+            }
+            let linked = link(&part_rows[p]);
+            **slots[p].lock().expect("partition slot") = linked;
+        });
+        drop(slots);
+        heads
+    };
+
+    if let Some(m) = metrics {
+        m.counter("op.hash_join.kernel.build_ns")
+            .add(t0.elapsed().as_nanos() as u64);
+        m.counter("op.hash_join.kernel.build_rows").add(rows as u64);
+        if npart > 1 {
+            m.counter("op.hash_join.kernel.build_partitions")
+                .add(npart as u64);
+        }
+    }
+    BuildSide {
+        batch,
+        heads,
+        next,
+        hashes,
+        bucket_mask,
+        part_bits,
+        matched: (0..rows).map(|_| AtomicBool::new(false)).collect(),
+        probe_keys,
+        build_keys,
+    }
+}
+
+/// Left-outer padding for one build table: every never-matched build row,
+/// right-side columns all NULL.
+fn unmatched_left_batch(
+    build: &BuildSide,
+    rschema: &Arc<Schema>,
+    schema: &Arc<Schema>,
+) -> Result<Option<RecordBatch>> {
+    let unmatched: Vec<u32> = build
+        .matched
+        .iter()
+        .enumerate()
+        .filter_map(|(i, m)| (!m.load(Ordering::Relaxed)).then_some(i as u32))
+        .collect();
+    if unmatched.is_empty() {
+        return Ok(None);
+    }
+    let n = unmatched.len();
+    let mut cols: Vec<Arc<Column>> = build
+        .batch
+        .columns()
+        .iter()
+        .map(|c| Arc::new(c.gather(&unmatched)))
+        .collect();
+    for f in rschema.fields() {
+        cols.push(Arc::new(Column::nulls(f.data_type, n)));
+    }
+    Ok(Some(RecordBatch::try_new(schema.clone(), cols)?))
 }
 
 impl HashJoinExec {
@@ -243,6 +450,9 @@ impl HashJoinExec {
             pending: VecDeque::new(),
             done_probe: false,
             left_emitted: false,
+            budget: None,
+            lease: None,
+            grace: None,
         })
     }
 
@@ -265,24 +475,103 @@ impl HashJoinExec {
         self
     }
 
+    /// Attach the query's shared memory budget. When collecting the build
+    /// side would cross the ceiling, the join switches to Grace mode:
+    /// both inputs are hash-partitioned to spill files and the partition
+    /// pairs are joined one at a time.
+    pub fn with_budget(mut self, budget: Option<Arc<BudgetAccountant>>) -> Self {
+        self.budget = budget;
+        self
+    }
+
     fn ensure_built(&mut self) -> Result<()> {
-        if self.build.is_some() {
+        if self.build.is_some() || self.grace.is_some() {
             return Ok(());
         }
-        let t0 = Instant::now();
         let mut left = self.left.take().expect("build side consumed once");
         let lschema = left.schema();
-        let batches = drain(left.as_mut())?;
+        let rschema = self.right.schema();
         let build_keys: Vec<usize> = self
             .on
             .iter()
             .map(|(l, _)| lschema.index_of(l).expect("validated in new"))
             .collect();
+        let probe_keys: Vec<usize> = self
+            .on
+            .iter()
+            .map(|(_, r)| rschema.index_of(r).expect("validated in new"))
+            .collect();
+
+        // Drain the build side under the shared budget. Batches are
+        // densified up front so spill partitioning and concat both see
+        // plain rows.
+        let mut lease = self.budget.as_ref().map(|b| BudgetLease::new(b.clone()));
+        let mut batches: Vec<RecordBatch> = Vec::new();
+        let mut held = 0usize;
+        let mut overflow = false;
+        while let Some(b) = left.next()? {
+            let b = b.materialize();
+            held += b.byte_size();
+            batches.push(b);
+            if let Some(l) = &mut lease {
+                l.set(held);
+                if l.over() {
+                    overflow = true;
+                    break;
+                }
+            }
+        }
+
+        if overflow {
+            // Grace mode. What was collected goes to the partitions first,
+            // then the rest of both inputs streams straight through without
+            // ever being held whole.
+            let mut build_spill = SpillSet::new();
+            for b in batches.drain(..) {
+                build_spill.append_partitioned(&b, &build_keys, 0, self.metrics.as_ref())?;
+            }
+            if let Some(l) = &mut lease {
+                l.set(0);
+            }
+            while let Some(b) = left.next()? {
+                build_spill.append_partitioned(
+                    &b.materialize(),
+                    &build_keys,
+                    0,
+                    self.metrics.as_ref(),
+                )?;
+            }
+            let mut probe_spill = SpillSet::new();
+            while let Some(p) = self.right.next()? {
+                probe_spill.append_partitioned(
+                    &p.materialize(),
+                    &probe_keys,
+                    0,
+                    self.metrics.as_ref(),
+                )?;
+            }
+            self.done_probe = true;
+            self.grace = Some(GraceJoin {
+                parts: build_spill
+                    .into_files()
+                    .into_iter()
+                    .zip(probe_spill.into_files())
+                    .map(|(b, p)| (b, p, 1))
+                    .collect(),
+                lschema,
+                rschema,
+                build_keys,
+                probe_keys,
+            });
+            return Ok(());
+        }
+
         let any_dict_key: Vec<bool> = build_keys
             .iter()
             .map(|&c| batches.iter().any(|b| b.column(c).is_dict()))
             .collect();
-        let batch = RecordBatch::concat(lschema.clone(), &batches)?;
+        let batch = RecordBatch::concat(lschema, &batches)?;
+        drop(batches);
         // Mixed-encoding inputs force the concat to decode: count it rather
         // than silently eating the cost.
         let decode_fallbacks = build_keys
@@ -290,102 +579,94 @@ impl HashJoinExec {
             .zip(&any_dict_key)
             .filter(|&(&c, &was_dict)| was_dict && !batch.column(c).is_dict())
             .count() as u64;
-
-        let rows = batch.num_rows();
-        // Column-wise key hashing over the dense build batch.
-        let mut hashes = vec![0u64; rows];
-        for &c in &build_keys {
-            batch.column(c).hash_combine(None, &mut hashes);
-        }
-        // Partition by the top hash bits so the low bits that pick a bucket
-        // stay independent. Serial builds use one partition — the classic
-        // single-table layout.
-        let npart = if self.workers >= 2 {
-            self.workers.next_power_of_two().min(64)
-        } else {
-            1
-        };
-        let part_bits = npart.trailing_zeros();
-        let buckets = ((rows / npart).max(8) * 2).next_power_of_two();
-        let bucket_mask = buckets - 1;
-        // One pass assigning linkable rows to partitions, in ascending row
-        // order so reverse-linking below leaves every chain ascending.
-        let mut part_rows: Vec<Vec<u32>> = vec![Vec::new(); npart];
-        for (row, &hash) in hashes.iter().enumerate() {
-            // SQL join semantics: NULL keys never match — leave unlinked.
-            if build_keys.iter().any(|&c| batch.column(c).is_null(row)) {
-                continue;
-            }
-            let part = if part_bits == 0 {
-                0
-            } else {
-                (hash >> (64 - part_bits)) as usize
-            };
-            part_rows[part].push(row as u32);
-        }
-
-        let next: Vec<AtomicU32> = (0..rows).map(|_| AtomicU32::new(0)).collect();
-        let link = |rows_in_part: &[u32]| -> Vec<u32> {
-            let mut heads = vec![0u32; buckets];
-            // Insert in reverse so each chain lists build rows in ascending
-            // order, matching the map-based implementation's match order.
-            for &row in rows_in_part.iter().rev() {
-                let b = (hashes[row as usize] as usize) & bucket_mask;
-                next[row as usize].store(heads[b], Ordering::Relaxed);
-                heads[b] = row + 1;
-            }
-            heads
-        };
-        let heads: Vec<Vec<u32>> = if npart == 1 {
-            vec![link(&part_rows[0])]
-        } else {
-            // Workers claim partitions off a shared counter; each row is in
-            // exactly one partition, so `next` writes never overlap.
-            let cursor = AtomicUsize::new(0);
-            let mut heads: Vec<Vec<u32>> = (0..npart).map(|_| Vec::new()).collect();
-            let slots: Vec<std::sync::Mutex<&mut Vec<u32>>> =
-                heads.iter_mut().map(std::sync::Mutex::new).collect();
-            super::pool::run_workers(self.workers.min(npart), |_| loop {
-                let p = cursor.fetch_add(1, Ordering::Relaxed);
-                if p >= part_rows.len() {
-                    break;
-                }
-                let linked = link(&part_rows[p]);
-                **slots[p].lock().expect("partition slot") = linked;
-            });
-            drop(slots);
-            heads
-        };
-
-        if let Some(m) = &self.metrics {
-            m.counter("op.hash_join.kernel.build_ns")
-                .add(t0.elapsed().as_nanos() as u64);
-            m.counter("op.hash_join.kernel.build_rows").add(rows as u64);
-            if npart > 1 {
-                m.counter("op.hash_join.kernel.build_partitions")
-                    .add(npart as u64);
-            }
-            if decode_fallbacks > 0 {
+        if decode_fallbacks > 0 {
+            if let Some(m) = &self.metrics {
                 m.counter("op.hash_join.kernel.dict_fallback")
                     .add(decode_fallbacks);
             }
         }
-        self.build = Some(BuildSide {
+        if let Some(l) = &mut lease {
+            l.set(batch.byte_size());
+        }
+        self.build = Some(link_build_side(
             batch,
-            heads,
-            next,
-            hashes,
-            bucket_mask,
-            part_bits,
-            matched: (0..rows).map(|_| AtomicBool::new(false)).collect(),
-            probe_keys: self
-                .on
-                .iter()
-                .map(|(_, r)| self.right.schema().index_of(r).expect("validated in new"))
-                .collect(),
             build_keys,
-        });
+            probe_keys,
+            self.workers,
+            &self.metrics,
+        ));
+        // Hold the reservation as long as the build table is resident.
+        self.lease = lease;
         Ok(())
+    }
+
+    /// Join one spilled partition pair, or repartition it with deeper hash
+    /// bits when the build half alone still exceeds the budget. Returns
+    /// `false` once the grace queue is exhausted.
+    fn grace_step(&mut self) -> Result<bool> {
+        let (lschema, rschema, build_keys, probe_keys) = {
+            let g = self.grace.as_ref().expect("grace mode");
+            (
+                g.lschema.clone(),
+                g.rschema.clone(),
+                g.build_keys.clone(),
+                g.probe_keys.clone(),
+            )
+        };
+        let popped = self.grace.as_mut().expect("grace mode").parts.pop_front();
+        let Some((mut bf, mut pf, depth)) = popped else {
+            return Ok(false);
+        };
+        if bf.is_empty() {
+            // No build rows: inner joins emit nothing, and a left join has
+            // no left rows here to pad either.
+            return Ok(true);
+        }
+        let build_batches = bf.read_all(&lschema, self.metrics.as_ref())?;
+        let bytes: usize = build_batches.iter().map(|b| b.byte_size()).sum();
+        let over = self.budget.as_ref().is_some_and(|b| bytes > b.limit());
+        if over && depth < MAX_SPILL_DEPTH {
+            // This partition alone overflows: carve both halves into
+            // sub-partitions by the next hash bits and requeue. Past
+            // MAX_SPILL_DEPTH it is joined in memory anyway — correctness
+            // wins over the ceiling on adversarial key distributions.
+            let mut bsub = SpillSet::new();
+            for b in &build_batches {
+                bsub.append_partitioned(b, &build_keys, depth, self.metrics.as_ref())?;
+            }
+            let mut psub = SpillSet::new();
+            for p in pf.read_all(&rschema, self.metrics.as_ref())? {
+                psub.append_partitioned(&p, &probe_keys, depth, self.metrics.as_ref())?;
+            }
+            let g = self.grace.as_mut().expect("grace mode");
+            for (b, p) in bsub.into_files().into_iter().zip(psub.into_files()) {
+                g.parts.push_back((b, p, depth + 1));
+            }
+            return Ok(true);
+        }
+        let mut lease = self.budget.as_ref().map(|b| BudgetLease::new(b.clone()));
+        let batch = RecordBatch::concat(lschema, &build_batches)?;
+        if let Some(l) = &mut lease {
+            l.set(batch.byte_size());
+        }
+        let build = link_build_side(batch, build_keys, probe_keys, 0, &self.metrics);
+        let mut stats = ProbeStats::default();
+        for probe in pf.read_all(&rschema, self.metrics.as_ref())? {
+            let (out, st) = probe_batch(&build, &probe, &self.schema)?;
+            stats.merge(&st);
+            if let Some(b) = out {
+                self.pending.push_back(b);
+            }
+        }
+        stats.record(&self.metrics);
+        if self.join_type == JoinType::Left {
+            // Partitions are key-disjoint, so a build row unmatched here can
+            // never match another partition's probes: pad it now.
+            if let Some(b) = unmatched_left_batch(&build, &rschema, &self.schema)? {
+                self.pending.push_back(b);
+            }
+        }
+        Ok(true)
     }
 
     /// Drain the whole probe side with worker threads, queueing output
@@ -432,27 +713,7 @@ impl HashJoinExec {
 
     fn emit_unmatched_left(&mut self) -> Result<Option<RecordBatch>> {
         let build = self.build.as_ref().expect("built before probe finished");
-        let unmatched: Vec<u32> = build
-            .matched
-            .iter()
-            .enumerate()
-            .filter_map(|(i, m)| (!m.load(Ordering::Relaxed)).then_some(i as u32))
-            .collect();
-        if unmatched.is_empty() {
-            return Ok(None);
-        }
-        let n = unmatched.len();
-        let mut cols: Vec<Arc<Column>> = build
-            .batch
-            .columns()
-            .iter()
-            .map(|c| Arc::new(c.gather(&unmatched)))
-            .collect();
-        // Right side: all-NULL columns of the right schema.
-        for f in self.right.schema().fields() {
-            cols.push(Arc::new(Column::nulls(f.data_type, n)));
-        }
-        Ok(Some(RecordBatch::try_new(self.schema.clone(), cols)?))
+        unmatched_left_batch(build, &self.right.schema(), &self.schema)
     }
 }
 
@@ -466,6 +727,14 @@ impl Operator for HashJoinExec {
         loop {
             if let Some(b) = self.pending.pop_front() {
                 return Ok(Some(b));
+            }
+            if self.grace.is_some() {
+                // Grace mode drained both inputs up front; unmatched-left
+                // padding happens per partition inside grace_step.
+                if self.grace_step()? {
+                    continue;
+                }
+                return Ok(None);
             }
             if self.done_probe {
                 if self.join_type == JoinType::Left && !self.left_emitted {
@@ -745,5 +1014,118 @@ mod tests {
             .map(|w| metrics.value(&format!("op.hash_join.worker.{w}.morsels")))
             .sum();
         assert_eq!(worker_morsels, 3);
+    }
+
+    /// 320 build rows over 97 keys joined against 240 probe rows over 113
+    /// keys, with duplicates on both sides.
+    fn budget_join(
+        workers: usize,
+        budget: Option<usize>,
+        jt: JoinType,
+        metrics: Option<Metrics>,
+    ) -> RecordBatch {
+        let lbs: Vec<_> = (0..4)
+            .map(|b| {
+                int_batch(&[
+                    ("id", (0..80).map(|i| (b * 80 + i) % 97).collect()),
+                    ("lv", (0..80).map(|i| b * 80 + i).collect()),
+                ])
+            })
+            .collect();
+        let rbs: Vec<_> = (0..4)
+            .map(|b| {
+                int_batch(&[
+                    ("rid", (0..60).map(|i| (b * 31 + i) % 113).collect()),
+                    ("rv", (0..60).map(|i| b * 60 + i).collect()),
+                ])
+            })
+            .collect();
+        let mut j = HashJoinExec::new(
+            Box::new(BatchSource::new(lbs[0].schema().clone(), lbs)),
+            Box::new(BatchSource::new(rbs[0].schema().clone(), rbs)),
+            vec![("id".to_string(), "rid".to_string())],
+            jt,
+        )
+        .unwrap()
+        .with_workers(workers)
+        .with_metrics(metrics)
+        .with_budget(budget.map(BudgetAccountant::new));
+        drain_one(&mut j).unwrap()
+    }
+
+    #[test]
+    fn grace_inner_join_matches_in_memory() {
+        let expect = sorted_rows(&budget_join(0, None, JoinType::Inner, None));
+        let metrics = Metrics::new();
+        let out = budget_join(0, Some(2048), JoinType::Inner, Some(metrics.clone()));
+        assert_eq!(sorted_rows(&out), expect);
+        assert!(
+            metrics.value("storage.spill.partitions") > 0,
+            "a 2 KiB budget must force a grace join"
+        );
+        assert!(metrics.value("storage.spill.bytes_read") > 0);
+    }
+
+    #[test]
+    fn grace_left_join_pads_per_partition() {
+        let expect = sorted_rows(&budget_join(0, None, JoinType::Left, None));
+        let out = budget_join(0, Some(2048), JoinType::Left, None);
+        assert_eq!(sorted_rows(&out), expect);
+    }
+
+    #[test]
+    fn one_byte_budget_grace_recursion_stays_correct() {
+        // Every partition is always "over", so both sides repartition down
+        // to MAX_SPILL_DEPTH and join in memory there.
+        let expect = sorted_rows(&budget_join(0, None, JoinType::Inner, None));
+        assert_eq!(
+            sorted_rows(&budget_join(0, Some(1), JoinType::Inner, None)),
+            expect
+        );
+    }
+
+    #[test]
+    fn generous_budget_join_never_spills() {
+        let metrics = Metrics::new();
+        let out = budget_join(0, Some(64 << 20), JoinType::Inner, Some(metrics.clone()));
+        assert_eq!(
+            sorted_rows(&out),
+            sorted_rows(&budget_join(0, None, JoinType::Inner, None))
+        );
+        assert_eq!(metrics.value("storage.spill.partitions"), 0);
+    }
+
+    #[test]
+    fn grace_left_join_null_keys_padded() {
+        use backbone_storage::{DataType, Field};
+        let lschema = Schema::new(vec![Field::nullable("id", DataType::Int64)]);
+        let lb = RecordBatch::try_new(
+            lschema,
+            vec![Arc::new(Column::from_opt_i64(vec![Some(1), None, Some(2)]))],
+        )
+        .unwrap();
+        let rschema = Schema::new(vec![Field::nullable("rid", DataType::Int64)]);
+        let rb = RecordBatch::try_new(
+            rschema,
+            vec![Arc::new(Column::from_opt_i64(vec![Some(1), None]))],
+        )
+        .unwrap();
+        let make = |budget: Option<usize>| {
+            let mut j = HashJoinExec::new(
+                Box::new(BatchSource::single(lb.clone())),
+                Box::new(BatchSource::single(rb.clone())),
+                vec![("id".to_string(), "rid".to_string())],
+                JoinType::Left,
+            )
+            .unwrap()
+            .with_budget(budget.map(BudgetAccountant::new));
+            drain_one(&mut j).unwrap()
+        };
+        let expect = sorted_rows(&make(None));
+        let out = make(Some(1));
+        // NULL build keys never match; the NULL-key left row still shows up
+        // padded exactly once from whichever partition it landed in.
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(sorted_rows(&out), expect);
     }
 }

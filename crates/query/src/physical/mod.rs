@@ -15,6 +15,7 @@ mod pool;
 mod project;
 mod scan;
 mod sort;
+pub mod spill;
 mod topk;
 
 pub use aggregate::HashAggregateExec;
@@ -26,6 +27,7 @@ pub use parallel::ParallelProfile;
 pub use project::ProjectExec;
 pub use scan::TableScanExec;
 pub use sort::SortExec;
+pub use spill::{BudgetAccountant, BudgetLease};
 pub use topk::TopKExec;
 
 use crate::error::Result;

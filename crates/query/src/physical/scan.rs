@@ -154,7 +154,7 @@ impl TableScanExec {
             unreachable!("start is only called on a pending parallel scan");
         };
         let (tx, rx) = bounded(workers * 2);
-        let n_groups = table.groups().count();
+        let n_groups = table.num_groups();
         let queues = Arc::new(StealQueues::split(n_groups, workers));
         if let Some(p) = &self.profile {
             p.workers.add(workers as u64);
@@ -176,13 +176,21 @@ impl TableScanExec {
                 while let Some((g, stolen)) = queues.pop(w) {
                     morsels += 1;
                     steals += u64::from(stolen);
-                    let group = table.groups().nth(g).expect("group index in range");
-                    match process_group(
-                        group.batch(),
-                        group_zones(&table, g),
-                        &filters,
-                        &projection,
-                    ) {
+                    // Zone maps are always resident: refuted groups are
+                    // skipped before their payload is ever read (for paged
+                    // tables, before any I/O happens at all).
+                    let zones = group_zones(&table, g);
+                    if prunable(&zones, table.schema(), &filters) {
+                        continue;
+                    }
+                    let group = match table.group(g) {
+                        Ok(gr) => gr,
+                        Err(e) => {
+                            let _ = tx.send(Err(e.into()));
+                            break;
+                        }
+                    };
+                    match process_group(group.batch(), zones, &filters, &projection) {
                         Ok(Some(batch)) => {
                             rows += batch.num_rows() as u64;
                             if tx.send(Ok(batch)).is_err() {
@@ -232,15 +240,7 @@ impl TableScanExec {
 }
 
 fn group_zones(table: &Table, g: usize) -> Vec<(usize, ZoneMap)> {
-    table
-        .groups()
-        .nth(g)
-        .map(|grp| {
-            (0..table.schema().len())
-                .map(|i| (i, grp.zone(i).clone()))
-                .collect()
-        })
-        .unwrap_or_default()
+    table.group_zones(g).iter().cloned().enumerate().collect()
 }
 
 /// Can the zone maps refute every row of this group for some filter?
@@ -333,21 +333,20 @@ impl Operator for TableScanExec {
             } => {
                 let mut found = None;
                 loop {
-                    let Some(group) = table.groups().nth(*group_idx) else {
+                    if *group_idx >= table.num_groups() {
                         break;
-                    };
+                    }
                     let g = *group_idx;
                     *group_idx += 1;
-                    let zones: Vec<(usize, ZoneMap)> = (0..table.schema().len())
-                        .map(|i| (i, group.zone(i).clone()))
-                        .collect();
-                    if prunable(&zones, group.batch().schema(), filters) {
+                    // Resident zone maps decide pruning before the group is
+                    // materialized — paged groups refuted here cost no I/O.
+                    let zones = group_zones(table, g);
+                    if prunable(&zones, table.schema(), filters) {
                         self.stats.groups_pruned += 1;
                         continue;
                     }
                     self.stats.groups_scanned += 1;
-                    // Re-fetch to appease the borrow checker after stats update.
-                    let group = table.groups().nth(g).expect("group still present");
+                    let group = table.group(g)?;
                     let t0 = Instant::now();
                     let out = process_group(group.batch(), zones, filters, projection)?;
                     if let Some(m) = &self.metrics {

@@ -5,10 +5,11 @@ use crate::error::{QueryError, Result};
 use crate::executor::ExecOptions;
 use crate::logical::LogicalPlan;
 use crate::physical::{
-    FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec, Operator,
-    ParallelProfile, ProjectExec, SortExec, TableScanExec, TopKExec,
+    BudgetAccountant, FilterExec, HashAggregateExec, HashJoinExec, LimitExec, NestedLoopJoinExec,
+    Operator, ParallelProfile, ProjectExec, SortExec, TableScanExec, TopKExec,
 };
 use crate::profile::{InstrumentedExec, OpStats, ProfileNode};
+use std::sync::Arc;
 
 /// Lower `plan` to a physical operator tree.
 ///
@@ -20,7 +21,8 @@ pub fn create_physical_plan(
     catalog: &dyn Catalog,
     opts: &ExecOptions,
 ) -> Result<Box<dyn Operator>> {
-    Ok(build(plan, catalog, opts, false)?.0)
+    let budget = opts.mem_budget.map(BudgetAccountant::new);
+    Ok(build(plan, catalog, opts, budget.as_ref(), false)?.0)
 }
 
 /// Lower `plan` with every operator wrapped in an [`InstrumentedExec`],
@@ -31,7 +33,8 @@ pub fn create_instrumented_plan(
     catalog: &dyn Catalog,
     opts: &ExecOptions,
 ) -> Result<(Box<dyn Operator>, ProfileNode)> {
-    let (op, node) = build(plan, catalog, opts, true)?;
+    let budget = opts.mem_budget.map(BudgetAccountant::new);
+    let (op, node) = build(plan, catalog, opts, budget.as_ref(), true)?;
     Ok((op, node.expect("instrumented build returns a profile")))
 }
 
@@ -42,6 +45,7 @@ fn build(
     plan: &LogicalPlan,
     catalog: &dyn Catalog,
     opts: &ExecOptions,
+    budget: Option<&Arc<BudgetAccountant>>,
     instrument: bool,
 ) -> Result<(Box<dyn Operator>, Option<ProfileNode>)> {
     let threads = opts.parallelism.worker_threads();
@@ -69,12 +73,12 @@ fn build(
             (op, table.clone(), vec![])
         }
         LogicalPlan::Filter { input, predicate } => {
-            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let (child, prof) = build(input, catalog, opts, budget, instrument)?;
             let op: Box<dyn Operator> = Box::new(FilterExec::new(child, predicate.clone()));
             (op, predicate.to_string(), vec![prof])
         }
         LogicalPlan::Project { input, exprs } => {
-            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let (child, prof) = build(input, catalog, opts, budget, instrument)?;
             let detail = exprs
                 .iter()
                 .map(|e| e.to_string())
@@ -89,8 +93,8 @@ fn build(
             on,
             join_type,
         } => {
-            let (l, lprof) = build(left, catalog, opts, instrument)?;
-            let (r, rprof) = build(right, catalog, opts, instrument)?;
+            let (l, lprof) = build(left, catalog, opts, budget, instrument)?;
+            let (r, rprof) = build(right, catalog, opts, budget, instrument)?;
             let detail = on
                 .iter()
                 .map(|(a, b)| format!("{a} = {b}"))
@@ -110,6 +114,7 @@ fn build(
                     HashJoinExec::new(l, r, on.clone(), *join_type)?
                         .with_metrics(opts.metrics.clone())
                         .with_workers(threads)
+                        .with_budget(budget.cloned())
                         .with_parallel_profile(parallel.clone()),
                 )
             };
@@ -120,13 +125,14 @@ fn build(
             group_by,
             aggs,
         } => {
-            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let (child, prof) = build(input, catalog, opts, budget, instrument)?;
             let detail = format!("group=[{}]", group_by.len());
             parallel = new_pprof();
             let op: Box<dyn Operator> = Box::new(
                 HashAggregateExec::new(child, group_by.clone(), aggs.clone())?
                     .with_metrics(opts.metrics.clone())
                     .with_workers(threads)
+                    .with_budget(budget.cloned())
                     .with_parallel_profile(parallel.clone()),
             );
             (op, detail, vec![prof])
@@ -138,7 +144,7 @@ fn build(
                 keys,
             } = input.as_ref()
             {
-                let (child, prof) = build(sort_input, catalog, opts, instrument)?;
+                let (child, prof) = build(sort_input, catalog, opts, budget, instrument)?;
                 let pprof = new_pprof();
                 let op: Box<dyn Operator> = Box::new(
                     TopKExec::new(child, keys.clone(), *n)
@@ -155,12 +161,12 @@ fn build(
                     instrument,
                 ));
             }
-            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let (child, prof) = build(input, catalog, opts, budget, instrument)?;
             let op: Box<dyn Operator> = Box::new(LimitExec::new(child, *n));
             (op, format!("n={n}"), vec![prof])
         }
         LogicalPlan::Sort { input, keys } => {
-            let (child, prof) = build(input, catalog, opts, instrument)?;
+            let (child, prof) = build(input, catalog, opts, budget, instrument)?;
             let detail = keys
                 .iter()
                 .map(|k| format!("{}{}", k.expr, if k.descending { " DESC" } else { "" }))

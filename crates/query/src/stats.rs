@@ -89,7 +89,13 @@ enum StatAcc<'a> {
 /// Compute statistics for every column of a table (one pass per column).
 pub fn analyze_table(table: &Table) -> Vec<ColumnStats> {
     let ncols = table.schema().len();
-    let groups: Vec<_> = table.groups().collect();
+    // Materialize groups up front (paged ones decode through the pool); the
+    // string accumulators borrow from these batches, so they must outlive
+    // the per-column passes. Unreadable groups contribute no stats rather
+    // than failing planning.
+    let groups: Vec<_> = (0..table.num_groups())
+        .filter_map(|i| table.group(i).ok())
+        .collect();
     let mut out = Vec::with_capacity(ncols);
     for c in 0..ncols {
         let mut acc: Option<StatAcc> = None;

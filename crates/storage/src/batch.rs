@@ -209,11 +209,11 @@ impl RecordBatch {
         }
     }
 
-    /// Replace dictionary-encoded columns with their decoded (flat) form.
-    /// A no-op clone when nothing is encoded — the late-materialization
-    /// step at the boundary where results leave the engine.
+    /// Replace dictionary- and integer-encoded columns with their decoded
+    /// (flat) form. A no-op clone when nothing is encoded — the late-
+    /// materialization step at the boundary where results leave the engine.
     pub fn decoded(&self) -> RecordBatch {
-        if !self.columns.iter().any(|c| c.is_dict()) {
+        if !self.columns.iter().any(|c| c.is_dict() || c.is_encoded()) {
             return self.clone();
         }
         let columns = self

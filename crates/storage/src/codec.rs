@@ -37,11 +37,42 @@ static CRC_TABLE: [u32; 256] = crc32_table();
 
 /// CRC-32 (IEEE) of `bytes`.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut c = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+/// Streaming CRC-32 (IEEE): feed chunks with [`Crc32::update`], read the
+/// digest with [`Crc32::finish`]. Equal to [`crc32`] over the concatenated
+/// chunks — this is what lets the paged checkpoint reader validate a file
+/// it never holds in memory all at once.
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// A fresh digest.
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    c ^ 0xFFFF_FFFF
+
+    /// Absorb the next chunk.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state = CRC_TABLE[((self.state ^ b as u32) & 0xFF) as usize] ^ (self.state >> 8);
+        }
+    }
+
+    /// The CRC of everything absorbed so far.
+    pub fn finish(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
 }
 
 /// Append a `u32` in little-endian.
@@ -83,6 +114,11 @@ impl<'a> Cursor<'a> {
     /// Bytes not yet consumed.
     pub fn remaining(&self) -> usize {
         self.buf.len() - self.pos
+    }
+
+    /// Bytes consumed so far (offset from the start of the buffer).
+    pub fn position(&self) -> usize {
+        self.pos
     }
 
     /// Whether the cursor has consumed every byte.
@@ -238,6 +274,18 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
+    #[test]
+    fn streaming_crc_matches_one_shot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        for chunk in [1usize, 3, 64, 997, 1000] {
+            let mut c = Crc32::new();
+            for piece in data.chunks(chunk) {
+                c.update(piece);
+            }
+            assert_eq!(c.finish(), crc32(&data), "chunk size {chunk}");
+        }
     }
 
     #[test]

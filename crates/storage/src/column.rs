@@ -1,5 +1,6 @@
 //! Typed, nullable column vectors — the unit of storage and execution.
 
+use crate::compress::EncodedInts;
 use crate::error::{Result, StorageError};
 use crate::types::{DataType, Value};
 use std::collections::HashMap;
@@ -147,10 +148,30 @@ pub enum Column {
         /// Per-row validity.
         validity: Bitmap,
     },
+    /// Encoded 64-bit integers: RLE runs or frame-of-reference bit-packing.
+    ///
+    /// Logically identical to [`Column::Int64`] (`data_type()` reports
+    /// `Int64`) — the numeric mirror of [`Column::DictUtf8`]. Sealed row
+    /// groups adopt this representation when it compresses well; kernels
+    /// that understand the encoding evaluate comparisons once per RLE run
+    /// and hash/aggregate through [`EncodedInts::get`] without ever
+    /// materializing the plain vector. NULL slots hold an arbitrary
+    /// placeholder; consult the validity bitmap first. Immutable: the
+    /// row-at-a-time append paths reject it, and gathers/takes decode to
+    /// plain `Int64` (outputs are materializations).
+    Int64Encoded {
+        /// The encoded value body.
+        data: EncodedInts,
+        /// Per-row validity.
+        validity: Bitmap,
+    },
 }
 
 /// Borrowed pieces of a dictionary column: entries, per-row codes, validity.
 pub type DictParts<'a> = (&'a Arc<Vec<String>>, &'a [u32], &'a Bitmap);
+
+/// Borrowed pieces of an encoded integer column: body, validity.
+pub type EncodedParts<'a> = (&'a EncodedInts, &'a Bitmap);
 
 impl Column {
     /// Build a non-null Int64 column.
@@ -230,11 +251,12 @@ impl Column {
         Ok(col)
     }
 
-    /// The column's data type. Dictionary-encoded strings report `Utf8`:
-    /// the encoding is a physical detail, not a logical type.
+    /// The column's data type. Dictionary-encoded strings report `Utf8` and
+    /// encoded integers report `Int64`: the encoding is a physical detail,
+    /// not a logical type.
     pub fn data_type(&self) -> DataType {
         match self {
-            Column::Int64(..) => DataType::Int64,
+            Column::Int64(..) | Column::Int64Encoded { .. } => DataType::Int64,
             Column::Float64(..) => DataType::Float64,
             Column::Utf8(..) | Column::DictUtf8 { .. } => DataType::Utf8,
             Column::Bool(..) => DataType::Bool,
@@ -249,6 +271,7 @@ impl Column {
             Column::Utf8(v, _) => v.len(),
             Column::Bool(v, _) => v.len(),
             Column::DictUtf8 { codes, .. } => codes.len(),
+            Column::Int64Encoded { data, .. } => data.len(),
         }
     }
 
@@ -264,7 +287,7 @@ impl Column {
             | Column::Float64(_, b)
             | Column::Utf8(_, b)
             | Column::Bool(_, b) => b,
-            Column::DictUtf8 { validity, .. } => validity,
+            Column::DictUtf8 { validity, .. } | Column::Int64Encoded { validity, .. } => validity,
         }
     }
 
@@ -285,6 +308,7 @@ impl Column {
             Column::Utf8(v, _) => Value::str(&v[i]),
             Column::Bool(v, _) => Value::Bool(v[i]),
             Column::DictUtf8 { dict, codes, .. } => Value::str(&dict[codes[i] as usize]),
+            Column::Int64Encoded { data, .. } => Value::Int(data.get(i)),
         }
     }
 
@@ -345,7 +369,9 @@ impl Column {
                     codes.push(0);
                     validity.push(false);
                 }
+                Column::Int64Encoded { .. } => return Err(encoded_immutable()),
             },
+            (Column::Int64Encoded { .. }, _) => return Err(encoded_immutable()),
             (col, v) => {
                 return Err(StorageError::TypeMismatch {
                     expected: col.data_type().to_string(),
@@ -359,10 +385,16 @@ impl Column {
         Ok(())
     }
 
-    /// Borrow the raw i64 data, failing on other types.
+    /// Borrow the raw i64 data, failing on other types. Encoded integer
+    /// columns fail too (the plain vector doesn't exist); call
+    /// [`Column::decoded`] first when a flat view is required.
     pub fn i64_data(&self) -> Result<&[i64]> {
         match self {
             Column::Int64(v, _) => Ok(v),
+            Column::Int64Encoded { .. } => Err(StorageError::TypeMismatch {
+                expected: "INT64".into(),
+                found: "ENC(INT64)".into(),
+            }),
             other => Err(StorageError::TypeMismatch {
                 expected: "INT64".into(),
                 found: other.data_type().to_string(),
@@ -447,6 +479,7 @@ impl Column {
                     codes.push(0);
                     validity.push(false);
                 }
+                Column::Int64Encoded { .. } => return Err(encoded_immutable()),
             }
             return Ok(());
         }
@@ -505,6 +538,14 @@ impl Column {
                 d.push(s[i]);
                 b.push(true);
             }
+            (Column::Int64(d, b), Column::Int64Encoded { data, .. }) => {
+                d.push(data.get(i));
+                b.push(true);
+            }
+            (Column::Float64(d, b), Column::Int64Encoded { data, .. }) => {
+                d.push(data.get(i) as f64);
+                b.push(true);
+            }
             (dst, src) => {
                 return Err(StorageError::TypeMismatch {
                     expected: dst.data_type().to_string(),
@@ -548,6 +589,29 @@ impl Column {
                     codes: out_codes,
                     validity: out_bm,
                 }
+            }
+            // Encoded integers decode on gather: outputs are materializations
+            // and re-encoding a scattered subset rarely pays. Bulk gathers
+            // from an RLE column decode the runs once and index the flat
+            // vector — O(n + k) beats k binary searches.
+            Column::Int64Encoded { data, validity } => {
+                let mut out = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                let flat = match data.runs() {
+                    Some(runs) if indices.len() >= runs.len() => Some(data.decode()),
+                    _ => None,
+                };
+                for (k, &i) in indices.iter().enumerate() {
+                    let i = i as usize;
+                    out.push(match &flat {
+                        Some(v) => v[i],
+                        None => data.get(i),
+                    });
+                    if validity.get(i) {
+                        out_bm.set(k, true);
+                    }
+                }
+                Column::Int64(out, out_bm)
             }
         }
     }
@@ -614,6 +678,28 @@ impl Column {
                     NULL_TAG
                 });
             }
+            // Hashing mirrors Int64 ((v as f64).to_bits()), so mixed-encoding
+            // group-bys and joins still collide correctly. Full all-valid RLE
+            // sweeps hash each run's value once and fill the span.
+            Column::Int64Encoded { data, validity } => match data.runs() {
+                Some(runs) if sel.is_none() && validity.all_set() => {
+                    let mut pos = 0usize;
+                    for &(v, n) in runs {
+                        let hv = (v as f64).to_bits();
+                        for h in &mut hashes[pos..pos + n as usize] {
+                            *h = mix64(*h ^ hv);
+                        }
+                        pos += n as usize;
+                    }
+                }
+                _ => {
+                    lanes!(|i: usize| if validity.get(i) {
+                        (data.get(i) as f64).to_bits()
+                    } else {
+                        NULL_TAG
+                    });
+                }
+            },
         }
     }
 
@@ -661,6 +747,17 @@ impl Column {
             }
             (Column::Utf8(a, _), Column::DictUtf8 { dict, codes, .. }) => {
                 a[i] == dict[codes[j] as usize]
+            }
+            (Column::Int64Encoded { data, .. }, Column::Int64(b, _)) => data.get(i) == b[j],
+            (Column::Int64(a, _), Column::Int64Encoded { data, .. }) => a[i] == data.get(j),
+            (Column::Int64Encoded { data: a, .. }, Column::Int64Encoded { data: b, .. }) => {
+                a.get(i) == b.get(j)
+            }
+            (Column::Int64Encoded { data, .. }, Column::Float64(b, _)) => {
+                (data.get(i) as f64).to_bits() == b[j].to_bits()
+            }
+            (Column::Float64(a, _), Column::Int64Encoded { data, .. }) => {
+                a[i].to_bits() == (data.get(j) as f64).to_bits()
             }
             _ => false,
         }
@@ -732,6 +829,17 @@ impl Column {
                     validity: out_bm,
                 }
             }
+            Column::Int64Encoded { data, validity } => {
+                let mut out = Vec::with_capacity(indices.len());
+                let mut out_bm = Bitmap::all_null(indices.len());
+                for (k, &i) in indices.iter().enumerate() {
+                    out.push(data.get(i));
+                    if validity.get(i) {
+                        out_bm.set(k, true);
+                    }
+                }
+                Column::Int64(out, out_bm)
+            }
         }
     }
 
@@ -748,6 +856,17 @@ impl Column {
 
     /// A contiguous slice `[offset, offset+len)` of this column.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
+        // Encoded integers slice in their encoded form — a morsel boundary
+        // must not decode a column the kernels consume directly.
+        if let Column::Int64Encoded { data, validity } = self {
+            let mut vbm = Bitmap::all_null(len);
+            for i in 0..len {
+                if validity.get(offset + i) {
+                    vbm.set(i, true);
+                }
+            }
+            return Column::encoded_from_parts(data.slice(offset, len), vbm);
+        }
         let indices: Vec<usize> = (offset..offset + len).collect();
         self.take(&indices)
     }
@@ -795,6 +914,11 @@ impl Column {
                         d.push(s[i]);
                         b.push(sb.get(i));
                     }
+                    // Mixed plain/encoded integers decode into the output.
+                    (Column::Int64(d, b), Column::Int64Encoded { data, validity }) => {
+                        d.push(data.get(i));
+                        b.push(validity.get(i));
+                    }
                     _ => unreachable!("type checked above"),
                 }
             }
@@ -809,6 +933,8 @@ impl Column {
             Column::Utf8(v, _) => v.reserve(additional),
             Column::Bool(v, _) => v.reserve(additional),
             Column::DictUtf8 { codes, .. } => codes.reserve(additional),
+            // Encoded columns are immutable; appends fail before reserving.
+            Column::Int64Encoded { .. } => {}
         }
     }
 
@@ -823,12 +949,58 @@ impl Column {
             Column::DictUtf8 { dict, codes, .. } => {
                 codes.len() * 4 + dict.iter().map(|s| s.len() + 24).sum::<usize>()
             }
+            Column::Int64Encoded { data, .. } => data.byte_size(),
         }
     }
 
     /// Whether this column is dictionary-encoded.
     pub fn is_dict(&self) -> bool {
         matches!(self, Column::DictUtf8 { .. })
+    }
+
+    /// Whether this column holds encoded integers.
+    pub fn is_encoded(&self) -> bool {
+        matches!(self, Column::Int64Encoded { .. })
+    }
+
+    /// Borrow the encoded-integer parts, or `None` for other
+    /// representations.
+    pub fn encoded_parts(&self) -> Option<EncodedParts<'_>> {
+        match self {
+            Column::Int64Encoded { data, validity } => Some((data, validity)),
+            _ => None,
+        }
+    }
+
+    /// Build an encoded integer column from pre-computed parts (checkpoint
+    /// replay, tests). `data.len()` must equal `validity.len()`.
+    pub fn encoded_from_parts(data: EncodedInts, validity: Bitmap) -> Column {
+        debug_assert_eq!(data.len(), validity.len());
+        Column::Int64Encoded { data, validity }
+    }
+
+    /// Encode a plain Int64 column ([`EncodedInts::encode`] picks RLE or
+    /// bit-packing). Returns `None` for non-Int64 or already-encoded
+    /// columns. NULL placeholders are normalized to 0 first so they never
+    /// widen the frame-of-reference range.
+    pub fn int64_encode(&self) -> Option<Column> {
+        let Column::Int64(values, bm) = self else {
+            return None;
+        };
+        let data = if bm.all_set() {
+            EncodedInts::encode(values)
+        } else {
+            let cleaned: Vec<i64> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if bm.get(i) { v } else { 0 })
+                .collect();
+            EncodedInts::encode(&cleaned)
+        };
+        Some(Column::Int64Encoded {
+            data,
+            validity: bm.clone(),
+        })
     }
 
     /// Borrow the dictionary parts, or `None` for other representations.
@@ -903,29 +1075,42 @@ impl Column {
         }
     }
 
-    /// Decode a dictionary column to flat strings; other representations
-    /// return `None` (they are already in their canonical form).
+    /// Decode a dictionary column to flat strings or an encoded integer
+    /// column to a plain vector; other representations return `None` (they
+    /// are already in their canonical form).
     pub fn decoded(&self) -> Option<Column> {
-        let Column::DictUtf8 {
-            dict,
-            codes,
-            validity,
-        } = self
-        else {
-            return None;
-        };
-        let data = codes
-            .iter()
-            .enumerate()
-            .map(|(i, &c)| {
-                if validity.get(i) {
-                    dict[c as usize].clone()
-                } else {
-                    String::new()
-                }
-            })
-            .collect();
-        Some(Column::Utf8(data, validity.clone()))
+        match self {
+            Column::DictUtf8 {
+                dict,
+                codes,
+                validity,
+            } => {
+                let data = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| {
+                        if validity.get(i) {
+                            dict[c as usize].clone()
+                        } else {
+                            String::new()
+                        }
+                    })
+                    .collect();
+                Some(Column::Utf8(data, validity.clone()))
+            }
+            Column::Int64Encoded { data, validity } => {
+                Some(Column::Int64(data.decode(), validity.clone()))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The error every append path raises for sealed encoded-integer columns.
+fn encoded_immutable() -> StorageError {
+    StorageError::TypeMismatch {
+        expected: "appendable INT64".into(),
+        found: "ENC(INT64)".into(),
     }
 }
 
@@ -1178,6 +1363,21 @@ mod tests {
     }
 
     #[test]
+    fn slice_encoded_column_stays_encoded() {
+        let vals: Vec<Option<i64>> = (0..200)
+            .map(|i| if i % 7 == 0 { None } else { Some(i / 32) })
+            .collect();
+        let plain = Column::from_opt_i64(vals);
+        let enc = plain.int64_encode().expect("int64 columns encode");
+        let s = enc.slice(40, 101);
+        assert!(matches!(s, Column::Int64Encoded { .. }));
+        assert_eq!(s.len(), 101);
+        for i in 0..101 {
+            assert_eq!(s.value(i), plain.value(40 + i), "row {i}");
+        }
+    }
+
+    #[test]
     fn concat_columns() {
         let a = Column::from_i64(vec![1, 2]);
         let b = Column::from_opt_i64(vec![None, Some(4)]);
@@ -1303,6 +1503,85 @@ mod tests {
         assert_eq!(out.value(0), Value::str("a"));
         assert_eq!(out.value(1), Value::Null);
         assert_eq!(out.value(2), Value::str("b"));
+    }
+
+    fn opt_ints(vals: &[Option<i64>]) -> Column {
+        Column::from_opt_i64(vals.to_vec())
+    }
+
+    #[test]
+    fn int64_encode_roundtrip() {
+        let plain = opt_ints(&[Some(5), Some(5), None, Some(7), Some(5)]);
+        let enc = plain.int64_encode().unwrap();
+        assert!(enc.is_encoded());
+        assert_eq!(enc.data_type(), DataType::Int64);
+        assert_eq!(enc.len(), 5);
+        for i in 0..plain.len() {
+            assert_eq!(enc.value(i), plain.value(i), "row {i}");
+        }
+        let back = enc.decoded().unwrap();
+        for i in 0..plain.len() {
+            assert_eq!(back.value(i), plain.value(i), "decoded row {i}");
+        }
+    }
+
+    #[test]
+    fn encoded_hashes_match_plain() {
+        let plain = opt_ints(&[Some(1), Some(1), None, Some(900), Some(-3)]);
+        let enc = plain.int64_encode().unwrap();
+        let mut h_plain = vec![7u64; 5];
+        let mut h_enc = vec![7u64; 5];
+        plain.hash_combine(None, &mut h_plain);
+        enc.hash_combine(None, &mut h_enc);
+        assert_eq!(h_plain, h_enc);
+        let sel = [1u32, 3];
+        let mut s_plain = vec![0u64; 5];
+        let mut s_enc = vec![0u64; 5];
+        plain.hash_combine(Some(&sel), &mut s_plain);
+        enc.hash_combine(Some(&sel), &mut s_enc);
+        assert_eq!(s_plain, s_enc);
+    }
+
+    #[test]
+    fn encoded_eq_rows_cross_encoding() {
+        let plain = opt_ints(&[Some(2), Some(9), None]);
+        let enc = plain.int64_encode().unwrap();
+        let floats = Column::from_opt_f64(vec![Some(2.0), Some(9.0), None]);
+        for i in 0..3 {
+            assert!(enc.eq_rows_null_eq(i, &plain, i));
+            assert!(plain.eq_rows_null_eq(i, &enc, i));
+            assert!(enc.eq_rows_null_eq(i, &enc, i));
+            assert!(enc.eq_rows_null_eq(i, &floats, i));
+            assert!(floats.eq_rows_null_eq(i, &enc, i));
+        }
+        assert!(!enc.eq_rows_null_eq(0, &plain, 1));
+    }
+
+    #[test]
+    fn encoded_gather_take_concat_decode() {
+        let plain = opt_ints(&[Some(10), None, Some(30), Some(30)]);
+        let enc = plain.int64_encode().unwrap();
+        let g = enc.gather(&[3, 1, 0]);
+        assert!(!g.is_encoded());
+        assert_eq!(g.value(0), Value::Int(30));
+        assert_eq!(g.value(1), Value::Null);
+        let t = enc.take(&[2, 0]);
+        assert_eq!(t.i64_data().unwrap(), &[30, 10]);
+        let out = Column::concat(&[&enc, &plain]).unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(out.value(2), Value::Int(30));
+        assert_eq!(out.value(5), Value::Null);
+    }
+
+    #[test]
+    fn encoded_rejects_appends() {
+        let mut enc = opt_ints(&[Some(1), Some(2)]).int64_encode().unwrap();
+        assert!(enc.push_value(&Value::Int(3)).is_err());
+        assert!(enc.push_value(&Value::Null).is_err());
+        let src = opt_ints(&[Some(4), None]);
+        assert!(enc.push_from(&src, 0).is_err());
+        assert!(enc.push_from(&src, 1).is_err());
+        assert!(enc.i64_data().is_err());
     }
 
     #[test]

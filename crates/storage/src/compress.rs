@@ -1,11 +1,14 @@
 //! Lightweight integer encodings: run-length and bit-packing.
 //!
-//! These are the classic analytical-storage encodings; the checkpoint codec
-//! bit-packs dictionary codes with [`BitPackedI64`], the `repro` harness
-//! reports compression ratios for the TPC-H-like data, and the property
-//! tests guarantee lossless round-trips. Dictionary encoding for strings is
-//! not here: it is a first-class column representation
-//! ([`crate::Column::DictUtf8`]), not an at-rest codec.
+//! These are the classic analytical-storage encodings, and since the
+//! encoded-numeric work they are live execution representations, not just
+//! at-rest codecs: [`EncodedInts`] wraps [`RleI64`] and [`BitPackedI64`]
+//! behind one random-access surface and backs the
+//! [`crate::Column::Int64Encoded`] variant that filter/group/join/top-k
+//! kernels consume without decoding — the numeric mirror of the
+//! [`crate::Column::DictUtf8`] pipeline. The checkpoint codec additionally
+//! bit-packs dictionary codes with [`BitPackedI64`], and sealed-table state
+//! feeds the `storage.encoding.*` gauges reported by EXPLAIN ANALYZE.
 
 use crate::error::{Result, StorageError};
 
@@ -148,7 +151,8 @@ impl BitPackedI64 {
         Ok(self.get_unchecked(i))
     }
 
-    fn get_unchecked(&self, i: usize) -> i64 {
+    /// Random access without the bounds check (`i` must be `< len`).
+    pub fn get_unchecked(&self, i: usize) -> i64 {
         if self.width == 0 {
             return self.reference;
         }
@@ -170,24 +174,136 @@ impl BitPackedI64 {
     }
 }
 
-/// Summary of how well each encoding fits a column (used by the repro
-/// harness's storage report).
-#[derive(Debug, Clone)]
-pub struct EncodingReport {
-    /// Uncompressed size (8 bytes per value).
-    pub raw_bytes: usize,
-    /// RLE-encoded size.
-    pub rle_bytes: usize,
-    /// Bit-packed size.
-    pub bitpack_bytes: usize,
+/// A sealed integer column body in one of the lightweight encodings, with
+/// O(1)/O(log runs) random access — the representation behind
+/// [`crate::Column::Int64Encoded`].
+///
+/// NULL slots carry an arbitrary placeholder value; the owning column's
+/// validity bitmap is authoritative. Which encoding wins is decided at seal
+/// time by [`EncodedInts::encode`]: whichever of RLE and frame-of-reference
+/// bit-packing is smaller for the data at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodedInts {
+    /// Run-length runs plus a prefix-sum of run ends for binary-searched
+    /// random access (the ends are rebuilt on decode, never serialized).
+    Rle {
+        /// The underlying (value, run length) pairs.
+        rle: RleI64,
+        /// `ends[k]` = first position after run `k`.
+        ends: Vec<u32>,
+    },
+    /// Frame-of-reference bit-packing.
+    BitPacked(BitPackedI64),
 }
 
-/// Evaluate candidate encodings for an i64 column.
-pub fn report_i64(values: &[i64]) -> EncodingReport {
-    EncodingReport {
-        raw_bytes: values.len() * 8,
-        rle_bytes: RleI64::encode(values).byte_size(),
-        bitpack_bytes: BitPackedI64::encode(values).byte_size(),
+impl EncodedInts {
+    /// Encode `values`, picking whichever encoding is smaller.
+    pub fn encode(values: &[i64]) -> EncodedInts {
+        let rle = RleI64::encode(values);
+        let packed = BitPackedI64::encode(values);
+        if rle.byte_size() < packed.byte_size() {
+            EncodedInts::from_rle(rle)
+        } else {
+            EncodedInts::BitPacked(packed)
+        }
+    }
+
+    /// Wrap an [`RleI64`], building the run-end index.
+    pub fn from_rle(rle: RleI64) -> EncodedInts {
+        let mut ends = Vec::with_capacity(rle.runs.len());
+        let mut pos = 0u32;
+        for &(_, n) in &rle.runs {
+            pos += n;
+            ends.push(pos);
+        }
+        EncodedInts::Rle { rle, ends }
+    }
+
+    /// Decoded length.
+    pub fn len(&self) -> usize {
+        match self {
+            EncodedInts::Rle { rle, .. } => rle.len,
+            EncodedInts::BitPacked(p) => p.len,
+        }
+    }
+
+    /// Whether the encoded sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Value at position `i` (must be `< len`). O(1) for bit-packing,
+    /// O(log runs) for RLE.
+    #[inline]
+    pub fn get(&self, i: usize) -> i64 {
+        match self {
+            EncodedInts::Rle { rle, ends } => {
+                let run = ends.partition_point(|&e| e <= i as u32);
+                rle.runs[run].0
+            }
+            EncodedInts::BitPacked(p) => p.get_unchecked(i),
+        }
+    }
+
+    /// Decode to a plain vector.
+    pub fn decode(&self) -> Vec<i64> {
+        match self {
+            EncodedInts::Rle { rle, .. } => rle.decode(),
+            EncodedInts::BitPacked(p) => p.decode(),
+        }
+    }
+
+    /// Encoded size in bytes (including the RLE run-end index).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            EncodedInts::Rle { rle, ends } => rle.byte_size() + ends.len() * 4,
+            EncodedInts::BitPacked(p) => p.byte_size(),
+        }
+    }
+
+    /// The window `[offset, offset + len)` re-encoded in the same arm: RLE
+    /// trims runs in O(log runs + runs in window); bit-packing re-packs the
+    /// window's values (the frame of reference may tighten, never widen).
+    /// This is what keeps a morsel slice of an encoded column encoded.
+    pub fn slice(&self, offset: usize, len: usize) -> EncodedInts {
+        debug_assert!(offset + len <= self.len());
+        match self {
+            EncodedInts::Rle { rle, ends } => {
+                let end = offset + len;
+                let first = ends.partition_point(|&e| e <= offset as u32);
+                let mut runs: Vec<(i64, u32)> = Vec::new();
+                let mut pos = if first == 0 {
+                    0
+                } else {
+                    ends[first - 1] as usize
+                };
+                for &(v, n) in &rle.runs[first..] {
+                    if pos >= end {
+                        break;
+                    }
+                    let s = pos.max(offset);
+                    let e = (pos + n as usize).min(end);
+                    if e > s {
+                        runs.push((v, (e - s) as u32));
+                    }
+                    pos += n as usize;
+                }
+                EncodedInts::from_rle(RleI64 { runs, len })
+            }
+            EncodedInts::BitPacked(p) => {
+                let vals: Vec<i64> = (offset..offset + len).map(|i| p.get_unchecked(i)).collect();
+                EncodedInts::BitPacked(BitPackedI64::encode(&vals))
+            }
+        }
+    }
+
+    /// The RLE runs, when run-length encoded — kernels use these to
+    /// evaluate per run instead of per row.
+    pub fn runs(&self) -> Option<&[(i64, u32)]> {
+        match self {
+            EncodedInts::Rle { rle, .. } => Some(&rle.runs),
+            EncodedInts::BitPacked(_) => None,
+        }
     }
 }
 
@@ -270,9 +386,59 @@ mod tests {
     }
 
     #[test]
-    fn report_prefers_rle_on_runs() {
-        let data = vec![7; 10_000];
-        let r = report_i64(&data);
-        assert!(r.rle_bytes < r.raw_bytes / 100);
+    fn encoded_ints_picks_smaller_encoding() {
+        // Long runs: RLE wins.
+        let runs: Vec<i64> = (0..1000).map(|i| i / 100).collect();
+        let enc = EncodedInts::encode(&runs);
+        assert!(matches!(enc, EncodedInts::Rle { .. }));
+        assert_eq!(enc.decode(), runs);
+        // High-churn small range: bit-packing wins.
+        let churn: Vec<i64> = (0..1000).map(|i| i % 97).collect();
+        let enc = EncodedInts::encode(&churn);
+        assert!(matches!(enc, EncodedInts::BitPacked(_)));
+        assert_eq!(enc.decode(), churn);
+    }
+
+    #[test]
+    fn encoded_ints_random_access() {
+        for data in [
+            (0..500).map(|i| i / 50).collect::<Vec<i64>>(),
+            (0..500).map(|i| i % 13 - 6).collect::<Vec<i64>>(),
+            vec![],
+            vec![i64::MIN, 0, i64::MAX],
+        ] {
+            for enc in [
+                EncodedInts::from_rle(RleI64::encode(&data)),
+                EncodedInts::BitPacked(BitPackedI64::encode(&data)),
+            ] {
+                assert_eq!(enc.len(), data.len());
+                for (i, &v) in data.iter().enumerate() {
+                    assert_eq!(enc.get(i), v, "index {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_slice_stays_in_arm_and_matches() {
+        let runny: Vec<i64> = (0..500).map(|i| (i / 64) % 5).collect();
+        let churn: Vec<i64> = (0..500).map(|i| (i * 31) % 64).collect();
+        for data in [runny, churn] {
+            for enc in [
+                EncodedInts::from_rle(RleI64::encode(&data)),
+                EncodedInts::BitPacked(BitPackedI64::encode(&data)),
+            ] {
+                for (off, len) in [(0, 500), (0, 0), (13, 101), (64, 64), (499, 1), (450, 50)] {
+                    let s = enc.slice(off, len);
+                    assert_eq!(s.len(), len, "slice ({off}, {len})");
+                    assert_eq!(s.decode(), data[off..off + len].to_vec());
+                    assert_eq!(
+                        s.runs().is_some(),
+                        enc.runs().is_some(),
+                        "slice ({off}, {len}) changed encoding arm"
+                    );
+                }
+            }
+        }
     }
 }

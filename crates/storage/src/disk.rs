@@ -1,13 +1,19 @@
 //! A page store: the "disk" under the buffer pool.
 //!
-//! The store is in-memory (this is a laptop-scale reproduction — see
-//! DESIGN.md), but it counts physical reads/writes and can inject a
-//! configurable per-access latency so the buffer-pool experiments expose
-//! realistic hit/miss cost asymmetry.
+//! Two backings share one interface: an in-memory vector of pages (the
+//! laptop-scale default — see DESIGN.md) and a read-only file view that
+//! maps page `id` to byte offset `id * PAGE_SIZE`, which is how checkpoint
+//! files stream through the buffer pool without being loaded whole. Both
+//! count physical reads/writes and can inject a configurable per-access
+//! latency so buffer-pool experiments expose realistic hit/miss cost
+//! asymmetry.
 
 use crate::error::{Result, StorageError};
-use crate::page::{Page, PageId};
+use crate::page::{Page, PageId, PAGE_SIZE};
 use parking_lot::Mutex;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// I/O statistics for a page store.
@@ -21,10 +27,22 @@ pub struct DiskStats {
     pub allocations: u64,
 }
 
-/// An in-memory page store with I/O accounting.
+/// Where the pages live.
+#[derive(Debug)]
+enum Backing {
+    /// Growable in-memory store; pages are allocated explicitly.
+    Mem(Mutex<Vec<Page>>),
+    /// Read-only view of a file: page `id` is the `PAGE_SIZE` slice at
+    /// offset `id * PAGE_SIZE`, zero-padded past end-of-file. Writes and
+    /// allocation are rejected — checkpoint files are immutable once
+    /// published.
+    File { file: Mutex<File>, len: u64 },
+}
+
+/// A page store with I/O accounting.
 #[derive(Debug)]
 pub struct DiskManager {
-    pages: Mutex<Vec<Page>>,
+    backing: Backing,
     reads: AtomicU64,
     writes: AtomicU64,
     /// Simulated per-access latency; zero by default.
@@ -32,55 +50,120 @@ pub struct DiskManager {
 }
 
 impl DiskManager {
-    /// An empty store with no simulated latency.
+    /// An empty in-memory store with no simulated latency.
     pub fn new() -> DiskManager {
         DiskManager::with_latency(std::time::Duration::ZERO)
     }
 
-    /// An empty store that sleeps `latency` on every read/write, emulating a
-    /// slow device for buffer-pool benchmarks.
+    /// An empty in-memory store that sleeps `latency` on every read/write,
+    /// emulating a slow device for buffer-pool benchmarks.
     pub fn with_latency(latency: std::time::Duration) -> DiskManager {
         DiskManager {
-            pages: Mutex::new(Vec::new()),
+            backing: Backing::Mem(Mutex::new(Vec::new())),
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
             latency,
         }
     }
 
-    /// Allocate a fresh zeroed page, returning its id.
-    pub fn allocate(&self) -> PageId {
-        let mut pages = self.pages.lock();
-        pages.push(Page::zeroed());
-        (pages.len() - 1) as PageId
+    /// A read-only page view of the file at `path`. The final partial page
+    /// (if the file length is not a multiple of [`PAGE_SIZE`]) reads back
+    /// zero-padded.
+    pub fn open_file(path: impl AsRef<Path>) -> Result<DiskManager> {
+        let file = File::open(path.as_ref()).map_err(|e| StorageError::Io(e.to_string()))?;
+        let len = file
+            .metadata()
+            .map_err(|e| StorageError::Io(e.to_string()))?
+            .len();
+        Ok(DiskManager {
+            backing: Backing::File {
+                file: Mutex::new(file),
+                len,
+            },
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            latency: std::time::Duration::ZERO,
+        })
     }
 
-    /// Number of allocated pages.
+    /// Length in bytes of the backing store (file length for file-backed
+    /// stores, `num_pages * PAGE_SIZE` for in-memory ones).
+    pub fn len_bytes(&self) -> u64 {
+        match &self.backing {
+            Backing::Mem(pages) => (pages.lock().len() * PAGE_SIZE) as u64,
+            Backing::File { len, .. } => *len,
+        }
+    }
+
+    /// Allocate a fresh zeroed page, returning its id. Errors on read-only
+    /// file-backed stores.
+    pub fn allocate(&self) -> PageId {
+        match &self.backing {
+            Backing::Mem(pages) => {
+                let mut pages = pages.lock();
+                pages.push(Page::zeroed());
+                (pages.len() - 1) as PageId
+            }
+            Backing::File { .. } => {
+                unreachable!("allocate on a read-only file-backed page store")
+            }
+        }
+    }
+
+    /// Number of pages addressable in the store.
     pub fn num_pages(&self) -> usize {
-        self.pages.lock().len()
+        match &self.backing {
+            Backing::Mem(pages) => pages.lock().len(),
+            Backing::File { len, .. } => (*len as usize).div_ceil(PAGE_SIZE),
+        }
     }
 
     /// Read a page by id.
     pub fn read(&self, id: PageId) -> Result<Page> {
         self.simulate_latency();
         self.reads.fetch_add(1, Ordering::Relaxed);
-        let pages = self.pages.lock();
-        pages
-            .get(id as usize)
-            .cloned()
-            .ok_or(StorageError::PageNotFound(id))
+        match &self.backing {
+            Backing::Mem(pages) => {
+                let pages = pages.lock();
+                pages
+                    .get(id as usize)
+                    .cloned()
+                    .ok_or(StorageError::PageNotFound(id))
+            }
+            Backing::File { file, len } => {
+                let offset = id * PAGE_SIZE as u64;
+                if offset >= *len {
+                    return Err(StorageError::PageNotFound(id));
+                }
+                let want = (*len - offset).min(PAGE_SIZE as u64) as usize;
+                let mut page = Page::zeroed();
+                let mut f = file.lock();
+                f.seek(SeekFrom::Start(offset))
+                    .map_err(|e| StorageError::Io(e.to_string()))?;
+                f.read_exact(&mut page.bytes_mut()[..want])
+                    .map_err(|e| StorageError::Io(e.to_string()))?;
+                Ok(page)
+            }
+        }
     }
 
-    /// Write a page by id.
+    /// Write a page by id. Errors on read-only file-backed stores.
     pub fn write(&self, id: PageId, page: &Page) -> Result<()> {
         self.simulate_latency();
         self.writes.fetch_add(1, Ordering::Relaxed);
-        let mut pages = self.pages.lock();
-        let slot = pages
-            .get_mut(id as usize)
-            .ok_or(StorageError::PageNotFound(id))?;
-        *slot = page.clone();
-        Ok(())
+        match &self.backing {
+            Backing::Mem(pages) => {
+                let mut pages = pages.lock();
+                let slot = pages
+                    .get_mut(id as usize)
+                    .ok_or(StorageError::PageNotFound(id))?;
+                *slot = page.clone();
+                Ok(())
+            }
+            Backing::File { .. } => Err(StorageError::Corrupt(
+                "write to a read-only file-backed page store".into(),
+            )),
+        }
     }
 
     /// Current I/O statistics.
@@ -138,5 +221,30 @@ mod tests {
         assert_eq!(s.reads, 2);
         assert_eq!(s.writes, 1);
         assert_eq!(s.allocations, 1);
+    }
+
+    #[test]
+    fn file_backed_pages_map_offsets_and_pad_tail() {
+        let dir = std::env::temp_dir().join(format!("backbone-disk-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pages.bin");
+        // One full page of 0xAB plus a 10-byte tail of 0xCD.
+        let mut bytes = vec![0xABu8; PAGE_SIZE];
+        bytes.extend_from_slice(&[0xCD; 10]);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let disk = DiskManager::open_file(&path).unwrap();
+        assert_eq!(disk.len_bytes(), (PAGE_SIZE + 10) as u64);
+        assert_eq!(disk.num_pages(), 2);
+        assert_eq!(disk.read(0).unwrap().read_at(0, 4), [0xAB; 4]);
+        let tail = disk.read(1).unwrap();
+        assert_eq!(tail.read_at(0, 10), [0xCD; 10]);
+        // Past end-of-file within the last page is zero-padded.
+        assert_eq!(tail.read_at(10, 4), [0u8; 4]);
+        // Past the last page is an error; writes are rejected.
+        assert!(matches!(disk.read(2), Err(StorageError::PageNotFound(2))));
+        assert!(disk.write(0, &Page::zeroed()).is_err());
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

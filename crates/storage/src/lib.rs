@@ -17,6 +17,8 @@
 //! - [`cache`]: a policy-driven cache simulator shared with the LLM KV-cache
 //!   study (experiment E4),
 //! - [`bufferpool`]: a pin/unpin page buffer pool over the page store,
+//! - [`pager`]: byte-range reads over a page file served through the pool
+//!   (how checkpoint row groups stream without whole-file materialization),
 //! - [`codec`] / [`checkpoint`]: checksummed byte encodings and atomic
 //!   table snapshots for the durability subsystem,
 //! - [`metrics`]: the engine-wide [`metrics::Metrics`] counter registry that
@@ -35,6 +37,7 @@ pub mod error;
 pub mod eviction;
 pub mod metrics;
 pub mod page;
+pub mod pager;
 pub mod schema;
 pub mod table;
 pub mod types;
@@ -43,6 +46,7 @@ pub use batch::RecordBatch;
 pub use column::{Bitmap, Column};
 pub use error::StorageError;
 pub use metrics::{Counter, Metrics};
+pub use pager::PagedFile;
 pub use schema::{Field, Schema};
 pub use table::{RowGroup, Table};
 pub use types::{DataType, Value};

@@ -1,0 +1,145 @@
+//! Byte-range reads over a page file, served through the buffer pool.
+//!
+//! [`PagedFile`] is the bridge between the byte-oriented checkpoint codec
+//! and the page-oriented [`BufferPool`]: callers ask for `(offset, len)`
+//! byte ranges and the pager assembles them from `PAGE_SIZE` pages fetched
+//! one at a time — at most one page is pinned at any moment, so a scan over
+//! an arbitrarily large checkpoint file holds `O(pool capacity)` memory,
+//! never `O(file)`. Hot pages (the directory, a group read twice) are
+//! served from the pool without touching the disk; cold ones charge a miss
+//! and an eviction, which is exactly the traffic the `bufferpool.*` metrics
+//! expose in EXPLAIN ANALYZE.
+
+use crate::bufferpool::BufferPool;
+use crate::error::{Result, StorageError};
+use crate::page::{PageId, PAGE_SIZE};
+use std::sync::Arc;
+
+/// A read-only byte view of a file whose pages stream through a
+/// [`BufferPool`].
+#[derive(Clone)]
+pub struct PagedFile {
+    pool: Arc<BufferPool>,
+    len: u64,
+}
+
+impl std::fmt::Debug for PagedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedFile")
+            .field("len", &self.len)
+            .field("pool_capacity", &self.pool.capacity())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PagedFile {
+    /// Wrap a pool whose disk manager is the file to read. `len` is the
+    /// file length in bytes (the addressable range; pages past it error).
+    pub fn new(pool: Arc<BufferPool>, len: u64) -> PagedFile {
+        PagedFile { pool, len }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The pool serving this file (for stats and capacity introspection).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Read `len` bytes starting at `offset`, pinning one page at a time.
+    pub fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let end = offset
+            .checked_add(len as u64)
+            .ok_or_else(|| StorageError::Corrupt("paged read overflows u64".into()))?;
+        if end > self.len {
+            return Err(StorageError::Corrupt(format!(
+                "paged read [{offset}, {end}) past end of file ({} bytes)",
+                self.len
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < end {
+            let page_id = pos / PAGE_SIZE as u64;
+            let in_page = (pos % PAGE_SIZE as u64) as usize;
+            let take = ((end - pos) as usize).min(PAGE_SIZE - in_page);
+            let guard = self.pool.fetch(page_id as PageId)?;
+            guard.read(|p| out.extend_from_slice(p.read_at(in_page, take)));
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Visit the whole file in page-sized chunks (the last chunk may be
+    /// short), pinning one page at a time. Used for streaming checksum
+    /// validation without materializing the file.
+    pub fn for_each_chunk(&self, mut f: impl FnMut(&[u8])) -> Result<()> {
+        let mut pos = 0u64;
+        while pos < self.len {
+            let take = ((self.len - pos) as usize).min(PAGE_SIZE);
+            let guard = self.pool.fetch(pos / PAGE_SIZE as u64)?;
+            guard.read(|p| f(p.read_at(0, take)));
+            pos += take as u64;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::DiskManager;
+    use crate::eviction::PolicyKind;
+
+    fn paged_fixture(bytes: &[u8], capacity: usize) -> (PagedFile, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!(
+            "backbone-pager-test-{}-{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.bin");
+        std::fs::write(&path, bytes).unwrap();
+        let disk = Arc::new(DiskManager::open_file(&path).unwrap());
+        let len = disk.len_bytes();
+        let pool = BufferPool::new(disk, capacity, PolicyKind::Lru);
+        (PagedFile::new(pool, len), dir)
+    }
+
+    #[test]
+    fn read_at_crosses_page_boundaries() {
+        let data: Vec<u8> = (0..3 * PAGE_SIZE + 100).map(|i| (i % 251) as u8).collect();
+        let (file, dir) = paged_fixture(&data, 2);
+        // Whole file, a straddling range, and the tail.
+        assert_eq!(file.read_at(0, data.len()).unwrap(), data);
+        let straddle = file.read_at(PAGE_SIZE as u64 - 7, 20).unwrap();
+        assert_eq!(straddle, &data[PAGE_SIZE - 7..PAGE_SIZE + 13]);
+        let tail = file.read_at(3 * PAGE_SIZE as u64, 100).unwrap();
+        assert_eq!(tail, &data[3 * PAGE_SIZE..]);
+        // Past-end reads error instead of zero-filling silently.
+        assert!(file.read_at(3 * PAGE_SIZE as u64, 101).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunks_stream_with_bounded_pool() {
+        let data: Vec<u8> = (0..10 * PAGE_SIZE).map(|i| (i % 13) as u8).collect();
+        let (file, dir) = paged_fixture(&data, 2);
+        let mut seen = Vec::new();
+        file.for_each_chunk(|c| seen.extend_from_slice(c)).unwrap();
+        assert_eq!(seen, data);
+        // Ten pages streamed through a two-frame pool: evictions happened
+        // and residency stayed bounded.
+        assert!(file.pool().resident() <= 2);
+        assert!(file.pool().stats().evictions >= 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

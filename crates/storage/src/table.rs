@@ -9,6 +9,7 @@
 use crate::batch::RecordBatch;
 use crate::column::Column;
 use crate::error::{Result, StorageError};
+use crate::pager::PagedFile;
 use crate::schema::Schema;
 use crate::types::Value;
 use std::cmp::Ordering;
@@ -25,6 +26,11 @@ pub const DICT_MIN_SEAL_ROWS: usize = 64;
 /// (distinct ratio at most 1/4) — low enough that per-entry predicate
 /// evaluation and u32 code scans beat per-row string work.
 pub const DICT_RATIO_DEN: usize = 4;
+
+/// An Int64 column seals encoded (RLE or frame-of-reference bit-packing)
+/// only when the encoded bytes are at most `1 / ENC_RATIO_DEN` of the plain
+/// bytes — a 2x floor, so marginal wins never pay the random-access tax.
+pub const ENC_RATIO_DEN: usize = 2;
 
 /// How [`Table::flush`] physically represents Utf8 columns when sealing a
 /// row group.
@@ -160,6 +166,15 @@ impl RowGroup {
         RowGroup { batch, zones }
     }
 
+    /// Rebuild a row group from a batch plus zone maps that were computed
+    /// when it was first sealed (the paged checkpoint reader keeps zones
+    /// resident and re-reads payloads on demand; recomputing zones on every
+    /// fetch would defeat the point of keeping them in the directory).
+    pub fn with_zones(batch: RecordBatch, zones: Vec<ZoneMap>) -> RowGroup {
+        debug_assert_eq!(batch.columns().len(), zones.len());
+        RowGroup { batch, zones }
+    }
+
     /// The underlying batch.
     pub fn batch(&self) -> &RecordBatch {
         &self.batch
@@ -170,10 +185,42 @@ impl RowGroup {
         &self.zones[i]
     }
 
+    /// All zone maps, in column order.
+    pub fn zones(&self) -> &[ZoneMap] {
+        &self.zones
+    }
+
     /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.batch.num_rows()
     }
+}
+
+/// Where a sealed row group's data lives.
+///
+/// Memory-resident groups hold their batch directly; paged groups hold only
+/// zone maps plus a `(offset, len)` window into a checkpoint file, and
+/// materialize their batch through the buffer pool on every
+/// [`Table::group`] call — deliberately uncached, so a scan over a paged
+/// table holds at most one group (plus the pool's frames) in memory.
+#[derive(Debug, Clone)]
+pub enum GroupSlot {
+    /// Resident in memory (the normal append/flush path).
+    Mem(Arc<RowGroup>),
+    /// On disk inside a checkpoint file, read through the buffer pool.
+    Paged {
+        /// The checkpoint file, served through a buffer pool.
+        pager: Arc<PagedFile>,
+        /// Byte offset of the group payload ([`crate::checkpoint::put_batch`]
+        /// bytes) within the file.
+        offset: u64,
+        /// Payload length in bytes.
+        len: usize,
+        /// Row count (from the checkpoint group directory).
+        rows: usize,
+        /// Zone maps kept resident so pruning never touches the disk.
+        zones: Arc<Vec<ZoneMap>>,
+    },
 }
 
 /// An append-only, row-grouped columnar table.
@@ -184,7 +231,7 @@ impl RowGroup {
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: Arc<Schema>,
-    groups: Vec<Arc<RowGroup>>,
+    groups: Vec<GroupSlot>,
     /// Rows buffered but not yet sealed into a group.
     pending: Vec<Vec<Value>>,
     group_size: usize,
@@ -275,7 +322,8 @@ impl Table {
             EncodingPolicy::Auto => encode_for_seal(batch),
             EncodingPolicy::Plain => batch,
         };
-        self.groups.push(Arc::new(RowGroup::new(batch)));
+        self.groups
+            .push(GroupSlot::Mem(Arc::new(RowGroup::new(batch))));
         Ok(())
     }
 
@@ -289,14 +337,93 @@ impl Table {
             ));
         }
         self.rows += batch.num_rows();
-        self.groups.push(Arc::new(RowGroup::new(batch)));
+        self.groups
+            .push(GroupSlot::Mem(Arc::new(RowGroup::new(batch))));
         Ok(())
     }
 
-    /// Iterate sealed row groups. Call [`Table::flush`] first to include
-    /// recent appends.
-    pub fn groups(&self) -> impl Iterator<Item = &RowGroup> {
-        self.groups.iter().map(|g| g.as_ref())
+    /// Register a row group that stays on disk: only its zone maps are
+    /// resident; [`Table::group`] re-reads the payload window through the
+    /// buffer pool on every access. This is how the paged checkpoint open
+    /// publishes tables whose working set exceeds memory.
+    pub fn push_paged_group(
+        &mut self,
+        pager: Arc<PagedFile>,
+        offset: u64,
+        len: usize,
+        rows: usize,
+        zones: Vec<ZoneMap>,
+    ) {
+        self.rows += rows;
+        self.groups.push(GroupSlot::Paged {
+            pager,
+            offset,
+            len,
+            rows,
+            zones: Arc::new(zones),
+        });
+    }
+
+    /// Materialize sealed row group `i`.
+    ///
+    /// Memory-resident groups return a shared `Arc` (no copy). Paged groups
+    /// read their payload through the buffer pool and decode it fresh on
+    /// every call — deliberately uncached so concurrent scans of a paged
+    /// table stay within the pool's memory budget.
+    pub fn group(&self, i: usize) -> Result<Arc<RowGroup>> {
+        let slot = self.groups.get(i).ok_or(StorageError::OutOfBounds {
+            index: i,
+            len: self.groups.len(),
+        })?;
+        match slot {
+            GroupSlot::Mem(g) => Ok(g.clone()),
+            GroupSlot::Paged {
+                pager,
+                offset,
+                len,
+                rows,
+                zones,
+            } => {
+                let bytes = pager.read_at(*offset, *len)?;
+                let mut cur = crate::codec::Cursor::new(&bytes);
+                let batch = crate::checkpoint::read_batch(&mut cur, &self.schema)?;
+                if batch.num_rows() != *rows {
+                    return Err(StorageError::Corrupt(format!(
+                        "paged group {i}: payload has {} rows, directory says {rows}",
+                        batch.num_rows()
+                    )));
+                }
+                Ok(Arc::new(RowGroup::with_zones(
+                    batch,
+                    zones.as_ref().clone(),
+                )))
+            }
+        }
+    }
+
+    /// Row count of sealed group `i` without materializing it.
+    pub fn group_rows(&self, i: usize) -> usize {
+        match &self.groups[i] {
+            GroupSlot::Mem(g) => g.num_rows(),
+            GroupSlot::Paged { rows, .. } => *rows,
+        }
+    }
+
+    /// Zone maps of sealed group `i`, in column order — always resident,
+    /// even for paged groups, so pruning never costs an I/O.
+    pub fn group_zones(&self, i: usize) -> &[ZoneMap] {
+        match &self.groups[i] {
+            GroupSlot::Mem(g) => g.zones(),
+            GroupSlot::Paged { zones, .. } => zones,
+        }
+    }
+
+    /// Number of sealed groups whose payload lives on disk.
+    pub fn num_paged_groups(&self) -> usize {
+        self.groups
+            .iter()
+            .filter(|s| matches!(s, GroupSlot::Paged { .. }))
+            .count()
     }
 
     /// Rows appended since the last seal (not yet in any row group).
@@ -304,26 +431,40 @@ impl Table {
         &self.pending
     }
 
-    /// Materialize the whole table as one batch (testing / small tables).
+    /// Materialize the whole table as one batch (testing / small tables;
+    /// paged groups are read through the pool one at a time).
     pub fn to_batch(&self) -> Result<RecordBatch> {
-        let mut batches: Vec<RecordBatch> = self.groups.iter().map(|g| g.batch().clone()).collect();
+        let mut batches: Vec<RecordBatch> = Vec::with_capacity(self.groups.len() + 1);
+        for i in 0..self.groups.len() {
+            batches.push(self.group(i)?.batch().clone());
+        }
         if !self.pending.is_empty() {
             batches.push(RecordBatch::from_rows(self.schema.clone(), &self.pending)?);
         }
         RecordBatch::concat(self.schema.clone(), &batches)
     }
 
-    /// Approximate in-memory size in bytes of sealed groups.
+    /// Approximate in-memory size in bytes of sealed groups. Paged groups
+    /// count only their resident zone maps (their payloads live on disk).
     pub fn byte_size(&self) -> usize {
-        self.groups.iter().map(|g| g.batch().byte_size()).sum()
+        self.groups
+            .iter()
+            .map(|s| match s {
+                GroupSlot::Mem(g) => g.batch().byte_size(),
+                GroupSlot::Paged { zones, .. } => zones.len() * std::mem::size_of::<ZoneMap>(),
+            })
+            .sum()
     }
 
-    /// (dictionary-encoded columns, rows they cover) across sealed groups —
-    /// the source for `storage.encoding.*` counters.
+    /// (dictionary-encoded columns, rows they cover) across memory-resident
+    /// sealed groups — the source for `storage.encoding.*` counters. Paged
+    /// groups are excluded: counting them would force a full decode of data
+    /// deliberately left on disk.
     pub fn encoding_stats(&self) -> (usize, usize) {
         let mut cols = 0;
         let mut rows = 0;
-        for g in &self.groups {
+        for s in &self.groups {
+            let GroupSlot::Mem(g) = s else { continue };
             for c in g.batch().columns() {
                 if c.is_dict() {
                     cols += 1;
@@ -333,12 +474,31 @@ impl Table {
         }
         (cols, rows)
     }
+
+    /// (encoded Int64 columns, rows they cover) across memory-resident
+    /// sealed groups — the source for `storage.encoding.int_*` counters.
+    pub fn int_encoding_stats(&self) -> (usize, usize) {
+        let mut cols = 0;
+        let mut rows = 0;
+        for s in &self.groups {
+            let GroupSlot::Mem(g) = s else { continue };
+            for c in g.batch().columns() {
+                if c.is_encoded() {
+                    cols += 1;
+                    rows += c.len();
+                }
+            }
+        }
+        (cols, rows)
+    }
 }
 
-/// Dictionary-encode every qualifying Utf8 column of a freshly sealed
-/// batch: at least [`DICT_MIN_SEAL_ROWS`] rows and distinct ratio at most
-/// `1 / DICT_RATIO_DEN`. One encode pass per string column; non-qualifying
-/// columns keep their plain vectors.
+/// Re-encode every qualifying column of a freshly sealed batch: Utf8
+/// columns dictionary-encode when at least [`DICT_MIN_SEAL_ROWS`] rows and
+/// distinct ratio at most `1 / DICT_RATIO_DEN`; Int64 columns switch to
+/// RLE / bit-packed [`crate::compress::EncodedInts`] when the encoded bytes
+/// clear the [`ENC_RATIO_DEN`] compression floor. One encode pass per
+/// column; non-qualifying columns keep their plain vectors.
 fn encode_for_seal(batch: RecordBatch) -> RecordBatch {
     let rows = batch.num_rows();
     if rows < DICT_MIN_SEAL_ROWS {
@@ -353,6 +513,12 @@ fn encode_for_seal(batch: RecordBatch) -> RecordBatch {
                 if dict.utf8_distinct().unwrap_or(usize::MAX) * DICT_RATIO_DEN <= rows {
                     changed = true;
                     return Arc::new(dict);
+                }
+            }
+            if let Some(enc) = c.int64_encode() {
+                if enc.byte_size() * ENC_RATIO_DEN <= c.byte_size() {
+                    changed = true;
+                    return Arc::new(enc);
                 }
             }
             c.clone()
@@ -460,7 +626,7 @@ mod tests {
             ])
             .unwrap();
         }
-        let g = t.groups().next().unwrap();
+        let g = t.group(0).unwrap();
         let col = &g.batch().columns()[1];
         assert!(col.is_dict(), "low-cardinality Utf8 should seal as dict");
         assert_eq!(col.utf8_distinct(), Some(3));
@@ -474,7 +640,7 @@ mod tests {
             hi.append_row(vec![Value::Int(i), Value::str(format!("v{i}"))])
                 .unwrap();
         }
-        assert!(!hi.groups().next().unwrap().batch().columns()[1].is_dict());
+        assert!(!hi.group(0).unwrap().batch().columns()[1].is_dict());
         // Plain policy disables encoding entirely.
         let mut plain = Table::with_group_size(schema(), 256).with_encoding(EncodingPolicy::Plain);
         for i in 0..256 {
@@ -482,8 +648,43 @@ mod tests {
                 .append_row(vec![Value::Int(i), Value::str("same")])
                 .unwrap();
         }
-        assert!(!plain.groups().next().unwrap().batch().columns()[1].is_dict());
+        assert!(!plain.group(0).unwrap().batch().columns()[1].is_dict());
         assert_eq!(plain.encoding_stats(), (0, 0));
+    }
+
+    #[test]
+    fn seal_encodes_compressible_ints() {
+        // Long runs: RLE crushes this column, so it seals encoded.
+        let mut t = Table::with_group_size(schema(), 256);
+        for i in 0..256 {
+            t.append_row(vec![Value::Int(i / 64), Value::str(format!("v{i}"))])
+                .unwrap();
+        }
+        let g = t.group(0).unwrap();
+        let col = &g.batch().columns()[0];
+        assert!(col.is_encoded(), "run-heavy Int64 should seal encoded");
+        for i in 0..256usize {
+            assert_eq!(col.value(i), Value::Int(i as i64 / 64));
+        }
+        assert!(g.zone(0).may_contain_eq(&Value::Int(3)));
+        assert!(!g.zone(0).may_contain_eq(&Value::Int(9)));
+        assert_eq!(t.int_encoding_stats(), (1, 256));
+        // Wide-range values miss the 2x floor and stay plain.
+        let mut hi = Table::with_group_size(schema(), 256);
+        for i in 0..256i64 {
+            hi.append_row(vec![Value::Int(i * i * 9_999_991), Value::str("s")])
+                .unwrap();
+        }
+        assert!(!hi.group(0).unwrap().batch().columns()[0].is_encoded());
+        // Plain policy disables numeric encoding too.
+        let mut plain = Table::with_group_size(schema(), 256).with_encoding(EncodingPolicy::Plain);
+        for _ in 0..256 {
+            plain
+                .append_row(vec![Value::Int(1), Value::str("s")])
+                .unwrap();
+        }
+        assert!(!plain.group(0).unwrap().batch().columns()[0].is_encoded());
+        assert_eq!(plain.int_encoding_stats(), (0, 0));
     }
 
     #[test]
@@ -501,7 +702,7 @@ mod tests {
         let mut t = Table::new(s);
         t.push_sealed_batch(batch).unwrap();
         assert_eq!(t.num_rows(), 2);
-        assert!(t.groups().next().unwrap().batch().columns()[1].is_dict());
+        assert!(t.group(0).unwrap().batch().columns()[1].is_dict());
     }
 
     #[test]
@@ -509,7 +710,7 @@ mod tests {
         let mut t = Table::with_group_size(schema(), 2);
         t.append_row(vec![Value::Int(7), Value::str("a")]).unwrap();
         t.append_row(vec![Value::Int(3), Value::str("b")]).unwrap();
-        let g = t.groups().next().unwrap();
+        let g = t.group(0).unwrap();
         assert_eq!(g.zone(0).min, Some(Value::Int(3)));
         assert_eq!(g.zone(0).max, Some(Value::Int(7)));
         assert_eq!(g.num_rows(), 2);

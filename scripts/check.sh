@@ -26,6 +26,10 @@ cargo test -q -p backbone-bench --test kernel_equivalence
 echo "== parallel vs serial equivalence (workers 1/2/8) =="
 cargo test -q -p backbone-bench --test kernel_equivalence parallel
 
+echo "== out-of-core spill smoke (budget-capped, serial + Fixed(4)) =="
+cargo test -q -p backbone-bench --test kernel_equivalence budget
+cargo test -q -p backbone-bench --test kernel_equivalence tiny_budget
+
 echo "== repro smoke (quick) =="
 out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"
 echo "$out"
@@ -46,6 +50,15 @@ echo "$out" | grep -q "PERF_OK declarative" || { echo "repro bench: declarative/
 # Encoding gate: dictionary kernels must never lose to the plain-string path.
 echo "$out" | grep -q "PERF_OK dict filter" || { echo "repro bench: dict filter slower than plain"; exit 1; }
 echo "$out" | grep -q "PERF_OK dict group-by" || { echo "repro bench: dict group-by slower than plain"; exit 1; }
+# Numeric encoding gate: encoded-int kernels must never lose to plain ints.
+echo "$out" | grep -q "PERF_OK encoded int filter" || { echo "repro bench: encoded int filter slower than plain"; exit 1; }
+echo "$out" | grep -q "PERF_OK encoded int group-by" || { echo "repro bench: encoded int group-by slower than plain"; exit 1; }
+echo "$out" | grep -q "PERF_OK encoded int join" || { echo "repro bench: encoded int join slower than plain"; exit 1; }
+# Out-of-core gate: the budget-capped Q3 rung must spill and stay within the
+# wall-time ceiling of the unbudgeted run (result identity is asserted inside
+# the bench itself).
+echo "$out" | grep -q "PERF_OK budgeted Q3 overhead" || { echo "repro bench: budgeted Q3 blew the wall-time ceiling"; exit 1; }
+echo "$out" | grep -q "PERF_OK budgeted Q3 spilled" || { echo "repro bench: budgeted Q3 did not spill"; exit 1; }
 # Parallelism gate: one morsel worker must stay within 10% of serial; the
 # >=2.5x scaling floor self-gates on core count (PERF_SKIP below 4 cores).
 echo "$out" | grep -q "PERF_OK parallel" || { echo "repro bench: parallel 1-worker overhead regressed"; exit 1; }

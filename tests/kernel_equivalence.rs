@@ -357,11 +357,13 @@ fn register_string_pair(catalog: &MemCatalog, stem: &str, rows: &[SRow], sname: 
     }
 }
 
-/// Run the same plan against both twins; the dict rows must match the plain
-/// rows exactly (optionally order-insensitively).
-fn twins_match(
+/// Run the same plan against the `_plain` twin and the `_{encoded_sfx}`
+/// twin; encoded rows must match plain rows exactly (optionally
+/// order-insensitively) — encoding is purely physical.
+fn twins_match_sfx(
     catalog: &MemCatalog,
     stem: &str,
+    encoded_sfx: &str,
     context: &str,
     sort: bool,
     make: &dyn Fn(&str) -> LogicalPlan,
@@ -380,8 +382,19 @@ fn twins_match(
         rows
     };
     let plain = run("plain");
-    let dict = run("dict");
-    assert_rows_match(&dict, &plain, context);
+    let encoded = run(encoded_sfx);
+    assert_rows_match(&encoded, &plain, context);
+}
+
+/// Dict-twin shorthand for [`twins_match_sfx`].
+fn twins_match(
+    catalog: &MemCatalog,
+    stem: &str,
+    context: &str,
+    sort: bool,
+    make: &dyn Fn(&str) -> LogicalPlan,
+) {
+    twins_match_sfx(catalog, stem, "dict", context, sort, make);
 }
 
 /// Filters, aggregation, and top-k over a dict column vs its plain twin.
@@ -540,6 +553,196 @@ fn empty_selection_flows_through_dict_operators() {
     twins_match(&catalog, "t", "empty selection aggregate", true, &|n| {
         filtered(n).aggregate(vec![col("s")], vec![count_star().alias("n")])
     });
+}
+
+// ---- Encoded integers vs plain -------------------------------------------
+
+/// Register `rows` twice under `<stem>_plain` / `<stem>_enc`: identical
+/// contents, but the enc twin's two integer columns are sealed as
+/// [`Column::Int64Encoded`] (RLE or frame-of-reference bit-packing, chosen
+/// per column by size). Any plan must produce identical rows on both.
+fn register_encoded_pair(
+    catalog: &MemCatalog,
+    stem: &str,
+    rows: &[Row],
+    names: (&str, &str, &str),
+) {
+    let schema = Schema::new(vec![
+        Field::nullable(names.0, DataType::Int64),
+        Field::nullable(names.1, DataType::Int64),
+        Field::nullable(names.2, DataType::Float64),
+    ]);
+    let kvals: Vec<Value> = rows.iter().map(|(k, _, _)| value_of_int(*k)).collect();
+    let vvals: Vec<Value> = rows.iter().map(|(_, v, _)| value_of_int(*v)).collect();
+    let fvals: Vec<Value> = rows.iter().map(|(_, _, f)| value_of_float(*f)).collect();
+    let kcol = Column::from_values(DataType::Int64, &kvals).expect("int column");
+    let vcol = Column::from_values(DataType::Int64, &vvals).expect("int column");
+    let fcol = Column::from_values(DataType::Float64, &fvals).expect("float column");
+    let kenc = kcol.int64_encode().expect("plain int columns encode");
+    let venc = vcol.int64_encode().expect("plain int columns encode");
+    for (suffix, kc, vc) in [("plain", kcol, vcol), ("enc", kenc, venc)] {
+        let mut table = Table::new(schema.clone());
+        if !rows.is_empty() {
+            let batch = RecordBatch::try_new(
+                schema.clone(),
+                vec![Arc::new(kc), Arc::new(vc), Arc::new(fcol.clone())],
+            )
+            .expect("columns match schema");
+            table.push_sealed_batch(batch).expect("sealed batch");
+        }
+        catalog.register(format!("{stem}_{suffix}"), table);
+    }
+}
+
+/// Filters, aggregation, and top-k over encoded int columns vs plain twins.
+fn check_encoded_vs_plain(rows: &[Row]) {
+    let catalog = MemCatalog::new();
+    register_encoded_pair(&catalog, "t", rows, ("k", "v", "f"));
+    let scan = |name: &str| LogicalPlan::scan(name, &catalog).expect("table registered");
+
+    type PredFn = Box<dyn Fn() -> backbone_query::Expr>;
+    let filters: Vec<(&str, PredFn)> = vec![
+        ("v >= lit", Box::new(|| col("v").gt_eq(lit(0i64)))),
+        ("v = lit", Box::new(|| col("v").eq(lit(7i64)))),
+        ("v <> lit", Box::new(|| col("v").not_eq(lit(3i64)))),
+        ("k < lit", Box::new(|| col("k").lt(lit(2i64)))),
+        (
+            "v IN list",
+            Box::new(|| col("v").in_list(vec![lit(1i64), lit(-4i64), lit(99i64)])),
+        ),
+        (
+            "conjunction over both encoded columns",
+            Box::new(|| col("k").gt_eq(lit(-2i64)).and(col("v").lt(lit(50i64)))),
+        ),
+    ];
+    for (context, pred) in &filters {
+        twins_match_sfx(&catalog, "t", "enc", context, false, &|n| {
+            scan(n).filter(pred())
+        });
+    }
+
+    // Group by the encoded key with the full accumulator set riding along.
+    twins_match_sfx(&catalog, "t", "enc", "group by encoded k", true, &|n| {
+        scan(n).aggregate(
+            vec![col("k")],
+            vec![
+                count_star().alias("n"),
+                count(col("v")).alias("nv"),
+                sum(col("v")).alias("sv"),
+                min(col("v")).alias("minv"),
+                max(col("v")).alias("maxv"),
+                avg(col("f")).alias("af"),
+            ],
+        )
+    });
+
+    // Top-k orders on the encoded value column.
+    twins_match_sfx(&catalog, "t", "enc", "topk over encoded v", false, &|n| {
+        scan(n).sort(vec![desc(col("v")), asc(col("k"))]).limit(7)
+    });
+}
+
+/// Joins on encoded int keys across every encoding combination: enc⋈enc,
+/// enc⋈plain, plain⋈enc — all must equal plain⋈plain.
+fn check_encoded_join(left: &[Row], right: &[Row], join_type: JoinType) {
+    let catalog = MemCatalog::new();
+    register_encoded_pair(&catalog, "l", left, ("k", "v", "f"));
+    register_encoded_pair(&catalog, "r", right, ("rk", "rv", "rf"));
+    let run = |ln: &str, rn: &str| {
+        let plan = LogicalPlan::scan(ln, &catalog).unwrap().join(
+            LogicalPlan::scan(rn, &catalog).unwrap(),
+            vec![("k", "rk")],
+            join_type,
+        );
+        let mut rows = execute(plan, &catalog, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("join {ln} x {rn}: {e}"))
+            .to_rows();
+        rows.sort_by_key(|r| join_key(r));
+        rows
+    };
+    let base = run("l_plain", "r_plain");
+    for (ln, rn) in [
+        ("l_enc", "r_enc"),
+        ("l_enc", "r_plain"),
+        ("l_plain", "r_enc"),
+    ] {
+        assert_rows_match(&run(ln, rn), &base, &format!("join {ln} x {rn}"));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn encoded_execution_matches_plain(rows in arbitrary_rows(120, 3)) {
+        check_encoded_vs_plain(&rows);
+    }
+
+    #[test]
+    fn encoded_execution_matches_plain_null_heavy(rows in arbitrary_rows(80, 30)) {
+        check_encoded_vs_plain(&rows);
+    }
+
+    #[test]
+    fn encoded_inner_join_matches_plain(
+        left in arbitrary_rows(60, 3),
+        right in arbitrary_rows(60, 3),
+    ) {
+        check_encoded_join(&left, &right, JoinType::Inner);
+    }
+
+    #[test]
+    fn encoded_left_join_matches_plain(
+        left in arbitrary_rows(50, 8),
+        right in arbitrary_rows(50, 8),
+    ) {
+        check_encoded_join(&left, &right, JoinType::Left);
+    }
+}
+
+#[test]
+fn run_heavy_and_churn_encodings_match_plain() {
+    // Long runs pick RLE (kernels then evaluate per run); high churn over a
+    // small range picks bit-packing. Both must be invisible in results.
+    let runs: Vec<Row> = (0..200)
+        .map(|i| (Some(i / 40), Some(i / 25), Some(i as f64)))
+        .collect();
+    check_encoded_vs_plain(&runs);
+    let churn: Vec<Row> = (0..200)
+        .map(|i| (Some(i % 7), Some(i * 31 % 64), None))
+        .collect();
+    check_encoded_vs_plain(&churn);
+    check_encoded_join(&runs, &churn, JoinType::Inner);
+}
+
+#[test]
+fn empty_selection_flows_through_encoded_operators() {
+    // A predicate nothing satisfies: downstream operators see empty
+    // selections over encoded columns.
+    let rows: Vec<Row> = (0..64).map(|i| (Some(i % 4), Some(i), None)).collect();
+    let catalog = MemCatalog::new();
+    register_encoded_pair(&catalog, "t", &rows, ("k", "v", "f"));
+    let filtered = |n: &str| {
+        LogicalPlan::scan(n, &catalog)
+            .unwrap()
+            .filter(col("v").gt(lit(10_000i64)))
+    };
+    for plan in [
+        filtered("t_enc"),
+        filtered("t_enc").aggregate(vec![col("k")], vec![count_star().alias("n")]),
+        filtered("t_enc").sort(vec![asc(col("v"))]).limit(5),
+    ] {
+        let out = execute(plan, &catalog, &ExecOptions::default()).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+    twins_match_sfx(
+        &catalog,
+        "t",
+        "enc",
+        "empty selection aggregate",
+        true,
+        &|n| filtered(n).aggregate(vec![col("k")], vec![count_star().alias("n")]),
+    );
 }
 
 // ---- Parallel vs serial --------------------------------------------------
@@ -775,4 +978,147 @@ fn all_null_keys_aggregate_to_one_group() {
         .aggregate(vec![col("k")], vec![count_star().alias("n")]);
     let out = execute(plan, &catalog, &ExecOptions::default()).unwrap();
     assert_eq!(out.to_rows(), vec![vec![Value::Null, Value::Int(40)]]);
+}
+
+// ---- Out-of-core: tiny memory budgets force spills ------------------------
+//
+// The same plans run unbudgeted (serial), budget-capped serial, and
+// budget-capped Fixed(4); all three must produce identical sorted rows, and
+// the capped runs must actually go through the spill path.
+
+/// Run `make()` under each option set and compare sorted rows to the first.
+fn budget_matches_unbudgeted(
+    catalog: &MemCatalog,
+    context: &str,
+    budget: usize,
+    make: &dyn Fn() -> LogicalPlan,
+) -> backbone_storage::Metrics {
+    let spill_metrics = backbone_storage::Metrics::new();
+    let run = |opts: &ExecOptions| {
+        let mut rows = execute(make(), catalog, opts)
+            .unwrap_or_else(|e| panic!("{context}: {e}"))
+            .to_rows();
+        rows.sort_by_key(|r| join_key(r));
+        rows
+    };
+    let base = run(&ExecOptions::serial());
+    let serial_capped = run(&ExecOptions::serial()
+        .with_mem_budget(budget)
+        .with_metrics(spill_metrics.clone()));
+    assert_rows_match(
+        &serial_capped,
+        &base,
+        &format!("{context} (serial, capped)"),
+    );
+    let parallel_capped = run(&ExecOptions::serial()
+        .parallel(Parallelism::Fixed(4))
+        .with_mem_budget(budget)
+        .with_metrics(spill_metrics.clone()));
+    assert_rows_match(
+        &parallel_capped,
+        &base,
+        &format!("{context} (Fixed(4), capped)"),
+    );
+    spill_metrics
+}
+
+fn check_spill_equivalence(rows: &[Row], right: &[Row]) {
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "t", rows);
+    let schema = Schema::new(vec![
+        Field::nullable("rk", DataType::Int64),
+        Field::nullable("rv", DataType::Int64),
+    ]);
+    let mut table = Table::with_group_size(schema, 32);
+    for (k, v, _) in right {
+        table
+            .append_row(vec![value_of_int(*k), value_of_int(*v)])
+            .expect("schema matches");
+    }
+    table.flush().expect("in-memory flush");
+    catalog.register("r", table);
+    let scan = |n: &str| LogicalPlan::scan(n, &catalog).expect("registered");
+
+    budget_matches_unbudgeted(&catalog, "spilling group-by", 2048, &|| {
+        scan("t").aggregate(
+            vec![col("k")],
+            vec![
+                count_star().alias("n"),
+                sum(col("v")).alias("sv"),
+                min(col("v")).alias("minv"),
+                max(col("v")).alias("maxv"),
+            ],
+        )
+    });
+    budget_matches_unbudgeted(&catalog, "spilling join", 2048, &|| {
+        scan("t").join(scan("r"), vec![("k", "rk")], JoinType::Inner)
+    });
+    budget_matches_unbudgeted(&catalog, "spilling left join", 2048, &|| {
+        scan("t").join(scan("r"), vec![("k", "rk")], JoinType::Left)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn budgeted_execution_matches_unbudgeted(
+        rows in arbitrary_rows(160, 3),
+        right in arbitrary_rows(80, 3),
+    ) {
+        check_spill_equivalence(&rows, &right);
+    }
+
+    #[test]
+    fn budgeted_execution_matches_unbudgeted_null_heavy(
+        rows in arbitrary_rows(120, 30),
+        right in arbitrary_rows(60, 30),
+    ) {
+        check_spill_equivalence(&rows, &right);
+    }
+}
+
+#[test]
+fn tiny_budget_actually_spills_and_stays_correct() {
+    // Deterministic shape big enough that a 2 KiB ceiling must spill both
+    // the aggregate and the join build side.
+    let rows: Vec<Row> = (0..600)
+        .map(|i| (Some(i % 151), Some(i * 7 % 509), Some(i as f64 / 3.0)))
+        .collect();
+    let right: Vec<Row> = (0..300).map(|i| (Some(i % 173), Some(i), None)).collect();
+    let catalog = MemCatalog::new();
+    register_small_groups(&catalog, "t", &rows);
+    let rschema = Schema::new(vec![
+        Field::nullable("rk", DataType::Int64),
+        Field::nullable("rv", DataType::Int64),
+    ]);
+    let mut rtable = Table::with_group_size(rschema, 32);
+    for (k, v, _) in &right {
+        rtable
+            .append_row(vec![value_of_int(*k), value_of_int(*v)])
+            .expect("schema matches");
+    }
+    rtable.flush().expect("in-memory flush");
+    catalog.register("r2", rtable);
+    let scan = |n: &str| LogicalPlan::scan(n, &catalog).expect("registered");
+
+    let m = budget_matches_unbudgeted(&catalog, "forced spill group-by", 2048, &|| {
+        scan("t").aggregate(
+            vec![col("k")],
+            vec![count_star().alias("n"), sum(col("v")).alias("sv")],
+        )
+    });
+    assert!(
+        m.value("storage.spill.partitions") > 0,
+        "600 rows over 151 groups under 2 KiB must spill"
+    );
+    assert!(m.value("storage.spill.bytes_read") > 0);
+
+    let m = budget_matches_unbudgeted(&catalog, "forced spill join", 2048, &|| {
+        scan("t").join(scan("r2"), vec![("k", "rk")], JoinType::Inner)
+    });
+    assert!(
+        m.value("storage.spill.partitions") > 0,
+        "a 600-row build side under 2 KiB must grace-partition"
+    );
 }

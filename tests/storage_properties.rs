@@ -119,6 +119,49 @@ proptest! {
         prop_assert_eq!(got, rows);
     }
 
+    /// An all-pinned pool fails `fetch` with the typed
+    /// [`StorageError::PoolExhausted`] — never a panic or a busy loop — and
+    /// recovers as soon as any single pin drops, under every online policy.
+    #[test]
+    fn pool_exhaustion_is_typed_and_recoverable(
+        cap in 1usize..6,
+        extra in 1usize..4,
+        policy_idx in 0usize..7,
+    ) {
+        use backbone_storage::bufferpool::BufferPool;
+        use backbone_storage::disk::DiskManager;
+        use backbone_storage::eviction::PolicyKind;
+        use backbone_storage::StorageError;
+
+        let policy = [
+            PolicyKind::Fifo,
+            PolicyKind::Lru,
+            PolicyKind::LruK,
+            PolicyKind::Clock,
+            PolicyKind::Lfu,
+            PolicyKind::TwoQ,
+            PolicyKind::Arc,
+        ][policy_idx];
+        let disk = Arc::new(DiskManager::new());
+        let ids: Vec<_> = (0..cap + extra).map(|_| disk.allocate()).collect();
+        let pool = BufferPool::new(disk, cap, policy);
+
+        // Pin every frame.
+        let mut guards: Vec<_> = ids[..cap].iter().map(|&id| pool.fetch(id).unwrap()).collect();
+        // Any further page faults must fail with the typed error, repeatably.
+        for &id in &ids[cap..] {
+            for _ in 0..2 {
+                prop_assert_eq!(pool.fetch(id).unwrap_err(), StorageError::PoolExhausted);
+            }
+        }
+        // Re-fetching an already-resident (pinned) page is still a hit.
+        prop_assert!(pool.fetch(ids[0]).is_ok());
+        // Releasing one pin frees exactly one frame's worth of progress.
+        drop(guards.pop());
+        prop_assert!(pool.fetch(ids[cap]).is_ok());
+        prop_assert_eq!(pool.resident(), cap);
+    }
+
     /// Column concat is associative with respect to content.
     #[test]
     fn concat_associativity(
