@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [e1|e2|e3|e4|e5|e6|e7|e8|all] [--quick]
+//! repro [e1|e2|e3|e4|e5|e6|e7|e8|e9|bench|serve|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks workload sizes for smoke runs (used by CI/tests);
@@ -103,8 +103,23 @@ fn main() {
         println!("wrote {path}");
     }
 
+    if which == "serve" {
+        ran = true;
+        let entries = bench::serve_bench::run(quick);
+        let json = bench::serve_bench::to_json(&entries, quick);
+        // Quick smoke runs must not clobber the committed full-size baseline.
+        let path = if quick {
+            "target/BENCH_serve.quick.json"
+        } else {
+            "BENCH_serve.json"
+        };
+        std::fs::write(path, format!("{json}\n")).expect("write serve baseline");
+        print!("{}", bench::serve_bench::report(&entries));
+        println!("wrote {path}");
+    }
+
     if !ran {
-        eprintln!("unknown experiment '{which}'; expected e1..e9, bench, or all");
+        eprintln!("unknown experiment '{which}'; expected e1..e9, bench, serve, or all");
         std::process::exit(2);
     }
 }

@@ -15,6 +15,7 @@ pub mod e7_disciplines;
 pub mod e8_usability;
 pub mod e9_ann;
 pub mod exec_bench;
+pub mod serve_bench;
 
 /// Format a number with thousands separators.
 pub fn fmt_count(n: f64) -> String {

@@ -1,0 +1,383 @@
+//! Concurrent serving baseline (`repro serve`).
+//!
+//! Drives N concurrent client sessions — half writers, half readers — over
+//! TCP against a durable database behind [`backbone_server::Server`], and
+//! emits `BENCH_serve.json`. Three properties are measured *and gated*:
+//!
+//! 1. **Readers never block on writers.** Every reader query pins a
+//!    snapshot; pin acquisition past 1 ms counts as a reader stall
+//!    (`mvcc.reader_stalls`), and the gate holds the stall rate at ~0.
+//! 2. **Concurrent commits batch their fsyncs.** Group commit must need
+//!    strictly fewer `fsync` calls than there were commits, or the WAL is
+//!    serializing writers.
+//! 3. **Concurrency changes nothing about the answer.** The final table
+//!    contents must equal a serial replay of the same inserts.
+
+use crate::exec_bench::BenchEntry;
+use backbone_core::{Database, DurabilityOptions};
+use backbone_server::{Client, Server, ServerOptions};
+use backbone_storage::{DataType, Field, Schema, Value};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+/// Sizing for one serve-bench run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Concurrent client sessions (half write, half read).
+    pub sessions: usize,
+    /// Requests each session issues after the start barrier.
+    pub requests: usize,
+}
+
+impl ServeConfig {
+    /// Committed baseline size: 64 concurrent sessions.
+    pub fn full() -> ServeConfig {
+        ServeConfig {
+            sessions: 64,
+            requests: 25,
+        }
+    }
+
+    /// CI smoke size.
+    pub fn quick() -> ServeConfig {
+        ServeConfig {
+            sessions: 8,
+            requests: 10,
+        }
+    }
+}
+
+/// A writer's row for (session, sequence) — deterministic so the serial
+/// replay can rebuild the exact same table.
+fn writer_row(session: usize, seq: usize) -> Vec<Value> {
+    let id = (session as i64) * 1_000_000 + seq as i64;
+    vec![Value::Int(id), Value::Int((id * 7) % 1000)]
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Run the serve benchmark. `quick` shrinks the fleet for CI smoke runs.
+pub fn run(quick: bool) -> Vec<BenchEntry> {
+    let cfg = if quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::full()
+    };
+    let writers = cfg.sessions / 2;
+
+    let dir = std::env::temp_dir().join(format!("backbone-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("serve bench temp dir");
+    // Auto-checkpoints off so every fsync in the run is commit-driven and
+    // the fsyncs-vs-commits gate measures group commit, nothing else.
+    let opts = DurabilityOptions::default().checkpoint_every(0);
+    let db = Database::open_with(&dir, opts).expect("open durable db");
+    db.create_table(
+        "kv",
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("val", DataType::Int64),
+        ]),
+    )
+    .expect("create kv");
+    // A seeded baseline so readers always have rows to aggregate.
+    db.insert("kv", (0..100).map(|i| writer_row(999, i)).collect())
+        .expect("seed rows");
+
+    let metrics = db.metrics().clone();
+    let commits_before = metrics.value("wal.commits");
+    let fsyncs_before = db.wal_fsyncs().unwrap_or(0);
+    let stalls_before = metrics.value("mvcc.reader_stalls");
+
+    let server = Server::start(
+        db.clone(),
+        "127.0.0.1:0",
+        ServerOptions {
+            max_sessions: cfg.sessions + 1,
+            queue_depth: 8,
+        },
+    )
+    .expect("start server");
+    let addr = server.addr();
+
+    // Connect every session and prove it holds a worker before the clock
+    // starts, so the measurement window is pure request traffic.
+    let barrier = Arc::new(Barrier::new(cfg.sessions + 1));
+    let handles: Vec<_> = (0..cfg.sessions)
+        .map(|s| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect session");
+                client.ping().expect("session admitted");
+                barrier.wait();
+                let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.requests);
+                for seq in 0..cfg.requests {
+                    let start = Instant::now();
+                    if s < writers {
+                        client
+                            .insert("kv", vec![writer_row(s, seq)])
+                            .expect("serve insert");
+                    } else {
+                        let out = client
+                            .sql("SELECT COUNT(*), SUM(val) FROM kv")
+                            .expect("serve read");
+                        assert_eq!(out.rows.len(), 1, "aggregate read returns one row");
+                    }
+                    latencies_ms.push(start.elapsed().as_secs_f64() * 1000.0);
+                }
+                latencies_ms
+            })
+        })
+        .collect();
+
+    barrier.wait();
+    let bench_start = Instant::now();
+    let mut write_ms: Vec<f64> = Vec::new();
+    let mut read_ms: Vec<f64> = Vec::new();
+    for (s, h) in handles.into_iter().enumerate() {
+        let lat = h.join().expect("session thread");
+        if s < writers {
+            write_ms.extend(lat);
+        } else {
+            read_ms.extend(lat);
+        }
+    }
+    let elapsed_ms = bench_start.elapsed().as_secs_f64() * 1000.0;
+
+    // Post-run ground truth, read over the same wire the bench used.
+    let mut checker = Client::connect(addr).expect("checker connect");
+    let concurrent_rows = checker
+        .sql("SELECT id, val FROM kv ORDER BY id")
+        .expect("final read")
+        .rows;
+    server.shutdown();
+
+    let commits = metrics.value("wal.commits") - commits_before;
+    let fsyncs = db.wal_fsyncs().unwrap_or(0) - fsyncs_before;
+    let reader_stalls = metrics.value("mvcc.reader_stalls") - stalls_before;
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Serial replay: the same inserts, one session, no server. Identical
+    // final contents or the concurrent run corrupted something.
+    let serial = Database::new();
+    serial
+        .create_table(
+            "kv",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("val", DataType::Int64),
+            ]),
+        )
+        .expect("serial create");
+    serial
+        .insert("kv", (0..100).map(|i| writer_row(999, i)).collect())
+        .expect("serial seed");
+    for s in 0..writers {
+        for seq in 0..cfg.requests {
+            serial
+                .insert("kv", vec![writer_row(s, seq)])
+                .expect("serial insert");
+        }
+    }
+    let serial_rows = serial
+        .sql("SELECT id, val FROM kv ORDER BY id")
+        .expect("serial read")
+        .to_rows();
+    assert_eq!(
+        concurrent_rows, serial_rows,
+        "concurrent serving diverged from the serial replay"
+    );
+
+    write_ms.sort_by(f64::total_cmp);
+    read_ms.sort_by(f64::total_cmp);
+    let total_ops = cfg.sessions * cfg.requests;
+    let throughput = total_ops as f64 / (elapsed_ms / 1000.0);
+
+    vec![
+        BenchEntry {
+            name: "sessions",
+            ms: 0.0,
+            rows: cfg.sessions,
+        },
+        BenchEntry {
+            name: "writer_sessions",
+            ms: 0.0,
+            rows: writers,
+        },
+        BenchEntry {
+            name: "requests_total",
+            ms: 0.0,
+            rows: total_ops,
+        },
+        BenchEntry {
+            name: "elapsed_ms",
+            ms: elapsed_ms,
+            rows: total_ops,
+        },
+        BenchEntry {
+            name: "throughput_ops_per_s",
+            ms: throughput,
+            rows: total_ops,
+        },
+        BenchEntry {
+            name: "insert_p50_ms",
+            ms: percentile(&write_ms, 0.50),
+            rows: write_ms.len(),
+        },
+        BenchEntry {
+            name: "insert_p99_ms",
+            ms: percentile(&write_ms, 0.99),
+            rows: write_ms.len(),
+        },
+        BenchEntry {
+            name: "read_p50_ms",
+            ms: percentile(&read_ms, 0.50),
+            rows: read_ms.len(),
+        },
+        BenchEntry {
+            name: "read_p99_ms",
+            ms: percentile(&read_ms, 0.99),
+            rows: read_ms.len(),
+        },
+        BenchEntry {
+            name: "reader_stalls",
+            ms: 0.0,
+            rows: reader_stalls as usize,
+        },
+        BenchEntry {
+            name: "wal_commits",
+            ms: 0.0,
+            rows: commits as usize,
+        },
+        BenchEntry {
+            name: "wal_fsyncs",
+            ms: 0.0,
+            rows: fsyncs as usize,
+        },
+    ]
+}
+
+/// Render entries as the same stable JSON shape as `BENCH_exec.json`.
+pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
+    crate::exec_bench::to_json(entries, quick)
+}
+
+/// Human summary plus the `PERF_OK`/`PERF_FAIL` verdict lines CI greps for.
+pub fn report(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("concurrent serving baseline:\n");
+    for e in entries {
+        out.push_str(&format!(
+            "  {:<22} {:>10.2}  rows={}\n",
+            e.name, e.ms, e.rows
+        ));
+    }
+    let rows = |name: &str| entries.iter().find(|e| e.name == name).map(|e| e.rows);
+
+    // Gate 1: snapshot readers must not queue behind writers. The stall
+    // counter triggers at >=1 ms pin acquisition; allow at most 1% of reads
+    // to absorb scheduler blips on a shared box.
+    match (rows("reader_stalls"), rows("read_p50_ms")) {
+        (Some(stalls), Some(reads)) if reads > 0 => {
+            let verdict = if stalls * 100 <= reads {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} serve reader stalls = {stalls} of {reads} reads (gate <=1%)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing reader-stall measurements\n"),
+    }
+
+    // Gate 2: group commit must share fsyncs across concurrent commits.
+    match (rows("wal_commits"), rows("wal_fsyncs")) {
+        (Some(commits), Some(fsyncs)) if commits > 0 => {
+            let verdict = if fsyncs < commits {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} serve batched commits = {fsyncs} fsyncs for {commits} commits (gate: fewer fsyncs than commits)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing commit-batching measurements\n"),
+    }
+
+    // Gate 3: the committed baseline must actually exercise concurrency.
+    match rows("sessions") {
+        Some(n) if n >= 8 => out.push_str(&format!(
+            "PERF_OK serve concurrency = {n} sessions (floor 8; committed baseline runs 64)\n"
+        )),
+        Some(n) => out.push_str(&format!(
+            "PERF_FAIL serve concurrency = {n} sessions (floor 8)\n"
+        )),
+        None => out.push_str("PERF_FAIL missing session count\n"),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &'static str, ms: f64, rows: usize) -> BenchEntry {
+        BenchEntry { name, ms, rows }
+    }
+
+    #[test]
+    fn quick_serve_bench_runs_and_gates_pass() {
+        let entries = run(true);
+        let json = to_json(&entries, true);
+        for key in [
+            "sessions",
+            "throughput_ops_per_s",
+            "insert_p99_ms",
+            "read_p99_ms",
+            "reader_stalls",
+            "wal_commits",
+            "wal_fsyncs",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "{json}");
+        }
+        let rep = report(&entries);
+        assert!(rep.contains("PERF_OK serve reader stalls"), "{rep}");
+        assert!(rep.contains("PERF_OK serve batched commits"), "{rep}");
+        assert!(rep.contains("PERF_OK serve concurrency"), "{rep}");
+        assert!(!rep.contains("PERF_FAIL"), "{rep}");
+    }
+
+    #[test]
+    fn stall_gate_trips_on_blocked_readers() {
+        let entries = vec![
+            entry("reader_stalls", 0.0, 50),
+            entry("read_p50_ms", 1.0, 400),
+        ];
+        let rep = report(&entries);
+        assert!(rep.contains("PERF_FAIL serve reader stalls = 50"), "{rep}");
+    }
+
+    #[test]
+    fn batching_gate_requires_fewer_fsyncs_than_commits() {
+        let entries = vec![
+            entry("wal_commits", 0.0, 100),
+            entry("wal_fsyncs", 0.0, 100),
+        ];
+        let rep = report(&entries);
+        assert!(rep.contains("PERF_FAIL serve batched commits"), "{rep}");
+        let entries = vec![entry("wal_commits", 0.0, 100), entry("wal_fsyncs", 0.0, 12)];
+        let rep = report(&entries);
+        assert!(
+            rep.contains("PERF_OK serve batched commits = 12 fsyncs for 100 commits"),
+            "{rep}"
+        );
+    }
+}

@@ -12,11 +12,18 @@ use backbone_storage::checkpoint::write_checkpoint;
 use backbone_storage::{DataType, Field, RecordBatch, Schema, Table, Value};
 use backbone_text::InvertedIndex;
 use backbone_txn::wal::LogDevice;
+use backbone_txn::{EpochClock, SnapshotGuard};
 use backbone_vector::{Dataset, VectorIndex};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long acquiring a snapshot pin may take before it counts as a reader
+/// stall (`mvcc.reader_stalls`). Pinning is a lock-free load plus one brief
+/// mutex, so anything past this means a reader queued behind a writer.
+const READER_STALL_THRESHOLD: Duration = Duration::from_millis(1);
 
 /// An embedded multi-workload database.
 ///
@@ -32,7 +39,19 @@ use std::sync::Arc;
 ///
 /// Every method returns the unified [`Error`]; lower-layer causes stay
 /// reachable through [`std::error::Error::source`].
+///
+/// `Database` is a cheap, cloneable handle: all state lives behind one
+/// shared `Arc`, so handles (and the owned [`Session`]s minted from them)
+/// can move freely across threads — the server hands every connection its
+/// own session. The WAL flush-on-shutdown runs when the *last* handle
+/// drops.
+#[derive(Clone)]
 pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+/// The shared state every [`Database`] handle points at.
+struct DbInner {
     tables: RwLock<HashMap<String, Table>>,
     catalog: MemCatalog,
     text_indexes: RwLock<HashMap<String, Arc<InvertedIndex>>>,
@@ -41,6 +60,74 @@ pub struct Database {
     metrics: Metrics,
     durability: Option<Durability>,
     recovery: Option<RecoveryReport>,
+    /// Commit epochs + snapshot pins — the same clock type the MVCC engine
+    /// uses, here stamping every relational commit so readers can pin a
+    /// consistent prefix of each table.
+    clock: Arc<EpochClock>,
+}
+
+impl DbInner {
+    fn with_options(mut exec: ExecOptions) -> DbInner {
+        let metrics = exec.metrics.get_or_insert_with(Metrics::new).clone();
+        DbInner {
+            tables: RwLock::new(HashMap::new()),
+            catalog: MemCatalog::new(),
+            text_indexes: RwLock::new(HashMap::new()),
+            vector_indexes: RwLock::new(HashMap::new()),
+            exec,
+            metrics,
+            durability: None,
+            recovery: None,
+            clock: Arc::new(EpochClock::new()),
+        }
+    }
+
+    /// Apply a recovered op without re-logging it (recovery replay only;
+    /// commit marks are stamped in one pass after the whole tail replays).
+    fn apply_op(&self, op: DbOp) -> Result<()> {
+        match op {
+            DbOp::CreateTable { name, schema } => self.apply_create(name, schema),
+            DbOp::Insert { table, rows } => self.apply_insert(&table, rows),
+        }
+    }
+
+    /// The non-logging core of `create_table`, shared with recovery replay.
+    fn apply_create(&self, name: String, schema: Arc<Schema>) -> Result<()> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(&name) {
+            return Err(Error::TableExists(name));
+        }
+        let table = Table::new(schema);
+        self.catalog.register(&name, table.clone());
+        tables.insert(name, table);
+        Ok(())
+    }
+
+    /// The non-logging core of `insert`, shared with recovery replay.
+    fn apply_insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
+        let snapshot = {
+            let mut tables = self.tables.write();
+            let table = tables
+                .get_mut(name)
+                .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
+            for row in rows {
+                table.append_row(row)?;
+            }
+            table.clone()
+        };
+        self.catalog.register(name, snapshot);
+        Ok(())
+    }
+}
+
+impl Drop for DbInner {
+    fn drop(&mut self) {
+        // Best-effort: push any policy-deferred WAL records to disk when the
+        // last handle drops. A crash (the whole point of the WAL) skips this.
+        if let Some(d) = &self.durability {
+            let _ = d.wal().flush_all();
+        }
+    }
 }
 
 impl Database {
@@ -58,17 +145,9 @@ impl Database {
     /// An empty database with custom execution options (parallelism,
     /// optimizer rules). If the options carry no metrics registry, the
     /// database creates one, so [`Database::metrics`] is always live.
-    pub fn with_options(mut exec: ExecOptions) -> Database {
-        let metrics = exec.metrics.get_or_insert_with(Metrics::new).clone();
+    pub fn with_options(exec: ExecOptions) -> Database {
         Database {
-            tables: RwLock::new(HashMap::new()),
-            catalog: MemCatalog::new(),
-            text_indexes: RwLock::new(HashMap::new()),
-            vector_indexes: RwLock::new(HashMap::new()),
-            exec,
-            metrics,
-            durability: None,
-            recovery: None,
+            inner: Arc::new(DbInner::with_options(exec)),
         }
     }
 
@@ -114,7 +193,7 @@ impl Database {
         state: RecoveredState,
         metrics: Metrics,
     ) -> Result<Database> {
-        let mut db = Database::with_options(ExecOptions::default().with_metrics(metrics));
+        let mut inner = DbInner::with_options(ExecOptions::default().with_metrics(metrics));
         let mut report = RecoveryReport {
             wal_bytes_dropped: state.replay.bytes_dropped,
             ..RecoveryReport::default()
@@ -122,9 +201,9 @@ impl Database {
         if let Some(ckpt) = state.checkpoint {
             report.checkpoint_lsn = ckpt.lsn;
             report.checkpoint_tables = ckpt.tables.len();
-            let mut tables = db.tables.write();
+            let mut tables = inner.tables.write();
             for (name, table) in ckpt.tables {
-                db.catalog.register(&name, table.clone());
+                inner.catalog.register(&name, table.clone());
                 tables.insert(name, table);
             }
         }
@@ -136,34 +215,41 @@ impl Database {
             if rec.lsn <= report.checkpoint_lsn {
                 continue;
             }
-            db.apply_op(durability::decode_op(&rec.payload)?)?;
+            inner.apply_op(durability::decode_op(&rec.payload)?)?;
             report.replayed_records += 1;
         }
-        db.metrics
+        // Everything recovered is committed: stamp it at epoch 0, visible
+        // to every future snapshot (the clock restarts at 0 per process —
+        // epochs order commits within a run, they are not persistent LSNs).
+        {
+            let mut tables = inner.tables.write();
+            for (name, t) in tables.iter_mut() {
+                t.record_commit(0, 0);
+                inner.catalog.register(name, t.clone());
+            }
+        }
+        inner
+            .metrics
             .counter("wal.recovered_records")
             .add(report.replayed_records as u64);
-        db.metrics
+        inner
+            .metrics
             .counter("wal.bytes_dropped")
             .add(report.wal_bytes_dropped);
-        db.durability = Some(durability);
-        db.recovery = Some(report);
+        inner.durability = Some(durability);
+        inner.recovery = Some(report);
+        let db = Database {
+            inner: Arc::new(inner),
+        };
         db.record_encoding_stats();
         Ok(db)
-    }
-
-    /// Apply a recovered op without re-logging it.
-    fn apply_op(&self, op: DbOp) -> Result<()> {
-        match op {
-            DbOp::CreateTable { name, schema } => self.apply_create(name, schema),
-            DbOp::Insert { table, rows } => self.apply_insert(&table, rows),
-        }
     }
 
     /// The shared metrics registry: operator counters (`op.*`), buffer-pool
     /// traffic (`bufferpool.*` when storage is wired to the same registry),
     /// and hybrid-search stage timings (`hybrid.*`) all land here.
     pub fn metrics(&self) -> &Metrics {
-        &self.metrics
+        &self.inner.metrics
     }
 
     /// Create an empty table. On a durable database the operation is
@@ -171,41 +257,39 @@ impl Database {
     /// configured fsync policy.
     pub fn create_table(&self, name: impl Into<String>, schema: Arc<Schema>) -> Result<()> {
         let name = name.into();
-        let lsn = {
-            let mut tables = self.tables.write();
+        let (epoch, lsn) = {
+            let mut tables = self.inner.tables.write();
             if tables.contains_key(&name) {
                 return Err(Error::TableExists(name));
             }
-            let table = Table::new(schema.clone());
-            self.catalog.register(&name, table.clone());
+            let mut table = Table::new(schema.clone());
+            // Stamp the (empty) table with its creation epoch so snapshots
+            // pinned before this point keep seeing nothing even after later
+            // inserts add marks.
+            let epoch = self.inner.clock.reserve();
+            table.record_commit(epoch, self.inner.clock.horizon());
+            self.inner.catalog.register(&name, table.clone());
             tables.insert(name.clone(), table);
-            // Log inside the lock: WAL order == commit order.
-            match &self.durability {
+            // Log inside the lock: WAL order == commit (epoch) order.
+            let lsn = match &self.inner.durability {
                 Some(d) => Some(d.log(&durability::encode_create(&name, &schema))?),
                 None => None,
-            }
+            };
+            (epoch, lsn)
         };
-        self.finish_durable(lsn)
+        self.commit_epoch(epoch, lsn)
     }
 
-    /// The non-logging core of `create_table`, shared with recovery replay.
-    fn apply_create(&self, name: String, schema: Arc<Schema>) -> Result<()> {
-        let mut tables = self.tables.write();
-        if tables.contains_key(&name) {
-            return Err(Error::TableExists(name));
-        }
-        let table = Table::new(schema);
-        self.catalog.register(&name, table.clone());
-        tables.insert(name, table);
-        Ok(())
-    }
-
-    /// Register a pre-built table (e.g. from a workload generator).
+    /// Register a pre-built table (e.g. from a workload generator). The
+    /// table is stamped committed at the currently published epoch: visible
+    /// whole to every new snapshot, like a bulk load that just committed.
     pub fn register_table(&self, name: impl Into<String>, mut table: Table) -> Result<()> {
         let name = name.into();
         table.flush()?;
-        self.catalog.register(&name, table.clone());
-        self.tables.write().insert(name, table);
+        let mut tables = self.inner.tables.write();
+        table.record_commit(self.inner.clock.published(), self.inner.clock.horizon());
+        self.inner.catalog.register(&name, table.clone());
+        tables.insert(name, table);
         Ok(())
     }
 
@@ -213,65 +297,106 @@ impl Database {
     /// subsequent queries see them.
     ///
     /// The snapshot shares sealed row groups with the live table (`Arc`, not
-    /// copies), and catalog registration happens *after* the table write
-    /// lock is released — concurrent readers keep querying the previous
-    /// snapshot instead of waiting behind the append.
+    /// copies). The commit is stamped with a reserved epoch and registered
+    /// in the catalog *inside* the table write lock — registration order
+    /// equals commit order, so two concurrent inserters can never regress
+    /// the catalog — but readers still never wait on the append: they query
+    /// the previously published `Arc` snapshot throughout.
     ///
     /// On a durable database the rows are write-ahead-logged after they
     /// validate (a failed insert leaves no durable record), and the call
     /// returns only once the record is durable under the fsync policy —
-    /// concurrent inserters share fsyncs via group commit.
+    /// concurrent inserters share fsyncs via group commit. The commit epoch
+    /// is published only after the durability ack, so snapshot readers
+    /// never observe an unacknowledged write.
     pub fn insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
         // Encode before the rows are consumed by the append below.
         let record = self
+            .inner
             .durability
             .as_ref()
             .map(|_| durability::encode_insert(name, &rows));
-        let (snapshot, lsn) = {
-            let mut tables = self.tables.write();
+        let (epoch, lsn) = {
+            let mut tables = self.inner.tables.write();
             let table = tables
                 .get_mut(name)
                 .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
             for row in rows {
                 table.append_row(row)?;
             }
-            let lsn = match (&self.durability, record) {
+            let epoch = self.inner.clock.reserve();
+            table.record_commit(epoch, self.inner.clock.horizon());
+            let lsn = match (&self.inner.durability, record) {
                 (Some(d), Some(rec)) => Some(d.log(&rec)?),
                 _ => None,
             };
-            (table.clone(), lsn)
+            self.inner.catalog.register(name, table.clone());
+            (epoch, lsn)
         };
-        self.catalog.register(name, snapshot);
-        self.finish_durable(lsn)
+        self.commit_epoch(epoch, lsn)
     }
 
-    /// The non-logging core of `insert`, shared with recovery replay.
-    fn apply_insert(&self, name: &str, rows: Vec<Vec<Value>>) -> Result<()> {
-        let snapshot = {
-            let mut tables = self.tables.write();
-            let table = tables
-                .get_mut(name)
-                .ok_or_else(|| Error::TableNotFound(name.to_string()))?;
-            for row in rows {
-                table.append_row(row)?;
+    /// Wait for a commit's durability, publish its epoch, and run the
+    /// checkpoint cadence. Called outside every lock so group commit can
+    /// batch concurrent waiters into shared fsyncs.
+    ///
+    /// Publication happens *after* the durability wait: a snapshot reader
+    /// can never pin an epoch whose write was not acknowledged. Group
+    /// commit acks whole batches, so publishes may arrive out of epoch
+    /// order — the clock's `fetch_max` handles that (every epoch below a
+    /// durable epoch is durable, because epochs are reserved in log order).
+    /// On a WAL failure the rows are already installed, so the epoch is
+    /// still published — but the commit is not acknowledged to the caller.
+    fn commit_epoch(&self, epoch: u64, lsn: Option<u64>) -> Result<()> {
+        let waited = match lsn {
+            Some(lsn) => {
+                let d = self
+                    .inner
+                    .durability
+                    .as_ref()
+                    .expect("lsn implies durability");
+                d.wait(lsn)
             }
-            table.clone()
+            None => Ok(()),
         };
-        self.catalog.register(name, snapshot);
-        Ok(())
-    }
-
-    /// Wait for a logged op's durability and run the checkpoint cadence.
-    /// Called outside every lock so group commit can batch waiters.
-    fn finish_durable(&self, lsn: Option<u64>) -> Result<()> {
-        if let Some(lsn) = lsn {
-            let d = self.durability.as_ref().expect("lsn implies durability");
-            d.wait(lsn)?;
+        self.inner.clock.publish(epoch);
+        waited?;
+        self.inner.metrics.counter("wal.commits").incr();
+        if let Some(d) = &self.inner.durability {
             if d.checkpoint_due() {
                 self.checkpoint()?;
             }
         }
         Ok(())
+    }
+
+    /// Pin the current snapshot: queries planned against the returned
+    /// guard's epoch read a stable committed prefix of every table for as
+    /// long as the guard lives. Pinning never blocks on writers; if it ever
+    /// takes longer than [`READER_STALL_THRESHOLD`] the `mvcc.reader_stalls`
+    /// counter records it (the serve bench gates this at ~0).
+    pub fn pin_snapshot(&self) -> SnapshotGuard {
+        let t0 = Instant::now();
+        let guard = self.inner.clock.pin();
+        self.inner.metrics.counter("mvcc.snapshots_pinned").incr();
+        if t0.elapsed() >= READER_STALL_THRESHOLD {
+            self.inner.metrics.counter("mvcc.reader_stalls").incr();
+        }
+        guard
+    }
+
+    /// Options for one query execution: the caller's options with a pinned
+    /// snapshot epoch filled in (unless the caller pinned one explicitly).
+    /// The guard must stay alive for the duration of the query — it holds
+    /// the GC horizon at or below the pinned epoch.
+    fn pinned_opts(&self, opts: &ExecOptions) -> (ExecOptions, Option<SnapshotGuard>) {
+        if opts.snapshot_epoch.is_some() {
+            return (opts.clone(), None);
+        }
+        let guard = self.pin_snapshot();
+        let mut pinned = opts.clone();
+        pinned.snapshot_epoch = Some(guard.epoch());
+        (pinned, Some(guard))
     }
 
     /// Take a checkpoint now: snapshot every table to disk atomically,
@@ -283,12 +408,12 @@ impl Database {
     /// snapshot; anything logged after it survives truncation and replays
     /// on top of this checkpoint.
     pub fn checkpoint(&self) -> Result<()> {
-        let Some(d) = &self.durability else {
+        let Some(d) = &self.inner.durability else {
             return Ok(());
         };
         let _serialize = d.checkpoint_lock().lock();
         let (snapshot, lsn) = {
-            let mut tables = self.tables.write();
+            let mut tables = self.inner.tables.write();
             for t in tables.values_mut() {
                 t.flush()?;
             }
@@ -300,9 +425,12 @@ impl Database {
         write_checkpoint(d.checkpoint_path(), lsn, &refs)?;
         d.wal().truncate_through(lsn)?;
         d.checkpoint_done();
-        self.metrics.counter("wal.checkpoints").incr();
+        self.inner.metrics.counter("wal.checkpoints").incr();
         if let Ok(meta) = std::fs::metadata(d.checkpoint_path()) {
-            let bytes = self.metrics.counter("storage.encoding.checkpoint_bytes");
+            let bytes = self
+                .inner
+                .metrics
+                .counter("storage.encoding.checkpoint_bytes");
             bytes.reset();
             bytes.add(meta.len());
         }
@@ -314,7 +442,7 @@ impl Database {
     /// how many columns (and rows) are dictionary- or integer-encoded right
     /// now, and how many row groups live on disk behind the buffer pool.
     fn record_encoding_stats(&self) {
-        let tables = self.tables.read();
+        let tables = self.inner.tables.read();
         let (mut dict_cols, mut dict_rows) = (0u64, 0u64);
         let (mut int_cols, mut int_rows) = (0u64, 0u64);
         let mut paged_groups = 0u64;
@@ -334,7 +462,7 @@ impl Database {
             ("storage.encoding.int_rows", int_rows),
             ("storage.pager.paged_groups", paged_groups),
         ] {
-            let counter = self.metrics.counter(name);
+            let counter = self.inner.metrics.counter(name);
             counter.reset();
             counter.add(value);
         }
@@ -346,7 +474,7 @@ impl Database {
     ///
     /// [`FsyncPolicy::Never`]: backbone_txn::wal::FsyncPolicy::Never
     pub fn wal_sync(&self) -> Result<()> {
-        if let Some(d) = &self.durability {
+        if let Some(d) = &self.inner.durability {
             d.wal().flush_all()?;
         }
         Ok(())
@@ -354,25 +482,27 @@ impl Database {
 
     /// Whether this database persists to disk.
     pub fn is_durable(&self) -> bool {
-        self.durability.is_some()
+        self.inner.durability.is_some()
     }
 
     /// What recovery found when this database was opened (`None` for
     /// in-memory databases).
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
-        self.recovery.as_ref()
+        self.inner.recovery.as_ref()
     }
 
     /// Number of WAL fsyncs performed since open (`None` in-memory). Group
     /// commit makes this grow slower than the commit count under load.
     pub fn wal_fsyncs(&self) -> Option<u64> {
-        self.durability.as_ref().map(|d| d.wal().fsyncs())
+        self.inner.durability.as_ref().map(|d| d.wal().fsyncs())
     }
 
-    /// Start an interactive [`Session`]: a lightweight handle carrying its
-    /// own execution options that routes queries back to this database.
-    pub fn session(&self) -> Session<'_> {
-        Session::new(self)
+    /// Start an interactive [`Session`]: an owned handle carrying its own
+    /// execution options that routes queries back to this database. Owned
+    /// means it can be moved to another thread (the server gives every
+    /// connection one); the database state stays shared behind the `Arc`.
+    pub fn session(&self) -> Session {
+        Session::new(self.clone())
     }
 
     /// Start building a hybrid search against `table` (relational filter +
@@ -384,12 +514,12 @@ impl Database {
 
     /// Start a declarative query against a table.
     pub fn query(&self, table: &str) -> Result<LogicalPlan> {
-        Ok(LogicalPlan::scan(table, &self.catalog)?)
+        Ok(LogicalPlan::scan(table, &self.inner.catalog)?)
     }
 
     /// Execute a plan to a single result batch.
     pub fn execute(&self, plan: LogicalPlan) -> Result<RecordBatch> {
-        Ok(backbone_query::execute(plan, &self.catalog, &self.exec)?)
+        self.execute_with(plan, &self.inner.exec)
     }
 
     /// Parse and execute a SQL statement: a `SELECT`, or `EXPLAIN [ANALYZE]
@@ -400,13 +530,13 @@ impl Database {
     /// SQL and the builder API lower into the same logical algebra, so they
     /// optimize and execute identically.
     pub fn sql(&self, query: &str) -> Result<RecordBatch> {
-        self.sql_with(query, &self.exec)
+        self.sql_with(query, &self.inner.exec)
     }
 
     /// [`Database::sql`] with explicit execution options (the [`Session`]
     /// routing point).
     pub fn sql_with(&self, query: &str, opts: &ExecOptions) -> Result<RecordBatch> {
-        match backbone_query::parse_statement(query, &self.catalog)? {
+        match backbone_query::parse_statement(query, &self.inner.catalog)? {
             Statement::Select(plan) => self.execute_with(plan, opts),
             Statement::Explain {
                 plan,
@@ -415,25 +545,31 @@ impl Database {
             Statement::Explain {
                 plan,
                 analyze: true,
-            } => report_batch(&self.explain_analyze_with(plan, opts)?.0),
+            } => report_batch(&self.explain_analyze_with(&plan, opts)?.0),
         }
     }
 
     /// Execute with explicit options (e.g. parallel scans, optimizer off).
+    ///
+    /// Unless the options already carry a `snapshot_epoch`, a snapshot is
+    /// pinned here for the duration of the query: scans read each table's
+    /// committed prefix as of this instant, untouched by concurrent
+    /// inserts — readers never block writers and never see a torn batch.
     pub fn execute_with(&self, plan: LogicalPlan, opts: &ExecOptions) -> Result<RecordBatch> {
-        Ok(backbone_query::execute(plan, &self.catalog, opts)?)
+        let (opts, _pin) = self.pinned_opts(opts);
+        Ok(backbone_query::execute(plan, &self.inner.catalog, &opts)?)
     }
 
     /// EXPLAIN a plan: logical and optimized forms with estimates.
     pub fn explain(&self, plan: &LogicalPlan) -> Result<String> {
-        self.explain_with(plan, &self.exec)
+        self.explain_with(plan, &self.inner.exec)
     }
 
     /// [`Database::explain`] with explicit execution options.
     pub fn explain_with(&self, plan: &LogicalPlan, opts: &ExecOptions) -> Result<String> {
         Ok(backbone_query::executor::explain(
             plan,
-            &self.catalog,
+            &self.inner.catalog,
             opts,
         )?)
     }
@@ -442,33 +578,43 @@ impl Database {
     /// plan annotated with measured per-operator rows-in/rows-out, batch
     /// counts, and elapsed time, alongside the query result. Operator
     /// totals also accumulate into [`Database::metrics`] (`op.*`).
-    pub fn explain_analyze(&self, plan: LogicalPlan) -> Result<(String, RecordBatch)> {
-        self.explain_analyze_with(plan, &self.exec)
+    ///
+    /// Takes `&LogicalPlan`, same as [`Database::explain`] — the two share
+    /// a signature so callers can explain and then analyze the same plan
+    /// without cloning at the call site.
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<(String, RecordBatch)> {
+        self.explain_analyze_with(plan, &self.inner.exec)
     }
 
     /// [`Database::explain_analyze`] with explicit execution options.
+    /// Pins a snapshot exactly like [`Database::execute_with`].
     pub fn explain_analyze_with(
         &self,
-        plan: LogicalPlan,
+        plan: &LogicalPlan,
         opts: &ExecOptions,
     ) -> Result<(String, RecordBatch)> {
-        Ok(backbone_query::explain_analyze(plan, &self.catalog, opts)?)
+        let (opts, _pin) = self.pinned_opts(opts);
+        Ok(backbone_query::explain_analyze(
+            plan,
+            &self.inner.catalog,
+            &opts,
+        )?)
     }
 
     /// The database's baseline execution options (sessions start from a
     /// clone of these).
     pub(crate) fn exec_options(&self) -> &ExecOptions {
-        &self.exec
+        &self.inner.exec
     }
 
     /// The underlying catalog (for the query layer's free functions).
     pub fn catalog(&self) -> &MemCatalog {
-        &self.catalog
+        &self.inner.catalog
     }
 
     /// Number of rows currently in a table.
     pub fn row_count(&self, table: &str) -> Option<usize> {
-        self.tables.read().get(table).map(|t| t.num_rows())
+        self.inner.tables.read().get(table).map(|t| t.num_rows())
     }
 
     /// Build a full-text index over a UTF-8 column of `table`. Document ids
@@ -488,7 +634,8 @@ impl Database {
         for (i, text) in texts.iter().enumerate() {
             index.add_document(i as u64, text);
         }
-        self.text_indexes
+        self.inner
+            .text_indexes
             .write()
             .insert(table.to_string(), Arc::new(index));
         Ok(())
@@ -522,7 +669,8 @@ impl Database {
                 entries,
             });
         }
-        self.text_indexes
+        self.inner
+            .text_indexes
             .write()
             .insert(table.to_string(), Arc::new(index));
         Ok(())
@@ -547,7 +695,8 @@ impl Database {
                 entries: vectors.len(),
             });
         }
-        self.vector_indexes
+        self.inner
+            .vector_indexes
             .write()
             .insert(table.to_string(), spec.build(vectors));
         Ok(())
@@ -555,12 +704,12 @@ impl Database {
 
     /// The text index of a table, if built.
     pub fn text_index(&self, table: &str) -> Option<Arc<InvertedIndex>> {
-        self.text_indexes.read().get(table).cloned()
+        self.inner.text_indexes.read().get(table).cloned()
     }
 
     /// The vector index of a table, if built.
     pub fn vector_index(&self, table: &str) -> Option<Arc<dyn VectorIndex>> {
-        self.vector_indexes.read().get(table).cloned()
+        self.inner.vector_indexes.read().get(table).cloned()
     }
 
     /// Evaluate a predicate over a table into a row mask, one row group at
@@ -580,7 +729,7 @@ impl Database {
 
     /// Materialize a whole table (row ordinals = batch positions).
     pub fn table_batch(&self, table: &str) -> Result<RecordBatch> {
-        let tables = self.tables.read();
+        let tables = self.inner.tables.read();
         let t = tables
             .get(table)
             .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
@@ -589,12 +738,12 @@ impl Database {
 
     /// Names of registered tables.
     pub fn table_names(&self) -> Vec<String> {
-        self.catalog.table_names()
+        self.inner.catalog.table_names()
     }
 
     /// A flushed clone of a table (sealed groups shared, pending sealed).
     fn flushed_snapshot(&self, table: &str) -> Result<Table> {
-        let mut tables = self.tables.write();
+        let mut tables = self.inner.tables.write();
         let t = tables
             .get_mut(table)
             .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
@@ -613,16 +762,6 @@ fn report_batch(report: &str) -> Result<RecordBatch> {
 impl Default for Database {
     fn default() -> Self {
         Database::new()
-    }
-}
-
-impl Drop for Database {
-    fn drop(&mut self) {
-        // Best-effort: push any policy-deferred WAL records to disk on a
-        // clean shutdown. A crash (the whole point of the WAL) skips this.
-        if let Some(d) = &self.durability {
-            let _ = d.wal().flush_all();
-        }
     }
 }
 
@@ -824,7 +963,7 @@ mod tests {
     #[test]
     fn db_metrics_accumulate_operator_truth() {
         let db = db_with_table();
-        db.explain_analyze(db.query("t").unwrap()).unwrap();
+        db.explain_analyze(&db.query("t").unwrap()).unwrap();
         assert_eq!(db.metrics().value("op.scan.rows_out"), 3);
     }
 }

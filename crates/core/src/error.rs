@@ -43,6 +43,15 @@ pub enum Error {
     /// Malformed input to a facade ingestion or search call (CSV parsing,
     /// inconsistent hybrid spec, ...).
     InvalidInput(String),
+    /// Admission control rejected the request: every session slot is busy
+    /// and the bounded wait queue is full. Typed (instead of a hang or a
+    /// dropped connection) so callers can back off and retry.
+    Overloaded {
+        /// Sessions currently being served.
+        active: usize,
+        /// Capacity of the wait queue that was full.
+        queue: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -65,6 +74,10 @@ impl fmt::Display for Error {
                 write!(f, "no {kind} index on '{table}'")
             }
             Error::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            Error::Overloaded { active, queue } => write!(
+                f,
+                "server overloaded: {active} sessions active, wait queue of {queue} full"
+            ),
         }
     }
 }

@@ -4,8 +4,10 @@
 //! [`Database`]: it carries its own [`ExecOptions`] (parallelism, optimizer
 //! rules) so two sessions can run the same database with different
 //! execution settings, while all data, indexes, durability, and metrics
-//! stay shared. Sessions borrow the database — they are handed out by
-//! [`Database::session`] and cost nothing to create or drop.
+//! stay shared. Sessions *own* a database handle (an `Arc` clone under the
+//! hood) — [`Database::session`] mints them for the cost of one refcount,
+//! and they move freely across threads, which is how the network server
+//! gives every connection its own session without borrowing from anything.
 //!
 //! [`SearchRequest`] consolidates the hybrid-search plumbing behind one
 //! typed builder (the same consuming-builder style as
@@ -22,15 +24,16 @@ use backbone_query::{ExecOptions, Expr, LogicalPlan, Parallelism};
 use backbone_storage::{RecordBatch, Schema, Value};
 use std::sync::Arc;
 
-/// A per-caller handle over a shared [`Database`].
-pub struct Session<'db> {
-    db: &'db Database,
+/// A per-caller handle over a shared [`Database`]. Owned (no lifetime):
+/// hand it to a thread, stash it in a connection struct, drop it whenever.
+pub struct Session {
+    db: Database,
     opts: ExecOptions,
 }
 
-impl<'db> Session<'db> {
+impl Session {
     /// A session starting from the database's baseline execution options.
-    pub(crate) fn new(db: &'db Database) -> Session<'db> {
+    pub(crate) fn new(db: Database) -> Session {
         Session {
             opts: db.exec_options().clone(),
             db,
@@ -41,15 +44,22 @@ impl<'db> Session<'db> {
     /// statement on the session runs with it. Accepts the typed
     /// [`Parallelism`] enum or a bare worker count for compatibility
     /// (`0`/`1` mean serial).
-    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> Session<'db> {
+    pub fn with_parallelism(mut self, parallelism: impl Into<Parallelism>) -> Session {
         self.opts.parallelism = parallelism.into();
         self
     }
 
-    /// Replace this session's execution options wholesale. The database's
-    /// metrics registry is kept so operator counters stay unified.
-    pub fn with_options(mut self, mut opts: ExecOptions) -> Session<'db> {
-        opts.metrics = self.opts.metrics.take();
+    /// Replace this session's execution options wholesale.
+    ///
+    /// Metrics-unification rule: if `opts` carries no metrics registry, the
+    /// session keeps the database's registry, so operator counters from
+    /// every session land in one place ([`Database::metrics`]). If `opts`
+    /// *does* carry a registry, the caller's choice wins — that is how a
+    /// test or bench isolates one session's counters from the shared pool.
+    pub fn with_options(mut self, mut opts: ExecOptions) -> Session {
+        if opts.metrics.is_none() {
+            opts.metrics = self.opts.metrics.take();
+        }
         self.opts = opts;
         self
     }
@@ -60,8 +70,8 @@ impl<'db> Session<'db> {
     }
 
     /// The database this session runs against.
-    pub fn database(&self) -> &'db Database {
-        self.db
+    pub fn database(&self) -> &Database {
+        &self.db
     }
 
     /// Parse and execute SQL under this session's options.
@@ -84,8 +94,9 @@ impl<'db> Session<'db> {
         self.db.explain_with(plan, &self.opts)
     }
 
-    /// EXPLAIN ANALYZE a plan under this session's options.
-    pub fn explain_analyze(&self, plan: LogicalPlan) -> Result<(String, RecordBatch)> {
+    /// EXPLAIN ANALYZE a plan under this session's options (same
+    /// `&LogicalPlan` signature as [`Session::explain`]).
+    pub fn explain_analyze(&self, plan: &LogicalPlan) -> Result<(String, RecordBatch)> {
         self.db.explain_analyze_with(plan, &self.opts)
     }
 
@@ -105,9 +116,21 @@ impl<'db> Session<'db> {
         self.db.checkpoint()
     }
 
+    /// Force every logged op to stable storage (see [`Database::wal_sync`]).
+    pub fn wal_sync(&self) -> Result<()> {
+        self.db.wal_sync()
+    }
+
+    /// Pin the current snapshot (see [`Database::pin_snapshot`]): queries
+    /// run with [`ExecOptions::at_snapshot`] at the guard's epoch read a
+    /// stable committed prefix for as long as the guard lives.
+    pub fn pin_snapshot(&self) -> backbone_txn::SnapshotGuard {
+        self.db.pin_snapshot()
+    }
+
     /// Start building a hybrid search against `table`.
-    pub fn search(&self, table: impl Into<String>) -> SearchRequest<'db> {
-        SearchRequest::new(self.db, table.into())
+    pub fn search(&self, table: impl Into<String>) -> SearchRequest<'_> {
+        SearchRequest::new(&self.db, table.into())
     }
 }
 

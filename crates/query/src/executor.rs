@@ -94,6 +94,12 @@ pub struct ExecOptions {
     /// their state by key hash and spill to disk (Grace-style), re-reading
     /// one partition at a time.
     pub mem_budget: Option<usize>,
+    /// Snapshot epoch pinned for this query. `None` = read everything (the
+    /// pre-MVCC behavior and the right default for catalogs built by hand).
+    /// When set, table scans clamp to the row prefix committed at or before
+    /// this epoch, so concurrent appends — even already-registered ones —
+    /// stay invisible for the lifetime of the query.
+    pub snapshot_epoch: Option<u64>,
 }
 
 impl Default for ExecOptions {
@@ -117,6 +123,7 @@ impl ExecOptions {
             metrics: None,
             batch_rows: DEFAULT_BATCH_ROWS,
             mem_budget: None,
+            snapshot_epoch: None,
         }
     }
 
@@ -161,6 +168,13 @@ impl ExecOptions {
     /// aggregates and hash joins spill to disk instead of exceeding it.
     pub fn with_mem_budget(mut self, bytes: usize) -> ExecOptions {
         self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// These options pinned to a snapshot epoch: scans read only rows
+    /// committed at or before `epoch`.
+    pub fn at_snapshot(mut self, epoch: u64) -> ExecOptions {
+        self.snapshot_epoch = Some(epoch);
         self
     }
 
@@ -217,11 +231,11 @@ pub fn explain(plan: &LogicalPlan, catalog: &dyn Catalog, opts: &ExecOptions) ->
 /// physical plan annotated with measured per-operator rows-in/rows-out,
 /// batch counts, and elapsed time. Returns the report and the query result.
 pub fn explain_analyze(
-    plan: LogicalPlan,
+    plan: &LogicalPlan,
     catalog: &dyn Catalog,
     opts: &ExecOptions,
 ) -> Result<(String, RecordBatch)> {
-    let optimized = opts.optimizer().optimize(plan, catalog)?;
+    let optimized = opts.optimizer().optimize(plan.clone(), catalog)?;
     let est = estimate_rows(&optimized, catalog);
     let (mut op, profile) = create_instrumented_plan(&optimized, catalog, opts)?;
     let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
@@ -412,7 +426,7 @@ mod tests {
             .sort(vec![asc(col("big_k"))])
             .limit(5);
         let opts = ExecOptions::with_parallelism(Parallelism::Fixed(2));
-        let (report, result) = explain_analyze(plan, &cat, &opts).unwrap();
+        let (report, result) = explain_analyze(&plan, &cat, &opts).unwrap();
         assert_eq!(result.num_rows(), 5);
         assert!(report.contains("workers=2"), "{report}");
         assert!(report.contains("morsels="), "{report}");
@@ -453,7 +467,7 @@ mod tests {
             .unwrap()
             .filter(col("big_v").lt(lit(100i64)))
             .aggregate(vec![], vec![count_star().alias("n")]);
-        let (report, result) = explain_analyze(plan, &cat, &ExecOptions::default()).unwrap();
+        let (report, result) = explain_analyze(&plan, &cat, &ExecOptions::default()).unwrap();
         assert_eq!(result.row(0)[0], Value::Int(100));
         assert!(report.contains("== Analyzed plan"), "{report}");
         assert!(report.contains("actual 1 rows"), "{report}");
@@ -481,7 +495,7 @@ mod tests {
         };
         let plain = execute(make_plan(), &cat, &ExecOptions::default()).unwrap();
         let opts = ExecOptions::default().with_metrics(metrics.clone());
-        let (_, analyzed) = explain_analyze(make_plan(), &cat, &opts).unwrap();
+        let (_, analyzed) = explain_analyze(&make_plan(), &cat, &opts).unwrap();
         assert_eq!(plain.to_rows(), analyzed.to_rows());
         // Engine-truth totals landed in the shared registry.
         assert_eq!(metrics.value("op.topk.rows_out"), 7);

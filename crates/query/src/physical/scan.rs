@@ -39,6 +39,20 @@ pub struct TableScanExec {
     pending: VecDeque<RecordBatch>,
     metrics: Option<Metrics>,
     profile: Option<ParallelProfile>,
+    /// Snapshot clamp: scan only this visible row prefix (see
+    /// [`TableScanExec::with_snapshot`]). `None` = scan everything.
+    clamp: Option<ScanClamp>,
+}
+
+/// The group-level shape of a snapshot's visible row prefix.
+#[derive(Debug, Clone, Copy)]
+struct ScanClamp {
+    /// Leading row groups that intersect the prefix; later groups hold only
+    /// rows committed after the snapshot and are never touched.
+    groups: usize,
+    /// When the prefix ends inside group `groups - 1`: how many of its
+    /// leading rows are visible. `None` = the last group is wholly visible.
+    last_rows: Option<usize>,
 }
 
 enum Mode {
@@ -113,12 +127,44 @@ impl TableScanExec {
             pending: VecDeque::new(),
             metrics: None,
             profile: None,
+            clamp: None,
         })
     }
 
     /// Cap emitted batches at `n` logical rows (0 = one batch per row group).
     pub fn with_batch_rows(mut self, n: usize) -> Self {
         self.batch_rows = n;
+        self
+    }
+
+    /// Pin the scan to a snapshot epoch: only the table's row prefix
+    /// committed at or before `epoch` (per its commit marks) is read. Groups
+    /// past the prefix are never materialized; the group straddling the
+    /// boundary is sliced to its visible leading rows *before* filters run.
+    /// Zone-map pruning stays sound on the sliced group — full-group zones
+    /// over-approximate any prefix, so a refutation still holds.
+    pub fn with_snapshot(mut self, epoch: Option<u64>) -> Self {
+        let Some(epoch) = epoch else { return self };
+        let table = match &self.mode {
+            Mode::Serial { table, .. } | Mode::Pending { table, .. } => table,
+            Mode::Running { .. } => unreachable!("snapshot set before the scan starts"),
+        };
+        let mut remaining = table.visible_rows_at(epoch);
+        let mut groups = 0usize;
+        let mut last_rows = None;
+        for g in 0..table.num_groups() {
+            if remaining == 0 {
+                break;
+            }
+            let rows = table.group_rows(g);
+            groups += 1;
+            if rows > remaining {
+                last_rows = Some(remaining);
+                break;
+            }
+            remaining -= rows;
+        }
+        self.clamp = Some(ScanClamp { groups, last_rows });
         self
     }
 
@@ -154,7 +200,14 @@ impl TableScanExec {
             unreachable!("start is only called on a pending parallel scan");
         };
         let (tx, rx) = bounded(workers * 2);
-        let n_groups = table.num_groups();
+        let n_groups = self
+            .clamp
+            .map_or(table.num_groups(), |c| c.groups.min(table.num_groups()));
+        // (group index, visible leading rows) when the snapshot boundary
+        // falls inside the final visible group.
+        let boundary = self
+            .clamp
+            .and_then(|c| c.last_rows.map(|n| (c.groups - 1, n)));
         let queues = Arc::new(StealQueues::split(n_groups, workers));
         if let Some(p) = &self.profile {
             p.workers.add(workers as u64);
@@ -190,7 +243,21 @@ impl TableScanExec {
                             break;
                         }
                     };
-                    match process_group(group.batch(), zones, &filters, &projection) {
+                    let sliced;
+                    let gbatch = match boundary {
+                        Some((bg, n)) if bg == g => {
+                            match group.batch().slice(0, n) {
+                                Ok(b) => sliced = b,
+                                Err(e) => {
+                                    let _ = tx.send(Err(e.into()));
+                                    break;
+                                }
+                            }
+                            &sliced
+                        }
+                        _ => group.batch(),
+                    };
+                    match process_group(gbatch, zones, &filters, &projection) {
                         Ok(Some(batch)) => {
                             rows += batch.num_rows() as u64;
                             if tx.send(Ok(batch)).is_err() {
@@ -331,9 +398,12 @@ impl Operator for TableScanExec {
                 projection,
                 group_idx,
             } => {
+                let clamp = self.clamp;
+                let total_groups =
+                    clamp.map_or(table.num_groups(), |c| c.groups.min(table.num_groups()));
                 let mut found = None;
                 loop {
-                    if *group_idx >= table.num_groups() {
+                    if *group_idx >= total_groups {
                         break;
                     }
                     let g = *group_idx;
@@ -348,7 +418,18 @@ impl Operator for TableScanExec {
                     self.stats.groups_scanned += 1;
                     let group = table.group(g)?;
                     let t0 = Instant::now();
-                    let out = process_group(group.batch(), zones, filters, projection)?;
+                    let sliced;
+                    let gbatch = match clamp {
+                        Some(ScanClamp {
+                            groups,
+                            last_rows: Some(n),
+                        }) if g + 1 == groups => {
+                            sliced = group.batch().slice(0, n)?;
+                            &sliced
+                        }
+                        _ => group.batch(),
+                    };
+                    let out = process_group(gbatch, zones, filters, projection)?;
                     if let Some(m) = &self.metrics {
                         m.counter("op.scan.kernel.filter_ns")
                             .add(t0.elapsed().as_nanos() as u64);
@@ -471,6 +552,89 @@ mod tests {
         ra.sort_unstable();
         rb.sort_unstable();
         assert_eq!(ra, rb);
+    }
+
+    /// 10 rows committed at epoch 1, 7 more at epoch 2, groups of 4 — the
+    /// epoch-1 boundary falls mid-group.
+    fn marked_table() -> Arc<Table> {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("val", DataType::Int64),
+        ]);
+        let mut t = Table::with_group_size(schema, 4);
+        for i in 0..10 {
+            t.append_row(vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
+        }
+        t.record_commit(1, 0);
+        for i in 10..17 {
+            t.append_row(vec![Value::Int(i), Value::Int(i * 10)])
+                .unwrap();
+        }
+        t.record_commit(2, 0);
+        t.flush().unwrap();
+        Arc::new(t)
+    }
+
+    #[test]
+    fn snapshot_clamps_to_visible_prefix() {
+        let t = marked_table();
+        // Epoch 1: only the first 10 rows; the 3rd group is sliced to 2.
+        let mut scan = TableScanExec::new(t.clone(), None, vec![], 1)
+            .unwrap()
+            .with_snapshot(Some(1));
+        let out = drain_one(&mut scan).unwrap();
+        let ids: Vec<i64> = out.column(0).i64_data().unwrap().to_vec();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        // Epoch 2 (and beyond): everything.
+        let mut scan = TableScanExec::new(t.clone(), None, vec![], 1)
+            .unwrap()
+            .with_snapshot(Some(5));
+        assert_eq!(drain_one(&mut scan).unwrap().num_rows(), 17);
+        // Epoch 0 predates every commit: nothing visible.
+        let mut scan = TableScanExec::new(t.clone(), None, vec![], 1)
+            .unwrap()
+            .with_snapshot(Some(0));
+        assert!(scan.next().unwrap().is_none());
+        // No snapshot: the pre-MVCC full scan.
+        let mut scan = TableScanExec::new(t, None, vec![], 1)
+            .unwrap()
+            .with_snapshot(None);
+        assert_eq!(drain_one(&mut scan).unwrap().num_rows(), 17);
+    }
+
+    #[test]
+    fn snapshot_parallel_matches_serial() {
+        let t = marked_table();
+        for epoch in [0u64, 1, 2] {
+            let mut serial = TableScanExec::new(t.clone(), None, vec![], 1)
+                .unwrap()
+                .with_snapshot(Some(epoch));
+            let mut parallel = TableScanExec::new(t.clone(), None, vec![], 4)
+                .unwrap()
+                .with_snapshot(Some(epoch));
+            let a = drain_one(&mut serial).unwrap();
+            let b = drain_one(&mut parallel).unwrap();
+            let collect = |x: &RecordBatch| {
+                let mut ids: Vec<i64> = x.column(0).i64_data().unwrap().to_vec();
+                ids.sort_unstable();
+                ids
+            };
+            assert_eq!(collect(&a), collect(&b), "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn snapshot_respects_filters_on_sliced_group() {
+        let t = marked_table();
+        // id >= 8 under epoch 1 must see exactly rows 8 and 9 — rows 10+ are
+        // in the same physical groups but invisible.
+        let mut scan = TableScanExec::new(t, None, vec![col("id").gt_eq(lit(8i64))], 1)
+            .unwrap()
+            .with_snapshot(Some(1));
+        let out = drain_one(&mut scan).unwrap();
+        let ids: Vec<i64> = out.column(0).i64_data().unwrap().to_vec();
+        assert_eq!(ids, vec![8, 9]);
     }
 
     #[test]

@@ -66,6 +66,7 @@ fn build(
             parallel = new_pprof();
             let op: Box<dyn Operator> = Box::new(
                 TableScanExec::new(t, projection.clone(), filters.clone(), threads)?
+                    .with_snapshot(opts.snapshot_epoch)
                     .with_batch_rows(opts.batch_rows)
                     .with_metrics(opts.metrics.clone())
                     .with_parallel_profile(parallel.clone()),

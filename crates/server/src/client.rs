@@ -1,0 +1,101 @@
+//! A small blocking client for the line-JSON protocol, used by the serve
+//! bench, the tests, and any out-of-process caller.
+
+use crate::proto::{Request, Response};
+use crate::ServerError;
+use backbone_core::Error;
+use backbone_storage::Value;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection = one server-side session. Requests are synchronous:
+/// each call writes a line and blocks for the response line.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// A query result as the client sees it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowSet {
+    /// Column names, in projection order.
+    pub columns: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Client {
+    /// Connect to a running [`crate::Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ServerError> {
+        let mut line = request.encode();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ServerError::Protocol("server closed the connection".into()));
+        }
+        let response = Response::decode(reply.trim()).map_err(ServerError::Protocol)?;
+        match response {
+            Response::Error {
+                message,
+                overloaded: Some((active, queue)),
+            } => {
+                let _ = message;
+                Err(ServerError::Db(Error::Overloaded { active, queue }))
+            }
+            Response::Error {
+                message,
+                overloaded: None,
+            } => Err(ServerError::Remote(message)),
+            ok => Ok(ok),
+        }
+    }
+
+    /// Execute SQL; returns columns + rows.
+    pub fn sql(&mut self, query: &str) -> Result<RowSet, ServerError> {
+        match self.roundtrip(&Request::Sql {
+            query: query.to_string(),
+        })? {
+            Response::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Err(ServerError::Protocol(format!(
+                "expected rows, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Insert rows; returns how many the server acknowledged (durable when
+    /// the server's database is).
+    pub fn insert(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<usize, ServerError> {
+        match self.roundtrip(&Request::Insert {
+            table: table.to_string(),
+            rows,
+        })? {
+            Response::Inserted { rows } => Ok(rows),
+            other => Err(ServerError::Protocol(format!(
+                "expected insert ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness round trip. A successful ping also proves this connection
+    /// holds a server-side worker (the response is written by the worker
+    /// serving the session, never the listener).
+    pub fn ping(&mut self) -> Result<(), ServerError> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ServerError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! The wire protocol: one JSON object per line, request then response.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"op":"sql","q":"SELECT id FROM t WHERE id > 1"}
+//! {"op":"insert","table":"t","rows":[[1,"a"],[2,"b"]]}
+//! {"op":"ping"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```json
+//! {"ok":true,"columns":["id"],"rows":[[2],[3]]}
+//! {"ok":true,"inserted":2}
+//! {"ok":true}
+//! {"ok":false,"error":"table not found: ghost"}
+//! {"ok":false,"error":"server overloaded: ...","overloaded":{"active":4,"queue":2}}
+//! ```
+//!
+//! Cell values map 1:1 between [`Value`] and JSON: `Int`↔number (exact),
+//! `Float`↔number, `Str`↔string, `Bool`↔bool, `Null`↔null.
+
+use crate::json::{parse, Json};
+use backbone_storage::Value;
+
+/// A decoded client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Parse and execute a SQL statement.
+    Sql { query: String },
+    /// Insert rows into a table.
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Liveness check; also what the bench uses to hold a session open.
+    Ping,
+}
+
+/// A decoded server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query result: column names plus row-major cells.
+    Rows {
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    },
+    /// An acknowledged (durable, when the database is) insert.
+    Inserted { rows: usize },
+    /// Ping reply.
+    Pong,
+    /// Any failure. `overloaded` carries the admission-control detail when
+    /// the server turned the connection away, so clients can rebuild the
+    /// typed [`backbone_core::Error::Overloaded`].
+    Error {
+        message: String,
+        overloaded: Option<(usize, usize)>,
+    },
+}
+
+fn value_to_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Int(n) => Json::Int(*n),
+        Value::Float(f) => Json::Float(*f),
+        Value::Str(s) => Json::Str(s.to_string()),
+        Value::Bool(b) => Json::Bool(*b),
+    }
+}
+
+fn json_to_value(j: &Json) -> Result<Value, String> {
+    Ok(match j {
+        Json::Null => Value::Null,
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Int(n) => Value::Int(*n),
+        Json::Float(f) => Value::Float(*f),
+        Json::Str(s) => Value::str(s),
+        Json::Arr(_) | Json::Obj(_) => return Err("nested values are not valid cells".into()),
+    })
+}
+
+fn rows_to_json(rows: &[Vec<Value>]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|row| Json::Arr(row.iter().map(value_to_json).collect()))
+            .collect(),
+    )
+}
+
+fn json_to_rows(j: &Json) -> Result<Vec<Vec<Value>>, String> {
+    j.as_arr()
+        .ok_or("'rows' must be an array of arrays")?
+        .iter()
+        .map(|row| {
+            row.as_arr()
+                .ok_or_else(|| "each row must be an array".to_string())?
+                .iter()
+                .map(json_to_value)
+                .collect()
+        })
+        .collect()
+}
+
+impl Request {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Request::Sql { query } => Json::Obj(vec![
+                ("op".into(), Json::Str("sql".into())),
+                ("q".into(), Json::Str(query.clone())),
+            ]),
+            Request::Insert { table, rows } => Json::Obj(vec![
+                ("op".into(), Json::Str("insert".into())),
+                ("table".into(), Json::Str(table.clone())),
+                ("rows".into(), rows_to_json(rows)),
+            ]),
+            Request::Ping => Json::Obj(vec![("op".into(), Json::Str("ping".into()))]),
+        };
+        obj.to_string()
+    }
+
+    /// Decode one request line.
+    pub fn decode(line: &str) -> Result<Request, String> {
+        let obj = parse(line)?;
+        let op = obj
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing 'op' field")?;
+        match op {
+            "sql" => Ok(Request::Sql {
+                query: obj
+                    .get("q")
+                    .and_then(Json::as_str)
+                    .ok_or("'sql' needs a string 'q'")?
+                    .to_string(),
+            }),
+            "insert" => Ok(Request::Insert {
+                table: obj
+                    .get("table")
+                    .and_then(Json::as_str)
+                    .ok_or("'insert' needs a string 'table'")?
+                    .to_string(),
+                rows: json_to_rows(obj.get("rows").ok_or("'insert' needs 'rows'")?)?,
+            }),
+            "ping" => Ok(Request::Ping),
+            other => Err(format!("unknown op '{other}'")),
+        }
+    }
+}
+
+impl Response {
+    /// Encode as one JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let obj = match self {
+            Response::Rows { columns, rows } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                (
+                    "columns".into(),
+                    Json::Arr(columns.iter().map(|c| Json::Str(c.clone())).collect()),
+                ),
+                ("rows".into(), rows_to_json(rows)),
+            ]),
+            Response::Inserted { rows } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("inserted".into(), Json::Int(*rows as i64)),
+            ]),
+            Response::Pong => Json::Obj(vec![("ok".into(), Json::Bool(true))]),
+            Response::Error {
+                message,
+                overloaded,
+            } => {
+                let mut pairs = vec![
+                    ("ok".into(), Json::Bool(false)),
+                    ("error".into(), Json::Str(message.clone())),
+                ];
+                if let Some((active, queue)) = overloaded {
+                    pairs.push((
+                        "overloaded".into(),
+                        Json::Obj(vec![
+                            ("active".into(), Json::Int(*active as i64)),
+                            ("queue".into(), Json::Int(*queue as i64)),
+                        ]),
+                    ));
+                }
+                Json::Obj(pairs)
+            }
+        };
+        obj.to_string()
+    }
+
+    /// Decode one response line.
+    pub fn decode(line: &str) -> Result<Response, String> {
+        let obj = parse(line)?;
+        match obj.get("ok") {
+            Some(Json::Bool(true)) => {
+                if let Some(cols) = obj.get("columns") {
+                    let columns = cols
+                        .as_arr()
+                        .ok_or("'columns' must be an array")?
+                        .iter()
+                        .map(|c| c.as_str().map(str::to_string))
+                        .collect::<Option<Vec<_>>>()
+                        .ok_or("'columns' must hold strings")?;
+                    let rows = json_to_rows(obj.get("rows").ok_or("missing 'rows'")?)?;
+                    Ok(Response::Rows { columns, rows })
+                } else if let Some(n) = obj.get("inserted") {
+                    Ok(Response::Inserted {
+                        rows: n.as_int().ok_or("'inserted' must be a number")? as usize,
+                    })
+                } else {
+                    Ok(Response::Pong)
+                }
+            }
+            Some(Json::Bool(false)) => {
+                let message = obj
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown server error")
+                    .to_string();
+                let overloaded = obj.get("overloaded").and_then(|o| {
+                    Some((
+                        o.get("active")?.as_int()? as usize,
+                        o.get("queue")?.as_int()? as usize,
+                    ))
+                });
+                Ok(Response::Error {
+                    message,
+                    overloaded,
+                })
+            }
+            _ => Err("missing boolean 'ok' field".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::Ping,
+            Request::Sql {
+                query: "SELECT \"x\" FROM t\nWHERE a > 1".into(),
+            },
+            Request::Insert {
+                table: "t".into(),
+                rows: vec![
+                    vec![Value::Int(i64::MAX), Value::str("a\"b"), Value::Null],
+                    vec![Value::Float(2.5), Value::Bool(true), Value::str("")],
+                ],
+            },
+        ];
+        for req in reqs {
+            let line = req.encode();
+            assert!(!line.contains('\n'), "one line per message: {line}");
+            assert_eq!(Request::decode(&line).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = [
+            Response::Pong,
+            Response::Inserted { rows: 7 },
+            Response::Rows {
+                columns: vec!["id".into(), "name".into()],
+                rows: vec![vec![Value::Int(1), Value::str("x")]],
+            },
+            Response::Error {
+                message: "table not found: ghost".into(),
+                overloaded: None,
+            },
+            Response::Error {
+                message: "server overloaded".into(),
+                overloaded: Some((8, 4)),
+            },
+        ];
+        for resp in resps {
+            assert_eq!(Response::decode(&resp.encode()).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        assert!(Request::decode("{}").is_err());
+        assert!(Request::decode("{\"op\":\"mystery\"}").is_err());
+        assert!(Request::decode("{\"op\":\"insert\",\"table\":\"t\"}").is_err());
+        assert!(Request::decode("not json").is_err());
+    }
+}

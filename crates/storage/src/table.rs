@@ -237,6 +237,13 @@ pub struct Table {
     group_size: usize,
     rows: usize,
     encoding: EncodingPolicy,
+    /// Commit marks: `(epoch, cumulative rows)` in ascending epoch order.
+    /// A snapshot pinned at epoch `e` sees the row-count prefix recorded by
+    /// the newest mark at or below `e` — appends after that mark exist
+    /// physically but are invisible to the snapshot. Empty means "no commit
+    /// tracking": every row is visible (tables built outside a `Database`,
+    /// e.g. bench catalogs, keep the pre-MVCC behavior).
+    marks: Vec<(u64, usize)>,
 }
 
 impl Table {
@@ -256,6 +263,7 @@ impl Table {
             group_size,
             rows: 0,
             encoding: EncodingPolicy::default(),
+            marks: Vec::new(),
         }
     }
 
@@ -429,6 +437,50 @@ impl Table {
     /// Rows appended since the last seal (not yet in any row group).
     pub fn pending_rows(&self) -> &[Vec<Value>] {
         &self.pending
+    }
+
+    /// Record that every row appended so far is committed at `epoch`.
+    ///
+    /// Call with the epoch reserved inside the commit critical section, so
+    /// marks are appended in ascending epoch order. `horizon` is the oldest
+    /// epoch any live snapshot can still pin ([`EpochClock::horizon`] in
+    /// `backbone-txn`): marks strictly older than the newest mark at or
+    /// below the horizon can never be selected again and are pruned here,
+    /// keeping the mark vector O(active snapshots), not O(commits).
+    pub fn record_commit(&mut self, epoch: u64, horizon: u64) {
+        debug_assert!(
+            self.marks.last().is_none_or(|(e, _)| *e < epoch),
+            "commit marks must arrive in ascending epoch order"
+        );
+        self.marks.push((epoch, self.rows));
+        if let Some(base) = self.marks.iter().rposition(|(e, _)| *e <= horizon) {
+            if base > 0 {
+                self.marks.drain(..base);
+            }
+        }
+    }
+
+    /// Rows visible to a snapshot pinned at `epoch`.
+    ///
+    /// With no marks recorded the whole table is visible (pre-MVCC tables
+    /// and catalogs assembled by hand). Otherwise the newest mark at or
+    /// below `epoch` bounds the visible prefix; a snapshot older than every
+    /// mark sees nothing.
+    pub fn visible_rows_at(&self, epoch: u64) -> usize {
+        if self.marks.is_empty() {
+            return self.rows;
+        }
+        self.marks
+            .iter()
+            .rev()
+            .find(|(e, _)| *e <= epoch)
+            .map(|(_, rows)| *rows)
+            .unwrap_or(0)
+    }
+
+    /// Number of live commit marks (diagnostics / pruning tests).
+    pub fn num_commit_marks(&self) -> usize {
+        self.marks.len()
     }
 
     /// Materialize the whole table as one batch (testing / small tables;
@@ -703,6 +755,46 @@ mod tests {
         t.push_sealed_batch(batch).unwrap();
         assert_eq!(t.num_rows(), 2);
         assert!(t.group(0).unwrap().batch().columns()[1].is_dict());
+    }
+
+    #[test]
+    fn commit_marks_bound_visibility() {
+        let mut t = Table::with_group_size(schema(), 4);
+        // No marks: everything visible at any epoch (pre-MVCC behavior).
+        t.append_row(vec![Value::Int(0), Value::Null]).unwrap();
+        assert_eq!(t.visible_rows_at(0), 1);
+        // Commit 1 covers rows [0, 2); commit 5 covers [0, 3).
+        t.append_row(vec![Value::Int(1), Value::Null]).unwrap();
+        t.record_commit(1, 0);
+        t.append_row(vec![Value::Int(2), Value::Null]).unwrap();
+        t.record_commit(5, 0);
+        assert_eq!(t.visible_rows_at(0), 0, "older than every mark");
+        assert_eq!(t.visible_rows_at(1), 2);
+        assert_eq!(
+            t.visible_rows_at(3),
+            2,
+            "epochs between marks see the older"
+        );
+        assert_eq!(t.visible_rows_at(5), 3);
+        assert_eq!(t.visible_rows_at(99), 3);
+    }
+
+    #[test]
+    fn commit_marks_prune_to_horizon() {
+        let mut t = Table::with_group_size(schema(), 64);
+        for e in 1..=10u64 {
+            t.append_row(vec![Value::Int(e as i64), Value::Null])
+                .unwrap();
+            // Horizon trails two epochs behind the commit.
+            t.record_commit(e, e.saturating_sub(2));
+        }
+        // Only marks at or above the newest mark <= horizon (8) survive.
+        assert_eq!(t.num_commit_marks(), 3);
+        assert_eq!(t.visible_rows_at(8), 8);
+        assert_eq!(t.visible_rows_at(10), 10);
+        // Epochs below the pruned base degrade to the base mark being the
+        // oldest answer available — callers never pin below the horizon.
+        assert_eq!(t.visible_rows_at(7), 0);
     }
 
     #[test]

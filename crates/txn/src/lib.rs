@@ -29,6 +29,7 @@ pub mod harness;
 pub mod mvcc;
 pub mod ops;
 pub mod serial;
+pub mod snapshot;
 pub mod twopl;
 pub mod wal;
 
@@ -38,6 +39,7 @@ pub use harness::{run_workload, WorkloadConfig, WorkloadReport};
 pub use mvcc::MvccEngine;
 pub use ops::{KvEngine, TxnOp};
 pub use serial::SerialEngine;
+pub use snapshot::{EpochClock, SnapshotGuard};
 pub use twopl::TwoPlEngine;
 pub use wal::{
     FileDevice, FsyncPolicy, LogDevice, MemDevice, Replay, Wal, WalConfig, WalError, WalRecord,

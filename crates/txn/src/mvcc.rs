@@ -3,10 +3,10 @@
 use crate::error::TxnError;
 use crate::ops::{KvEngine, TxnOp};
 use crate::serial::encode_record;
+use crate::snapshot::EpochClock;
 use crate::wal::Wal;
 use parking_lot::{Mutex, RwLock};
-use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 const SHARDS: usize = 64;
@@ -20,13 +20,15 @@ type VersionChain = Vec<(u64, u64)>;
 /// begin snapshot. Writes buffer locally and validate at commit with
 /// first-committer-wins (any version newer than the snapshot on a written
 /// key aborts the transaction with [`TxnError::Conflict`]).
+///
+/// Commit timestamps, snapshot refcounts, and the GC horizon all come from
+/// a shared [`EpochClock`] — the same machinery the relational facade uses
+/// to pin query snapshots, so "a snapshot" means one thing engine-wide.
 pub struct MvccEngine {
     shards: Vec<RwLock<HashMap<u64, VersionChain>>>,
-    commit_ts: AtomicU64,
+    clock: EpochClock,
     /// Serializes validate+install; held briefly (never across the WAL).
     commit_lock: Mutex<()>,
-    /// Active snapshot refcounts, for safe version GC.
-    active: Mutex<BTreeMap<u64, usize>>,
     wal: Option<Arc<Wal>>,
 }
 
@@ -39,9 +41,8 @@ impl MvccEngine {
     pub fn new(wal: Option<Arc<Wal>>) -> MvccEngine {
         MvccEngine {
             shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
-            commit_ts: AtomicU64::new(0),
+            clock: EpochClock::new(),
             commit_lock: Mutex::new(()),
-            active: Mutex::new(BTreeMap::new()),
             wal,
         }
     }
@@ -64,27 +65,16 @@ impl MvccEngine {
     }
 
     fn register_snapshot(&self, ts: u64) {
-        *self.active.lock().entry(ts).or_insert(0) += 1;
+        self.clock.register(ts);
     }
 
     fn release_snapshot(&self, ts: u64) {
-        let mut active = self.active.lock();
-        if let Some(n) = active.get_mut(&ts) {
-            *n -= 1;
-            if *n == 0 {
-                active.remove(&ts);
-            }
-        }
+        self.clock.release(ts);
     }
 
     /// Oldest snapshot any transaction might still read at.
     fn gc_horizon(&self) -> u64 {
-        self.active
-            .lock()
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or_else(|| self.commit_ts.load(Ordering::SeqCst))
+        self.clock.horizon()
     }
 
     /// Drop versions no active snapshot can see (all but the newest version
@@ -118,7 +108,7 @@ impl KvEngine for MvccEngine {
     }
 
     fn execute(&self, ops: &[TxnOp]) -> Result<Vec<Option<u64>>, TxnError> {
-        let snapshot = self.commit_ts.load(Ordering::SeqCst);
+        let snapshot = self.clock.published();
         self.register_snapshot(snapshot);
         let result = self.execute_at(ops, snapshot);
         self.release_snapshot(snapshot);
@@ -175,7 +165,7 @@ impl MvccEngine {
                     }
                 }
             }
-            commit_ts = self.commit_ts.load(Ordering::SeqCst) + 1;
+            commit_ts = self.clock.reserve();
             let horizon = self.gc_horizon();
             for (k, v) in &write_set {
                 let mut shard = self.shards[shard_of(*k)].write();
@@ -191,7 +181,7 @@ impl MvccEngine {
             // failure we still publish — the versions are already installed
             // and later validators key off them — but the commit is NOT
             // acknowledged below.
-            self.commit_ts.store(commit_ts, Ordering::SeqCst);
+            self.clock.publish(commit_ts);
         }
 
         // ...but wait for durability outside it, so group commit can batch
@@ -225,7 +215,7 @@ mod tests {
         let e = MvccEngine::new(None);
         e.load([(1, 100)]);
         // Simulate two concurrent transactions on the same snapshot.
-        let snapshot = e.commit_ts.load(Ordering::SeqCst);
+        let snapshot = e.clock.published();
         e.execute_at(&[TxnOp::Add(1, 1)], snapshot).unwrap();
         let err = e.execute_at(&[TxnOp::Add(1, 1)], snapshot).unwrap_err();
         assert_eq!(err, TxnError::Conflict);
@@ -235,7 +225,7 @@ mod tests {
     fn readers_never_conflict() {
         let e = MvccEngine::new(None);
         e.load([(1, 5)]);
-        let snapshot = e.commit_ts.load(Ordering::SeqCst);
+        let snapshot = e.clock.published();
         e.execute_at(&[TxnOp::Write(1, 6)], snapshot).unwrap();
         // A read-only transaction on the old snapshot still succeeds and
         // sees the old value (repeatable reads).
@@ -294,7 +284,7 @@ mod tests {
     fn gc_respects_active_snapshots() {
         let e = MvccEngine::new(None);
         e.load([(1, 1)]);
-        let old_snapshot = e.commit_ts.load(Ordering::SeqCst);
+        let old_snapshot = e.clock.published();
         e.register_snapshot(old_snapshot);
         for i in 0..10 {
             e.execute(&[TxnOp::Write(1, i + 100)]).unwrap();
@@ -308,8 +298,8 @@ mod tests {
     fn read_only_txn_needs_no_commit() {
         let e = MvccEngine::new(None);
         e.load([(5, 50)]);
-        let before = e.commit_ts.load(Ordering::SeqCst);
+        let before = e.clock.published();
         e.execute(&[TxnOp::Read(5)]).unwrap();
-        assert_eq!(e.commit_ts.load(Ordering::SeqCst), before);
+        assert_eq!(e.clock.published(), before);
     }
 }

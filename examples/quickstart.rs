@@ -54,7 +54,7 @@ fn main() {
 
     // 4. EXPLAIN ANALYZE runs the plan instrumented: the optimized tree
     //    annotated with measured per-operator rows and elapsed time.
-    let (report, out) = db.explain_analyze(plan).expect("explain analyze");
+    let (report, out) = db.explain_analyze(&plan).expect("explain analyze");
     println!("{report}");
 
     // 5. Print the result.

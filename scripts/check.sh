@@ -30,6 +30,20 @@ echo "== out-of-core spill smoke (budget-capped, serial + Fixed(4)) =="
 cargo test -q -p backbone-bench --test kernel_equivalence budget
 cargo test -q -p backbone-bench --test kernel_equivalence tiny_budget
 
+echo "== serving: server crate + concurrent-session property suite =="
+cargo test -q -p backbone-server
+cargo test -q -p backbone-bench --test serving
+
+echo "== serve smoke (quick) =="
+out="$(cargo run -q --release -p backbone-bench --bin repro -- serve --quick)"
+echo "$out"
+# Snapshot gate: readers must not stall on writers.
+echo "$out" | grep -q "PERF_OK serve reader stalls" || { echo "repro serve: readers stalled on writers"; exit 1; }
+# Group-commit gate: concurrent commits must share fsyncs.
+echo "$out" | grep -q "PERF_OK serve batched commits" || { echo "repro serve: fsyncs not batched across commits"; exit 1; }
+# Concurrency gate: the bench must actually drive >=8 live sessions.
+echo "$out" | grep -q "PERF_OK serve concurrency" || { echo "repro serve: concurrent-session floor not met"; exit 1; }
+
 echo "== repro smoke (quick) =="
 out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"
 echo "$out"

@@ -193,7 +193,7 @@ fn explain_analyze_q3_reports_per_operator_truth() {
     let cat = catalog();
     let plan = backbone_workloads::queries::q3(&cat, "BUILDING", 1100).unwrap();
     let (report, result) =
-        backbone_query::explain_analyze(plan, &cat, &ExecOptions::default()).unwrap();
+        backbone_query::explain_analyze(&plan, &cat, &ExecOptions::default()).unwrap();
 
     // The header carries the measured total: actual row count and wall time.
     assert!(result.num_rows() <= 10);

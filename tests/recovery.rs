@@ -381,6 +381,67 @@ fn group_commit_shares_fsyncs_across_concurrent_inserters() {
 }
 
 #[test]
+fn no_acked_write_from_batched_group_commit_is_lost_on_crash() {
+    // Concurrent writers push acked ids into a shared ledger the instant
+    // insert() returns; then the process "crashes" (no Drop, no final
+    // flush). Group commit may batch many commits into one fsync, but an
+    // ack means *this* commit's fsync happened — every ledgered id must
+    // survive recovery.
+    let dir = scratch_dir("group-commit-crash");
+    let acked = Arc::new(std::sync::Mutex::new(Vec::<i64>::new()));
+    {
+        let db = Database::open_with(
+            &dir,
+            DurabilityOptions::default()
+                .fsync(FsyncPolicy::Group)
+                .fsync_latency(Duration::from_millis(1)),
+        )
+        .unwrap();
+        db.create_table("events", events_schema()).unwrap();
+        let threads = 4;
+        let per_thread = 15;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let db = db.clone();
+                let acked = Arc::clone(&acked);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let id = (t * per_thread + i) as i64;
+                        db.insert("events", vec![event_row(id as usize)]).unwrap();
+                        acked.lock().unwrap().push(id);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let commits = (threads * per_thread) as u64 + 1;
+        assert!(
+            db.wal_fsyncs().unwrap() < commits,
+            "run must actually batch fsyncs to test the batched-ack path"
+        );
+        std::mem::forget(db); // crash: no destructors, no deferred flush
+    }
+    let db = Database::open(&dir).unwrap();
+    let recovered = recovered_ids(&db).unwrap();
+    let mut expected = acked.lock().unwrap().clone();
+    expected.sort_unstable();
+    let mut got = recovered.clone();
+    got.sort_unstable();
+    assert_eq!(
+        got, expected,
+        "batched group commit lost or invented an acked write"
+    );
+    // Recovered rows are visible to snapshot reads immediately.
+    assert_eq!(
+        db.sql("SELECT id FROM events").unwrap().num_rows(),
+        expected.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn fsync_never_policy_is_durable_after_explicit_sync() {
     let dir = scratch_dir("never-sync");
     {
