@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! repro [e1|e2|e3|e4|e5|e6|e7|e8|e9|bench|serve|all] [--quick]
+//! repro [e1|e2|e3|e4|e5|e6|e7|e8|e9|ann|bench|serve|all] [--quick]
 //! ```
 //!
 //! `--quick` shrinks workload sizes for smoke runs (used by CI/tests);
@@ -88,6 +88,21 @@ fn main() {
         println!("{}", bench::e9_ann::report(n, 42));
     }
 
+    if which == "ann" {
+        ran = true;
+        let entries = bench::ann_bench::run(quick);
+        let json = bench::ann_bench::to_json(&entries, quick);
+        // Quick smoke runs must not clobber the committed full-size baseline.
+        let path = if quick {
+            "target/BENCH_ann.quick.json"
+        } else {
+            "BENCH_ann.json"
+        };
+        std::fs::write(path, format!("{json}\n")).expect("write ann baseline");
+        print!("{}", bench::ann_bench::report(&entries));
+        println!("wrote {path}");
+    }
+
     if which == "bench" {
         ran = true;
         let entries = bench::exec_bench::run(quick);
@@ -119,7 +134,7 @@ fn main() {
     }
 
     if !ran {
-        eprintln!("unknown experiment '{which}'; expected e1..e9, bench, serve, or all");
+        eprintln!("unknown experiment '{which}'; expected e1..e9, ann, bench, serve, or all");
         std::process::exit(2);
     }
 }

@@ -8,8 +8,8 @@
 
 use crate::time;
 use backbone_core::{
-    bolton_search, unified_search, Database, FusionWeights, HybridSpec, VectorIndexKind,
-    VectorIndexSpec,
+    bolton_search, explain_hybrid, unified_search, Database, FusionWeights, HybridSpec,
+    VectorIndexKind, VectorIndexSpec,
 };
 use backbone_query::{col, lit};
 use backbone_storage::{DataType, Field, Schema, Value};
@@ -190,6 +190,22 @@ pub fn report(products: usize, queries: usize, k: usize, seed: u64) -> String {
         ));
     }
     out.push_str("* modeled end-to-end latency = measured CPU + network model\n");
+    // Plan readout, EXPLAIN ANALYZE style: the cost model routes the
+    // permissive predicate to post-filtering and the selective one away
+    // from it; each stage reports its actual time and work.
+    let q = &generate_queries(1, 8, 0.0, k, seed + 2)[0];
+    for cutoff in [250.0, 10.0] {
+        let spec = HybridSpec {
+            table: "products".into(),
+            filter: Some(col("price").lt(lit(cutoff))),
+            keyword: Some(q.keyword.clone()),
+            vector: Some(q.embedding.clone()),
+            k,
+            weights: FusionWeights::default(),
+        };
+        out.push_str(&format!("\nEXPLAIN hybrid (price < {cutoff}):\n"));
+        out.push_str(&explain_hybrid(&db, &spec).expect("explain"));
+    }
     out
 }
 

@@ -26,7 +26,8 @@ pub struct E9Row {
     pub speedup: f64,
 }
 
-fn random_dataset(n: usize, dim: usize, seed: u64) -> (Dataset, Vec<Vec<f32>>) {
+/// Clustered dataset + query set shared with the `ann_bench` suite.
+pub(crate) fn random_dataset(n: usize, dim: usize, seed: u64) -> (Dataset, Vec<Vec<f32>>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut d = Dataset::new(dim);
     // Mixture of 32 Gaussian-ish clusters, like real embedding spaces.

@@ -14,6 +14,8 @@ pub mod e6_optimizer;
 pub mod e7_disciplines;
 pub mod e8_usability;
 pub mod e9_ann;
+
+pub mod ann_bench;
 pub mod exec_bench;
 pub mod serve_bench;
 

@@ -33,6 +33,15 @@ pub enum Error {
         /// Entries supplied to the index build.
         entries: usize,
     },
+    /// A query vector's dimensionality does not match the table's vector
+    /// index. Typed (instead of the kernels' debug assertion) so a bad
+    /// query in a release build is an error, not silently scored garbage.
+    DimensionMismatch {
+        /// Dimensionality of the index.
+        expected: usize,
+        /// Length of the offending vector.
+        got: usize,
+    },
     /// A search needs an index that has not been built.
     IndexMissing {
         /// The table searched.
@@ -69,6 +78,10 @@ impl fmt::Display for Error {
             } => write!(
                 f,
                 "index over '{table}' has {entries} entries but the table has {rows} rows"
+            ),
+            Error::DimensionMismatch { expected, got } => write!(
+                f,
+                "vector dimension mismatch: index has dimension {expected}, got {got}"
             ),
             Error::IndexMissing { table, kind } => {
                 write!(f, "no {kind} index on '{table}'")
@@ -108,6 +121,15 @@ impl From<QueryError> for Error {
 impl From<StorageError> for Error {
     fn from(e: StorageError) -> Self {
         Error::Storage(e)
+    }
+}
+
+impl From<backbone_vector::DimensionMismatch> for Error {
+    fn from(e: backbone_vector::DimensionMismatch) -> Self {
+        Error::DimensionMismatch {
+            expected: e.expected,
+            got: e.got,
+        }
     }
 }
 

@@ -5,8 +5,10 @@
 //! systems."* The two functions here make the comparison concrete:
 //!
 //! - [`unified_search`] is `backbone`'s way: one engine evaluates the
-//!   relational predicate once into a row mask, pushes it into the vector
-//!   index, restricts BM25 to it, and fuses — one logical round trip.
+//!   relational predicate once into a row mask, *costs* the filtered vector
+//!   stage like a query optimizer would ([`FilterStrategy`]), pushes the
+//!   mask into the chosen plan, restricts BM25 to it, and fuses — one
+//!   logical round trip.
 //! - [`bolton_search`] is the architecture the quote complains about: three
 //!   independent services (vector store, text search, RDBMS) queried
 //!   separately and glued at the client. The relational service must ship
@@ -15,13 +17,36 @@
 //!
 //! Both compute the same fusion score, so differences in cost and recall are
 //! purely architectural.
+//!
+//! ## Costing the filtered vector stage
+//!
+//! A filtered ANN query has three classic physical plans, and no single one
+//! wins everywhere:
+//!
+//! - **pre-filter**: push the row mask *into* the index so only passing
+//!   rows are scored. Wins at mid selectivities; at permissive filters it
+//!   pays masking overhead for rows that would almost all pass anyway.
+//! - **post-filter**: run the unfiltered (parallel) index search over-fetched
+//!   by `k/selectivity × safety`, drop non-passing hits. Wins when the
+//!   filter passes most rows; collapses when it is selective (the over-fetch
+//!   approaches the whole table).
+//! - **exact-scan**: score exactly the qualifying rows, skip the index
+//!   entirely. Wins when so few rows qualify that scanning them costs less
+//!   than any index traversal — and it is *exact*, so recall can only go up.
+//!
+//! [`unified_search`] picks per query using the same ANALYZE statistics the
+//! relational optimizer uses ([`backbone_query::optimizer::cardinality`]);
+//! the decision, the selectivity estimate, and per-stage timings surface in
+//! [`HybridProfile`] / [`explain_hybrid`] and the `hybrid.*` metrics.
 
 use crate::database::Database;
 use crate::error::{Error, Result};
 
+use backbone_query::optimizer::cardinality::selectivity_on;
 use backbone_query::Expr;
-use backbone_text::bm25::{rank_terms, rank_terms_filtered, Bm25Params};
+use backbone_text::bm25::{rank_terms_counted, rank_terms_filtered_counted, Bm25Params, Bm25Work};
 use backbone_text::tokenize::tokenize;
+use backbone_vector::exact::TopK;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -35,6 +60,54 @@ pub enum VectorIndexKind {
     /// HNSW graph.
     Hnsw,
 }
+
+/// Physical plan for the *vector stage* of a filtered hybrid search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterStrategy {
+    /// No relational filter: plain (parallel) index search.
+    #[default]
+    Unfiltered,
+    /// Mask pushed into the index; only passing rows are scored.
+    PreFilter,
+    /// Unfiltered over-fetch sized by estimated selectivity, filtered after.
+    PostFilter,
+    /// Score exactly the qualifying rows, bypassing the ANN structure.
+    ExactScan,
+}
+
+impl FilterStrategy {
+    /// Stable lowercase name (metrics keys, EXPLAIN output, bench rungs).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FilterStrategy::Unfiltered => "unfiltered",
+            FilterStrategy::PreFilter => "pre-filter",
+            FilterStrategy::PostFilter => "post-filter",
+            FilterStrategy::ExactScan => "exact-scan",
+        }
+    }
+
+    fn counter_key(&self) -> &'static str {
+        match self {
+            FilterStrategy::Unfiltered => "hybrid.strategy.unfiltered",
+            FilterStrategy::PreFilter => "hybrid.strategy.prefilter",
+            FilterStrategy::PostFilter => "hybrid.strategy.postfilter",
+            FilterStrategy::ExactScan => "hybrid.strategy.exactscan",
+        }
+    }
+}
+
+/// Below this many expected qualifying rows, scoring them all directly is
+/// cheaper than any index traversal (a blocked-kernel distance costs tens of
+/// nanoseconds; HNSW/IVF probe overhead alone exceeds 1024 of them).
+const EXACT_SCAN_ROWS: f64 = 1024.0;
+
+/// At or above this estimated selectivity, a single sized over-fetch through
+/// the unfiltered (parallel) path beats per-row mask checks.
+const POST_FILTER_MIN_SEL: f64 = 0.45;
+
+/// Over-fetch safety factor: the selectivity estimate is approximate, so
+/// fetch `k/sel × SAFETY` to make a second round trip rare.
+const OVERFETCH_SAFETY: f64 = 2.0;
 
 /// Relative weight of the two relevance components.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +164,36 @@ pub struct SearchCost {
     pub candidates_fetched: usize,
     /// Logical round trips between client and services.
     pub round_trips: usize,
+    /// Vector-stage plan the engine executed.
+    pub strategy: FilterStrategy,
+}
+
+/// Per-query execution profile: the decision and where the time went — the
+/// hybrid analogue of `EXPLAIN ANALYZE` operator stats.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HybridProfile {
+    /// Vector-stage plan chosen (or forced).
+    pub strategy: FilterStrategy,
+    /// Estimated filter selectivity in `[0, 1]` (1.0 when unfiltered).
+    pub selectivity: f64,
+    /// Table row count the estimate was scaled by.
+    pub rows: usize,
+    /// Rows that actually passed the filter (0 when unfiltered).
+    pub rows_passing: usize,
+    /// Filter evaluation time (ns).
+    pub filter_ns: u64,
+    /// Vector stage time (ns).
+    pub vector_ns: u64,
+    /// Text stage time (ns).
+    pub text_ns: u64,
+    /// Distance-completion time for text-only candidates (ns).
+    pub complete_ns: u64,
+    /// Candidates the vector stage fetched before fusion.
+    pub vector_candidates: usize,
+    /// Over-fetch size used (post-filter only).
+    pub overfetch: usize,
+    /// BM25 work performed by the text stage.
+    pub bm25: Bm25Work,
 }
 
 /// Convert a distance to a similarity in (0, 1].
@@ -150,20 +253,93 @@ fn rank_and_truncate(
     hits
 }
 
-/// The unified engine: filter once, push the mask into both relevance
-/// components, fuse in place.
+/// Pick the vector-stage plan from ANALYZE statistics, without touching the
+/// data. Returns the plan and the selectivity estimate it was based on.
+pub fn choose_strategy(db: &Database, spec: &HybridSpec) -> (FilterStrategy, f64) {
+    let Some(f) = &spec.filter else {
+        return (FilterStrategy::Unfiltered, 1.0);
+    };
+    let sel = selectivity_on(f, &spec.table, db.catalog()).clamp(0.0, 1.0);
+    if spec.vector.is_none() {
+        // No vector stage to plan; the mask is simply pushed into BM25.
+        return (FilterStrategy::PreFilter, sel);
+    }
+    let n = db.row_count(&spec.table).unwrap_or(0) as f64;
+    if sel * n <= EXACT_SCAN_ROWS {
+        (FilterStrategy::ExactScan, sel)
+    } else if sel >= POST_FILTER_MIN_SEL {
+        (FilterStrategy::PostFilter, sel)
+    } else {
+        (FilterStrategy::PreFilter, sel)
+    }
+}
+
+/// The unified engine: filter once, cost the vector stage, push the mask
+/// into the chosen plan, fuse in place.
 ///
 /// Each stage's elapsed time accumulates into the database's metrics
 /// registry (`hybrid.filter_ns`, `hybrid.vector_ns`, `hybrid.text_ns`,
-/// plus a `hybrid.searches` call counter) — the same observability spine
-/// `EXPLAIN ANALYZE` uses for relational operators.
+/// `hybrid.complete_ns`, a `hybrid.searches` call counter, and one
+/// `hybrid.strategy.*` counter per plan chosen) — the same observability
+/// spine `EXPLAIN ANALYZE` uses for relational operators.
 pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>, SearchCost)> {
+    run_unified(db, spec, None).map(|(h, c, _)| (h, c))
+}
+
+/// [`unified_search`] with the vector-stage plan forced instead of costed —
+/// how the E3 bench pits the strategies against each other and checks that
+/// the cost model's pick is never the losing plan.
+pub fn unified_search_forced(
+    db: &Database,
+    spec: &HybridSpec,
+    strategy: FilterStrategy,
+) -> Result<(Vec<HybridHit>, SearchCost)> {
+    run_unified(db, spec, Some(strategy)).map(|(h, c, _)| (h, c))
+}
+
+/// [`unified_search`] returning the per-query [`HybridProfile`] alongside.
+pub fn unified_search_profiled(
+    db: &Database,
+    spec: &HybridSpec,
+) -> Result<(Vec<HybridHit>, SearchCost, HybridProfile)> {
+    run_unified(db, spec, None)
+}
+
+fn run_unified(
+    db: &Database,
+    spec: &HybridSpec,
+    forced: Option<FilterStrategy>,
+) -> Result<(Vec<HybridHit>, SearchCost, HybridProfile)> {
     let metrics = db.metrics();
     metrics.counter("hybrid.searches").incr();
 
+    let (mut strategy, sel) = choose_strategy(db, spec);
+    if let Some(f) = forced {
+        // A filterless query has nothing to pre/post-filter; the guard keeps
+        // forced rungs honest instead of crashing on a missing mask.
+        strategy = if spec.filter.is_some() {
+            f
+        } else {
+            FilterStrategy::Unfiltered
+        };
+    }
+    metrics.counter(strategy.counter_key()).incr();
+
+    let mut profile = HybridProfile {
+        strategy,
+        selectivity: sel,
+        rows: db.row_count(&spec.table).unwrap_or(0),
+        ..Default::default()
+    };
+
     let stage = Instant::now();
     let mask = evaluate_filter(db, spec)?;
+    profile.filter_ns = stage.elapsed().as_nanos() as u64;
     metrics.counter("hybrid.filter_ns").add_elapsed(stage);
+    profile.rows_passing = mask
+        .as_ref()
+        .map(|m| m.iter().filter(|&&b| b).count())
+        .unwrap_or(0);
     let passes = |row: u64| {
         mask.as_ref()
             .map(|m| m.get(row as usize).copied().unwrap_or(false))
@@ -175,12 +351,57 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
     if let Some(qv) = &spec.vector {
         let stage = Instant::now();
         let index = vector_index_of(db, &spec.table)?;
-        // The mask is pushed into the index: no candidates leave the engine.
-        let fetch = (spec.k * 4).max(64);
-        let hits = index.search_filtered(qv, fetch, &passes);
+        // Typed boundary check: past this point the kernels only
+        // debug_assert.
+        index.check_query(qv)?;
+        let parallel = db.exec_options().parallelism;
+        // The fusion layer wants a candidate pool wider than k so the text
+        // side can promote rows the vector side ranked lower.
+        let want = (spec.k * 4).max(64);
+        let n = profile.rows;
+        let hits = match strategy {
+            FilterStrategy::Unfiltered => index.search_with(qv, want, parallel),
+            FilterStrategy::PreFilter => index.search_masked(qv, want, &passes),
+            FilterStrategy::ExactScan => {
+                // Score exactly the qualifying rows; no index traversal.
+                let mut acc = TopK::new(want);
+                if let Some(m) = &mask {
+                    for (row, &pass) in m.iter().enumerate() {
+                        if !pass {
+                            continue;
+                        }
+                        if let Some(d) = index.distance_of(qv, row as u64) {
+                            acc.push(row as u64, d);
+                        }
+                    }
+                }
+                acc.into_hits()
+            }
+            FilterStrategy::PostFilter => {
+                // One over-fetch sized by the selectivity estimate; double
+                // only if the estimate was badly off.
+                let mut fetch = ((want as f64 / sel.max(1e-6)) * OVERFETCH_SAFETY)
+                    .ceil()
+                    .min(n as f64) as usize;
+                fetch = fetch.max(want);
+                profile.overfetch = fetch;
+                loop {
+                    let raw = index.search_with(qv, fetch, parallel);
+                    let exhausted = raw.len() < fetch || fetch >= n;
+                    let kept: Vec<_> = raw.into_iter().filter(|h| passes(h.id)).collect();
+                    if kept.len() >= want || exhausted {
+                        break kept;
+                    }
+                    fetch = (fetch * 2).min(n.max(1));
+                    profile.overfetch = fetch;
+                }
+            }
+        };
+        profile.vector_candidates = hits.len();
         for h in hits {
             merged.entry(h.id).or_insert((None, None)).0 = Some(h.distance);
         }
+        profile.vector_ns = stage.elapsed().as_nanos() as u64;
         metrics.counter("hybrid.vector_ns").add_elapsed(stage);
     }
 
@@ -191,10 +412,22 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
         // Push the mask into relevance scoring and keep a bounded candidate
         // set — the index is co-located, so no over-fetch leaves the engine.
         let fetch = (spec.k * 4).max(64);
-        let scored = rank_terms_filtered(&index, &terms, fetch, Bm25Params::default(), &passes);
+        let (scored, work) = if spec.filter.is_some() {
+            rank_terms_filtered_counted(&index, &terms, fetch, Bm25Params::default(), &passes)
+        } else {
+            rank_terms_counted(&index, &terms, fetch, Bm25Params::default())
+        };
+        profile.bm25 = work;
+        metrics
+            .counter("text.bm25.postings_scored")
+            .add(work.postings_scored);
+        metrics
+            .counter("text.bm25.norm_lookups_saved")
+            .add(work.norm_lookups_saved);
         for s in scored {
             merged.entry(s.doc).or_insert((None, None)).1 = Some(s.score);
         }
+        profile.text_ns = stage.elapsed().as_nanos() as u64;
         metrics.counter("hybrid.text_ns").add_elapsed(stage);
     }
 
@@ -202,6 +435,7 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
     // surfaced only by the keyword side. A remote vector service cannot do
     // this without another round trip per candidate.
     if let Some(qv) = &spec.vector {
+        let stage = Instant::now();
         if let Some(index) = db.vector_index(&spec.table) {
             for (row, (vd, _)) in merged.iter_mut() {
                 if vd.is_none() {
@@ -209,6 +443,8 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
                 }
             }
         }
+        profile.complete_ns = stage.elapsed().as_nanos() as u64;
+        metrics.counter("hybrid.complete_ns").add_elapsed(stage);
     }
 
     // Pure relational query: return the first k masked rows.
@@ -228,8 +464,70 @@ pub fn unified_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit
     let cost = SearchCost {
         candidates_fetched: hits.len(),
         round_trips: 1,
+        strategy,
     };
-    Ok((hits, cost))
+    Ok((hits, cost, profile))
+}
+
+/// Render a hybrid query's plan and execution the way `EXPLAIN ANALYZE`
+/// renders a relational one: the costed decision first, then per-stage
+/// actuals. Runs the query.
+pub fn explain_hybrid(db: &Database, spec: &HybridSpec) -> Result<String> {
+    let (hits, cost, p) = unified_search_profiled(db, spec)?;
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let mut out = String::new();
+    out.push_str(&format!("HybridSearch {} (k={})\n", spec.table, spec.k));
+    out.push_str(&format!(
+        "  strategy: {} (estimated selectivity {:.1}% of {} rows)\n",
+        p.strategy.name(),
+        p.selectivity * 100.0,
+        p.rows
+    ));
+    if spec.filter.is_some() {
+        out.push_str(&format!(
+            "  -> Filter: {:.3} ms, {} rows pass ({:.1}% actual)\n",
+            ms(p.filter_ns),
+            p.rows_passing,
+            if p.rows > 0 {
+                p.rows_passing as f64 * 100.0 / p.rows as f64
+            } else {
+                0.0
+            }
+        ));
+    }
+    if spec.vector.is_some() {
+        let detail = match p.strategy {
+            FilterStrategy::PostFilter => format!(", overfetch {}", p.overfetch),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "  -> Vector [{}{}]: {:.3} ms, {} candidates\n",
+            p.strategy.name(),
+            detail,
+            ms(p.vector_ns),
+            p.vector_candidates
+        ));
+    }
+    if spec.keyword.is_some() {
+        out.push_str(&format!(
+            "  -> Text [bm25]: {:.3} ms, {} postings scored ({} norm lookups saved)\n",
+            ms(p.text_ns),
+            p.bm25.postings_scored,
+            p.bm25.norm_lookups_saved
+        ));
+    }
+    if spec.vector.is_some() {
+        out.push_str(&format!(
+            "  -> Complete distances: {:.3} ms\n",
+            ms(p.complete_ns)
+        ));
+    }
+    out.push_str(&format!(
+        "  => {} hits, {} round trip(s)\n",
+        hits.len(),
+        cost.round_trips
+    ));
+    Ok(out)
 }
 
 /// The bolt-on composition: three services, client-side glue, over-fetch
@@ -248,6 +546,9 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
     let mut cost = SearchCost {
         candidates_fetched: filter_ids.as_ref().map(|v| v.len()).unwrap_or(0),
         round_trips: if filter_ids.is_some() { 1 } else { 0 },
+        // The bolt-on glue can only post-filter: its services are blind to
+        // each other's predicates.
+        strategy: FilterStrategy::PostFilter,
     };
     let in_filter = |row: u64| {
         filter_ids
@@ -263,6 +564,7 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
         // Service 2 (vector store): blind top-`fetch`, no filter awareness.
         if let Some(qv) = &spec.vector {
             let index = vector_index_of(db, &spec.table)?;
+            index.check_query(qv)?;
             let hits = index.search(qv, fetch);
             cost.candidates_fetched += hits.len();
             cost.round_trips += 1;
@@ -275,7 +577,7 @@ pub fn bolton_search(db: &Database, spec: &HybridSpec) -> Result<(Vec<HybridHit>
         if let Some(kw) = &spec.keyword {
             let index = text_index_of(db, &spec.table)?;
             let terms = tokenize(kw);
-            let scored = rank_terms(&index, &terms, fetch, Bm25Params::default());
+            let (scored, _) = rank_terms_counted(&index, &terms, fetch, Bm25Params::default());
             cost.candidates_fetched += scored.len();
             cost.round_trips += 1;
             for s in scored {
@@ -500,5 +802,97 @@ mod tests {
         for stage in ["hybrid.filter_ns", "hybrid.vector_ns", "hybrid.text_ns"] {
             assert!(db.metrics().value(stage) > 0, "{stage} not recorded");
         }
+    }
+
+    #[test]
+    fn wrong_dimension_query_is_typed_error() {
+        let db = db();
+        let mut s = spec();
+        s.vector = Some(vec![1.0, 0.0, 0.5]); // index is 2-dimensional
+        match unified_search(&db, &s) {
+            Err(Error::DimensionMismatch { expected, got }) => {
+                assert_eq!((expected, got), (2, 3));
+            }
+            other => panic!("expected DimensionMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            bolton_search(&db, &s),
+            Err(Error::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn every_forced_strategy_respects_the_filter() {
+        let db = db();
+        let s = spec();
+        let (auto, _) = unified_search(&db, &s).unwrap();
+        for strat in [
+            FilterStrategy::PreFilter,
+            FilterStrategy::PostFilter,
+            FilterStrategy::ExactScan,
+        ] {
+            let (hits, cost) = unified_search_forced(&db, &s, strat).unwrap();
+            assert_eq!(cost.strategy, strat);
+            assert_eq!(hits.len(), 5, "{strat:?}");
+            assert!(hits.iter().all(|h| h.row < 20), "{strat:?}: {hits:?}");
+            // The exact index makes every strategy exact on this small
+            // table: all plans must agree with the costed pick.
+            let rows: Vec<u64> = hits.iter().map(|h| h.row).collect();
+            let auto_rows: Vec<u64> = auto.iter().map(|h| h.row).collect();
+            assert_eq!(rows, auto_rows, "{strat:?} disagrees with auto");
+        }
+    }
+
+    #[test]
+    fn strategy_decision_tracks_selectivity() {
+        let db = db();
+        // 40 rows total: anything qualifies as "tiny" so the cost model
+        // must choose the exact scan.
+        let (strat, sel) = choose_strategy(&db, &spec());
+        assert_eq!(strat, FilterStrategy::ExactScan);
+        assert!(sel > 0.0 && sel <= 1.0);
+        // No filter: nothing to plan.
+        let mut s = spec();
+        s.filter = None;
+        assert_eq!(choose_strategy(&db, &s).0, FilterStrategy::Unfiltered);
+        // Strategy counters tick.
+        let before = db.metrics().value("hybrid.strategy.exactscan");
+        unified_search(&db, &spec()).unwrap();
+        assert_eq!(db.metrics().value("hybrid.strategy.exactscan"), before + 1);
+    }
+
+    #[test]
+    fn bm25_norm_cache_counters_tick() {
+        let db = db();
+        let saved_before = db.metrics().value("text.bm25.norm_lookups_saved");
+        let scored_before = db.metrics().value("text.bm25.postings_scored");
+        unified_search(&db, &spec()).unwrap();
+        let saved = db.metrics().value("text.bm25.norm_lookups_saved") - saved_before;
+        let scored = db.metrics().value("text.bm25.postings_scored") - scored_before;
+        assert!(saved > 0, "text stage must record cached-norm work");
+        assert_eq!(saved, scored, "every scored posting uses the cached norm");
+    }
+
+    #[test]
+    fn explain_names_strategy_and_stages() {
+        let db = db();
+        let out = explain_hybrid(&db, &spec()).unwrap();
+        assert!(out.contains("strategy: exact-scan"), "{out}");
+        assert!(out.contains("-> Filter"), "{out}");
+        assert!(out.contains("-> Vector [exact-scan]"), "{out}");
+        assert!(out.contains("-> Text [bm25]"), "{out}");
+        assert!(out.contains("postings scored"), "{out}");
+        assert!(out.contains("round trip"), "{out}");
+    }
+
+    #[test]
+    fn profile_reports_decision_inputs() {
+        let db = db();
+        let (_, _, p) = unified_search_profiled(&db, &spec()).unwrap();
+        assert_eq!(p.strategy, FilterStrategy::ExactScan);
+        assert_eq!(p.rows, 40);
+        assert_eq!(p.rows_passing, 20);
+        assert!(p.vector_candidates > 0);
+        assert!(p.bm25.postings_scored > 0);
     }
 }

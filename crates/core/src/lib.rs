@@ -82,8 +82,9 @@ pub use database::Database;
 pub use durability::{DbOp, DurabilityOptions, RecoveryReport};
 pub use error::{Error, Result};
 pub use hybrid::{
-    bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
-    VectorIndexKind,
+    bolton_search, choose_strategy, explain_hybrid, unified_search, unified_search_forced,
+    unified_search_profiled, FilterStrategy, FusionWeights, HybridHit, HybridProfile, HybridSpec,
+    SearchCost, VectorIndexKind,
 };
 pub use index::VectorIndexSpec;
 pub use session::{SearchRequest, SearchResponse, SearchStrategy, Session};

@@ -40,6 +40,7 @@ pub use executor::{execute, execute_plan, explain_analyze, ExecOptions, Parallel
 pub use expr::{avg, col, count, count_star, lit, max, min, sum, AggExpr, BinOp, Expr, UnOp};
 pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
+pub use physical::pool;
 pub use profile::{OpStats, ProfileNode};
 pub use sql::{parse_select, parse_statement, Statement};
 

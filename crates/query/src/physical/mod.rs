@@ -11,7 +11,7 @@ mod hash_join;
 mod limit;
 mod nl_join;
 mod parallel;
-mod pool;
+pub mod pool;
 mod project;
 mod scan;
 mod sort;

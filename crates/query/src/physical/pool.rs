@@ -96,7 +96,12 @@ fn spawn_worker(p: &'static Pool, first: Job) {
 /// Run `f(0), .., f(workers-1)` concurrently on pooled threads and collect
 /// the results in worker order. Blocks until every worker returns; a worker
 /// panic resumes on the calling thread.
-pub(crate) fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
+///
+/// Public because the whole engine shares one pool: the vector indexes
+/// (`backbone-vector`) partition ANN probes and query batches across the
+/// same warm worker threads the relational operators use, instead of
+/// spawning their own.
+pub fn run_workers<R, F>(workers: usize, f: F) -> Vec<R>
 where
     F: Fn(usize) -> R + Sync,
     R: Send,

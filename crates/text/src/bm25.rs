@@ -20,6 +20,18 @@ impl Default for Bm25Params {
     }
 }
 
+/// Work accounting for one ranking call, surfaced so the engine's metrics
+/// registry can record it (this crate stays dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Bm25Work {
+    /// Postings whose contribution was computed.
+    pub postings_scored: u64,
+    /// Per-posting length-map lookups avoided by the `doc_len` cached in
+    /// each posting — equal to `postings_scored` since the cache always
+    /// hits; kept separate so the saving is named where it is counted.
+    pub norm_lookups_saved: u64,
+}
+
 /// Robertson-Sparck-Jones IDF with the +1 floor that keeps scores positive.
 fn idf(n_docs: usize, df: usize) -> f64 {
     (((n_docs as f64 - df as f64 + 0.5) / (df as f64 + 0.5)) + 1.0).ln()
@@ -39,33 +51,17 @@ pub fn rank_terms(
     k: usize,
     params: Bm25Params,
 ) -> Vec<ScoredDoc> {
-    if k == 0 || terms.is_empty() {
-        return Vec::new();
-    }
-    let n = index.num_docs();
-    let avgdl = index.avg_doc_len().max(1e-9);
-    let mut scores: HashMap<u64, f64> = HashMap::new();
-    for term in terms {
-        let postings = index.postings(term);
-        if postings.is_empty() {
-            continue;
-        }
-        let idf = idf(n, postings.len());
-        for p in postings {
-            let tf = p.positions.len() as f64;
-            let dl = index.doc_len(p.doc).unwrap_or(0) as f64;
-            let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
-            let contribution = idf * tf * (params.k1 + 1.0) / denom;
-            *scores.entry(p.doc).or_insert(0.0) += contribution;
-        }
-    }
-    let mut ranked: Vec<ScoredDoc> = scores
-        .into_iter()
-        .map(|(doc, score)| ScoredDoc { doc, score })
-        .collect();
-    ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
-    ranked.truncate(k);
-    ranked
+    rank_terms_counted(index, terms, k, params).0
+}
+
+/// [`rank_terms`] returning the work performed alongside the ranking.
+pub fn rank_terms_counted(
+    index: &InvertedIndex,
+    terms: &[String],
+    k: usize,
+    params: Bm25Params,
+) -> (Vec<ScoredDoc>, Bm25Work) {
+    rank_counted(index, terms, k, params, None)
 }
 
 /// Like [`rank_terms`] but restricted to documents passing `keep` — the
@@ -78,11 +74,43 @@ pub fn rank_terms_filtered(
     params: Bm25Params,
     keep: &dyn Fn(u64) -> bool,
 ) -> Vec<ScoredDoc> {
+    rank_terms_filtered_counted(index, terms, k, params, keep).0
+}
+
+/// [`rank_terms_filtered`] returning the work performed alongside the
+/// ranking.
+pub fn rank_terms_filtered_counted(
+    index: &InvertedIndex,
+    terms: &[String],
+    k: usize,
+    params: Bm25Params,
+    keep: &dyn Fn(u64) -> bool,
+) -> (Vec<ScoredDoc>, Bm25Work) {
+    rank_counted(index, terms, k, params, Some(keep))
+}
+
+/// Shared scoring core. The per-posting cost is one multiply-add on the
+/// posting's cached `doc_len` — the length-normalization factors that do
+/// not depend on the document (`k1·(1-b)` and `k1·b/avgdl`) are hoisted out
+/// of the loop, and the per-posting `doc_len` map lookup the cache replaces
+/// is counted in [`Bm25Work::norm_lookups_saved`].
+fn rank_counted(
+    index: &InvertedIndex,
+    terms: &[String],
+    k: usize,
+    params: Bm25Params,
+    keep: Option<&dyn Fn(u64) -> bool>,
+) -> (Vec<ScoredDoc>, Bm25Work) {
+    let mut work = Bm25Work::default();
     if k == 0 || terms.is_empty() {
-        return Vec::new();
+        return (Vec::new(), work);
     }
     let n = index.num_docs();
     let avgdl = index.avg_doc_len().max(1e-9);
+    // denom = tf + k1·(1-b) + (k1·b/avgdl)·dl
+    let c0 = params.k1 * (1.0 - params.b);
+    let c1 = params.k1 * params.b / avgdl;
+    let tf_scale = params.k1 + 1.0;
     let mut scores: HashMap<u64, f64> = HashMap::new();
     for term in terms {
         let postings = index.postings(term);
@@ -91,13 +119,16 @@ pub fn rank_terms_filtered(
         }
         let idf = idf(n, postings.len());
         for p in postings {
-            if !keep(p.doc) {
-                continue;
+            if let Some(keep) = keep {
+                if !keep(p.doc) {
+                    continue;
+                }
             }
             let tf = p.positions.len() as f64;
-            let dl = index.doc_len(p.doc).unwrap_or(0) as f64;
-            let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
-            *scores.entry(p.doc).or_insert(0.0) += idf * tf * (params.k1 + 1.0) / denom;
+            let denom = tf + c0 + c1 * p.doc_len as f64;
+            work.postings_scored += 1;
+            work.norm_lookups_saved += 1;
+            *scores.entry(p.doc).or_insert(0.0) += idf * tf * tf_scale / denom;
         }
     }
     let mut ranked: Vec<ScoredDoc> = scores
@@ -106,7 +137,7 @@ pub fn rank_terms_filtered(
         .collect();
     ranked.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
     ranked.truncate(k);
-    ranked
+    (ranked, work)
 }
 
 /// BM25 score of a single document for a query (0.0 when it matches no term).
@@ -122,7 +153,7 @@ pub fn score_doc(index: &InvertedIndex, query: &str, doc: u64, params: Bm25Param
         };
         let idf = idf(n, postings.len());
         let tf = p.positions.len() as f64;
-        let dl = index.doc_len(doc).unwrap_or(0) as f64;
+        let dl = p.doc_len as f64;
         let denom = tf + params.k1 * (1.0 - params.b + params.b * dl / avgdl);
         score += idf * tf * (params.k1 + 1.0) / denom;
     }
@@ -197,5 +228,33 @@ mod tests {
         ix.add_document(2, &format!("apple {}", "filler ".repeat(100)));
         let hits = search(&ix, "apple", 2, Bm25Params::default());
         assert_eq!(hits[0].doc, 1, "short doc with same tf should rank first");
+    }
+
+    #[test]
+    fn cached_doc_len_matches_index_map() {
+        let ix = index();
+        for term in ["rust", "database", "cooking"] {
+            for p in ix.postings(term) {
+                assert_eq!(Some(p.doc_len), ix.doc_len(p.doc));
+            }
+        }
+    }
+
+    #[test]
+    fn counted_variants_report_work_and_agree() {
+        let ix = index();
+        let terms: Vec<String> = vec!["rust".into(), "database".into()];
+        let plain = rank_terms(&ix, &terms, 10, Bm25Params::default());
+        let (counted, work) = rank_terms_counted(&ix, &terms, 10, Bm25Params::default());
+        assert_eq!(plain, counted);
+        // "rust" has 2 postings, "database" 2: all scored, all via cache.
+        assert_eq!(work.postings_scored, 4);
+        assert_eq!(work.norm_lookups_saved, 4);
+
+        let keep = |doc: u64| doc != 2;
+        let (filtered, fwork) =
+            rank_terms_filtered_counted(&ix, &terms, 10, Bm25Params::default(), &keep);
+        assert!(filtered.iter().all(|h| h.doc != 2));
+        assert_eq!(fwork.postings_scored, 3, "skipped postings are not scored");
     }
 }

@@ -10,6 +10,10 @@ pub struct Posting {
     pub doc: u64,
     /// Zero-based token positions of the term within the document.
     pub positions: Vec<u32>,
+    /// Token count of `doc`, denormalized into every posting at index build
+    /// so BM25's length normalization reads it inline instead of chasing a
+    /// per-posting `doc_len` map lookup at query time.
+    pub doc_len: u32,
 }
 
 /// A positional inverted index over documents of text.
@@ -38,7 +42,8 @@ impl InvertedIndex {
             "document {doc} already indexed"
         );
         let tokens = tokenize_with(text, false);
-        self.doc_len.insert(doc, tokens.len() as u32);
+        let doc_len = tokens.len() as u32;
+        self.doc_len.insert(doc, doc_len);
         self.total_tokens += tokens.len() as u64;
         let mut per_term: HashMap<&str, Vec<u32>> = HashMap::new();
         for (pos, tok) in tokens.iter().enumerate() {
@@ -48,7 +53,11 @@ impl InvertedIndex {
             self.postings
                 .entry(term.to_string())
                 .or_default()
-                .push(Posting { doc, positions });
+                .push(Posting {
+                    doc,
+                    positions,
+                    doc_len,
+                });
         }
     }
 

@@ -3,14 +3,23 @@
 //! A simplified but faithful implementation: geometric level assignment,
 //! greedy descent through upper layers, beam search (`ef`) at the base
 //! layer, and neighbour-list pruning to `M` (2·M at layer 0).
+//!
+//! Per-query traversal is inherently sequential (each hop depends on the
+//! last), so single-query speed comes from kernel work: epoch-stamped
+//! visited marks reused across queries (no per-query hash set), neighbour
+//! distances evaluated in batches through the blocked kernels, and cosine
+//! served from norms cached at insert. Multi-query parallelism rides the
+//! default [`VectorIndex::search_many`], which partitions *queries* across
+//! the shared worker pool.
 
 use crate::dataset::Dataset;
-use crate::distance::Metric;
+use crate::distance::{norm, Metric};
 use crate::exact::top_k;
-use crate::{Hit, VectorIndex};
+use crate::{DimensionMismatch, Hit, VectorIndex};
 use rand::prelude::*;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
 
 /// Build/search parameters for [`HnswIndex`].
 #[derive(Debug, Clone)]
@@ -66,6 +75,48 @@ impl PartialOrd for Farthest {
     }
 }
 
+/// Reusable per-traversal scratch: an epoch-stamped visited array (clearing
+/// is an epoch bump, not a wipe) plus a neighbour batch buffer. Borrowed
+/// from a pool per search so concurrent queries each get their own, and the
+/// allocation survives across queries — the per-query `HashSet` this
+/// replaces was the dominant non-kernel cost of a traversal.
+#[derive(Default)]
+struct Scratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Unvisited neighbours of the node being expanded, gathered before any
+    /// distance is computed so the kernel loop stays tight.
+    batch: Vec<usize>,
+    /// Distances for `batch`, same order.
+    dists: Vec<f32>,
+}
+
+impl Scratch {
+    /// Start a fresh traversal over `n` slots.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // u32 wrapped: old stamps could alias the new epoch. Once per
+            // 4 billion traversals, pay the wipe.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `slot` visited; returns false if it already was this traversal.
+    #[inline]
+    fn visit(&mut self, slot: usize) -> bool {
+        if self.stamp[slot] == self.epoch {
+            return false;
+        }
+        self.stamp[slot] = self.epoch;
+        true
+    }
+}
+
 /// An HNSW approximate nearest-neighbour index.
 pub struct HnswIndex {
     dim: usize,
@@ -78,6 +129,8 @@ pub struct HnswIndex {
     params: HnswParams,
     level_mult: f64,
     rng: StdRng,
+    /// Pool of traversal scratches; one is checked out per in-flight query.
+    scratch: Mutex<Vec<Scratch>>,
 }
 
 impl HnswIndex {
@@ -94,6 +147,7 @@ impl HnswIndex {
             level_mult: 1.0 / (params.m as f64).ln(),
             rng: StdRng::seed_from_u64(params.seed),
             params,
+            scratch: Mutex::new(Vec::new()),
         }
     }
 
@@ -111,23 +165,46 @@ impl HnswIndex {
         self.params.ef_search = ef.max(1);
     }
 
-    fn dist_to(&self, query: &[f32], slot: usize) -> f32 {
-        self.metric.distance(query, self.data.vector(slot))
+    fn take_scratch(&self) -> Scratch {
+        self.scratch
+            .lock()
+            .expect("scratch pool lock")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn return_scratch(&self, s: Scratch) {
+        self.scratch.lock().expect("scratch pool lock").push(s);
+    }
+
+    #[inline]
+    fn dist_to(&self, query: &[f32], query_norm: f32, slot: usize) -> f32 {
+        self.metric.distance_prenorm(
+            query,
+            self.data.vector(slot),
+            query_norm,
+            self.data.norm_of_slot(slot),
+        )
     }
 
     /// Beam search within one layer, returning up to `ef` closest slots.
     fn search_layer(
         &self,
         query: &[f32],
+        query_norm: f32,
         entries: &[usize],
         ef: usize,
         layer: usize,
+        scratch: &mut Scratch,
     ) -> Vec<(f32, usize)> {
-        let mut visited: HashSet<usize> = entries.iter().copied().collect();
+        scratch.begin(self.data.len());
         let mut candidates: BinaryHeap<Closest> = BinaryHeap::new();
         let mut results: BinaryHeap<Farthest> = BinaryHeap::new();
         for &e in entries {
-            let d = self.dist_to(query, e);
+            if !scratch.visit(e) {
+                continue;
+            }
+            let d = self.dist_to(query, query_norm, e);
             candidates.push(Closest(d, e));
             results.push(Farthest(d, e));
         }
@@ -139,11 +216,23 @@ impl HnswIndex {
             if d > worst && results.len() >= ef {
                 break;
             }
+            // Gather this node's unvisited neighbours, then score them as
+            // one batch: the distance loop runs back-to-back kernel calls
+            // with no heap bookkeeping interleaved.
+            scratch.batch.clear();
             for &nb in &self.links[node][layer] {
-                if !visited.insert(nb) {
-                    continue;
+                if scratch.visit(nb) {
+                    scratch.batch.push(nb);
                 }
-                let dn = self.dist_to(query, nb);
+            }
+            scratch.dists.clear();
+            scratch.dists.extend(
+                scratch
+                    .batch
+                    .iter()
+                    .map(|&nb| self.dist_to(query, query_norm, nb)),
+            );
+            for (&nb, &dn) in scratch.batch.iter().zip(&scratch.dists) {
                 let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
                 if results.len() < ef || dn < worst {
                     candidates.push(Closest(dn, nb));
@@ -201,30 +290,45 @@ impl HnswIndex {
         out
     }
 
-    /// Insert a vector.
+    /// Insert a vector. Panics on dimension mismatch; the typed alternative
+    /// is [`HnswIndex::try_insert`].
     pub fn insert(&mut self, id: u64, vector: &[f32]) {
-        assert_eq!(vector.len(), self.dim, "vector dimension mismatch");
+        self.try_insert(id, vector)
+            .expect("vector dimension mismatch");
+    }
+
+    /// [`HnswIndex::insert`] with a typed dimension error.
+    pub fn try_insert(&mut self, id: u64, vector: &[f32]) -> Result<(), DimensionMismatch> {
         let slot = self.data.len();
-        self.data.push(id, vector);
+        self.data.try_push(id, vector)?;
         let level = (-self.rng.gen::<f64>().ln() * self.level_mult).floor() as usize;
         self.links.push(vec![Vec::new(); level + 1]);
 
         let Some(mut ep) = self.entry else {
             self.entry = Some(slot);
             self.max_layer = level;
-            return;
+            return Ok(());
         };
 
         // Greedy descent through layers above the insertion level.
         let query = self.data.vector(slot).to_vec();
+        let qn = self.data.norm_of_slot(slot);
+        let mut scratch = self.take_scratch();
         for layer in ((level + 1)..=self.max_layer).rev() {
-            ep = self.search_layer(&query, &[ep], 1, layer)[0].1;
+            ep = self.search_layer(&query, qn, &[ep], 1, layer, &mut scratch)[0].1;
         }
 
         // Connect at each layer from min(level, max_layer) down to 0.
         let mut entries = vec![ep];
         for layer in (0..=level.min(self.max_layer)).rev() {
-            let found = self.search_layer(&query, &entries, self.params.ef_construction, layer);
+            let found = self.search_layer(
+                &query,
+                qn,
+                &entries,
+                self.params.ef_construction,
+                layer,
+                &mut scratch,
+            );
             let m = self.max_links(layer);
             let neighbours = self.select_heuristic(&found, m);
             for &nb in &neighbours {
@@ -234,9 +338,10 @@ impl HnswIndex {
                 // heuristic.
                 if self.links[nb][layer].len() > self.max_links(layer) {
                     let centre = self.data.vector(nb).to_vec();
+                    let centre_norm = self.data.norm_of_slot(nb);
                     let mut scored: Vec<(f32, usize)> = self.links[nb][layer]
                         .iter()
-                        .map(|&s| (self.dist_to(&centre, s), s))
+                        .map(|&s| (self.dist_to(&centre, centre_norm, s), s))
                         .collect();
                     scored.sort_by(|a, b| a.0.total_cmp(&b.0));
                     self.links[nb][layer] = self.select_heuristic(&scored, self.max_links(layer));
@@ -252,6 +357,8 @@ impl HnswIndex {
             self.max_layer = level;
             self.entry = Some(slot);
         }
+        self.return_scratch(scratch);
+        Ok(())
     }
 }
 
@@ -281,11 +388,14 @@ impl VectorIndex for HnswIndex {
         if k == 0 {
             return Vec::new();
         }
+        let qn = norm(query);
+        let mut scratch = self.take_scratch();
         for layer in (1..=self.max_layer).rev() {
-            ep = self.search_layer(query, &[ep], 1, layer)[0].1;
+            ep = self.search_layer(query, qn, &[ep], 1, layer, &mut scratch)[0].1;
         }
         let ef = self.params.ef_search.max(k);
-        let found = self.search_layer(query, &[ep], ef, 0);
+        let found = self.search_layer(query, qn, &[ep], ef, 0, &mut scratch);
+        self.return_scratch(scratch);
         top_k(
             found.into_iter().map(|(d, s)| Hit {
                 id: self.data.id(s),
@@ -300,6 +410,7 @@ impl VectorIndex for HnswIndex {
 mod tests {
     use super::*;
     use crate::exact::ExactIndex;
+    use std::collections::HashSet;
 
     fn random_dataset(n: usize, dim: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -399,5 +510,48 @@ mod tests {
         ix.insert(3, &[0.7, 0.7]);
         let hits = ix.search(&[1.0, 0.1], 1);
         assert_eq!(hits[0].id, 1);
+    }
+
+    #[test]
+    fn try_insert_rejects_wrong_dimension() {
+        let mut ix = HnswIndex::new(2, Metric::L2, HnswParams::default());
+        ix.insert(1, &[1.0, 0.0]);
+        let err = ix.try_insert(2, &[1.0, 0.0, 0.0]).unwrap_err();
+        assert_eq!((err.expected, err.got), (2, 3));
+        assert_eq!(ix.len(), 1, "failed insert must not grow the index");
+        // Graph state untouched: search still works.
+        assert_eq!(ix.search(&[1.0, 0.0], 1)[0].id, 1);
+    }
+
+    #[test]
+    fn repeated_searches_reuse_scratch() {
+        let d = random_dataset(500, 8, 9);
+        let ix = HnswIndex::build(d, Metric::L2, HnswParams::default());
+        let q = vec![0.5f32; 8];
+        let first = ix.search(&q, 5);
+        for _ in 0..50 {
+            assert_eq!(ix.search(&q, 5), first, "search must be deterministic");
+        }
+        // Only one scratch should exist after serial reuse.
+        assert_eq!(ix.scratch.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn search_many_matches_serial_searches() {
+        use crate::Parallelism;
+        let d = random_dataset(800, 8, 11);
+        let ix = HnswIndex::build(d, Metric::L2, HnswParams::default());
+        let mut rng = StdRng::seed_from_u64(12);
+        let queries: Vec<Vec<f32>> = (0..16)
+            .map(|_| (0..8).map(|_| rng.gen::<f32>()).collect())
+            .collect();
+        let serial: Vec<Vec<Hit>> = queries.iter().map(|q| ix.search(q, 5)).collect();
+        for par in [
+            Parallelism::Serial,
+            Parallelism::Fixed(4),
+            Parallelism::Auto,
+        ] {
+            assert_eq!(ix.search_many(&queries, 5, par), serial);
+        }
     }
 }

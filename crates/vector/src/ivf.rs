@@ -1,14 +1,19 @@
 //! IVF-Flat: inverted file index over k-means partitions.
 
 use crate::dataset::Dataset;
-use crate::distance::Metric;
-use crate::exact::top_k;
-use crate::{Hit, VectorIndex};
+use crate::distance::{norm, Metric};
+use crate::exact::TopK;
+use crate::{DimensionMismatch, Hit, Parallelism, VectorIndex};
+use backbone_query::pool::run_workers;
 use rand::prelude::*;
 
 /// IVF-Flat index: vectors are partitioned by k-means into `nlist` cells; a
 /// query probes only the `nprobe` nearest cells. Trades recall for speed —
 /// [`crate::recall`] quantifies the trade.
+///
+/// Probed cells are independent, so [`VectorIndex::search_with`] splits them
+/// across the shared worker pool with a top-k heap per worker, merged at
+/// drain — the identical shape to the relational top-k operator.
 pub struct IvfIndex {
     dim: usize,
     metric: Metric,
@@ -127,6 +132,37 @@ impl IvfIndex {
         self.centroids.len()
     }
 
+    /// Insert one vector without retraining: it joins the cell of its
+    /// nearest centroid. Centroids are *not* moved — after heavy churn the
+    /// partition drifts from the data and recall sags until a rebuild, which
+    /// is exactly the trade the incremental-insert recall test pins down.
+    /// Panics on dimension mismatch; the typed alternative is
+    /// [`IvfIndex::try_insert`].
+    pub fn insert(&mut self, id: u64, vector: &[f32]) {
+        self.try_insert(id, vector)
+            .expect("vector dimension mismatch");
+    }
+
+    /// [`IvfIndex::insert`] with a typed dimension error.
+    pub fn try_insert(&mut self, id: u64, vector: &[f32]) -> Result<(), DimensionMismatch> {
+        if vector.len() != self.dim {
+            return Err(DimensionMismatch {
+                expected: self.dim,
+                got: vector.len(),
+            });
+        }
+        // First vector into an empty (untrained) index seeds a single cell.
+        if self.centroids.is_empty() {
+            self.centroids.push(vector.to_vec());
+            self.cells.push(Vec::new());
+        }
+        let cell = nearest_centroid(&self.centroids, vector);
+        let slot = self.data.len();
+        self.data.try_push(id, vector)?;
+        self.cells[cell].push(slot);
+        Ok(())
+    }
+
     fn probe_order(&self, query: &[f32]) -> Vec<usize> {
         let mut order: Vec<(f32, usize)> = self
             .centroids
@@ -136,6 +172,19 @@ impl IvfIndex {
             .collect();
         order.sort_by(|a, b| a.0.total_cmp(&b.0));
         order.into_iter().map(|(_, i)| i).collect()
+    }
+
+    /// Score every slot of `cell` into `acc` using cached row norms.
+    fn scan_cell(&self, cell: usize, query: &[f32], query_norm: f32, acc: &mut TopK) {
+        for &slot in &self.cells[cell] {
+            let d = self.metric.distance_prenorm(
+                query,
+                self.data.vector(slot),
+                query_norm,
+                self.data.norm_of_slot(slot),
+            );
+            acc.push(self.data.id(slot), d);
+        }
     }
 }
 
@@ -168,19 +217,67 @@ impl VectorIndex for IvfIndex {
     }
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Hit> {
+        self.search_with(query, k, Parallelism::Serial)
+    }
+
+    fn search_with(&self, query: &[f32], k: usize, parallel: Parallelism) -> Vec<Hit> {
         if self.centroids.is_empty() {
             return Vec::new();
         }
-        let probes = self.probe_order(query);
-        let candidates = probes
-            .iter()
+        let probes: Vec<usize> = self
+            .probe_order(query)
+            .into_iter()
             .take(self.nprobe)
-            .flat_map(|&cell| self.cells[cell].iter())
-            .map(|&slot| Hit {
-                id: self.data.id(slot),
-                distance: self.metric.distance(query, self.data.vector(slot)),
-            });
-        top_k(candidates, k)
+            .collect();
+        let qn = norm(query);
+        // One worker per probed cell is the natural grain; fewer probes than
+        // workers just idles the surplus.
+        let workers = parallel.worker_threads().min(probes.len()).max(1);
+        if workers <= 1 {
+            let mut acc = TopK::new(k);
+            for &cell in &probes {
+                self.scan_cell(cell, query, qn, &mut acc);
+            }
+            return acc.into_hits();
+        }
+        // Strided cell assignment balances uneven cell sizes better than
+        // contiguous chunks (nearest cells tend to be the largest).
+        let heaps = run_workers(workers, |w| {
+            let mut acc = TopK::new(k);
+            for &cell in probes.iter().skip(w).step_by(workers) {
+                self.scan_cell(cell, query, qn, &mut acc);
+            }
+            acc
+        });
+        let mut merged = TopK::new(k);
+        for h in heaps {
+            merged.merge(h);
+        }
+        merged.into_hits()
+    }
+
+    fn search_masked(&self, query: &[f32], k: usize, filter: &dyn Fn(u64) -> bool) -> Vec<Hit> {
+        if self.centroids.is_empty() {
+            return Vec::new();
+        }
+        let qn = norm(query);
+        let mut acc = TopK::new(k);
+        for cell in self.probe_order(query).into_iter().take(self.nprobe) {
+            for &slot in &self.cells[cell] {
+                let id = self.data.id(slot);
+                if !filter(id) {
+                    continue;
+                }
+                let d = self.metric.distance_prenorm(
+                    query,
+                    self.data.vector(slot),
+                    qn,
+                    self.data.norm_of_slot(slot),
+                );
+                acc.push(id, d);
+            }
+        }
+        acc.into_hits()
     }
 }
 
@@ -293,5 +390,81 @@ mod tests {
         let r16 = recall(&ix);
         assert!(r16 >= r1);
         assert_eq!(r16, 10, "probing all cells must reach full recall");
+    }
+
+    #[test]
+    fn parallel_probes_match_serial() {
+        let d = clustered_dataset(100);
+        let mut ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 16,
+                nprobe: 8,
+                ..Default::default()
+            },
+        );
+        ix.set_nprobe(8);
+        for q in [[55.0f32, 45.0], [1.0, 1.0], [99.0, 99.0]] {
+            let serial = ix.search(&q, 10);
+            for workers in [2usize, 4, 8] {
+                let par = ix.search_with(&q, 10, Parallelism::Fixed(workers));
+                assert_eq!(serial, par, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_insert_lands_in_nearest_cell() {
+        let d = clustered_dataset(50);
+        let mut ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 4,
+                nprobe: 1,
+                ..Default::default()
+            },
+        );
+        // New vector inside cluster 1's region must be findable with a
+        // single probe (its cell is the one the query probes).
+        ix.insert(9_000, &[100.4, 0.4]);
+        let hits = ix.search(&[100.4, 0.4], 1);
+        assert_eq!(hits[0].id, 9_000);
+        assert_eq!(ix.len(), 201);
+    }
+
+    #[test]
+    fn insert_into_empty_index_seeds_a_cell() {
+        let mut ix = IvfIndex::build(Dataset::new(2), Metric::L2, IvfParams::default());
+        ix.insert(1, &[5.0, 5.0]);
+        ix.insert(2, &[6.0, 6.0]);
+        assert_eq!(ix.nlist(), 1);
+        assert_eq!(ix.search(&[5.1, 5.1], 1)[0].id, 1);
+    }
+
+    #[test]
+    fn try_insert_rejects_wrong_dimension() {
+        let mut ix = IvfIndex::build(clustered_dataset(5), Metric::L2, IvfParams::default());
+        let err = ix.try_insert(999, &[1.0, 2.0, 3.0]).unwrap_err();
+        assert_eq!((err.expected, err.got), (2, 3));
+        assert_eq!(ix.len(), 20, "failed insert must not grow the index");
+    }
+
+    #[test]
+    fn masked_search_respects_filter() {
+        let d = clustered_dataset(50);
+        let ix = IvfIndex::build(
+            d,
+            Metric::L2,
+            IvfParams {
+                nlist: 4,
+                nprobe: 4,
+                ..Default::default()
+            },
+        );
+        let hits = ix.search_masked(&[0.5, 0.5], 5, &|id| id >= 10);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|h| h.id >= 10));
     }
 }

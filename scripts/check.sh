@@ -81,4 +81,37 @@ if echo "$out" | grep -q "PERF_FAIL"; then
   exit 1
 fi
 
+echo "== ANN kernel/parallel equivalence property suite =="
+cargo test -q -p backbone-bench --test ann_equivalence
+
+echo "== vector & hybrid smoke (quick) =="
+out="$(cargo run -q --release -p backbone-bench --bin repro -- e9 --quick)"
+echo "$out"
+echo "$out" | grep -q "hnsw(ef=200)" || { echo "repro e9: missing hnsw sweep row"; exit 1; }
+out="$(cargo run -q --release -p backbone-bench --bin repro -- e3 --quick)"
+echo "$out"
+echo "$out" | grep -q "EXPLAIN hybrid" || { echo "repro e3: missing EXPLAIN readout"; exit 1; }
+echo "$out" | grep -q "strategy:" || { echo "repro e3: missing strategy decision"; exit 1; }
+out="$(cargo run -q --release -p backbone-bench --bin repro -- ann --quick)"
+echo "$out"
+# Kernel gate: the blocked distance loops must hold a 2x win over the
+# scalar reference (the tentpole claim).
+echo "$out" | grep -q "PERF_OK blocked kernel" || { echo "repro ann: blocked kernel floor not met"; exit 1; }
+# Recall gates: approximate indexes must stay above their pinned floors.
+echo "$out" | grep -q "PERF_OK ivf recall" || { echo "repro ann: ivf recall below floor"; exit 1; }
+echo "$out" | grep -q "PERF_OK hnsw recall" || { echo "repro ann: hnsw recall below floor"; exit 1; }
+# Strategy gates: the cost model's pick must never be the losing plan, and
+# its answers must match the exhaustive pre-filtered truth.
+echo "$out" | grep -q "PERF_OK hybrid selective pick" || { echo "repro ann: selective strategy pick lost"; exit 1; }
+echo "$out" | grep -q "PERF_OK hybrid permissive pick" || { echo "repro ann: permissive strategy pick lost"; exit 1; }
+echo "$out" | grep -q "PERF_OK hybrid selective overlap" || { echo "repro ann: selective overlap below floor"; exit 1; }
+echo "$out" | grep -q "PERF_OK hybrid permissive overlap" || { echo "repro ann: permissive overlap below floor"; exit 1; }
+# Parallel floors self-gate on core count (PERF_SKIP below 4 cores); any
+# hard failure still trips here.
+echo "$out" | grep -Eq "PERF_(OK|SKIP) exact parallel" || { echo "repro ann: missing exact parallel verdict"; exit 1; }
+if echo "$out" | grep -q "PERF_FAIL"; then
+  echo "repro ann: PERF_FAIL verdict present"
+  exit 1
+fi
+
 echo "OK"
