@@ -1,0 +1,12 @@
+use backbone_vector::{ExactIndex, Metric, Parallelism, VectorIndex};
+
+#[test]
+fn search_many_odd_split() {
+    let mut ix = ExactIndex::new(2, Metric::L2);
+    for i in 0..100u64 {
+        ix.insert(i, &[i as f32, 1.0]);
+    }
+    let queries: Vec<Vec<f32>> = (0..7).map(|i| vec![i as f32, 0.5]).collect();
+    let hits = ix.search_many(&queries, 3, Parallelism::Fixed(5));
+    assert_eq!(hits.len(), 7);
+}
