@@ -12,9 +12,17 @@
 //!    serializing writers.
 //! 3. **Concurrency changes nothing about the answer.** The final table
 //!    contents must equal a serial replay of the same inserts.
+//!
+//! A second rung measures the serving-path caches: a **hot-query mix**
+//! (~80% repeated statements, 20% unique) replayed over identical
+//! per-thread transcripts against a cache-enabled and a cache-disabled
+//! server. Gated: the cached side must beat the no-cache baseline by the
+//! committed floor at byte-identical wire responses, and the result-cache
+//! hit rate must clear 50%.
 
 use crate::exec_bench::BenchEntry;
 use backbone_core::{Database, DurabilityOptions};
+use backbone_query::ExecOptions;
 use backbone_server::{Client, Server, ServerOptions};
 use backbone_storage::{DataType, Field, Schema, Value};
 use std::sync::{Arc, Barrier};
@@ -200,7 +208,7 @@ pub fn run(quick: bool) -> Vec<BenchEntry> {
     let total_ops = cfg.sessions * cfg.requests;
     let throughput = total_ops as f64 / (elapsed_ms / 1000.0);
 
-    vec![
+    let mut entries = vec![
         BenchEntry {
             name: "sessions",
             ms: 0.0,
@@ -260,6 +268,175 @@ pub fn run(quick: bool) -> Vec<BenchEntry> {
             name: "wal_fsyncs",
             ms: 0.0,
             rows: fsyncs as usize,
+        },
+    ];
+    entries.extend(hot_mix(quick));
+    entries
+}
+
+/// Statements in the hot pool: heavy full-scan aggregates a production
+/// serving tier would see repeated thousands of times.
+const HOT_POOL: usize = 8;
+
+fn hot_statement(j: usize) -> String {
+    format!(
+        "SELECT COUNT(*) AS n, SUM(val) AS s FROM kv WHERE (val * 3 + id) % {HOT_POOL} = {}",
+        j % HOT_POOL
+    )
+}
+
+/// A statement no other request repeats: always a plan-cache and
+/// result-cache miss, like the long tail of ad-hoc queries.
+fn unique_statement(thread: usize, seq: usize, rows: usize) -> String {
+    let pivot = (thread * 7919 + seq * 31) % rows;
+    format!("SELECT COUNT(*) AS n, SUM(val) AS s FROM kv WHERE id >= {pivot} AND (id * 5) % 11 = 3")
+}
+
+/// The hot-query-mix rung: identical deterministic transcripts (80% from
+/// the hot pool, 20% unique) replayed against a cache-enabled and a
+/// cache-disabled server; wire responses must match byte for byte.
+fn hot_mix(quick: bool) -> Vec<BenchEntry> {
+    let rows = if quick { 30_000 } else { 200_000 };
+    let threads = 4usize;
+    let requests = if quick { 100 } else { 400 };
+    // Committed full runs must clear 2x; the quick CI rung keeps a lower
+    // floor to absorb debug builds and noisy shared boxes.
+    let floor = if quick { 1.2 } else { 2.0 };
+
+    let build_db = |caches: bool| {
+        let opts = if caches {
+            ExecOptions::serial()
+        } else {
+            ExecOptions::serial().without_caches()
+        };
+        let db = Database::with_options(opts);
+        db.create_table(
+            "kv",
+            Schema::new(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("val", DataType::Int64),
+            ]),
+        )
+        .expect("hot-mix create");
+        for start in (0..rows).step_by(10_000) {
+            let end = (start + 10_000).min(rows);
+            db.insert(
+                "kv",
+                (start..end)
+                    .map(|i| vec![Value::Int(i as i64), Value::Int(((i as i64) * 37) % 1000)])
+                    .collect(),
+            )
+            .expect("hot-mix load");
+        }
+        db
+    };
+
+    // One side: serve every thread's transcript, return elapsed seconds and
+    // the full per-thread response transcripts for the identity check.
+    let run_side = |db: &Database| {
+        let server = Server::start(
+            db.clone(),
+            "127.0.0.1:0",
+            ServerOptions {
+                max_sessions: threads + 1,
+                queue_depth: 8,
+            },
+        )
+        .expect("hot-mix server");
+        let addr = server.addr();
+        let barrier = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).expect("hot-mix connect");
+                    client.ping().expect("hot-mix admitted");
+                    barrier.wait();
+                    // Deterministic per-thread LCG: both servers replay the
+                    // exact same request sequence.
+                    let mut state: u64 = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1) | 1;
+                    let mut transcript = Vec::with_capacity(requests);
+                    for seq in 0..requests {
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let q = if (state >> 33) % 100 < 80 {
+                            hot_statement(((state >> 40) as usize) % HOT_POOL)
+                        } else {
+                            unique_statement(t, seq, rows)
+                        };
+                        transcript.push(client.sql(&q).expect("hot-mix read"));
+                    }
+                    transcript
+                })
+            })
+            .collect();
+        barrier.wait();
+        let start = Instant::now();
+        let transcripts: Vec<_> = handles
+            .into_iter()
+            .map(|h| h.join().expect("hot-mix thread"))
+            .collect();
+        let elapsed_s = start.elapsed().as_secs_f64();
+        server.shutdown();
+        (elapsed_s, transcripts)
+    };
+
+    let cached_db = build_db(true);
+    let nocache_db = build_db(false);
+    let (cached_s, cached_tr) = run_side(&cached_db);
+    let (nocache_s, nocache_tr) = run_side(&nocache_db);
+    assert_eq!(
+        cached_tr, nocache_tr,
+        "cached serving changed a wire response"
+    );
+
+    let pct = |hits: u64, misses: u64| {
+        if hits + misses == 0 {
+            0.0
+        } else {
+            hits as f64 * 100.0 / (hits + misses) as f64
+        }
+    };
+    let m = cached_db.metrics();
+    let plan_pct = pct(m.value("cache.plan.hits"), m.value("cache.plan.misses"));
+    let result_pct = pct(m.value("cache.result.hits"), m.value("cache.result.misses"));
+    let total = threads * requests;
+    vec![
+        BenchEntry {
+            name: "hot_requests_total",
+            ms: 0.0,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_cached_ops_per_s",
+            ms: total as f64 / cached_s,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_nocache_ops_per_s",
+            ms: total as f64 / nocache_s,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_speedup",
+            ms: nocache_s / cached_s,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_gate_floor",
+            ms: floor,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_plan_hit_pct",
+            ms: plan_pct,
+            rows: total,
+        },
+        BenchEntry {
+            name: "hot_result_hit_pct",
+            ms: result_pct,
+            rows: total,
         },
     ]
 }
@@ -322,6 +499,40 @@ pub fn report(entries: &[BenchEntry]) -> String {
         )),
         None => out.push_str("PERF_FAIL missing session count\n"),
     }
+
+    let ms = |name: &str| entries.iter().find(|e| e.name == name).map(|e| e.ms);
+
+    // Gate 4: the serving-path caches must pay for themselves on the hot
+    // mix. The floor travels in the entries (2x committed, lower for the
+    // quick CI rung), and the bench already asserted wire-identical results.
+    match (ms("hot_speedup"), ms("hot_gate_floor")) {
+        (Some(speedup), Some(floor)) => {
+            let verdict = if speedup >= floor {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} serve hot-mix = {speedup:.2}x over no-cache baseline (floor {floor}x, identical responses)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing hot-mix measurements\n"),
+    }
+
+    // Gate 5: an 80%-repeated mix must mostly hit the result cache.
+    match (ms("hot_result_hit_pct"), ms("hot_plan_hit_pct")) {
+        (Some(result), Some(plan)) => {
+            let verdict = if result >= 50.0 {
+                "PERF_OK"
+            } else {
+                "PERF_FAIL"
+            };
+            out.push_str(&format!(
+                "{verdict} serve cache hit rate = {result:.0}% result, {plan:.0}% plan (floor 50% result)\n"
+            ));
+        }
+        _ => out.push_str("PERF_FAIL missing cache hit-rate measurements\n"),
+    }
     out
 }
 
@@ -345,6 +556,12 @@ mod tests {
             "reader_stalls",
             "wal_commits",
             "wal_fsyncs",
+            "hot_requests_total",
+            "hot_cached_ops_per_s",
+            "hot_nocache_ops_per_s",
+            "hot_speedup",
+            "hot_plan_hit_pct",
+            "hot_result_hit_pct",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "{json}");
         }
@@ -352,7 +569,41 @@ mod tests {
         assert!(rep.contains("PERF_OK serve reader stalls"), "{rep}");
         assert!(rep.contains("PERF_OK serve batched commits"), "{rep}");
         assert!(rep.contains("PERF_OK serve concurrency"), "{rep}");
+        assert!(rep.contains("PERF_OK serve hot-mix"), "{rep}");
+        assert!(rep.contains("PERF_OK serve cache hit rate"), "{rep}");
         assert!(!rep.contains("PERF_FAIL"), "{rep}");
+    }
+
+    #[test]
+    fn hot_mix_gate_trips_below_floor() {
+        let entries = vec![
+            entry("hot_speedup", 1.4, 0),
+            entry("hot_gate_floor", 2.0, 0),
+            entry("hot_result_hit_pct", 80.0, 0),
+            entry("hot_plan_hit_pct", 90.0, 0),
+        ];
+        let rep = report(&entries);
+        assert!(
+            rep.contains("PERF_FAIL serve hot-mix = 1.40x over no-cache baseline (floor 2x"),
+            "{rep}"
+        );
+        assert!(
+            rep.contains("PERF_OK serve cache hit rate = 80% result"),
+            "{rep}"
+        );
+
+        let entries = vec![
+            entry("hot_speedup", 2.6, 0),
+            entry("hot_gate_floor", 2.0, 0),
+            entry("hot_result_hit_pct", 30.0, 0),
+            entry("hot_plan_hit_pct", 90.0, 0),
+        ];
+        let rep = report(&entries);
+        assert!(rep.contains("PERF_OK serve hot-mix = 2.60x"), "{rep}");
+        assert!(
+            rep.contains("PERF_FAIL serve cache hit rate = 30% result"),
+            "{rep}"
+        );
     }
 
     #[test]

@@ -1,13 +1,14 @@
 //! The `Database` handle: tables, indexes, query execution, and the
 //! durable open/recover lifecycle.
 
+use crate::cache::{self, CachedPlan, PlanCache, ResultCache};
 use crate::durability::{
     self, DbOp, Durability, DurabilityOptions, RecoveredState, RecoveryReport,
 };
 use crate::error::{Error, Result};
 use crate::index::VectorIndexSpec;
 use crate::session::{SearchRequest, Session};
-use backbone_query::{ExecOptions, LogicalPlan, MemCatalog, Metrics, Statement};
+use backbone_query::{Catalog, ExecOptions, LogicalPlan, MemCatalog, Metrics, Statement};
 use backbone_storage::checkpoint::write_checkpoint;
 use backbone_storage::{DataType, Field, RecordBatch, Schema, Table, Value};
 use backbone_text::InvertedIndex;
@@ -64,6 +65,10 @@ struct DbInner {
     /// uses, here stamping every relational commit so readers can pin a
     /// consistent prefix of each table.
     clock: Arc<EpochClock>,
+    /// Fingerprint-keyed cache of optimized logical plans (see [`cache`]).
+    plan_cache: PlanCache,
+    /// Epoch-tagged cache of read-only result batches (see [`cache`]).
+    result_cache: ResultCache,
 }
 
 impl DbInner {
@@ -75,10 +80,12 @@ impl DbInner {
             text_indexes: RwLock::new(HashMap::new()),
             vector_indexes: RwLock::new(HashMap::new()),
             exec,
-            metrics,
+            metrics: metrics.clone(),
             durability: None,
             recovery: None,
             clock: Arc::new(EpochClock::new()),
+            plan_cache: PlanCache::new(metrics.clone()),
+            result_cache: ResultCache::new(cache::RESULT_CACHE_BYTES, metrics),
         }
     }
 
@@ -277,7 +284,7 @@ impl Database {
             };
             (epoch, lsn)
         };
-        self.commit_epoch(epoch, lsn)
+        self.commit_epoch(&name, epoch, lsn)
     }
 
     /// Register a pre-built table (e.g. from a workload generator). The
@@ -286,10 +293,15 @@ impl Database {
     pub fn register_table(&self, name: impl Into<String>, mut table: Table) -> Result<()> {
         let name = name.into();
         table.flush()?;
-        let mut tables = self.inner.tables.write();
-        table.record_commit(self.inner.clock.published(), self.inner.clock.horizon());
-        self.inner.catalog.register(&name, table.clone());
-        tables.insert(name, table);
+        {
+            let mut tables = self.inner.tables.write();
+            table.record_commit(self.inner.clock.published(), self.inner.clock.horizon());
+            self.inner.catalog.register(&name, table.clone());
+            tables.insert(name.clone(), table);
+        }
+        // Wholesale replacement: even if the row count happens to match the
+        // old content, the generation bump retires every cached result.
+        self.inner.result_cache.invalidate_table(&name);
         Ok(())
     }
 
@@ -333,7 +345,7 @@ impl Database {
             self.inner.catalog.register(name, table.clone());
             (epoch, lsn)
         };
-        self.commit_epoch(epoch, lsn)
+        self.commit_epoch(name, epoch, lsn)
     }
 
     /// Wait for a commit's durability, publish its epoch, and run the
@@ -347,7 +359,12 @@ impl Database {
     /// durable epoch is durable, because epochs are reserved in log order).
     /// On a WAL failure the rows are already installed, so the epoch is
     /// still published — but the commit is not acknowledged to the caller.
-    fn commit_epoch(&self, epoch: u64, lsn: Option<u64>) -> Result<()> {
+    /// After publication the touched table's cached results are invalidated:
+    /// the generation bump makes every pre-commit result-cache key
+    /// unreachable (keys embed the generation), and the indexed entries are
+    /// reclaimed eagerly. Correctness never depends on this timing — a
+    /// reader pinned below `epoch` still hits its own epoch-keyed entries.
+    fn commit_epoch(&self, table: &str, epoch: u64, lsn: Option<u64>) -> Result<()> {
         let waited = match lsn {
             Some(lsn) => {
                 let d = self
@@ -360,6 +377,7 @@ impl Database {
             None => Ok(()),
         };
         self.inner.clock.publish(epoch);
+        self.inner.result_cache.invalidate_table(table);
         waited?;
         self.inner.metrics.counter("wal.commits").incr();
         if let Some(d) = &self.inner.durability {
@@ -535,17 +553,210 @@ impl Database {
 
     /// [`Database::sql`] with explicit execution options (the [`Session`]
     /// routing point).
+    ///
+    /// This is the plan-cache fast path: when the options allow it, the
+    /// statement is fingerprinted (normalized text x catalog plan version x
+    /// rule selection) and a hit skips parsing and optimization entirely.
+    /// `EXPLAIN` statements never take the fast path — they must render a
+    /// report, not replay rows — but they probe the same fingerprints to
+    /// annotate the report with `plan: cached` / `result: cached@epoch N`.
     pub fn sql_with(&self, query: &str, opts: &ExecOptions) -> Result<RecordBatch> {
+        let fp = if opts.plan_cache || opts.result_cache {
+            self.statement_fingerprint(query, opts)
+        } else {
+            None
+        };
+        if opts.plan_cache {
+            if let Some(info) = &fp {
+                if !info.explain {
+                    if let Some(cached) = self.inner.plan_cache.get(info.fp) {
+                        return self.execute_cached(&cached, &[], opts);
+                    }
+                }
+            }
+        }
         match backbone_query::parse_statement(query, &self.inner.catalog)? {
-            Statement::Select(plan) => self.execute_with(plan, opts),
+            Statement::Select(plan) => match &fp {
+                Some(info) => {
+                    let cached = self.optimize_into_cache(info.fp, plan, opts)?;
+                    self.execute_cached(&cached, &[], opts)
+                }
+                None => self.execute_with(plan, opts),
+            },
             Statement::Explain {
                 plan,
                 analyze: false,
-            } => report_batch(&self.explain_with(&plan, opts)?),
+            } => {
+                let mut report = self.explain_with(&plan, opts)?;
+                if let Some(info) = &fp {
+                    self.annotate_plan_cached(&mut report, info.fp);
+                }
+                report_batch(&report)
+            }
             Statement::Explain {
                 plan,
                 analyze: true,
-            } => report_batch(&self.explain_analyze_with(&plan, opts)?.0),
+            } => {
+                let (opts_pinned, _pin) = self.pinned_opts(opts);
+                let (mut report, _rows) =
+                    backbone_query::explain_analyze(&plan, &self.inner.catalog, &opts_pinned)
+                        .map_err(Error::from)?;
+                if let Some(info) = &fp {
+                    self.annotate_plan_cached(&mut report, info.fp);
+                    let epoch = opts_pinned.snapshot_epoch.unwrap_or_default();
+                    let line = match self.table_versions(&plan.referenced_tables(), epoch) {
+                        Some(versions) if opts.result_cache => {
+                            let key = cache::result_key(info.fp, &[], &versions);
+                            if self.inner.result_cache.contains(key) {
+                                format!("result: cached@epoch {epoch}")
+                            } else {
+                                "result: fresh".to_string()
+                            }
+                        }
+                        _ => "result: fresh".to_string(),
+                    };
+                    report.push_str(&line);
+                    report.push('\n');
+                }
+                report_batch(&report)
+            }
+        }
+    }
+
+    /// Append the `plan: cached|fresh` line to an EXPLAIN report. Probes the
+    /// cache without counting a hit or miss, so EXPLAIN never distorts the
+    /// serving hit rate.
+    fn annotate_plan_cached(&self, report: &mut String, fp: u64) {
+        let state = if self.inner.plan_cache.contains(fp) {
+            "cached"
+        } else {
+            "fresh"
+        };
+        report.push_str(&format!("plan: {state}\n"));
+    }
+
+    /// Fingerprint a statement under these options, or `None` when the text
+    /// does not even lex (the parse below will produce the real error). The
+    /// leading `EXPLAIN [ANALYZE]` words are stripped so an EXPLAIN probes
+    /// the fingerprint of the statement it wraps.
+    fn statement_fingerprint(&self, query: &str, opts: &ExecOptions) -> Option<FingerprintInfo> {
+        let normalized = backbone_query::normalize(query).ok()?;
+        let (body, explain) = strip_explain_prefix(&normalized);
+        Some(FingerprintInfo {
+            fp: cache::fingerprint(body, self.inner.catalog.plan_version(), &opts.rules),
+            explain,
+        })
+    }
+
+    /// Optimize a parsed SELECT and (when the options allow) publish it in
+    /// the plan cache under `fp`.
+    fn optimize_into_cache(
+        &self,
+        fp: u64,
+        plan: LogicalPlan,
+        opts: &ExecOptions,
+    ) -> Result<Arc<CachedPlan>> {
+        let optimized = backbone_query::optimize_plan(plan, &self.inner.catalog, opts)?;
+        let cached = Arc::new(CachedPlan {
+            tables: optimized.referenced_tables(),
+            params: optimized.param_count(),
+            plan: optimized,
+            fingerprint: fp,
+        });
+        if opts.plan_cache {
+            self.inner.plan_cache.insert(cached.clone());
+        }
+        Ok(cached)
+    }
+
+    /// Execute an already-optimized plan with `params` bound, serving from
+    /// (and feeding) the result cache when the options allow it.
+    ///
+    /// The result-cache key embeds, per table the plan reads, the pair
+    /// `(generation, visible_rows_at(pinned epoch))` — the complete content
+    /// version of an append-only table at that snapshot. A hit therefore
+    /// proves the cached bytes are exactly what executing at this epoch
+    /// would produce; invalidation timing never matters for correctness.
+    pub(crate) fn execute_cached(
+        &self,
+        cached: &CachedPlan,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<RecordBatch> {
+        let (opts, _pin) = self.pinned_opts(opts);
+        let key = if opts.result_cache {
+            let epoch = opts
+                .snapshot_epoch
+                .unwrap_or_else(|| self.inner.clock.published());
+            self.table_versions(&cached.tables, epoch).map(|versions| {
+                let gens = versions.iter().map(|&(g, _)| g).collect::<Vec<_>>();
+                (
+                    cache::result_key(cached.fingerprint, params, &versions),
+                    gens,
+                )
+            })
+        } else {
+            None
+        };
+        if let Some((k, _)) = &key {
+            if let Some(hit) = self.inner.result_cache.get(*k) {
+                return Ok(hit);
+            }
+        }
+        let bound = cached.plan.bind_params(params)?;
+        let batch = backbone_query::execute_optimized(&bound, &self.inner.catalog, &opts)?;
+        if let Some((k, gens)) = &key {
+            self.inner
+                .result_cache
+                .insert(*k, &batch, &cached.tables, gens);
+        }
+        Ok(batch)
+    }
+
+    /// The `(generation, visible_rows_at(epoch))` content version of each
+    /// named table, or `None` if any is missing from the catalog (then the
+    /// query is uncacheable — let execution produce the real error).
+    fn table_versions(&self, tables: &[String], epoch: u64) -> Option<Vec<(u64, u64)>> {
+        let gens = self.inner.result_cache.generations(tables);
+        tables
+            .iter()
+            .zip(gens)
+            .map(|(name, g)| {
+                let t = self.inner.catalog.table(name)?;
+                Some((g, t.visible_rows_at(epoch) as u64))
+            })
+            .collect()
+    }
+
+    /// Parse and optimize a statement for repeated execution, reusing the
+    /// plan cache when possible. Only `SELECT` (with optional `$n`
+    /// placeholders) can be prepared. The serving entry point is
+    /// [`Session::prepare`], which wraps the returned plan in a handle.
+    pub(crate) fn prepare_statement(
+        &self,
+        query: &str,
+        opts: &ExecOptions,
+    ) -> Result<Arc<CachedPlan>> {
+        let fp = self.statement_fingerprint(query, opts);
+        if opts.plan_cache {
+            if let Some(info) = &fp {
+                if !info.explain {
+                    if let Some(cached) = self.inner.plan_cache.get(info.fp) {
+                        return Ok(cached);
+                    }
+                }
+            }
+        }
+        match backbone_query::parse_statement(query, &self.inner.catalog)? {
+            Statement::Select(plan) => {
+                // `fp` is Some whenever the statement lexed, which parsing
+                // just proved; 0 would only key an unreachable result entry.
+                let fp = fp.map(|i| i.fp).unwrap_or(0);
+                self.optimize_into_cache(fp, plan, opts)
+            }
+            Statement::Explain { .. } => Err(Error::InvalidInput(
+                "only SELECT statements can be prepared".into(),
+            )),
         }
     }
 
@@ -749,6 +960,30 @@ impl Database {
             .ok_or_else(|| Error::TableNotFound(table.to_string()))?;
         t.flush()?;
         Ok(t.clone())
+    }
+}
+
+/// What fingerprinting learned about a statement before parsing it.
+struct FingerprintInfo {
+    /// Fingerprint of the statement body (EXPLAIN prefix stripped).
+    fp: u64,
+    /// Whether the statement is an `EXPLAIN [ANALYZE]` wrapper — those must
+    /// never be served from the plan-cache fast path (they render a report).
+    explain: bool,
+}
+
+/// Split a normalized statement into its body and whether it carried an
+/// `EXPLAIN [ANALYZE]` prefix. Normalization already single-spaced the text.
+fn strip_explain_prefix(normalized: &str) -> (&str, bool) {
+    let Some((head, rest)) = normalized.split_once(' ') else {
+        return (normalized, false);
+    };
+    if !head.eq_ignore_ascii_case("EXPLAIN") {
+        return (normalized, false);
+    }
+    match rest.split_once(' ') {
+        Some((w, body)) if w.eq_ignore_ascii_case("ANALYZE") => (body, true),
+        _ => (rest, true),
     }
 }
 
@@ -965,5 +1200,126 @@ mod tests {
         let db = db_with_table();
         db.explain_analyze(&db.query("t").unwrap()).unwrap();
         assert_eq!(db.metrics().value("op.scan.rows_out"), 3);
+    }
+
+    #[test]
+    fn sql_serves_repeats_from_both_caches() {
+        let db = db_with_table();
+        let q = "SELECT id FROM t WHERE id > 1";
+        let cold = db.sql(q).unwrap();
+        assert_eq!(db.metrics().value("cache.plan.misses"), 1);
+        assert_eq!(db.metrics().value("cache.plan.hits"), 0);
+        let warm = db.sql(q).unwrap();
+        assert_eq!(db.metrics().value("cache.plan.hits"), 1);
+        assert_eq!(db.metrics().value("cache.result.hits"), 1);
+        assert_eq!(cold.to_rows(), warm.to_rows());
+        // Formatting differences normalize to the same fingerprint.
+        db.sql("SELECT id\n  FROM t -- comment\n  WHERE id > 1")
+            .unwrap();
+        assert_eq!(db.metrics().value("cache.plan.hits"), 2);
+    }
+
+    #[test]
+    fn commit_invalidates_only_touched_tables() {
+        let db = db_with_table();
+        db.create_table("u", Schema::new(vec![Field::new("x", DataType::Int64)]))
+            .unwrap();
+        db.insert("u", vec![vec![Value::Int(9)]]).unwrap();
+        db.sql("SELECT id FROM t").unwrap();
+        db.sql("SELECT x FROM u").unwrap();
+        db.sql("SELECT id FROM t").unwrap();
+        db.sql("SELECT x FROM u").unwrap();
+        assert_eq!(db.metrics().value("cache.result.hits"), 2);
+        // A commit to `u` retires u's results; t's entries keep serving.
+        db.insert("u", vec![vec![Value::Int(10)]]).unwrap();
+        assert!(db.metrics().value("cache.result.invalidations") >= 1);
+        db.sql("SELECT id FROM t").unwrap();
+        assert_eq!(db.metrics().value("cache.result.hits"), 3);
+        // And the refreshed `u` query sees the new row, not the cached one.
+        let out = db.sql("SELECT x FROM u").unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn result_cache_opt_out_always_executes() {
+        let db = db_with_table();
+        let opts = db.exec_options().clone().without_caches();
+        let q = "SELECT id FROM t";
+        db.sql_with(q, &opts).unwrap();
+        db.sql_with(q, &opts).unwrap();
+        assert_eq!(db.metrics().value("cache.plan.hits"), 0);
+        assert_eq!(db.metrics().value("cache.plan.misses"), 0);
+        assert_eq!(db.metrics().value("cache.result.hits"), 0);
+    }
+
+    #[test]
+    fn explain_reports_cache_state() {
+        let db = db_with_table();
+        let q = "SELECT id FROM t WHERE id > 1";
+        let text_of = |b: &RecordBatch| {
+            (0..b.num_rows())
+                .map(|i| b.row(i)[0].as_str().unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let cold = db.sql(&format!("EXPLAIN ANALYZE {q}")).unwrap();
+        let cold = text_of(&cold);
+        assert!(cold.contains("plan: fresh"), "{cold}");
+        assert!(cold.contains("result: fresh"), "{cold}");
+        db.sql(q).unwrap();
+        let warm = db.sql(&format!("EXPLAIN ANALYZE {q}")).unwrap();
+        let warm = text_of(&warm);
+        assert!(warm.contains("plan: cached"), "{warm}");
+        assert!(warm.contains("result: cached@epoch"), "{warm}");
+        // Plain EXPLAIN annotates the plan line too.
+        let plain = db.sql(&format!("EXPLAIN {q}")).unwrap();
+        assert!(text_of(&plain).contains("plan: cached"));
+        // EXPLAIN itself must not replay cached rows: it still reports.
+        assert!(warm.contains("== Analyzed plan"), "{warm}");
+    }
+
+    #[test]
+    fn prepared_statements_bind_params() {
+        let db = db_with_table();
+        let session = db.session();
+        let info = session.prepare("SELECT id FROM t WHERE id >= $1").unwrap();
+        assert_eq!(info.params, 1);
+        let two = session.execute_prepared(info.id, &[Value::Int(2)]).unwrap();
+        assert_eq!(two.num_rows(), 2);
+        let three = session.execute_prepared(info.id, &[Value::Int(3)]).unwrap();
+        assert_eq!(three.num_rows(), 1);
+        // Same binding again: served from the result cache.
+        session.execute_prepared(info.id, &[Value::Int(2)]).unwrap();
+        assert!(db.metrics().value("cache.result.hits") >= 1);
+        // Errors: missing binding, unknown handle, non-SELECT.
+        assert!(session.execute_prepared(info.id, &[]).is_err());
+        assert!(session.execute_prepared(999, &[Value::Int(1)]).is_err());
+        assert!(session.prepare("EXPLAIN SELECT id FROM t").is_err());
+        assert!(session.close_prepared(info.id));
+        assert!(!session.close_prepared(info.id));
+        assert!(session.execute_prepared(info.id, &[Value::Int(2)]).is_err());
+    }
+
+    #[test]
+    fn register_table_retires_cached_results() {
+        let db = db_with_table();
+        let q = "SELECT COUNT(*) FROM t";
+        let before = db.sql(q).unwrap();
+        assert_eq!(before.row(0)[0], Value::Int(3));
+        // Replace `t` wholesale with same-schema content of equal cardinality
+        // — row counts alone cannot distinguish it; the generation bump must.
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("txt", DataType::Utf8),
+        ]);
+        let mut table = Table::new(schema);
+        for i in 10..13 {
+            table
+                .append_row(vec![Value::Int(i), Value::str("x")])
+                .unwrap();
+        }
+        db.register_table("t", table).unwrap();
+        let after = db.sql("SELECT id FROM t WHERE id >= 10").unwrap();
+        assert_eq!(after.num_rows(), 3);
     }
 }

@@ -69,6 +69,7 @@
 //! queries are assembled with the [`SearchRequest`] builder
 //! (`db.search("t").keyword("...").vector(v).k(5).run()`).
 
+pub(crate) mod cache;
 pub mod csv;
 pub mod database;
 pub mod durability;
@@ -87,7 +88,7 @@ pub use hybrid::{
     SearchCost, VectorIndexKind,
 };
 pub use index::VectorIndexSpec;
-pub use session::{SearchRequest, SearchResponse, SearchStrategy, Session};
+pub use session::{PreparedInfo, SearchRequest, SearchResponse, SearchStrategy, Session};
 pub use topk::{ta_search, TaResult};
 
 // Durability policy knob, re-exported so `Database::open_with` callers

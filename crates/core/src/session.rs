@@ -15,13 +15,16 @@
 //! weights compose fluently, and [`SearchRequest::run`] executes either the
 //! unified engine or the bolt-on baseline over the identical spec.
 
+use crate::cache::CachedPlan;
 use crate::database::Database;
-use crate::error::Result;
+use crate::error::{Error, Result};
 use crate::hybrid::{
     bolton_search, unified_search, FusionWeights, HybridHit, HybridSpec, SearchCost,
 };
 use backbone_query::{ExecOptions, Expr, LogicalPlan, Parallelism};
 use backbone_storage::{RecordBatch, Schema, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A per-caller handle over a shared [`Database`]. Owned (no lifetime):
@@ -29,6 +32,25 @@ use std::sync::Arc;
 pub struct Session {
     db: Database,
     opts: ExecOptions,
+    /// Statements prepared on this session, keyed by handle. Handles are
+    /// per-session — the server maps each connection to one session, which
+    /// is what scopes wire-protocol `PREPARE`/`EXECUTE` correctly.
+    prepared: Mutex<PreparedStatements>,
+}
+
+#[derive(Default)]
+struct PreparedStatements {
+    next_id: u64,
+    by_id: HashMap<u64, Arc<CachedPlan>>,
+}
+
+/// Handle and parameter arity of a statement prepared on a [`Session`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreparedInfo {
+    /// Pass this to [`Session::execute_prepared`].
+    pub id: u64,
+    /// How many `$n` parameter slots the statement expects.
+    pub params: usize,
 }
 
 impl Session {
@@ -37,6 +59,7 @@ impl Session {
         Session {
             opts: db.exec_options().clone(),
             db,
+            prepared: Mutex::new(PreparedStatements::default()),
         }
     }
 
@@ -77,6 +100,42 @@ impl Session {
     /// Parse and execute SQL under this session's options.
     pub fn sql(&self, query: &str) -> Result<RecordBatch> {
         self.db.sql_with(query, &self.opts)
+    }
+
+    /// Prepare a `SELECT` (with optional `$1`-style placeholders) for
+    /// repeated execution: parse and optimize once, then
+    /// [`Session::execute_prepared`] binds parameters and goes straight to
+    /// physical planning. The optimized plan is shared with the plan cache,
+    /// so re-preparing a hot statement costs one lookup.
+    pub fn prepare(&self, query: &str) -> Result<PreparedInfo> {
+        let plan = self.db.prepare_statement(query, &self.opts)?;
+        let params = plan.params;
+        let mut st = self.prepared.lock();
+        st.next_id += 1;
+        let id = st.next_id;
+        st.by_id.insert(id, plan);
+        Ok(PreparedInfo { id, params })
+    }
+
+    /// Execute a prepared statement with `params` bound positionally
+    /// (`params[0]` fills `$1`). Serves from the result cache when the
+    /// session's options allow it.
+    pub fn execute_prepared(&self, id: u64, params: &[Value]) -> Result<RecordBatch> {
+        let plan = self
+            .prepared
+            .lock()
+            .by_id
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| {
+                Error::InvalidInput(format!("unknown prepared statement handle {id}"))
+            })?;
+        self.db.execute_cached(&plan, params, &self.opts)
+    }
+
+    /// Drop a prepared statement, returning whether the handle existed.
+    pub fn close_prepared(&self, id: u64) -> bool {
+        self.prepared.lock().by_id.remove(&id).is_some()
     }
 
     /// Start a declarative query against a table.

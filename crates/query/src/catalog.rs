@@ -4,6 +4,7 @@ use crate::stats::{analyze_table, ColumnStats};
 use backbone_storage::Table;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Resolves table names for planning and execution.
@@ -30,6 +31,15 @@ pub struct MemCatalog {
     tables: RwLock<HashMap<String, Arc<Table>>>,
     /// Lazily computed per-table column statistics, invalidated on register.
     stats: RwLock<HashMap<String, Arc<Vec<ColumnStats>>>>,
+    /// Monotonic version of everything a cached plan depends on: the set of
+    /// tables, their schemas, and (coarsely) their sizes. Plan-cache keys
+    /// include this, so a bump orphans every cached plan.
+    plan_version: AtomicU64,
+    /// Per-table row count at the last `plan_version` bump. Steady appends
+    /// re-register the same table on every commit; re-planning each time
+    /// would make the plan cache useless, and plans only change once stats
+    /// move materially, so the version bumps on >=2x / <=1/2 drift instead.
+    plan_rows: RwLock<HashMap<String, usize>>,
 }
 
 impl MemCatalog {
@@ -44,16 +54,45 @@ impl MemCatalog {
         table
             .flush()
             .expect("flush of consistent table cannot fail");
-        let name = name.into();
-        self.stats.write().remove(&name);
-        self.tables.write().insert(name, Arc::new(table));
+        self.register_arc(name, Arc::new(table));
     }
 
     /// Register a pre-shared table handle.
     pub fn register_arc(&self, name: impl Into<String>, table: Arc<Table>) {
         let name = name.into();
+        self.note_registration(&name, &table);
         self.stats.write().remove(&name);
         self.tables.write().insert(name, table);
+    }
+
+    /// The current plan version (see the field docs). Cached-plan keys must
+    /// include this value.
+    pub fn plan_version(&self) -> u64 {
+        self.plan_version.load(Ordering::Acquire)
+    }
+
+    /// Bump the plan version when a registration changes what the optimizer
+    /// would decide: a new or schema-changed table always does; a same-shape
+    /// replacement only once its row count drifts past 2x (or under half)
+    /// of the count at the previous bump.
+    fn note_registration(&self, name: &str, table: &Arc<Table>) {
+        let rows = table.num_rows();
+        let schema_changed = match self.tables.read().get(name) {
+            None => true,
+            Some(old) => old.schema() != table.schema(),
+        };
+        let mut last = self.plan_rows.write();
+        let drifted = match last.get(name) {
+            None => true,
+            Some(&prev) => {
+                rows > prev.saturating_mul(2).saturating_add(16)
+                    || rows.saturating_mul(2).saturating_add(16) < prev
+            }
+        };
+        if schema_changed || drifted {
+            last.insert(name.to_string(), rows);
+            self.plan_version.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// All column statistics of a table, computing and caching on first use.
@@ -78,7 +117,12 @@ impl MemCatalog {
 
     /// Remove a table, returning whether it existed.
     pub fn deregister(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        let existed = self.tables.write().remove(name).is_some();
+        if existed {
+            self.plan_rows.write().remove(name);
+            self.plan_version.fetch_add(1, Ordering::Release);
+        }
+        existed
     }
 }
 
@@ -124,6 +168,31 @@ mod tests {
         // All rows must be visible through sealed groups.
         let total: usize = (0..t.num_groups()).map(|g| t.group_rows(g)).sum();
         assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn plan_version_bumps_on_shape_not_on_every_append() {
+        let cat = MemCatalog::new();
+        let v0 = cat.plan_version();
+        cat.register("t", make_table(100));
+        let v1 = cat.plan_version();
+        assert!(v1 > v0, "new table must bump");
+        // Steady drip of appends: same schema, <2x growth -> no bump.
+        cat.register("t", make_table(120));
+        cat.register("t", make_table(150));
+        assert_eq!(cat.plan_version(), v1, "small drift must not bump");
+        // Crossing 2x of the last-bumped count (100) re-plans.
+        cat.register("t", make_table(400));
+        let v2 = cat.plan_version();
+        assert!(v2 > v1, "2x drift must bump");
+        // Schema change always bumps, regardless of size.
+        let schema = Schema::new(vec![Field::new("y", DataType::Int64)]);
+        cat.register("t", Table::new(schema));
+        let v3 = cat.plan_version();
+        assert!(v3 > v2, "schema change must bump");
+        // Dropping a table bumps too.
+        cat.deregister("t");
+        assert!(cat.plan_version() > v3);
     }
 
     #[test]

@@ -68,6 +68,10 @@ fn eval_lanes(expr: &Expr, batch: &RecordBatch, sel: Option<&[u32]>) -> Result<C
             Ok(col.as_ref().clone())
         }
         Expr::Literal(v) => broadcast(v, batch.base_rows()),
+        Expr::Param(i) => Err(QueryError::InvalidExpression(format!(
+            "parameter ${} is not bound",
+            i + 1
+        ))),
         Expr::Alias(inner, _) => eval_lanes(inner, batch, sel),
         Expr::Unary { op, expr } => {
             let input = eval_lanes(expr, batch, sel)?;

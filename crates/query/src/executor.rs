@@ -100,6 +100,16 @@ pub struct ExecOptions {
     /// this epoch, so concurrent appends — even already-registered ones —
     /// stay invisible for the lifetime of the query.
     pub snapshot_epoch: Option<u64>,
+    /// Serve `Database::sql` statements from the plan cache (and populate it
+    /// on a miss). Off = always re-parse and re-optimize. Of all the knobs
+    /// here, only `rules` changes the cached artifact — the optimized
+    /// *logical* plan — so only `rules` joins the cache key; parallelism,
+    /// batch size, and memory budget steer per-execution *physical* planning,
+    /// which always runs fresh against the caller's options.
+    pub plan_cache: bool,
+    /// Serve read-only `Database::sql` results from the epoch-tagged result
+    /// cache (and populate it on a miss). Off = always execute.
+    pub result_cache: bool,
 }
 
 impl Default for ExecOptions {
@@ -124,6 +134,8 @@ impl ExecOptions {
             batch_rows: DEFAULT_BATCH_ROWS,
             mem_budget: None,
             snapshot_epoch: None,
+            plan_cache: true,
+            result_cache: true,
         }
     }
 
@@ -178,12 +190,41 @@ impl ExecOptions {
         self
     }
 
+    /// These options with the plan cache disabled: every `Database::sql`
+    /// call re-parses and re-optimizes.
+    pub fn without_plan_cache(mut self) -> ExecOptions {
+        self.plan_cache = false;
+        self
+    }
+
+    /// These options with the result cache disabled: every read executes.
+    pub fn without_result_cache(mut self) -> ExecOptions {
+        self.result_cache = false;
+        self
+    }
+
+    /// These options with both serving-path caches disabled.
+    pub fn without_caches(self) -> ExecOptions {
+        self.without_plan_cache().without_result_cache()
+    }
+
     fn optimizer(&self) -> Optimizer {
         match &self.rules {
             None => Optimizer::new(),
             Some(rules) => Optimizer::with_rules(rules.clone()),
         }
     }
+}
+
+/// Run just the optimizer phase of [`execute`], returning the optimized
+/// logical plan. The plan cache calls this once per statement fingerprint and
+/// replays the result through [`execute_optimized`] on every hit.
+pub fn optimize_plan(
+    plan: LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<LogicalPlan> {
+    opts.optimizer().optimize(plan, catalog)
 }
 
 /// Optimize and execute a plan, returning a single concatenated batch.
@@ -198,6 +239,21 @@ pub fn execute(
 ) -> Result<RecordBatch> {
     let optimized = opts.optimizer().optimize(plan, catalog)?;
     let mut op = create_physical_plan(&optimized, catalog, opts)?;
+    let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
+    Ok(drain_one(op.as_mut())?.decoded())
+}
+
+/// Execute an *already optimized* plan, returning a single concatenated
+/// batch. Physical planning still happens here, against the caller's options
+/// — this is the logical/physical split the plan cache leans on: the cached
+/// logical artifact is shared while every execution picks its own physical
+/// strategy (parallelism, batch size, spill budget).
+pub fn execute_optimized(
+    optimized: &LogicalPlan,
+    catalog: &dyn Catalog,
+    opts: &ExecOptions,
+) -> Result<RecordBatch> {
+    let mut op = create_physical_plan(optimized, catalog, opts)?;
     let _kernel = crate::kernel_metrics::install(opts.metrics.clone());
     Ok(drain_one(op.as_mut())?.decoded())
 }

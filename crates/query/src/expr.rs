@@ -100,6 +100,10 @@ pub enum Expr {
     Column(String),
     /// A literal value.
     Literal(Value),
+    /// A prepared-statement parameter placeholder (zero-based; `$1` is
+    /// `Param(0)`). Substituted with a literal by [`Expr::bind_params`]
+    /// before execution; evaluating an unbound parameter is an error.
+    Param(usize),
     /// A binary operation.
     Binary {
         /// Left operand.
@@ -264,6 +268,7 @@ impl Expr {
             Expr::Column(n) => n.clone(),
             Expr::Alias(_, n) => n.clone(),
             Expr::Literal(v) => v.to_string(),
+            Expr::Param(i) => format!("${}", i + 1),
             Expr::Binary { left, op, right } => {
                 format!("({} {op} {})", left.output_name(), right.output_name())
             }
@@ -305,7 +310,7 @@ impl Expr {
             Expr::Column(n) => {
                 out.insert(n.clone());
             }
-            Expr::Literal(_) => {}
+            Expr::Literal(_) | Expr::Param(_) => {}
             Expr::Binary { left, right, .. } => {
                 left.collect_columns(out);
                 right.collect_columns(out);
@@ -334,6 +339,10 @@ impl Expr {
                     "untyped NULL literal; alias it via a typed column".into(),
                 )
             }),
+            Expr::Param(i) => Err(QueryError::InvalidExpression(format!(
+                "parameter ${} is not bound",
+                i + 1
+            ))),
             Expr::Binary { left, op, right } => {
                 if op.is_comparison() || op.is_logical() {
                     return Ok(DataType::Bool);
@@ -414,6 +423,75 @@ impl Expr {
     pub fn conjunction(parts: Vec<Expr>) -> Option<Expr> {
         parts.into_iter().reduce(|acc, e| acc.and(e))
     }
+
+    /// The number of parameter slots this expression needs: one past the
+    /// highest `$n` placeholder, or 0 when the expression has none.
+    pub fn param_count(&self) -> usize {
+        match self {
+            Expr::Param(i) => i + 1,
+            Expr::Column(_) | Expr::Literal(_) => 0,
+            Expr::Binary { left, right, .. } => left.param_count().max(right.param_count()),
+            Expr::Unary { expr, .. } => expr.param_count(),
+            Expr::Alias(expr, _) => expr.param_count(),
+            Expr::Like { expr, .. } => expr.param_count(),
+            Expr::InList { expr, list, .. } => list
+                .iter()
+                .map(Expr::param_count)
+                .fold(expr.param_count(), usize::max),
+        }
+    }
+
+    /// Substitute every `$n` placeholder with the matching literal from
+    /// `params` (`$1` takes `params[0]`). Errors when a placeholder has no
+    /// matching value.
+    pub fn bind_params(&self, params: &[Value]) -> Result<Expr> {
+        Ok(match self {
+            Expr::Param(i) => match params.get(*i) {
+                Some(v) => Expr::Literal(v.clone()),
+                None => {
+                    return Err(QueryError::InvalidExpression(format!(
+                        "parameter ${} has no bound value ({} provided)",
+                        i + 1,
+                        params.len()
+                    )))
+                }
+            },
+            Expr::Column(_) | Expr::Literal(_) => self.clone(),
+            Expr::Binary { left, op, right } => Expr::Binary {
+                left: Box::new(left.bind_params(params)?),
+                op: *op,
+                right: Box::new(right.bind_params(params)?),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.bind_params(params)?),
+            },
+            Expr::Alias(expr, name) => {
+                Expr::Alias(Box::new(expr.bind_params(params)?), name.clone())
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Expr::Like {
+                expr: Box::new(expr.bind_params(params)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            },
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => Expr::InList {
+                expr: Box::new(expr.bind_params(params)?),
+                list: list
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<Result<Vec<_>>>()?,
+                negated: *negated,
+            },
+        })
+    }
 }
 
 impl fmt::Display for Expr {
@@ -424,6 +502,7 @@ impl fmt::Display for Expr {
                 Value::Str(s) => write!(f, "'{s}'"),
                 other => write!(f, "{other}"),
             },
+            Expr::Param(i) => write!(f, "${}", i + 1),
             Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
             Expr::Unary { op, expr } => match op {
                 UnOp::Not => write!(f, "NOT {expr}"),
@@ -671,6 +750,21 @@ mod tests {
         assert_eq!(count_star().data_type(&s).unwrap(), DataType::Int64);
         assert_eq!(min(col("s")).data_type(&s).unwrap(), DataType::Utf8);
         assert!(sum(col("s")).data_type(&s).is_err());
+    }
+
+    #[test]
+    fn params_bind_and_count() {
+        let e = col("a").eq(Expr::Param(0)).and(col("b").lt(Expr::Param(2)));
+        assert_eq!(e.param_count(), 3);
+        assert_eq!(e.to_string(), "((a = $1) AND (b < $3))");
+        let bound = e
+            .bind_params(&[Value::Int(7), Value::Int(0), Value::Float(1.5)])
+            .unwrap();
+        assert_eq!(bound.to_string(), "((a = 7) AND (b < 1.5))");
+        assert_eq!(bound.param_count(), 0);
+        // Too few values -> error; unbound params don't type-check.
+        assert!(e.bind_params(&[Value::Int(7)]).is_err());
+        assert!(Expr::Param(0).data_type(&schema()).is_err());
     }
 
     #[test]

@@ -36,13 +36,16 @@ pub mod stats;
 
 pub use catalog::{Catalog, MemCatalog};
 pub use error::QueryError;
-pub use executor::{execute, execute_plan, explain_analyze, ExecOptions, Parallelism};
+pub use executor::{
+    execute, execute_optimized, execute_plan, explain_analyze, optimize_plan, ExecOptions,
+    Parallelism,
+};
 pub use expr::{avg, col, count, count_star, lit, max, min, sum, AggExpr, BinOp, Expr, UnOp};
 pub use logical::{JoinType, LogicalPlan, SortKey};
 pub use optimizer::Optimizer;
 pub use physical::pool;
 pub use profile::{OpStats, ProfileNode};
-pub use sql::{parse_select, parse_statement, Statement};
+pub use sql::{normalize, parse_select, parse_statement, Statement};
 
 // One registry type spans every layer; see `backbone_storage::metrics`.
 pub use backbone_storage::metrics::{Counter, Metrics};

@@ -8,7 +8,7 @@
 use crate::catalog::Catalog;
 use crate::error::{QueryError, Result};
 use crate::expr::{AggExpr, Expr};
-use backbone_storage::{Field, Schema};
+use backbone_storage::{Field, Schema, Value};
 use std::fmt;
 use std::sync::Arc;
 
@@ -275,6 +275,134 @@ impl LogicalPlan {
         }
     }
 
+    /// Names of every table this plan scans, deduplicated and sorted.
+    /// The serving-path result cache keys entries by the content version of
+    /// each referenced table, so this is the invalidation footprint.
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = std::collections::BTreeSet::new();
+        self.collect_tables(&mut out);
+        out.into_iter().collect()
+    }
+
+    fn collect_tables(&self, out: &mut std::collections::BTreeSet<String>) {
+        if let LogicalPlan::Scan { table, .. } = self {
+            out.insert(table.clone());
+        }
+        for child in self.children() {
+            child.collect_tables(out);
+        }
+    }
+
+    /// The number of parameter slots this plan needs: one past the highest
+    /// `$n` placeholder anywhere in the tree, or 0 when there are none.
+    pub fn param_count(&self) -> usize {
+        let own = match self {
+            LogicalPlan::Scan { filters, .. } => {
+                filters.iter().map(Expr::param_count).max().unwrap_or(0)
+            }
+            LogicalPlan::Filter { predicate, .. } => predicate.param_count(),
+            LogicalPlan::Project { exprs, .. } => {
+                exprs.iter().map(Expr::param_count).max().unwrap_or(0)
+            }
+            LogicalPlan::Join { .. } | LogicalPlan::Limit { .. } => 0,
+            LogicalPlan::Aggregate { group_by, aggs, .. } => group_by
+                .iter()
+                .map(Expr::param_count)
+                .chain(aggs.iter().map(|a| a.input.param_count()))
+                .max()
+                .unwrap_or(0),
+            LogicalPlan::Sort { keys, .. } => {
+                keys.iter().map(|k| k.expr.param_count()).max().unwrap_or(0)
+            }
+        };
+        self.children()
+            .iter()
+            .map(|c| c.param_count())
+            .fold(own, usize::max)
+    }
+
+    /// Substitute every `$n` placeholder in the tree with the matching
+    /// literal from `params` (`$1` takes `params[0]`). The plan's shape is
+    /// untouched, so a plan optimized once with placeholders can be bound
+    /// and executed many times. Errors when a placeholder has no value.
+    pub fn bind_params(&self, params: &[Value]) -> Result<LogicalPlan> {
+        Ok(match self {
+            LogicalPlan::Scan {
+                table,
+                table_schema,
+                projection,
+                filters,
+            } => LogicalPlan::Scan {
+                table: table.clone(),
+                table_schema: table_schema.clone(),
+                projection: projection.clone(),
+                filters: filters
+                    .iter()
+                    .map(|f| f.bind_params(params))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+                input: Box::new(input.bind_params(params)?),
+                predicate: predicate.bind_params(params)?,
+            },
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input: Box::new(input.bind_params(params)?),
+                exprs: exprs
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                on,
+                join_type,
+            } => LogicalPlan::Join {
+                left: Box::new(left.bind_params(params)?),
+                right: Box::new(right.bind_params(params)?),
+                on: on.clone(),
+                join_type: *join_type,
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::Aggregate {
+                input: Box::new(input.bind_params(params)?),
+                group_by: group_by
+                    .iter()
+                    .map(|e| e.bind_params(params))
+                    .collect::<Result<Vec<_>>>()?,
+                aggs: aggs
+                    .iter()
+                    .map(|a| {
+                        Ok(AggExpr {
+                            func: a.func,
+                            input: a.input.bind_params(params)?,
+                            name: a.name.clone(),
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+                input: Box::new(input.bind_params(params)?),
+                keys: keys
+                    .iter()
+                    .map(|k| {
+                        Ok(SortKey {
+                            expr: k.expr.bind_params(params)?,
+                            descending: k.descending,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            },
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(input.bind_params(params)?),
+                n: *n,
+            },
+        })
+    }
+
     /// Render the plan as an indented tree (EXPLAIN output).
     pub fn display_indent(&self) -> String {
         let mut out = String::new();
@@ -445,6 +573,28 @@ mod tests {
         let li = text.find("Limit").unwrap();
         let si = text.find("Scan").unwrap();
         assert!(li < si);
+    }
+
+    #[test]
+    fn referenced_tables_and_param_binding() {
+        let cat = catalog();
+        let plan = LogicalPlan::scan("t", &cat)
+            .unwrap()
+            .filter(col("id").gt(Expr::Param(0)))
+            .aggregate(vec![col("tag")], vec![sum(col("amount")).alias("total")]);
+        assert_eq!(plan.referenced_tables(), vec!["t".to_string()]);
+        assert_eq!(plan.param_count(), 1);
+        let join = LogicalPlan::scan("t", &cat)
+            .unwrap()
+            .join_on(LogicalPlan::scan("t", &cat).unwrap(), vec![("id", "id")]);
+        assert_eq!(join.referenced_tables(), vec!["t".to_string()]);
+
+        let bound = plan.bind_params(&[Value::Int(3)]).unwrap();
+        assert_eq!(bound.param_count(), 0);
+        assert!(bound.display_indent().contains("(id > 3)"));
+        // Original is untouched; missing values error.
+        assert_eq!(plan.param_count(), 1);
+        assert!(plan.bind_params(&[]).is_err());
     }
 
     #[test]

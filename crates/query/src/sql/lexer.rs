@@ -44,6 +44,9 @@ pub enum Token {
     GtEq,
     /// `.` (qualified names)
     Dot,
+    /// `$1`, `$2`, ... — a prepared-statement parameter placeholder.
+    /// Stored zero-based: `$1` lexes to `Param(0)`.
+    Param(usize),
 }
 
 impl Token {
@@ -139,6 +142,26 @@ pub fn lex(sql: &str) -> Result<Vec<Token>> {
                     out.push(Token::Gt);
                     i += 1;
                 }
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let digits: String = chars[start..j].iter().collect();
+                let n: usize = digits.parse().map_err(|_| {
+                    QueryError::InvalidExpression(
+                        "expected parameter index after '$' (e.g. $1)".into(),
+                    )
+                })?;
+                if n == 0 {
+                    return Err(QueryError::InvalidExpression(
+                        "parameter indexes start at $1".into(),
+                    ));
+                }
+                out.push(Token::Param(n - 1));
+                i = j;
             }
             '\'' => {
                 let mut s = String::new();
@@ -245,6 +268,16 @@ mod tests {
         assert!(lex("SELECT ~").is_err());
         assert!(lex("'unterminated").is_err());
         assert!(lex("1.2.3").is_err());
+    }
+
+    #[test]
+    fn params_lex_zero_based() {
+        let toks = lex("WHERE a = $1 AND b = $12").unwrap();
+        assert!(toks.contains(&Token::Param(0)));
+        assert!(toks.contains(&Token::Param(11)));
+        assert!(lex("$").is_err());
+        assert!(lex("$0").is_err());
+        assert!(lex("$x").is_err());
     }
 
     #[test]

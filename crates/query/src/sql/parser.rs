@@ -480,6 +480,7 @@ impl Parser {
             Some(Token::Int(n)) => Ok(Expr::Literal(Value::Int(n))),
             Some(Token::Float(f)) => Ok(Expr::Literal(Value::Float(f))),
             Some(Token::Str(s)) => Ok(Expr::Literal(Value::str(s))),
+            Some(Token::Param(i)) => Ok(Expr::Param(i)),
             Some(Token::Minus) => Ok(self.parse_expr(7)?.neg()),
             Some(Token::LParen) => {
                 let inner = self.parse_expr(0)?;

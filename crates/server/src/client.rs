@@ -87,6 +87,31 @@ impl Client {
         }
     }
 
+    /// Prepare a parameterized SELECT on this connection's session; returns
+    /// the statement handle for [`Client::execute`]. Handles are scoped to
+    /// this connection.
+    pub fn prepare(&mut self, query: &str) -> Result<u64, ServerError> {
+        match self.roundtrip(&Request::Prepare {
+            query: query.to_string(),
+        })? {
+            Response::Prepared { stmt, .. } => Ok(stmt),
+            other => Err(ServerError::Protocol(format!(
+                "expected prepared ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a prepared statement with positional parameters (`params[0]`
+    /// fills `$1`); returns columns + rows.
+    pub fn execute(&mut self, stmt: u64, params: Vec<Value>) -> Result<RowSet, ServerError> {
+        match self.roundtrip(&Request::Execute { stmt, params })? {
+            Response::Rows { columns, rows } => Ok(RowSet { columns, rows }),
+            other => Err(ServerError::Protocol(format!(
+                "expected rows, got {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness round trip. A successful ping also proves this connection
     /// holds a server-side worker (the response is written by the worker
     /// serving the session, never the listener).

@@ -5,6 +5,8 @@
 //! ```json
 //! {"op":"sql","q":"SELECT id FROM t WHERE id > 1"}
 //! {"op":"insert","table":"t","rows":[[1,"a"],[2,"b"]]}
+//! {"op":"prepare","q":"SELECT id FROM t WHERE id >= $1"}
+//! {"op":"execute","stmt":1,"params":[2]}
 //! {"op":"ping"}
 //! ```
 //!
@@ -13,10 +15,14 @@
 //! ```json
 //! {"ok":true,"columns":["id"],"rows":[[2],[3]]}
 //! {"ok":true,"inserted":2}
+//! {"ok":true,"stmt":1,"params":1}
 //! {"ok":true}
 //! {"ok":false,"error":"table not found: ghost"}
 //! {"ok":false,"error":"server overloaded: ...","overloaded":{"active":4,"queue":2}}
 //! ```
+//!
+//! Prepared-statement handles are scoped to the connection that minted them
+//! (each connection is one server-side session).
 //!
 //! Cell values map 1:1 between [`Value`] and JSON: `Int`↔number (exact),
 //! `Float`↔number, `Str`↔string, `Bool`↔bool, `Null`↔null.
@@ -34,6 +40,12 @@ pub enum Request {
         table: String,
         rows: Vec<Vec<Value>>,
     },
+    /// Parse + optimize a parameterized SELECT once; the reply carries the
+    /// connection-scoped handle for [`Request::Execute`].
+    Prepare { query: String },
+    /// Execute a prepared statement with positional parameters (`params[0]`
+    /// fills `$1`).
+    Execute { stmt: u64, params: Vec<Value> },
     /// Liveness check; also what the bench uses to hold a session open.
     Ping,
 }
@@ -48,6 +60,8 @@ pub enum Response {
     },
     /// An acknowledged (durable, when the database is) insert.
     Inserted { rows: usize },
+    /// A prepared statement: its handle and parameter arity.
+    Prepared { stmt: u64, params: usize },
     /// Ping reply.
     Pong,
     /// Any failure. `overloaded` carries the admission-control detail when
@@ -115,6 +129,18 @@ impl Request {
                 ("table".into(), Json::Str(table.clone())),
                 ("rows".into(), rows_to_json(rows)),
             ]),
+            Request::Prepare { query } => Json::Obj(vec![
+                ("op".into(), Json::Str("prepare".into())),
+                ("q".into(), Json::Str(query.clone())),
+            ]),
+            Request::Execute { stmt, params } => Json::Obj(vec![
+                ("op".into(), Json::Str("execute".into())),
+                ("stmt".into(), Json::Int(*stmt as i64)),
+                (
+                    "params".into(),
+                    Json::Arr(params.iter().map(value_to_json).collect()),
+                ),
+            ]),
             Request::Ping => Json::Obj(vec![("op".into(), Json::Str("ping".into()))]),
         };
         obj.to_string()
@@ -143,6 +169,26 @@ impl Request {
                     .to_string(),
                 rows: json_to_rows(obj.get("rows").ok_or("'insert' needs 'rows'")?)?,
             }),
+            "prepare" => Ok(Request::Prepare {
+                query: obj
+                    .get("q")
+                    .and_then(Json::as_str)
+                    .ok_or("'prepare' needs a string 'q'")?
+                    .to_string(),
+            }),
+            "execute" => Ok(Request::Execute {
+                stmt: obj
+                    .get("stmt")
+                    .and_then(Json::as_int)
+                    .ok_or("'execute' needs a numeric 'stmt'")? as u64,
+                params: obj
+                    .get("params")
+                    .and_then(Json::as_arr)
+                    .ok_or("'execute' needs an array 'params'")?
+                    .iter()
+                    .map(json_to_value)
+                    .collect::<Result<_, _>>()?,
+            }),
             "ping" => Ok(Request::Ping),
             other => Err(format!("unknown op '{other}'")),
         }
@@ -164,6 +210,11 @@ impl Response {
             Response::Inserted { rows } => Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("inserted".into(), Json::Int(*rows as i64)),
+            ]),
+            Response::Prepared { stmt, params } => Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("stmt".into(), Json::Int(*stmt as i64)),
+                ("params".into(), Json::Int(*params as i64)),
             ]),
             Response::Pong => Json::Obj(vec![("ok".into(), Json::Bool(true))]),
             Response::Error {
@@ -207,6 +258,15 @@ impl Response {
                 } else if let Some(n) = obj.get("inserted") {
                     Ok(Response::Inserted {
                         rows: n.as_int().ok_or("'inserted' must be a number")? as usize,
+                    })
+                } else if let Some(stmt) = obj.get("stmt") {
+                    Ok(Response::Prepared {
+                        stmt: stmt.as_int().ok_or("'stmt' must be a number")? as u64,
+                        params: obj
+                            .get("params")
+                            .and_then(Json::as_int)
+                            .ok_or("'prepared' needs a numeric 'params'")?
+                            as usize,
                     })
                 } else {
                     Ok(Response::Pong)
@@ -252,6 +312,17 @@ mod tests {
                     vec![Value::Float(2.5), Value::Bool(true), Value::str("")],
                 ],
             },
+            Request::Prepare {
+                query: "SELECT id FROM t WHERE id >= $1".into(),
+            },
+            Request::Execute {
+                stmt: 3,
+                params: vec![Value::Int(2), Value::str("x"), Value::Null],
+            },
+            Request::Execute {
+                stmt: 1,
+                params: vec![],
+            },
         ];
         for req in reqs {
             let line = req.encode();
@@ -265,6 +336,8 @@ mod tests {
         let resps = [
             Response::Pong,
             Response::Inserted { rows: 7 },
+            Response::Prepared { stmt: 2, params: 1 },
+            Response::Prepared { stmt: 9, params: 0 },
             Response::Rows {
                 columns: vec!["id".into(), "name".into()],
                 rows: vec![vec![Value::Int(1), Value::str("x")]],
@@ -288,6 +361,9 @@ mod tests {
         assert!(Request::decode("{}").is_err());
         assert!(Request::decode("{\"op\":\"mystery\"}").is_err());
         assert!(Request::decode("{\"op\":\"insert\",\"table\":\"t\"}").is_err());
+        assert!(Request::decode("{\"op\":\"prepare\"}").is_err());
+        assert!(Request::decode("{\"op\":\"execute\",\"params\":[]}").is_err());
+        assert!(Request::decode("{\"op\":\"execute\",\"stmt\":1}").is_err());
         assert!(Request::decode("not json").is_err());
     }
 }

@@ -261,30 +261,45 @@ fn serve_connection(
 fn handle(session: &Session, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::Sql { query } => match session.sql(&query) {
-            Ok(batch) => Response::Rows {
-                columns: batch
-                    .schema()
-                    .fields()
-                    .iter()
-                    .map(|f| f.name.clone())
-                    .collect(),
-                rows: batch.to_rows(),
-            },
-            Err(e) => Response::Error {
-                message: e.to_string(),
-                overloaded: None,
-            },
-        },
+        Request::Sql { query } => rows_response(session.sql(&query)),
         Request::Insert { table, rows } => {
             let n = rows.len();
             match session.insert(&table, rows) {
                 Ok(()) => Response::Inserted { rows: n },
-                Err(e) => Response::Error {
-                    message: e.to_string(),
-                    overloaded: None,
-                },
+                Err(e) => error_response(e),
             }
         }
+        // Prepared statements live on the session, and the session lives as
+        // long as the connection — handles are connection-scoped for free.
+        Request::Prepare { query } => match session.prepare(&query) {
+            Ok(info) => Response::Prepared {
+                stmt: info.id,
+                params: info.params,
+            },
+            Err(e) => error_response(e),
+        },
+        Request::Execute { stmt, params } => rows_response(session.execute_prepared(stmt, &params)),
+    }
+}
+
+fn rows_response(result: Result<backbone_storage::RecordBatch, Error>) -> Response {
+    match result {
+        Ok(batch) => Response::Rows {
+            columns: batch
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+            rows: batch.to_rows(),
+        },
+        Err(e) => error_response(e),
+    }
+}
+
+fn error_response(e: Error) -> Response {
+    Response::Error {
+        message: e.to_string(),
+        overloaded: None,
     }
 }

@@ -64,10 +64,6 @@ impl MvccEngine {
             .map(|(_, v)| *v)
     }
 
-    fn register_snapshot(&self, ts: u64) {
-        self.clock.register(ts);
-    }
-
     fn release_snapshot(&self, ts: u64) {
         self.clock.release(ts);
     }
@@ -108,8 +104,9 @@ impl KvEngine for MvccEngine {
     }
 
     fn execute(&self, ops: &[TxnOp]) -> Result<Vec<Option<u64>>, TxnError> {
-        let snapshot = self.clock.published();
-        self.register_snapshot(snapshot);
+        // Atomic read+register: a prune between the two would GC versions
+        // this snapshot still needs (see EpochClock::pin_epoch).
+        let snapshot = self.clock.pin_epoch();
         let result = self.execute_at(ops, snapshot);
         self.release_snapshot(snapshot);
         result
@@ -284,8 +281,7 @@ mod tests {
     fn gc_respects_active_snapshots() {
         let e = MvccEngine::new(None);
         e.load([(1, 1)]);
-        let old_snapshot = e.clock.published();
-        e.register_snapshot(old_snapshot);
+        let old_snapshot = e.clock.pin_epoch();
         for i in 0..10 {
             e.execute(&[TxnOp::Write(1, i + 100)]).unwrap();
         }

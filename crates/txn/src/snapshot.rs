@@ -70,6 +70,25 @@ impl EpochClock {
         *self.active.lock().entry(epoch).or_insert(0) += 1;
     }
 
+    /// Atomically read the published epoch and register a pin on it,
+    /// returning the pinned epoch. Pair with [`EpochClock::release`].
+    ///
+    /// This must be one critical section: with a separate read-then-register
+    /// ([`EpochClock::published`] + [`EpochClock::register`]), a writer can
+    /// publish newer epochs and compute [`EpochClock::horizon`] in the gap —
+    /// the in-flight pin is invisible, the horizon advances past it, and
+    /// commit-mark / version GC reclaims state the pin still needs (readers
+    /// then see an impossible empty prefix). Taking the `active` lock around
+    /// the read serializes pinning against `horizon()`: a concurrent horizon
+    /// either sees this pin, or completes first — in which case this pin
+    /// lands at or above the epoch that horizon returned.
+    pub fn pin_epoch(&self) -> u64 {
+        let mut active = self.active.lock();
+        let epoch = self.published();
+        *active.entry(epoch).or_insert(0) += 1;
+        epoch
+    }
+
     /// Release a pin taken with [`EpochClock::register`].
     pub fn release(&self, epoch: u64) {
         let mut active = self.active.lock();
@@ -81,10 +100,11 @@ impl EpochClock {
         }
     }
 
-    /// Pin the currently published epoch behind an RAII guard.
+    /// Pin the currently published epoch behind an RAII guard. The read and
+    /// the registration are atomic ([`EpochClock::pin_epoch`]), so pruning
+    /// can never slip between them and reclaim the pinned epoch's state.
     pub fn pin(self: &Arc<EpochClock>) -> SnapshotGuard {
-        let epoch = self.published();
-        self.register(epoch);
+        let epoch = self.pin_epoch();
         SnapshotGuard {
             clock: self.clone(),
             epoch,
@@ -163,6 +183,52 @@ mod tests {
         drop(pin);
         assert_eq!(clock.horizon(), 6, "released pin frees the horizon");
         assert_eq!(clock.active_epochs(), 0);
+    }
+
+    #[test]
+    fn pinning_is_atomic_against_horizon_pruning() {
+        // Regression test: pin() must read `published` and register in one
+        // critical section. A writer thread publishes epochs and prunes a
+        // mark list by horizon() exactly like Table::record_commit; with a
+        // non-atomic pin, the horizon can pass an in-flight pin and the
+        // pruned list strands it (no mark at or below the pinned epoch).
+        let clock = Arc::new(EpochClock::new());
+        clock.publish(clock.reserve());
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let marks = Arc::new(Mutex::new(vec![(1u64, 1usize)]));
+
+        let writer = {
+            let (clock, stop, marks) = (clock.clone(), stop.clone(), marks.clone());
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let epoch = clock.reserve();
+                    clock.publish(epoch);
+                    let mut marks = marks.lock();
+                    marks.push((epoch, epoch as usize));
+                    let horizon = clock.horizon();
+                    if let Some(base) = marks.iter().rposition(|(e, _)| *e <= horizon) {
+                        marks.drain(..base);
+                    }
+                }
+            })
+        };
+
+        for _ in 0..2000 {
+            let pin = clock.pin();
+            let visible = marks
+                .lock()
+                .iter()
+                .rev()
+                .find(|(e, _)| *e <= pin.epoch())
+                .map(|(_, rows)| *rows);
+            assert!(
+                visible.is_some(),
+                "pin at epoch {} stranded below every retained mark",
+                pin.epoch()
+            );
+        }
+        stop.store(true, Ordering::SeqCst);
+        writer.join().unwrap();
     }
 
     #[test]

@@ -136,7 +136,10 @@ pub trait VectorIndex: Send + Sync {
         }
         let per = queries.len().div_ceil(workers);
         let chunks = run_workers(workers, |w| {
-            let lo = w * per;
+            // Both bounds clamp: with per = ceil(n/workers), trailing workers
+            // can start past the end (e.g. 7 queries on 5 threads) and must
+            // contribute an empty chunk, not panic.
+            let lo = (w * per).min(queries.len());
             let hi = ((w + 1) * per).min(queries.len());
             queries[lo..hi]
                 .iter()

@@ -34,6 +34,17 @@ echo "== serving: server crate + concurrent-session property suite =="
 cargo test -q -p backbone-server
 cargo test -q -p backbone-bench --test serving
 
+echo "== serving-path caches: unit + property suite =="
+cargo test -q -p backbone-core cache
+# Cached results must be byte-identical to cold execution at the same epoch,
+# and post-commit reads must never serve stale hits — under concurrent writers.
+cargo test -q -p backbone-bench --test serving cached_hits_equal_cold_execution
+cargo test -q -p backbone-bench --test serving post_commit_reads_never_serve_stale
+# Plan cache shares logical plans across physical budgets (spill decisions
+# stay per-execution), and PREPARE/EXECUTE round-trips over the wire.
+cargo test -q -p backbone-bench --test serving plan_cache_shares_logical_plans
+cargo test -q -p backbone-bench --test serving prepare_execute_roundtrip
+
 echo "== serve smoke (quick) =="
 out="$(cargo run -q --release -p backbone-bench --bin repro -- serve --quick)"
 echo "$out"
@@ -43,6 +54,11 @@ echo "$out" | grep -q "PERF_OK serve reader stalls" || { echo "repro serve: read
 echo "$out" | grep -q "PERF_OK serve batched commits" || { echo "repro serve: fsyncs not batched across commits"; exit 1; }
 # Concurrency gate: the bench must actually drive >=8 live sessions.
 echo "$out" | grep -q "PERF_OK serve concurrency" || { echo "repro serve: concurrent-session floor not met"; exit 1; }
+# Hot-mix gate: serving-path caches must beat the no-cache baseline at
+# identical wire responses (the bench asserts transcript identity).
+echo "$out" | grep -q "PERF_OK serve hot-mix" || { echo "repro serve: hot-mix speedup floor not met"; exit 1; }
+# Hit-rate gate: an 80%-repeated statement mix must mostly hit the result cache.
+echo "$out" | grep -q "PERF_OK serve cache hit rate" || { echo "repro serve: cache hit-rate floor not met"; exit 1; }
 
 echo "== repro smoke (quick) =="
 out="$(cargo run -q -p backbone-bench --bin repro -- e5 --quick)"

@@ -234,3 +234,20 @@ fn dimension_mismatch_is_typed_at_every_boundary() {
     assert_eq!(ivf.len(), 200);
     assert_eq!(hnsw.len(), 200);
 }
+
+#[test]
+fn search_many_handles_odd_query_thread_splits() {
+    // 7 queries over 5 fixed threads: the parallel fan-out must cover every
+    // query exactly once even when the split is uneven.
+    let mut ix = ExactIndex::new(2, Metric::L2);
+    for i in 0..100u64 {
+        ix.insert(i, &[i as f32, 1.0]);
+    }
+    let queries: Vec<Vec<f32>> = (0..7).map(|i| vec![i as f32, 0.5]).collect();
+    let many = ix.search_many(&queries, 3, Parallelism::Fixed(5));
+    assert_eq!(many.len(), 7);
+    // Each slot must equal the corresponding serial search, in order.
+    for (q, hits) in queries.iter().zip(&many) {
+        assert_eq!(hits, &ix.search(q, 3), "parallel result diverges");
+    }
+}

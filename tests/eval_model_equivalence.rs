@@ -107,6 +107,7 @@ fn model_eval(expr: &Expr, a: Option<i64>, b: Option<i64>) -> Cell {
             }
         }
         Expr::Like { .. } => panic!("LIKE not in model space"),
+        Expr::Param(_) => panic!("params are bound before evaluation"),
     }
 }
 
